@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: cold-aisle inlet temperature vs. the optimal melting
+ * point.
+ *
+ * Section 2.1: "the best melting temperature must be determined
+ * based upon ambient temperatures where the PCM is located".  This
+ * sweep raises the cold-aisle setpoint across the ASHRAE range and
+ * re-optimizes the wax, showing the ~1:1 tracking between setpoint
+ * and optimal melting point and the stability of the achievable
+ * reduction.
+ */
+
+#include <iostream>
+
+#include "core/melting_optimizer.hh"
+#include "util/table.hh"
+#include "workload/google_trace.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    auto trace = workload::makeGoogleTrace();
+
+    std::cout << "=== Inlet-temperature sweep: 1U platform, "
+                 "re-optimized wax per setpoint ===\n\n";
+    AsciiTable t({"inlet (C)", "best melt (C)",
+                  "melt - inlet (C)", "peak reduction (%)"});
+    for (double inlet : {20.0, 22.0, 25.0, 28.0, 32.0}) {
+        auto spec = server::rd330Spec();
+        spec.inletTempC = inlet;
+        MeltOptimizerOptions opts;
+        opts.minC = 40.0;
+        opts.maxC = 60.0;
+        opts.stepC = 1.0;
+        auto r = optimizeMeltingTemp(
+            spec, trace, pcm::commercialParaffin(), opts);
+        t.addRow({formatFixed(inlet, 0),
+                  formatFixed(r.meltTempC, 1),
+                  formatFixed(r.meltTempC - inlet, 1),
+                  formatFixed(100.0 * r.peakReduction, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nreading: the optimal melting point tracks the "
+                 "inlet setpoint nearly 1:1 (the whole\nthermal "
+                 "stack is affine in the inlet temperature), and "
+                 "the achievable reduction is\nsetpoint-"
+                 "independent - until the optimum would exceed the "
+                 "60 C ceiling of commercial\nparaffin blends at "
+                 "very warm aisles.\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: calibration sensitivity.
+ *
+ * DESIGN.md discloses the scalars calibrated against the paper's
+ * observables.  This bench perturbs each by +/- 10 % and re-runs the
+ * Section 5.1 study on the 2U platform, showing which conclusions
+ * lean on which knob.  The headline claim (a ~10 % class peak
+ * cooling reduction) should survive every single-knob perturbation.
+ */
+
+#include <iostream>
+
+#include "core/sensitivity.hh"
+#include "util/table.hh"
+#include "workload/google_trace.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    auto spec = server::x4470Spec();
+    auto trace = workload::makeGoogleTrace();
+    auto rows = runSensitivity(spec, trace, 0.10,
+                               calibrationKnobs(),
+                               CoolingStudyOptions{},
+                               /*reoptimize=*/true);
+
+    std::cout << "=== Calibration sensitivity: " << spec.name
+              << ", +/- 10 % per knob ===\n\n";
+    AsciiTable t({"parameter", "fixed wax @ -10% (%)",
+                  "nominal (%)", "fixed wax @ +10% (%)",
+                  "re-opt @ -10% (%)", "re-opt @ +10% (%)"});
+    for (const auto &r : rows) {
+        t.addRow({r.name,
+                  formatFixed(100.0 * r.reductionLow, 2),
+                  formatFixed(100.0 * r.reductionNominal, 2),
+                  formatFixed(100.0 * r.reductionHigh, 2),
+                  formatFixed(100.0 * r.reoptimizedLow, 2),
+                  formatFixed(100.0 * r.reoptimizedHigh, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nreading: with the wax held FIXED, the thermal "
+                 "knobs (plume, airflow, melting point)\nswing the "
+                 "result hard - they shift the wax-bay temperature "
+                 "relative to the melting\npoint, i.e. they "
+                 "de-tune the deployment.  Re-optimizing the "
+                 "melting point on the\nperturbed substrate (the "
+                 "operator's real move) restores nearly the full "
+                 "benefit:\nthe *conclusion* is calibration-"
+                 "robust, the *tuning* is calibration-dependent.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: wax quantity vs. peak cooling reduction.
+ *
+ * The paper: "peak load reduction and savings correlate to the
+ * quantity of wax: the more wax that is added to a server, the
+ * greater the potential savings" - bounded by the platform's airflow
+ * blockage cap (Fig 7).  Sweeps the charge volume at the platform's
+ * optimized melting temperature.
+ */
+
+#include <iostream>
+
+#include "core/cooling_study.hh"
+#include "util/table.hh"
+#include "workload/google_trace.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    auto trace = workload::makeGoogleTrace();
+
+    for (auto spec : {server::rd330Spec(), server::x4470Spec()}) {
+        std::cout << "=== Wax quantity sweep: " << spec.name
+                  << " (melt "
+                  << formatFixed(spec.defaultMeltTempC, 1)
+                  << " C) ===\n";
+        AsciiTable t({"liters/server", "latent (kJ)",
+                      "blockage (%)", "peak reduction (%)"});
+        for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+            double liters = frac * spec.waxLiters;
+            CoolingStudyOptions opts;
+            // Keep the platform's box count so surface area scales
+            // with volume.
+            auto base_cluster = datacenter::Cluster(
+                spec, server::WaxConfig::none());
+            auto baseline = base_cluster.run(trace, opts.run);
+
+            server::WaxConfig cfg = server::WaxConfig::custom(
+                liters, spec.defaultMeltTempC, spec.waxBoxCount);
+            datacenter::Cluster waxed(spec, cfg);
+            auto run = waxed.run(trace, opts.run);
+
+            double red = (baseline.peakCoolingLoad() -
+                          run.peakCoolingLoad()) /
+                baseline.peakCoolingLoad();
+            double latent =
+                waxed.representative().waxLatentCapacity() / 1e3;
+            t.addRow({formatFixed(liters, 2),
+                      formatFixed(latent, 0),
+                      formatFixed(
+                          100.0 * waxed.representative().blockage(),
+                          0),
+                      formatFixed(100.0 * red, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "reading: reduction grows with the charge until "
+                 "the peak window is fully covered;\nthe blockage "
+                 "cap (Fig 7) bounds how much wax a platform can "
+                 "host.\n";
+    return 0;
+}

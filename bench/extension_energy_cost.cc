@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension: pricing the Figure 1 "additional advantages".
+ *
+ * The paper's Figure 1 lists two off-peak benefits it never turns
+ * into dollars: electricity is cheaper at night, and cool night air
+ * enables free cooling.  This bench runs the Section 5.1 cooling
+ * loads through the paper's own tariff ($0.13 peak / $0.08 off-peak)
+ * and an economizer plant under a diurnal ambient, and reports the
+ * yearly cooling-OpEx delta from thermal time shifting.
+ */
+
+#include <iostream>
+
+#include "core/cooling_study.hh"
+#include "core/energy_cost_study.hh"
+#include "datacenter/datacenter.hh"
+#include "util/table.hh"
+#include "workload/google_trace.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    auto trace = workload::makeGoogleTrace();
+
+    std::cout << "=== Extension: cooling energy cost with time-of-"
+                 "use pricing and free cooling ===\n\n";
+    AsciiTable t({"Platform", "clusters", "flat plant ($/yr)",
+                  "flat + PCM ($/yr)", "PCM saving ($/yr)",
+                  "economizer ($/yr)", "econo + PCM ($/yr)",
+                  "PCM saving ($/yr) "});
+
+    for (auto spec : {server::rd330Spec(), server::x4470Spec(),
+                      server::openComputeSpec()}) {
+        auto study = runCoolingStudy(spec, trace);
+        datacenter::Datacenter dc(spec);
+        EnergyCostOptions opts;
+        opts.clusters = dc.clusterCount();
+        auto cost = priceCoolingEnergy(study, opts);
+        t.addRow({spec.name,
+                  formatFixed(
+                      static_cast<double>(dc.clusterCount()), 0),
+                  formatFixed(cost.flatCostNoWax, 0),
+                  formatFixed(cost.flatCostWithWax, 0),
+                  formatFixed(cost.flatSaving(), 0),
+                  formatFixed(cost.economizerCostNoWax, 0),
+                  formatFixed(cost.economizerCostWithWax, 0),
+                  formatFixed(cost.economizerSaving(), 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nreading: the OpEx benefit is real but small "
+                 "next to the Section 5.1 capital savings -\n"
+                 "consistent with the paper's choice to headline "
+                 "the plant-sizing argument.  The economizer\n"
+                 "scenario also shows free cooling cutting the "
+                 "whole bill roughly in half at an 18 C-mean\n"
+                 "site, with PCM stacking on top.\n";
+    return 0;
+}

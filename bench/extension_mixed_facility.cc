@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extension: heterogeneous facility with staggered melting points.
+ *
+ * A mixed fleet (the common real-world case the paper's homogeneous
+ * datacenters idealize away) opens a degree of freedom the
+ * single-platform studies don't have: each pool can deploy wax with
+ * a different melting point, staggering the absorption windows
+ * across the shared plant's peak.
+ */
+
+#include <iostream>
+
+#include "datacenter/mixed_facility.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::datacenter;
+    using server::WaxConfig;
+
+    auto trace = workload::makeGoogleTrace();
+    ClusterRunOptions run;
+
+    // A 10 MW-ish mixed fleet: 26 clusters of 1U + 9 clusters of 2U.
+    auto make = [&](WaxConfig w1u, WaxConfig w2u) {
+        return MixedFacility(
+            {{server::rd330Spec(), w1u, 26},
+             {server::x4470Spec(), w2u, 9}});
+    };
+
+    auto stock = make(WaxConfig::none(), WaxConfig::none())
+                     .run(trace, run);
+    auto defaults = make(WaxConfig::paper(), WaxConfig::paper())
+                        .run(trace, run);
+    // Staggered: the 1U pool melts slightly earlier (clipping the
+    // ramp), the 2U pool at its optimum (clipping the crest).
+    auto staggered =
+        make(WaxConfig::withMeltTemp(51.5),
+             WaxConfig::withMeltTemp(54.5))
+            .run(trace, run);
+
+    double p0 = stock.peakCoolingLoad();
+    std::cout << "=== Extension: mixed 1U+2U facility ("
+              << make(WaxConfig::none(), WaxConfig::none())
+                     .serverCount()
+              << " servers) ===\n\n";
+    AsciiTable t({"configuration", "peak cooling (MW)",
+                  "reduction (%)"});
+    t.addRow({"no wax", formatFixed(p0 / 1e6, 3), "-"});
+    t.addRow({"per-platform defaults",
+              formatFixed(defaults.peakCoolingLoad() / 1e6, 3),
+              formatFixed(
+                  100.0 * (p0 - defaults.peakCoolingLoad()) / p0,
+                  2)});
+    t.addRow({"staggered melting points",
+              formatFixed(staggered.peakCoolingLoad() / 1e6, 3),
+              formatFixed(
+                  100.0 * (p0 - staggered.peakCoolingLoad()) / p0,
+                  2)});
+    t.print(std::cout);
+
+    std::cout << "\nper-pool peaks (defaults config):\n";
+    const char *names[2] = {"1U pool", "2U pool"};
+    for (int i = 0; i < 2; ++i) {
+        std::cout << "  " << names[i] << ": "
+                  << formatFixed(
+                         defaults.poolCoolingW[i].max() / 1e6, 3)
+                  << " MW, peak at "
+                  << formatFixed(units::toHours(
+                         defaults.poolCoolingW[i].argMax()), 1)
+                  << " h\n";
+    }
+    std::cout << "\nreading: each pool's per-platform optimum "
+                 "already flattens its own residual peak, and\n"
+                 "the residual peaks coincide - so naive "
+                 "staggering away from the optima LOSES peak\n"
+                 "reduction here.  Staggering only pays when the "
+                 "pools' residual peaks would otherwise\npile up "
+                 "at different hours (e.g. mixed time-zone "
+                 "traffic).\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension: cooling-failure ride-through.
+ *
+ * The paper's related work cites thermal storage as emergency
+ * datacenter cooling (Garday & Housley).  This bench quantifies the
+ * passive in-server variant: the plant trips at 75 % utilization,
+ * the room heats, the servers breathe the room air, and the wax
+ * buys minutes before the ASHRAE inlet limit forces a shutdown.
+ */
+
+#include <iostream>
+
+#include "core/outage_study.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    std::cout << "=== Extension: cooling outage ride-through "
+                 "(1008 servers, 75 % load, plant trips at "
+                 "t = 0) ===\n\n";
+    AsciiTable t({"Platform", "no wax (min)", "with wax (min)",
+                  "extra (min)", "wax melted at limit"});
+
+    for (auto spec : {server::rd330Spec(), server::x4470Spec(),
+                      server::openComputeSpec()}) {
+        OutageStudyOptions opts;
+        auto r = runOutageStudy(spec, opts);
+        t.addRow({spec.name,
+                  formatFixed(r.noWax.rideThroughS / 60.0, 1),
+                  formatFixed(r.withWax.rideThroughS / 60.0, 1),
+                  formatFixed(r.extraRideThroughS() / 60.0, 1),
+                  formatFixed(r.withWax.waxMelt.values().back(),
+                              2)});
+    }
+    t.print(std::cout);
+
+    // One detailed trajectory.
+    OutageStudyOptions opts;
+    auto r = runOutageStudy(server::rd330Spec(), opts);
+    std::cout << "\nroom-air trajectory, 1U platform:\n";
+    AsciiTable tr({"t (min)", "room air no-wax (C)",
+                   "room air wax (C)", "wax melt"});
+    double horizon = std::max(r.noWax.rideThroughS,
+                              r.withWax.rideThroughS);
+    for (double m = 0.0; m <= horizon / 60.0 + 1e-9;
+         m += horizon / 60.0 / 10.0) {
+        double s = m * 60.0;
+        tr.addRow({formatFixed(m, 0),
+                   formatFixed(r.noWax.roomAirC.at(s), 1),
+                   formatFixed(r.withWax.roomAirC.at(s), 1),
+                   formatFixed(r.withWax.waxMelt.at(s), 2)});
+    }
+    tr.print(std::cout);
+    std::cout << "\n(limit: "
+              << formatFixed(opts.room.limitC, 0)
+              << " C inlet air; room: "
+              << formatFixed(opts.room.airVolumeM3, 0)
+              << " m3 air + "
+              << formatFixed(opts.room.buildingMassJPerK / 1e6, 0)
+              << " MJ/K building mass)\n";
+    return 0;
+}

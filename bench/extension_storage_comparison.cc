@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Extension: thermal/electrical storage portfolio comparison.
+ *
+ * Section 6 of the paper argues (qualitatively) that in-server PCM
+ * is (a) complementary to UPS batteries, which flatten the
+ * *electrical* peak, and (b) preferable to chilled-water TES, which
+ * needs pumps, floor space and standby cooling.  This bench puts
+ * numbers on both claims for a 2U cluster over the two-day trace:
+ *
+ *  1. PCM vs. a chilled-water tank sized to the same stored energy,
+ *     shaving the same cluster cooling load;
+ *  2. the battery flattening the IT draw while the PCM flattens the
+ *     cooling load, showing the stacked facility-level peak cut.
+ */
+
+#include <iostream>
+
+#include "core/cooling_study.hh"
+#include "datacenter/battery.hh"
+#include "datacenter/chilled_water.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::datacenter;
+
+    auto spec = server::x4470Spec();
+    auto trace = workload::makeGoogleTrace();
+    auto study = core::runCoolingStudy(spec, trace);
+
+    const double pcm_energy =
+        1008.0 * 0.8 * spec.waxLiters * 200.0e3;  // J, latent.
+    const double pcm_reduction = study.peakReduction();
+    const double base_peak = study.peakBaselineW;
+
+    // 1. Chilled-water tank holding the same energy, same cap goal.
+    ChilledWaterConfig tank_cfg;
+    tank_cfg.deltaTK = 10.0;
+    tank_cfg.volumeM3 = pcm_energy / (998.0 * 4186.0 * 10.0);
+    tank_cfg.maxDischargeW = 0.2 * base_peak;
+    tank_cfg.maxRechargeW = 0.1 * base_peak;
+    tank_cfg.pumpPowerW = 0.002 * base_peak;
+    ChilledWaterTank tank(tank_cfg);
+    double cap = (1.0 - pcm_reduction) * base_peak;
+    auto tes = tank.shave(study.baseline.coolingLoadW, cap);
+
+    std::cout << "=== PCM vs. chilled-water TES, 2U cluster, "
+                 "equal stored energy ("
+              << formatFixed(pcm_energy / 1e6, 0) << " MJ) ===\n\n";
+    AsciiTable t({"approach", "peak reduction (%)",
+                  "pump energy (kWh/2d)", "standby loss (kWh/2d)",
+                  "floor space", "power/control"});
+    t.addRow({"in-server PCM",
+              formatFixed(100.0 * pcm_reduction, 1), "0", "0",
+              "none (inside servers)", "fully passive"});
+    t.addRow({"chilled-water tank (" +
+                  formatFixed(tank_cfg.volumeM3, 1) + " m3)",
+              formatFixed(100.0 * tes.peakReduction(), 1),
+              formatFixed(units::toKWh(tes.pumpEnergyJ), 1),
+              formatFixed(units::toKWh(tes.standbyLossJ), 1),
+              "outdoor tank + piping", "pumps + controls"});
+    t.print(std::cout);
+
+    // 2. Battery + PCM stacking at the facility level.
+    //    Facility power = IT wall power + cooling electric power.
+    const double cop = 3.5;
+    auto facility = [&](const TimeSeries &cooling,
+                        const TimeSeries &it) {
+        return TimeSeries::combine(
+            it, cooling,
+            [](double a, double b) { return a + b / 3.5; },
+            "facility_w");
+    };
+    (void)cop;
+    auto fac_none = facility(study.baseline.coolingLoadW,
+                             study.baseline.itPowerW);
+    auto fac_pcm = facility(study.withWax.coolingLoadW,
+                            study.withWax.itPowerW);
+
+    // Battery sized like the paper's distributed-UPS work: ~2 min
+    // of peak power usable.
+    BatteryConfig bat;
+    bat.maxDischargeW = 0.15 * fac_pcm.max();
+    bat.maxChargeW = 0.05 * fac_pcm.max();
+    bat.energyCapacityJ = bat.maxDischargeW * 3600.0;  // 1 h at max.
+    double bat_cap = 0.93 * fac_pcm.max();
+
+    BatteryBank bank_alone(bat);
+    auto shave_alone = bank_alone.shave(fac_none, 0.93 *
+                                        fac_none.max());
+    BatteryBank bank_stacked(bat);
+    auto shave_stacked = bank_stacked.shave(fac_pcm, bat_cap);
+
+    std::cout << "\n=== Facility-level peak power (IT + cooling "
+                 "electric), 2U cluster ===\n\n";
+    AsciiTable f({"configuration", "peak facility power (kW)",
+                  "vs. baseline (%)"});
+    double p0 = fac_none.max();
+    f.addRow({"no storage", formatFixed(p0 / 1e3, 1), "-"});
+    f.addRow({"PCM only", formatFixed(fac_pcm.max() / 1e3, 1),
+              formatFixed(100.0 * (1.0 - fac_pcm.max() / p0), 1)});
+    f.addRow({"battery only",
+              formatFixed(shave_alone.peakGridW / 1e3, 1),
+              formatFixed(
+                  100.0 * (1.0 - shave_alone.peakGridW / p0), 1)});
+    f.addRow({"PCM + battery",
+              formatFixed(shave_stacked.peakGridW / 1e3, 1),
+              formatFixed(
+                  100.0 * (1.0 - shave_stacked.peakGridW / p0),
+                  1)});
+    f.print(std::cout);
+
+    std::cout << "\nreading: the two storages attack different "
+                 "peaks (thermal vs. electrical) and stack -\n"
+                 "the paper's Section 6 complementarity claim, "
+                 "quantified.\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Figure 10: the two-day datacenter load trace
+ * (Orkut, Search, FBmr/MapReduce, and total), normalized to 50 %
+ * average and 95 % peak as in the paper.
+ */
+
+#include <iostream>
+
+#include "util/table.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::workload;
+
+    auto trace = makeGoogleTrace();
+
+    std::cout << "=== Figure 10: normalized two-day datacenter "
+                 "load ===\n\n";
+    std::cout << "trace statistics: mean = "
+              << formatFixed(100.0 * trace.mean(), 1)
+              << " %  peak = "
+              << formatFixed(100.0 * trace.peak(), 1)
+              << " %   (paper: 50 % average, 95 % peak)\n\n";
+
+    AsciiTable t({"t (h)", "Orkut", "Search", "FBmr", "Total"});
+    for (double h = 0.0; h <= 48.0 + 1e-9; h += 1.0) {
+        double s = units::hours(h);
+        t.addRow({formatFixed(h, 0),
+                  formatFixed(trace.classAt(JobClass::Orkut, s), 3),
+                  formatFixed(
+                      trace.classAt(JobClass::WebSearch, s), 3),
+                  formatFixed(
+                      trace.classAt(JobClass::MapReduce, s), 3),
+                  formatFixed(trace.totalAt(s), 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nshape checks:\n";
+    std::cout << "  mid-day peak (14:00):   "
+              << formatFixed(trace.totalAt(units::hours(14.0)), 2)
+              << "\n";
+    std::cout << "  pre-dawn trough (04:00): "
+              << formatFixed(trace.totalAt(units::hours(4.0)), 2)
+              << "\n";
+    std::cout << "  time above 80 % of peak: "
+              << formatFixed(units::toHours(trace.total().timeAbove(
+                     0.8 * trace.peak())), 1)
+              << " h over two days\n";
+    return 0;
+}

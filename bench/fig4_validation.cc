@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Figure 4: validation of the coarse (Icepak-like)
+ * server model against the high-fidelity reference standing in for
+ * the real Lenovo RD330 with 90 ml of wax.
+ *
+ *   (a) transient traces while heating up,
+ *   (b) transient traces while cooling down,
+ *   (c) loaded steady-state comparison (the paper reports a mean
+ *       difference of 0.22 C).
+ *
+ * Also prints the Section 3 scalar checks: wall power 90 -> 185 W
+ * and package temperature 42 -> 76 C.
+ */
+
+#include <iostream>
+
+#include "core/validation.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    ValidationResult r = runValidation();
+
+    std::cout << "=== Section 3 scalar checks ===\n";
+    std::cout << "wall power idle/load:   "
+              << formatFixed(r.idleWallW, 1) << " / "
+              << formatFixed(r.loadWallW, 1)
+              << " W   (paper: 90 / 185 W)\n";
+    std::cout << "package temp idle/load: "
+              << formatFixed(r.idlePackageC, 1) << " / "
+              << formatFixed(r.loadPackageC, 1)
+              << " C   (paper: 42 / 76 C)\n\n";
+
+    auto print_trace = [&](const char *title, double from_h,
+                           double to_h, double step_h) {
+        std::cout << title << "\n";
+        AsciiTable t({"t (h)", "Real Wax", "Real Placebo",
+                      "Icepak Wax", "Icepak Placebo", "melt"});
+        for (double h = from_h; h <= to_h + 1e-9; h += step_h) {
+            double s = units::hours(h);
+            t.addRow({formatFixed(h, 1),
+                      formatFixed(r.realWax.at(s), 2),
+                      formatFixed(r.realPlacebo.at(s), 2),
+                      formatFixed(r.modelWax.at(s), 2),
+                      formatFixed(r.modelPlacebo.at(s), 2),
+                      formatFixed(r.modelMelt.at(s), 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    };
+
+    std::cout << "=== Figure 4 (a): heating up (1 h idle, then "
+                 "full load) ===\n";
+    print_trace("temperatures near the wax box (C):", 0.0, 6.0,
+                0.5);
+
+    std::cout << "=== Figure 4 (b): cooling down (load off at "
+                 "t = 13 h) ===\n";
+    print_trace("temperatures near the wax box (C):", 12.5, 18.0,
+                0.5);
+
+    std::cout << "=== Figure 4 (c): loaded steady state (hours "
+                 "6-12 of the load phase) ===\n";
+    std::cout << "mean |real - model| near the box, wax:     "
+              << formatFixed(r.steadyStateMeanDiffC, 2)
+              << " C   (paper: 0.22 C)\n";
+    std::cout << "mean |real - model| near the box, placebo: "
+              << formatFixed(r.steadyStatePlaceboDiffC, 2)
+              << " C\n";
+    std::cout << "full-trace correlation (wax):              "
+              << formatFixed(r.traceCorrelation, 4) << "\n\n";
+
+    std::cout << "wax effect windows on the reference server:\n";
+    std::cout << "  cooler than placebo while melting:  "
+              << formatFixed(r.waxCoolingEffectHours, 1)
+              << " h  (paper: ~2 h)\n";
+    std::cout << "  warmer than placebo while freezing: "
+              << formatFixed(r.waxWarmingEffectHours, 1)
+              << " h  (paper: ~2 h)\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates the Section 5.1 headline numbers: for each platform's
+ * 10 MW datacenter, the measured peak cooling reduction is turned
+ * into (1) a smaller cooling plant, (2) extra servers under the same
+ * plant, and (3) the retrofit savings with a plant that has six
+ * years of life left.
+ *
+ * Paper: savings $187k / $254k / $174k per year; +4,940 / +2,920 /
+ * +2,770 servers (9.8 / 14.6 / 8.9 %); retrofit $3.0M / $3.2M /
+ * $3.1M per year for 1U / 2U / OCP.
+ */
+
+#include <iostream>
+
+#include "core/capacity_planner.hh"
+#include "core/cooling_study.hh"
+#include "util/table.hh"
+#include "workload/google_trace.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    auto trace = workload::makeGoogleTrace();
+
+    std::cout << "=== Section 5.1 headline economics (10 MW "
+                 "facility) ===\n\n";
+    AsciiTable t({"Platform", "clusters", "servers",
+                  "peak red. (%)", "smaller plant ($/yr)",
+                  "extra servers", "extra (%)",
+                  "retrofit ($/yr)"});
+
+    for (auto spec : {server::rd330Spec(), server::x4470Spec(),
+                      server::openComputeSpec()}) {
+        CoolingStudyOptions opts;
+        auto study = runCoolingStudy(spec, trace, opts);
+
+        datacenter::DatacenterConfig cfg;
+        if (spec.name.find("2U") != std::string::npos)
+            cfg.provisionedPerServerW = 500.0;  // Paper: 500 W DC.
+        auto plan = planCapacity(spec, study.peakReduction(), cfg);
+
+        t.addRow({spec.name,
+                  formatFixed(static_cast<double>(plan.clusters), 0),
+                  formatFixed(static_cast<double>(plan.servers), 0),
+                  formatFixed(100.0 * plan.peakReduction, 1),
+                  formatFixed(plan.smallerPlantSavingsPerYear, 0),
+                  formatFixed(
+                      static_cast<double>(plan.extraServers), 0),
+                  formatFixed(100.0 * plan.extraServerFraction, 1),
+                  formatFixed(plan.retrofitSavingsPerYear, 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper reference: 55/19/29 clusters; "
+                 "reductions 8.9/12/8.3 %;\n"
+                 "smaller plant $187k/$254k/$174k per year; "
+                 "+4,940/+2,920/+2,770 servers\n"
+                 "(9.8/14.6/8.9 %); retrofit $3.0M/$3.2M/$3.1M "
+                 "per year.\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * the thermal network step, the airflow operating-point solve, the
+ * PCM enthalpy inversion, the cluster transient, and the event-
+ * driven DCSim core.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "datacenter/cluster.hh"
+#include "pcm/enthalpy_model.hh"
+#include "server/server_model.hh"
+#include "thermal/airflow.hh"
+#include "util/units.hh"
+#include "workload/dcsim.hh"
+#include "workload/google_trace.hh"
+
+namespace {
+
+using namespace tts;
+
+void
+BM_AirflowOperatingPoint(benchmark::State &state)
+{
+    thermal::FanCurve fan{400.0, 0.02};
+    double k = 1.0e6;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            thermal::solveOperatingPoint(fan, k));
+        k = k < 2e6 ? k * 1.0001 : 1.0e6;
+    }
+}
+BENCHMARK(BM_AirflowOperatingPoint);
+
+void
+BM_EnthalpyInversion(benchmark::State &state)
+{
+    pcm::EnthalpyParams p;
+    p.massKg = 3.2;
+    p.cpSolid = 2100.0;
+    p.cpLiquid = 2400.0;
+    p.latentHeat = 2.0e5;
+    p.meltTempC = 50.0;
+    p.meltWindowC = 0.5;
+    pcm::EnthalpyCurve curve(p);
+    double h = curve.enthalpyAt(45.0);
+    const double h_hi = curve.enthalpyAt(55.0);
+    const double h_lo = curve.enthalpyAt(45.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(curve.temperatureAt(h));
+        h += 1000.0;
+        if (h > h_hi)
+            h = h_lo;
+    }
+}
+BENCHMARK(BM_EnthalpyInversion);
+
+void
+BM_ServerThermalStep(benchmark::State &state)
+{
+    server::ServerModel m(server::rd330Spec(),
+                          server::WaxConfig::paper());
+    m.setLoad(0.8);
+    for (auto _ : state)
+        m.advance(1.0, 1.0);
+}
+BENCHMARK(BM_ServerThermalStep);
+
+void
+BM_ServerSteadyState(benchmark::State &state)
+{
+    server::ServerModel m(server::rd330Spec());
+    double u = 0.2;
+    for (auto _ : state) {
+        m.setLoad(u);
+        m.solveSteadyState();
+        u = u < 0.9 ? u + 0.1 : 0.2;
+    }
+}
+BENCHMARK(BM_ServerSteadyState);
+
+void
+BM_ClusterHour(benchmark::State &state)
+{
+    // One simulated cluster-hour at the production step sizes.
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::hours(2.0);
+    auto trace = workload::makeGoogleTrace(tp);
+    datacenter::Cluster cluster(server::rd330Spec(),
+                                server::WaxConfig::paper());
+    auto &rep = cluster.representative();
+    for (auto _ : state) {
+        rep.setLoad(0.7);
+        rep.advance(3600.0, 5.0);
+    }
+}
+BENCHMARK(BM_ClusterHour);
+
+void
+BM_DcsimThousandJobs(benchmark::State &state)
+{
+    workload::WorkloadTrace trace;
+    trace.append(0.0, {0.2, 0.2, 0.2});
+    trace.append(250.0, {0.2, 0.2, 0.2});
+    workload::DcSimConfig cfg;
+    cfg.serverCount = 32;
+    cfg.slotsPerServer = 8;
+    cfg.meanServiceTimeS = 10.0;   // ~0.6 * 32 * 8 / 10 = 15 jobs/s.
+    cfg.statsIntervalS = 60.0;
+    for (auto _ : state) {
+        workload::ClusterSim sim(cfg);
+        benchmark::DoNotOptimize(sim.run(trace));
+    }
+}
+BENCHMARK(BM_DcsimThousandJobs);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Table 1 (properties of common solid-liquid PCMs) and
+ * the Section 2.1 cost comparison between eicosane and commercial
+ * grade paraffin.
+ */
+
+#include <iostream>
+
+#include "pcm/cost.hh"
+#include "pcm/material.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::pcm;
+
+    std::cout << "=== Table 1: Properties of common solid-liquid "
+                 "PCMs ===\n\n";
+    AsciiTable t({"PCM", "Melting Temp (C)", "Heat of Fusion (J/g)",
+                  "Density (g/ml)", "PCM Stability",
+                  "E. Conductivity", "Corrosive?",
+                  "Suitable for DC?"});
+    for (const auto &m : table1Families()) {
+        t.addRow({m.name,
+                  formatFixed(m.meltingTempMinC, 0) + "-" +
+                      formatFixed(m.meltingTempMaxC, 0),
+                  formatFixed(m.heatOfFusionJPerG, 0),
+                  formatFixed(m.densitySolidGPerMl, 2) + "-" +
+                      formatFixed(m.densityLiquidGPerMl, 2),
+                  toString(m.stability),
+                  toString(m.conductivity),
+                  m.corrosive ? "Yes" : "No",
+                  suitableForDatacenter(m) ? "yes" : "no"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n=== Section 2.1: wax pricing (eicosane vs. "
+                 "commercial paraffin) ===\n\n";
+    auto eico = eicosane();
+    auto comm = commercialParaffin();
+    AsciiTable c({"Material", "Price ($/ton)", "Fusion (J/g)",
+                  "Melting (C)"});
+    c.addRow({eico.name, formatFixed(eico.pricePerTonUsd, 0),
+              formatFixed(eico.heatOfFusionJPerG, 0),
+              formatFixed(eico.meltingTempMinC, 1)});
+    c.addRow({comm.name, formatFixed(comm.pricePerTonUsd, 0),
+              formatFixed(comm.heatOfFusionJPerG, 0),
+              formatFixed(comm.meltingTempMinC, 0) + "-" +
+                  formatFixed(comm.meltingTempMaxC, 0)});
+    c.print(std::cout);
+
+    std::cout << "\nprice ratio (eicosane / commercial): "
+              << formatFixed(priceRatio(eico, comm), 1)
+              << "x   (paper: ~50x)\n";
+    std::cout << "fusion deficit of commercial vs eicosane: "
+              << formatFixed(100.0 * fusionDeficit(eico, comm), 0)
+              << " %  (paper: ~20 % lower energy per gram)\n\n";
+
+    // "Even in a relatively small datacenter the cost of equipping
+    // every server with eicosane would be over a million dollars."
+    const std::size_t servers = 20000;
+    const double liters = 1.2;
+    auto e_cost = fleetWaxCost(eico, liters, servers, 0.0);
+    auto c_cost = fleetWaxCost(comm, liters, servers, 0.0);
+    std::cout << "fleet wax cost, " << servers << " servers x "
+              << liters << " l:\n";
+    std::cout << "  eicosane:            $"
+              << formatFixed(e_cost.totalCost / 1e6, 2)
+              << " M  (paper: over $1M)\n";
+    std::cout << "  commercial paraffin: $"
+              << formatFixed(c_cost.totalCost / 1e3, 1) << " k\n";
+
+    std::cout << "\nranked for datacenter deployment "
+                 "(suitability, then J/$):\n";
+    auto ranked = rankForDatacenter(
+        {eico, comm, table1Families()[0], table1Families()[1],
+         table1Families()[2]});
+    int rank = 1;
+    for (const auto &m : ranked)
+        std::cout << "  " << rank++ << ". " << m.name << "\n";
+    std::cout << "\nconclusion: commercial grade paraffin "
+                 "(matches the paper's selection)\n";
+    return 0;
+}

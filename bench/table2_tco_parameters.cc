@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Regenerates Table 2 (parameters used to model TCO) for the three
+ * platforms.  Dollar-per-kW rates are per kW of datacenter critical
+ * power, per month, following Kontorinis et al. with the interest
+ * treatment of Barroso & Hoelzle.
+ */
+
+#include <iostream>
+
+#include "server/server_spec.hh"
+#include "tco/parameters.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::tco;
+
+    auto specs = {server::rd330Spec(), server::x4470Spec(),
+                  server::openComputeSpec()};
+    std::vector<TcoParameters> params;
+    for (const auto &s : specs)
+        params.push_back(parametersFor(s));
+
+    auto range = [&](auto get, int precision) {
+        double lo = 1e300, hi = -1e300;
+        for (const auto &p : params) {
+            lo = std::min(lo, get(p));
+            hi = std::max(hi, get(p));
+        }
+        if (hi - lo < 0.005)
+            return formatFixed(lo, precision);
+        return formatFixed(lo, precision) + "-" +
+            formatFixed(hi, precision);
+    };
+
+    std::cout << "=== Table 2: Parameters used to model TCO "
+                 "($/month) ===\n\n";
+    AsciiTable t({"Description", "TCO/month", "Unit"});
+    using P = const TcoParameters &;
+    t.addRow({"FacilitySpaceCapEx",
+              range([](P p) { return p.facilitySpacePerSqFt; }, 2),
+              "$/sq. ft."});
+    t.addRow({"UPSCapEx",
+              range([](P p) { return p.upsPerServer; }, 2),
+              "$/server"});
+    t.addRow({"PowerInfraCapEx",
+              range([](P p) { return p.powerInfraPerKW; }, 1),
+              "$/kWatt"});
+    t.addRow({"CoolingInfraCapEx",
+              range([](P p) { return p.coolingInfraPerKW; }, 1),
+              "$/kWatt"});
+    t.addRow({"RestCapEx",
+              range([](P p) { return p.restCapExPerKW; }, 1),
+              "$/kWatt"});
+    t.addRow({"DCInterest",
+              range([](P p) { return p.dcInterestPerKW; }, 1),
+              "$/kWatt"});
+    t.addRow({"ServerCapEx",
+              range([](P p) { return p.serverCapExPerServer; }, 0),
+              "$/server"});
+    t.addRow({"WaxCapEx",
+              range([](P p) { return p.waxCapExPerServer; }, 2),
+              "$/server"});
+    t.addRow({"ServerInterest",
+              range([](P p) { return p.serverInterestPerServer; },
+                    2),
+              "$/server"});
+    t.addRow({"DatacenterOpEx",
+              range([](P p) { return p.datacenterOpExPerKW; }, 1),
+              "$/kWatt"});
+    t.addRow({"ServerEnergyOpEx",
+              range([](P p) { return p.serverEnergyOpExPerKW; }, 1),
+              "$/kWatt"});
+    t.addRow({"ServerPowerOpEx",
+              range([](P p) { return p.serverPowerOpExPerKW; }, 1),
+              "$/KWatt"});
+    t.addRow({"CoolingEnergyOpEx",
+              range([](P p) { return p.coolingEnergyOpExPerKW; },
+                    1),
+              "$/kWatt"});
+    t.addRow({"RestOpEx",
+              range([](P p) { return p.restOpExPerKW; }, 1),
+              "$/kWatt"});
+    t.print(std::cout);
+
+    std::cout << "\npaper Table 2 ranges for comparison: "
+                 "PowerInfra 15.9-16.2, CoolingInfra 7.0,\n"
+                 "RestCapEx 19.4-21.0, DCInterest 31.8-36.3, "
+                 "ServerCapEx 42-146,\nWaxCapEx 0.06-0.10, "
+                 "ServerInterest 11.00-38.50, DatacenterOpEx "
+                 "20.7-20.9,\nServerEnergyOpEx 19.2-24.9, "
+                 "ServerPowerOpEx 12.0, CoolingEnergyOpEx 18.4,\n"
+                 "RestOpEx 5.7-6.6.\n";
+    return 0;
+}

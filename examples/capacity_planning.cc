@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Capacity planning example (the paper's Section 5.1 use case): you
+ * operate a 10 MW facility with a fully subscribed cooling plant.
+ * How much does PCM buy you - a smaller plant at build time, more
+ * servers under the existing plant, or an avoided plant replacement
+ * in a retrofit?
+ *
+ * Run: ./build/examples/capacity_planning [platform]
+ *   platform: 0 = 1U RD330 (default), 1 = 2U X4470, 2 = OCP blade.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/capacity_planner.hh"
+#include "core/cooling_study.hh"
+#include "core/melting_optimizer.hh"
+#include "workload/google_trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    int which = argc > 1 ? std::atoi(argv[1]) : 0;
+    server::ServerSpec spec = which == 0 ? server::rd330Spec()
+        : which == 1                     ? server::x4470Spec()
+                                         : server::openComputeSpec();
+
+    std::printf("platform: %s\n", spec.name.c_str());
+    std::printf("wax: %.1f l of commercial paraffin in %zu boxes\n",
+                spec.waxLiters, spec.waxBoxCount);
+
+    auto trace = workload::makeGoogleTrace();
+
+    // 1. Let the optimizer pick the melting temperature for this
+    //    load shape (the paper does the same per cluster).
+    std::printf("\noptimizing melting temperature...\n");
+    MeltOptimizerOptions mo;
+    mo.minC = 44.0;
+    mo.maxC = 60.0;
+    auto opt = optimizeMeltingTemp(spec, trace,
+                                   pcm::commercialParaffin(), mo);
+    std::printf("best melting temperature: %.1f C -> peak cooling "
+                "reduction %.1f %%\n",
+                opt.meltTempC, 100.0 * opt.peakReduction);
+
+    // 2. Turn the reduction into deployment options.
+    auto plan = planCapacity(spec, opt.peakReduction);
+    std::printf("\n10 MW facility: %zu clusters, %zu servers\n",
+                plan.clusters, plan.servers);
+    std::printf("option 1 - build a %.1f %% smaller cooling "
+                "plant:  $%.0fk per year\n",
+                100.0 * plan.peakReduction,
+                plan.smallerPlantSavingsPerYear / 1e3);
+    std::printf("option 2 - keep the plant, add servers:        "
+                "+%zu servers (%.1f %%)\n",
+                plan.extraServers,
+                100.0 * plan.extraServerFraction);
+    std::printf("option 3 - retrofit, skip the plant "
+                "replacement:  $%.2fM per year\n",
+                plan.retrofitSavingsPerYear / 1e6);
+    return 0;
+}

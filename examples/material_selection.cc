@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Material selection example (the paper's Section 2.1): screen the
+ * PCM families for datacenter deployment, compare the finalists on
+ * cost and aging, and size the winning charge for a platform.
+ *
+ * Run: ./build/examples/material_selection
+ */
+
+#include <cstdio>
+
+#include "pcm/cost.hh"
+#include "pcm/material.hh"
+#include "pcm/stability.hh"
+#include "server/server_model.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::pcm;
+
+    std::printf("screening PCM families for datacenter use "
+                "(30-60 C, non-corrosive,\nnon-conductive, stable "
+                "over daily cycling):\n\n");
+    for (const auto &m : table1Families()) {
+        std::printf("  %-22s -> %s\n", m.name.c_str(),
+                    suitableForDatacenter(m) ? "PASS" : "fail");
+    }
+
+    std::printf("\nfinalists: pure n-paraffin (eicosane) vs. "
+                "commercial grade paraffin\n\n");
+    auto eico = eicosane();
+    auto comm = commercialParaffin();
+    std::printf("  %-22s $%7.0f/ton  %5.0f J/g\n",
+                eico.name.c_str(), eico.pricePerTonUsd,
+                eico.heatOfFusionJPerG);
+    std::printf("  %-22s $%7.0f/ton  %5.0f J/g\n",
+                comm.name.c_str(), comm.pricePerTonUsd,
+                comm.heatOfFusionJPerG);
+    std::printf("\n  -> commercial paraffin: %.0fx cheaper for "
+                "%.0f %% lower energy per gram\n",
+                priceRatio(eico, comm),
+                100.0 * fusionDeficit(eico, comm));
+
+    // Aging over the 4-year server life (one melt cycle per day).
+    StabilityModel aging(comm.stability);
+    auto cycles = StabilityModel::cyclesForYears(4.0);
+    std::printf("\naging: after %llu daily cycles (4-year server "
+                "life) the charge retains %.1f %%\nof its latent "
+                "capacity.\n",
+                static_cast<unsigned long long>(cycles),
+                100.0 * aging.retention(cycles));
+
+    // Size the deployment for the paper's 2U platform.
+    auto spec = server::x4470Spec();
+    server::ServerModel srv(spec, server::WaxConfig::paper());
+    std::printf("\ndeployment in the %s:\n", spec.name.c_str());
+    std::printf("  charge: %.1f l in %zu boxes, blocking %.0f %% "
+                "of the duct (cap: %.0f %%)\n",
+                spec.waxLiters, spec.waxBoxCount,
+                100.0 * srv.blockage(),
+                100.0 * spec.maxWaxBlockage);
+    std::printf("  latent capacity: %.0f kJ per server\n",
+                srv.waxLatentCapacity() / 1e3);
+
+    auto fleet = fleetWaxCost(comm, spec.waxLiters, 1008);
+    std::printf("  cluster wax bill (1008 servers): $%.0f "
+                "(wax $%.2f + containers $%.2f per server)\n",
+                fleet.totalCost, fleet.waxCostPerServer,
+                fleet.containerCostPerServer);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Thermally constrained datacenter example (the paper's Section 5.2
+ * use case): the cooling plant is undersized - dense replacement
+ * servers outgrew it - and the cluster must downclock through every
+ * daily peak.  How much throughput does PCM recover, and for how
+ * long does it stave off the thermal limit?
+ *
+ * Run: ./build/examples/thermal_emergency [capacity_fraction]
+ *   capacity_fraction: plant size as a fraction of the cluster's
+ *   full-tilt heat output (default: the calibrated 2U scenario).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/throughput_study.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    server::ServerSpec spec = server::x4470Spec();
+    ThroughputStudyOptions opts;
+    opts.coolingCapacityFraction = argc > 1
+        ? std::atof(argv[1])
+        : calibratedCapacityFraction(spec);
+
+    std::printf("platform: %s\n", spec.name.c_str());
+    std::printf("cooling plant: %.1f %% of the cluster's full-tilt "
+                "heat output\n",
+                100.0 * opts.coolingCapacityFraction);
+
+    auto trace = workload::makeGoogleTrace();
+    auto r = runThroughputStudy(spec, trace, opts);
+
+    std::printf("wax melting point picked for the constrained "
+                "regime: %.1f C\n\n",
+                r.meltTempC);
+
+    std::printf("%6s %8s %8s %8s %10s\n", "hour", "ideal",
+                "no wax", "with wax", "wax melt");
+    for (double h = 8.0; h <= 22.0; h += 1.0) {
+        double t = units::hours(h);
+        std::printf("%6.0f %8.2f %8.2f %8.2f %10.2f\n", h,
+                    r.ideal.at(t), r.noWax.at(t), r.withWax.at(t),
+                    r.waxMelt.at(t));
+    }
+
+    std::printf("\npeak throughput gain from PCM: %.1f %%\n",
+                100.0 * r.throughputGain());
+    std::printf("thermal-limit onset delayed by: %.1f h\n",
+                r.delayHours);
+    std::printf("\n(throughput normalized to the no-wax cluster's "
+                "peak, as in the paper's Fig 12)\n");
+    return 0;
+}

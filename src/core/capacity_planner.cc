@@ -1,0 +1,40 @@
+#include "core/capacity_planner.hh"
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace core {
+
+CapacityPlan
+planCapacity(const server::ServerSpec &spec, double peak_reduction,
+             const datacenter::DatacenterConfig &dc_config)
+{
+    require(peak_reduction >= 0.0 && peak_reduction < 1.0,
+            "planCapacity: reduction must be in [0, 1)");
+
+    datacenter::Datacenter dc(spec, dc_config);
+    tco::TcoModel tco_model(tco::parametersFor(spec));
+    double critical_kw = units::toKW(dc_config.criticalPowerW);
+
+    CapacityPlan plan;
+    plan.platform = spec.name;
+    plan.criticalPowerW = dc_config.criticalPowerW;
+    plan.clusters = dc.clusterCount();
+    plan.servers = dc.serverCount();
+    plan.peakReduction = peak_reduction;
+    plan.smallerPlantSavingsPerYear =
+        tco_model.annualCoolingInfraSavings(critical_kw,
+                                            peak_reduction);
+    plan.extraServers =
+        dc.extraServersForCoolingReduction(peak_reduction);
+    plan.extraServerFraction =
+        static_cast<double>(plan.extraServers) /
+        static_cast<double>(plan.servers);
+    plan.retrofitSavingsPerYear =
+        tco_model.annualRetrofitSavings(critical_kw);
+    return plan;
+}
+
+} // namespace core
+} // namespace tts

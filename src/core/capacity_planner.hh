@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Section 5.1 deployment planning: turn a peak cooling-load
+ * reduction into money or servers.
+ *
+ * Three options the paper evaluates for a 10 MW facility:
+ *   1. Build a smaller cooling plant (save capital + interest).
+ *   2. Keep the plant, add servers until the peak cooling load is
+ *      back at the plant's rating.
+ *   3. Retrofit: reuse a plant with remaining life for a new, denser
+ *      server generation instead of buying a bigger one.
+ */
+
+#ifndef TTS_CORE_CAPACITY_PLANNER_HH
+#define TTS_CORE_CAPACITY_PLANNER_HH
+
+#include <cstddef>
+
+#include "datacenter/datacenter.hh"
+#include "server/server_spec.hh"
+#include "tco/model.hh"
+
+namespace tts {
+namespace core {
+
+/** Planning results for one platform in one facility. */
+struct CapacityPlan
+{
+    /** Platform name. */
+    std::string platform;
+    /** Facility critical power (W). */
+    double criticalPowerW = 0.0;
+    /** Cluster count in the facility. */
+    std::size_t clusters = 0;
+    /** Servers in the facility. */
+    std::size_t servers = 0;
+    /** PCM peak cooling-load reduction (fraction). */
+    double peakReduction = 0.0;
+
+    /** Option 1: smaller plant - yearly savings (USD). */
+    double smallerPlantSavingsPerYear = 0.0;
+    /** Option 2: extra servers under the same plant. */
+    std::size_t extraServers = 0;
+    /** Option 2: extra servers as a fraction of the fleet. */
+    double extraServerFraction = 0.0;
+    /** Option 3: retrofit - yearly savings (USD). */
+    double retrofitSavingsPerYear = 0.0;
+};
+
+/**
+ * Build the Section 5.1 plan for a platform.
+ *
+ * @param spec           Platform.
+ * @param peak_reduction Measured peak cooling reduction (from
+ *                       runCoolingStudy / the optimizer).
+ * @param dc_config      Facility parameters (10 MW default).
+ */
+CapacityPlan planCapacity(
+    const server::ServerSpec &spec, double peak_reduction,
+    const datacenter::DatacenterConfig &dc_config =
+        datacenter::DatacenterConfig{});
+
+} // namespace core
+} // namespace tts
+
+#endif // TTS_CORE_CAPACITY_PLANNER_HH

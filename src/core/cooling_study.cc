@@ -1,0 +1,88 @@
+#include "core/cooling_study.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace core {
+
+double
+CoolingStudyResult::peakReduction() const
+{
+    invariant(peakBaselineW > 0.0,
+              "CoolingStudyResult: baseline peak not set");
+    return (peakBaselineW - peakWithWaxW) / peakBaselineW;
+}
+
+double
+CoolingStudyResult::resolidifyHours() const
+{
+    // Compare the two cooling-load series; count time where the
+    // waxed cluster rejects noticeably more heat than the baseline
+    // (the release phase).  The 1 % threshold ignores the small
+    // persistent offset the containers' blockage introduces.
+    double threshold = 0.01 * peakBaselineW;
+    const auto &wax = withWax.coolingLoadW;
+    const auto &base = baseline.coolingLoadW;
+    double total_s = 0.0;
+    const auto &times = wax.times();
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        double t_mid = 0.5 * (times[i - 1] + times[i]);
+        double excess = wax.at(t_mid) - base.at(t_mid);
+        if (excess > threshold)
+            total_s += times[i] - times[i - 1];
+    }
+    return units::toHours(total_s);
+}
+
+bool
+CoolingStudyResult::resolidifiesDaily(double tolerance) const
+{
+    const auto &melt = withWax.waxMeltFraction;
+    if (melt.empty())
+        return true;
+    // The battery recharges daily if the melt fraction returns to
+    // (near) zero some time within every 24 h cycle after the first
+    // peak - i.e. the minimum over each day's window is small.
+    double start = melt.startTime();
+    double end = melt.endTime();
+    for (double day = start + units::days(1.0); day <= end + 1.0;
+         day += units::days(1.0)) {
+        double lo = day - units::days(1.0);
+        double hi = std::min(day, end);
+        double day_min = 1.0;
+        for (double t = lo; t <= hi; t += units::hours(0.5))
+            day_min = std::min(day_min, melt.at(t));
+        if (day_min > tolerance)
+            return false;
+    }
+    return true;
+}
+
+CoolingStudyResult
+runCoolingStudy(const server::ServerSpec &spec,
+                const workload::WorkloadTrace &trace,
+                const CoolingStudyOptions &options)
+{
+    CoolingStudyResult out;
+    out.meltTempC = options.meltTempC > 0.0 ? options.meltTempC
+                                            : spec.defaultMeltTempC;
+
+    datacenter::Cluster base_cluster(spec, server::WaxConfig::none(),
+                                     options.serverCount);
+    out.baseline = base_cluster.run(trace, options.run);
+    out.peakBaselineW = out.baseline.peakCoolingLoad();
+
+    server::WaxConfig wax =
+        server::WaxConfig::withMeltTemp(out.meltTempC);
+    datacenter::Cluster wax_cluster(spec, wax, options.serverCount);
+    out.withWax = wax_cluster.run(trace, options.run);
+    out.peakWithWaxW = out.withWax.peakCoolingLoad();
+    return out;
+}
+
+} // namespace core
+} // namespace tts

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Section 5.1 experiment: PCM to reduce peak cooling load.
+ *
+ * Runs a cluster of one platform over the load trace twice - stock
+ * and with wax - and reports the peak cooling load reduction, the
+ * re-solidify window, and the derived deployment options (smaller
+ * plant or extra servers).
+ */
+
+#ifndef TTS_CORE_COOLING_STUDY_HH
+#define TTS_CORE_COOLING_STUDY_HH
+
+#include "datacenter/cluster.hh"
+#include "server/server_model.hh"
+#include "server/server_spec.hh"
+#include "workload/trace.hh"
+
+namespace tts {
+namespace core {
+
+/** Options for the cooling-load study. */
+struct CoolingStudyOptions
+{
+    /** Cluster size. */
+    std::size_t serverCount = datacenter::Cluster::defaultServerCount;
+    /** Melting temperature (C); <= 0 uses the platform default. */
+    double meltTempC = 0.0;
+    /** Cluster run options (steps, warm-up). */
+    datacenter::ClusterRunOptions run;
+};
+
+/** Results of the cooling-load study for one platform. */
+struct CoolingStudyResult
+{
+    /** Cluster cooling load without wax (W). */
+    datacenter::ClusterRunResult baseline;
+    /** Cluster cooling load with wax (W). */
+    datacenter::ClusterRunResult withWax;
+    /** Peak cooling load without wax (W). */
+    double peakBaselineW = 0.0;
+    /** Peak cooling load with wax (W). */
+    double peakWithWaxW = 0.0;
+    /** Melting temperature used (C). */
+    double meltTempC = 0.0;
+
+    /** @return Fractional peak cooling-load reduction. */
+    double peakReduction() const;
+
+    /**
+     * @return Duration of the re-solidify window (h): total time the
+     * waxed cluster's cooling load exceeds the baseline's at the same
+     * instant (the wax releasing its stored heat off-peak).
+     */
+    double resolidifyHours() const;
+
+    /**
+     * @return True if the wax returns to (nearly) solid by the end
+     * of each 24 h cycle, i.e. the thermal battery recharges daily.
+     */
+    bool resolidifiesDaily(double tolerance = 0.05) const;
+};
+
+/**
+ * Run the Section 5.1 study.
+ *
+ * @param spec    Platform.
+ * @param trace   Normalized load trace (Figure 10 style).
+ * @param options Study options.
+ */
+CoolingStudyResult runCoolingStudy(
+    const server::ServerSpec &spec,
+    const workload::WorkloadTrace &trace,
+    const CoolingStudyOptions &options = CoolingStudyOptions{});
+
+} // namespace core
+} // namespace tts
+
+#endif // TTS_CORE_COOLING_STUDY_HH

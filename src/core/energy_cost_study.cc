@@ -1,0 +1,57 @@
+#include "core/energy_cost_study.hh"
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace core {
+
+EnergyCostResult
+priceCoolingEnergy(const CoolingStudyResult &study,
+                   const EnergyCostOptions &options)
+{
+    require(options.flatCop > 0.0,
+            "priceCoolingEnergy: COP must be > 0");
+    require(options.clusters >= 1,
+            "priceCoolingEnergy: need at least one cluster");
+    const auto &base = study.baseline.coolingLoadW;
+    const auto &wax = study.withWax.coolingLoadW;
+    require(base.size() >= 2 && wax.size() >= 2,
+            "priceCoolingEnergy: cooling study has no series");
+
+    double scale = static_cast<double>(options.clusters);
+    double span_days =
+        (base.endTime() - base.startTime()) / units::days(1.0);
+    require(span_days > 0.0,
+            "priceCoolingEnergy: degenerate study span");
+    double to_year = 365.25 / span_days;
+
+    // Flat-COP plant: electric power = load / COP, priced by the
+    // time-of-use tariff.
+    auto flat_cost = [&](const TimeSeries &load) {
+        TimeSeries elec("elec_w");
+        for (std::size_t i = 0; i < load.size(); ++i) {
+            elec.append(load.times()[i],
+                        scale * std::max(load.values()[i], 0.0) /
+                            options.flatCop);
+        }
+        return options.tariff.costOf(elec) * to_year;
+    };
+
+    // Economizer plant: the COP follows the diurnal ambient.
+    auto econo_cost = [&](const TimeSeries &load) {
+        auto elec = options.economizer.electricSeries(
+            load, options.ambient);
+        return options.tariff.costOf(elec.scaled(scale)) * to_year;
+    };
+
+    EnergyCostResult out;
+    out.flatCostNoWax = flat_cost(base);
+    out.flatCostWithWax = flat_cost(wax);
+    out.economizerCostNoWax = econo_cost(base);
+    out.economizerCostWithWax = econo_cost(wax);
+    return out;
+}
+
+} // namespace core
+} // namespace tts

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Cooling energy-cost study: what thermal time shifting is worth in
+ * OpEx, not just in plant capital.
+ *
+ * Figure 1 of the paper lists two "additional advantages" of pushing
+ * the thermal load off-peak that Section 5 never prices out:
+ * electricity is cheaper at night ($0.13 vs. $0.08 per kWh in the
+ * paper's own TCO assumptions), and night air is colder, so an
+ * economizer removes each joule more cheaply.  This study runs the
+ * Section 5.1 cooling loads through the time-of-use tariff and the
+ * economizer plant model and reports the yearly OpEx delta.
+ */
+
+#ifndef TTS_CORE_ENERGY_COST_STUDY_HH
+#define TTS_CORE_ENERGY_COST_STUDY_HH
+
+#include "core/cooling_study.hh"
+#include "datacenter/cooling_system.hh"
+#include "datacenter/free_cooling.hh"
+
+namespace tts {
+namespace core {
+
+/** Options for the energy-cost study. */
+struct EnergyCostOptions
+{
+    /** Time-of-use tariff (paper: 0.13 / 0.08 $/kWh). */
+    datacenter::ElectricityTariff tariff;
+    /** Diurnal ambient for the economizer scenario. */
+    datacenter::AmbientModel ambient;
+    /** Economizer-equipped plant. */
+    datacenter::EconomizerCoolingModel economizer;
+    /** Flat-COP plant for the baseline scenario. */
+    double flatCop = 3.5;
+    /** Facility scale: clusters of 1008 made whole-facility. */
+    std::size_t clusters = 50;
+};
+
+/** Energy costs for one platform (USD per year, whole facility). */
+struct EnergyCostResult
+{
+    /** Flat-COP plant, tariff priced: no wax. */
+    double flatCostNoWax = 0.0;
+    /** Flat-COP plant, tariff priced: with wax. */
+    double flatCostWithWax = 0.0;
+    /** Economizer plant, tariff priced: no wax. */
+    double economizerCostNoWax = 0.0;
+    /** Economizer plant, tariff priced: with wax. */
+    double economizerCostWithWax = 0.0;
+
+    /** @return Yearly OpEx saving with a flat-COP plant (USD). */
+    double flatSaving() const
+    {
+        return flatCostNoWax - flatCostWithWax;
+    }
+    /** @return Yearly OpEx saving with the economizer (USD). */
+    double economizerSaving() const
+    {
+        return economizerCostNoWax - economizerCostWithWax;
+    }
+};
+
+/**
+ * Price the cooling energy of an already-run cooling study.
+ *
+ * @param study   Section 5.1 result (baseline + wax cluster loads).
+ * @param options Tariff, ambient, and plant models.
+ */
+EnergyCostResult priceCoolingEnergy(
+    const CoolingStudyResult &study,
+    const EnergyCostOptions &options = EnergyCostOptions{});
+
+} // namespace core
+} // namespace tts
+
+#endif // TTS_CORE_ENERGY_COST_STUDY_HH

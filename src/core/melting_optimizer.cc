@@ -1,0 +1,79 @@
+#include "core/melting_optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace core {
+
+namespace {
+
+/**
+ * Utilization at the instant the wax first passes 2 % melted, read
+ * off the recorded cluster run; negative if it never melts.
+ */
+double
+meltOnsetUtil(const datacenter::ClusterRunResult &run,
+              const workload::WorkloadTrace &trace)
+{
+    double t = run.waxMeltFraction.firstCrossingAbove(0.02);
+    if (t < 0.0)
+        return -1.0;
+    return trace.totalAt(t);
+}
+
+} // namespace
+
+MeltOptimum
+optimizeMeltingTemp(const server::ServerSpec &spec,
+                    const workload::WorkloadTrace &trace,
+                    const pcm::Material &material,
+                    const MeltOptimizerOptions &options)
+{
+    require(options.stepC > 0.0,
+            "optimizeMeltingTemp: step must be > 0");
+    double lo = std::max(options.minC, material.meltingTempMinC);
+    double hi = std::min(options.maxC, material.meltingTempMaxC);
+    require(lo <= hi, "optimizeMeltingTemp: material has no melting "
+            "temperature in the requested range");
+
+    // One shared baseline run (wax-independent).
+    datacenter::Cluster base_cluster(spec, server::WaxConfig::none(),
+                                     options.study.serverCount);
+    auto baseline = base_cluster.run(trace, options.study.run);
+    double peak_base = baseline.peakCoolingLoad();
+    invariant(peak_base > 0.0,
+              "optimizeMeltingTemp: degenerate baseline");
+
+    MeltOptimum out;
+    double best_peak = peak_base;
+    for (double melt = lo; melt <= hi + 1e-9;
+         melt += options.stepC) {
+        server::WaxConfig wax = server::WaxConfig::withMeltTemp(melt);
+        wax.material = material;
+        datacenter::Cluster cluster(spec, wax,
+                                    options.study.serverCount);
+        auto run = cluster.run(trace, options.study.run);
+        MeltSweepPoint pt;
+        pt.meltTempC = melt;
+        pt.peakCoolingLoadW = run.peakCoolingLoad();
+        pt.peakReduction =
+            (peak_base - pt.peakCoolingLoadW) / peak_base;
+        pt.meltOnsetUtilization = meltOnsetUtil(run, trace);
+        out.sweep.push_back(pt);
+        if (pt.peakCoolingLoadW < best_peak) {
+            best_peak = pt.peakCoolingLoadW;
+            out.meltTempC = melt;
+            out.peakReduction = pt.peakReduction;
+        }
+    }
+    require(out.meltTempC > 0.0,
+            "optimizeMeltingTemp: no candidate reduced the peak "
+            "cooling load");
+    return out;
+}
+
+} // namespace core
+} // namespace tts

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Melting-temperature optimizer.
+ *
+ * The paper: "The range of melting temperature available in
+ * commercial grade paraffin allows us to select one with an optimal
+ * melting threshold to reduce the peak cooling load of each cluster,
+ * and the best melting temperature is determined [by] the shape and
+ * length of the load trace: for the Google trace, we find that the
+ * best wax typically begins to melt when a server exceeds 75% load."
+ *
+ * This module sweeps candidate melting temperatures over the
+ * material's available range and returns the one minimizing the peak
+ * cluster cooling load.
+ */
+
+#ifndef TTS_CORE_MELTING_OPTIMIZER_HH
+#define TTS_CORE_MELTING_OPTIMIZER_HH
+
+#include <vector>
+
+#include "core/cooling_study.hh"
+#include "pcm/material.hh"
+#include "server/server_spec.hh"
+#include "workload/trace.hh"
+
+namespace tts {
+namespace core {
+
+/** One point of the melting-temperature sweep. */
+struct MeltSweepPoint
+{
+    /** Candidate melting temperature (C). */
+    double meltTempC;
+    /** Peak cluster cooling load with wax at this temperature (W). */
+    double peakCoolingLoadW;
+    /** Fractional reduction vs. the no-wax baseline. */
+    double peakReduction;
+    /**
+     * Server utilization at which this wax starts melting (melt
+     * fraction first exceeds 2 %), from the recorded run; negative
+     * if it never melts.
+     */
+    double meltOnsetUtilization;
+};
+
+/** Optimizer output. */
+struct MeltOptimum
+{
+    /** Best melting temperature (C). */
+    double meltTempC = 0.0;
+    /** Peak reduction at the optimum. */
+    double peakReduction = 0.0;
+    /** The full sweep (for the ablation bench). */
+    std::vector<MeltSweepPoint> sweep;
+};
+
+/** Optimizer options. */
+struct MeltOptimizerOptions
+{
+    /** Sweep granularity (C). */
+    double stepC = 0.5;
+    /** Restrict to the material's available range intersected with
+     *  [minC, maxC]. */
+    double minC = 30.0;
+    double maxC = 60.0;
+    /** Study options applied to every candidate. */
+    CoolingStudyOptions study;
+};
+
+/**
+ * Sweep melting temperatures and pick the peak-minimizing one.
+ *
+ * @param spec     Platform.
+ * @param trace    Load trace.
+ * @param material PCM; candidate temperatures respect its range.
+ * @param options  Sweep options.
+ */
+MeltOptimum optimizeMeltingTemp(
+    const server::ServerSpec &spec,
+    const workload::WorkloadTrace &trace,
+    const pcm::Material &material = pcm::commercialParaffin(),
+    const MeltOptimizerOptions &options = MeltOptimizerOptions{});
+
+} // namespace core
+} // namespace tts
+
+#endif // TTS_CORE_MELTING_OPTIMIZER_HH

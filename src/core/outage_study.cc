@@ -1,0 +1,85 @@
+#include "core/outage_study.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace core {
+
+namespace {
+
+OutageTrajectory
+runScenario(const server::ServerSpec &spec,
+            const server::WaxConfig &wax,
+            const OutageStudyOptions &opt)
+{
+    server::ServerModel srv(spec, wax);
+    datacenter::RoomModel room(opt.room);
+    const double n = static_cast<double>(opt.serverCount);
+
+    // Pre-outage steady state: plant removes exactly the IT heat,
+    // room at the setpoint.
+    srv.network().setInletTemp(opt.room.setpointC);
+    srv.setLoad(opt.utilization);
+    srv.solveSteadyState();
+
+    OutageTrajectory out;
+    out.roomAirC.setName("room_air_c");
+    out.waxMelt.setName("wax_melt");
+
+    double t = 0.0;
+    out.roomAirC.append(t, room.airTemp());
+    out.waxMelt.append(t, srv.hasWax() ? srv.waxMeltFraction()
+                                       : 0.0);
+    while (t < opt.maxDurationS) {
+        // Servers breathe the room air.
+        srv.network().setInletTemp(room.airTemp());
+        srv.advance(opt.stepS, opt.stepS);
+        double rejected = n * srv.coolingLoad();
+        double removed =
+            opt.residualCoolingFraction * rejected;
+        room.step(opt.stepS, rejected, removed);
+        t += opt.stepS;
+        out.roomAirC.append(t, room.airTemp());
+        out.waxMelt.append(
+            t, srv.hasWax() ? srv.waxMeltFraction() : 0.0);
+        if (room.overLimit()) {
+            out.hitLimit = true;
+            break;
+        }
+    }
+    out.rideThroughS = t;
+    return out;
+}
+
+} // namespace
+
+OutageStudyResult
+runOutageStudy(const server::ServerSpec &spec,
+               const OutageStudyOptions &options)
+{
+    require(options.serverCount >= 1,
+            "runOutageStudy: need at least one server");
+    require(options.utilization >= 0.0 &&
+            options.utilization <= 1.0,
+            "runOutageStudy: utilization must be in [0, 1]");
+    require(options.residualCoolingFraction >= 0.0 &&
+            options.residualCoolingFraction < 1.0,
+            "runOutageStudy: residual fraction must be in [0, 1)");
+    require(options.stepS > 0.0 && options.maxDurationS > 0.0,
+            "runOutageStudy: bad step or horizon");
+
+    OutageStudyResult out;
+    out.noWax = runScenario(spec, server::WaxConfig::placebo(),
+                            options);
+
+    server::WaxConfig wax = options.meltTempC > 0.0
+        ? server::WaxConfig::withMeltTemp(options.meltTempC)
+        : server::WaxConfig::paper();
+    out.withWax = runScenario(spec, wax, options);
+    return out;
+}
+
+} // namespace core
+} // namespace tts

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cooling-failure ride-through study.
+ *
+ * The paper's related work cites chilled-water storage as emergency
+ * datacenter cooling (Garday & Housley; Zheng et al.'s emergencies).
+ * In-server PCM is the passive version: when the plant trips, the
+ * room heats up, the servers' inlet follows the room, the wax-bay
+ * air crosses the melting point, and the charge soaks up part of the
+ * IT heat - buying minutes before the inlet limit forces a shutdown.
+ *
+ * The simulation closes the loop the scale-out studies keep open:
+ * room air temperature feeds back into the representative server's
+ * inlet every step.
+ */
+
+#ifndef TTS_CORE_OUTAGE_STUDY_HH
+#define TTS_CORE_OUTAGE_STUDY_HH
+
+#include "datacenter/room_model.hh"
+#include "server/server_model.hh"
+#include "server/server_spec.hh"
+#include "util/time_series.hh"
+
+namespace tts {
+namespace core {
+
+/** Options for the outage study. */
+struct OutageStudyOptions
+{
+    /** Servers in the room. */
+    std::size_t serverCount = 1008;
+    /** Utilization when the plant trips (and held thereafter). */
+    double utilization = 0.75;
+    /** Room configuration. */
+    datacenter::RoomConfig room;
+    /** Fraction of the heat load still removed during the outage
+     *  (e.g. a surviving CRAH on UPS); 0 = total loss. */
+    double residualCoolingFraction = 0.0;
+    /** Simulation step (s). */
+    double stepS = 5.0;
+    /** Give up after this long (s). */
+    double maxDurationS = 4.0 * 3600.0;
+    /** Melting temperature (C); <= 0 uses the platform default. */
+    double meltTempC = 0.0;
+};
+
+/** One scenario's trajectory. */
+struct OutageTrajectory
+{
+    /** Room air temperature (C). */
+    TimeSeries roomAirC;
+    /** Server inlet == room air; wax melt fraction over time. */
+    TimeSeries waxMelt;
+    /** Time until the room air crossed the limit (s); equal to the
+     *  options' maxDurationS if it never did. */
+    double rideThroughS = 0.0;
+    /** True if the limit was reached within the horizon. */
+    bool hitLimit = false;
+};
+
+/** With/without-wax comparison. */
+struct OutageStudyResult
+{
+    OutageTrajectory noWax;
+    OutageTrajectory withWax;
+
+    /** @return Extra ride-through bought by the wax (s). */
+    double extraRideThroughS() const
+    {
+        return withWax.rideThroughS - noWax.rideThroughS;
+    }
+};
+
+/**
+ * Run the cooling-outage study for one platform.
+ *
+ * @param spec    Platform.
+ * @param options Study options.
+ */
+OutageStudyResult runOutageStudy(
+    const server::ServerSpec &spec,
+    const OutageStudyOptions &options = OutageStudyOptions{});
+
+} // namespace core
+} // namespace tts
+
+#endif // TTS_CORE_OUTAGE_STUDY_HH

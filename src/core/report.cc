@@ -1,0 +1,95 @@
+#include "core/report.hh"
+
+#include <fstream>
+
+#include "util/error.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace core {
+
+void
+writeSeriesCsv(const std::string &path,
+               const std::vector<const TimeSeries *> &series,
+               double dt)
+{
+    require(!series.empty(), "writeSeriesCsv: no series");
+    require(dt > 0.0, "writeSeriesCsv: dt must be > 0");
+    for (const auto *s : series)
+        require(s && !s->empty(), "writeSeriesCsv: empty series");
+
+    std::ofstream out(path);
+    require(out.good(),
+            "writeSeriesCsv: cannot open '" + path + "'");
+
+    std::vector<std::string> headers{"t_hours"};
+    for (const auto *s : series)
+        headers.push_back(s->name().empty() ? "series"
+                                            : s->name());
+    CsvWriter csv(out, headers);
+    double t0 = series[0]->startTime();
+    double t1 = series[0]->endTime();
+    for (double t = t0; t <= t1 + 1e-9; t += dt) {
+        std::vector<double> row{units::toHours(t)};
+        for (const auto *s : series)
+            row.push_back(s->at(t));
+        csv.writeRow(row);
+    }
+}
+
+void
+writePlatformStudyReport(const std::string &dir,
+                         const PlatformStudy &study)
+{
+    writeSeriesCsv(dir + "/fig11_cooling_load.csv",
+                   {&study.cooling.baseline.coolingLoadW,
+                    &study.cooling.withWax.coolingLoadW});
+    writeSeriesCsv(dir + "/fig12_throughput.csv",
+                   {&study.throughput.ideal,
+                    &study.throughput.noWax,
+                    &study.throughput.withWax});
+    writeSeriesCsv(dir + "/wax_state.csv",
+                   {&study.cooling.withWax.waxMeltFraction,
+                    &study.cooling.withWax.waxStoredJ});
+
+    std::ofstream md(dir + "/summary.md");
+    require(md.good(), "writePlatformStudyReport: cannot open "
+            "summary.md in '" + dir + "'");
+    md << "# Platform study: " << study.spec.name << "\n\n";
+    md << "| quantity | value |\n|---|---|\n";
+    md << "| melting temperature | "
+       << formatFixed(study.meltTempC, 1) << " C |\n";
+    md << "| peak cooling load (baseline) | "
+       << formatFixed(study.cooling.peakBaselineW / 1e3, 1)
+       << " kW |\n";
+    md << "| peak cooling load (PCM) | "
+       << formatFixed(study.cooling.peakWithWaxW / 1e3, 1)
+       << " kW |\n";
+    md << "| peak cooling reduction | "
+       << formatFixed(100.0 * study.cooling.peakReduction(), 2)
+       << " % |\n";
+    md << "| smaller-plant savings | $"
+       << formatFixed(study.plan.smallerPlantSavingsPerYear, 0)
+       << " / year |\n";
+    md << "| extra servers | "
+       << study.plan.extraServers << " ("
+       << formatFixed(100.0 * study.plan.extraServerFraction, 1)
+       << " %) |\n";
+    md << "| retrofit savings | $"
+       << formatFixed(study.plan.retrofitSavingsPerYear, 0)
+       << " / year |\n";
+    md << "| constrained throughput gain | "
+       << formatFixed(
+              100.0 * study.throughput.throughputGain(), 1)
+       << " % |\n";
+    md << "| thermal-limit delay | "
+       << formatFixed(study.throughput.delayHours, 1)
+       << " h |\n";
+    md << "| TCO efficiency gain | "
+       << formatFixed(100.0 * study.tcoEfficiencyGain, 1)
+       << " % |\n";
+}
+
+} // namespace core
+} // namespace tts

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Result export: CSV series files and a markdown summary for a full
+ * platform study.
+ *
+ * The bench binaries print human-readable tables; this module writes
+ * the same data as machine-readable artifacts so the figures can be
+ * re-plotted (gnuplot/matplotlib) without re-running the simulator.
+ */
+
+#ifndef TTS_CORE_REPORT_HH
+#define TTS_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/thermal_time_shifting.hh"
+#include "util/time_series.hh"
+
+namespace tts {
+namespace core {
+
+/**
+ * Write several series, resampled onto a shared uniform grid, as one
+ * CSV file with a leading time-in-hours column.
+ *
+ * @param path   Output file path.
+ * @param series Series to write; all must be non-empty.  The grid
+ *               spans the first series' time range.
+ * @param dt     Grid step (s).
+ * @throws FatalError if the file cannot be opened or the series are
+ *         empty.
+ */
+void writeSeriesCsv(const std::string &path,
+                    const std::vector<const TimeSeries *> &series,
+                    double dt = 900.0);
+
+/**
+ * Write a full platform study to a directory:
+ *
+ *   <dir>/fig11_cooling_load.csv   baseline vs. PCM cooling load
+ *   <dir>/fig12_throughput.csv     ideal / no-wax / with-wax
+ *   <dir>/wax_state.csv            melt fraction + stored energy
+ *   <dir>/summary.md               headline numbers
+ *
+ * @param dir   Existing directory to write into.
+ * @param study A completed runPlatformStudy result.
+ */
+void writePlatformStudyReport(const std::string &dir,
+                              const PlatformStudy &study);
+
+} // namespace core
+} // namespace tts
+
+#endif // TTS_CORE_REPORT_HH

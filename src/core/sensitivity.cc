@@ -1,0 +1,158 @@
+#include "core/sensitivity.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datacenter/cluster.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace core {
+
+double
+SensitivityRow::spread() const
+{
+    return std::max(std::abs(reductionLow - reductionNominal),
+                    std::abs(reductionHigh - reductionNominal));
+}
+
+double
+SensitivityRow::reoptimizedSpread() const
+{
+    return std::max(
+        std::abs(reoptimizedLow - reductionNominal),
+        std::abs(reoptimizedHigh - reductionNominal));
+}
+
+std::vector<SensitivityParameter>
+calibrationKnobs()
+{
+    using server::ServerSpec;
+    using server::WaxConfig;
+    return {
+        {"wax bay plume fraction",
+         [](ServerSpec &s, WaxConfig &, double f) {
+             s.waxBayPlume = std::clamp(s.waxBayPlume * f, 0.05,
+                                        1.0);
+         }},
+        {"fan pressure headroom",
+         [](ServerSpec &s, WaxConfig &, double f) {
+             s.fanStiffness = std::max(1.1, s.fanStiffness * f);
+         }},
+        {"nominal airflow",
+         [](ServerSpec &s, WaxConfig &, double f) {
+             s.nominalFlowM3s *= f;
+         }},
+        {"chassis thermal mass",
+         [](ServerSpec &s, WaxConfig &, double f) {
+             s.chassisNode.capacity *= f;
+         }},
+        {"CPU heatsink conductance",
+         [](ServerSpec &s, WaxConfig &, double f) {
+             s.cpuNode.ua0 *= f;
+         }},
+        {"wax heat of fusion",
+         [](ServerSpec &, WaxConfig &w, double f) {
+             w.material.heatOfFusionJPerG *= f;
+         }},
+        {"melting temperature (+/- 1C per 10%)",
+         [](ServerSpec &s, WaxConfig &, double f) {
+             s.defaultMeltTempC += (f - 1.0) * 10.0;
+         }},
+        {"freeze-side conductance derating",
+         [](ServerSpec &, WaxConfig &, double) {
+             // Applied through the element after construction; see
+             // runSensitivity.  The factor is stored via the name
+             // match there.
+         }},
+    };
+}
+
+namespace {
+
+/** Peak reduction for one (spec, wax) pair. */
+double
+reductionOf(const server::ServerSpec &spec,
+            const server::WaxConfig &wax,
+            const workload::WorkloadTrace &trace,
+            const CoolingStudyOptions &options,
+            double freeze_factor_scale)
+{
+    datacenter::Cluster base(spec, server::WaxConfig::none(),
+                             options.serverCount);
+    auto rb = base.run(trace, options.run);
+
+    datacenter::Cluster waxed(spec, wax, options.serverCount);
+    if (freeze_factor_scale != 1.0 &&
+        waxed.representative().hasWax()) {
+        auto *el = waxed.representative().wax();
+        el->setFreezeConductanceFactor(std::clamp(
+            el->freezeConductanceFactor() * freeze_factor_scale,
+            0.01, 1.0));
+    }
+    auto rw = waxed.run(trace, options.run);
+    return (rb.peakCoolingLoad() - rw.peakCoolingLoad()) /
+        rb.peakCoolingLoad();
+}
+
+} // namespace
+
+std::vector<SensitivityRow>
+runSensitivity(const server::ServerSpec &spec,
+               const workload::WorkloadTrace &trace, double delta,
+               std::vector<SensitivityParameter> params,
+               const CoolingStudyOptions &options, bool reoptimize)
+{
+    require(delta > 0.0 && delta < 1.0,
+            "runSensitivity: delta must be in (0, 1)");
+    require(!params.empty(), "runSensitivity: no parameters");
+
+    server::WaxConfig base_wax = server::WaxConfig::paper();
+    double nominal =
+        reductionOf(spec, base_wax, trace, options, 1.0);
+
+    std::vector<SensitivityRow> rows;
+    for (const auto &param : params) {
+        SensitivityRow row;
+        row.name = param.name;
+        row.reductionNominal = nominal;
+        bool is_freeze =
+            param.name.rfind("freeze-side", 0) == 0;
+        for (double f : {1.0 - delta, 1.0 + delta}) {
+            server::ServerSpec s = spec;
+            server::WaxConfig w = base_wax;
+            double freeze_scale = 1.0;
+            if (is_freeze)
+                freeze_scale = f;
+            else
+                param.apply(s, w, f);
+            double red =
+                reductionOf(s, w, trace, options, freeze_scale);
+            (f < 1.0 ? row.reductionLow : row.reductionHigh) = red;
+
+            if (reoptimize) {
+                // Coarse local melt sweep on the perturbed
+                // substrate: the deployable answer.
+                double best = red;
+                for (double dm = -4.0; dm <= 4.0 + 1e-9;
+                     dm += 1.0) {
+                    if (dm == 0.0)
+                        continue;
+                    server::WaxConfig w2 = w;
+                    w2.meltTempC = std::clamp(
+                        s.defaultMeltTempC + dm, 39.0, 60.0);
+                    best = std::max(
+                        best, reductionOf(s, w2, trace, options,
+                                          freeze_scale));
+                }
+                (f < 1.0 ? row.reoptimizedLow
+                         : row.reoptimizedHigh) = best;
+            }
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace core
+} // namespace tts

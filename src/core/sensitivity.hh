@@ -1,0 +1,89 @@
+/**
+ * @file
+ * One-at-a-time sensitivity analysis of the calibrated substrate.
+ *
+ * The reproduction replaces the paper's CFD and testbed with a
+ * calibrated lumped model (DESIGN.md section 6 lists the knobs).
+ * This harness perturbs each calibrated scalar by a relative amount
+ * and re-runs the Section 5.1 study, answering the reviewer
+ * question: *do the headline conclusions survive the calibration
+ * uncertainty?*
+ */
+
+#ifndef TTS_CORE_SENSITIVITY_HH
+#define TTS_CORE_SENSITIVITY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cooling_study.hh"
+#include "server/server_spec.hh"
+#include "workload/trace.hh"
+
+namespace tts {
+namespace core {
+
+/** One perturbable parameter. */
+struct SensitivityParameter
+{
+    /** Display name ("wax bay plume fraction", ...). */
+    std::string name;
+    /**
+     * Applies a relative perturbation to a spec (and/or wax config):
+     * called with (spec, wax, factor) where factor is e.g. 0.9 or
+     * 1.1.
+     */
+    std::function<void(server::ServerSpec &, server::WaxConfig &,
+                       double)> apply;
+};
+
+/** Result row for one parameter. */
+struct SensitivityRow
+{
+    std::string name;
+    /** Peak reduction with the parameter at 1 - delta. */
+    double reductionLow = 0.0;
+    /** Peak reduction at the calibrated value. */
+    double reductionNominal = 0.0;
+    /** Peak reduction at 1 + delta. */
+    double reductionHigh = 0.0;
+    /** Peak reduction at 1 - delta with the melting temperature
+     *  re-optimized for the perturbed substrate. */
+    double reoptimizedLow = 0.0;
+    /** Same at 1 + delta. */
+    double reoptimizedHigh = 0.0;
+
+    /** @return Max |reduction - nominal| across the two ends. */
+    double spread() const;
+
+    /** @return Same, after re-optimizing the melting point. */
+    double reoptimizedSpread() const;
+};
+
+/** The default parameter set: every DESIGN.md calibration knob. */
+std::vector<SensitivityParameter> calibrationKnobs();
+
+/**
+ * Run the one-at-a-time sweep.
+ *
+ * @param spec    Platform (the calibrated baseline).
+ * @param trace   Load trace.
+ * @param delta      Relative perturbation (default 10 %).
+ * @param params     Knobs; defaults to calibrationKnobs().
+ * @param options    Cooling-study options applied per run.
+ * @param reoptimize Also re-optimize the melting temperature for
+ *                   each perturbed substrate (a coarse +/- 4 C
+ *                   local sweep); fills the reoptimized* fields.
+ */
+std::vector<SensitivityRow> runSensitivity(
+    const server::ServerSpec &spec,
+    const workload::WorkloadTrace &trace, double delta = 0.10,
+    std::vector<SensitivityParameter> params = calibrationKnobs(),
+    const CoolingStudyOptions &options = CoolingStudyOptions{},
+    bool reoptimize = false);
+
+} // namespace core
+} // namespace tts
+
+#endif // TTS_CORE_SENSITIVITY_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Section 5.2 experiment: PCM to increase throughput in a thermally
+ * constrained (oversubscribed) datacenter.
+ *
+ * The cooling plant is deliberately smaller than the cluster's peak
+ * heat output.  A governor holds each server at the highest
+ * (frequency, utilization) point whose predicted cooling load fits
+ * the per-server share of the plant capacity: frequency is reduced
+ * first (down to the 1.6 GHz floor the paper uses), then utilization
+ * is shed (the paper's "job relocation").  With wax, melting PCM
+ * absorbs part of the heat, letting servers hold higher clocks until
+ * the wax saturates - which is exactly the paper's Figure 12.
+ */
+
+#ifndef TTS_CORE_THROUGHPUT_STUDY_HH
+#define TTS_CORE_THROUGHPUT_STUDY_HH
+
+#include "server/server_model.hh"
+#include "server/server_spec.hh"
+#include "util/time_series.hh"
+#include "workload/trace.hh"
+
+namespace tts {
+namespace core {
+
+/** Options for the thermally-constrained study. */
+struct ThroughputStudyOptions
+{
+    /** Cluster size. */
+    std::size_t serverCount = 1008;
+    /**
+     * Cooling plant capacity as a fraction of the cluster's peak
+     * wall power at 100 % utilization and nominal frequency.  This
+     * is the oversubscription knob; the paper implies a different
+     * value per platform (its Figure 12 gains differ).
+     */
+    double coolingCapacityFraction = 0.85;
+    /** Melting temperature (C); <= 0 uses the platform default. */
+    double meltTempC = 0.0;
+    /** Governor control interval (s). */
+    double controlIntervalS = 300.0;
+    /** Inner thermal step (s). */
+    double thermalStepS = 5.0;
+    /** Warm-up days before recording. */
+    int warmupDays = 1;
+};
+
+/** Results (throughputs normalized to the no-wax peak == 1.0). */
+struct ThroughputStudyResult
+{
+    /** Demanded throughput with no thermal limit. */
+    TimeSeries ideal;
+    /** Delivered throughput without wax. */
+    TimeSeries noWax;
+    /** Delivered throughput with wax. */
+    TimeSeries withWax;
+    /** Cluster cooling load without wax (W). */
+    TimeSeries noWaxCoolingW;
+    /** Cluster cooling load with wax (W). */
+    TimeSeries withWaxCoolingW;
+    /** Frequency chosen by the governor without wax (GHz). */
+    TimeSeries noWaxFreq;
+    /** Frequency chosen by the governor with wax (GHz). */
+    TimeSeries withWaxFreq;
+    /** Wax melt fraction. */
+    TimeSeries waxMelt;
+
+    /** Plant capacity (W). */
+    double capacityW = 0.0;
+    /** Melting temperature used for the constrained study (C). */
+    double meltTempC = 0.0;
+    /** Absolute throughput equal to normalized 1.0. */
+    double normalization = 0.0;
+    /** Peak normalized throughput, ideal. */
+    double peakIdeal = 0.0;
+    /** Peak normalized throughput, no wax (== 1 by construction). */
+    double peakNoWax = 0.0;
+    /** Peak normalized throughput, with wax. */
+    double peakWithWax = 0.0;
+    /** Hours by which wax delays the onset of throttling. */
+    double delayHours = 0.0;
+    /**
+     * Work denied by the thermal limit without wax, as a fraction
+     * of total demanded work - what must be relocated to other
+     * datacenters or dropped (the paper's alternative to
+     * downclocking).
+     */
+    double deniedWorkFractionNoWax = 0.0;
+    /** Same with wax. */
+    double deniedWorkFractionWithWax = 0.0;
+
+    /** @return Fractional peak-throughput gain from PCM. */
+    double throughputGain() const
+    {
+        return peakWithWax / peakNoWax - 1.0;
+    }
+};
+
+/**
+ * Run the Section 5.2 study.
+ *
+ * @param spec    Platform.
+ * @param trace   Normalized load trace.
+ * @param options Study options.
+ */
+ThroughputStudyResult runThroughputStudy(
+    const server::ServerSpec &spec,
+    const workload::WorkloadTrace &trace,
+    const ThroughputStudyOptions &options = ThroughputStudyOptions{});
+
+/**
+ * The per-platform oversubscription fractions calibrated so the
+ * study reproduces the paper's Figure 12 gains (33 % / 69 % / 34 %).
+ *
+ * @param spec Platform (matched by name family).
+ */
+double calibratedCapacityFraction(const server::ServerSpec &spec);
+
+} // namespace core
+} // namespace tts
+
+#endif // TTS_CORE_THROUGHPUT_STUDY_HH

@@ -1,0 +1,359 @@
+#include "core/validation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "pcm/container.hh"
+#include "pcm/material.hh"
+#include "pcm/pcm_element.hh"
+#include "server/server_model.hh"
+#include "server/server_spec.hh"
+#include "thermal/network.hh"
+#include "util/error.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace core {
+
+namespace {
+
+using server::ServerModel;
+using server::ServerSpec;
+using server::WaxConfig;
+
+/** The sealed aluminum validation box: ~100 ml interior. */
+pcm::BoxSpec
+validationBox()
+{
+    pcm::BoxSpec b;
+    b.lengthM = 0.12;   // Along the airflow.
+    b.widthM = 0.08;
+    b.heightM = 0.014;  // A thin slab, melts from the faces.
+    b.fillFraction = 0.9;  // 90 ml wax + 10 ml expansion headspace.
+    return b;
+}
+
+/** Thermal conductivity of solid paraffin (W/(m K)). */
+constexpr double paraffinConductivity = 0.25;
+
+/**
+ * Higher-fidelity reference server standing in for the physical
+ * RD330: shelled wax, perturbed constants, same power decomposition.
+ */
+class ReferenceServer
+{
+  public:
+    ReferenceServer(bool with_wax, const ValidationOptions &opt)
+        : spec_(server::rd330Spec()),
+          probe_(spec_, WaxConfig::none()),
+          box_weight_(opt.sensorBoxWeight)
+    {
+        pcm::BoxSpec box = validationBox();
+        bank_.emplace(box, 1, spec_.ductAreaM2);
+
+        thermal::AirflowModel airflow = spec_.makeAirflow();
+        airflow.setBlockage(bank_->blockageFraction());
+        net_ = std::make_unique<thermal::ServerThermalNetwork>(
+            airflow, server::ZoneCount, spec_.inletTempC);
+
+        // Perturb the datasheet constants: the real chassis never
+        // matches the model exactly.
+        const double d = opt.modelMismatch;
+        auto cap = [d](double c, double sign) {
+            return c * (1.0 + sign * d);
+        };
+        double vref = spec_.fans.speedAt(1.0) *
+            spec_.nominalVelocity();
+        auto coupling = [&](double ua0, double sign) {
+            return thermal::ConvectiveCoupling{
+                ua0 * (1.0 + sign * 0.6 * d), vref, 0.8};
+        };
+
+        double t0 = spec_.inletTempC;
+        front_ = net_->addCapacityNode(
+            "front", cap(spec_.frontNode.capacity, +1.0),
+            coupling(spec_.frontNode.ua0, -1.0), server::ZoneFront,
+            t0);
+        dram_ = net_->addCapacityNode(
+            "dram", cap(spec_.dramNode.capacity, -1.0),
+            coupling(spec_.dramNode.ua0, +1.0), server::ZoneDram,
+            t0);
+        chassis_ = net_->addCapacityNode(
+            "chassis", cap(spec_.chassisNode.capacity, +1.0),
+            coupling(spec_.chassisNode.ua0, +1.0), server::ZoneDram,
+            t0);
+        cpu_ = net_->addCapacityNode(
+            "cpu", cap(spec_.cpuNode.capacity, -1.0),
+            coupling(spec_.cpuNode.ua0, +1.0), server::ZoneCpu, t0);
+        psu_ = net_->addCapacityNode(
+            "psu", cap(spec_.psuNode.capacity, +1.0),
+            coupling(spec_.psuNode.ua0, -1.0), server::ZoneRear, t0);
+        net_->addConduction(cpu_, chassis_, 1.0 * (1.0 + d));
+        net_->setZonePlumeFraction(server::ZoneCpu,
+                                   spec_.cpuZonePlume);
+        net_->setZonePlumeFraction(server::ZoneWaxBay,
+                                   spec_.waxBayPlume);
+
+        if (with_wax) {
+            buildShelledWax(opt);
+        } else {
+            // Placebo: empty box = shell capacity + air coupling.
+            double c = bank_->shellMass() *
+                units::aluminumSpecificHeat;
+            double v = net_->airflow().velocityAtBlockage();
+            thermal::ConvectiveCoupling cc{
+                bank_->conductanceAt(v), std::max(v, 0.05), 0.8};
+            placebo_node_ = net_->addCapacityNode(
+                "placebo", c, cc, server::ZoneWaxBay, t0,
+                thermal::VelocityRef::Constriction);
+        }
+    }
+
+    void
+    setLoad(double util)
+    {
+        probe_.setLoad(util);
+        auto copy_power = [&](const char *name, int node) {
+            int src = probe_.network().findNode(name);
+            invariant(src >= 0, "ReferenceServer: probe node missing");
+            net_->setNodePower(node, probe_.network().nodePower(src));
+        };
+        copy_power("front", front_);
+        copy_power("dram", dram_);
+        copy_power("chassis", chassis_);
+        copy_power("cpu", cpu_);
+        copy_power("psu", psu_);
+        net_->setDirectAirPower(
+            server::ZoneFront,
+            probe_.network().directAirPower(server::ZoneFront));
+        net_->airflow().setFanSpeed(
+            probe_.network().airflow().fanSpeed());
+    }
+
+    void advance(double dt) { net_->advance(dt, 1.0); }
+    void settle() { net_->solveSteadyState(); }
+
+    /** Temperature the sensor near the box reads (C), noiseless:
+     *  a blend of local air and box surface. */
+    double
+    boxAreaTemp() const
+    {
+        double air = net_->zoneAirTemp(server::ZoneWaxBay);
+        double box = air;
+        if (!shells_.empty())
+            box = shells_.front()->temperature();
+        else if (placebo_node_ >= 0)
+            box = net_->nodeTemperature(placebo_node_);
+        return (1.0 - box_weight_) * air + box_weight_ * box;
+    }
+
+    double
+    meltFraction() const
+    {
+        if (shells_.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const auto &s : shells_)
+            sum += s->meltFraction();
+        return sum / static_cast<double>(shells_.size());
+    }
+
+  private:
+    void
+    buildShelledWax(const ValidationOptions &opt)
+    {
+        // Slice the slab into opt.shells layers through its
+        // thickness; the outer layer touches the air, inner layers
+        // conduct through solid wax.
+        const std::size_t k = std::max<std::size_t>(opt.shells, 1);
+        pcm::BoxSpec box = validationBox();
+        // The outermost shell keeps the full box exterior (it is the
+        // layer the air actually touches) but holds only 1/k of the
+        // charge; interior shells are air-decoupled mass slices.
+        pcm::BoxSpec outer = box;
+        outer.fillFraction = box.fillFraction / static_cast<double>(k);
+        pcm::BoxSpec slice = box;
+        slice.lengthM = box.lengthM / static_cast<double>(k);
+        pcm::Material wax_mat = pcm::commercialParaffin();
+        int prev = -1;
+        for (std::size_t i = 0; i < k; ++i) {
+            shell_banks_.push_back(pcm::ContainerBank(
+                i == 0 ? outer : slice, 1, spec_.ductAreaM2));
+            shells_.push_back(std::make_unique<pcm::PcmElement>(
+                wax_mat, shell_banks_.back(), opt.meltTempC,
+                spec_.inletTempC, 2.0));
+            // The explicit shell chain already models the insulating
+            // solid layer; do not derate the release path twice.
+            shells_.back()->setFreezeConductanceFactor(1.0);
+            int node = net_->addPcmNode(
+                "wax_shell_" + std::to_string(i),
+                shells_.back().get(), server::ZoneWaxBay,
+                /*air_coupled=*/i == 0);
+            if (prev >= 0) {
+                // Conduction between adjacent layers of the slab.
+                double area = 2.0 * box.lengthM * box.widthM;
+                double dx = box.heightM / static_cast<double>(k);
+                double g = paraffinConductivity * area / dx;
+                net_->addConduction(prev, node, g);
+            }
+            prev = node;
+        }
+    }
+
+    ServerSpec spec_;
+    ServerModel probe_;
+    std::optional<pcm::ContainerBank> bank_;
+    std::vector<pcm::ContainerBank> shell_banks_;
+    std::vector<std::unique_ptr<pcm::PcmElement>> shells_;
+    std::unique_ptr<thermal::ServerThermalNetwork> net_;
+    int front_ = -1, dram_ = -1, chassis_ = -1, cpu_ = -1, psu_ = -1;
+    int placebo_node_ = -1;
+    double box_weight_;
+};
+
+/** Production (coarse) model with the validation box. */
+ServerModel
+makeProductionModel(bool with_wax, const ValidationOptions &opt)
+{
+    WaxConfig cfg;
+    cfg.mode = with_wax ? WaxConfig::Mode::Wax
+                        : WaxConfig::Mode::Placebo;
+    cfg.meltTempC = opt.meltTempC;
+    cfg.boxCount = 1;
+    cfg.explicitBox = validationBox();
+    return ServerModel(server::rd330Spec(), cfg);
+}
+
+} // namespace
+
+ValidationResult
+runValidation(const ValidationOptions &options)
+{
+    require(options.shells >= 1, "runValidation: need >= 1 shell");
+    Rng noise(options.seed);
+
+    ReferenceServer real_wax(true, options);
+    ReferenceServer real_placebo(false, options);
+    ServerModel model_wax = makeProductionModel(true, options);
+    ServerModel model_placebo = makeProductionModel(false, options);
+
+    ValidationResult out;
+    out.realWax.setName("real_wax");
+    out.realPlacebo.setName("real_placebo");
+    out.modelWax.setName("icepak_wax");
+    out.modelPlacebo.setName("icepak_placebo");
+    out.realMelt.setName("real_melt");
+    out.modelMelt.setName("model_melt");
+
+    // Everything starts settled at idle (the paper idles first).
+    real_wax.setLoad(0.0);
+    real_wax.settle();
+    real_placebo.setLoad(0.0);
+    real_placebo.settle();
+    model_wax.setLoad(0.0);
+    model_wax.solveSteadyState();
+    model_placebo.setLoad(0.0);
+    model_placebo.solveSteadyState();
+
+    const double t_load_start = units::hours(options.idleHoursBefore);
+    const double t_load_end =
+        t_load_start + units::hours(options.loadHours);
+    const double t_end =
+        t_load_end + units::hours(options.idleHoursAfter);
+
+    for (double t = 0.0; t <= t_end;
+         t += options.sampleIntervalS) {
+        double util = (t >= t_load_start && t < t_load_end)
+            ? 1.0 : 0.0;
+        real_wax.setLoad(util);
+        real_placebo.setLoad(util);
+        model_wax.setLoad(util);
+        model_placebo.setLoad(util);
+
+        auto model_sensor = [&](ServerModel &m) {
+            double air = m.waxBayAirTemp();
+            double box = m.hasBay() ? m.bayNodeTemp() : air;
+            return (1.0 - options.sensorBoxWeight) * air +
+                options.sensorBoxWeight * box;
+        };
+        out.realWax.append(
+            t, real_wax.boxAreaTemp() +
+                   noise.normal(0.0, options.sensorNoiseC));
+        out.realPlacebo.append(
+            t, real_placebo.boxAreaTemp() +
+                   noise.normal(0.0, options.sensorNoiseC));
+        out.modelWax.append(t, model_sensor(model_wax));
+        out.modelPlacebo.append(t, model_sensor(model_placebo));
+        out.realMelt.append(t, real_wax.meltFraction());
+        out.modelMelt.append(t, model_wax.waxMeltFraction());
+
+        if (t < t_end) {
+            double dt = std::min(options.sampleIntervalS, t_end - t);
+            real_wax.advance(dt);
+            real_placebo.advance(dt);
+            model_wax.advance(dt, 1.0);
+            model_placebo.advance(dt, 1.0);
+        }
+    }
+
+    // Steady-state metric: the back half of the load phase (the
+    // paper uses hours 6-12 of its 12 h load).
+    std::vector<double> real_ss, model_ss, realp_ss, modelp_ss;
+    double ss_begin =
+        t_load_start + 0.5 * (t_load_end - t_load_start);
+    for (std::size_t i = 0; i < out.realWax.size(); ++i) {
+        double t = out.realWax.times()[i];
+        if (t >= ss_begin && t <= t_load_end) {
+            real_ss.push_back(out.realWax.values()[i]);
+            model_ss.push_back(out.modelWax.values()[i]);
+            realp_ss.push_back(out.realPlacebo.values()[i]);
+            modelp_ss.push_back(out.modelPlacebo.values()[i]);
+        }
+    }
+    out.steadyStateMeanDiffC =
+        meanAbsoluteDifference(real_ss, model_ss);
+    out.steadyStatePlaceboDiffC =
+        meanAbsoluteDifference(realp_ss, modelp_ss);
+    out.traceCorrelation = pearsonCorrelation(
+        out.realWax.values(), out.modelWax.values());
+
+    // Wall power and package temperature checks (Section 3 text).
+    model_placebo.setLoad(0.0);
+    out.idleWallW = model_placebo.wallPower();
+    model_placebo.solveSteadyState();
+    out.idlePackageC = model_placebo.cpuJunctionTemp();
+    model_placebo.setLoad(1.0);
+    out.loadWallW = model_placebo.wallPower();
+    model_placebo.solveSteadyState();
+    out.loadPackageC = model_placebo.cpuJunctionTemp();
+
+    // Wax effect windows on the reference traces.
+    auto effect_hours = [&](double from, double to, bool cooling) {
+        double total = 0.0;
+        for (std::size_t i = 1; i < out.realWax.size(); ++i) {
+            double t = out.realWax.times()[i];
+            if (t <= from || t > to)
+                continue;
+            double diff = out.realPlacebo.values()[i] -
+                out.realWax.values()[i];
+            if (!cooling)
+                diff = -diff;
+            if (diff > 0.3)
+                total += out.realWax.times()[i] -
+                    out.realWax.times()[i - 1];
+        }
+        return units::toHours(total);
+    };
+    out.waxCoolingEffectHours =
+        effect_hours(t_load_start, t_load_end, true);
+    out.waxWarmingEffectHours =
+        effect_hours(t_load_end, t_end, false);
+    return out;
+}
+
+} // namespace core
+} // namespace tts

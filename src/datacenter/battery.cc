@@ -1,0 +1,84 @@
+#include "datacenter/battery.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace datacenter {
+
+BatteryBank::BatteryBank(const BatteryConfig &config)
+    : config_(config),
+      stored_j_(config.initialSoc * config.energyCapacityJ)
+{
+    require(config.energyCapacityJ > 0.0,
+            "BatteryBank: capacity must be > 0");
+    require(config.maxDischargeW > 0.0 && config.maxChargeW > 0.0,
+            "BatteryBank: power ratings must be > 0");
+    require(config.roundTripEfficiency > 0.0 &&
+            config.roundTripEfficiency <= 1.0,
+            "BatteryBank: efficiency must be in (0, 1]");
+    require(config.initialSoc >= 0.0 && config.initialSoc <= 1.0,
+            "BatteryBank: initial SoC must be in [0, 1]");
+}
+
+double
+BatteryBank::stateOfCharge() const
+{
+    return stored_j_ / config_.energyCapacityJ;
+}
+
+double
+BatteryBank::step(double dt, double demand_w, double cap_w)
+{
+    require(dt > 0.0, "BatteryBank::step: dt must be > 0");
+    require(demand_w >= 0.0 && cap_w >= 0.0,
+            "BatteryBank::step: power must be >= 0");
+    if (demand_w > cap_w) {
+        // Discharge to cover the excess.
+        double want = demand_w - cap_w;
+        double can = std::min(config_.maxDischargeW,
+                              stored_j_ / dt);
+        double discharge = std::min(want, can);
+        stored_j_ -= discharge * dt;
+        return demand_w - discharge;
+    }
+    // Recharge with the headroom; charging losses are charged
+    // against the grid (round-trip efficiency applied on the way in).
+    double headroom = cap_w - demand_w;
+    double space = config_.energyCapacityJ - stored_j_;
+    double charge = std::min({config_.maxChargeW, headroom,
+                              space / dt /
+                                  config_.roundTripEfficiency});
+    stored_j_ += charge * config_.roundTripEfficiency * dt;
+    return demand_w + charge;
+}
+
+ShavingResult
+BatteryBank::shave(const TimeSeries &demand_w, double cap_w)
+{
+    require(demand_w.size() >= 2, "BatteryBank::shave: series too "
+            "short");
+    ShavingResult out;
+    out.gridPowerW.setName("grid_w");
+    out.stateOfCharge.setName("soc");
+    out.peakDemandW = demand_w.max();
+
+    const auto &times = demand_w.times();
+    out.gridPowerW.append(times[0], demand_w.values()[0]);
+    out.stateOfCharge.append(times[0], stateOfCharge());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        double dt = times[i] - times[i - 1];
+        double grid = step(dt, demand_w.values()[i], cap_w);
+        if (grid > cap_w + 1e-9)
+            out.capViolationS += dt;
+        out.gridPowerW.append(times[i], grid);
+        out.stateOfCharge.append(times[i], stateOfCharge());
+    }
+    out.peakGridW = out.gridPowerW.max();
+    return out;
+}
+
+} // namespace datacenter
+} // namespace tts

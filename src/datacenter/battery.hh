@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Distributed UPS battery bank for power peak shaving.
+ *
+ * The paper positions PCM as "complementary to UPS power
+ * oversubscription" (Kontorinis et al., Govindan et al.): batteries
+ * flatten the *electrical* demand peak while the wax flattens the
+ * *thermal* one.  This module implements the battery side so the two
+ * techniques can be studied together: a bank with finite energy and
+ * power ratings shaves the facility's grid draw above a cap and
+ * recharges below it.
+ */
+
+#ifndef TTS_DATACENTER_BATTERY_HH
+#define TTS_DATACENTER_BATTERY_HH
+
+#include "util/time_series.hh"
+
+namespace tts {
+namespace datacenter {
+
+/** Battery bank configuration. */
+struct BatteryConfig
+{
+    /** Usable energy capacity (J). */
+    double energyCapacityJ;
+    /** Maximum discharge power (W). */
+    double maxDischargeW;
+    /** Maximum charge power (W). */
+    double maxChargeW;
+    /** Round-trip efficiency in (0, 1]. */
+    double roundTripEfficiency = 0.85;
+    /** Initial state of charge in [0, 1]. */
+    double initialSoc = 1.0;
+};
+
+/** Result of shaving a demand series against a grid cap. */
+struct ShavingResult
+{
+    /** Grid draw after shaving (W). */
+    TimeSeries gridPowerW;
+    /** Battery state of charge over time. */
+    TimeSeries stateOfCharge;
+    /** Peak grid draw before shaving (W). */
+    double peakDemandW = 0.0;
+    /** Peak grid draw after shaving (W). */
+    double peakGridW = 0.0;
+    /** Total time the cap was exceeded anyway (battery empty) (s). */
+    double capViolationS = 0.0;
+
+    /** @return Fractional peak reduction. */
+    double peakReduction() const
+    {
+        return peakDemandW > 0.0
+            ? (peakDemandW - peakGridW) / peakDemandW
+            : 0.0;
+    }
+};
+
+/** A UPS battery bank with a cap-and-recharge policy. */
+class BatteryBank
+{
+  public:
+    explicit BatteryBank(const BatteryConfig &config);
+
+    /** @return Stored energy (J). */
+    double storedEnergy() const { return stored_j_; }
+
+    /** @return State of charge in [0, 1]. */
+    double stateOfCharge() const;
+
+    /**
+     * Advance one step against a demand and a grid cap: discharge to
+     * keep the grid draw at or below the cap, recharge with any
+     * headroom below it.
+     *
+     * @param dt       Step (s).
+     * @param demand_w IT + cooling demand (W).
+     * @param cap_w    Grid cap (W).
+     * @return Grid power drawn this step (W).
+     */
+    double step(double dt, double demand_w, double cap_w);
+
+    /**
+     * Run the cap-and-recharge policy over a whole demand series.
+     *
+     * @param demand_w Demand over time (W).
+     * @param cap_w    Grid cap (W).
+     */
+    ShavingResult shave(const TimeSeries &demand_w, double cap_w);
+
+    /** @return The configuration. */
+    const BatteryConfig &config() const { return config_; }
+
+  private:
+    BatteryConfig config_;
+    double stored_j_;
+};
+
+} // namespace datacenter
+} // namespace tts
+
+#endif // TTS_DATACENTER_BATTERY_HH

@@ -1,0 +1,98 @@
+#include "datacenter/chilled_water.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace datacenter {
+
+namespace {
+/** Density of water (kg/m^3). */
+constexpr double waterDensity = 998.0;
+/** Specific heat of water (J/(kg K)). */
+constexpr double waterSpecificHeat = 4186.0;
+} // namespace
+
+ChilledWaterTank::ChilledWaterTank(const ChilledWaterConfig &config)
+    : config_(config),
+      stored_j_(config.initialFill * 0.0)
+{
+    require(config.volumeM3 > 0.0,
+            "ChilledWaterTank: volume must be > 0");
+    require(config.deltaTK > 0.0,
+            "ChilledWaterTank: delta T must be > 0");
+    require(config.maxDischargeW > 0.0 && config.maxRechargeW > 0.0,
+            "ChilledWaterTank: rates must be > 0");
+    require(config.standbyLossPerDay >= 0.0 &&
+            config.standbyLossPerDay < 1.0,
+            "ChilledWaterTank: standby loss must be in [0, 1)");
+    require(config.initialFill >= 0.0 && config.initialFill <= 1.0,
+            "ChilledWaterTank: initial fill must be in [0, 1]");
+    stored_j_ = config.initialFill * capacity();
+}
+
+double
+ChilledWaterTank::capacity() const
+{
+    return config_.volumeM3 * waterDensity * waterSpecificHeat *
+        config_.deltaTK;
+}
+
+TesShaveResult
+ChilledWaterTank::shave(const TimeSeries &load_w, double cap_w)
+{
+    require(load_w.size() >= 2,
+            "ChilledWaterTank::shave: series too short");
+    TesShaveResult out;
+    out.plantLoadW.setName("plant_load_w");
+    out.storedJ.setName("stored_j");
+    out.peakLoadW = load_w.max();
+
+    const double cap_j = capacity();
+    const auto &times = load_w.times();
+    out.plantLoadW.append(times[0], load_w.values()[0]);
+    out.storedJ.append(times[0], stored_j_);
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        double dt = times[i] - times[i - 1];
+        double load = std::max(load_w.values()[i], 0.0);
+
+        // Standby loss: the environment warms the tank whether it
+        // is used or not (the paper's point about outdoor tanks).
+        double loss = stored_j_ *
+            (config_.standbyLossPerDay * dt / units::days(1.0));
+        stored_j_ -= loss;
+        out.standbyLossJ += loss;
+
+        double plant = load;
+        bool pumping = false;
+        if (load > cap_w && stored_j_ > 0.0) {
+            double want = load - cap_w;
+            double can = std::min(config_.maxDischargeW,
+                                  stored_j_ / dt);
+            double discharge = std::min(want, can);
+            stored_j_ -= discharge * dt;
+            plant = load - discharge;
+            pumping = true;
+        } else if (load < cap_w && stored_j_ < cap_j) {
+            double headroom = cap_w - load;
+            double recharge = std::min(
+                {config_.maxRechargeW, headroom,
+                 (cap_j - stored_j_) / dt});
+            stored_j_ += recharge * dt;
+            plant = load + recharge;
+            pumping = recharge > 0.0;
+        }
+        if (pumping)
+            out.pumpEnergyJ += config_.pumpPowerW * dt;
+        out.plantLoadW.append(times[i], plant);
+        out.storedJ.append(times[i], stored_j_);
+    }
+    out.peakPlantW = out.plantLoadW.max();
+    return out;
+}
+
+} // namespace datacenter
+} // namespace tts

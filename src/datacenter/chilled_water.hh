@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Chilled-water thermal energy storage (the paper's Section 6
+ * comparator, Zheng et al.'s TE-Shave and the ASHRAE "cool TES"
+ * literature).
+ *
+ * A tank of chilled water stores sensible cooling capacity: charged
+ * off-peak by running the chillers harder, discharged during the
+ * peak to shave the plant load.  Unlike in-server PCM it is an
+ * *active* system: it needs pumps while in use, loses capacity
+ * standing by (environmental gains), and takes floor space outside
+ * the datacenter.  This model quantifies those overheads so the
+ * PCM-vs-TES comparison in the paper's related work can be
+ * reproduced as numbers.
+ */
+
+#ifndef TTS_DATACENTER_CHILLED_WATER_HH
+#define TTS_DATACENTER_CHILLED_WATER_HH
+
+#include "util/time_series.hh"
+
+namespace tts {
+namespace datacenter {
+
+/** Chilled-water tank configuration. */
+struct ChilledWaterConfig
+{
+    /** Tank volume (m^3). */
+    double volumeM3;
+    /** Usable temperature swing of the stored water (K). */
+    double deltaTK = 10.0;
+    /** Maximum discharge (cooling) rate (W). */
+    double maxDischargeW;
+    /** Maximum recharge rate (W). */
+    double maxRechargeW;
+    /** Fraction of stored capacity lost per day standing by. */
+    double standbyLossPerDay = 0.03;
+    /** Pump power while charging or discharging (W). */
+    double pumpPowerW = 0.0;
+    /** Initial fill fraction in [0, 1]. */
+    double initialFill = 1.0;
+};
+
+/** Result of shaving a cooling-load series with the tank. */
+struct TesShaveResult
+{
+    /** Plant load after shaving (W). */
+    TimeSeries plantLoadW;
+    /** Stored cooling capacity over time (J). */
+    TimeSeries storedJ;
+    /** Peak plant load before shaving (W). */
+    double peakLoadW = 0.0;
+    /** Peak plant load after shaving (W). */
+    double peakPlantW = 0.0;
+    /** Pump energy spent (J). */
+    double pumpEnergyJ = 0.0;
+    /** Capacity lost to standby/environmental gains (J). */
+    double standbyLossJ = 0.0;
+
+    /** @return Fractional peak reduction. */
+    double peakReduction() const
+    {
+        return peakLoadW > 0.0
+            ? (peakLoadW - peakPlantW) / peakLoadW
+            : 0.0;
+    }
+};
+
+/** A chilled-water storage tank with a cap-and-recharge policy. */
+class ChilledWaterTank
+{
+  public:
+    explicit ChilledWaterTank(const ChilledWaterConfig &config);
+
+    /** @return Usable storage capacity (J). */
+    double capacity() const;
+
+    /** @return Stored cooling capacity (J). */
+    double stored() const { return stored_j_; }
+
+    /**
+     * Run the cap policy over a cooling-load series: discharge to
+     * hold the plant at or below the cap, recharge below it, decay
+     * by the standby loss throughout.
+     *
+     * @param load_w Cooling load over time (W).
+     * @param cap_w  Plant cap (W).
+     */
+    TesShaveResult shave(const TimeSeries &load_w, double cap_w);
+
+    /** @return The configuration. */
+    const ChilledWaterConfig &config() const { return config_; }
+
+  private:
+    ChilledWaterConfig config_;
+    double stored_j_;
+};
+
+} // namespace datacenter
+} // namespace tts
+
+#endif // TTS_DATACENTER_CHILLED_WATER_HH

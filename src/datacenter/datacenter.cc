@@ -1,0 +1,56 @@
+#include "datacenter/datacenter.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace datacenter {
+
+Datacenter::Datacenter(const server::ServerSpec &spec,
+                       const DatacenterConfig &config)
+    : spec_(spec), config_(config)
+{
+    require(config.criticalPowerW > 0.0,
+            "Datacenter: critical power must be > 0");
+    require(config.serversPerCluster >= 1,
+            "Datacenter: servers per cluster must be >= 1");
+    per_server_w_ = config.provisionedPerServerW > 0.0
+        ? config.provisionedPerServerW
+        : spec.peakWallPowerW;
+    if (config.clusterCountOverride > 0) {
+        cluster_count_ = config.clusterCountOverride;
+    } else {
+        double per_cluster = per_server_w_ *
+            static_cast<double>(config.serversPerCluster);
+        cluster_count_ = static_cast<std::size_t>(
+            config.criticalPowerW / per_cluster);
+        require(cluster_count_ >= 1,
+                "Datacenter: critical power too small for one "
+                "cluster");
+    }
+}
+
+TimeSeries
+Datacenter::scaleToDatacenter(const TimeSeries &cluster_series) const
+{
+    return cluster_series.scaled(
+        static_cast<double>(cluster_count_));
+}
+
+std::size_t
+Datacenter::extraServersForCoolingReduction(
+    double peak_reduction_fraction) const
+{
+    require(peak_reduction_fraction >= 0.0 &&
+            peak_reduction_fraction < 1.0,
+            "Datacenter: reduction fraction must be in [0, 1)");
+    // The plant was sized for N servers at full per-server demand;
+    // with demand scaled by (1 - r) it supports N / (1 - r).
+    double n = static_cast<double>(serverCount());
+    double supported = n / (1.0 - peak_reduction_fraction);
+    return static_cast<std::size_t>(supported - n);
+}
+
+} // namespace datacenter
+} // namespace tts

@@ -1,0 +1,71 @@
+#include "datacenter/free_cooling.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace datacenter {
+
+double
+AmbientModel::at(double t_s) const
+{
+    double hour = std::fmod(t_s / 3600.0, 24.0);
+    if (hour < 0.0)
+        hour += 24.0;
+    double phase = 2.0 * M_PI * (hour - peakHour) / 24.0;
+    return meanC + amplitudeC * std::cos(phase);
+}
+
+double
+AmbientModel::troughHour() const
+{
+    double trough = peakHour + 12.0;
+    return trough >= 24.0 ? trough - 24.0 : trough;
+}
+
+double
+EconomizerCoolingModel::copAt(double ambient_c) const
+{
+    if (ambient_c <= freeCoolingBelowC)
+        return freeCop;
+    double assist = returnAirC - ambient_c;
+    double cop = mechanicalCop +
+        (assist > 0.0 ? copPerDegree * assist : 0.0);
+    return std::min(cop, freeCop);
+}
+
+double
+EconomizerCoolingModel::electricPower(double load_w,
+                                      double ambient_c) const
+{
+    require(load_w >= 0.0,
+            "EconomizerCoolingModel: load must be >= 0");
+    return load_w / copAt(ambient_c);
+}
+
+TimeSeries
+EconomizerCoolingModel::electricSeries(
+    const TimeSeries &load_w, const AmbientModel &ambient) const
+{
+    TimeSeries out("cooling_electric_w");
+    for (std::size_t i = 0; i < load_w.size(); ++i) {
+        double t = load_w.times()[i];
+        double load = std::max(load_w.values()[i], 0.0);
+        out.append(t, electricPower(load, ambient.at(t)));
+    }
+    return out;
+}
+
+double
+EconomizerCoolingModel::electricEnergy(
+    const TimeSeries &load_w, const AmbientModel &ambient) const
+{
+    auto elec = electricSeries(load_w, ambient);
+    require(elec.size() >= 2,
+            "EconomizerCoolingModel: series too short");
+    return elec.integral(elec.startTime(), elec.endTime());
+}
+
+} // namespace datacenter
+} // namespace tts

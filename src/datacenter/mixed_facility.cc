@@ -1,0 +1,60 @@
+#include "datacenter/mixed_facility.hh"
+
+#include "util/error.hh"
+
+namespace tts {
+namespace datacenter {
+
+MixedFacility::MixedFacility(std::vector<FacilityPool> pools)
+    : pools_(std::move(pools))
+{
+    require(!pools_.empty(), "MixedFacility: need at least one pool");
+    for (const auto &p : pools_) {
+        require(p.clusters >= 1,
+                "MixedFacility: every pool needs >= 1 cluster");
+        p.spec.validate();
+    }
+}
+
+std::size_t
+MixedFacility::serverCount() const
+{
+    std::size_t total = 0;
+    for (const auto &p : pools_)
+        total += p.clusters * Cluster::defaultServerCount;
+    return total;
+}
+
+MixedFacilityResult
+MixedFacility::run(const workload::WorkloadTrace &trace,
+                   const ClusterRunOptions &options)
+{
+    MixedFacilityResult out;
+    bool first = true;
+    for (const auto &pool : pools_) {
+        Cluster cluster(pool.spec, pool.wax);
+        auto r = cluster.run(trace, options);
+        double scale = static_cast<double>(pool.clusters);
+        auto cooling = r.coolingLoadW.scaled(scale);
+        auto it = r.itPowerW.scaled(scale);
+        out.poolCoolingW.push_back(cooling);
+        if (first) {
+            out.coolingLoadW = cooling;
+            out.itPowerW = it;
+            first = false;
+        } else {
+            out.coolingLoadW = TimeSeries::combine(
+                out.coolingLoadW, cooling,
+                [](double a, double b) { return a + b; },
+                "cooling_load_w");
+            out.itPowerW = TimeSeries::combine(
+                out.itPowerW, it,
+                [](double a, double b) { return a + b; },
+                "it_power_w");
+        }
+    }
+    return out;
+}
+
+} // namespace datacenter
+} // namespace tts

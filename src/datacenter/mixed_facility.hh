@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Heterogeneous facility: several platform pools behind one cooling
+ * plant.
+ *
+ * The paper evaluates three *homogeneous* datacenters; real fleets
+ * mix generations.  A mixed facility changes the PCM story in one
+ * interesting way: each pool can deploy wax with a different melting
+ * temperature, so the pools' absorption windows can be staggered
+ * across the peak - one pool clips the ramp, the next the crest -
+ * widening the interval over which the shared plant sees a flattened
+ * load.
+ */
+
+#ifndef TTS_DATACENTER_MIXED_FACILITY_HH
+#define TTS_DATACENTER_MIXED_FACILITY_HH
+
+#include <vector>
+
+#include "datacenter/cluster.hh"
+#include "server/server_model.hh"
+#include "server/server_spec.hh"
+#include "workload/trace.hh"
+
+namespace tts {
+namespace datacenter {
+
+/** One homogeneous pool inside the facility. */
+struct FacilityPool
+{
+    /** Platform. */
+    server::ServerSpec spec;
+    /** Wax deployment for every server in the pool. */
+    server::WaxConfig wax;
+    /** Number of 1008-server clusters. */
+    std::size_t clusters = 1;
+};
+
+/** Facility-level run output. */
+struct MixedFacilityResult
+{
+    /** Total heat rejected to the shared plant (W). */
+    TimeSeries coolingLoadW;
+    /** Total IT wall power (W). */
+    TimeSeries itPowerW;
+    /** Per-pool cooling loads, in pool order (W). */
+    std::vector<TimeSeries> poolCoolingW;
+
+    /** @return Facility peak cooling load (W). */
+    double peakCoolingLoad() const { return coolingLoadW.max(); }
+};
+
+/** A facility of heterogeneous pools sharing one plant. */
+class MixedFacility
+{
+  public:
+    /** @param pools Pools; at least one, each with >= 1 cluster. */
+    explicit MixedFacility(std::vector<FacilityPool> pools);
+
+    /**
+     * Run every pool over the trace and aggregate.
+     *
+     * @param trace   Normalized facility-wide load trace.
+     * @param options Cluster run options shared by all pools.
+     */
+    MixedFacilityResult run(const workload::WorkloadTrace &trace,
+                            const ClusterRunOptions &options =
+                                ClusterRunOptions{});
+
+    /** @return Total server count across pools. */
+    std::size_t serverCount() const;
+
+    /** @return The pools. */
+    const std::vector<FacilityPool> &pools() const { return pools_; }
+
+  private:
+    std::vector<FacilityPool> pools_;
+};
+
+} // namespace datacenter
+} // namespace tts
+
+#endif // TTS_DATACENTER_MIXED_FACILITY_HH

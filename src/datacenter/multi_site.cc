@@ -1,0 +1,100 @@
+#include "datacenter/multi_site.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace datacenter {
+
+namespace {
+
+double
+wrapHour(double h)
+{
+    double w = std::fmod(h, 24.0);
+    return w < 0.0 ? w + 24.0 : w;
+}
+
+/** Rescale every class at each instant to hit a new total. */
+workload::WorkloadTrace
+rescaled(const workload::WorkloadTrace &src,
+         const std::vector<double> &times,
+         const std::vector<double> &new_total)
+{
+    workload::WorkloadTrace out;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        double t = times[i];
+        double old_total = src.totalAt(t);
+        double factor =
+            old_total > 0.0 ? new_total[i] / old_total : 0.0;
+        std::array<double, workload::jobClassCount> sample{};
+        for (std::size_t c = 0; c < workload::jobClassCount; ++c) {
+            sample[c] = factor *
+                src.classAt(workload::allJobClasses[c], t);
+        }
+        out.append(t, sample);
+    }
+    return out;
+}
+
+} // namespace
+
+workload::GoogleTraceParams
+shiftedSiteParams(const workload::GoogleTraceParams &base,
+                  double offset_h)
+{
+    workload::GoogleTraceParams p = base;
+    p.search.peakHour = wrapHour(p.search.peakHour + offset_h);
+    p.orkut.peakHour = wrapHour(p.orkut.peakHour + offset_h);
+    p.mapreduce.peakHour =
+        wrapHour(p.mapreduce.peakHour + offset_h);
+    return p;
+}
+
+std::pair<workload::WorkloadTrace, workload::WorkloadTrace>
+geoBalance(const workload::WorkloadTrace &a,
+           const workload::WorkloadTrace &b, double max_shift)
+{
+    require(max_shift >= 0.0 && max_shift <= 1.0,
+            "geoBalance: shift fraction must be in [0, 1]");
+    require(a.size() >= 2 && b.size() >= 2,
+            "geoBalance: traces too short");
+
+    // Union grid over the overlapping span.
+    std::vector<double> grid;
+    for (double t : a.total().times())
+        grid.push_back(t);
+    for (double t : b.total().times())
+        grid.push_back(t);
+    std::sort(grid.begin(), grid.end());
+    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+    std::vector<double> ta(grid.size()), tb(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        double ua = a.totalAt(grid[i]);
+        double ub = b.totalAt(grid[i]);
+        double high = std::max(ua, ub);
+        double target = 0.5 * (ua + ub);
+        // Move load from the busier site toward the mean, bounded
+        // by the relocatable fraction (and by full capacity at the
+        // receiving site).
+        double move = std::min((high - target),
+                               max_shift * high);
+        if (ua >= ub) {
+            move = std::min(move, 1.0 - ub);
+            ta[i] = ua - move;
+            tb[i] = ub + move;
+        } else {
+            move = std::min(move, 1.0 - ua);
+            ta[i] = ua + move;
+            tb[i] = ub - move;
+        }
+    }
+    return {rescaled(a, grid, ta), rescaled(b, grid, tb)};
+}
+
+} // namespace datacenter
+} // namespace tts

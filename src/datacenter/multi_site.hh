@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multi-site geographic load shifting.
+ *
+ * The paper's Section 5.2 names "relocating work to other
+ * datacenters" [18-20] as the alternative to downclocking, and its
+ * related work discusses geographic balancing with renewables.  This
+ * module provides the trace-level mechanics: time-zone-offset sites
+ * and a balancer that moves a bounded fraction of load from the
+ * hotter (busier) site to the cooler one - so geographic shifting
+ * can be compared with, and stacked on, thermal time shifting.
+ */
+
+#ifndef TTS_DATACENTER_MULTI_SITE_HH
+#define TTS_DATACENTER_MULTI_SITE_HH
+
+#include <utility>
+
+#include "workload/google_trace.hh"
+#include "workload/trace.hh"
+
+namespace tts {
+namespace datacenter {
+
+/**
+ * Generator parameters for a site whose local diurnal pattern lags
+ * the reference site by the given offset (e.g. +3 h for a west-coast
+ * site seen from the east coast): every class peak hour is shifted.
+ *
+ * @param base     Reference-site generator parameters.
+ * @param offset_h Time-zone offset (h), positive = later peaks.
+ */
+workload::GoogleTraceParams shiftedSiteParams(
+    const workload::GoogleTraceParams &base, double offset_h);
+
+/**
+ * Geographic balancing between two equal-capacity sites.
+ *
+ * At every instant, load moves from the busier site toward the
+ * quieter one, limited to `max_shift` of the busier site's load
+ * (WAN, locality, and latency limit how much work is relocatable).
+ * Class mix is preserved per site.
+ *
+ * @param a         Site A trace.
+ * @param b         Site B trace.
+ * @param max_shift Relocatable fraction in [0, 1].
+ * @return Balanced (A, B) traces.
+ */
+std::pair<workload::WorkloadTrace, workload::WorkloadTrace>
+geoBalance(const workload::WorkloadTrace &a,
+           const workload::WorkloadTrace &b, double max_shift);
+
+} // namespace datacenter
+} // namespace tts
+
+#endif // TTS_DATACENTER_MULTI_SITE_HH

@@ -1,0 +1,60 @@
+#include "datacenter/room_model.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace datacenter {
+
+RoomModel::RoomModel(const RoomConfig &config)
+    : config_(config), air_c_(config.setpointC),
+      mass_c_(config.setpointC)
+{
+    require(config.airVolumeM3 > 0.0,
+            "RoomModel: air volume must be > 0");
+    require(config.buildingMassJPerK > 0.0,
+            "RoomModel: building mass must be > 0");
+    require(config.massCouplingWPerK > 0.0,
+            "RoomModel: mass coupling must be > 0");
+    require(config.limitC > config.setpointC,
+            "RoomModel: limit must exceed the setpoint");
+}
+
+double
+RoomModel::airCapacity() const
+{
+    return config_.airVolumeM3 * units::airDensity *
+        units::airSpecificHeat;
+}
+
+void
+RoomModel::step(double dt, double it_heat_w, double removed_w)
+{
+    require(dt > 0.0, "RoomModel::step: dt must be > 0");
+    require(it_heat_w >= 0.0 && removed_w >= 0.0,
+            "RoomModel::step: heat flows must be >= 0");
+    // Sub-step: the air node is fast (its time constant is
+    // C_air / G_mass, tens of seconds).
+    double c_air = airCapacity();
+    double tau = c_air / config_.massCouplingWPerK;
+    double remaining = dt;
+    while (remaining > 0.0) {
+        double h = std::min(remaining, 0.2 * tau);
+        double q_to_mass =
+            config_.massCouplingWPerK * (air_c_ - mass_c_);
+        air_c_ += (it_heat_w - removed_w - q_to_mass) * h / c_air;
+        mass_c_ += q_to_mass * h / config_.buildingMassJPerK;
+        remaining -= h;
+    }
+}
+
+bool
+RoomModel::overLimit() const
+{
+    return air_c_ > config_.limitC;
+}
+
+} // namespace datacenter
+} // namespace tts

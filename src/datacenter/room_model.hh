@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Machine-room thermal model for cooling-failure studies.
+ *
+ * The paper's related work cites thermal storage as emergency
+ * datacenter cooling (Garday & Housley); in-server PCM is a passive
+ * variant of the same idea.  This model closes the loop the
+ * cluster-scale studies leave open: the room's air and building mass
+ * heat up when the plant removes less than the IT load, and the
+ * servers' inlet temperature follows the room, which feeds back into
+ * their component temperatures and into the wax.
+ *
+ * Two lumped states: room air (fast) and building mass - concrete,
+ * racks, containment - (slow), coupled by a conductance.
+ */
+
+#ifndef TTS_DATACENTER_ROOM_MODEL_HH
+#define TTS_DATACENTER_ROOM_MODEL_HH
+
+#include "util/time_series.hh"
+
+namespace tts {
+namespace datacenter {
+
+/** Room configuration. */
+struct RoomConfig
+{
+    /** Room air volume (m^3); ~0.8 m^3 per server plus aisles. */
+    double airVolumeM3 = 1500.0;
+    /** Building/rack thermal mass (J/K). */
+    double buildingMassJPerK = 120.0e6;
+    /** Air-to-mass conductance (W/K). */
+    double massCouplingWPerK = 8000.0;
+    /** Cold-aisle setpoint the plant holds when healthy (C). */
+    double setpointC = 25.0;
+    /**
+     * Inlet air limit (C): the emergency shutdown threshold
+     * (ASHRAE A4 allowable upper bound).
+     */
+    double limitC = 45.0;
+};
+
+/** Two-node room thermal state. */
+class RoomModel
+{
+  public:
+    /** Build at the setpoint (air and mass in equilibrium). */
+    explicit RoomModel(const RoomConfig &config);
+
+    /**
+     * Advance by dt with the given heat flows.
+     *
+     * @param dt        Step (s).
+     * @param it_heat_w Heat injected by the IT equipment (W).
+     * @param removed_w Heat removed by the plant (W).
+     */
+    void step(double dt, double it_heat_w, double removed_w);
+
+    /** @return Room (cold aisle) air temperature (C). */
+    double airTemp() const { return air_c_; }
+
+    /** @return Building mass temperature (C). */
+    double massTemp() const { return mass_c_; }
+
+    /** @return True once the air exceeds the configured limit. */
+    bool overLimit() const;
+
+    /** @return The configuration. */
+    const RoomConfig &config() const { return config_; }
+
+    /** @return Heat capacity of the room air (J/K). */
+    double airCapacity() const;
+
+  private:
+    RoomConfig config_;
+    double air_c_;
+    double mass_c_;
+};
+
+} // namespace datacenter
+} // namespace tts
+
+#endif // TTS_DATACENTER_ROOM_MODEL_HH

@@ -1,0 +1,148 @@
+#include "pcm/container.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace pcm {
+
+namespace {
+/** Density of aluminum (kg/m^3). */
+constexpr double aluminumDensity = 2700.0;
+} // namespace
+
+double
+BoxSpec::exteriorVolume() const
+{
+    return lengthM * widthM * heightM;
+}
+
+double
+BoxSpec::interiorVolume() const
+{
+    double l = lengthM - 2.0 * wallThicknessM;
+    double w = widthM - 2.0 * wallThicknessM;
+    double h = heightM - 2.0 * wallThicknessM;
+    if (l <= 0.0 || w <= 0.0 || h <= 0.0)
+        return 0.0;
+    return l * w * h;
+}
+
+double
+BoxSpec::waxVolume() const
+{
+    return interiorVolume() * fillFraction;
+}
+
+double
+BoxSpec::surfaceArea() const
+{
+    return 2.0 * (lengthM * widthM + lengthM * heightM +
+                  widthM * heightM);
+}
+
+double
+BoxSpec::frontalArea() const
+{
+    return widthM * heightM;
+}
+
+double
+BoxSpec::shellMass() const
+{
+    return (exteriorVolume() - interiorVolume()) * aluminumDensity;
+}
+
+ContainerBank::ContainerBank(const BoxSpec &box, std::size_t count,
+                             double duct_area)
+    : box_(box), count_(count), duct_area_(duct_area)
+{
+    require(count >= 1, "ContainerBank: need at least one box");
+    require(duct_area > 0.0, "ContainerBank: duct area must be > 0");
+    require(box.lengthM > 0.0 && box.widthM > 0.0 && box.heightM > 0.0,
+            "ContainerBank: box dimensions must be > 0");
+    require(box.fillFraction > 0.0 && box.fillFraction <= 1.0,
+            "ContainerBank: fill fraction must be in (0, 1]");
+    require(blockageFraction() < 1.0,
+            "ContainerBank: bank blocks the entire duct");
+}
+
+double
+ContainerBank::waxVolume() const
+{
+    return static_cast<double>(count_) * box_.waxVolume();
+}
+
+double
+ContainerBank::waxMass(double density) const
+{
+    require(density > 0.0, "ContainerBank: density must be > 0");
+    return waxVolume() * density;
+}
+
+double
+ContainerBank::shellMass() const
+{
+    return static_cast<double>(count_) * box_.shellMass();
+}
+
+double
+ContainerBank::surfaceArea() const
+{
+    return static_cast<double>(count_) * box_.surfaceArea();
+}
+
+double
+ContainerBank::blockageFraction() const
+{
+    double blocked = static_cast<double>(count_) * box_.frontalArea();
+    return std::min(blocked / duct_area_, 1.0);
+}
+
+double
+ContainerBank::conductanceAt(double velocity) const
+{
+    require(velocity >= 0.0,
+            "ContainerBank: velocity must be >= 0");
+    // Keep a small natural-convection floor so a fanless state still
+    // exchanges some heat.
+    double v = std::max(velocity, 0.05);
+    double h = refHeatTransferCoeff *
+        std::pow(v / refVelocity, 0.8);
+    return h * surfaceArea();
+}
+
+ContainerBank
+sizeBank(double target_volume, double duct_area, double duct_height,
+         double max_blockage, std::size_t box_count)
+{
+    require(target_volume > 0.0, "sizeBank: target volume must be > 0");
+    require(box_count >= 1, "sizeBank: need at least one box");
+    require(max_blockage > 0.0 && max_blockage < 1.0,
+            "sizeBank: blockage cap must be in (0, 1)");
+
+    // Boxes span 90% of the duct height, leaving clearance above and
+    // below as the paper does to keep air moving over every face.
+    BoxSpec box;
+    box.heightM = duct_height * 0.9;
+    // Width chosen so the bank exactly hits the blockage cap...
+    double frontal_budget = duct_area * max_blockage;
+    box.widthM = frontal_budget /
+        (static_cast<double>(box_count) * box.heightM);
+    require(box.widthM > 4.0 * box.wallThicknessM,
+            "sizeBank: blockage cap too small for this box count");
+    // ...then depth (length along the flow) supplies the volume.
+    double per_box = target_volume / static_cast<double>(box_count);
+    // Solve interior l from per_box = fill * l_i * w_i * h_i.
+    double w_i = box.widthM - 2.0 * box.wallThicknessM;
+    double h_i = box.heightM - 2.0 * box.wallThicknessM;
+    double l_i = per_box / (box.fillFraction * w_i * h_i);
+    box.lengthM = l_i + 2.0 * box.wallThicknessM;
+    require(box.lengthM < 0.5,
+            "sizeBank: required box depth exceeds server interior");
+    return ContainerBank(box, box_count, duct_area);
+}
+
+} // namespace pcm
+} // namespace tts

@@ -1,0 +1,49 @@
+#include "pcm/cost.hh"
+
+#include "util/error.hh"
+
+namespace tts {
+namespace pcm {
+
+FleetWaxCost
+fleetWaxCost(const Material &material, double liters_per_server,
+             std::size_t server_count, double container_cost)
+{
+    require(liters_per_server > 0.0,
+            "fleetWaxCost: liters per server must be > 0");
+    require(server_count > 0, "fleetWaxCost: need at least one server");
+
+    FleetWaxCost out;
+    // g/ml * liters * 1000 ml/l = grams; /1000 = kg.
+    out.massPerServerKg =
+        material.densitySolidGPerMl * liters_per_server;
+    double tons_per_server = out.massPerServerKg / 1000.0;
+    out.waxCostPerServer = tons_per_server * material.pricePerTonUsd;
+    out.containerCostPerServer = container_cost;
+    out.totalCost = static_cast<double>(server_count) *
+        (out.waxCostPerServer + out.containerCostPerServer);
+    double joules_per_server = out.massPerServerKg * 1000.0 *
+        material.heatOfFusionJPerG;
+    out.joulesPerDollar = joules_per_server /
+        (out.waxCostPerServer + out.containerCostPerServer);
+    return out;
+}
+
+double
+priceRatio(const Material &a, const Material &b)
+{
+    require(b.pricePerTonUsd > 0.0, "priceRatio: b has no price");
+    return a.pricePerTonUsd / b.pricePerTonUsd;
+}
+
+double
+fusionDeficit(const Material &a, const Material &b)
+{
+    require(a.heatOfFusionJPerG > 0.0,
+            "fusionDeficit: a has no heat of fusion");
+    return (a.heatOfFusionJPerG - b.heatOfFusionJPerG) /
+        a.heatOfFusionJPerG;
+}
+
+} // namespace pcm
+} // namespace tts

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Wax procurement cost model (Section 2.1).
+ *
+ * Reproduces the paper's pricing argument: eicosane at $75,000/ton
+ * makes a datacenter deployment cost over a million dollars in wax
+ * alone, while commercial paraffin at $1,000-2,000/ton is ~50x
+ * cheaper for 20 % lower heat of fusion.
+ */
+
+#ifndef TTS_PCM_COST_HH
+#define TTS_PCM_COST_HH
+
+#include <cstddef>
+
+#include "pcm/material.hh"
+
+namespace tts {
+namespace pcm {
+
+/** Cost breakdown for equipping a fleet of servers with PCM. */
+struct FleetWaxCost
+{
+    /** Wax mass per server (kg). */
+    double massPerServerKg;
+    /** Wax cost per server (USD). */
+    double waxCostPerServer;
+    /** Container cost per server (USD). */
+    double containerCostPerServer;
+    /** Total fleet cost (USD). */
+    double totalCost;
+    /** Latent energy bought per dollar (J/USD). */
+    double joulesPerDollar;
+};
+
+/**
+ * Cost of equipping a server fleet with wax.
+ *
+ * @param material           PCM material (price, density, fusion).
+ * @param liters_per_server  Wax volume per server (liters).
+ * @param server_count       Number of servers.
+ * @param container_cost     Cost of containers per server (USD);
+ *                           defaults to a stamped-aluminum estimate
+ *                           consistent with Table 2's WaxCapEx of
+ *                           0.06-0.10 $/server/month over 48 months.
+ */
+FleetWaxCost fleetWaxCost(const Material &material,
+                          double liters_per_server,
+                          std::size_t server_count,
+                          double container_cost = 2.5);
+
+/**
+ * Price ratio between two materials (a / b) per ton.
+ */
+double priceRatio(const Material &a, const Material &b);
+
+/**
+ * Heat-of-fusion deficit of b relative to a, as a fraction of a's
+ * heat of fusion (the paper's "20 % lower energy per gram").
+ */
+double fusionDeficit(const Material &a, const Material &b);
+
+} // namespace pcm
+} // namespace tts
+
+#endif // TTS_PCM_COST_HH

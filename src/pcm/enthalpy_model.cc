@@ -1,0 +1,109 @@
+#include "pcm/enthalpy_model.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace pcm {
+
+namespace {
+/** Upper end of the modeled temperature range (C). */
+constexpr double maxTempC = 200.0;
+/** Lower end of the modeled temperature range (C). */
+constexpr double minTempC = -40.0;
+} // namespace
+
+EnthalpyCurve::EnthalpyCurve(const EnthalpyParams &params)
+    : params_(params)
+{
+    require(params.massKg > 0.0, "EnthalpyCurve: mass must be > 0");
+    require(params.cpSolid > 0.0 && params.cpLiquid > 0.0,
+            "EnthalpyCurve: specific heats must be > 0");
+    require(params.latentHeat > 0.0,
+            "EnthalpyCurve: latent heat must be > 0");
+    require(params.meltWindowC > 0.0,
+            "EnthalpyCurve: melt window must be > 0");
+    require(params.extraCapacity >= 0.0,
+            "EnthalpyCurve: extra capacity must be >= 0");
+
+    const double m = params.massKg;
+    const double t_sol = solidusTempC();
+    const double t_liq = liquidusTempC();
+    require(t_sol > minTempC && t_liq < maxTempC,
+            "EnthalpyCurve: melt window outside modeled range");
+
+    // Slopes (J/K) per region; the container capacity follows the wax
+    // temperature, so it adds to every region.
+    const double c_sol = m * params.cpSolid + params.extraCapacity;
+    const double c_liq = m * params.cpLiquid + params.extraCapacity;
+    const double c_melt = 0.5 * (c_sol + c_liq) +
+        m * params.latentHeat / params.meltWindowC;
+
+    double h = c_sol * (t_sol - minTempC);
+    curve_.addPoint(minTempC, 0.0);
+    curve_.addPoint(t_sol, h);
+    h_solidus_ = h;
+    h += c_melt * (t_liq - t_sol);
+    curve_.addPoint(t_liq, h);
+    h_liquidus_ = h;
+    h += c_liq * (maxTempC - t_liq);
+    curve_.addPoint(maxTempC, h);
+}
+
+double
+EnthalpyCurve::enthalpyAt(double t_c) const
+{
+    return curve_(t_c);
+}
+
+double
+EnthalpyCurve::temperatureAt(double h) const
+{
+    return curve_.inverse(h);
+}
+
+double
+EnthalpyCurve::meltFraction(double h) const
+{
+    if (h <= h_solidus_)
+        return 0.0;
+    if (h >= h_liquidus_)
+        return 1.0;
+    return (h - h_solidus_) / (h_liquidus_ - h_solidus_);
+}
+
+double
+EnthalpyCurve::latentCapacity() const
+{
+    return params_.massKg * params_.latentHeat;
+}
+
+double
+EnthalpyCurve::solidusTempC() const
+{
+    return params_.meltTempC - 0.5 * params_.meltWindowC;
+}
+
+double
+EnthalpyCurve::liquidusTempC() const
+{
+    return params_.meltTempC + 0.5 * params_.meltWindowC;
+}
+
+double
+EnthalpyCurve::effectiveHeatCapacity(double t_c) const
+{
+    const double m = params_.massKg;
+    const double c_sol = m * params_.cpSolid + params_.extraCapacity;
+    const double c_liq = m * params_.cpLiquid + params_.extraCapacity;
+    if (t_c < solidusTempC())
+        return c_sol;
+    if (t_c > liquidusTempC())
+        return c_liq;
+    return 0.5 * (c_sol + c_liq) +
+        m * params_.latentHeat / params_.meltWindowC;
+}
+
+} // namespace pcm
+} // namespace tts

@@ -1,0 +1,139 @@
+#include "pcm/material.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace pcm {
+
+std::string
+toString(Family f)
+{
+    switch (f) {
+      case Family::SaltHydrate: return "Salt Hydrates";
+      case Family::MetalAlloy: return "Metal Alloys";
+      case Family::FattyAcid: return "Fatty Acids";
+      case Family::NParaffin: return "n-Paraffins";
+      case Family::CommercialParaffin: return "Commercial Paraffins";
+    }
+    panic("toString(Family): bad enum value");
+}
+
+std::string
+toString(Stability s)
+{
+    switch (s) {
+      case Stability::Poor: return "Poor";
+      case Stability::Unknown: return "Unknown";
+      case Stability::Good: return "Good";
+      case Stability::VeryGood: return "Very Good";
+      case Stability::Excellent: return "Excellent";
+    }
+    panic("toString(Stability): bad enum value");
+}
+
+std::string
+toString(Conductivity c)
+{
+    switch (c) {
+      case Conductivity::VeryLow: return "Very Low";
+      case Conductivity::Low: return "Low";
+      case Conductivity::Unknown: return "Unknown";
+      case Conductivity::High: return "High";
+    }
+    panic("toString(Conductivity): bad enum value");
+}
+
+double
+Material::energyDensityJPerMl() const
+{
+    return heatOfFusionJPerG * densitySolidGPerMl;
+}
+
+bool
+Material::meltsInRange(double lo_c, double hi_c) const
+{
+    return meltingTempMinC <= hi_c && meltingTempMaxC >= lo_c;
+}
+
+std::vector<Material>
+table1Families()
+{
+    // Transcribed from Table 1.  Where the paper lists a qualitative
+    // "High" we substitute a representative number and note it here:
+    // metal alloy heat of fusion ~ 430 J/g (e.g. Al-Si eutectics) and
+    // density ~ 7 g/ml.  Prices are order-of-magnitude bulk quotes.
+    return {
+        {"Salt Hydrates", Family::SaltHydrate, 25.0, 70.0, 245.0,
+         1.75, 1.6, Stability::Poor, Conductivity::High, true, 500.0},
+        {"Metal Alloys", Family::MetalAlloy, 300.0, 900.0, 430.0,
+         7.0, 6.8, Stability::Poor, Conductivity::High, false,
+         20000.0},
+        {"Fatty Acids", Family::FattyAcid, 16.0, 75.0, 185.0,
+         0.9, 0.85, Stability::Unknown, Conductivity::Unknown, true,
+         1500.0},
+        {"n-Paraffins", Family::NParaffin, 6.0, 65.0, 240.0,
+         0.75, 0.72, Stability::Excellent, Conductivity::VeryLow,
+         false, 75000.0},
+        {"Commercial Paraffins", Family::CommercialParaffin, 40.0,
+         60.0, 200.0, 0.78, 0.74, Stability::VeryGood,
+         Conductivity::VeryLow, false, 1500.0},
+    };
+}
+
+Material
+eicosane()
+{
+    return {"Eicosane", Family::NParaffin, 36.6, 36.6, 247.0, 0.789,
+            0.769, Stability::Excellent, Conductivity::VeryLow, false,
+            75000.0};
+}
+
+Material
+commercialParaffin()
+{
+    // The validation batch measured a 39 C melting point; bulk blends
+    // are available between 40 and 60 C, so we expose the full range.
+    return {"Commercial Paraffin", Family::CommercialParaffin, 39.0,
+            60.0, 200.0, 0.80, 0.75, Stability::VeryGood,
+            Conductivity::VeryLow, false, 1500.0};
+}
+
+bool
+suitableForDatacenter(const Material &m, double lo_c, double hi_c)
+{
+    if (!m.meltsInRange(lo_c, hi_c))
+        return false;
+    if (m.corrosive)
+        return false;
+    if (m.conductivity != Conductivity::VeryLow &&
+        m.conductivity != Conductivity::Low) {
+        return false;
+    }
+    return m.stability == Stability::Good ||
+           m.stability == Stability::VeryGood ||
+           m.stability == Stability::Excellent;
+}
+
+std::vector<Material>
+rankForDatacenter(std::vector<Material> candidates)
+{
+    auto value = [](const Material &m) {
+        // Latent joules purchasable per dollar: J/g -> J/ton over
+        // $/ton.  1 ton = 1e6 g.
+        return m.heatOfFusionJPerG * 1e6 / m.pricePerTonUsd;
+    };
+    std::stable_sort(candidates.begin(), candidates.end(),
+        [&](const Material &a, const Material &b) {
+            bool sa = suitableForDatacenter(a);
+            bool sb = suitableForDatacenter(b);
+            if (sa != sb)
+                return sa;
+            return value(a) > value(b);
+        });
+    return candidates;
+}
+
+} // namespace pcm
+} // namespace tts

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Phase change material property database.
+ *
+ * Encodes Table 1 of the paper (properties of common solid-liquid
+ * PCMs) plus the two concrete waxes the paper prices out: molecular
+ * pure eicosane n-paraffin and commercial grade paraffin.  A
+ * suitability filter reproduces the Section 2.1 selection argument.
+ */
+
+#ifndef TTS_PCM_MATERIAL_HH
+#define TTS_PCM_MATERIAL_HH
+
+#include <string>
+#include <vector>
+
+namespace tts {
+namespace pcm {
+
+/** Broad PCM family, matching the rows of Table 1. */
+enum class Family
+{
+    SaltHydrate,
+    MetalAlloy,
+    FattyAcid,
+    NParaffin,
+    CommercialParaffin,
+};
+
+/** Qualitative cycling-stability rating used in Table 1. */
+enum class Stability
+{
+    Poor,
+    Unknown,
+    Good,
+    VeryGood,
+    Excellent,
+};
+
+/** Qualitative electrical conductivity rating used in Table 1. */
+enum class Conductivity
+{
+    VeryLow,
+    Low,
+    Unknown,
+    High,
+};
+
+/** @return Human-readable name of a Family value. */
+std::string toString(Family f);
+/** @return Human-readable name of a Stability value. */
+std::string toString(Stability s);
+/** @return Human-readable name of a Conductivity value. */
+std::string toString(Conductivity c);
+
+/**
+ * One PCM with the properties the paper uses to compare candidates.
+ *
+ * Melting temperature and density are given as [min, max] ranges
+ * because families (and commercial paraffin blends) span a range; a
+ * concrete deployment picks a value inside the range.
+ */
+struct Material
+{
+    /** Display name ("Commercial Paraffin", "Eicosane", ...). */
+    std::string name;
+    /** Material family. */
+    Family family;
+    /** Lowest available melting temperature (C). */
+    double meltingTempMinC;
+    /** Highest available melting temperature (C). */
+    double meltingTempMaxC;
+    /** Heat of fusion (J/g). */
+    double heatOfFusionJPerG;
+    /** Solid density (g/ml). */
+    double densitySolidGPerMl;
+    /** Liquid density (g/ml). */
+    double densityLiquidGPerMl;
+    /** Cycling stability rating. */
+    Stability stability;
+    /** Electrical conductivity rating. */
+    Conductivity conductivity;
+    /** True if corrosive to common server materials. */
+    bool corrosive;
+    /** Bulk price (USD per metric ton), midpoint of quotes. */
+    double pricePerTonUsd;
+
+    /**
+     * Volumetric energy density of the latent heat in the solid
+     * phase (J/ml).
+     */
+    double energyDensityJPerMl() const;
+
+    /**
+     * True if a melting temperature can be picked inside the
+     * datacenter-appropriate window [lo, hi] (paper: 30-60 C).
+     */
+    bool meltsInRange(double lo_c, double hi_c) const;
+};
+
+/**
+ * The five-family comparison of Table 1.  Values transcribed from the
+ * paper; families with "High" density in the table are given
+ * representative numeric values (documented per entry).
+ */
+std::vector<Material> table1Families();
+
+/** Eicosane n-paraffin as priced in Section 2.1 ($75,000/ton). */
+Material eicosane();
+
+/**
+ * Commercial grade paraffin as deployed in the paper: 200 J/g heat of
+ * fusion, melting temperature selectable in 40-60 C (the validation
+ * batch measured 39 C), $1,000-2,000 per ton ($1,500 midpoint).
+ */
+Material commercialParaffin();
+
+/**
+ * Datacenter suitability screen from Section 2.1.
+ *
+ * A material passes if its melting range intersects [lo, hi], it is
+ * not corrosive, its electrical conductivity is Low or VeryLow, and
+ * its stability is Good or better.
+ */
+bool suitableForDatacenter(const Material &m, double lo_c = 30.0,
+                           double hi_c = 60.0);
+
+/**
+ * Rank candidate materials for datacenter deployment: suitable
+ * materials first, then by latent energy per dollar.
+ *
+ * @param candidates Materials to rank.
+ * @return Candidates sorted best-first.
+ */
+std::vector<Material> rankForDatacenter(std::vector<Material> candidates);
+
+} // namespace pcm
+} // namespace tts
+
+#endif // TTS_PCM_MATERIAL_HH

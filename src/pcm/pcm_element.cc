@@ -1,0 +1,164 @@
+#include "pcm/pcm_element.hh"
+
+#include <cmath>
+
+#include "pcm/stability.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace pcm {
+
+EnthalpyParams
+makeEnthalpyParams(const Material &material, const ContainerBank &bank,
+                   double melt_temp_c, double melt_window_c)
+{
+    EnthalpyParams p;
+    // Table densities are g/ml == 1000 kg/m^3.
+    p.massKg = bank.waxMass(material.densitySolidGPerMl * 1000.0);
+    p.cpSolid = units::paraffinSpecificHeatSolid;
+    p.cpLiquid = units::paraffinSpecificHeatLiquid;
+    p.latentHeat = material.heatOfFusionJPerG * 1000.0;  // J/g -> J/kg
+    p.meltTempC = melt_temp_c;
+    p.meltWindowC = melt_window_c;
+    p.extraCapacity = bank.shellMass() * units::aluminumSpecificHeat;
+    return p;
+}
+
+PcmElement::PcmElement(const Material &material,
+                       const ContainerBank &bank, double melt_temp_c,
+                       double initial_temp_c, double melt_window_c,
+                       double supercooling_c)
+    : material_(material), bank_(bank),
+      curve_(makeEnthalpyParams(material, bank, melt_temp_c,
+                                melt_window_c)),
+      supercooling_c_(supercooling_c),
+      enthalpy_(curve_.enthalpyAt(initial_temp_c)),
+      initial_enthalpy_(enthalpy_)
+{
+    require(melt_temp_c >= material.meltingTempMinC - 1e-9 &&
+            melt_temp_c <= material.meltingTempMaxC + 1e-9,
+            "PcmElement: melting temperature outside the material's "
+            "available range");
+    require(supercooling_c >= 0.0,
+            "PcmElement: supercooling must be >= 0");
+    if (supercooling_c > 0.0) {
+        freeze_curve_.emplace(makeEnthalpyParams(
+            material, bank, melt_temp_c - supercooling_c,
+            melt_window_c));
+    }
+    was_melted_ = meltFraction() >= 0.999;
+    freezing_branch_ = was_melted_;
+}
+
+const EnthalpyCurve &
+PcmElement::activeCurve() const
+{
+    if (freezing_branch_ && freeze_curve_)
+        return *freeze_curve_;
+    return curve_;
+}
+
+double
+PcmElement::temperatureAtEnthalpy(double h) const
+{
+    return activeCurve().temperatureAt(h);
+}
+
+double
+PcmElement::temperature() const
+{
+    return activeCurve().temperatureAt(enthalpy_);
+}
+
+double
+PcmElement::meltFraction() const
+{
+    return activeCurve().meltFraction(enthalpy_);
+}
+
+double
+PcmElement::effectiveConductance(double air_temp_c,
+                                 double velocity) const
+{
+    double ua = bank_.conductanceAt(velocity);
+    if (air_temp_c < temperature())
+        ua *= freeze_factor_;
+    return ua;
+}
+
+double
+PcmElement::heatFlowFromAir(double air_temp_c, double velocity) const
+{
+    return effectiveConductance(air_temp_c, velocity) *
+        (air_temp_c - temperature());
+}
+
+void
+PcmElement::setFreezeConductanceFactor(double f)
+{
+    require(f > 0.0 && f <= 1.0,
+            "PcmElement: freeze factor must be in (0, 1]");
+    freeze_factor_ = f;
+}
+
+double
+PcmElement::step(double dt, double air_temp_c, double velocity)
+{
+    require(dt > 0.0, "PcmElement::step: dt must be > 0");
+    // Sub-step so a coarse caller cannot overshoot the driving air
+    // temperature: limit each sub-step so the wax moves at most a
+    // fraction of the way to equilibrium.
+    double remaining = dt;
+    double absorbed = 0.0;
+    while (remaining > 0.0) {
+        double q = heatFlowFromAir(air_temp_c, velocity);
+        double c_eff =
+            activeCurve().effectiveHeatCapacity(temperature());
+        double ua = effectiveConductance(air_temp_c, velocity);
+        // Time constant of approach to the air temperature.
+        double tau = c_eff / std::max(ua, 1e-9);
+        double h_step = std::min(remaining, 0.2 * tau);
+        h_step = std::max(h_step, 1e-3);
+        h_step = std::min(h_step, remaining);
+        enthalpy_ += q * h_step;
+        absorbed += q * h_step;
+        remaining -= h_step;
+    }
+    updateCycleCounter();
+    return absorbed;
+}
+
+void
+PcmElement::setEnthalpy(double h)
+{
+    invariant(h >= 0.0, "PcmElement::setEnthalpy: negative enthalpy");
+    enthalpy_ = h;
+    updateCycleCounter();
+}
+
+void
+PcmElement::updateCycleCounter()
+{
+    double f = meltFraction();
+    if (!was_melted_ && f >= 0.999) {
+        was_melted_ = true;
+        // A fully melted charge must supercool before nucleating:
+        // switch to the (lower) freezing curve.
+        freezing_branch_ = true;
+    } else if (was_melted_ && f <= 0.001) {
+        was_melted_ = false;
+        freezing_branch_ = false;
+        ++cycles_;
+    }
+}
+
+double
+PcmElement::agedLatentCapacity(std::uint64_t cycles) const
+{
+    StabilityModel model(material_.stability);
+    return model.effectiveHeatOfFusion(latentCapacity(), cycles);
+}
+
+} // namespace pcm
+} // namespace tts

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * A stateful PCM charge: enthalpy curve + container bank + thermal
+ * state.
+ *
+ * PcmElement is the object the thermal network owns for each server's
+ * wax.  It tracks stored enthalpy, exposes temperature and melt
+ * fraction, exchanges heat with a driving air temperature, and counts
+ * melt/freeze cycles for the stability model.
+ */
+
+#ifndef TTS_PCM_PCM_ELEMENT_HH
+#define TTS_PCM_PCM_ELEMENT_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "pcm/container.hh"
+#include "pcm/enthalpy_model.hh"
+#include "pcm/material.hh"
+
+namespace tts {
+namespace pcm {
+
+/**
+ * A mass of PCM in containers, with mutable thermal state.
+ */
+class PcmElement
+{
+  public:
+    /**
+     * Build from a material, container bank and chosen melting point.
+     *
+     * @param material    PCM material (densities, heat of fusion).
+     * @param bank        Container geometry (mass, area, blockage).
+     * @param melt_temp_c Deployed melting temperature (C); must lie
+     *                    within the material's available range.
+     * @param initial_temp_c Initial uniform temperature (C).
+     * @param melt_window_c  Melt window width (C).
+     * @param supercooling_c Supercooling depth (C): once fully
+     *                    melted, the charge does not begin to
+     *                    solidify until it has cooled this far below
+     *                    the melting point (dual-curve hysteresis);
+     *                    0 disables it.
+     */
+    PcmElement(const Material &material, const ContainerBank &bank,
+               double melt_temp_c, double initial_temp_c,
+               double melt_window_c = 2.0,
+               double supercooling_c = 0.0);
+
+    /** @return Current wax temperature (C). */
+    double temperature() const;
+
+    /** @return Melted fraction in [0, 1]. */
+    double meltFraction() const;
+
+    /** @return Stored enthalpy relative to solid at 0 C (J). */
+    double storedEnthalpy() const { return enthalpy_; }
+
+    /**
+     * @return Stored energy above the initial state (J); the "charge"
+     * of the thermal battery.
+     */
+    double storedEnergy() const { return enthalpy_ - initial_enthalpy_; }
+
+    /** @return Total latent capacity (J). */
+    double latentCapacity() const { return curve_.latentCapacity(); }
+
+    /**
+     * Heat flow from air into the wax at the given conditions (W);
+     * positive when the air is hotter than the wax.  While the wax
+     * releases heat (wax hotter than air) the effective conductance
+     * is reduced by freezeConductanceFactor(): solidifying wax grows
+     * an insulating solid layer on the container walls, so freezing
+     * is conduction-limited and slower than (convection-dominated)
+     * melting - this is what stretches the release over the paper's
+     * 6-9 hour off-peak window.
+     *
+     * @param air_temp_c  Local air temperature (C).
+     * @param velocity    Local air velocity (m/s).
+     */
+    double heatFlowFromAir(double air_temp_c, double velocity) const;
+
+    /**
+     * Effective conductance at a velocity given the current flow
+     * direction implied by the air temperature.
+     */
+    double effectiveConductance(double air_temp_c,
+                                double velocity) const;
+
+    /** @return Release-side conductance derating in (0, 1]. */
+    double freezeConductanceFactor() const { return freeze_factor_; }
+
+    /** Set the release-side conductance derating. */
+    void setFreezeConductanceFactor(double f);
+
+    /** Default release-side conductance derating. */
+    static constexpr double defaultFreezeFactor = 0.25;
+
+    /**
+     * Advance the element by dt seconds against a fixed air state.
+     * Updates enthalpy and the cycle counter.
+     *
+     * @param dt         Step (s).
+     * @param air_temp_c Air temperature (C).
+     * @param velocity   Air velocity (m/s).
+     * @return Heat absorbed this step (J); negative when releasing.
+     */
+    double step(double dt, double air_temp_c, double velocity);
+
+    /**
+     * Set stored enthalpy directly (used by the network solver, which
+     * owns the integration).
+     */
+    void setEnthalpy(double h);
+
+    /**
+     * Notify the element of its externally-integrated state so cycle
+     * counting stays correct when the network solver advances it.
+     */
+    void observeState() { updateCycleCounter(); }
+
+    /** @return Completed melt/freeze cycles. */
+    std::uint64_t cycleCount() const { return cycles_; }
+
+    /**
+     * @return Latent capacity after aging `cycles` full cycles, using
+     * the material's stability rating (J).
+     */
+    double agedLatentCapacity(std::uint64_t cycles) const;
+
+    /** @return The melting-branch enthalpy curve. */
+    const EnthalpyCurve &curve() const { return curve_; }
+
+    /**
+     * @return The curve currently governing the charge: the melting
+     * curve, or (after a full melt, until full solidification) the
+     * supercooled freezing curve shifted down by the supercooling
+     * depth.  Identical to curve() when supercooling is disabled.
+     */
+    const EnthalpyCurve &activeCurve() const;
+
+    /**
+     * @return Temperature for a stored enthalpy on the current
+     * branch (C); the lookup the thermal network must use.
+     */
+    double temperatureAtEnthalpy(double h) const;
+
+    /** @return Supercooling depth (C). */
+    double supercoolingC() const { return supercooling_c_; }
+
+    /** @return True while the charge sits on the freezing branch. */
+    bool onFreezingBranch() const { return freezing_branch_; }
+    /** @return The container bank. */
+    const ContainerBank &bank() const { return bank_; }
+    /** @return The material. */
+    const Material &material() const { return material_; }
+    /** @return Deployed melting temperature (C). */
+    double meltTempC() const { return curve_.params().meltTempC; }
+
+  private:
+    /** Track solid -> melted -> solid transitions. */
+    void updateCycleCounter();
+
+    Material material_;
+    ContainerBank bank_;
+    EnthalpyCurve curve_;          //!< Melting branch.
+    std::optional<EnthalpyCurve> freeze_curve_;  //!< Supercooled.
+    double supercooling_c_ = 0.0;
+    bool freezing_branch_ = false;
+    double enthalpy_;
+    double initial_enthalpy_;
+    double freeze_factor_ = defaultFreezeFactor;
+    std::uint64_t cycles_ = 0;
+    bool was_melted_ = false;
+};
+
+/**
+ * Convenience: build the EnthalpyParams for a material + bank pair.
+ *
+ * @param material      PCM material.
+ * @param bank          Container bank (mass via solid density).
+ * @param melt_temp_c   Deployed melting temperature (C).
+ * @param melt_window_c Melt window width (C).
+ */
+EnthalpyParams makeEnthalpyParams(const Material &material,
+                                  const ContainerBank &bank,
+                                  double melt_temp_c,
+                                  double melt_window_c);
+
+} // namespace pcm
+} // namespace tts
+
+#endif // TTS_PCM_PCM_ELEMENT_HH

@@ -1,0 +1,54 @@
+#include "pcm/stability.hh"
+
+#include <cmath>
+
+namespace tts {
+namespace pcm {
+
+StabilityModel::StabilityModel(Stability rating)
+{
+    switch (rating) {
+      case Stability::Poor:
+      case Stability::Unknown:
+        tau_ = 120.0;
+        floor_ = 0.3;
+        break;
+      case Stability::Good:
+        tau_ = 10000.0;
+        floor_ = 0.7;
+        break;
+      case Stability::VeryGood:
+        tau_ = 40000.0;
+        floor_ = 0.8;
+        break;
+      case Stability::Excellent:
+        tau_ = 200000.0;
+        floor_ = 0.9;
+        break;
+    }
+}
+
+double
+StabilityModel::retention(std::uint64_t cycles) const
+{
+    double n = static_cast<double>(cycles);
+    return floor_ + (1.0 - floor_) * std::exp(-n / tau_);
+}
+
+double
+StabilityModel::effectiveHeatOfFusion(double initial,
+                                      std::uint64_t cycles) const
+{
+    return initial * retention(cycles);
+}
+
+std::uint64_t
+StabilityModel::cyclesForYears(double years)
+{
+    if (years <= 0.0)
+        return 0;
+    return static_cast<std::uint64_t>(years * 365.25 + 0.5);
+}
+
+} // namespace pcm
+} // namespace tts

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cycling-stability degradation model.
+ *
+ * Section 2.1 rejects salt hydrates and solid-solid PCMs partly
+ * because they degrade "in as few as 100 cycles", while paraffin shows
+ * "negligible deviation from the initial heat of fusion after more
+ * than 1,000 melting cycles".  This module turns those qualitative
+ * ratings into an effective heat-of-fusion retention curve so long
+ * simulated deployments can account for aging.
+ */
+
+#ifndef TTS_PCM_STABILITY_HH
+#define TTS_PCM_STABILITY_HH
+
+#include <cstdint>
+
+#include "pcm/material.hh"
+
+namespace tts {
+namespace pcm {
+
+/**
+ * Retention of latent capacity as a function of completed melt/freeze
+ * cycles for a given stability rating.
+ *
+ * The model is exponential decay to a residual floor:
+ *   retention(n) = floor + (1 - floor) * exp(-n / tau)
+ * with (tau, floor) chosen per rating so that:
+ *   - Poor:      ~50 % loss by 100 cycles (tau = 120, floor = 0.3)
+ *   - Unknown:   conservative, same as Poor
+ *   - Good:      <10 % loss at 1,000 cycles (tau = 10,000, floor = 0.7)
+ *   - VeryGood:  <3 % loss at 1,000 cycles (tau = 40,000, floor = 0.8)
+ *   - Excellent: negligible at 1,000+ cycles (tau = 200,000,
+ *                floor = 0.9)
+ */
+class StabilityModel
+{
+  public:
+    /** Build the curve for one rating. */
+    explicit StabilityModel(Stability rating);
+
+    /**
+     * @return Fraction of the initial latent heat retained after
+     * the given number of full melt/freeze cycles, in (0, 1].
+     */
+    double retention(std::uint64_t cycles) const;
+
+    /**
+     * @return Effective heat of fusion (same unit as initial) after
+     * the given cycle count.
+     */
+    double effectiveHeatOfFusion(double initial,
+                                 std::uint64_t cycles) const;
+
+    /**
+     * @return Number of daily cycles in the given number of years
+     * (one melt/freeze per day under a diurnal load).
+     */
+    static std::uint64_t cyclesForYears(double years);
+
+    /** @return Decay constant tau (cycles). */
+    double tau() const { return tau_; }
+    /** @return Residual retention floor. */
+    double floor() const { return floor_; }
+
+  private:
+    double tau_;
+    double floor_;
+};
+
+} // namespace pcm
+} // namespace tts
+
+#endif // TTS_PCM_STABILITY_HH

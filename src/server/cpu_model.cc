@@ -1,0 +1,68 @@
+#include "server/cpu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+
+double
+CpuPowerModel::clampFreq(double freq_ghz) const
+{
+    return std::clamp(freq_ghz, minFreqGHz, nominalFreqGHz);
+}
+
+double
+CpuPowerModel::voltageAt(double freq_ghz) const
+{
+    double f = clampFreq(freq_ghz);
+    double span = nominalFreqGHz - minFreqGHz;
+    if (span <= 0.0)
+        return voltageAtNom;
+    double t = (f - minFreqGHz) / span;
+    return voltageAtMin + t * (voltageAtNom - voltageAtMin);
+}
+
+double
+CpuPowerModel::power(double util, double freq_ghz) const
+{
+    require(util >= 0.0 && util <= 1.0,
+            "CpuPowerModel::power: util must be in [0, 1]");
+    double f = clampFreq(freq_ghz);
+    double v = voltageAt(f) / voltageAtNom;
+    double fscale = f / nominalFreqGHz;
+    return idlePowerW +
+        (peakPowerW - idlePowerW) * util * fscale * v * v;
+}
+
+double
+CpuPowerModel::throughputScale(double freq_ghz) const
+{
+    return clampFreq(freq_ghz) / nominalFreqGHz;
+}
+
+double
+CpuPowerModel::maxFreqForPower(double budget_w, double util) const
+{
+    require(util >= 0.0 && util <= 1.0,
+            "CpuPowerModel::maxFreqForPower: util must be in [0, 1]");
+    if (power(util, nominalFreqGHz) <= budget_w)
+        return nominalFreqGHz;
+    if (power(util, minFreqGHz) >= budget_w)
+        return minFreqGHz;
+    // Bisect: power is monotone in frequency.
+    double lo = minFreqGHz, hi = nominalFreqGHz;
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (power(util, mid) <= budget_w)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace server
+} // namespace tts

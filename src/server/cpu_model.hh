@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CPU socket power model with DVFS scaling.
+ *
+ * Per-socket power is the standard linear-in-utilization model with
+ * frequency/voltage scaling of the active component:
+ *
+ *     P(u, f) = P_idle + (P_peak - P_idle) * u * (f/f0) * (V(f)/V0)^2
+ *
+ * Throughput is proportional to frequency (the paper normalizes
+ * cluster throughput to the downclocked peak, so only ratios matter).
+ */
+
+#ifndef TTS_SERVER_CPU_MODEL_HH
+#define TTS_SERVER_CPU_MODEL_HH
+
+namespace tts {
+namespace server {
+
+/** Per-socket CPU power/performance model. */
+struct CpuPowerModel
+{
+    /** Idle power per socket (W). */
+    double idlePowerW;
+    /** Peak power per socket at nominal frequency, 100 % util (W). */
+    double peakPowerW;
+    /** Nominal frequency (GHz). */
+    double nominalFreqGHz;
+    /** Minimum DVFS frequency (GHz). */
+    double minFreqGHz;
+    /** Core voltage at the minimum frequency (relative). */
+    double voltageAtMin = 0.80;
+    /** Core voltage at the nominal frequency (relative). */
+    double voltageAtNom = 1.00;
+
+    /**
+     * Relative core voltage at frequency f (linear between the DVFS
+     * endpoints, clamped).
+     */
+    double voltageAt(double freq_ghz) const;
+
+    /**
+     * Per-socket power (W) at the given utilization and frequency.
+     *
+     * @param util     Utilization in [0, 1].
+     * @param freq_ghz Frequency (GHz), clamped to the DVFS range.
+     */
+    double power(double util, double freq_ghz) const;
+
+    /**
+     * Throughput at frequency f relative to nominal (f / f0,
+     * clamped to the DVFS range).
+     */
+    double throughputScale(double freq_ghz) const;
+
+    /** Clamp a frequency to the DVFS range. */
+    double clampFreq(double freq_ghz) const;
+
+    /**
+     * Largest frequency whose full-utilization power does not exceed
+     * the given budget (W); returns minFreqGHz if even that exceeds
+     * the budget.
+     *
+     * @param budget_w Power budget per socket (W).
+     * @param util     Utilization the budget must hold at.
+     */
+    double maxFreqForPower(double budget_w, double util) const;
+};
+
+} // namespace server
+} // namespace tts
+
+#endif // TTS_SERVER_CPU_MODEL_HH

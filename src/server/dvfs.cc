@@ -1,0 +1,43 @@
+#include "server/dvfs.hh"
+
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+
+DvfsGovernor::DvfsGovernor(const ServerSpec &spec)
+    : spec_(spec), probe_(spec, WaxConfig::none())
+{
+}
+
+double
+DvfsGovernor::wallPowerAt(double util, double freq_ghz) const
+{
+    probe_.setLoad(util, freq_ghz);
+    return probe_.wallPower();
+}
+
+DvfsDecision
+DvfsGovernor::decide(double util, double wall_budget_w) const
+{
+    require(wall_budget_w > 0.0,
+            "DvfsGovernor::decide: budget must be > 0");
+    double nominal = spec_.cpu.nominalFreqGHz;
+    double floor = spec_.cpu.minFreqGHz;
+    if (wallPowerAt(util, nominal) <= wall_budget_w)
+        return {nominal, wallPowerAt(util, nominal), false};
+    if (wallPowerAt(util, floor) >= wall_budget_w)
+        return {floor, wallPowerAt(util, floor), true};
+    double lo = floor, hi = nominal;
+    for (int i = 0; i < 50; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (wallPowerAt(util, mid) <= wall_budget_w)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return {lo, wallPowerAt(util, lo), true};
+}
+
+} // namespace server
+} // namespace tts

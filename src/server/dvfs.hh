@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DVFS governor for thermally constrained operation (Section 5.2).
+ *
+ * In the paper's oversubscribed datacenter, servers are downclocked
+ * to 1.6 GHz when the cluster would otherwise exceed the cooling
+ * system's capacity.  The governor picks the highest frequency whose
+ * wall power fits a per-server heat budget, falling back to the DVFS
+ * floor.
+ */
+
+#ifndef TTS_SERVER_DVFS_HH
+#define TTS_SERVER_DVFS_HH
+
+#include "server/server_model.hh"
+
+namespace tts {
+namespace server {
+
+/** Frequency decision made by the governor. */
+struct DvfsDecision
+{
+    /** Chosen frequency (GHz). */
+    double freqGHz;
+    /** Wall power at the chosen operating point (W). */
+    double wallPowerW;
+    /** True if the budget forced a downclock below nominal. */
+    bool throttled;
+};
+
+/**
+ * Thermal-cap DVFS governor.
+ */
+class DvfsGovernor
+{
+  public:
+    /**
+     * @param spec Platform to govern.
+     */
+    explicit DvfsGovernor(const ServerSpec &spec);
+
+    /**
+     * Highest frequency such that the server's wall power at the
+     * given utilization stays within the budget.  Falls back to the
+     * DVFS floor when even that exceeds the budget (the paper's
+     * behavior: clamp at 1.6 GHz and accept residual overrun, which
+     * the wax or job relocation must cover).
+     *
+     * @param util           Utilization in [0, 1].
+     * @param wall_budget_w  Per-server wall power budget (W).
+     */
+    DvfsDecision decide(double util, double wall_budget_w) const;
+
+    /**
+     * Wall power of the platform at an operating point (helper that
+     * reuses the server power decomposition).
+     */
+    double wallPowerAt(double util, double freq_ghz) const;
+
+  private:
+    ServerSpec spec_;
+    /** A throwaway model used purely for power evaluation. */
+    mutable ServerModel probe_;
+};
+
+} // namespace server
+} // namespace tts
+
+#endif // TTS_SERVER_DVFS_HH

@@ -1,0 +1,26 @@
+#include "server/fan_model.hh"
+
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+
+double
+FanBank::speedAt(double util) const
+{
+    require(util >= 0.0 && util <= 1.0,
+            "FanBank::speedAt: util must be in [0, 1]");
+    return idleSpeed + (loadSpeed - idleSpeed) * util;
+}
+
+double
+FanBank::powerAt(double speed) const
+{
+    require(speed >= 0.0 && speed <= 1.0,
+            "FanBank::powerAt: speed must be in [0, 1]");
+    return static_cast<double>(count) * ratedPowerEachW *
+        speed * speed * speed;
+}
+
+} // namespace server
+} // namespace tts

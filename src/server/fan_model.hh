@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fan bank: speed policy and electrical power.
+ *
+ * The paper models fans "as a time-based step function between the
+ * idle and loaded speeds"; we generalize slightly to a linear speed
+ * ramp in utilization between the same two endpoints.  Electrical
+ * power follows the cube law.
+ */
+
+#ifndef TTS_SERVER_FAN_MODEL_HH
+#define TTS_SERVER_FAN_MODEL_HH
+
+#include <cstddef>
+
+namespace tts {
+namespace server {
+
+/** A bank of identical chassis fans. */
+struct FanBank
+{
+    /** Number of fans. */
+    std::size_t count;
+    /** Rated electrical power per fan at full speed (W). */
+    double ratedPowerEachW;
+    /** Speed fraction when the server idles. */
+    double idleSpeed;
+    /** Speed fraction when the server is fully loaded. */
+    double loadSpeed;
+
+    /**
+     * Speed fraction at the given utilization (linear between the
+     * idle and load setpoints).
+     *
+     * @param util Server utilization in [0, 1].
+     */
+    double speedAt(double util) const;
+
+    /**
+     * Total electrical power at a speed fraction (W), cube law.
+     */
+    double powerAt(double speed) const;
+};
+
+} // namespace server
+} // namespace tts
+
+#endif // TTS_SERVER_FAN_MODEL_HH

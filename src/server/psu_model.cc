@@ -1,0 +1,53 @@
+#include "server/psu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+
+double
+PsuModel::efficiencyAt(double dc_w) const
+{
+    require(ratedDcW > 0.0, "PsuModel: rated DC power must be > 0");
+    require(dc_w >= 0.0, "PsuModel: DC load must be >= 0");
+    double frac = std::min(dc_w / ratedDcW, 1.0);
+    return efficiencyIdle + frac * (efficiencyLoad - efficiencyIdle);
+}
+
+double
+PsuModel::wallPower(double dc_w) const
+{
+    if (dc_w == 0.0)
+        return 0.0;
+    return dc_w / efficiencyAt(dc_w);
+}
+
+double
+PsuModel::lossPower(double dc_w) const
+{
+    return wallPower(dc_w) - dc_w;
+}
+
+double
+PsuModel::dcFromWall(double wall_w) const
+{
+    require(wall_w >= 0.0, "PsuModel: wall power must be >= 0");
+    if (wall_w == 0.0)
+        return 0.0;
+    // Fixed point on dc = wall * eff(dc); converges because eff is a
+    // mild function of dc.
+    double dc = wall_w * efficiencyLoad;
+    for (int i = 0; i < 50; ++i) {
+        double next = wall_w * efficiencyAt(dc);
+        if (std::abs(next - dc) < 1e-9)
+            return next;
+        dc = next;
+    }
+    return dc;
+}
+
+} // namespace server
+} // namespace tts

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Power supply efficiency model.
+ *
+ * The paper's RD330 PSU runs at 80 % efficiency when idle and 90 %
+ * under load; we model efficiency as piecewise-linear in the DC load
+ * fraction and convert between wall (AC) and DC power.  PSU loss is
+ * heat dissipated inside the chassis.
+ */
+
+#ifndef TTS_SERVER_PSU_MODEL_HH
+#define TTS_SERVER_PSU_MODEL_HH
+
+namespace tts {
+namespace server {
+
+/** AC/DC power supply with load-dependent efficiency. */
+struct PsuModel
+{
+    /** Efficiency at (near-)zero DC load. */
+    double efficiencyIdle = 0.80;
+    /** Efficiency at rated DC load. */
+    double efficiencyLoad = 0.90;
+    /** Rated DC output (W). */
+    double ratedDcW;
+
+    /** @return Efficiency at the given DC load (W), clamped. */
+    double efficiencyAt(double dc_w) const;
+
+    /** @return Wall (AC input) power for a DC load (W). */
+    double wallPower(double dc_w) const;
+
+    /** @return Heat dissipated by the PSU at a DC load (W). */
+    double lossPower(double dc_w) const;
+
+    /**
+     * @return DC power deliverable from the given wall power (W);
+     * inverse of wallPower, solved by fixed point.
+     */
+    double dcFromWall(double wall_w) const;
+};
+
+} // namespace server
+} // namespace tts
+
+#endif // TTS_SERVER_PSU_MODEL_HH

@@ -1,0 +1,239 @@
+#include "server/server_spec.hh"
+
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+
+thermal::FanCurve
+ServerSpec::fanCurve() const
+{
+    // Build a linear fan curve from the calibration pair
+    // (nominal flow, pressure) and the stiffness ratio r:
+    //   Pmax = r * dP0, and the curve passes through (Q0, dP0),
+    // so Qmax = Q0 * r / (r - 1).
+    require(fanStiffness > 1.0,
+            "ServerSpec: fan stiffness must exceed 1");
+    thermal::FanCurve fan;
+    fan.maxPressurePa = fanStiffness * refPressurePa;
+    fan.maxFlowM3s = nominalFlowM3s * fanStiffness /
+        (fanStiffness - 1.0);
+    return fan;
+}
+
+thermal::AirflowModel
+ServerSpec::makeAirflow() const
+{
+    return thermal::AirflowModel(fanCurve(), nominalFlowM3s,
+                                 ductAreaM2);
+}
+
+double
+ServerSpec::nominalVelocity() const
+{
+    return nominalFlowM3s / ductAreaM2;
+}
+
+void
+ServerSpec::validate() const
+{
+    require(sockets >= 1, "ServerSpec: need at least one socket");
+    require(cpu.peakPowerW > cpu.idlePowerW,
+            "ServerSpec: CPU peak power must exceed idle");
+    require(cpu.nominalFreqGHz > cpu.minFreqGHz,
+            "ServerSpec: nominal frequency must exceed minimum");
+    require(peakWallPowerW > idleWallPowerW,
+            "ServerSpec: peak wall power must exceed idle");
+    require(nominalFlowM3s > 0.0 && ductAreaM2 > 0.0,
+            "ServerSpec: airflow calibration incomplete");
+    require(fans.idleSpeed > 0.0 && fans.loadSpeed <= 1.0 &&
+            fans.idleSpeed <= fans.loadSpeed,
+            "ServerSpec: fan speed endpoints invalid");
+    require(psu.ratedDcW > 0.0, "ServerSpec: PSU rating missing");
+    require(waxBayPlume > 0.0 && waxBayPlume <= 1.0,
+            "ServerSpec: wax bay plume fraction invalid");
+    require(waxZone < ZoneCount, "ServerSpec: wax zone out of range");
+    require(serversPerRack >= 1, "ServerSpec: servers per rack");
+}
+
+ServerSpec
+rd330Spec()
+{
+    ServerSpec s;
+    s.name = "1U Low Power (RD330)";
+    s.rackUnits = 1.0;
+
+    s.sockets = 2;
+    s.coresPerSocket = 6;
+    // Measured in the paper: 6 W idle -> 46 W per socket under load
+    // at 2.4 GHz (TurboBoost off).  Downclock floor 1.6 GHz (the
+    // thermally-constrained mode of Section 5.2).
+    s.cpu = {6.0, 46.0, 2.4, 1.6};
+    s.dram = {10, 1.0, 2.0};       // 10 DDR3 DIMMs, 144 GB total.
+    s.hdd = {1, 4.0, 6.0};         // One 1 TB 2.5" drive.
+    s.ssd = {0, 0.0, 0.0};
+    s.fans = {6, 12.0, 0.50, 0.75};  // Six fans (17 W rated; ~12 W
+                                     // electrical ceiling in practice).
+    s.psu = {0.80, 0.90, 180.0};     // 80 % idle / 90 % load.
+
+    // Measured at the wall: 90 W idle, 185 W fully loaded.
+    s.idleWallPowerW = 90.0;
+    s.peakWallPowerW = 185.0;
+
+    s.nominalFlowM3s = 0.012;     // ~25 CFM at full speed.
+    s.fanStiffness = 24.0;        // Six fans: robust to blockage.
+    s.refPressurePa = 80.0;
+    s.ductAreaM2 = 0.43 * 0.0445; // 1U interior cross-section.
+    s.ductHeightM = 0.040;
+
+    s.cpuNode = {1200.0, 3.4};    // Two sockets + heatsinks lumped.
+    s.dramNode = {400.0, 2.0};
+    s.frontNode = {900.0, 1.5};
+    s.psuNode = {800.0, 1.8};
+    s.chassisNode = {20000.0, 5.0};
+    s.junctionResistance = 0.40;  // K/W per socket.
+    s.waxBayPlume = 0.50;
+    s.inletTempC = 25.0;
+
+    s.waxLiters = 1.2;            // Figure 6: 1.2 l in the PCIe bay.
+    s.waxBoxCount = 14;
+    s.defaultMeltTempC = 52.5;
+    s.waxZone = ZoneWaxBay;
+    s.maxWaxBlockage = 0.70;      // Fig 7a: safe up to ~70 %.
+
+    s.serverCostUsd = 2000.0;
+    s.serversPerRack = 40;
+    s.validate();
+    return s;
+}
+
+ServerSpec
+x4470Spec()
+{
+    ServerSpec s;
+    s.name = "2U High Throughput (X4470)";
+    s.rackUnits = 2.0;
+
+    s.sockets = 4;
+    s.coresPerSocket = 8;
+    s.cpu = {12.0, 90.0, 2.4, 1.6};  // Four E7-4800 class sockets.
+    s.dram = {8, 1.5, 3.0};          // 32 GB in 2 packages/socket.
+    s.hdd = {2, 4.0, 6.0};
+    s.ssd = {0, 0.0, 0.0};
+    s.fans = {4, 30.0, 0.50, 0.80};
+    s.psu = {0.80, 0.90, 550.0};
+
+    // Paper: ~500 W per server after the PSU at peak; wall ~556 W.
+    s.idleWallPowerW = 200.0;
+    s.peakWallPowerW = 556.0;
+
+    s.nominalFlowM3s = 0.040;
+    s.fanStiffness = 10.0;        // Fig 7b: stable < 60 %, unsafe > 70 %.
+    s.refPressurePa = 60.0;
+    s.ductAreaM2 = 0.43 * 0.089;  // 2U interior cross-section.
+    s.ductHeightM = 0.080;
+
+    s.cpuNode = {2600.0, 8.0};    // Four sockets lumped.
+    s.dramNode = {500.0, 2.5};
+    s.frontNode = {1200.0, 2.0};
+    s.psuNode = {1500.0, 3.0};
+    s.chassisNode = {40000.0, 8.0};
+    s.junctionResistance = 0.30;
+    s.waxBayPlume = 0.55;
+    s.inletTempC = 25.0;
+
+    s.waxLiters = 4.0;            // Figure 8: four 1 l boxes.
+    s.waxBoxCount = 10;
+    s.defaultMeltTempC = 54.0;
+    s.waxZone = ZoneWaxBay;
+    s.maxWaxBlockage = 0.69;      // Paper: boxes block 69 %.
+
+    s.serverCostUsd = 7000.0;
+    s.serversPerRack = 20;
+    s.validate();
+    return s;
+}
+
+ServerSpec
+openComputeSpec(OcpLayout layout)
+{
+    ServerSpec s;
+    s.rackUnits = 0.5;            // 1U sub-half-width blade.
+
+    s.sockets = 2;
+    s.coresPerSocket = 6;
+    s.cpu = {8.0, 70.0, 2.4, 1.6};
+    s.dram = {4, 2.0, 4.0};       // 64 GB in 2 packages per socket.
+    s.hdd = {4, 4.0, 6.0};        // Redundant 3.5" HDDs.
+    s.ssd = {2, 6.0, 25.0};       // PCIe enterprise SSDs (hot!).
+    s.fans = {1, 10.0, 0.60, 0.85};  // Per-blade share of 6 chassis
+                                     // fans.
+    s.psu = {0.88, 0.94, 320.0};     // High-efficiency shared PSU.
+
+    // Paper: 100 W idle, at most 300 W per blade (before the PSU).
+    s.idleWallPowerW = 100.0;
+    s.peakWallPowerW = 300.0;
+
+    s.nominalFlowM3s = 0.013;     // <200 LFM at the blade rear.
+    s.fanStiffness = 1.8;         // Fig 7c: collapses immediately.
+    s.refPressurePa = 30.0;
+    s.ductAreaM2 = 0.013;
+    s.ductHeightM = 0.060;
+
+    s.cpuNode = {1100.0, 4.0};
+    s.dramNode = {250.0, 1.2};
+    s.frontNode = {1600.0, 2.2};  // Four HDDs up front.
+    s.psuNode = {400.0, 1.0};
+    s.chassisNode = {15000.0, 4.0};
+    s.junctionResistance = 0.25;
+    s.cpuZonePlume = 1.0;
+    s.inletTempC = 27.0;          // OCP chassis run warmer.
+
+    s.serverCostUsd = 4000.0;
+    s.serversPerRack = 96;        // 24 blades per quarter-height
+                                  // chassis, 4 chassis per rack.
+
+    switch (layout) {
+      case OcpLayout::Production:
+        s.name = "Open Compute (production)";
+        s.waxLiters = 0.0;
+        s.waxBoxCount = 0;
+        s.defaultMeltTempC = 0.0;
+        s.waxZone = ZoneCpu;
+        s.maxWaxBlockage = 0.0;
+        s.waxBlockageOverride = 0.0;
+        break;
+      case OcpLayout::InhibitorWax:
+        // Figure 9 (b): 0.5 l replacing the plastic air inhibitors
+        // beside the CPUs; no added blockage.  The boxes sit at the
+        // sockets' flanks, so they see a partially-mixed plume
+        // (modeled by placing them just downwind with a milder plume
+        // fraction than the future layout).
+        s.name = "Open Compute (inhibitor wax)";
+        s.waxLiters = 0.5;
+        s.waxBoxCount = 2;
+        s.defaultMeltTempC = 48.0;
+        s.waxZone = ZoneWaxBay;
+        s.maxWaxBlockage = 0.05;
+        s.waxBlockageOverride = 0.0;
+        break;
+      case OcpLayout::FutureSsd:
+        // Figure 9 (c): CPU/SSD swap plus HDD replacement yields
+        // 1.5 l downwind of the sockets, same blockage as production.
+        s.name = "Open Compute (future, 1.5l)";
+        s.waxLiters = 1.5;
+        s.waxBoxCount = 10;
+        s.defaultMeltTempC = 57.5;
+        s.waxZone = ZoneWaxBay;
+        s.maxWaxBlockage = 0.05;
+        s.waxBlockageOverride = 0.0;
+        break;
+    }
+    s.waxBayPlume = 0.45;         // Strong plume behind the sockets
+                                  // (68 C measured behind socket 2).
+    s.validate();
+    return s;
+}
+
+} // namespace server
+} // namespace tts

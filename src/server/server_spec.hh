@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Complete specification of one server platform.
+ *
+ * A ServerSpec bundles everything the library needs to model a
+ * platform: component power models, airflow calibration, thermal
+ * network constants, wax-bay geometry, and economics.  Factories are
+ * provided for the paper's three platforms:
+ *
+ *   - rd330Spec():       1U low-power commodity server (Lenovo
+ *                        RD330; validated against hardware in the
+ *                        paper).
+ *   - x4470Spec():       2U high-throughput commodity server (Sun
+ *                        X4470-class, four sockets).
+ *   - openComputeSpec(): Microsoft Open Compute blade, in the three
+ *                        layouts of Figure 9 (production, wax
+ *                        replacing airflow inhibitors, and the
+ *                        future SSD-swap layout with 1.5 l of wax).
+ */
+
+#ifndef TTS_SERVER_SERVER_SPEC_HH
+#define TTS_SERVER_SERVER_SPEC_HH
+
+#include <cstddef>
+#include <string>
+
+#include "server/cpu_model.hh"
+#include "server/fan_model.hh"
+#include "server/psu_model.hh"
+#include "thermal/airflow.hh"
+
+namespace tts {
+namespace server {
+
+/** Air zones of the canonical front-to-rear server layout. */
+enum Zone : std::size_t
+{
+    ZoneFront = 0,   //!< Fans, drives, front panel.
+    ZoneDram = 1,    //!< DIMM banks + spread motherboard load.
+    ZoneCpu = 2,     //!< CPU sockets and heatsinks.
+    ZoneWaxBay = 3,  //!< Downwind wax bay (vacant PCIe space).
+    ZoneRear = 4,    //!< PSU and exhaust.
+    ZoneCount = 5,
+};
+
+/** Open Compute blade layout variants (Figure 9 of the paper). */
+enum class OcpLayout
+{
+    /** Production blade; plastic airflow inhibitors, no wax bay. */
+    Production,
+    /** Inhibitors replaced with 0.5 l of wax beside the CPUs. */
+    InhibitorWax,
+    /** CPU/SSD swap + HDDs replaced by SSDs; 1.5 l downwind. */
+    FutureSsd,
+};
+
+/** One storage/memory style component population. */
+struct ComponentBank
+{
+    std::size_t count = 0;
+    double idleEachW = 0.0;
+    double activeEachW = 0.0;
+
+    /** Total power at utilization u (linear). */
+    double power(double util) const
+    {
+        return static_cast<double>(count) *
+            (idleEachW + (activeEachW - idleEachW) * util);
+    }
+};
+
+/** Node thermal constants (capacity + convective coupling). */
+struct NodeThermal
+{
+    /** Heat capacity (J/K). */
+    double capacity;
+    /** Convective conductance at the reference velocity (W/K). */
+    double ua0;
+};
+
+/** Full platform specification. */
+struct ServerSpec
+{
+    /** Platform name. */
+    std::string name;
+    /** Rack units occupied (0.5 for sub-half-width blades). */
+    double rackUnits;
+
+    /** @name Components */
+    /// @{
+    std::size_t sockets;
+    std::size_t coresPerSocket;
+    CpuPowerModel cpu;
+    ComponentBank dram;
+    ComponentBank hdd;
+    ComponentBank ssd;
+    FanBank fans;
+    PsuModel psu;
+    /// @}
+
+    /** @name Published power envelope (wall side) */
+    /// @{
+    /** Wall power at idle (W); the misc residual is calibrated so
+     *  the model reproduces this exactly. */
+    double idleWallPowerW;
+    /** Wall power at 100 % utilization, nominal frequency (W). */
+    double peakWallPowerW;
+    /// @}
+
+    /** @name Airflow calibration */
+    /// @{
+    /** Volumetric flow at full fan speed, zero blockage (m^3/s). */
+    double nominalFlowM3s;
+    /** Fan pressure headroom r = Pmax / dP(nominal); larger means
+     *  flow is more robust to blockage (Fig 7 shape knob). */
+    double fanStiffness;
+    /** Chassis pressure drop at the nominal flow (Pa). */
+    double refPressurePa;
+    /** Duct cross-section at the wax bay (m^2). */
+    double ductAreaM2;
+    /** Duct height at the wax bay (m). */
+    double ductHeightM;
+    /// @}
+
+    /** @name Thermal network constants */
+    /// @{
+    NodeThermal cpuNode;      //!< All sockets lumped.
+    NodeThermal dramNode;
+    NodeThermal frontNode;    //!< Drives + front panel.
+    NodeThermal psuNode;
+    NodeThermal chassisNode;  //!< Slow chassis/motherboard mass.
+    /** CPU junction-to-node thermal resistance (K/W per socket). */
+    double junctionResistance;
+    /** Plume mixing fraction at the wax bay. */
+    double waxBayPlume;
+    /** Plume mixing fraction at the CPU zone. */
+    double cpuZonePlume = 1.0;
+    /** Cold-aisle inlet temperature (C). */
+    double inletTempC = 25.0;
+    /// @}
+
+    /** @name Wax deployment defaults */
+    /// @{
+    /** Wax volume the paper deploys in this platform (liters). */
+    double waxLiters;
+    /** Number of containers the charge is split across. */
+    std::size_t waxBoxCount;
+    /** Default melting temperature before optimization (C). */
+    double defaultMeltTempC;
+    /** Zone holding the wax. */
+    std::size_t waxZone = ZoneWaxBay;
+    /** Blockage cap for wax sizing (from the Fig 7 sweeps). */
+    double maxWaxBlockage;
+    /**
+     * If >= 0, overrides the geometric blockage of the wax bank
+     * (e.g. 0 for OCP layouts where wax replaces existing airflow
+     * inhibitors).
+     */
+    double waxBlockageOverride = -1.0;
+    /// @}
+
+    /** @name Economics */
+    /// @{
+    /** Server capital cost (USD). */
+    double serverCostUsd;
+    /** Servers per rack. */
+    std::size_t serversPerRack;
+    /// @}
+
+    /** @return The fan curve implied by the airflow calibration. */
+    thermal::FanCurve fanCurve() const;
+
+    /** @return A calibrated airflow model for this platform. */
+    thermal::AirflowModel makeAirflow() const;
+
+    /** @return Duct air velocity at full fan speed (m/s). */
+    double nominalVelocity() const;
+
+    /** Validate invariants; throws FatalError when inconsistent. */
+    void validate() const;
+};
+
+/** 1U low power commodity server (validated platform). */
+ServerSpec rd330Spec();
+
+/** 2U high-throughput commodity server (four sockets). */
+ServerSpec x4470Spec();
+
+/** Microsoft Open Compute blade in the given layout. */
+ServerSpec openComputeSpec(OcpLayout layout = OcpLayout::FutureSsd);
+
+} // namespace server
+} // namespace tts
+
+#endif // TTS_SERVER_SERVER_SPEC_HH

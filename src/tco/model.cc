@@ -1,0 +1,125 @@
+#include "tco/model.hh"
+
+#include "util/error.hh"
+
+namespace tts {
+namespace tco {
+
+double
+TcoBreakdown::capitalPerMonth() const
+{
+    return facilitySpaceCapEx + upsCapEx + powerInfraCapEx +
+        coolingInfraCapEx + restCapEx + dcInterest + serverCapEx +
+        waxCapEx + serverInterest;
+}
+
+double
+TcoBreakdown::operationalPerMonth() const
+{
+    return datacenterOpEx + serverEnergyOpEx + serverPowerOpEx +
+        coolingEnergyOpEx + restOpEx;
+}
+
+double
+TcoBreakdown::totalPerMonth() const
+{
+    return capitalPerMonth() + operationalPerMonth();
+}
+
+TcoModel::TcoModel(const TcoParameters &params) : params_(params)
+{
+    require(params.serverLifeMonths > 0.0,
+            "TcoModel: server life must be > 0");
+}
+
+TcoBreakdown
+TcoModel::monthly(double critical_kw, std::size_t server_count,
+                  bool with_wax, double cooling_scale) const
+{
+    require(critical_kw > 0.0, "TcoModel: critical power must be > 0");
+    require(server_count > 0, "TcoModel: need at least one server");
+    require(cooling_scale > 0.0,
+            "TcoModel: cooling scale must be > 0");
+
+    const TcoParameters &p = params_;
+    double n = static_cast<double>(server_count);
+
+    TcoBreakdown b;
+    b.facilitySpaceCapEx =
+        p.facilitySpacePerSqFt * p.sqFtPerKW * critical_kw;
+    b.upsCapEx = p.upsPerServer * n;
+    b.powerInfraCapEx = p.powerInfraPerKW * critical_kw;
+    b.coolingInfraCapEx =
+        p.coolingInfraPerKW * critical_kw * cooling_scale;
+    b.restCapEx = p.restCapExPerKW * critical_kw;
+    b.dcInterest = p.dcInterestPerKW * critical_kw;
+    b.serverCapEx = p.serverCapExPerServer * n;
+    b.waxCapEx = with_wax ? p.waxCapExPerServer * n : 0.0;
+    b.serverInterest = p.serverInterestPerServer * n;
+    b.datacenterOpEx = p.datacenterOpExPerKW * critical_kw;
+    b.serverEnergyOpEx = p.serverEnergyOpExPerKW * critical_kw;
+    b.serverPowerOpEx = p.serverPowerOpExPerKW * critical_kw;
+    b.coolingEnergyOpEx = p.coolingEnergyOpExPerKW * critical_kw;
+    b.restOpEx = p.restOpExPerKW * critical_kw;
+    return b;
+}
+
+double
+TcoModel::annualCoolingInfraSavings(double critical_kw,
+                                    double peak_reduction) const
+{
+    require(peak_reduction >= 0.0 && peak_reduction < 1.0,
+            "TcoModel: reduction must be in [0, 1)");
+    double monthly = params_.coolingAttributedCapExPerKW() *
+        critical_kw * peak_reduction;
+    return 12.0 * monthly;
+}
+
+double
+TcoModel::annualRetrofitSavings(double critical_kw,
+                                double remaining_years) const
+{
+    require(remaining_years > 0.0,
+            "TcoModel: remaining years must be > 0");
+    const TcoParameters &p = params_;
+    // Avoided capital of the replacement plant: the plant itself
+    // (its monthly rate times its amortization life) plus the power
+    // infrastructure feeding it, plus interest on both.
+    double plant_capital =
+        p.coolingInfraPerKW * p.coolingLifeMonths * critical_kw;
+    double power_capital = p.powerInfraPerKW *
+        p.coolingElectricFraction * p.powerInfraLifeMonths *
+        critical_kw;
+    double avoided =
+        (plant_capital + power_capital) * p.retrofitInterestFactor;
+    return avoided / remaining_years;
+}
+
+double
+TcoModel::tcoEfficiencyGain(double critical_kw,
+                            std::size_t server_count,
+                            double throughput_gain) const
+{
+    require(throughput_gain >= 0.0,
+            "TcoModel: throughput gain must be >= 0");
+    // Facility WITH wax, delivering peak throughput T * (1 + g).
+    TcoBreakdown with_wax =
+        monthly(critical_kw, server_count, true);
+    // Facility WITHOUT wax sized to the same peak throughput: all
+    // capital scales by (1 + g); energy/operating expense tracks the
+    // delivered work, which is equal on both sides.
+    double scale = 1.0 + throughput_gain;
+    TcoBreakdown no_wax = monthly(
+        critical_kw * scale,
+        static_cast<std::size_t>(
+            static_cast<double>(server_count) * scale),
+        false);
+    double with_total =
+        with_wax.capitalPerMonth() + with_wax.operationalPerMonth();
+    double without_total = no_wax.capitalPerMonth() +
+        with_wax.operationalPerMonth();
+    return (without_total - with_total) / without_total;
+}
+
+} // namespace tco
+} // namespace tts

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Total cost of ownership model (Equation 1 of the paper).
+ *
+ * TCO = (FacilitySpaceCapEx + UPSCapEx + PowerInfraCapEx +
+ *        CoolingInfraCapEx + RestCapEx) + DCInterest +
+ *       (ServerCapEx + WaxCapEx) + ServerInterest +
+ *       (DatacenterOpEx + ServerEnergyOpEx + ServerPowerOpEx +
+ *        CoolingEnergyOpEx + RestOpEx)
+ *
+ * plus the savings analyses of Sections 5.1 and 5.2: a smaller
+ * cooling plant, more servers under the same plant, the retrofit
+ * scenario, and TCO efficiency under thermal constraints.
+ */
+
+#ifndef TTS_TCO_MODEL_HH
+#define TTS_TCO_MODEL_HH
+
+#include <cstddef>
+
+#include "tco/parameters.hh"
+
+namespace tts {
+namespace tco {
+
+/** Itemized monthly TCO (all USD/month). */
+struct TcoBreakdown
+{
+    double facilitySpaceCapEx = 0.0;
+    double upsCapEx = 0.0;
+    double powerInfraCapEx = 0.0;
+    double coolingInfraCapEx = 0.0;
+    double restCapEx = 0.0;
+    double dcInterest = 0.0;
+    double serverCapEx = 0.0;
+    double waxCapEx = 0.0;
+    double serverInterest = 0.0;
+    double datacenterOpEx = 0.0;
+    double serverEnergyOpEx = 0.0;
+    double serverPowerOpEx = 0.0;
+    double coolingEnergyOpEx = 0.0;
+    double restOpEx = 0.0;
+
+    /** @return Sum of all CapEx + interest terms. */
+    double capitalPerMonth() const;
+    /** @return Sum of all OpEx terms. */
+    double operationalPerMonth() const;
+    /** @return Total monthly TCO. */
+    double totalPerMonth() const;
+    /** @return Total yearly TCO. */
+    double totalPerYear() const { return 12.0 * totalPerMonth(); }
+};
+
+/** Equation-1 TCO evaluator for one facility. */
+class TcoModel
+{
+  public:
+    /**
+     * @param params Monthly rates (Table 2 for a platform).
+     */
+    explicit TcoModel(const TcoParameters &params);
+
+    /**
+     * Itemized monthly TCO.
+     *
+     * @param critical_kw     Critical power (kW).
+     * @param server_count    Number of servers.
+     * @param with_wax        Include the WaxCapEx term.
+     * @param cooling_scale   Cooling plant size relative to the
+     *                        critical power (1.0 = fully
+     *                        subscribed); scales the cooling CapEx.
+     */
+    TcoBreakdown monthly(double critical_kw,
+                         std::size_t server_count,
+                         bool with_wax = false,
+                         double cooling_scale = 1.0) const;
+
+    /**
+     * Section 5.1 headline: yearly savings on the cooling system and
+     * the cooling power infrastructure from a peak cooling-load
+     * reduction (a smaller plant at build time).
+     *
+     * @param critical_kw    Critical power (kW).
+     * @param peak_reduction PCM peak cooling reduction fraction.
+     * @return Savings (USD/year).
+     */
+    double annualCoolingInfraSavings(double critical_kw,
+                                     double peak_reduction) const;
+
+    /**
+     * Section 5.1 retrofit: old servers reached end of life, the
+     * existing plant has years of life left but cannot cool the new,
+     * denser deployment at peak.  PCM absorbs the overshoot, so the
+     * replacement plant is avoided; the avoided capital (plant + its
+     * power infrastructure + interest) is spread over the plant's
+     * remaining life.
+     *
+     * @param critical_kw     Critical power of the new deployment
+     *                        (kW).
+     * @param remaining_years Remaining life of the old plant.
+     * @return Savings (USD/year).
+     */
+    double annualRetrofitSavings(double critical_kw,
+                                 double remaining_years = 6.0) const;
+
+    /**
+     * Section 5.2: TCO efficiency gain from a PCM throughput
+     * increase in a thermally constrained facility.  Matching the
+     * PCM peak throughput without wax requires (1 + gain) times the
+     * servers and capital; energy OpEx scales with delivered work on
+     * both sides.
+     *
+     * @param critical_kw      Critical power (kW).
+     * @param server_count     Server count of the PCM facility.
+     * @param throughput_gain  Fractional peak-throughput increase
+     *                         from PCM (e.g. 0.69).
+     * @return Fractional TCO-efficiency improvement.
+     */
+    double tcoEfficiencyGain(double critical_kw,
+                             std::size_t server_count,
+                             double throughput_gain) const;
+
+    /** @return The parameter set. */
+    const TcoParameters &params() const { return params_; }
+
+  private:
+    TcoParameters params_;
+};
+
+} // namespace tco
+} // namespace tts
+
+#endif // TTS_TCO_MODEL_HH

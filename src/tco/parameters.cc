@@ -1,0 +1,57 @@
+#include "tco/parameters.hh"
+
+#include "pcm/cost.hh"
+#include "pcm/material.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace tco {
+
+double
+TcoParameters::coolingAttributedCapExPerKW() const
+{
+    double base = coolingInfraPerKW +
+        powerInfraPerKW * coolingElectricFraction;
+    return base * (1.0 + interestFraction);
+}
+
+TcoParameters
+parametersFor(const server::ServerSpec &spec)
+{
+    TcoParameters p;
+
+    // Server capital amortized over the 4-year lifespan.
+    p.serverCapExPerServer = spec.serverCostUsd / p.serverLifeMonths;
+    // Interest roughly tracks capital (Table 2: $11.00 for the
+    // $2,000 1U server up to $38.50 for the $7,000 2U server).
+    p.serverInterestPerServer = spec.serverCostUsd * 0.0055;
+
+    // Wax capital: wax + containers amortized with the server.
+    if (spec.waxLiters > 0.0) {
+        auto cost = pcm::fleetWaxCost(pcm::commercialParaffin(),
+                                      spec.waxLiters, 1,
+                                      /*container_cost=*/2.5);
+        p.waxCapExPerServer =
+            (cost.waxCostPerServer + cost.containerCostPerServer) /
+            p.serverLifeMonths;
+    } else {
+        p.waxCapExPerServer = 0.0;
+    }
+
+    // Per-kW range positions: denser platforms sit at the high end
+    // of the power-infrastructure and energy ranges (Table 2 lists
+    // 15.9-16.2, 19.4-21.0, 31.8-36.3, 19.2-24.9, 5.7-6.6).
+    double density = spec.peakWallPowerW /
+        (spec.rackUnits > 0.0 ? spec.rackUnits : 1.0);
+    double hi = density > 250.0 ? 1.0 : density / 250.0;
+    p.powerInfraPerKW = 15.9 + 0.3 * hi;
+    p.restCapExPerKW = 19.4 + 1.6 * hi;
+    p.dcInterestPerKW = 31.8 + 4.5 * hi;
+    p.datacenterOpExPerKW = 20.7 + 0.2 * hi;
+    p.serverEnergyOpExPerKW = 19.2 + 5.7 * hi;
+    p.restOpExPerKW = 5.7 + 0.9 * hi;
+    return p;
+}
+
+} // namespace tco
+} // namespace tts

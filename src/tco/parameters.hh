@@ -1,0 +1,96 @@
+/**
+ * @file
+ * TCO parameter set (Table 2 of the paper).
+ *
+ * All cost rates are dollars per month, following Kontorinis et al.
+ * with the interest treatment of Barroso & Hoelzle.  "Per kW" rates
+ * are per kilowatt of datacenter critical power.  Ranges in Table 2
+ * (e.g. ServerCapEx 42-146 $/server) span the three platforms; the
+ * factory maps each platform to its point in the range.
+ */
+
+#ifndef TTS_TCO_PARAMETERS_HH
+#define TTS_TCO_PARAMETERS_HH
+
+#include "server/server_spec.hh"
+
+namespace tts {
+namespace tco {
+
+/** Monthly cost rates (Table 2). */
+struct TcoParameters
+{
+    /** @name Facility-level CapEx ($/month) */
+    /// @{
+    double facilitySpacePerSqFt = 1.29;
+    /** Facility area per kW of critical power (sq ft/kW). */
+    double sqFtPerKW = 6.0;
+    double upsPerServer = 0.13;
+    double powerInfraPerKW = 16.0;      // Table 2: 15.9-16.2.
+    double coolingInfraPerKW = 7.0;
+    double restCapExPerKW = 20.0;       // Table 2: 19.4-21.0.
+    double dcInterestPerKW = 33.0;      // Table 2: 31.8-36.3.
+    /// @}
+
+    /** @name Server-level CapEx ($/server/month) */
+    /// @{
+    double serverCapExPerServer = 42.0;    // Table 2: 42-146.
+    double waxCapExPerServer = 0.08;       // Table 2: 0.06-0.10.
+    double serverInterestPerServer = 11.0; // Table 2: 11.00-38.50.
+    /// @}
+
+    /** @name OpEx ($/kW/month) */
+    /// @{
+    double datacenterOpExPerKW = 20.8;     // Table 2: 20.7-20.9.
+    double serverEnergyOpExPerKW = 22.0;   // Table 2: 19.2-24.9.
+    double serverPowerOpExPerKW = 12.0;
+    double coolingEnergyOpExPerKW = 18.4;
+    double restOpExPerKW = 6.0;            // Table 2: 5.7-6.6.
+    /// @}
+
+    /** @name Derived / auxiliary assumptions */
+    /// @{
+    /** Server amortization period (months; 4-year lifespan). */
+    double serverLifeMonths = 48.0;
+    /** Cooling plant amortization period (months; ~10 years). */
+    double coolingLifeMonths = 120.0;
+    /** Power infrastructure amortization period (months). */
+    double powerInfraLifeMonths = 144.0;
+    /**
+     * Fraction of critical power drawn by the cooling plant (the
+     * plant's electric demand that the power infrastructure must
+     * also be sized for); 1/COP of a typical chilled-water plant.
+     */
+    double coolingElectricFraction = 0.28;
+    /** Interest charged on capital, as a fraction of CapEx. */
+    double interestFraction = 0.62;
+    /**
+     * Interest factor applied to the avoided plant capital in the
+     * retrofit analysis: interest accrues pro-rata on the declining
+     * balance over the remaining life, about 40 % of the full-term
+     * charge.
+     */
+    double retrofitInterestFactor = 1.25;
+    /// @}
+
+    /**
+     * Monthly cooling-attributed capital per kW: the cooling plant
+     * itself plus the share of power infrastructure feeding it,
+     * including interest.  This is the rate that shrinks when PCM
+     * reduces the peak cooling load.
+     */
+    double coolingAttributedCapExPerKW() const;
+};
+
+/**
+ * Table 2 instantiated for one platform: ServerCapEx from the server
+ * cost over a 4-year life, interest per server, wax capital from the
+ * platform's wax charge, and the platform's position in the per-kW
+ * ranges.
+ */
+TcoParameters parametersFor(const server::ServerSpec &spec);
+
+} // namespace tco
+} // namespace tts
+
+#endif // TTS_TCO_PARAMETERS_HH

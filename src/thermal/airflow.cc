@@ -1,0 +1,102 @@
+#include "thermal/airflow.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace thermal {
+
+double
+FanCurve::pressureAt(double q, double speed) const
+{
+    // Fan laws: Q scales with speed, P with speed^2.
+    double qf = maxFlowM3s * speed;
+    double pf = maxPressurePa * speed * speed;
+    if (qf <= 0.0)
+        return 0.0;
+    return pf * (1.0 - q / qf);
+}
+
+double
+solveOperatingPoint(const FanCurve &fan, double k, double speed)
+{
+    require(k > 0.0, "solveOperatingPoint: impedance must be > 0");
+    require(speed > 0.0 && speed <= 1.0,
+            "solveOperatingPoint: speed must be in (0, 1]");
+    double qf = fan.maxFlowM3s * speed;
+    double pf = fan.maxPressurePa * speed * speed;
+    require(qf > 0.0 && pf > 0.0,
+            "solveOperatingPoint: degenerate fan curve");
+    // Solve k q^2 + (pf/qf) q - pf = 0 for q > 0.
+    double b = pf / qf;
+    double disc = b * b + 4.0 * k * pf;
+    double q = (-b + std::sqrt(disc)) / (2.0 * k);
+    invariant(q >= 0.0 && q <= qf + 1e-12,
+              "solveOperatingPoint: operating point out of range");
+    return q;
+}
+
+AirflowModel::AirflowModel(const FanCurve &fan, double nominal_flow,
+                           double duct_area)
+    : fan_(fan), duct_area_(duct_area)
+{
+    require(nominal_flow > 0.0,
+            "AirflowModel: nominal flow must be > 0");
+    require(nominal_flow < fan.maxFlowM3s,
+            "AirflowModel: nominal flow must be below free delivery");
+    require(duct_area > 0.0, "AirflowModel: duct area must be > 0");
+    // Calibrate k0 so the operating point at zero blockage equals the
+    // nominal flow: k0 = P(Q_nom) / Q_nom^2.
+    double p = fan.pressureAt(nominal_flow);
+    require(p > 0.0,
+            "AirflowModel: nominal flow not on the fan curve");
+    k0_ = p / (nominal_flow * nominal_flow);
+}
+
+void
+AirflowModel::setBlockage(double fraction)
+{
+    require(fraction >= 0.0 && fraction < 1.0,
+            "AirflowModel: blockage must be in [0, 1)");
+    blockage_ = fraction;
+}
+
+void
+AirflowModel::setFanSpeed(double speed)
+{
+    require(speed > 0.0 && speed <= 1.0,
+            "AirflowModel: fan speed must be in (0, 1]");
+    speed_ = speed;
+}
+
+double
+AirflowModel::flow() const
+{
+    double open = 1.0 - blockage_;
+    double k = k0_ / (open * open);
+    return solveOperatingPoint(fan_, k, speed_);
+}
+
+double
+AirflowModel::massFlow() const
+{
+    return flow() * units::airDensity;
+}
+
+double
+AirflowModel::velocityAtBlockage() const
+{
+    double open_area = duct_area_ * (1.0 - blockage_);
+    return flow() / open_area;
+}
+
+double
+AirflowModel::ductVelocity() const
+{
+    return flow() / duct_area_;
+}
+
+} // namespace thermal
+} // namespace tts

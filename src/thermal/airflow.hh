@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Server airflow model: fan curve vs. system impedance.
+ *
+ * Replaces the CFD airflow solution with the standard lumped
+ * treatment: the fans supply a linear pressure-flow curve, the chassis
+ * presents a quadratic impedance dP = k * Q^2, and the operating
+ * point is their intersection.  Blocking a fraction b of the duct
+ * cross-section scales the impedance by 1/(1-b)^2 (orifice law),
+ * which reproduces the paper's Figure 7 blockage sweeps once the fan
+ * stiffness is calibrated per server.
+ */
+
+#ifndef TTS_THERMAL_AIRFLOW_HH
+#define TTS_THERMAL_AIRFLOW_HH
+
+namespace tts {
+namespace thermal {
+
+/**
+ * Linear fan pressure-flow curve with fan-law speed scaling.
+ *
+ * At full speed the curve runs from (0, maxPressure) to (maxFlow, 0).
+ * At speed fraction s, flow scales by s and pressure by s^2.
+ */
+struct FanCurve
+{
+    /** Static pressure at zero flow, full speed (Pa). */
+    double maxPressurePa;
+    /** Free-delivery flow at zero pressure, full speed (m^3/s). */
+    double maxFlowM3s;
+
+    /**
+     * Pressure available at the given flow and speed (Pa); negative
+     * when the demanded flow exceeds free delivery.
+     *
+     * @param q     Volumetric flow (m^3/s).
+     * @param speed Speed fraction in (0, 1].
+     */
+    double pressureAt(double q, double speed = 1.0) const;
+};
+
+/**
+ * Solve the fan/impedance operating point.
+ *
+ * Finds Q >= 0 with fan.pressureAt(Q, speed) == k * Q^2.
+ *
+ * @param fan   Fan curve.
+ * @param k     Impedance coefficient (Pa s^2/m^6), must be > 0.
+ * @param speed Fan speed fraction in (0, 1].
+ * @return Operating flow (m^3/s).
+ */
+double solveOperatingPoint(const FanCurve &fan, double k,
+                           double speed = 1.0);
+
+/**
+ * Complete airflow state of one server chassis.
+ *
+ * Owns the fan curve, the baseline impedance (calibrated from the
+ * nominal flow at zero blockage), and the current blockage fraction
+ * and fan speed.
+ */
+class AirflowModel
+{
+  public:
+    /**
+     * Calibrate from a nominal operating point.
+     *
+     * @param fan          Fan curve (full-speed).
+     * @param nominal_flow Flow at zero blockage, full speed (m^3/s).
+     * @param duct_area    Duct cross-section at the wax bay (m^2).
+     */
+    AirflowModel(const FanCurve &fan, double nominal_flow,
+                 double duct_area);
+
+    /** Set the blocked fraction of the duct in [0, 1). */
+    void setBlockage(double fraction);
+    /** @return Current blockage fraction. */
+    double blockage() const { return blockage_; }
+
+    /** Set the fan speed fraction in (0, 1]. */
+    void setFanSpeed(double speed);
+    /** @return Current fan speed fraction. */
+    double fanSpeed() const { return speed_; }
+
+    /** @return Volumetric flow at the current state (m^3/s). */
+    double flow() const;
+
+    /** @return Mass flow at the current state (kg/s). */
+    double massFlow() const;
+
+    /**
+     * @return Air velocity through the unblocked part of the duct
+     * (m/s); rises through a constriction even as total flow falls.
+     */
+    double velocityAtBlockage() const;
+
+    /** @return Mean duct velocity with no constriction (m/s). */
+    double ductVelocity() const;
+
+    /** @return Baseline impedance coefficient k0 (Pa s^2/m^6). */
+    double baseImpedance() const { return k0_; }
+
+    /** @return The fan curve. */
+    const FanCurve &fan() const { return fan_; }
+
+    /** @return Duct cross-sectional area (m^2). */
+    double ductArea() const { return duct_area_; }
+
+  private:
+    FanCurve fan_;
+    double duct_area_;
+    double k0_;
+    double blockage_ = 0.0;
+    double speed_ = 1.0;
+};
+
+} // namespace thermal
+} // namespace tts
+
+#endif // TTS_THERMAL_AIRFLOW_HH

@@ -1,0 +1,366 @@
+#include "thermal/network.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace thermal {
+
+double
+ConvectiveCoupling::ua(double velocity) const
+{
+    double v = std::max(velocity, 0.05);
+    return ua0 * std::pow(v / refVelocity, exponent);
+}
+
+ServerThermalNetwork::ServerThermalNetwork(const AirflowModel &airflow,
+                                           std::size_t zone_count,
+                                           double inlet_temp_c)
+    : airflow_(airflow), zone_count_(zone_count),
+      inlet_temp_(inlet_temp_c),
+      direct_air_power_(zone_count, 0.0),
+      plume_fraction_(zone_count, 1.0)
+{
+    require(zone_count >= 1,
+            "ServerThermalNetwork: need at least one zone");
+}
+
+int
+ServerThermalNetwork::addCapacityNode(const std::string &name,
+                                      double capacity,
+                                      const ConvectiveCoupling &coupling,
+                                      std::size_t zone,
+                                      double initial_temp_c,
+                                      VelocityRef vref)
+{
+    require(capacity > 0.0,
+            "addCapacityNode: capacity must be > 0");
+    require(coupling.ua0 > 0.0, "addCapacityNode: ua0 must be > 0");
+    require(zone < zone_count_, "addCapacityNode: zone out of range");
+    Node n;
+    n.name = name;
+    n.capacity = capacity;
+    n.coupling = coupling;
+    n.zone = zone;
+    n.vref = vref;
+    n.element = nullptr;
+    nodes_.push_back(n);
+    state_.push_back(capacity * initial_temp_c);
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+int
+ServerThermalNetwork::addPcmNode(const std::string &name,
+                                 pcm::PcmElement *element,
+                                 std::size_t zone, bool air_coupled)
+{
+    require(element != nullptr, "addPcmNode: null element");
+    require(zone < zone_count_, "addPcmNode: zone out of range");
+    Node n;
+    n.name = name;
+    n.capacity = 0.0;
+    n.coupling = ConvectiveCoupling{1.0, 2.0, 0.8};
+    n.zone = zone;
+    n.vref = VelocityRef::Constriction;
+    n.element = element;
+    n.airCoupled = air_coupled;
+    nodes_.push_back(n);
+    state_.push_back(element->storedEnthalpy());
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+void
+ServerThermalNetwork::addConduction(int a, int b, double conductance)
+{
+    require(a >= 0 && a < static_cast<int>(nodes_.size()) &&
+            b >= 0 && b < static_cast<int>(nodes_.size()) && a != b,
+            "addConduction: bad node ids");
+    require(conductance > 0.0,
+            "addConduction: conductance must be > 0");
+    links_.push_back({a, b, conductance});
+}
+
+void
+ServerThermalNetwork::setNodePower(int node, double watts)
+{
+    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+            "setNodePower: bad node id");
+    require(watts >= 0.0, "setNodePower: power must be >= 0");
+    nodes_[node].power = watts;
+}
+
+double
+ServerThermalNetwork::nodePower(int node) const
+{
+    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+            "nodePower: bad node id");
+    return nodes_[node].power;
+}
+
+void
+ServerThermalNetwork::setDirectAirPower(std::size_t zone, double watts)
+{
+    require(zone < zone_count_, "setDirectAirPower: zone out of range");
+    require(watts >= 0.0, "setDirectAirPower: power must be >= 0");
+    direct_air_power_[zone] = watts;
+}
+
+double
+ServerThermalNetwork::directAirPower(std::size_t zone) const
+{
+    require(zone < zone_count_, "directAirPower: zone out of range");
+    return direct_air_power_[zone];
+}
+
+void
+ServerThermalNetwork::setZonePlumeFraction(std::size_t zone, double p)
+{
+    require(zone < zone_count_,
+            "setZonePlumeFraction: zone out of range");
+    require(p > 0.0 && p <= 1.0,
+            "setZonePlumeFraction: fraction must be in (0, 1]");
+    plume_fraction_[zone] = p;
+}
+
+void
+ServerThermalNetwork::setInletTemp(double t_c)
+{
+    inlet_temp_ = t_c;
+}
+
+double
+ServerThermalNetwork::tempOf(const Node &n, double h) const
+{
+    if (n.element)
+        return n.element->temperatureAtEnthalpy(h);
+    return h / n.capacity;
+}
+
+double
+ServerThermalNetwork::uaOf(const Node &n) const
+{
+    if (!n.airCoupled)
+        return 0.0;
+    double v = n.vref == VelocityRef::Constriction
+        ? airflow_.velocityAtBlockage()
+        : airflow_.ductVelocity();
+    if (n.element)
+        return n.element->bank().conductanceAt(v);
+    return n.coupling.ua(v);
+}
+
+double
+ServerThermalNetwork::uaOf(const Node &n, double t_node,
+                           double t_air) const
+{
+    if (!n.airCoupled)
+        return 0.0;
+    if (n.element) {
+        // PCM conductance is direction-dependent: freezing is
+        // conduction-limited through the growing solid layer.
+        double v = n.vref == VelocityRef::Constriction
+            ? airflow_.velocityAtBlockage()
+            : airflow_.ductVelocity();
+        double ua = n.element->bank().conductanceAt(v);
+        if (t_node > t_air)
+            ua *= n.element->freezeConductanceFactor();
+        return ua;
+    }
+    return uaOf(n);
+}
+
+void
+ServerThermalNetwork::airWalk(const std::vector<double> &h,
+                              std::vector<double> &t_mixed,
+                              std::vector<double> &t_local) const
+{
+    t_mixed.resize(zone_count_ + 1);
+    t_local.resize(zone_count_);
+    double mcp = airflow_.massFlow() * units::airSpecificHeat;
+    invariant(mcp > 0.0, "airWalk: no airflow");
+    t_mixed[0] = inlet_temp_;
+    double upstream_rise = 0.0;
+    for (std::size_t z = 0; z < zone_count_; ++z) {
+        double p = plume_fraction_[z];
+        t_local[z] = t_mixed[z] + (1.0 / p - 1.0) * upstream_rise;
+        double q = direct_air_power_[z];
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            const Node &n = nodes_[i];
+            if (n.zone != z)
+                continue;
+            double tn = tempOf(n, h[i]);
+            q += uaOf(n, tn, t_local[z]) * (tn - t_local[z]);
+        }
+        upstream_rise = q / mcp;
+        t_mixed[z + 1] = t_mixed[z] + upstream_rise;
+    }
+}
+
+void
+ServerThermalNetwork::rhs(const std::vector<double> &h,
+                          std::vector<double> &dh) const
+{
+    airWalk(h, t_mixed_scratch_, t_local_scratch_);
+    dh.assign(nodes_.size(), 0.0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        double t = tempOf(n, h[i]);
+        dh[i] = n.power - uaOf(n, t, t_local_scratch_[n.zone]) *
+            (t - t_local_scratch_[n.zone]);
+    }
+    for (const auto &link : links_) {
+        double ta = tempOf(nodes_[link.a], h[link.a]);
+        double tb = tempOf(nodes_[link.b], h[link.b]);
+        double q = link.conductance * (ta - tb);
+        dh[link.a] -= q;
+        dh[link.b] += q;
+    }
+}
+
+void
+ServerThermalNetwork::advance(double dt_total, double dt_step)
+{
+    require(dt_total >= 0.0, "advance: dt_total must be >= 0");
+    require(dt_step > 0.0, "advance: dt_step must be > 0");
+    if (dt_total == 0.0)
+        return;
+    OdeRhs f = [this](double, const std::vector<double> &h,
+                      std::vector<double> &dh) { rhs(h, dh); };
+    integrate(stepper_, f, 0.0, dt_total, dt_step, state_);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].element)
+            nodes_[i].element->setEnthalpy(state_[i]);
+    }
+}
+
+void
+ServerThermalNetwork::solveSteadyState()
+{
+    // Gauss-Seidel on the per-node balances interleaved with air
+    // walks.  Converges fast because air-to-node coupling dominates.
+    std::vector<double> t(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        t[i] = tempOf(nodes_[i], state_[i]);
+
+    std::vector<double> t_mixed, t_local;
+    for (int iter = 0; iter < 500; ++iter) {
+        // Convert temps back to enthalpies for the walk.
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            state_[i] = nodes_[i].element
+                ? nodes_[i].element->activeCurve().enthalpyAt(t[i])
+                : nodes_[i].capacity * t[i];
+        }
+        airWalk(state_, t_mixed, t_local);
+        double max_delta = 0.0;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            const Node &n = nodes_[i];
+            double ua = uaOf(n, t[i], t_local[n.zone]);
+            double num = n.power + ua * t_local[n.zone];
+            double den = ua;
+            for (const auto &link : links_) {
+                if (link.a == static_cast<int>(i)) {
+                    num += link.conductance * t[link.b];
+                    den += link.conductance;
+                } else if (link.b == static_cast<int>(i)) {
+                    num += link.conductance * t[link.a];
+                    den += link.conductance;
+                }
+            }
+            invariant(den > 0.0, "solveSteadyState: node with no "
+                      "air coupling and no conduction links");
+            double t_new = num / den;
+            max_delta = std::max(max_delta, std::abs(t_new - t[i]));
+            t[i] = t_new;
+        }
+        if (max_delta < 1e-9)
+            break;
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        state_[i] = nodes_[i].element
+            ? nodes_[i].element->activeCurve().enthalpyAt(t[i])
+            : nodes_[i].capacity * t[i];
+        if (nodes_[i].element)
+            nodes_[i].element->setEnthalpy(state_[i]);
+    }
+}
+
+double
+ServerThermalNetwork::nodeTemperature(int node) const
+{
+    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+            "nodeTemperature: bad node id");
+    return tempOf(nodes_[node], state_[node]);
+}
+
+double
+ServerThermalNetwork::nodeEnthalpy(int node) const
+{
+    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+            "nodeEnthalpy: bad node id");
+    return state_[node];
+}
+
+double
+ServerThermalNetwork::zoneAirTemp(std::size_t zone) const
+{
+    require(zone <= zone_count_, "zoneAirTemp: zone out of range");
+    airWalk(state_, t_mixed_scratch_, t_local_scratch_);
+    if (zone == zone_count_)
+        return t_mixed_scratch_[zone_count_];
+    return t_local_scratch_[zone];
+}
+
+double
+ServerThermalNetwork::zoneMixedTemp(std::size_t zone) const
+{
+    require(zone <= zone_count_, "zoneMixedTemp: zone out of range");
+    airWalk(state_, t_mixed_scratch_, t_local_scratch_);
+    return t_mixed_scratch_[zone];
+}
+
+double
+ServerThermalNetwork::outletTemp() const
+{
+    return zoneMixedTemp(zone_count_);
+}
+
+double
+ServerThermalNetwork::airHeatRate() const
+{
+    double mcp = airflow_.massFlow() * units::airSpecificHeat;
+    return mcp * (outletTemp() - inlet_temp_);
+}
+
+double
+ServerThermalNetwork::totalInputPower() const
+{
+    double total = 0.0;
+    for (const auto &n : nodes_)
+        total += n.power;
+    for (double p : direct_air_power_)
+        total += p;
+    return total;
+}
+
+const std::string &
+ServerThermalNetwork::nodeName(int node) const
+{
+    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+            "nodeName: bad node id");
+    return nodes_[node].name;
+}
+
+int
+ServerThermalNetwork::findNode(const std::string &name) const
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace thermal
+} // namespace tts

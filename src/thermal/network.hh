@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Zone-based server thermal network.
+ *
+ * The model that replaces the Icepak CFD simulation.  A server is a
+ * sequence of air zones traversed front-to-rear by the fan-driven air
+ * stream.  Solid nodes (CPU+heatsink, DIMMs, PSU, drives, wax boxes)
+ * have heat capacity, sit in one zone, and exchange heat with the air
+ * entering that zone through a velocity-dependent convective
+ * conductance.  Air itself is quasi-steady (its capacity is
+ * negligible next to the solids), so zone air temperatures follow
+ * algebraically from an upstream walk:
+ *
+ *     T_air[z+1] = T_air[z] + Q_zone / (m_dot * cp)
+ *
+ * Solid node enthalpies are the ODE state; PCM nodes carry an
+ * enthalpy-temperature curve so melting needs no special cases.
+ * Energy is conserved by construction: d/dt(sum H) = sum P_in -
+ * (heat advected out by the air).
+ */
+
+#ifndef TTS_THERMAL_NETWORK_HH
+#define TTS_THERMAL_NETWORK_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pcm/pcm_element.hh"
+#include "thermal/airflow.hh"
+#include "util/integrator.hh"
+
+namespace tts {
+namespace thermal {
+
+/**
+ * Velocity-dependent convective conductance UA(v) = ua0 *
+ * (v / v_ref)^exponent, with a small floor so natural convection
+ * keeps nodes coupled when fans idle.
+ */
+struct ConvectiveCoupling
+{
+    /** Conductance at the reference velocity (W/K). */
+    double ua0;
+    /** Reference velocity (m/s). */
+    double refVelocity = 2.0;
+    /** Velocity exponent (0.8 for turbulent forced convection). */
+    double exponent = 0.8;
+
+    /** @return Conductance at the given velocity (W/K). */
+    double ua(double velocity) const;
+};
+
+/** Which velocity a node's coupling sees. */
+enum class VelocityRef
+{
+    /** Mean duct velocity (most components). */
+    Duct,
+    /** Accelerated velocity through the blocked section (wax boxes). */
+    Constriction,
+};
+
+/** A conduction link between two solid nodes (W/K). */
+struct ConductionLink
+{
+    int a;
+    int b;
+    double conductance;
+};
+
+/**
+ * The server thermal network.  Typical driver loop:
+ *
+ * @code
+ *   net.setNodePower(cpu, watts);
+ *   net.airflow().setFanSpeed(speed);
+ *   net.advance(60.0, 1.0);
+ *   double out = net.outletTemp();
+ * @endcode
+ */
+class ServerThermalNetwork
+{
+  public:
+    /**
+     * @param airflow      Calibrated airflow model (copied).
+     * @param zone_count   Number of air zones front-to-rear (>= 1).
+     * @param inlet_temp_c Cold-aisle inlet temperature (C).
+     */
+    ServerThermalNetwork(const AirflowModel &airflow,
+                         std::size_t zone_count, double inlet_temp_c);
+
+    /**
+     * Add a constant-capacity solid node.
+     *
+     * @param name           Debug/report name.
+     * @param capacity       Heat capacity (J/K), > 0.
+     * @param coupling       Convective coupling to the zone air.
+     * @param zone           Zone index.
+     * @param initial_temp_c Initial temperature (C).
+     * @param vref           Velocity reference for the coupling.
+     * @return Node id.
+     */
+    int addCapacityNode(const std::string &name, double capacity,
+                        const ConvectiveCoupling &coupling,
+                        std::size_t zone, double initial_temp_c,
+                        VelocityRef vref = VelocityRef::Duct);
+
+    /**
+     * Add a PCM node backed by a PcmElement.  The node's enthalpy
+     * curve and air conductance come from the element; the element's
+     * state is kept in sync after every advance().
+     *
+     * @param name        Debug/report name.
+     * @param element     PCM element; must outlive the network.
+     * @param zone        Zone index.
+     * @param air_coupled When false the node exchanges no heat with
+     *                    the air stream (an interior shell of a
+     *                    discretized charge; couple it with
+     *                    addConduction instead).
+     * @return Node id.
+     */
+    int addPcmNode(const std::string &name, pcm::PcmElement *element,
+                   std::size_t zone, bool air_coupled = true);
+
+    /** Add a conduction link (W/K) between two solid nodes. */
+    void addConduction(int a, int b, double conductance);
+
+    /** Set external power injected into a node (W). */
+    void setNodePower(int node, double watts);
+    /** @return External power currently injected into a node (W). */
+    double nodePower(int node) const;
+
+    /**
+     * Set power dumped directly into the air in a zone (fan motors,
+     * lumped minor components) (W).
+     */
+    void setDirectAirPower(std::size_t zone, double watts);
+
+    /** @return Power dumped directly into the air in a zone (W). */
+    double directAirPower(std::size_t zone) const;
+
+    /**
+     * Set the plume mixing fraction of a zone.
+     *
+     * Air arriving at zone z from a concentrated upstream heat source
+     * (a CPU heatsink channel) is only partially mixed: with mixing
+     * fraction p in (0, 1], nodes in zone z see
+     *
+     *     T_local[z] = T_mixed[z] + (1/p - 1) * dT_upstream
+     *
+     * where dT_upstream is the mixed-air temperature rise produced by
+     * the immediately-upstream zone.  p == 1 (default) recovers the
+     * fully-mixed model.  Energy accounting always uses the mixed
+     * stream, so conservation is unaffected.
+     */
+    void setZonePlumeFraction(std::size_t zone, double p);
+
+    /** Set the inlet (cold aisle) temperature (C). */
+    void setInletTemp(double t_c);
+    /** @return Inlet temperature (C). */
+    double inletTemp() const { return inlet_temp_; }
+
+    /** @return Mutable airflow model (speed, blockage). */
+    AirflowModel &airflow() { return airflow_; }
+    /** @return The airflow model. */
+    const AirflowModel &airflow() const { return airflow_; }
+
+    /**
+     * Integrate the network forward by dt_total using RK4 with fixed
+     * internal step dt_step, holding powers and airflow constant.
+     */
+    void advance(double dt_total, double dt_step = 1.0);
+
+    /**
+     * Set every node to its steady-state temperature for the current
+     * powers and airflow (Gauss-Seidel on the local balances).
+     */
+    void solveSteadyState();
+
+    /** @return Node temperature (C). */
+    double nodeTemperature(int node) const;
+
+    /** @return Node stored enthalpy (J). */
+    double nodeEnthalpy(int node) const;
+
+    /**
+     * @return Local air temperature seen by nodes in the given zone
+     * (C), including the plume correction; zone 0 returns the inlet
+     * temperature.
+     */
+    double zoneAirTemp(std::size_t zone) const;
+
+    /**
+     * @return Fully-mixed air temperature entering the given zone
+     * (C); index zone_count() gives the outlet.
+     */
+    double zoneMixedTemp(std::size_t zone) const;
+
+    /** @return Air temperature leaving the server (C). */
+    double outletTemp() const;
+
+    /**
+     * @return Heat currently carried away by the air stream (W) ==
+     * m_dot * cp * (outlet - inlet).  This is the server's
+     * instantaneous contribution to the room cooling load.
+     */
+    double airHeatRate() const;
+
+    /** @return Sum of external node power + direct air power (W). */
+    double totalInputPower() const;
+
+    /** @return Number of solid nodes. */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** @return Name of a node. */
+    const std::string &nodeName(int node) const;
+
+    /** @return Node id by name, or -1. */
+    int findNode(const std::string &name) const;
+
+  private:
+    struct Node
+    {
+        std::string name;
+        double capacity;                 //!< J/K; unused for PCM.
+        ConvectiveCoupling coupling;     //!< Unused for PCM.
+        std::size_t zone;
+        VelocityRef vref;
+        pcm::PcmElement *element;        //!< Null for capacity nodes.
+        double power = 0.0;              //!< External input (W).
+        bool airCoupled = true;          //!< Exchanges with the air.
+    };
+
+    /** Temperature of node n at enthalpy h. */
+    double tempOf(const Node &n, double h) const;
+
+    /** Conductance of node n at current airflow. */
+    double uaOf(const Node &n) const;
+
+    /**
+     * Direction-aware conductance: PCM nodes release heat through a
+     * derated (conduction-limited) path.
+     */
+    double uaOf(const Node &n, double t_node, double t_air) const;
+
+    /**
+     * Walk the air path for the given node enthalpies.
+     *
+     * @param h       Node enthalpies.
+     * @param t_mixed Output: fully-mixed stream temperature entering
+     *                each zone (size zone_count + 1; last entry is
+     *                the outlet).
+     * @param t_local Output: local (plume-corrected) temperature seen
+     *                by nodes in each zone (size zone_count).
+     */
+    void airWalk(const std::vector<double> &h,
+                 std::vector<double> &t_mixed,
+                 std::vector<double> &t_local) const;
+
+    /** ODE right-hand side dH/dt. */
+    void rhs(const std::vector<double> &h,
+             std::vector<double> &dh) const;
+
+    AirflowModel airflow_;
+    std::size_t zone_count_;
+    double inlet_temp_;
+    std::vector<Node> nodes_;
+    std::vector<ConductionLink> links_;
+    std::vector<double> direct_air_power_;
+    std::vector<double> plume_fraction_;
+    std::vector<double> state_;          //!< Node enthalpies (J).
+    RungeKutta4 stepper_;
+    mutable std::vector<double> t_mixed_scratch_;
+    mutable std::vector<double> t_local_scratch_;
+};
+
+} // namespace thermal
+} // namespace tts
+
+#endif // TTS_THERMAL_NETWORK_HH

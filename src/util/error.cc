@@ -1,0 +1,17 @@
+#include "util/error.hh"
+
+namespace tts {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+} // namespace tts

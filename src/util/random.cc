@@ -1,0 +1,134 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::normal()
+{
+    if (have_spare_) {
+        have_spare_ = false;
+        return spare_;
+    }
+    // Box-Muller; reject u == 0 so log() stays finite.
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    double v = uniform();
+    double r = std::sqrt(-2.0 * std::log(u));
+    double theta = 2.0 * M_PI * v;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double rate)
+{
+    require(rate > 0.0, "Rng::exponential: rate must be positive");
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    require(mean >= 0.0, "Rng::poisson: mean must be non-negative");
+    if (mean == 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's product-of-uniforms method.
+        double l = std::exp(-mean);
+        std::uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > l);
+        return k - 1;
+    }
+    // Normal approximation for large means.
+    double x = normal(mean, std::sqrt(mean));
+    return x < 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    require(n > 0, "Rng::uniformInt: n must be positive");
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t limit = ~0ULL - (~0ULL % n);
+    std::uint64_t x = 0;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % n;
+}
+
+} // namespace tts

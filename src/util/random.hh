@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The workload generator and validation-noise models must be exactly
+ * reproducible across platforms, so we ship our own xoshiro256**
+ * generator instead of relying on std:: distribution implementations
+ * (which are unspecified across standard libraries).
+ */
+
+#ifndef TTS_UTIL_RANDOM_HH
+#define TTS_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace tts {
+
+/** xoshiro256** PRNG with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    /**
+     * Construct from a 64-bit seed; the full 256-bit state is derived
+     * via SplitMix64.
+     */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return Uniform double in [0, 1). */
+    double uniform();
+
+    /** @return Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return Standard normal variate (Box-Muller, deterministic). */
+    double normal();
+
+    /** @return Normal variate with the given mean and stddev. */
+    double normal(double mean, double stddev);
+
+    /**
+     * @return Exponential variate with the given rate (events per
+     * unit time); used for Poisson arrival gaps.
+     */
+    double exponential(double rate);
+
+    /** @return Poisson-distributed count with the given mean. */
+    std::uint64_t poisson(double mean);
+
+    /** @return Uniform integer in [0, n). */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+  private:
+    std::uint64_t s_[4];
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace tts
+
+#endif // TTS_UTIL_RANDOM_HH

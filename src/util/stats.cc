@@ -1,0 +1,93 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+percentile(std::vector<double> data, double p)
+{
+    require(!data.empty(), "percentile: empty data");
+    require(p >= 0.0 && p <= 100.0, "percentile: p out of [0, 100]");
+    std::sort(data.begin(), data.end());
+    if (data.size() == 1)
+        return data.front();
+    double rank = p / 100.0 * static_cast<double>(data.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, data.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return data[lo] + frac * (data[hi] - data[lo]);
+}
+
+double
+meanAbsoluteDifference(const std::vector<double> &a,
+                       const std::vector<double> &b)
+{
+    require(a.size() == b.size() && !a.empty(),
+            "meanAbsoluteDifference: size mismatch or empty");
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        total += std::abs(a[i] - b[i]);
+    return total / static_cast<double>(a.size());
+}
+
+double
+pearsonCorrelation(const std::vector<double> &a,
+                   const std::vector<double> &b)
+{
+    require(a.size() == b.size() && a.size() >= 2,
+            "pearsonCorrelation: need equal sizes >= 2");
+    RunningStats sa, sb;
+    for (double x : a)
+        sa.add(x);
+    for (double x : b)
+        sb.add(x);
+    double cov = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+    cov /= static_cast<double>(a.size() - 1);
+    double denom = sa.stddev() * sb.stddev();
+    require(denom > 0.0, "pearsonCorrelation: zero variance input");
+    return cov / denom;
+}
+
+} // namespace tts

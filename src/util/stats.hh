@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small statistics helpers: running moments and vector summaries.
+ */
+
+#ifndef TTS_UTIL_STATS_HH
+#define TTS_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tts {
+
+/**
+ * Online accumulator of count/mean/variance/min/max using Welford's
+ * algorithm; numerically stable for long runs.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** @return Number of observations. */
+    std::size_t count() const { return n_; }
+    /** @return Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** @return Unbiased sample variance (0 when n < 2). */
+    double variance() const;
+    /** @return Sample standard deviation. */
+    double stddev() const;
+    /** @return Minimum observation. */
+    double min() const { return min_; }
+    /** @return Maximum observation. */
+    double max() const { return max_; }
+    /** @return Sum of observations. */
+    double sum() const { return sum_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Linear-interpolated percentile of a data vector.
+ *
+ * @param data Observations (copied and sorted internally).
+ * @param p    Percentile in [0, 100].
+ */
+double percentile(std::vector<double> data, double p);
+
+/**
+ * Mean absolute difference between two equally-sized vectors; used by
+ * the model validation harness (Fig 4c's 0.22 C metric).
+ */
+double meanAbsoluteDifference(const std::vector<double> &a,
+                              const std::vector<double> &b);
+
+/**
+ * Pearson correlation coefficient between two equally-sized vectors.
+ */
+double pearsonCorrelation(const std::vector<double> &a,
+                          const std::vector<double> &b);
+
+} // namespace tts
+
+#endif // TTS_UTIL_STATS_HH

@@ -1,0 +1,85 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace tts {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    require(!headers_.empty(), "AsciiTable: need at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    require(row.size() == headers_.size(),
+            "AsciiTable::addRow: column count mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+CsvWriter::CsvWriter(std::ostream &os, std::vector<std::string> columns)
+    : os_(os), columns_(columns.size())
+{
+    require(columns_ > 0, "CsvWriter: need at least one column");
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        os_ << columns[i] << (i + 1 == columns.size() ? "\n" : ",");
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    require(cells.size() == columns_,
+            "CsvWriter::writeRow: column count mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        os_ << cells[i] << (i + 1 == cells.size() ? "\n" : ",");
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    require(cells.size() == columns_,
+            "CsvWriter::writeRow: column count mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        os_ << cells[i] << (i + 1 == cells.size() ? "\n" : ",");
+}
+
+std::string
+formatFixed(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+} // namespace tts

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ASCII table and CSV emission for bench harnesses and reports.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures
+ * as rows of text; these helpers keep the output format consistent.
+ */
+
+#ifndef TTS_UTIL_TABLE_HH
+#define TTS_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tts {
+
+/**
+ * A simple column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   AsciiTable t({"PCM", "Melting Temp (C)"});
+ *   t.addRow({"n-Paraffins", "6-65"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class AsciiTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table with aligned columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** @return Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Streaming CSV writer.
+ *
+ * Writes the header on construction, then one row per writeRow call.
+ * Values are not quoted: the library only emits numeric and simple
+ * identifier cells.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * @param os      Output stream (kept by reference; must outlive).
+     * @param columns Column names.
+     */
+    CsvWriter(std::ostream &os, std::vector<std::string> columns);
+
+    /** Write one row of numeric cells. */
+    void writeRow(const std::vector<double> &cells);
+
+    /** Write one row of preformatted string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+  private:
+    std::ostream &os_;
+    std::size_t columns_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string formatFixed(double v, int precision);
+
+} // namespace tts
+
+#endif // TTS_UTIL_TABLE_HH

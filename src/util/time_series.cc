@@ -1,0 +1,182 @@
+#include "util/time_series.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+
+void
+TimeSeries::append(double t, double v)
+{
+    if (!times_.empty())
+        require(t > times_.back(),
+                "TimeSeries::append: times must be strictly increasing");
+    times_.push_back(t);
+    values_.push_back(v);
+}
+
+double
+TimeSeries::at(double t) const
+{
+    require(!times_.empty(), "TimeSeries::at: empty series");
+    if (t <= times_.front())
+        return values_.front();
+    if (t >= times_.back())
+        return values_.back();
+    auto it = std::upper_bound(times_.begin(), times_.end(), t);
+    std::size_t i = (it - times_.begin()) - 1;
+    double u = (t - times_[i]) / (times_[i + 1] - times_[i]);
+    return values_[i] + u * (values_[i + 1] - values_[i]);
+}
+
+double
+TimeSeries::startTime() const
+{
+    require(!times_.empty(), "TimeSeries::startTime: empty series");
+    return times_.front();
+}
+
+double
+TimeSeries::endTime() const
+{
+    require(!times_.empty(), "TimeSeries::endTime: empty series");
+    return times_.back();
+}
+
+double
+TimeSeries::max() const
+{
+    require(!values_.empty(), "TimeSeries::max: empty series");
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+double
+TimeSeries::min() const
+{
+    require(!values_.empty(), "TimeSeries::min: empty series");
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+TimeSeries::argMax() const
+{
+    require(!values_.empty(), "TimeSeries::argMax: empty series");
+    auto it = std::max_element(values_.begin(), values_.end());
+    return times_[it - values_.begin()];
+}
+
+double
+TimeSeries::mean() const
+{
+    require(times_.size() >= 2, "TimeSeries::mean: need >= 2 samples");
+    double span = times_.back() - times_.front();
+    return integral(times_.front(), times_.back()) / span;
+}
+
+double
+TimeSeries::integral(double a, double b) const
+{
+    require(!times_.empty(), "TimeSeries::integral: empty series");
+    if (a > b)
+        return -integral(b, a);
+    double total = 0.0;
+    double prev_t = a;
+    double prev_v = at(a);
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+        if (times_[i] <= a)
+            continue;
+        if (times_[i] >= b)
+            break;
+        total += 0.5 * (prev_v + values_[i]) * (times_[i] - prev_t);
+        prev_t = times_[i];
+        prev_v = values_[i];
+    }
+    total += 0.5 * (prev_v + at(b)) * (b - prev_t);
+    return total;
+}
+
+double
+TimeSeries::firstCrossingAbove(double level) const
+{
+    require(!times_.empty(),
+            "TimeSeries::firstCrossingAbove: empty series");
+    if (values_.front() >= level)
+        return times_.front();
+    for (std::size_t i = 1; i < times_.size(); ++i) {
+        if (values_[i] >= level) {
+            // Linear crossing within segment [i-1, i].
+            double dv = values_[i] - values_[i - 1];
+            if (dv <= 0.0)
+                return times_[i];
+            double u = (level - values_[i - 1]) / dv;
+            return times_[i - 1] + u * (times_[i] - times_[i - 1]);
+        }
+    }
+    return -1.0;
+}
+
+double
+TimeSeries::timeAbove(double level) const
+{
+    if (times_.size() < 2)
+        return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 1; i < times_.size(); ++i) {
+        double t0 = times_[i - 1], t1 = times_[i];
+        double v0 = values_[i - 1], v1 = values_[i];
+        bool a0 = v0 >= level, a1 = v1 >= level;
+        double dt = t1 - t0;
+        if (a0 && a1) {
+            total += dt;
+        } else if (a0 != a1) {
+            double u = (level - v0) / (v1 - v0);
+            total += a0 ? u * dt : (1.0 - u) * dt;
+        }
+    }
+    return total;
+}
+
+TimeSeries
+TimeSeries::scaled(double factor) const
+{
+    TimeSeries out(name_);
+    for (std::size_t i = 0; i < times_.size(); ++i)
+        out.append(times_[i], values_[i] * factor);
+    return out;
+}
+
+TimeSeries
+TimeSeries::resampled(double dt) const
+{
+    require(dt > 0.0, "TimeSeries::resampled: dt must be positive");
+    require(times_.size() >= 2,
+            "TimeSeries::resampled: need >= 2 samples");
+    TimeSeries out(name_);
+    double t = times_.front();
+    while (t < times_.back()) {
+        out.append(t, at(t));
+        t += dt;
+    }
+    out.append(times_.back(), values_.back());
+    return out;
+}
+
+TimeSeries
+TimeSeries::combine(const TimeSeries &a, const TimeSeries &b,
+                    double (*op)(double, double), std::string name)
+{
+    std::vector<double> grid;
+    grid.reserve(a.times_.size() + b.times_.size());
+    grid.insert(grid.end(), a.times_.begin(), a.times_.end());
+    grid.insert(grid.end(), b.times_.begin(), b.times_.end());
+    std::sort(grid.begin(), grid.end());
+    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+    TimeSeries out(std::move(name));
+    for (double t : grid)
+        out.append(t, op(a.at(t), b.at(t)));
+    return out;
+}
+
+} // namespace tts

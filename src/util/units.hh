@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit conventions, conversion helpers, and physical constants.
+ *
+ * The library stores all quantities as doubles in SI base units unless
+ * a name says otherwise:
+ *
+ *   - time        seconds            (variables named *_s or t)
+ *   - temperature degrees Celsius    (thermal networks are affine in T,
+ *                                     so Celsius is safe and readable)
+ *   - power       watts
+ *   - energy      joules
+ *   - mass        kilograms
+ *   - volume      cubic meters
+ *   - money       US dollars
+ *
+ * The helpers below exist so call sites can say `hours(12)` instead of
+ * `12.0 * 3600.0` and stay greppable.
+ */
+
+#ifndef TTS_UTIL_UNITS_HH
+#define TTS_UTIL_UNITS_HH
+
+namespace tts {
+namespace units {
+
+/** @name Time conversions (to seconds) */
+/// @{
+constexpr double secondsPerMinute = 60.0;
+constexpr double secondsPerHour = 3600.0;
+constexpr double secondsPerDay = 86400.0;
+
+/** Convert minutes to seconds. */
+constexpr double minutes(double m) { return m * secondsPerMinute; }
+/** Convert hours to seconds. */
+constexpr double hours(double h) { return h * secondsPerHour; }
+/** Convert days to seconds. */
+constexpr double days(double d) { return d * secondsPerDay; }
+/** Convert seconds to hours. */
+constexpr double toHours(double s) { return s / secondsPerHour; }
+/// @}
+
+/** @name Energy conversions (to joules) */
+/// @{
+/** Convert kilowatt-hours to joules. */
+constexpr double kWh(double e) { return e * 3.6e6; }
+/** Convert joules to kilowatt-hours. */
+constexpr double toKWh(double j) { return j / 3.6e6; }
+/** Convert kilojoules to joules. */
+constexpr double kJ(double e) { return e * 1e3; }
+/// @}
+
+/** @name Power conversions (to watts) */
+/// @{
+/** Convert kilowatts to watts. */
+constexpr double kW(double p) { return p * 1e3; }
+/** Convert megawatts to watts. */
+constexpr double MW(double p) { return p * 1e6; }
+/** Convert watts to kilowatts. */
+constexpr double toKW(double w) { return w / 1e3; }
+/// @}
+
+/** @name Mass conversions (to kilograms) */
+/// @{
+/** Convert grams to kilograms. */
+constexpr double grams(double m) { return m * 1e-3; }
+/** Convert metric tons to kilograms. */
+constexpr double tons(double m) { return m * 1e3; }
+/// @}
+
+/** @name Volume conversions (to cubic meters) */
+/// @{
+/** Convert liters to cubic meters. */
+constexpr double liters(double v) { return v * 1e-3; }
+/** Convert milliliters to cubic meters. */
+constexpr double milliliters(double v) { return v * 1e-6; }
+/** Convert cubic meters to liters. */
+constexpr double toLiters(double v) { return v * 1e3; }
+/** Convert cubic feet per minute to cubic meters per second. */
+constexpr double cfm(double q) { return q * 4.719474e-4; }
+/// @}
+
+/** @name Temperature conversions */
+/// @{
+/** Convert Celsius to Kelvin. */
+constexpr double toKelvin(double c) { return c + 273.15; }
+/** Convert Kelvin to Celsius. */
+constexpr double toCelsius(double k) { return k - 273.15; }
+/// @}
+
+/** @name Physical constants */
+/// @{
+/** Density of air at ~35 C, sea level (kg/m^3). */
+constexpr double airDensity = 1.145;
+/** Specific heat of air at constant pressure (J/(kg K)). */
+constexpr double airSpecificHeat = 1006.0;
+/** Density of solid commercial paraffin wax (kg/m^3). */
+constexpr double paraffinDensitySolid = 800.0;
+/** Density of liquid commercial paraffin wax (kg/m^3). */
+constexpr double paraffinDensityLiquid = 750.0;
+/** Specific heat of solid paraffin (J/(kg K)). */
+constexpr double paraffinSpecificHeatSolid = 2100.0;
+/** Specific heat of liquid paraffin (J/(kg K)). */
+constexpr double paraffinSpecificHeatLiquid = 2400.0;
+/** Specific heat of aluminum (J/(kg K)), for wax containers. */
+constexpr double aluminumSpecificHeat = 897.0;
+/// @}
+
+} // namespace units
+} // namespace tts
+
+#endif // TTS_UTIL_UNITS_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * DCSim-style event-driven cluster simulator.
+ *
+ * Reimplements the published description of DCSim (Kontorinis et
+ * al.): jobs arrive following the input load trace, a load balancer
+ * dispatches them to servers, each server runs jobs on a fixed number
+ * of slots (logical threads) with FIFO queueing, and the simulator
+ * records per-server utilization, latency, and cluster throughput.
+ * The cluster model is then extrapolated to the datacenter by the
+ * higher layers, exactly as the paper does.
+ *
+ * Arrivals are a non-homogeneous Poisson process with rate
+ *     lambda(t) = util(t) * servers * slots / mean_service_time,
+ * which makes the offered load equal to the trace value.
+ */
+
+#ifndef TTS_WORKLOAD_DCSIM_HH
+#define TTS_WORKLOAD_DCSIM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/time_series.hh"
+#include "workload/job.hh"
+#include "workload/load_balancer.hh"
+#include "workload/trace.hh"
+
+namespace tts {
+namespace workload {
+
+/** Cluster simulator configuration. */
+struct DcSimConfig
+{
+    /** Number of simulated servers (a rack/cluster sample). */
+    std::size_t serverCount = 48;
+    /** Job slots per server (logical threads). */
+    std::size_t slotsPerServer = 12;
+    /** Mean job service time (s), exponential. */
+    double meanServiceTimeS = 30.0;
+    /** Per-server queue cap; jobs beyond it are dropped. */
+    std::size_t queueCapPerServer = 256;
+    /** Servers per rack (for rack-level metrics). */
+    std::size_t serversPerRack = 24;
+    /** Utilization sampling interval (s). */
+    double statsIntervalS = 300.0;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Aggregated results of one simulation run. */
+struct DcSimResult
+{
+    /** Cluster-mean slot utilization over time. */
+    TimeSeries clusterUtilization;
+    /** Completed jobs per second over time. */
+    TimeSeries throughput;
+    /** Time-mean busy-slot fraction per server. */
+    std::vector<double> perServerUtilization;
+    /** Time-mean busy-slot fraction per rack. */
+    std::vector<double> perRackUtilization;
+    /** Completed job count. */
+    std::uint64_t completedJobs = 0;
+    /** Dropped job count (queue overflow). */
+    std::uint64_t droppedJobs = 0;
+    /** Sojourn time statistics (queue + service, s). */
+    RunningStats latency;
+    /** Completed jobs per class. */
+    std::uint64_t completedByClass[jobClassCount] = {0, 0, 0};
+
+    /**
+     * @return Max over servers of |server util - mean| (the
+     * round-robin uniformity metric the scale-out model relies on).
+     */
+    double utilizationSpread() const;
+
+    /** @return The same uniformity metric at rack granularity. */
+    double rackUtilizationSpread() const;
+};
+
+/** Event-driven cluster simulator. */
+class ClusterSim
+{
+  public:
+    /**
+     * @param config   Simulator configuration.
+     * @param balancer Dispatch policy; defaults to round-robin.
+     */
+    explicit ClusterSim(const DcSimConfig &config,
+                        std::unique_ptr<LoadBalancer> balancer =
+                            nullptr);
+
+    /**
+     * Run the simulator over a load trace.
+     *
+     * @param trace Normalized multi-class load trace; arrival rate
+     *              and class mix follow it.
+     * @return Aggregated results.
+     */
+    DcSimResult run(const WorkloadTrace &trace);
+
+    /** @return The configuration. */
+    const DcSimConfig &config() const { return config_; }
+
+  private:
+    DcSimConfig config_;
+    std::unique_ptr<LoadBalancer> balancer_;
+};
+
+} // namespace workload
+} // namespace tts
+
+#endif // TTS_WORKLOAD_DCSIM_HH

@@ -1,0 +1,86 @@
+#include "workload/google_trace.hh"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/random.hh"
+
+namespace tts {
+namespace workload {
+
+namespace {
+
+/** Von Mises-style diurnal bump, 1.0 at the peak hour. */
+double
+diurnalBump(double hour_of_day, double peak_hour, double kappa)
+{
+    double phase = 2.0 * M_PI * (hour_of_day - peak_hour) / 24.0;
+    return std::exp(kappa * (std::cos(phase) - 1.0));
+}
+
+} // namespace
+
+WorkloadTrace
+makeGoogleTrace(const GoogleTraceParams &params)
+{
+    require(params.durationS > 0.0 && params.sampleIntervalS > 0.0,
+            "makeGoogleTrace: bad duration or interval");
+    require(params.targetPeak > params.targetMean,
+            "makeGoogleTrace: peak must exceed mean");
+    require(params.weekendFactor > 0.0 &&
+            params.weekendFactor <= 1.0,
+            "makeGoogleTrace: weekend factor must be in (0, 1]");
+    require(params.startDayOfWeek >= 0 &&
+            params.startDayOfWeek <= 6,
+            "makeGoogleTrace: start day of week must be 0-6");
+
+    Rng rng(params.seed);
+
+    // Per-day amplitude jitter (the two trace days differ slightly).
+    std::size_t day_count = static_cast<std::size_t>(
+        std::ceil(params.durationS / 86400.0));
+    std::vector<std::array<double, jobClassCount>> day_scale(
+        day_count);
+    for (auto &day : day_scale) {
+        for (auto &s : day)
+            s = 1.0 + params.dayJitter * rng.normal();
+    }
+
+    const ClassShape shapes[jobClassCount] = {
+        params.orkut, params.search, params.mapreduce};
+
+    WorkloadTrace trace;
+    // Smoothed noise: first-order low-pass over white samples.
+    std::array<double, jobClassCount> noise_state{};
+    for (double t = 0.0; t <= params.durationS;
+         t += params.sampleIntervalS) {
+        double hour = std::fmod(t / 3600.0, 24.0);
+        std::size_t day = std::min(
+            static_cast<std::size_t>(t / 86400.0), day_count - 1);
+        int dow = (params.startDayOfWeek +
+                   static_cast<int>(day)) % 7;
+        bool weekend = dow >= 5;
+        std::array<double, jobClassCount> sample{};
+        for (std::size_t i = 0; i < jobClassCount; ++i) {
+            const ClassShape &sh = shapes[i];
+            double amp = sh.amplitude * day_scale[day][i];
+            // Batch work (MapReduce) does not dip on weekends; the
+            // interactive classes do.
+            if (weekend && allJobClasses[i] != JobClass::MapReduce)
+                amp *= params.weekendFactor;
+            double v = sh.base + amp *
+                diurnalBump(hour, sh.peakHour, sh.concentration);
+            noise_state[i] = 0.8 * noise_state[i] +
+                0.2 * rng.normal();
+            v *= 1.0 + params.noise * noise_state[i];
+            sample[i] = std::max(v, 0.0);
+        }
+        trace.append(t, sample);
+    }
+    trace.normalize(params.targetMean, params.targetPeak);
+    return trace;
+}
+
+} // namespace workload
+} // namespace tts

@@ -1,0 +1,20 @@
+#include "workload/job.hh"
+
+#include "util/error.hh"
+
+namespace tts {
+namespace workload {
+
+std::string
+toString(JobClass c)
+{
+    switch (c) {
+      case JobClass::WebSearch: return "Search";
+      case JobClass::Orkut: return "Orkut";
+      case JobClass::MapReduce: return "FBmr";
+    }
+    panic("toString(JobClass): bad enum value");
+}
+
+} // namespace workload
+} // namespace tts

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Job classes of the Google workload trace.
+ *
+ * The paper's two-day trace (Nov 17-18, 2010, via Kontorinis et al.)
+ * mixes three job types: Web Search, Social Networking (Orkut), and
+ * MapReduce (labeled "FBmr" in Figure 10).
+ */
+
+#ifndef TTS_WORKLOAD_JOB_HH
+#define TTS_WORKLOAD_JOB_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tts {
+namespace workload {
+
+/** Workload class in the Google trace. */
+enum class JobClass
+{
+    WebSearch,
+    Orkut,
+    MapReduce,
+};
+
+/** Number of job classes. */
+constexpr std::size_t jobClassCount = 3;
+
+/** @return Display name matching the paper's Figure 10 legend. */
+std::string toString(JobClass c);
+
+/** All job classes, in Figure 10 order. */
+constexpr JobClass allJobClasses[jobClassCount] = {
+    JobClass::Orkut, JobClass::WebSearch, JobClass::MapReduce};
+
+/** One job instance flowing through the cluster simulator. */
+struct Job
+{
+    /** Unique id. */
+    std::uint64_t id;
+    /** Workload class. */
+    JobClass jobClass;
+    /** Arrival time (s). */
+    double arrivalTime;
+    /** Service demand on one slot (s). */
+    double serviceTime;
+};
+
+} // namespace workload
+} // namespace tts
+
+#endif // TTS_WORKLOAD_JOB_HH

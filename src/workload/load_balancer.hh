@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Load balancing policies for the cluster simulator.
+ *
+ * The paper's DCSim uses round-robin; random and join-shortest-queue
+ * are provided for comparison studies (round-robin's uniformity is
+ * what justifies the representative-server scale-out model, and the
+ * tests verify that property).
+ */
+
+#ifndef TTS_WORKLOAD_LOAD_BALANCER_HH
+#define TTS_WORKLOAD_LOAD_BALANCER_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace tts {
+namespace workload {
+
+/** Abstract dispatch policy: pick a server for the next job. */
+class LoadBalancer
+{
+  public:
+    virtual ~LoadBalancer() = default;
+
+    /**
+     * Choose a server.
+     *
+     * @param queue_depths Jobs in service + queued, per server.
+     * @return Server index.
+     */
+    virtual std::size_t pick(
+        const std::vector<std::size_t> &queue_depths) = 0;
+
+    /** @return Policy name. */
+    virtual const char *name() const = 0;
+};
+
+/** Round-robin dispatch (the paper's policy). */
+class RoundRobinBalancer : public LoadBalancer
+{
+  public:
+    std::size_t pick(const std::vector<std::size_t> &depths) override
+    {
+        return depths.empty() ? 0 : (next_++ % depths.size());
+    }
+    const char *name() const override { return "round-robin"; }
+
+  private:
+    std::size_t next_ = 0;
+};
+
+/** Uniform random dispatch. */
+class RandomBalancer : public LoadBalancer
+{
+  public:
+    explicit RandomBalancer(std::uint64_t seed) : rng_(seed) {}
+    std::size_t pick(const std::vector<std::size_t> &depths) override
+    {
+        return depths.empty() ? 0 : rng_.uniformInt(depths.size());
+    }
+    const char *name() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+/** Join-shortest-queue dispatch. */
+class LeastLoadedBalancer : public LoadBalancer
+{
+  public:
+    std::size_t pick(const std::vector<std::size_t> &depths) override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < depths.size(); ++i) {
+            if (depths[i] < depths[best])
+                best = i;
+        }
+        return best;
+    }
+    const char *name() const override { return "least-loaded"; }
+};
+
+} // namespace workload
+} // namespace tts
+
+#endif // TTS_WORKLOAD_LOAD_BALANCER_HH

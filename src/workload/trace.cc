@@ -1,0 +1,113 @@
+#include "workload/trace.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace workload {
+
+namespace {
+
+std::size_t
+classIndex(JobClass c)
+{
+    for (std::size_t i = 0; i < jobClassCount; ++i) {
+        if (allJobClasses[i] == c)
+            return i;
+    }
+    panic("classIndex: bad job class");
+}
+
+} // namespace
+
+WorkloadTrace::WorkloadTrace()
+    : total_("Total")
+{
+    for (std::size_t i = 0; i < jobClassCount; ++i)
+        by_class_[i].setName(toString(allJobClasses[i]));
+}
+
+void
+WorkloadTrace::append(double t,
+                      const std::array<double, jobClassCount> &by_class)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < jobClassCount; ++i) {
+        require(by_class[i] >= 0.0,
+                "WorkloadTrace::append: negative class load");
+        by_class_[i].append(t, by_class[i]);
+        total += by_class[i];
+    }
+    total_.append(t, total);
+}
+
+double
+WorkloadTrace::classAt(JobClass c, double t) const
+{
+    return by_class_[classIndex(c)].at(t);
+}
+
+double
+WorkloadTrace::classShareAt(JobClass c, double t) const
+{
+    double total = totalAt(t);
+    if (total <= 0.0)
+        return 0.0;
+    return classAt(c, t) / total;
+}
+
+const TimeSeries &
+WorkloadTrace::series(JobClass c) const
+{
+    return by_class_[classIndex(c)];
+}
+
+void
+WorkloadTrace::normalize(double target_mean, double target_peak)
+{
+    require(target_peak > target_mean && target_mean > 0.0,
+            "WorkloadTrace::normalize: need peak > mean > 0");
+    require(total_.size() >= 2,
+            "WorkloadTrace::normalize: trace too short");
+    double mean = total_.mean();
+    double peak = total_.max();
+    require(peak > mean,
+            "WorkloadTrace::normalize: degenerate trace");
+
+    // Solve total' = a + b * total with mean' = target_mean and
+    // peak' = target_peak.  Each class is rescaled by the same
+    // per-instant factor total'(t) / total(t), which preserves the
+    // class mix exactly and keeps every class non-negative as long
+    // as the transformed total is.
+    double b = (target_peak - target_mean) / (peak - mean);
+    double a = target_mean - b * mean;
+    require(a + b * total_.min() >= 0.0,
+            "WorkloadTrace::normalize: transform pushes the total "
+            "below zero; flatten the shape or lower the targets");
+
+    std::array<TimeSeries, jobClassCount> new_class;
+    TimeSeries new_total("Total");
+    const auto &times = total_.times();
+    for (std::size_t s = 0; s < times.size(); ++s) {
+        double t = times[s];
+        double old_total = total_.values()[s];
+        double scaled_total = a + b * old_total;
+        double factor = old_total > 0.0 ? scaled_total / old_total
+                                        : 0.0;
+        double total = 0.0;
+        for (std::size_t i = 0; i < jobClassCount; ++i) {
+            double v = factor * by_class_[i].values()[s];
+            if (s == 0)
+                new_class[i].setName(by_class_[i].name());
+            new_class[i].append(t, v);
+            total += v;
+        }
+        new_total.append(t, total);
+    }
+    by_class_ = std::move(new_class);
+    total_ = std::move(new_total);
+}
+
+} // namespace workload
+} // namespace tts

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Multi-class datacenter load trace.
+ *
+ * A WorkloadTrace carries one normalized utilization series per job
+ * class plus their total, mirroring Figure 10 of the paper.  Values
+ * are fractions of cluster capacity in [0, 1].
+ */
+
+#ifndef TTS_WORKLOAD_TRACE_HH
+#define TTS_WORKLOAD_TRACE_HH
+
+#include <array>
+
+#include "util/time_series.hh"
+#include "workload/job.hh"
+
+namespace tts {
+namespace workload {
+
+/** Normalized per-class + total load trace. */
+class WorkloadTrace
+{
+  public:
+    WorkloadTrace();
+
+    /** Append one sample (per-class utilizations sum to the total). */
+    void append(double t, const std::array<double,
+                jobClassCount> &by_class);
+
+    /** @return Total utilization at time t (clamped ends). */
+    double totalAt(double t) const { return total_.at(t); }
+
+    /** @return Class utilization at time t. */
+    double classAt(JobClass c, double t) const;
+
+    /** @return Mix fraction of a class at time t (0 when idle). */
+    double classShareAt(JobClass c, double t) const;
+
+    /** @return Total-load series. */
+    const TimeSeries &total() const { return total_; }
+
+    /** @return Per-class series. */
+    const TimeSeries &series(JobClass c) const;
+
+    /** @return Start time (s). */
+    double startTime() const { return total_.startTime(); }
+    /** @return End time (s). */
+    double endTime() const { return total_.endTime(); }
+    /** @return Number of samples. */
+    std::size_t size() const { return total_.size(); }
+
+    /** @return Peak total utilization. */
+    double peak() const { return total_.max(); }
+    /** @return Time-weighted mean total utilization. */
+    double mean() const { return total_.mean(); }
+
+    /**
+     * Affine-renormalize the trace so the total has the given mean
+     * and peak (e.g. the paper's 50 % average / 95 % peak).  The
+     * offset is distributed across classes pro-rata to their means
+     * so the per-class series still sum to the total.
+     *
+     * @throws FatalError if the transform would push any sample
+     * below zero or the trace is degenerate (peak == mean).
+     */
+    void normalize(double target_mean, double target_peak);
+
+  private:
+    std::array<TimeSeries, jobClassCount> by_class_;
+    TimeSeries total_;
+};
+
+} // namespace workload
+} // namespace tts
+
+#endif // TTS_WORKLOAD_TRACE_HH

@@ -1,0 +1,138 @@
+#include "workload/trace_io.hh"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace workload {
+
+namespace {
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ss(line);
+    while (std::getline(ss, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+double
+parseNumber(const std::string &cell, const char *what)
+{
+    try {
+        std::size_t used = 0;
+        double v = std::stod(cell, &used);
+        // Allow trailing whitespace / CR only.
+        for (std::size_t i = used; i < cell.size(); ++i) {
+            char c = cell[i];
+            require(c == ' ' || c == '\t' || c == '\r',
+                    std::string("readTraceCsv: trailing garbage "
+                                "in ") + what);
+        }
+        return v;
+    } catch (const std::invalid_argument &) {
+        fatal(std::string("readTraceCsv: non-numeric ") + what +
+              " '" + cell + "'");
+    } catch (const std::out_of_range &) {
+        fatal(std::string("readTraceCsv: out-of-range ") + what);
+    }
+}
+
+} // namespace
+
+WorkloadTrace
+readTraceCsv(std::istream &in)
+{
+    std::string header;
+    require(static_cast<bool>(std::getline(in, header)),
+            "readTraceCsv: empty input");
+    auto columns = splitCsvLine(header);
+    require(!columns.empty() && columns[0].rfind("t_", 0) == 0,
+            "readTraceCsv: first column must be the time "
+            "(t_hours)");
+
+    // Map class -> column index.
+    std::array<int, jobClassCount> col{};
+    col.fill(-1);
+    for (std::size_t i = 1; i < columns.size(); ++i) {
+        std::string name = columns[i];
+        while (!name.empty() &&
+               (name.back() == '\r' || name.back() == ' '))
+            name.pop_back();
+        for (std::size_t c = 0; c < jobClassCount; ++c) {
+            if (name == toString(allJobClasses[c]))
+                col[c] = static_cast<int>(i);
+        }
+    }
+    for (std::size_t c = 0; c < jobClassCount; ++c) {
+        require(col[c] >= 0,
+                "readTraceCsv: missing class column '" +
+                    toString(allJobClasses[c]) + "'");
+    }
+
+    WorkloadTrace trace;
+    std::string line;
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line == "\r")
+            continue;
+        auto cells = splitCsvLine(line);
+        require(cells.size() >= columns.size() - 0 &&
+                cells.size() >= 1 + jobClassCount,
+                "readTraceCsv: short row at line " +
+                    std::to_string(line_no));
+        double t = units::hours(parseNumber(cells[0], "time"));
+        std::array<double, jobClassCount> sample{};
+        for (std::size_t c = 0; c < jobClassCount; ++c)
+            sample[c] =
+                parseNumber(cells[col[c]], "class load");
+        trace.append(t, sample);
+    }
+    require(trace.size() >= 2, "readTraceCsv: need >= 2 rows");
+    return trace;
+}
+
+WorkloadTrace
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    require(in.good(), "loadTrace: cannot open '" + path + "'");
+    return readTraceCsv(in);
+}
+
+void
+writeTraceCsv(std::ostream &out, const WorkloadTrace &trace)
+{
+    require(trace.size() >= 1, "writeTraceCsv: empty trace");
+    out << "t_hours";
+    for (auto c : allJobClasses)
+        out << "," << toString(c);
+    out << ",Total\n";
+    const auto &times = trace.total().times();
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        out << units::toHours(times[i]);
+        for (auto c : allJobClasses)
+            out << "," << trace.series(c).values()[i];
+        out << "," << trace.total().values()[i] << "\n";
+    }
+}
+
+void
+saveTrace(const std::string &path, const WorkloadTrace &trace)
+{
+    std::ofstream out(path);
+    require(out.good(), "saveTrace: cannot open '" + path + "'");
+    writeTraceCsv(out, trace);
+}
+
+} // namespace workload
+} // namespace tts

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Workload trace file I/O.
+ *
+ * Lets operators feed their own measured load traces to the studies
+ * instead of the synthetic generator, and round-trip generated
+ * traces for plotting.  Format: CSV with a header line
+ *
+ *     t_hours,Orkut,Search,FBmr
+ *
+ * (class columns may appear in any order; an optional Total column
+ * is ignored and recomputed).  Values are utilization fractions.
+ */
+
+#ifndef TTS_WORKLOAD_TRACE_IO_HH
+#define TTS_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace tts {
+namespace workload {
+
+/**
+ * Parse a trace from a stream.
+ *
+ * @param in CSV input (header + rows).
+ * @return The trace.
+ * @throws FatalError on malformed input (bad header, non-numeric
+ *         cells, non-increasing time, negative loads).
+ */
+WorkloadTrace readTraceCsv(std::istream &in);
+
+/**
+ * Load a trace from a file.
+ *
+ * @param path File path.
+ */
+WorkloadTrace loadTrace(const std::string &path);
+
+/**
+ * Write a trace to a stream as CSV (t_hours, one column per class,
+ * Total).
+ */
+void writeTraceCsv(std::ostream &out, const WorkloadTrace &trace);
+
+/** Save a trace to a file. */
+void saveTrace(const std::string &path, const WorkloadTrace &trace);
+
+} // namespace workload
+} // namespace tts
+
+#endif // TTS_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,80 @@
+/** @file Tests for the Section 5.1 capacity planner. */
+
+#include <gtest/gtest.h>
+
+#include "core/capacity_planner.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+TEST(CapacityPlanner, PaperHeadlineNumbers1U)
+{
+    auto plan = planCapacity(server::rd330Spec(), 0.089);
+    // Paper: $187k/yr smaller plant, ~4,940 extra servers, ~$3.0M
+    // retrofit.
+    EXPECT_NEAR(plan.smallerPlantSavingsPerYear, 187000.0, 30000.0);
+    EXPECT_NEAR(static_cast<double>(plan.extraServers), 4940.0,
+                900.0);
+    EXPECT_NEAR(plan.retrofitSavingsPerYear, 3.0e6, 0.3e6);
+}
+
+TEST(CapacityPlanner, PaperHeadlineNumbers2U)
+{
+    datacenter::DatacenterConfig cfg;
+    cfg.provisionedPerServerW = 500.0;
+    auto plan = planCapacity(server::x4470Spec(), 0.12, cfg);
+    EXPECT_NEAR(plan.smallerPlantSavingsPerYear, 254000.0, 30000.0);
+    EXPECT_NEAR(static_cast<double>(plan.extraServers), 2920.0,
+                500.0);
+    EXPECT_NEAR(plan.retrofitSavingsPerYear, 3.2e6, 0.3e6);
+}
+
+TEST(CapacityPlanner, PaperHeadlineNumbersOcp)
+{
+    auto plan = planCapacity(server::openComputeSpec(), 0.083);
+    EXPECT_NEAR(plan.smallerPlantSavingsPerYear, 174000.0, 30000.0);
+    EXPECT_NEAR(static_cast<double>(plan.extraServers), 2770.0,
+                600.0);
+    EXPECT_NEAR(plan.retrofitSavingsPerYear, 3.1e6, 0.3e6);
+}
+
+TEST(CapacityPlanner, ExtraServerFractionConsistent)
+{
+    auto plan = planCapacity(server::rd330Spec(), 0.10);
+    EXPECT_NEAR(plan.extraServerFraction,
+                static_cast<double>(plan.extraServers) /
+                    static_cast<double>(plan.servers),
+                1e-12);
+}
+
+TEST(CapacityPlanner, SavingsGrowWithReduction)
+{
+    auto a = planCapacity(server::rd330Spec(), 0.05);
+    auto b = planCapacity(server::rd330Spec(), 0.10);
+    EXPECT_GT(b.smallerPlantSavingsPerYear,
+              a.smallerPlantSavingsPerYear);
+    EXPECT_GT(b.extraServers, a.extraServers);
+}
+
+TEST(CapacityPlanner, PlanRecordsFacility)
+{
+    auto plan = planCapacity(server::rd330Spec(), 0.089);
+    EXPECT_DOUBLE_EQ(plan.criticalPowerW, 10.0e6);
+    EXPECT_GT(plan.clusters, 40u);
+    EXPECT_EQ(plan.servers, plan.clusters * 1008u);
+    EXPECT_EQ(plan.platform, server::rd330Spec().name);
+}
+
+TEST(CapacityPlanner, RejectsBadReduction)
+{
+    EXPECT_THROW(planCapacity(server::rd330Spec(), 1.0),
+                 FatalError);
+    EXPECT_THROW(planCapacity(server::rd330Spec(), -0.1),
+                 FatalError);
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

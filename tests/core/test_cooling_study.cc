@@ -1,0 +1,111 @@
+/** @file Tests for the Section 5.1 cooling-load study. */
+
+#include <gtest/gtest.h>
+
+#include "core/cooling_study.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+workload::WorkloadTrace
+fastTrace()
+{
+    workload::GoogleTraceParams p;
+    p.durationS = units::days(1.0);
+    p.sampleIntervalS = 900.0;
+    return workload::makeGoogleTrace(p);
+}
+
+CoolingStudyOptions
+fastOptions()
+{
+    CoolingStudyOptions o;
+    o.run.controlIntervalS = 900.0;
+    o.run.thermalStepS = 15.0;
+    o.run.warmupDays = 1;
+    return o;
+}
+
+TEST(CoolingStudy, WaxReducesPeakFor1U)
+{
+    auto r = runCoolingStudy(server::rd330Spec(), fastTrace(),
+                             fastOptions());
+    EXPECT_GT(r.peakReduction(), 0.04);
+    EXPECT_LT(r.peakReduction(), 0.20);
+    EXPECT_LT(r.peakWithWaxW, r.peakBaselineW);
+}
+
+TEST(CoolingStudy, DefaultMeltTempComesFromSpec)
+{
+    auto r = runCoolingStudy(server::rd330Spec(), fastTrace(),
+                             fastOptions());
+    EXPECT_DOUBLE_EQ(r.meltTempC,
+                     server::rd330Spec().defaultMeltTempC);
+}
+
+TEST(CoolingStudy, ExplicitMeltTempOverrides)
+{
+    auto o = fastOptions();
+    o.meltTempC = 45.0;
+    auto r = runCoolingStudy(server::rd330Spec(), fastTrace(), o);
+    EXPECT_DOUBLE_EQ(r.meltTempC, 45.0);
+}
+
+TEST(CoolingStudy, BadMeltTempGivesNoReduction)
+{
+    // Wax that never melts is dead weight: peaks nearly equal.
+    auto o = fastOptions();
+    o.meltTempC = 60.0;
+    auto r = runCoolingStudy(server::rd330Spec(), fastTrace(), o);
+    EXPECT_LT(r.peakReduction(), 0.02);
+}
+
+TEST(CoolingStudy, WaxResolidifiesDaily)
+{
+    auto r = runCoolingStudy(server::rd330Spec(), fastTrace(),
+                             fastOptions());
+    EXPECT_TRUE(r.resolidifiesDaily());
+}
+
+TEST(CoolingStudy, ReleaseWindowIsHours)
+{
+    // The paper: elevated cooling for 6-9 h per day while the wax
+    // refreezes.  Accept a broad band on the fast grid.
+    auto r = runCoolingStudy(server::rd330Spec(), fastTrace(),
+                             fastOptions());
+    EXPECT_GT(r.resolidifyHours(), 2.0);
+    EXPECT_LT(r.resolidifyHours(), 14.0);
+}
+
+TEST(CoolingStudy, ReductionOrderingAcrossPlatforms)
+{
+    // Paper ordering: 2U (12 %) > 1U (8.9 %) > OCP (8.3 %).
+    auto r1 = runCoolingStudy(server::rd330Spec(), fastTrace(),
+                              fastOptions());
+    auto r2 = runCoolingStudy(server::x4470Spec(), fastTrace(),
+                              fastOptions());
+    auto r3 = runCoolingStudy(server::openComputeSpec(),
+                              fastTrace(), fastOptions());
+    EXPECT_GT(r2.peakReduction(), r1.peakReduction());
+    EXPECT_GT(r1.peakReduction(), r3.peakReduction() - 0.01);
+}
+
+TEST(CoolingStudy, BaselinePeakScalesWithServerCount)
+{
+    auto o = fastOptions();
+    o.serverCount = 504;
+    auto half = runCoolingStudy(server::rd330Spec(), fastTrace(),
+                                o);
+    o.serverCount = 1008;
+    auto full = runCoolingStudy(server::rd330Spec(), fastTrace(),
+                                o);
+    EXPECT_NEAR(full.peakBaselineW, 2.0 * half.peakBaselineW,
+                0.01 * full.peakBaselineW);
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

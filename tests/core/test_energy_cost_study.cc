@@ -1,0 +1,98 @@
+/** @file Tests for the cooling energy-cost study. */
+
+#include <gtest/gtest.h>
+
+#include "core/energy_cost_study.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+class EnergyCostFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workload::GoogleTraceParams tp;
+        tp.durationS = units::days(1.0);
+        tp.sampleIntervalS = 900.0;
+        auto trace = workload::makeGoogleTrace(tp);
+        CoolingStudyOptions opts;
+        opts.run.controlIntervalS = 900.0;
+        opts.run.thermalStepS = 15.0;
+        study_ = new CoolingStudyResult(
+            runCoolingStudy(server::rd330Spec(), trace, opts));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete study_;
+        study_ = nullptr;
+    }
+
+    static CoolingStudyResult *study_;
+};
+
+CoolingStudyResult *EnergyCostFixture::study_ = nullptr;
+
+TEST_F(EnergyCostFixture, CostsArePositiveAndOrdered)
+{
+    auto r = priceCoolingEnergy(*study_);
+    EXPECT_GT(r.flatCostNoWax, 0.0);
+    EXPECT_GT(r.flatCostWithWax, 0.0);
+    // The economizer always removes joules at least as cheaply as
+    // the flat-COP plant.
+    EXPECT_LT(r.economizerCostNoWax, r.flatCostNoWax);
+    EXPECT_LT(r.economizerCostWithWax, r.flatCostWithWax);
+}
+
+TEST_F(EnergyCostFixture, WaxShiftsEnergyToCheaperHours)
+{
+    // The Figure 1 "power is cheaper off-peak" advantage: with the
+    // same total heat, moving part of it to night lowers the bill.
+    auto r = priceCoolingEnergy(*study_);
+    EXPECT_GT(r.flatSaving(), 0.0);
+}
+
+TEST_F(EnergyCostFixture, SavingsScaleWithClusters)
+{
+    EnergyCostOptions one;
+    one.clusters = 1;
+    EnergyCostOptions many;
+    many.clusters = 50;
+    auto a = priceCoolingEnergy(*study_, one);
+    auto b = priceCoolingEnergy(*study_, many);
+    EXPECT_NEAR(b.flatCostNoWax, 50.0 * a.flatCostNoWax,
+                0.01 * b.flatCostNoWax);
+}
+
+TEST_F(EnergyCostFixture, FlatTariffRemovesTheSaving)
+{
+    // With equal peak/off-peak prices and a flat COP, time shifting
+    // cannot change the bill (energy is conserved over the cycle).
+    EnergyCostOptions opts;
+    opts.tariff.peakPricePerKWh = 0.10;
+    opts.tariff.offPeakPricePerKWh = 0.10;
+    auto r = priceCoolingEnergy(*study_, opts);
+    EXPECT_NEAR(r.flatSaving(), 0.0,
+                0.005 * r.flatCostNoWax);
+}
+
+TEST_F(EnergyCostFixture, RejectsBadOptions)
+{
+    EnergyCostOptions opts;
+    opts.flatCop = 0.0;
+    EXPECT_THROW(priceCoolingEnergy(*study_, opts), FatalError);
+    opts = EnergyCostOptions{};
+    opts.clusters = 0;
+    EXPECT_THROW(priceCoolingEnergy(*study_, opts), FatalError);
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

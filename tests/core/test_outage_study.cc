@@ -1,0 +1,107 @@
+/** @file Tests for the cooling-outage ride-through study. */
+
+#include <gtest/gtest.h>
+
+#include "core/outage_study.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+OutageStudyOptions
+fastOptions()
+{
+    OutageStudyOptions o;
+    o.stepS = 10.0;
+    o.maxDurationS = 3.0 * 3600.0;
+    return o;
+}
+
+TEST(OutageStudy, RoomHeatsAndHitsLimitWithoutCooling)
+{
+    auto r = runOutageStudy(server::rd330Spec(), fastOptions());
+    EXPECT_TRUE(r.noWax.hitLimit);
+    EXPECT_GT(r.noWax.roomAirC.max(),
+              fastOptions().room.limitC);
+    // Minutes-to-hours scale, not seconds.
+    EXPECT_GT(r.noWax.rideThroughS, 300.0);
+}
+
+TEST(OutageStudy, WaxExtendsRideThrough)
+{
+    auto r = runOutageStudy(server::rd330Spec(), fastOptions());
+    EXPECT_GT(r.extraRideThroughS(), 300.0);  // > 5 minutes.
+}
+
+TEST(OutageStudy, WaxMeltsDuringTheOutage)
+{
+    auto r = runOutageStudy(server::rd330Spec(), fastOptions());
+    EXPECT_GT(r.withWax.waxMelt.values().back(), 0.5);
+    EXPECT_LT(r.withWax.waxMelt.values().front(), 0.1);
+}
+
+TEST(OutageStudy, RoomAirIsMonotoneNonDecreasingEarly)
+{
+    auto r = runOutageStudy(server::rd330Spec(), fastOptions());
+    const auto &air = r.noWax.roomAirC;
+    for (std::size_t i = 1; i < std::min<std::size_t>(air.size(),
+                                                      30);
+         ++i)
+        EXPECT_GE(air.values()[i] + 1e-9, air.values()[i - 1]);
+}
+
+TEST(OutageStudy, ResidualCoolingBuysTime)
+{
+    auto base = fastOptions();
+    auto partial = fastOptions();
+    partial.residualCoolingFraction = 0.5;
+    auto r_none = runOutageStudy(server::rd330Spec(), base);
+    auto r_half = runOutageStudy(server::rd330Spec(), partial);
+    EXPECT_GT(r_half.noWax.rideThroughS,
+              r_none.noWax.rideThroughS);
+}
+
+TEST(OutageStudy, LowerUtilizationBuysTime)
+{
+    auto busy = fastOptions();
+    busy.utilization = 0.95;
+    auto calm = fastOptions();
+    calm.utilization = 0.40;
+    auto r_busy = runOutageStudy(server::rd330Spec(), busy);
+    auto r_calm = runOutageStudy(server::rd330Spec(), calm);
+    EXPECT_GT(r_calm.noWax.rideThroughS,
+              r_busy.noWax.rideThroughS);
+}
+
+TEST(OutageStudy, BiggerChargeBuysMoreTime)
+{
+    // 2U servers carry 4 l each; per watt they hold more latent
+    // energy than the 1U's 1.2 l, so the extra ride-through per
+    // server-watt is larger.
+    auto opts = fastOptions();
+    auto r1 = runOutageStudy(server::rd330Spec(), opts);
+    auto r2 = runOutageStudy(server::x4470Spec(), opts);
+    EXPECT_GT(r2.extraRideThroughS(), 0.5 *
+              r1.extraRideThroughS());
+}
+
+TEST(OutageStudy, RejectsBadOptions)
+{
+    auto o = fastOptions();
+    o.serverCount = 0;
+    EXPECT_THROW(runOutageStudy(server::rd330Spec(), o),
+                 FatalError);
+    o = fastOptions();
+    o.utilization = 1.5;
+    EXPECT_THROW(runOutageStudy(server::rd330Spec(), o),
+                 FatalError);
+    o = fastOptions();
+    o.residualCoolingFraction = 1.0;
+    EXPECT_THROW(runOutageStudy(server::rd330Spec(), o),
+                 FatalError);
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

@@ -1,0 +1,93 @@
+/** @file Tests for CSV/markdown result export. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TimeSeries
+ramp(const char *name)
+{
+    TimeSeries s(name);
+    s.append(0.0, 1.0);
+    s.append(1800.0, 2.0);
+    s.append(3600.0, 3.0);
+    return s;
+}
+
+TEST(Report, WritesHeaderAndRows)
+{
+    auto a = ramp("alpha");
+    auto b = ramp("beta");
+    auto path = tempPath("series.csv");
+    writeSeriesCsv(path, {&a, &b}, 900.0);
+    auto text = slurp(path);
+    EXPECT_NE(text.find("t_hours,alpha,beta"), std::string::npos);
+    // 0 .. 3600 at 900 s -> 5 rows + header.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+    std::remove(path.c_str());
+}
+
+TEST(Report, ResamplesOntoGrid)
+{
+    auto a = ramp("a");
+    auto path = tempPath("grid.csv");
+    writeSeriesCsv(path, {&a}, 1800.0);
+    auto text = slurp(path);
+    // Midpoint value interpolated: t = 0.5 h -> 2.
+    EXPECT_NE(text.find("0.5,2"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Report, UnnamedSeriesGetPlaceholder)
+{
+    TimeSeries s;
+    s.append(0.0, 1.0);
+    s.append(10.0, 2.0);
+    auto path = tempPath("unnamed.csv");
+    writeSeriesCsv(path, {&s}, 5.0);
+    EXPECT_NE(slurp(path).find("t_hours,series"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Report, RejectsBadInput)
+{
+    auto a = ramp("a");
+    EXPECT_THROW(writeSeriesCsv(tempPath("x.csv"), {}), FatalError);
+    EXPECT_THROW(writeSeriesCsv(tempPath("x.csv"), {&a}, 0.0),
+                 FatalError);
+    TimeSeries empty;
+    EXPECT_THROW(writeSeriesCsv(tempPath("x.csv"), {&empty}),
+                 FatalError);
+    EXPECT_THROW(
+        writeSeriesCsv("/nonexistent-dir/x.csv", {&a}),
+        FatalError);
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

@@ -1,0 +1,106 @@
+/** @file Tests for the calibration-sensitivity harness. */
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+workload::WorkloadTrace
+fastTrace()
+{
+    workload::GoogleTraceParams p;
+    p.durationS = units::days(1.0);
+    p.sampleIntervalS = 900.0;
+    return workload::makeGoogleTrace(p);
+}
+
+CoolingStudyOptions
+fastOptions()
+{
+    CoolingStudyOptions o;
+    o.run.controlIntervalS = 900.0;
+    o.run.thermalStepS = 20.0;
+    return o;
+}
+
+TEST(Sensitivity, KnobSetCoversDesignDisclosures)
+{
+    auto knobs = calibrationKnobs();
+    EXPECT_GE(knobs.size(), 6u);
+    bool has_plume = false, has_fusion = false;
+    for (const auto &k : knobs) {
+        has_plume |= k.name.find("plume") != std::string::npos;
+        has_fusion |= k.name.find("fusion") != std::string::npos;
+    }
+    EXPECT_TRUE(has_plume);
+    EXPECT_TRUE(has_fusion);
+}
+
+TEST(Sensitivity, SingleKnobSweepRuns)
+{
+    std::vector<SensitivityParameter> one = {
+        {"wax heat of fusion",
+         [](server::ServerSpec &, server::WaxConfig &w, double f) {
+             w.material.heatOfFusionJPerG *= f;
+         }}};
+    auto rows = runSensitivity(server::rd330Spec(), fastTrace(),
+                               0.2, one, fastOptions());
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_GT(rows[0].reductionNominal, 0.02);
+    // Less latent heat -> less (or equal) shaving.
+    EXPECT_LE(rows[0].reductionLow,
+              rows[0].reductionNominal + 0.005);
+    EXPECT_GT(rows[0].reductionLow, 0.0);
+    EXPECT_GE(rows[0].spread(), 0.0);
+}
+
+TEST(Sensitivity, InertKnobHasNoEffect)
+{
+    std::vector<SensitivityParameter> inert = {
+        {"no-op", [](server::ServerSpec &, server::WaxConfig &,
+                     double) {}}};
+    auto rows = runSensitivity(server::rd330Spec(), fastTrace(),
+                               0.1, inert, fastOptions());
+    EXPECT_NEAR(rows[0].reductionLow, rows[0].reductionNominal,
+                1e-9);
+    EXPECT_NEAR(rows[0].reductionHigh, rows[0].reductionNominal,
+                1e-9);
+}
+
+TEST(Sensitivity, ReoptimizationNeverLosesToFixedWax)
+{
+    std::vector<SensitivityParameter> one = {
+        {"nominal airflow",
+         [](server::ServerSpec &s, server::WaxConfig &, double f) {
+             s.nominalFlowM3s *= f;
+         }}};
+    auto rows = runSensitivity(server::rd330Spec(), fastTrace(),
+                               0.1, one, fastOptions(),
+                               /*reoptimize=*/true);
+    EXPECT_GE(rows[0].reoptimizedLow,
+              rows[0].reductionLow - 1e-9);
+    EXPECT_GE(rows[0].reoptimizedHigh,
+              rows[0].reductionHigh - 1e-9);
+    EXPECT_LE(rows[0].reoptimizedSpread(),
+              rows[0].spread() + 1e-9);
+}
+
+TEST(Sensitivity, RejectsBadArguments)
+{
+    EXPECT_THROW(runSensitivity(server::rd330Spec(), fastTrace(),
+                                0.0),
+                 FatalError);
+    EXPECT_THROW(runSensitivity(server::rd330Spec(), fastTrace(),
+                                0.1, {}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

@@ -1,0 +1,160 @@
+/** @file Tests for the Section 5.2 constrained-throughput study. */
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "core/throughput_study.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+workload::WorkloadTrace
+fastTrace()
+{
+    workload::GoogleTraceParams p;
+    p.durationS = units::days(1.0);
+    p.sampleIntervalS = 900.0;
+    return workload::makeGoogleTrace(p);
+}
+
+ThroughputStudyOptions
+fastOptions(const server::ServerSpec &spec)
+{
+    ThroughputStudyOptions o;
+    o.coolingCapacityFraction = calibratedCapacityFraction(spec);
+    o.controlIntervalS = 900.0;
+    o.thermalStepS = 15.0;
+    o.warmupDays = 1;
+    return o;
+}
+
+TEST(ThroughputStudy, WaxIncreasesPeakThroughput)
+{
+    auto spec = server::rd330Spec();
+    auto r = runThroughputStudy(spec, fastTrace(),
+                                fastOptions(spec));
+    EXPECT_GT(r.throughputGain(), 0.08);
+    EXPECT_GT(r.peakWithWax, 1.0);
+    EXPECT_DOUBLE_EQ(r.peakNoWax, 1.0);
+}
+
+TEST(ThroughputStudy, IdealBoundsBothClusters)
+{
+    auto spec = server::rd330Spec();
+    auto r = runThroughputStudy(spec, fastTrace(),
+                                fastOptions(spec));
+    for (std::size_t i = 0; i < r.ideal.size(); i += 4) {
+        double t = r.ideal.times()[i];
+        EXPECT_LE(r.noWax.at(t), r.ideal.at(t) + 0.02);
+        EXPECT_LE(r.withWax.at(t), r.ideal.at(t) + 0.02);
+    }
+}
+
+TEST(ThroughputStudy, WaxDelaysThermalLimit)
+{
+    auto spec = server::rd330Spec();
+    auto r = runThroughputStudy(spec, fastTrace(),
+                                fastOptions(spec));
+    EXPECT_GT(r.delayHours, 0.5);
+}
+
+TEST(ThroughputStudy, NoWaxClusterRespectsCapacity)
+{
+    auto spec = server::rd330Spec();
+    auto r = runThroughputStudy(spec, fastTrace(),
+                                fastOptions(spec));
+    double per_cluster_cap = r.capacityW;
+    // Sampled cooling stays near or below the plant capacity
+    // (transients from thermal mass allowed a small excursion).
+    EXPECT_LT(r.noWaxCoolingW.max(), 1.06 * per_cluster_cap);
+}
+
+TEST(ThroughputStudy, GovernorDownclocksUnderPressure)
+{
+    auto spec = server::rd330Spec();
+    auto r = runThroughputStudy(spec, fastTrace(),
+                                fastOptions(spec));
+    EXPECT_LT(r.noWaxFreq.min(), spec.cpu.nominalFreqGHz - 0.1);
+    EXPECT_GE(r.noWaxFreq.min(), spec.cpu.minFreqGHz - 1e-9);
+}
+
+TEST(ThroughputStudy, WaxClusterHoldsHigherClocks)
+{
+    auto spec = server::rd330Spec();
+    auto r = runThroughputStudy(spec, fastTrace(),
+                                fastOptions(spec));
+    // During the constrained window, the wax cluster's frequency
+    // dominates the no-wax cluster's.
+    double t_peak = r.ideal.argMax();
+    bool higher_somewhere = false;
+    for (double t = t_peak - units::hours(3.0);
+         t <= t_peak + units::hours(1.0); t += 900.0) {
+        higher_somewhere |=
+            r.withWaxFreq.at(t) > r.noWaxFreq.at(t) + 0.1;
+    }
+    EXPECT_TRUE(higher_somewhere);
+}
+
+TEST(ThroughputStudy, WaxMeltsDuringConstrainedWindow)
+{
+    auto spec = server::rd330Spec();
+    auto r = runThroughputStudy(spec, fastTrace(),
+                                fastOptions(spec));
+    EXPECT_GT(r.waxMelt.max(), 0.9);
+    EXPECT_GT(r.meltTempC, 40.0);
+    EXPECT_LT(r.meltTempC, 60.0);
+}
+
+TEST(ThroughputStudy, WaxReducesDeniedWork)
+{
+    // The paper's framing: without wax the denied work must be
+    // relocated to other datacenters; the wax absorbs part of it.
+    auto spec = server::rd330Spec();
+    auto r = runThroughputStudy(spec, fastTrace(),
+                                fastOptions(spec));
+    EXPECT_GT(r.deniedWorkFractionNoWax, 0.01);
+    EXPECT_LT(r.deniedWorkFractionWithWax,
+              r.deniedWorkFractionNoWax);
+    EXPECT_GE(r.deniedWorkFractionWithWax, 0.0);
+}
+
+TEST(ThroughputStudy, UnconstrainedPlantMeansNoGain)
+{
+    auto spec = server::rd330Spec();
+    auto o = fastOptions(spec);
+    o.coolingCapacityFraction = 1.0;  // Fully subscribed plant.
+    auto r = runThroughputStudy(spec, fastTrace(), o);
+    // Nothing ever throttles; wax cannot improve on ideal.
+    EXPECT_NEAR(r.peakIdeal, 1.0, 0.02);
+    EXPECT_LT(r.throughputGain(), 0.02);
+}
+
+TEST(ThroughputStudy, CalibratedFractionsPerPlatform)
+{
+    // The 2U facility is the most oversubscribed in the paper's
+    // narrative (largest gain).
+    EXPECT_LT(calibratedCapacityFraction(server::x4470Spec()),
+              calibratedCapacityFraction(server::rd330Spec()));
+    EXPECT_LT(calibratedCapacityFraction(server::x4470Spec()),
+              calibratedCapacityFraction(server::openComputeSpec()));
+}
+
+TEST(ThroughputStudy, RejectsBadOptions)
+{
+    ThroughputStudyOptions o;
+    o.coolingCapacityFraction = 0.0;
+    EXPECT_THROW(runThroughputStudy(server::rd330Spec(),
+                                    fastTrace(), o),
+                 FatalError);
+    o.coolingCapacityFraction = 1.5;
+    EXPECT_THROW(runThroughputStudy(server::rd330Spec(),
+                                    fastTrace(), o),
+                 FatalError);
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

@@ -1,0 +1,156 @@
+/** @file Tests for the Figure 4 model-validation harness. */
+
+#include <gtest/gtest.h>
+
+#include "core/validation.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+/** Shortened but structurally identical validation run. */
+ValidationOptions
+fastOptions()
+{
+    ValidationOptions o;
+    o.loadHours = 6.0;
+    o.idleHoursAfter = 6.0;
+    o.sampleIntervalS = 300.0;
+    o.shells = 4;
+    return o;
+}
+
+class ValidationFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        result_ = new ValidationResult(runValidation(fastOptions()));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static ValidationResult *result_;
+};
+
+ValidationResult *ValidationFixture::result_ = nullptr;
+
+TEST_F(ValidationFixture, WallPowerMatchesMeasurement)
+{
+    // Paper Section 3: 90 W idle -> 185 W fully loaded.
+    EXPECT_NEAR(result_->idleWallW, 90.0, 1.0);
+    EXPECT_NEAR(result_->loadWallW, 185.0, 1.0);
+}
+
+TEST_F(ValidationFixture, PackageTemperaturesMatchMeasurement)
+{
+    // Paper Section 3: package 42 C idle -> 76 C loaded.
+    EXPECT_NEAR(result_->idlePackageC, 42.0, 3.0);
+    EXPECT_NEAR(result_->loadPackageC, 76.0, 5.0);
+}
+
+TEST_F(ValidationFixture, SteadyStateAgreementLikePaper)
+{
+    // Paper Figure 4 (c): mean difference 0.22 C between the real
+    // server and the Icepak model on the loaded steady state.
+    EXPECT_LT(result_->steadyStateMeanDiffC, 0.5);
+    EXPECT_LT(result_->steadyStatePlaceboDiffC, 0.5);
+}
+
+TEST_F(ValidationFixture, TransientTracesStronglyCorrelated)
+{
+    EXPECT_GT(result_->traceCorrelation, 0.98);
+}
+
+TEST_F(ValidationFixture, WaxCoolsDuringMelt)
+{
+    // Paper: "the wax reduces temperatures for two hours while the
+    // wax melts".
+    EXPECT_GT(result_->waxCoolingEffectHours, 0.8);
+    EXPECT_LT(result_->waxCoolingEffectHours, 5.0);
+}
+
+TEST_F(ValidationFixture, WaxWarmsDuringFreeze)
+{
+    // ...and "increases temperatures ... while the wax freezes".
+    EXPECT_GT(result_->waxWarmingEffectHours, 0.8);
+}
+
+TEST_F(ValidationFixture, MeltHappensInBothModels)
+{
+    EXPECT_GT(result_->realMelt.max(), 0.9);
+    EXPECT_GT(result_->modelMelt.max(), 0.9);
+}
+
+TEST_F(ValidationFixture, WaxBelowPlaceboWhileMelting)
+{
+    // Half an hour into the load phase the wax box area reads
+    // cooler than the placebo area.
+    double t = units::hours(1.5);
+    EXPECT_LT(result_->realWax.at(t),
+              result_->realPlacebo.at(t));
+    EXPECT_LT(result_->modelWax.at(t),
+              result_->modelPlacebo.at(t));
+}
+
+TEST_F(ValidationFixture, WaxAbovePlaceboWhileFreezing)
+{
+    // Half an hour after load-off the stored heat keeps the wax
+    // area warmer.
+    double t = units::hours(1.0 + 6.0 + 0.5);
+    EXPECT_GT(result_->realWax.at(t),
+              result_->realPlacebo.at(t));
+    EXPECT_GT(result_->modelWax.at(t),
+              result_->modelPlacebo.at(t));
+}
+
+TEST_F(ValidationFixture, TracesCoverWholeSchedule)
+{
+    double expected_end = units::hours(1.0 + 6.0 + 6.0);
+    EXPECT_NEAR(result_->realWax.endTime(), expected_end, 301.0);
+    EXPECT_EQ(result_->realWax.size(), result_->modelWax.size());
+}
+
+TEST(Validation, NoiseSeedChangesRealTraceOnly)
+{
+    auto o = fastOptions();
+    o.loadHours = 2.0;
+    o.idleHoursAfter = 1.0;
+    auto a = runValidation(o);
+    o.seed = 1234;
+    auto b = runValidation(o);
+    // Model traces (noise-free) identical; real traces differ.
+    EXPECT_DOUBLE_EQ(a.modelWax.at(units::hours(2.0)),
+                     b.modelWax.at(units::hours(2.0)));
+    bool differs = false;
+    for (std::size_t i = 0; i < a.realWax.size(); ++i) {
+        differs |= a.realWax.values()[i] != b.realWax.values()[i];
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Validation, MoreShellsSlowMelting)
+{
+    // Conduction-limited melting: a finer discretization cannot melt
+    // faster than a lumped charge.
+    auto o = fastOptions();
+    o.loadHours = 3.0;
+    o.idleHoursAfter = 0.5;
+    o.shells = 1;
+    auto lumped = runValidation(o);
+    o.shells = 8;
+    auto shelled = runValidation(o);
+    double t = units::hours(2.0);
+    EXPECT_LE(shelled.realMelt.at(t), lumped.realMelt.at(t) + 0.05);
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

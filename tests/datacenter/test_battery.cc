@@ -1,0 +1,144 @@
+/** @file Tests for the UPS battery peak-shaving bank. */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/battery.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace datacenter {
+namespace {
+
+BatteryConfig
+smallBank()
+{
+    BatteryConfig c;
+    c.energyCapacityJ = 3.6e6;      // 1 kWh.
+    c.maxDischargeW = 2000.0;
+    c.maxChargeW = 1000.0;
+    return c;
+}
+
+TimeSeries
+peakyDemand()
+{
+    TimeSeries d("w");
+    d.append(0.0, 500.0);
+    d.append(1000.0, 500.0);
+    d.append(1500.0, 2000.0);   // Peak above a 1 kW cap.
+    d.append(2500.0, 2000.0);
+    d.append(3000.0, 500.0);
+    d.append(6000.0, 500.0);
+    return d;
+}
+
+TEST(BatteryBank, StartsFull)
+{
+    BatteryBank b(smallBank());
+    EXPECT_DOUBLE_EQ(b.stateOfCharge(), 1.0);
+    EXPECT_DOUBLE_EQ(b.storedEnergy(), 3.6e6);
+}
+
+TEST(BatteryBank, DischargeCoversExcess)
+{
+    BatteryBank b(smallBank());
+    double grid = b.step(10.0, 1500.0, 1000.0);
+    EXPECT_DOUBLE_EQ(grid, 1000.0);
+    EXPECT_LT(b.storedEnergy(), 3.6e6);
+}
+
+TEST(BatteryBank, DischargeLimitedByPowerRating)
+{
+    BatteryBank b(smallBank());
+    double grid = b.step(10.0, 5000.0, 1000.0);
+    // Can only shave 2 kW of the 4 kW excess.
+    EXPECT_DOUBLE_EQ(grid, 3000.0);
+}
+
+TEST(BatteryBank, EmptyBatteryCannotShave)
+{
+    auto cfg = smallBank();
+    cfg.initialSoc = 0.0;
+    BatteryBank b(cfg);
+    double grid = b.step(10.0, 1500.0, 1000.0);
+    EXPECT_DOUBLE_EQ(grid, 1500.0);
+}
+
+TEST(BatteryBank, RechargesWithHeadroom)
+{
+    auto cfg = smallBank();
+    cfg.initialSoc = 0.5;
+    BatteryBank b(cfg);
+    double grid = b.step(10.0, 200.0, 1000.0);
+    EXPECT_GT(grid, 200.0);         // Charging draw added.
+    EXPECT_LE(grid, 1000.0 + 1e-9); // Never above the cap.
+    EXPECT_GT(b.stateOfCharge(), 0.5);
+}
+
+TEST(BatteryBank, ChargeRespectsEfficiency)
+{
+    auto cfg = smallBank();
+    cfg.initialSoc = 0.0;
+    cfg.roundTripEfficiency = 0.8;
+    BatteryBank b(cfg);
+    double grid = b.step(10.0, 0.0, 1000.0);
+    // Grid supplies charge power; stored = power * eta * dt.
+    EXPECT_DOUBLE_EQ(grid, 1000.0);
+    EXPECT_NEAR(b.storedEnergy(), 1000.0 * 0.8 * 10.0, 1e-9);
+}
+
+TEST(BatteryBank, NeverOvercharges)
+{
+    BatteryBank b(smallBank());
+    for (int i = 0; i < 100; ++i)
+        b.step(100.0, 0.0, 1000.0);
+    EXPECT_LE(b.stateOfCharge(), 1.0 + 1e-12);
+}
+
+TEST(BatteryBank, ShaveReducesPeak)
+{
+    BatteryBank b(smallBank());
+    auto r = b.shave(peakyDemand(), 1000.0);
+    EXPECT_DOUBLE_EQ(r.peakDemandW, 2000.0);
+    EXPECT_NEAR(r.peakGridW, 1000.0, 1e-6);
+    EXPECT_NEAR(r.peakReduction(), 0.5, 1e-6);
+    EXPECT_DOUBLE_EQ(r.capViolationS, 0.0);
+}
+
+TEST(BatteryBank, UndersizedBankViolatesCap)
+{
+    auto cfg = smallBank();
+    cfg.energyCapacityJ = 1.0e5;  // Tiny.
+    BatteryBank b(cfg);
+    auto r = b.shave(peakyDemand(), 1000.0);
+    EXPECT_GT(r.capViolationS, 0.0);
+    EXPECT_GT(r.peakGridW, 1000.0);
+}
+
+TEST(BatteryBank, SocSeriesRecorded)
+{
+    BatteryBank b(smallBank());
+    auto r = b.shave(peakyDemand(), 1000.0);
+    EXPECT_EQ(r.stateOfCharge.size(), peakyDemand().size());
+    // Discharged during the peak, recharged afterwards.
+    EXPECT_LT(r.stateOfCharge.min(), 1.0);
+    EXPECT_GT(r.stateOfCharge.values().back(),
+              r.stateOfCharge.min());
+}
+
+TEST(BatteryBank, RejectsBadConfig)
+{
+    auto cfg = smallBank();
+    cfg.energyCapacityJ = 0.0;
+    EXPECT_THROW(BatteryBank b(cfg), FatalError);
+    cfg = smallBank();
+    cfg.roundTripEfficiency = 0.0;
+    EXPECT_THROW(BatteryBank b(cfg), FatalError);
+    BatteryBank ok(smallBank());
+    EXPECT_THROW(ok.step(0.0, 1.0, 1.0), FatalError);
+}
+
+} // namespace
+} // namespace datacenter
+} // namespace tts

@@ -1,0 +1,122 @@
+/** @file Tests for the chilled-water TES comparator. */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/chilled_water.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace datacenter {
+namespace {
+
+ChilledWaterConfig
+smallTank()
+{
+    ChilledWaterConfig c;
+    c.volumeM3 = 1.0;           // ~41.8 MJ at 10 K swing.
+    c.maxDischargeW = 50000.0;
+    c.maxRechargeW = 20000.0;
+    c.pumpPowerW = 500.0;
+    return c;
+}
+
+TimeSeries
+peakyLoad()
+{
+    TimeSeries d("w");
+    d.append(0.0, 10000.0);
+    d.append(3600.0, 10000.0);
+    d.append(4000.0, 40000.0);
+    d.append(7600.0, 40000.0);   // 1 h peak.
+    d.append(8000.0, 10000.0);
+    d.append(30000.0, 10000.0);
+    return d;
+}
+
+TEST(ChilledWaterTank, CapacityFromVolumeAndSwing)
+{
+    ChilledWaterTank tank(smallTank());
+    EXPECT_NEAR(tank.capacity(), 1.0 * 998.0 * 4186.0 * 10.0,
+                1.0);
+    EXPECT_NEAR(tank.stored(), tank.capacity(), 1e-6);
+}
+
+TEST(ChilledWaterTank, ShavesPeakToCap)
+{
+    // The one-hour 15 kW excess needs 54 MJ; a 2 m^3 tank at 10 K
+    // swing holds ~84 MJ.
+    auto cfg = smallTank();
+    cfg.volumeM3 = 2.0;
+    ChilledWaterTank tank(cfg);
+    auto r = tank.shave(peakyLoad(), 25000.0);
+    EXPECT_DOUBLE_EQ(r.peakLoadW, 40000.0);
+    EXPECT_LE(r.peakPlantW, 25000.0 + 1e-6);
+    EXPECT_NEAR(r.peakReduction(), 0.375, 1e-6);
+}
+
+TEST(ChilledWaterTank, RechargesOffPeak)
+{
+    ChilledWaterTank tank(smallTank());
+    auto r = tank.shave(peakyLoad(), 25000.0);
+    // After the long off-peak tail the tank is full again (modulo
+    // standby loss the policy keeps topping up).
+    EXPECT_GT(r.storedJ.values().back(),
+              0.9 * tank.capacity());
+    EXPECT_LT(r.storedJ.min(), 0.8 * tank.capacity());
+}
+
+TEST(ChilledWaterTank, PumpEnergyAccrues)
+{
+    ChilledWaterTank tank(smallTank());
+    auto r = tank.shave(peakyLoad(), 25000.0);
+    EXPECT_GT(r.pumpEnergyJ, 0.0);
+}
+
+TEST(ChilledWaterTank, StandbyLossAccrues)
+{
+    // A flat load below the cap: the tank just stands by and leaks.
+    auto cfg = smallTank();
+    cfg.standbyLossPerDay = 0.10;
+    ChilledWaterTank tank(cfg);
+    TimeSeries flat("w");
+    flat.append(0.0, 1000.0);
+    flat.append(units::days(1.0), 1000.0);
+    auto r = tank.shave(flat.resampled(600.0), 500000.0);
+    EXPECT_GT(r.standbyLossJ, 0.0);
+}
+
+TEST(ChilledWaterTank, ZeroLossTankKeepsEverything)
+{
+    auto cfg = smallTank();
+    cfg.standbyLossPerDay = 0.0;
+    ChilledWaterTank tank(cfg);
+    TimeSeries flat("w");
+    flat.append(0.0, 30000.0);
+    flat.append(600.0, 30000.0);
+    auto r = tank.shave(flat, 30000.0);
+    EXPECT_DOUBLE_EQ(r.standbyLossJ, 0.0);
+}
+
+TEST(ChilledWaterTank, EmptyTankStopsShaving)
+{
+    auto cfg = smallTank();
+    cfg.volumeM3 = 0.05;  // ~2 MJ: drains in ~2 min at 15 kW.
+    ChilledWaterTank tank(cfg);
+    auto r = tank.shave(peakyLoad(), 25000.0);
+    EXPECT_GT(r.peakPlantW, 25000.0);
+}
+
+TEST(ChilledWaterTank, RejectsBadConfig)
+{
+    auto cfg = smallTank();
+    cfg.volumeM3 = 0.0;
+    EXPECT_THROW(ChilledWaterTank t(cfg), FatalError);
+    cfg = smallTank();
+    cfg.standbyLossPerDay = 1.0;
+    EXPECT_THROW(ChilledWaterTank t(cfg), FatalError);
+}
+
+} // namespace
+} // namespace datacenter
+} // namespace tts

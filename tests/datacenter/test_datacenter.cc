@@ -1,0 +1,113 @@
+/** @file Tests for the 10 MW datacenter topology. */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/datacenter.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace datacenter {
+namespace {
+
+TEST(Datacenter, ClusterCountsNearPaper)
+{
+    // The paper: 55 clusters of 1U, 19 of 2U, 29 of OCP at 10 MW.
+    // Ours derive from the modeled peak wall power; they land within
+    // a few clusters of the published counts.
+    Datacenter dc1(server::rd330Spec());
+    EXPECT_NEAR(static_cast<double>(dc1.clusterCount()), 55.0, 3.0);
+
+    DatacenterConfig cfg2;
+    cfg2.provisionedPerServerW = 500.0;  // Paper: 500 W after PSU.
+    Datacenter dc2(server::x4470Spec(), cfg2);
+    EXPECT_NEAR(static_cast<double>(dc2.clusterCount()), 19.0, 1.0);
+
+    Datacenter dc3(server::openComputeSpec());
+    EXPECT_NEAR(static_cast<double>(dc3.clusterCount()), 29.0, 5.0);
+}
+
+TEST(Datacenter, ServerCountIsClustersTimes1008)
+{
+    Datacenter dc(server::rd330Spec());
+    EXPECT_EQ(dc.serverCount(), dc.clusterCount() * 1008u);
+}
+
+TEST(Datacenter, OverrideWinsOverDerivation)
+{
+    DatacenterConfig cfg;
+    cfg.clusterCountOverride = 55;
+    Datacenter dc(server::rd330Spec(), cfg);
+    EXPECT_EQ(dc.clusterCount(), 55u);
+}
+
+TEST(Datacenter, ProvisionedPerServerDefaultsToPeakWall)
+{
+    Datacenter dc(server::rd330Spec());
+    EXPECT_DOUBLE_EQ(dc.provisionedPerServer(), 185.0);
+}
+
+TEST(Datacenter, ScaleToDatacenterMultiplies)
+{
+    Datacenter dc(server::rd330Spec());
+    TimeSeries cluster("w");
+    cluster.append(0.0, 100.0);
+    cluster.append(10.0, 200.0);
+    auto scaled = dc.scaleToDatacenter(cluster);
+    EXPECT_DOUBLE_EQ(
+        scaled.at(0.0),
+        100.0 * static_cast<double>(dc.clusterCount()));
+}
+
+TEST(Datacenter, ExtraServersFromCoolingReduction)
+{
+    DatacenterConfig cfg;
+    cfg.clusterCountOverride = 50;
+    Datacenter dc(server::rd330Spec(), cfg);
+    // r / (1 - r) scaling: 10 % reduction -> ~11.1 % more servers.
+    std::size_t extra = dc.extraServersForCoolingReduction(0.10);
+    double frac = static_cast<double>(extra) /
+        static_cast<double>(dc.serverCount());
+    EXPECT_NEAR(frac, 0.111, 0.002);
+}
+
+TEST(Datacenter, PaperHeadlineServerAdditions)
+{
+    // Paper Section 5.1: 12 % reduction in the 2U datacenter lets
+    // 14.6 % more servers in (0.12 / 0.88 = 13.6 %, and the paper's
+    // own rounding gives 14.6 %; we accept the model's value).
+    DatacenterConfig cfg;
+    cfg.provisionedPerServerW = 500.0;
+    Datacenter dc(server::x4470Spec(), cfg);
+    std::size_t extra = dc.extraServersForCoolingReduction(0.12);
+    double frac = static_cast<double>(extra) /
+        static_cast<double>(dc.serverCount());
+    EXPECT_NEAR(frac, 0.136, 0.01);
+    EXPECT_GT(extra, 2000u);
+}
+
+TEST(Datacenter, ZeroReductionAddsNothing)
+{
+    Datacenter dc(server::rd330Spec());
+    EXPECT_EQ(dc.extraServersForCoolingReduction(0.0), 0u);
+}
+
+TEST(Datacenter, RejectsBadConfig)
+{
+    DatacenterConfig cfg;
+    cfg.criticalPowerW = 0.0;
+    EXPECT_THROW(Datacenter(server::rd330Spec(), cfg), FatalError);
+
+    cfg = DatacenterConfig{};
+    cfg.criticalPowerW = 1000.0;  // Too small for one cluster.
+    EXPECT_THROW(Datacenter(server::rd330Spec(), cfg), FatalError);
+
+    Datacenter dc(server::rd330Spec());
+    EXPECT_THROW(dc.extraServersForCoolingReduction(1.0),
+                 FatalError);
+    EXPECT_THROW(dc.extraServersForCoolingReduction(-0.1),
+                 FatalError);
+}
+
+} // namespace
+} // namespace datacenter
+} // namespace tts

@@ -1,0 +1,108 @@
+/** @file Tests for the ambient model and economizer plant. */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/free_cooling.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace datacenter {
+namespace {
+
+TEST(AmbientModel, PeaksAtConfiguredHour)
+{
+    AmbientModel a;
+    EXPECT_NEAR(a.at(units::hours(15.0)), a.meanC + a.amplitudeC,
+                1e-9);
+    EXPECT_NEAR(a.at(units::hours(3.0)), a.meanC - a.amplitudeC,
+                1e-9);
+    EXPECT_NEAR(a.troughHour(), 3.0, 1e-12);
+}
+
+TEST(AmbientModel, MeanOverDayIsMean)
+{
+    AmbientModel a;
+    double sum = 0.0;
+    int n = 0;
+    for (double h = 0.0; h < 24.0; h += 0.25, ++n)
+        sum += a.at(units::hours(h));
+    EXPECT_NEAR(sum / n, a.meanC, 0.01);
+}
+
+TEST(AmbientModel, RepeatsDaily)
+{
+    AmbientModel a;
+    EXPECT_NEAR(a.at(units::hours(10.0)),
+                a.at(units::days(3.0) + units::hours(10.0)), 1e-9);
+}
+
+TEST(Economizer, MechanicalCopAtHotAmbient)
+{
+    EconomizerCoolingModel e;
+    EXPECT_DOUBLE_EQ(e.copAt(40.0), e.mechanicalCop);
+    EXPECT_DOUBLE_EQ(e.copAt(e.returnAirC), e.mechanicalCop);
+}
+
+TEST(Economizer, CopImprovesAsAmbientFalls)
+{
+    EconomizerCoolingModel e;
+    EXPECT_GT(e.copAt(20.0), e.copAt(30.0));
+    EXPECT_GT(e.copAt(12.0), e.copAt(20.0));
+}
+
+TEST(Economizer, FreeCoolingBelowChangeover)
+{
+    EconomizerCoolingModel e;
+    EXPECT_DOUBLE_EQ(e.copAt(5.0), e.freeCop);
+    EXPECT_DOUBLE_EQ(e.copAt(e.freeCoolingBelowC), e.freeCop);
+}
+
+TEST(Economizer, CopNeverExceedsFreeCop)
+{
+    EconomizerCoolingModel e;
+    e.copPerDegree = 10.0;  // Absurdly strong assist.
+    EXPECT_LE(e.copAt(11.0), e.freeCop);
+}
+
+TEST(Economizer, ElectricPowerUsesEffectiveCop)
+{
+    EconomizerCoolingModel e;
+    EXPECT_NEAR(e.electricPower(35000.0, 40.0),
+                35000.0 / e.mechanicalCop, 1e-9);
+    EXPECT_NEAR(e.electricPower(35000.0, 5.0),
+                35000.0 / e.freeCop, 1e-9);
+    EXPECT_THROW(e.electricPower(-1.0, 20.0), FatalError);
+}
+
+TEST(Economizer, NightLoadIsCheaperThanDayLoad)
+{
+    // The Figure 1 argument: the same joules cost less electricity
+    // at night because the economizer assist is stronger.
+    EconomizerCoolingModel e;
+    AmbientModel ambient;
+    TimeSeries day("w"), night("w");
+    day.append(units::hours(12.0), 1000.0);
+    day.append(units::hours(16.0), 1000.0);
+    night.append(units::hours(0.0), 1000.0);
+    night.append(units::hours(4.0), 1000.0);
+    EXPECT_LT(e.electricEnergy(night, ambient),
+              e.electricEnergy(day, ambient));
+}
+
+TEST(Economizer, ElectricSeriesMatchesPointwise)
+{
+    EconomizerCoolingModel e;
+    AmbientModel ambient;
+    TimeSeries load("w");
+    load.append(0.0, 70000.0);
+    load.append(units::hours(6.0), 35000.0);
+    auto elec = e.electricSeries(load, ambient);
+    ASSERT_EQ(elec.size(), 2u);
+    EXPECT_NEAR(elec.values()[0],
+                e.electricPower(70000.0, ambient.at(0.0)), 1e-9);
+}
+
+} // namespace
+} // namespace datacenter
+} // namespace tts

@@ -1,0 +1,87 @@
+/** @file Tests for the heterogeneous facility model. */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/mixed_facility.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace datacenter {
+namespace {
+
+using server::WaxConfig;
+
+workload::WorkloadTrace
+fastTrace()
+{
+    workload::GoogleTraceParams p;
+    p.durationS = units::days(1.0);
+    p.sampleIntervalS = 900.0;
+    return workload::makeGoogleTrace(p);
+}
+
+ClusterRunOptions
+fastOptions()
+{
+    ClusterRunOptions o;
+    o.controlIntervalS = 900.0;
+    o.thermalStepS = 15.0;
+    return o;
+}
+
+TEST(MixedFacility, ServerCountSumsPools)
+{
+    MixedFacility f({{server::rd330Spec(), WaxConfig::none(), 3},
+                     {server::x4470Spec(), WaxConfig::none(), 2}});
+    EXPECT_EQ(f.serverCount(), 5u * 1008u);
+}
+
+TEST(MixedFacility, AggregateEqualsSumOfPools)
+{
+    MixedFacility f({{server::rd330Spec(), WaxConfig::none(), 2},
+                     {server::x4470Spec(), WaxConfig::none(), 1}});
+    auto r = f.run(fastTrace(), fastOptions());
+    ASSERT_EQ(r.poolCoolingW.size(), 2u);
+    double t = units::hours(14.0);
+    EXPECT_NEAR(r.coolingLoadW.at(t),
+                r.poolCoolingW[0].at(t) + r.poolCoolingW[1].at(t),
+                1.0);
+}
+
+TEST(MixedFacility, SinglePoolMatchesCluster)
+{
+    MixedFacility f({{server::rd330Spec(), WaxConfig::none(), 1}});
+    auto fr = f.run(fastTrace(), fastOptions());
+    Cluster c(server::rd330Spec(), WaxConfig::none());
+    auto cr = c.run(fastTrace(), fastOptions());
+    EXPECT_NEAR(fr.peakCoolingLoad(), cr.peakCoolingLoad(),
+                0.01 * cr.peakCoolingLoad());
+}
+
+TEST(MixedFacility, WaxShavesTheSharedPeak)
+{
+    std::vector<FacilityPool> stock = {
+        {server::rd330Spec(), WaxConfig::none(), 2},
+        {server::x4470Spec(), WaxConfig::none(), 1}};
+    std::vector<FacilityPool> waxed = {
+        {server::rd330Spec(), WaxConfig::paper(), 2},
+        {server::x4470Spec(), WaxConfig::paper(), 1}};
+    auto r0 = MixedFacility(stock).run(fastTrace(), fastOptions());
+    auto r1 = MixedFacility(waxed).run(fastTrace(), fastOptions());
+    EXPECT_LT(r1.peakCoolingLoad(), r0.peakCoolingLoad());
+}
+
+TEST(MixedFacility, RejectsBadPools)
+{
+    EXPECT_THROW(MixedFacility f({}), FatalError);
+    EXPECT_THROW(
+        MixedFacility f({{server::rd330Spec(), WaxConfig::none(),
+                          0}}),
+        FatalError);
+}
+
+} // namespace
+} // namespace datacenter
+} // namespace tts

@@ -1,0 +1,124 @@
+/** @file Tests for multi-site geographic load shifting. */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/multi_site.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace datacenter {
+namespace {
+
+workload::GoogleTraceParams
+fastParams()
+{
+    workload::GoogleTraceParams p;
+    p.durationS = units::days(1.0);
+    p.sampleIntervalS = 900.0;
+    p.dayJitter = 0.0;
+    p.noise = 0.0;
+    return p;
+}
+
+TEST(MultiSite, ShiftedParamsMovePeaks)
+{
+    auto base = fastParams();
+    auto west = shiftedSiteParams(base, 3.0);
+    EXPECT_DOUBLE_EQ(west.search.peakHour,
+                     base.search.peakHour + 3.0);
+    EXPECT_DOUBLE_EQ(west.orkut.peakHour,
+                     base.orkut.peakHour + 3.0);
+}
+
+TEST(MultiSite, ShiftWrapsAroundMidnight)
+{
+    auto base = fastParams();
+    auto p = shiftedSiteParams(base, 8.0);
+    // Orkut 19.5 + 8 -> 3.5.
+    EXPECT_NEAR(p.orkut.peakHour, 3.5, 1e-9);
+    auto q = shiftedSiteParams(base, -20.0);
+    EXPECT_GE(q.search.peakHour, 0.0);
+    EXPECT_LT(q.search.peakHour, 24.0);
+}
+
+TEST(MultiSite, ShiftedTracePeaksLater)
+{
+    auto east = workload::makeGoogleTrace(fastParams());
+    auto west = workload::makeGoogleTrace(
+        shiftedSiteParams(fastParams(), 6.0));
+    double east_peak_t = east.total().argMax();
+    double west_peak_t = west.total().argMax();
+    EXPECT_GT(west_peak_t, east_peak_t + units::hours(3.0));
+}
+
+TEST(MultiSite, BalanceConservesTotalLoad)
+{
+    auto a = workload::makeGoogleTrace(fastParams());
+    auto b = workload::makeGoogleTrace(
+        shiftedSiteParams(fastParams(), 6.0));
+    auto [a2, b2] = geoBalance(a, b, 0.3);
+    for (double t = 0.0; t <= a.endTime();
+         t += units::hours(2.0)) {
+        EXPECT_NEAR(a2.totalAt(t) + b2.totalAt(t),
+                    a.totalAt(t) + b.totalAt(t), 1e-9)
+            << "at " << t;
+    }
+}
+
+TEST(MultiSite, BalanceReducesPeakOfBusierSite)
+{
+    auto a = workload::makeGoogleTrace(fastParams());
+    auto b = workload::makeGoogleTrace(
+        shiftedSiteParams(fastParams(), 6.0));
+    auto [a2, b2] = geoBalance(a, b, 0.3);
+    EXPECT_LT(a2.peak(), a.peak());
+    EXPECT_LT(b2.peak(), b.peak());
+}
+
+TEST(MultiSite, ZeroShiftIsIdentity)
+{
+    auto a = workload::makeGoogleTrace(fastParams());
+    auto b = workload::makeGoogleTrace(
+        shiftedSiteParams(fastParams(), 6.0));
+    auto [a2, b2] = geoBalance(a, b, 0.0);
+    for (double t = 0.0; t <= a.endTime(); t += units::hours(3.0))
+        EXPECT_NEAR(a2.totalAt(t), a.totalAt(t), 1e-9);
+}
+
+TEST(MultiSite, FullShiftEqualizesSites)
+{
+    auto a = workload::makeGoogleTrace(fastParams());
+    auto b = workload::makeGoogleTrace(
+        shiftedSiteParams(fastParams(), 6.0));
+    auto [a2, b2] = geoBalance(a, b, 1.0);
+    for (double t = units::hours(2.0); t <= a.endTime();
+         t += units::hours(3.0)) {
+        EXPECT_NEAR(a2.totalAt(t), b2.totalAt(t), 1e-6)
+            << "at " << t;
+    }
+}
+
+TEST(MultiSite, BalancePreservesClassMix)
+{
+    auto a = workload::makeGoogleTrace(fastParams());
+    auto b = workload::makeGoogleTrace(
+        shiftedSiteParams(fastParams(), 6.0));
+    double share_before = a.classShareAt(
+        workload::JobClass::WebSearch, units::hours(14.0));
+    auto [a2, b2] = geoBalance(a, b, 0.4);
+    EXPECT_NEAR(a2.classShareAt(workload::JobClass::WebSearch,
+                                units::hours(14.0)),
+                share_before, 1e-9);
+}
+
+TEST(MultiSite, RejectsBadShiftFraction)
+{
+    auto a = workload::makeGoogleTrace(fastParams());
+    EXPECT_THROW(geoBalance(a, a, -0.1), FatalError);
+    EXPECT_THROW(geoBalance(a, a, 1.5), FatalError);
+}
+
+} // namespace
+} // namespace datacenter
+} // namespace tts

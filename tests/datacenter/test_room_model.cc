@@ -1,0 +1,112 @@
+/** @file Tests for the machine-room thermal model. */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/room_model.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace datacenter {
+namespace {
+
+RoomConfig
+smallRoom()
+{
+    RoomConfig c;
+    c.airVolumeM3 = 100.0;
+    c.buildingMassJPerK = 5.0e6;
+    c.massCouplingWPerK = 500.0;
+    return c;
+}
+
+TEST(RoomModel, StartsAtSetpointEquilibrium)
+{
+    RoomModel room(smallRoom());
+    EXPECT_DOUBLE_EQ(room.airTemp(), 25.0);
+    EXPECT_DOUBLE_EQ(room.massTemp(), 25.0);
+    EXPECT_FALSE(room.overLimit());
+}
+
+TEST(RoomModel, BalancedFlowsHoldTemperature)
+{
+    RoomModel room(smallRoom());
+    room.step(600.0, 50000.0, 50000.0);
+    EXPECT_NEAR(room.airTemp(), 25.0, 1e-9);
+}
+
+TEST(RoomModel, ExcessHeatWarmsAir)
+{
+    RoomModel room(smallRoom());
+    room.step(60.0, 50000.0, 0.0);
+    EXPECT_GT(room.airTemp(), 25.0);
+    EXPECT_GT(room.airTemp(), room.massTemp());
+}
+
+TEST(RoomModel, BuildingMassLagsAndBuffers)
+{
+    // With more building mass, the air heats more slowly once the
+    // coupling starts dumping heat into the mass.
+    RoomConfig light = smallRoom();
+    RoomConfig heavy = smallRoom();
+    heavy.buildingMassJPerK = 50.0e6;
+    heavy.massCouplingWPerK = 5000.0;
+    RoomModel a(light), b(heavy);
+    for (int i = 0; i < 600; ++i) {
+        a.step(1.0, 50000.0, 0.0);
+        b.step(1.0, 50000.0, 0.0);
+    }
+    EXPECT_GT(a.airTemp(), b.airTemp());
+}
+
+TEST(RoomModel, EnergyConservedIntoBothNodes)
+{
+    RoomModel room(smallRoom());
+    const double q = 30000.0;
+    const double t_total = 1200.0;
+    for (int i = 0; i < 1200; ++i)
+        room.step(1.0, q, 0.0);
+    double e_air = room.airCapacity() * (room.airTemp() - 25.0);
+    double e_mass = smallRoom().buildingMassJPerK *
+        (room.massTemp() - 25.0);
+    EXPECT_NEAR(e_air + e_mass, q * t_total,
+                0.01 * q * t_total);
+}
+
+TEST(RoomModel, OverLimitTriggersAboveLimit)
+{
+    RoomConfig cfg = smallRoom();
+    cfg.limitC = 30.0;
+    RoomModel room(cfg);
+    while (!room.overLimit())
+        room.step(10.0, 100000.0, 0.0);
+    EXPECT_GT(room.airTemp(), 30.0);
+}
+
+TEST(RoomModel, CoolingBelowLoadCoolsBack)
+{
+    RoomModel room(smallRoom());
+    for (int i = 0; i < 300; ++i)
+        room.step(1.0, 50000.0, 0.0);
+    double hot = room.airTemp();
+    for (int i = 0; i < 300; ++i)
+        room.step(1.0, 10000.0, 50000.0);
+    EXPECT_LT(room.airTemp(), hot);
+}
+
+TEST(RoomModel, RejectsBadConfig)
+{
+    RoomConfig c = smallRoom();
+    c.airVolumeM3 = 0.0;
+    EXPECT_THROW(RoomModel room(c), FatalError);
+    c = smallRoom();
+    c.limitC = c.setpointC;
+    EXPECT_THROW(RoomModel room(c), FatalError);
+    RoomModel ok(smallRoom());
+    EXPECT_THROW(ok.step(0.0, 1.0, 1.0), FatalError);
+    EXPECT_THROW(ok.step(1.0, -1.0, 0.0), FatalError);
+}
+
+} // namespace
+} // namespace datacenter
+} // namespace tts

@@ -1,0 +1,145 @@
+/** @file End-to-end integration tests across all modules. */
+
+#include <gtest/gtest.h>
+
+#include "core/thermal_time_shifting.hh"
+#include "util/units.hh"
+#include "workload/dcsim.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+TEST(EndToEnd, VersionIsSet)
+{
+    EXPECT_STRNE(version(), "");
+}
+
+TEST(EndToEnd, PaperPlatformsAreThree)
+{
+    auto specs = paperPlatforms();
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_NE(specs[0].name.find("1U"), std::string::npos);
+    EXPECT_NE(specs[1].name.find("2U"), std::string::npos);
+    EXPECT_NE(specs[2].name.find("Open Compute"),
+              std::string::npos);
+}
+
+TEST(EndToEnd, FullPipelineFor1U)
+{
+    // One-day fast-grid run of the full Section 5 pipeline.
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(1.0);
+    tp.sampleIntervalS = 900.0;
+    auto trace = workload::makeGoogleTrace(tp);
+
+    PlatformStudyOptions opts;
+    opts.optimizeMelt = false;  // Spec default; optimizer has its
+                                // own tests.
+    opts.cooling.run.controlIntervalS = 900.0;
+    opts.cooling.run.thermalStepS = 15.0;
+
+    auto study = runPlatformStudy(server::rd330Spec(), trace, opts);
+
+    // Section 5.1: a peak reduction and positive economics.
+    EXPECT_GT(study.cooling.peakReduction(), 0.04);
+    EXPECT_GT(study.plan.smallerPlantSavingsPerYear, 80000.0);
+    EXPECT_GT(study.plan.extraServers, 1000u);
+    EXPECT_GT(study.plan.retrofitSavingsPerYear, 2.0e6);
+
+    // Section 5.2: a throughput gain and a TCO-efficiency gain.
+    EXPECT_GT(study.throughput.throughputGain(), 0.05);
+    EXPECT_GT(study.tcoEfficiencyGain, 0.03);
+    EXPECT_GT(study.throughput.delayHours, 0.0);
+
+    // The melting temperature is a valid paraffin pick.
+    EXPECT_GE(study.meltTempC, 39.0);
+    EXPECT_LE(study.meltTempC, 60.0);
+}
+
+TEST(EndToEnd, DcsimUtilizationFeedsThermalModel)
+{
+    // The event simulator's measured utilization, fed back as a
+    // (single-class) trace, produces a cluster cooling load close to
+    // driving the thermal model with the analytic trace directly.
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(1.0);
+    tp.sampleIntervalS = 900.0;
+    auto trace = workload::makeGoogleTrace(tp);
+
+    workload::DcSimConfig cfg;
+    cfg.serverCount = 24;
+    cfg.slotsPerServer = 12;
+    cfg.meanServiceTimeS = 60.0;
+    cfg.statsIntervalS = 1800.0;
+    workload::ClusterSim sim(cfg);
+    auto result = sim.run(trace);
+
+    workload::WorkloadTrace measured;
+    for (std::size_t i = 0; i < result.clusterUtilization.size();
+         ++i) {
+        double u = result.clusterUtilization.values()[i];
+        measured.append(result.clusterUtilization.times()[i],
+                        {u / 3.0, u / 3.0, u / 3.0});
+    }
+
+    datacenter::ClusterRunOptions ro;
+    ro.controlIntervalS = 1800.0;
+    ro.thermalStepS = 30.0;
+    datacenter::Cluster direct(server::rd330Spec(),
+                               server::WaxConfig::none(), 1008);
+    datacenter::Cluster via_sim(server::rd330Spec(),
+                                server::WaxConfig::none(), 1008);
+    auto r_direct = direct.run(trace, ro);
+    auto r_sim = via_sim.run(measured, ro);
+    EXPECT_NEAR(r_sim.peakCoolingLoad(),
+                r_direct.peakCoolingLoad(),
+                0.06 * r_direct.peakCoolingLoad());
+}
+
+TEST(EndToEnd, WaxNeverRaisesPeakCoolingBeyondPlacebo)
+{
+    // Safety property: against a placebo cluster with identical
+    // blockage, adding latent storage can only shave the peak.
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(1.0);
+    tp.sampleIntervalS = 900.0;
+    auto trace = workload::makeGoogleTrace(tp);
+
+    datacenter::ClusterRunOptions ro;
+    ro.controlIntervalS = 900.0;
+    ro.thermalStepS = 15.0;
+    datacenter::Cluster placebo(server::rd330Spec(),
+                                server::WaxConfig::placebo(), 1008);
+    datacenter::Cluster waxed(server::rd330Spec(),
+                              server::WaxConfig::paper(), 1008);
+    auto rp = placebo.run(trace, ro);
+    auto rw = waxed.run(trace, ro);
+    EXPECT_LE(rw.peakCoolingLoad(),
+              rp.peakCoolingLoad() * 1.005);
+}
+
+TEST(EndToEnd, TwoDayRunIsPeriodic)
+{
+    // After warm-up, day 1 and day 2 of a jitter-free two-day trace
+    // produce nearly identical wax trajectories (daily recharge).
+    workload::GoogleTraceParams tp;
+    tp.dayJitter = 0.0;
+    tp.noise = 0.0;
+    auto trace = workload::makeGoogleTrace(tp);
+    datacenter::ClusterRunOptions ro;
+    ro.controlIntervalS = 1800.0;
+    ro.thermalStepS = 30.0;
+    datacenter::Cluster c(server::rd330Spec(),
+                          server::WaxConfig::paper(), 1008);
+    auto r = c.run(trace, ro);
+    for (double h = 2.0; h < 24.0; h += 4.0) {
+        double d1 = r.waxMeltFraction.at(units::hours(h));
+        double d2 = r.waxMeltFraction.at(units::hours(h + 24.0));
+        EXPECT_NEAR(d1, d2, 0.22) << "hour " << h;
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

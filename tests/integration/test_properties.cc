@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Cross-module property tests: physical invariants that must hold
+ * for every platform and every wax configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "server/server_model.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace {
+
+using server::ServerModel;
+using server::ServerSpec;
+using server::WaxConfig;
+
+ServerSpec
+specOf(int platform)
+{
+    switch (platform) {
+      case 0: return server::rd330Spec();
+      case 1: return server::x4470Spec();
+      default: return server::openComputeSpec();
+    }
+}
+
+WaxConfig
+waxOf(int mode)
+{
+    switch (mode) {
+      case 0: return WaxConfig::none();
+      case 1: return WaxConfig::placebo();
+      default: return WaxConfig::paper();
+    }
+}
+
+/** (platform, wax mode) grid. */
+class PhysicalInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    ServerModel
+    make() const
+    {
+        return ServerModel(specOf(std::get<0>(GetParam())),
+                           waxOf(std::get<1>(GetParam())));
+    }
+};
+
+TEST_P(PhysicalInvariants, SteadyStateClosesEnergyBalance)
+{
+    auto m = make();
+    for (double u : {0.0, 0.3, 0.7, 1.0}) {
+        m.setLoad(u);
+        m.solveSteadyState();
+        EXPECT_NEAR(m.coolingLoad(), m.wallPower(),
+                    0.01 * m.wallPower() + 0.5)
+            << "util " << u;
+    }
+}
+
+TEST_P(PhysicalInvariants, TransientEnergyClosure)
+{
+    // Over a load step, integrated (wall - cooling) equals the
+    // change in stored enthalpy summed over every thermal node -
+    // the first law for the whole server.
+    auto m = make();
+    m.setLoad(0.2);
+    m.solveSteadyState();
+    m.setLoad(0.9);
+
+    auto total_enthalpy = [&]() {
+        double h = 0.0;
+        for (std::size_t i = 0; i < m.network().nodeCount(); ++i)
+            h += m.network().nodeEnthalpy(static_cast<int>(i));
+        return h;
+    };
+
+    double h0 = total_enthalpy();
+    double stored = 0.0;
+    const double dt = 30.0;
+    for (int i = 0; i < 240; ++i) {  // Two hours.
+        double before = m.coolingLoad();
+        m.advance(dt, 5.0);
+        double after = m.coolingLoad();
+        stored += (m.wallPower() - 0.5 * (before + after)) * dt;
+    }
+    double dh = total_enthalpy() - h0;
+    EXPECT_NEAR(stored, dh, 0.02 * std::abs(dh) + 2000.0);
+}
+
+TEST_P(PhysicalInvariants, TemperaturesStayPhysical)
+{
+    auto m = make();
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::hours(30.0);
+    tp.sampleIntervalS = 900.0;
+    auto trace = workload::makeGoogleTrace(tp);
+    for (double t = 0.0; t < tp.durationS; t += 900.0) {
+        m.setLoad(trace.totalAt(t));
+        m.advance(900.0, 15.0);
+        EXPECT_GE(m.outletTemp(), m.spec().inletTempC - 0.5);
+        EXPECT_LT(m.outletTemp(), 90.0);
+        EXPECT_LT(m.cpuJunctionTemp(), 150.0);
+        if (m.hasWax()) {
+            EXPECT_GE(m.waxMeltFraction(), 0.0);
+            EXPECT_LE(m.waxMeltFraction(), 1.0);
+            EXPECT_GE(m.waxTemp(), m.spec().inletTempC - 1.0);
+            EXPECT_LT(m.waxTemp(), 90.0);
+        }
+    }
+}
+
+TEST_P(PhysicalInvariants, MonotoneLoadMonotonePower)
+{
+    auto m = make();
+    double prev = -1.0;
+    for (double u = 0.0; u <= 1.0 + 1e-9; u += 0.05) {
+        m.setLoad(std::min(u, 1.0));
+        EXPECT_GT(m.wallPower(), prev);
+        prev = m.wallPower();
+    }
+}
+
+TEST_P(PhysicalInvariants, AdvanceMatchesSteadyStateEventually)
+{
+    auto m = make();
+    m.setLoad(0.6);
+    m.advance(units::hours(12.0), 10.0);
+    double transient_outlet = m.outletTemp();
+    auto ref = make();
+    ref.setLoad(0.6);
+    ref.solveSteadyState();
+    EXPECT_NEAR(transient_outlet, ref.outletTemp(), 0.6);
+}
+
+std::string
+gridName(const ::testing::TestParamInfo<std::tuple<int, int>> &info)
+{
+    static const char *platforms[] = {"1U", "2U", "OCP"};
+    static const char *waxes[] = {"stock", "placebo", "wax"};
+    return std::string(platforms[std::get<0>(info.param)]) + "_" +
+        waxes[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PhysicalInvariants,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0, 1, 2)),
+    gridName);
+
+} // namespace
+} // namespace tts

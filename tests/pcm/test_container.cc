@@ -1,0 +1,181 @@
+/** @file Tests for wax container geometry and banks. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pcm/container.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace pcm {
+namespace {
+
+BoxSpec
+literBox()
+{
+    BoxSpec b;
+    b.lengthM = 0.20;
+    b.widthM = 0.10;
+    b.heightM = 0.06;
+    return b;
+}
+
+TEST(BoxSpec, ExteriorVolume)
+{
+    EXPECT_NEAR(literBox().exteriorVolume(), 1.2e-3, 1e-12);
+}
+
+TEST(BoxSpec, InteriorSmallerThanExterior)
+{
+    auto b = literBox();
+    EXPECT_LT(b.interiorVolume(), b.exteriorVolume());
+    EXPECT_GT(b.interiorVolume(), 0.0);
+}
+
+TEST(BoxSpec, WaxVolumeLeavesHeadspace)
+{
+    auto b = literBox();
+    EXPECT_NEAR(b.waxVolume(), 0.9 * b.interiorVolume(), 1e-15);
+}
+
+TEST(BoxSpec, SurfaceAreaOfCuboid)
+{
+    auto b = literBox();
+    double expected = 2.0 * (0.20 * 0.10 + 0.20 * 0.06 +
+                             0.10 * 0.06);
+    EXPECT_NEAR(b.surfaceArea(), expected, 1e-12);
+}
+
+TEST(BoxSpec, FrontalAreaIsWidthTimesHeight)
+{
+    EXPECT_NEAR(literBox().frontalArea(), 0.10 * 0.06, 1e-12);
+}
+
+TEST(BoxSpec, ShellMassPositive)
+{
+    EXPECT_GT(literBox().shellMass(), 0.0);
+    // A 1.5 mm aluminum shell around a ~1 l box weighs a few
+    // hundred grams.
+    EXPECT_LT(literBox().shellMass(), 1.0);
+}
+
+TEST(BoxSpec, DegenerateInteriorIsZero)
+{
+    BoxSpec b;
+    b.lengthM = 0.002;
+    b.widthM = 0.002;
+    b.heightM = 0.002;
+    b.wallThicknessM = 0.0015;
+    EXPECT_DOUBLE_EQ(b.interiorVolume(), 0.0);
+}
+
+TEST(ContainerBank, AggregatesBoxes)
+{
+    ContainerBank bank(literBox(), 4, 0.04);
+    EXPECT_EQ(bank.count(), 4u);
+    EXPECT_NEAR(bank.waxVolume(), 4.0 * literBox().waxVolume(),
+                1e-15);
+    EXPECT_NEAR(bank.surfaceArea(),
+                4.0 * literBox().surfaceArea(), 1e-12);
+    EXPECT_NEAR(bank.shellMass(), 4.0 * literBox().shellMass(),
+                1e-12);
+}
+
+TEST(ContainerBank, WaxMassFromDensity)
+{
+    ContainerBank bank(literBox(), 1, 0.04);
+    EXPECT_NEAR(bank.waxMass(800.0), bank.waxVolume() * 800.0,
+                1e-12);
+    EXPECT_THROW(bank.waxMass(0.0), FatalError);
+}
+
+TEST(ContainerBank, BlockageFraction)
+{
+    ContainerBank bank(literBox(), 2, 0.04);
+    EXPECT_NEAR(bank.blockageFraction(),
+                2.0 * 0.10 * 0.06 / 0.04, 1e-12);
+}
+
+TEST(ContainerBank, RejectsFullBlockage)
+{
+    // Two boxes fully covering the duct.
+    EXPECT_THROW(ContainerBank(literBox(), 10, 0.01), FatalError);
+}
+
+TEST(ContainerBank, ConductanceGrowsWithVelocity)
+{
+    ContainerBank bank(literBox(), 1, 0.04);
+    EXPECT_LT(bank.conductanceAt(0.5), bank.conductanceAt(1.0));
+    EXPECT_LT(bank.conductanceAt(1.0), bank.conductanceAt(2.0));
+}
+
+TEST(ContainerBank, ConductanceFollowsPowerLaw)
+{
+    ContainerBank bank(literBox(), 1, 0.04);
+    double r = bank.conductanceAt(2.0) / bank.conductanceAt(1.0);
+    EXPECT_NEAR(r, std::pow(2.0, 0.8), 1e-9);
+}
+
+TEST(ContainerBank, ConductanceHasNaturalConvectionFloor)
+{
+    ContainerBank bank(literBox(), 1, 0.04);
+    EXPECT_GT(bank.conductanceAt(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(bank.conductanceAt(0.0),
+                     bank.conductanceAt(0.01));
+}
+
+TEST(ContainerBank, RejectsBadArguments)
+{
+    EXPECT_THROW(ContainerBank(literBox(), 0, 0.04), FatalError);
+    EXPECT_THROW(ContainerBank(literBox(), 1, 0.0), FatalError);
+    auto b = literBox();
+    b.fillFraction = 0.0;
+    EXPECT_THROW(ContainerBank(b, 1, 0.04), FatalError);
+}
+
+TEST(SizeBank, HitsVolumeTarget)
+{
+    // 1.2 liters in a 1U duct, 70 % blockage cap, 6 boxes.
+    auto bank = sizeBank(1.2e-3, 0.019, 0.04, 0.70, 6);
+    EXPECT_NEAR(bank.waxVolume(), 1.2e-3, 1e-6);
+    EXPECT_EQ(bank.count(), 6u);
+}
+
+TEST(SizeBank, RespectsBlockageCap)
+{
+    auto bank = sizeBank(1.2e-3, 0.019, 0.04, 0.70, 6);
+    EXPECT_LE(bank.blockageFraction(), 0.70 + 1e-9);
+}
+
+class SizeBankSweep
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SizeBankSweep, MoreBoxesMoreSurface)
+{
+    std::size_t n = GetParam();
+    auto a = sizeBank(4.0e-3, 0.038, 0.08, 0.69, n);
+    auto b = sizeBank(4.0e-3, 0.038, 0.08, 0.69, n + 4);
+    // Splitting the same charge across more boxes increases the
+    // air-contact area (the paper's melting-speed lever).
+    EXPECT_GT(b.surfaceArea(), a.surfaceArea());
+    EXPECT_NEAR(a.waxVolume(), b.waxVolume(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SizeBankSweep,
+                         ::testing::Values(2, 4, 8, 12));
+
+TEST(SizeBank, RejectsImpossibleRequests)
+{
+    // Volume needing boxes deeper than a server.
+    EXPECT_THROW(sizeBank(50.0e-3, 0.019, 0.04, 0.70, 2),
+                 FatalError);
+    EXPECT_THROW(sizeBank(0.0, 0.019, 0.04, 0.70, 2), FatalError);
+    EXPECT_THROW(sizeBank(1e-3, 0.019, 0.04, 0.0, 2), FatalError);
+}
+
+} // namespace
+} // namespace pcm
+} // namespace tts

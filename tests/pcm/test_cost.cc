@@ -1,0 +1,80 @@
+/** @file Tests for the wax procurement cost model (Section 2.1). */
+
+#include <gtest/gtest.h>
+
+#include "pcm/cost.hh"
+#include "pcm/material.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace pcm {
+namespace {
+
+TEST(Cost, EicosaneIsAbout50xCommercial)
+{
+    double ratio = priceRatio(eicosane(), commercialParaffin());
+    EXPECT_NEAR(ratio, 50.0, 15.0);
+}
+
+TEST(Cost, CommercialFusionDeficitIsAbout20Percent)
+{
+    double deficit = fusionDeficit(eicosane(), commercialParaffin());
+    EXPECT_NEAR(deficit, 0.19, 0.03);
+}
+
+TEST(Cost, EicosaneFleetCostExceedsMillionDollars)
+{
+    // Section 2.1: "even in a relatively small datacenter the cost
+    // of equipping every server with eicosane would be over a
+    // million dollars in wax costs alone."  20,000 servers with
+    // 1.2 l each.
+    auto cost = fleetWaxCost(eicosane(), 1.2, 20000, 0.0);
+    EXPECT_GT(cost.totalCost, 1.0e6);
+}
+
+TEST(Cost, CommercialFleetIsCheap)
+{
+    auto cost = fleetWaxCost(commercialParaffin(), 1.2, 20000);
+    EXPECT_LT(cost.totalCost, 120000.0);
+}
+
+TEST(Cost, MassFromDensityAndVolume)
+{
+    auto cost = fleetWaxCost(commercialParaffin(), 1.0, 1, 0.0);
+    EXPECT_NEAR(cost.massPerServerKg,
+                commercialParaffin().densitySolidGPerMl, 1e-12);
+}
+
+TEST(Cost, WaxCostScalesWithVolume)
+{
+    auto one = fleetWaxCost(commercialParaffin(), 1.0, 1, 0.0);
+    auto four = fleetWaxCost(commercialParaffin(), 4.0, 1, 0.0);
+    EXPECT_NEAR(four.waxCostPerServer,
+                4.0 * one.waxCostPerServer, 1e-9);
+}
+
+TEST(Cost, TotalScalesWithServerCount)
+{
+    auto one = fleetWaxCost(commercialParaffin(), 1.2, 1);
+    auto many = fleetWaxCost(commercialParaffin(), 1.2, 1008);
+    EXPECT_NEAR(many.totalCost, 1008.0 * one.totalCost, 1e-6);
+}
+
+TEST(Cost, JoulesPerDollarFavorsCommercial)
+{
+    auto e = fleetWaxCost(eicosane(), 1.2, 1, 2.5);
+    auto c = fleetWaxCost(commercialParaffin(), 1.2, 1, 2.5);
+    EXPECT_GT(c.joulesPerDollar, 10.0 * e.joulesPerDollar);
+}
+
+TEST(Cost, RejectsBadArguments)
+{
+    EXPECT_THROW(fleetWaxCost(commercialParaffin(), 0.0, 10),
+                 FatalError);
+    EXPECT_THROW(fleetWaxCost(commercialParaffin(), 1.0, 0),
+                 FatalError);
+}
+
+} // namespace
+} // namespace pcm
+} // namespace tts

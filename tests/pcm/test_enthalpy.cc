@@ -1,0 +1,154 @@
+/** @file Tests for the enthalpy-temperature PCM model. */
+
+#include <gtest/gtest.h>
+
+#include "pcm/enthalpy_model.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace pcm {
+namespace {
+
+EnthalpyParams
+standardParams()
+{
+    EnthalpyParams p;
+    p.massKg = 1.0;
+    p.cpSolid = 2100.0;
+    p.cpLiquid = 2400.0;
+    p.latentHeat = 200000.0;
+    p.meltTempC = 50.0;
+    p.meltWindowC = 2.0;
+    return p;
+}
+
+TEST(EnthalpyCurve, TemperatureRoundTrip)
+{
+    EnthalpyCurve c(standardParams());
+    for (double t = -10.0; t <= 120.0; t += 3.7) {
+        EXPECT_NEAR(c.temperatureAt(c.enthalpyAt(t)), t, 1e-9)
+            << "at " << t;
+    }
+}
+
+TEST(EnthalpyCurve, EnthalpyIsMonotone)
+{
+    EnthalpyCurve c(standardParams());
+    double prev = c.enthalpyAt(-20.0);
+    for (double t = -19.0; t <= 150.0; t += 1.0) {
+        double h = c.enthalpyAt(t);
+        EXPECT_GT(h, prev);
+        prev = h;
+    }
+}
+
+TEST(EnthalpyCurve, LatentCapacityIsMassTimesLatent)
+{
+    EnthalpyCurve c(standardParams());
+    EXPECT_DOUBLE_EQ(c.latentCapacity(), 200000.0);
+}
+
+TEST(EnthalpyCurve, PlateauSpansLatentPlusSensible)
+{
+    EnthalpyCurve c(standardParams());
+    double dh = c.liquidusEnthalpy() - c.solidusEnthalpy();
+    // Latent heat plus ~average cp across the 2 C window.
+    double sensible = 0.5 * (2100.0 + 2400.0) * 2.0;
+    EXPECT_NEAR(dh, 200000.0 + sensible, 1e-6);
+}
+
+TEST(EnthalpyCurve, MeltFractionBounds)
+{
+    EnthalpyCurve c(standardParams());
+    EXPECT_DOUBLE_EQ(c.meltFraction(c.enthalpyAt(20.0)), 0.0);
+    EXPECT_DOUBLE_EQ(c.meltFraction(c.enthalpyAt(80.0)), 1.0);
+}
+
+TEST(EnthalpyCurve, MeltFractionHalfAtCenter)
+{
+    EnthalpyCurve c(standardParams());
+    double mid = 0.5 * (c.solidusEnthalpy() + c.liquidusEnthalpy());
+    EXPECT_NEAR(c.meltFraction(mid), 0.5, 1e-12);
+    EXPECT_NEAR(c.temperatureAt(mid), 50.0, 1e-9);
+}
+
+TEST(EnthalpyCurve, SolidusLiquidusBracketMeltTemp)
+{
+    EnthalpyCurve c(standardParams());
+    EXPECT_DOUBLE_EQ(c.solidusTempC(), 49.0);
+    EXPECT_DOUBLE_EQ(c.liquidusTempC(), 51.0);
+}
+
+TEST(EnthalpyCurve, EffectiveCapacityRegions)
+{
+    EnthalpyCurve c(standardParams());
+    EXPECT_DOUBLE_EQ(c.effectiveHeatCapacity(20.0), 2100.0);
+    EXPECT_DOUBLE_EQ(c.effectiveHeatCapacity(80.0), 2400.0);
+    // Inside the window, the latent term dominates.
+    EXPECT_GT(c.effectiveHeatCapacity(50.0), 100000.0);
+}
+
+TEST(EnthalpyCurve, ExtraCapacityShiftsAllRegions)
+{
+    auto p = standardParams();
+    p.extraCapacity = 500.0;  // e.g. the aluminum shell.
+    EnthalpyCurve c(p);
+    EXPECT_DOUBLE_EQ(c.effectiveHeatCapacity(20.0), 2600.0);
+    EXPECT_DOUBLE_EQ(c.effectiveHeatCapacity(80.0), 2900.0);
+}
+
+TEST(EnthalpyCurve, EnergyToMeltFromAmbient)
+{
+    EnthalpyCurve c(standardParams());
+    double e = c.enthalpyAt(51.0) - c.enthalpyAt(25.0);
+    // Sensible 25 -> 49 C plus the full plateau.
+    double expected = 2100.0 * 24.0 +
+        (c.liquidusEnthalpy() - c.solidusEnthalpy());
+    EXPECT_NEAR(e, expected, 1e-6);
+}
+
+TEST(EnthalpyCurve, NarrowWindowStillInvertible)
+{
+    auto p = standardParams();
+    p.meltWindowC = 0.25;
+    EnthalpyCurve c(p);
+    EXPECT_NEAR(c.temperatureAt(c.enthalpyAt(50.0)), 50.0, 1e-9);
+    EXPECT_NEAR(c.temperatureAt(c.enthalpyAt(50.1)), 50.1, 1e-9);
+}
+
+class EnthalpyMassSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(EnthalpyMassSweep, LatentScalesWithMass)
+{
+    auto p = standardParams();
+    p.massKg = GetParam();
+    EnthalpyCurve c(p);
+    EXPECT_DOUBLE_EQ(c.latentCapacity(), 200000.0 * GetParam());
+    // Round trip still exact.
+    EXPECT_NEAR(c.temperatureAt(c.enthalpyAt(42.0)), 42.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masses, EnthalpyMassSweep,
+                         ::testing::Values(0.07, 0.96, 3.2, 100.0));
+
+TEST(EnthalpyCurve, RejectsBadParams)
+{
+    auto p = standardParams();
+    p.massKg = 0.0;
+    EXPECT_THROW(EnthalpyCurve c(p), FatalError);
+    p = standardParams();
+    p.latentHeat = -1.0;
+    EXPECT_THROW(EnthalpyCurve c(p), FatalError);
+    p = standardParams();
+    p.meltWindowC = 0.0;
+    EXPECT_THROW(EnthalpyCurve c(p), FatalError);
+    p = standardParams();
+    p.extraCapacity = -5.0;
+    EXPECT_THROW(EnthalpyCurve c(p), FatalError);
+}
+
+} // namespace
+} // namespace pcm
+} // namespace tts

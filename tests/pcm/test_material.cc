@@ -1,0 +1,127 @@
+/** @file Tests for the PCM material database (Table 1). */
+
+#include <gtest/gtest.h>
+
+#include "pcm/material.hh"
+
+namespace tts {
+namespace pcm {
+namespace {
+
+TEST(Material, Table1HasFiveFamilies)
+{
+    auto rows = table1Families();
+    ASSERT_EQ(rows.size(), 5u);
+}
+
+TEST(Material, Table1ValuesMatchPaper)
+{
+    auto rows = table1Families();
+    // Row order follows the paper's Table 1.
+    EXPECT_EQ(rows[0].name, "Salt Hydrates");
+    EXPECT_DOUBLE_EQ(rows[0].meltingTempMinC, 25.0);
+    EXPECT_DOUBLE_EQ(rows[0].meltingTempMaxC, 70.0);
+    EXPECT_TRUE(rows[0].corrosive);
+    EXPECT_EQ(rows[0].stability, Stability::Poor);
+
+    EXPECT_EQ(rows[1].name, "Metal Alloys");
+    EXPECT_GE(rows[1].meltingTempMinC, 300.0);
+    EXPECT_FALSE(rows[1].corrosive);
+
+    EXPECT_EQ(rows[2].name, "Fatty Acids");
+    EXPECT_TRUE(rows[2].corrosive);
+    EXPECT_EQ(rows[2].stability, Stability::Unknown);
+
+    EXPECT_EQ(rows[3].name, "n-Paraffins");
+    EXPECT_EQ(rows[3].stability, Stability::Excellent);
+    EXPECT_EQ(rows[3].conductivity, Conductivity::VeryLow);
+
+    EXPECT_EQ(rows[4].name, "Commercial Paraffins");
+    EXPECT_DOUBLE_EQ(rows[4].heatOfFusionJPerG, 200.0);
+    EXPECT_DOUBLE_EQ(rows[4].meltingTempMinC, 40.0);
+    EXPECT_DOUBLE_EQ(rows[4].meltingTempMaxC, 60.0);
+}
+
+TEST(Material, EicosaneMatchesPaper)
+{
+    auto e = eicosane();
+    EXPECT_DOUBLE_EQ(e.heatOfFusionJPerG, 247.0);
+    EXPECT_DOUBLE_EQ(e.meltingTempMinC, 36.6);
+    EXPECT_DOUBLE_EQ(e.pricePerTonUsd, 75000.0);
+}
+
+TEST(Material, CommercialParaffinMatchesPaper)
+{
+    auto c = commercialParaffin();
+    EXPECT_DOUBLE_EQ(c.heatOfFusionJPerG, 200.0);
+    // $1,000-2,000/ton quotes; the model uses the midpoint.
+    EXPECT_GE(c.pricePerTonUsd, 1000.0);
+    EXPECT_LE(c.pricePerTonUsd, 2000.0);
+    EXPECT_FALSE(c.corrosive);
+}
+
+TEST(Material, EnergyDensityIsFusionTimesDensity)
+{
+    auto c = commercialParaffin();
+    EXPECT_DOUBLE_EQ(c.energyDensityJPerMl(),
+                     c.heatOfFusionJPerG * c.densitySolidGPerMl);
+}
+
+TEST(Material, MeltsInRangeIntersection)
+{
+    auto c = commercialParaffin();  // 39-60 C.
+    EXPECT_TRUE(c.meltsInRange(30.0, 60.0));
+    EXPECT_TRUE(c.meltsInRange(55.0, 80.0));
+    EXPECT_FALSE(c.meltsInRange(0.0, 20.0));
+    EXPECT_FALSE(c.meltsInRange(70.0, 90.0));
+}
+
+TEST(Material, SuitabilityScreenMatchesSection21)
+{
+    // Section 2.1's conclusion: paraffins are suitable, everything
+    // else is not (corrosive, conductive, unstable, or melts outside
+    // the datacenter window).
+    for (const auto &m : table1Families()) {
+        bool paraffin = m.family == Family::NParaffin ||
+            m.family == Family::CommercialParaffin;
+        EXPECT_EQ(suitableForDatacenter(m), paraffin)
+            << m.name;
+    }
+    EXPECT_TRUE(suitableForDatacenter(eicosane()));
+    EXPECT_TRUE(suitableForDatacenter(commercialParaffin()));
+}
+
+TEST(Material, MetalAlloysFailOnMeltingPoint)
+{
+    auto rows = table1Families();
+    // Even ignoring conductivity, the alloys melt far too hot.
+    EXPECT_FALSE(rows[1].meltsInRange(30.0, 60.0));
+}
+
+TEST(Material, RankPutsSuitableFirst)
+{
+    auto ranked = rankForDatacenter(table1Families());
+    ASSERT_EQ(ranked.size(), 5u);
+    EXPECT_TRUE(suitableForDatacenter(ranked[0]));
+    EXPECT_TRUE(suitableForDatacenter(ranked[1]));
+    EXPECT_FALSE(suitableForDatacenter(ranked[2]));
+}
+
+TEST(Material, CommercialParaffinBeatsEicosaneOnValue)
+{
+    // 50x cheaper for 20 % lower fusion -> far more joules/dollar.
+    auto ranked =
+        rankForDatacenter({eicosane(), commercialParaffin()});
+    EXPECT_EQ(ranked[0].name, "Commercial Paraffin");
+}
+
+TEST(Material, EnumToStringRoundTrips)
+{
+    EXPECT_EQ(toString(Family::NParaffin), "n-Paraffins");
+    EXPECT_EQ(toString(Stability::VeryGood), "Very Good");
+    EXPECT_EQ(toString(Conductivity::VeryLow), "Very Low");
+}
+
+} // namespace
+} // namespace pcm
+} // namespace tts

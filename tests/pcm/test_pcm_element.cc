@@ -1,0 +1,270 @@
+/** @file Tests for the stateful PCM element. */
+
+#include <gtest/gtest.h>
+
+#include "pcm/container.hh"
+#include "pcm/material.hh"
+#include "pcm/pcm_element.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace pcm {
+namespace {
+
+ContainerBank
+smallBank()
+{
+    BoxSpec b;
+    b.lengthM = 0.12;
+    b.widthM = 0.08;
+    b.heightM = 0.014;
+    return ContainerBank(b, 1, 0.019);
+}
+
+PcmElement
+makeElement(double melt = 45.0, double initial = 25.0)
+{
+    return PcmElement(commercialParaffin(), smallBank(), melt,
+                      initial);
+}
+
+TEST(PcmElement, StartsAtInitialTemperature)
+{
+    auto e = makeElement();
+    EXPECT_NEAR(e.temperature(), 25.0, 1e-9);
+    EXPECT_DOUBLE_EQ(e.meltFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(e.storedEnergy(), 0.0);
+}
+
+TEST(PcmElement, RejectsMeltOutsideMaterialRange)
+{
+    // Commercial paraffin: 39-60 C.
+    EXPECT_THROW(makeElement(30.0), FatalError);
+    EXPECT_THROW(makeElement(70.0), FatalError);
+    EXPECT_NO_THROW(makeElement(39.0));
+    EXPECT_NO_THROW(makeElement(60.0));
+}
+
+TEST(PcmElement, HeatFlowSignConvention)
+{
+    auto e = makeElement();
+    EXPECT_GT(e.heatFlowFromAir(40.0, 1.0), 0.0);   // Air hotter.
+    EXPECT_LT(e.heatFlowFromAir(10.0, 1.0), 0.0);   // Air cooler.
+    EXPECT_NEAR(e.heatFlowFromAir(25.0, 1.0), 0.0, 1e-9);
+}
+
+TEST(PcmElement, FreezeConductanceIsDerated)
+{
+    auto e = makeElement();
+    double absorb_ua = e.effectiveConductance(40.0, 1.0);
+    double release_ua = e.effectiveConductance(10.0, 1.0);
+    EXPECT_NEAR(release_ua / absorb_ua,
+                PcmElement::defaultFreezeFactor, 1e-9);
+}
+
+TEST(PcmElement, SetFreezeFactorValidated)
+{
+    auto e = makeElement();
+    e.setFreezeConductanceFactor(1.0);
+    EXPECT_DOUBLE_EQ(e.effectiveConductance(10.0, 1.0),
+                     e.effectiveConductance(40.0, 1.0));
+    EXPECT_THROW(e.setFreezeConductanceFactor(0.0), FatalError);
+    EXPECT_THROW(e.setFreezeConductanceFactor(1.5), FatalError);
+}
+
+TEST(PcmElement, StepWarmsTowardAir)
+{
+    auto e = makeElement();
+    e.step(600.0, 40.0, 1.0);
+    EXPECT_GT(e.temperature(), 25.0);
+    EXPECT_LE(e.temperature(), 40.0 + 1e-9);
+    EXPECT_GT(e.storedEnergy(), 0.0);
+}
+
+TEST(PcmElement, StepNeverOvershootsAirTemp)
+{
+    auto e = makeElement();
+    // Huge step: sub-stepping must keep the wax at or below the
+    // driving temperature.
+    e.step(3600.0 * 50.0, 42.0, 2.0);
+    EXPECT_LE(e.temperature(), 42.0 + 1e-6);
+    EXPECT_NEAR(e.temperature(), 42.0, 0.1);
+}
+
+TEST(PcmElement, MeltsFullyUnderHotAir)
+{
+    auto e = makeElement(45.0);
+    e.step(3600.0 * 100.0, 55.0, 2.0);
+    EXPECT_DOUBLE_EQ(e.meltFraction(), 1.0);
+    EXPECT_GE(e.storedEnergy(), e.latentCapacity());
+}
+
+TEST(PcmElement, EnergyBookkeepingMatchesStep)
+{
+    auto e = makeElement();
+    double absorbed = 0.0;
+    for (int i = 0; i < 100; ++i)
+        absorbed += e.step(60.0, 50.0, 1.5);
+    EXPECT_NEAR(absorbed, e.storedEnergy(), 1e-6);
+}
+
+TEST(PcmElement, LatentCapacityMatchesMassAndFusion)
+{
+    auto e = makeElement();
+    double mass =
+        smallBank().waxMass(commercialParaffin().densitySolidGPerMl *
+                            1000.0);
+    EXPECT_NEAR(e.latentCapacity(), mass * 200.0 * 1000.0, 1.0);
+}
+
+TEST(PcmElement, CycleCounterCountsFullCycles)
+{
+    auto e = makeElement(45.0);
+    EXPECT_EQ(e.cycleCount(), 0u);
+    for (int day = 0; day < 3; ++day) {
+        e.step(3600.0 * 100.0, 55.0, 2.0);  // Melt fully.
+        EXPECT_DOUBLE_EQ(e.meltFraction(), 1.0);
+        e.step(3600.0 * 200.0, 25.0, 2.0);  // Freeze fully.
+        EXPECT_DOUBLE_EQ(e.meltFraction(), 0.0);
+        EXPECT_EQ(e.cycleCount(),
+                  static_cast<std::uint64_t>(day + 1));
+    }
+}
+
+TEST(PcmElement, PartialMeltIsNotACycle)
+{
+    auto e = makeElement(45.0);
+    // Warm into the plateau but not through it, then cool.
+    while (e.meltFraction() < 0.4)
+        e.step(60.0, 46.0, 2.0);
+    e.step(3600.0 * 200.0, 25.0, 2.0);
+    EXPECT_EQ(e.cycleCount(), 0u);
+}
+
+TEST(PcmElement, SetEnthalpySyncsState)
+{
+    auto e = makeElement(45.0);
+    double h_melted = e.curve().liquidusEnthalpy() + 1000.0;
+    e.setEnthalpy(h_melted);
+    EXPECT_DOUBLE_EQ(e.meltFraction(), 1.0);
+    double h_solid = e.curve().solidusEnthalpy() - 1000.0;
+    e.setEnthalpy(h_solid);
+    EXPECT_DOUBLE_EQ(e.meltFraction(), 0.0);
+    EXPECT_EQ(e.cycleCount(), 1u);
+}
+
+TEST(PcmElement, AgedLatentCapacityShrinks)
+{
+    auto e = makeElement();
+    double fresh = e.agedLatentCapacity(0);
+    double aged = e.agedLatentCapacity(100000);
+    EXPECT_NEAR(fresh, e.latentCapacity(), 1e-6);
+    EXPECT_LT(aged, fresh);
+    EXPECT_GT(aged, 0.0);
+}
+
+TEST(PcmElement, ParaffinAgesSlowly)
+{
+    // Very Good stability: after 1,000 daily cycles (~3 years),
+    // the charge keeps almost all of its capacity.
+    auto e = makeElement();
+    EXPECT_GT(e.agedLatentCapacity(1000) / e.latentCapacity(),
+              0.97);
+}
+
+TEST(PcmElement, StepRejectsBadDt)
+{
+    auto e = makeElement();
+    EXPECT_THROW(e.step(0.0, 40.0, 1.0), FatalError);
+    EXPECT_THROW(e.step(-1.0, 40.0, 1.0), FatalError);
+}
+
+PcmElement
+supercooledElement(double sc)
+{
+    return PcmElement(commercialParaffin(), smallBank(), 45.0, 25.0,
+                      2.0, sc);
+}
+
+TEST(PcmSupercooling, DisabledByDefault)
+{
+    auto e = makeElement();
+    EXPECT_DOUBLE_EQ(e.supercoolingC(), 0.0);
+    EXPECT_FALSE(e.onFreezingBranch());
+    // Active curve is the melting curve.
+    EXPECT_EQ(&e.activeCurve(), &e.curve());
+}
+
+TEST(PcmSupercooling, RejectsNegativeDepth)
+{
+    EXPECT_THROW(supercooledElement(-1.0), FatalError);
+}
+
+TEST(PcmSupercooling, SwitchesBranchOnFullMelt)
+{
+    auto e = supercooledElement(3.0);
+    EXPECT_FALSE(e.onFreezingBranch());
+    e.step(3600.0 * 100.0, 55.0, 2.0);
+    EXPECT_DOUBLE_EQ(e.meltFraction(), 1.0);
+    EXPECT_TRUE(e.onFreezingBranch());
+}
+
+TEST(PcmSupercooling, LiquidCoolsBelowMeltBeforeFreezing)
+{
+    auto e = supercooledElement(3.0);
+    e.step(3600.0 * 100.0, 55.0, 2.0);   // Fully melt.
+    // Cool gently to just below the melting point: a supercooled
+    // charge stays (almost fully) liquid there.
+    e.step(3600.0 * 100.0, 44.0, 2.0);
+    EXPECT_GT(e.meltFraction(), 0.9);
+    EXPECT_LT(e.temperature(), 45.0);
+    // A non-supercooled charge would have started freezing.
+    auto plain = makeElement(45.0);
+    plain.step(3600.0 * 100.0, 55.0, 2.0);
+    plain.step(3600.0 * 100.0, 44.0, 2.0);
+    EXPECT_LT(plain.meltFraction(), 0.7);
+}
+
+TEST(PcmSupercooling, FreezesOnTheLowerPlateau)
+{
+    auto e = supercooledElement(3.0);
+    e.step(3600.0 * 100.0, 55.0, 2.0);
+    // Drive well below the supercooled plateau: solidifies fully.
+    e.step(3600.0 * 300.0, 25.0, 2.0);
+    EXPECT_DOUBLE_EQ(e.meltFraction(), 0.0);
+    EXPECT_FALSE(e.onFreezingBranch());
+    EXPECT_EQ(e.cycleCount(), 1u);
+}
+
+TEST(PcmSupercooling, RemeltUsesMeltingCurveAgain)
+{
+    auto e = supercooledElement(3.0);
+    e.step(3600.0 * 100.0, 55.0, 2.0);
+    e.step(3600.0 * 300.0, 25.0, 2.0);
+    // Second melt: onset back at the (higher) melting plateau.
+    e.step(600.0, 43.5, 2.0);
+    EXPECT_LT(e.meltFraction(), 0.05);  // 43.5 < solidus 44.
+    e.step(3600.0 * 100.0, 47.0, 2.0);
+    EXPECT_DOUBLE_EQ(e.meltFraction(), 1.0);
+    EXPECT_EQ(e.cycleCount(), 1u);
+}
+
+TEST(PcmSupercooling, HysteresisDelaysRelease)
+{
+    // Against the same mild cool-down drive, a supercooled charge
+    // has a smaller temperature difference to the air and therefore
+    // holds its energy longer.
+    auto plain = makeElement(45.0);
+    auto sc = supercooledElement(2.5);
+    plain.step(3600.0 * 100.0, 55.0, 2.0);
+    sc.step(3600.0 * 100.0, 55.0, 2.0);
+    for (int i = 0; i < 60; ++i) {
+        plain.step(60.0, 42.5, 1.0);
+        sc.step(60.0, 42.5, 1.0);
+    }
+    EXPECT_GT(sc.meltFraction(), plain.meltFraction());
+}
+
+} // namespace
+} // namespace pcm
+} // namespace tts

@@ -1,0 +1,101 @@
+/** @file Tests for the cycling-stability degradation model. */
+
+#include <gtest/gtest.h>
+
+#include "pcm/stability.hh"
+
+namespace tts {
+namespace pcm {
+namespace {
+
+TEST(StabilityModel, FreshMaterialKeepsEverything)
+{
+    for (auto s : {Stability::Poor, Stability::Good,
+                   Stability::VeryGood, Stability::Excellent}) {
+        StabilityModel m(s);
+        EXPECT_NEAR(m.retention(0), 1.0, 1e-12);
+    }
+}
+
+TEST(StabilityModel, RetentionIsMonotoneDecreasing)
+{
+    StabilityModel m(Stability::VeryGood);
+    double prev = 1.0;
+    for (std::uint64_t n : {1u, 10u, 100u, 1000u, 100000u}) {
+        double r = m.retention(n);
+        EXPECT_LE(r, prev);
+        prev = r;
+    }
+}
+
+TEST(StabilityModel, RetentionNeverBelowFloor)
+{
+    for (auto s : {Stability::Poor, Stability::Good,
+                   Stability::VeryGood, Stability::Excellent}) {
+        StabilityModel m(s);
+        EXPECT_GE(m.retention(100000000ULL), m.floor() - 1e-12);
+        EXPECT_GT(m.retention(100000000ULL), 0.0);
+    }
+}
+
+TEST(StabilityModel, PoorDegradesFastPerPaper)
+{
+    // Section 2.1: poor materials degrade "in as few as 100 cycles".
+    StabilityModel poor(Stability::Poor);
+    EXPECT_LT(poor.retention(100), 0.75);
+}
+
+TEST(StabilityModel, ExcellentNegligibleAtThousandCycles)
+{
+    // Section 2.1: paraffin shows negligible deviation after more
+    // than 1,000 melting cycles.
+    StabilityModel exc(Stability::Excellent);
+    EXPECT_GT(exc.retention(1000), 0.99);
+}
+
+TEST(StabilityModel, OrderingAcrossRatings)
+{
+    std::uint64_t n = 2000;
+    StabilityModel poor(Stability::Poor);
+    StabilityModel good(Stability::Good);
+    StabilityModel very_good(Stability::VeryGood);
+    StabilityModel excellent(Stability::Excellent);
+    EXPECT_LT(poor.retention(n), good.retention(n));
+    EXPECT_LT(good.retention(n), very_good.retention(n));
+    EXPECT_LT(very_good.retention(n), excellent.retention(n));
+}
+
+TEST(StabilityModel, UnknownIsConservative)
+{
+    StabilityModel unknown(Stability::Unknown);
+    StabilityModel poor(Stability::Poor);
+    EXPECT_DOUBLE_EQ(unknown.retention(500), poor.retention(500));
+}
+
+TEST(StabilityModel, EffectiveHeatOfFusionScales)
+{
+    StabilityModel m(Stability::VeryGood);
+    double eff = m.effectiveHeatOfFusion(200.0, 365);
+    EXPECT_NEAR(eff, 200.0 * m.retention(365), 1e-12);
+}
+
+TEST(StabilityModel, CyclesForYears)
+{
+    EXPECT_EQ(StabilityModel::cyclesForYears(0.0), 0u);
+    EXPECT_EQ(StabilityModel::cyclesForYears(1.0), 365u);
+    EXPECT_EQ(StabilityModel::cyclesForYears(4.0), 1461u);
+    EXPECT_EQ(StabilityModel::cyclesForYears(-2.0), 0u);
+}
+
+TEST(StabilityModel, FourYearServerLifeKeepsMostCapacity)
+{
+    // The deployment argument: over the 4-year server life (1,461
+    // daily cycles), commercial paraffin keeps > 95 %.
+    StabilityModel m(Stability::VeryGood);
+    EXPECT_GT(m.retention(StabilityModel::cyclesForYears(4.0)),
+              0.95);
+}
+
+} // namespace
+} // namespace pcm
+} // namespace tts

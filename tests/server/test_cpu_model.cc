@@ -1,0 +1,123 @@
+/** @file Tests for the CPU power/DVFS model. */
+
+#include <gtest/gtest.h>
+
+#include "server/cpu_model.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+namespace {
+
+CpuPowerModel
+rd330Cpu()
+{
+    return CpuPowerModel{6.0, 46.0, 2.4, 1.6};
+}
+
+TEST(CpuPowerModel, IdleAndPeakEndpoints)
+{
+    auto cpu = rd330Cpu();
+    EXPECT_DOUBLE_EQ(cpu.power(0.0, 2.4), 6.0);
+    EXPECT_DOUBLE_EQ(cpu.power(1.0, 2.4), 46.0);
+}
+
+TEST(CpuPowerModel, LinearInUtilization)
+{
+    auto cpu = rd330Cpu();
+    EXPECT_DOUBLE_EQ(cpu.power(0.5, 2.4), 26.0);
+}
+
+TEST(CpuPowerModel, DownclockingSavesPower)
+{
+    auto cpu = rd330Cpu();
+    EXPECT_LT(cpu.power(1.0, 1.6), cpu.power(1.0, 2.4));
+    // f x V^2 scaling: 1.6/2.4 * 0.8^2 = 0.4267 of the active part.
+    double active = cpu.power(1.0, 1.6) - cpu.idlePowerW;
+    EXPECT_NEAR(active, 40.0 * (1.6 / 2.4) * 0.64, 1e-9);
+}
+
+TEST(CpuPowerModel, PowerMonotoneInFrequency)
+{
+    auto cpu = rd330Cpu();
+    double prev = 0.0;
+    for (double f = 1.6; f <= 2.4; f += 0.1) {
+        double p = cpu.power(0.8, f);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(CpuPowerModel, FrequencyClamping)
+{
+    auto cpu = rd330Cpu();
+    EXPECT_DOUBLE_EQ(cpu.clampFreq(3.0), 2.4);
+    EXPECT_DOUBLE_EQ(cpu.clampFreq(1.0), 1.6);
+    EXPECT_DOUBLE_EQ(cpu.power(1.0, 9.9), cpu.power(1.0, 2.4));
+}
+
+TEST(CpuPowerModel, VoltageInterpolation)
+{
+    auto cpu = rd330Cpu();
+    EXPECT_DOUBLE_EQ(cpu.voltageAt(2.4), 1.0);
+    EXPECT_DOUBLE_EQ(cpu.voltageAt(1.6), 0.8);
+    EXPECT_DOUBLE_EQ(cpu.voltageAt(2.0), 0.9);
+}
+
+TEST(CpuPowerModel, ThroughputScaleIsFrequencyRatio)
+{
+    auto cpu = rd330Cpu();
+    EXPECT_DOUBLE_EQ(cpu.throughputScale(2.4), 1.0);
+    EXPECT_NEAR(cpu.throughputScale(1.6), 1.6 / 2.4, 1e-12);
+    EXPECT_DOUBLE_EQ(cpu.throughputScale(99.0), 1.0);
+}
+
+TEST(CpuPowerModel, MaxFreqForGenerousBudget)
+{
+    auto cpu = rd330Cpu();
+    EXPECT_DOUBLE_EQ(cpu.maxFreqForPower(100.0, 1.0), 2.4);
+}
+
+TEST(CpuPowerModel, MaxFreqForTinyBudget)
+{
+    auto cpu = rd330Cpu();
+    EXPECT_DOUBLE_EQ(cpu.maxFreqForPower(1.0, 1.0), 1.6);
+}
+
+TEST(CpuPowerModel, MaxFreqForIntermediateBudget)
+{
+    auto cpu = rd330Cpu();
+    double budget = 30.0;
+    double f = cpu.maxFreqForPower(budget, 1.0);
+    EXPECT_GT(f, 1.6);
+    EXPECT_LT(f, 2.4);
+    EXPECT_LE(cpu.power(1.0, f), budget + 1e-6);
+    EXPECT_GT(cpu.power(1.0, f + 0.01), budget);
+}
+
+TEST(CpuPowerModel, RejectsBadUtilization)
+{
+    auto cpu = rd330Cpu();
+    EXPECT_THROW(cpu.power(-0.1, 2.4), FatalError);
+    EXPECT_THROW(cpu.power(1.1, 2.4), FatalError);
+}
+
+class CpuUtilSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CpuUtilSweep, DownclockedPowerNeverExceedsNominal)
+{
+    auto cpu = rd330Cpu();
+    double u = GetParam();
+    for (double f = 1.6; f <= 2.4; f += 0.2)
+        EXPECT_LE(cpu.power(u, f), cpu.power(u, 2.4) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Utils, CpuUtilSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75,
+                                           0.95, 1.0));
+
+} // namespace
+} // namespace server
+} // namespace tts

@@ -1,0 +1,91 @@
+/** @file Tests for the DVFS thermal-cap governor. */
+
+#include <gtest/gtest.h>
+
+#include "server/dvfs.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+namespace {
+
+TEST(DvfsGovernor, GenerousBudgetKeepsNominal)
+{
+    DvfsGovernor gov(rd330Spec());
+    auto d = gov.decide(1.0, 500.0);
+    EXPECT_DOUBLE_EQ(d.freqGHz, 2.4);
+    EXPECT_FALSE(d.throttled);
+}
+
+TEST(DvfsGovernor, TinyBudgetFallsToFloor)
+{
+    DvfsGovernor gov(rd330Spec());
+    auto d = gov.decide(1.0, 50.0);
+    EXPECT_DOUBLE_EQ(d.freqGHz, 1.6);
+    EXPECT_TRUE(d.throttled);
+    // The paper's behavior: clamp at the floor even if the budget is
+    // still exceeded there.
+    EXPECT_GT(d.wallPowerW, 50.0);
+}
+
+TEST(DvfsGovernor, IntermediateBudgetBisects)
+{
+    DvfsGovernor gov(rd330Spec());
+    double budget = 170.0;  // Between idle and peak wall power.
+    auto d = gov.decide(1.0, budget);
+    EXPECT_GT(d.freqGHz, 1.6);
+    EXPECT_LT(d.freqGHz, 2.4);
+    EXPECT_TRUE(d.throttled);
+    EXPECT_LE(d.wallPowerW, budget + 0.01);
+    // The governor maximizes: slightly above the chosen frequency
+    // must violate the budget.
+    EXPECT_GT(gov.wallPowerAt(1.0, d.freqGHz + 0.02), budget);
+}
+
+TEST(DvfsGovernor, LowerUtilizationNeedsLessThrottling)
+{
+    DvfsGovernor gov(rd330Spec());
+    double budget = 160.0;
+    auto busy = gov.decide(1.0, budget);
+    auto calm = gov.decide(0.5, budget);
+    EXPECT_GE(calm.freqGHz, busy.freqGHz);
+}
+
+TEST(DvfsGovernor, WallPowerAtMatchesServerModel)
+{
+    DvfsGovernor gov(x4470Spec());
+    ServerModel m(x4470Spec());
+    m.setLoad(0.8, 2.0);
+    EXPECT_NEAR(gov.wallPowerAt(0.8, 2.0), m.wallPower(), 1e-9);
+}
+
+TEST(DvfsGovernor, RejectsBadBudget)
+{
+    DvfsGovernor gov(rd330Spec());
+    EXPECT_THROW(gov.decide(1.0, 0.0), FatalError);
+    EXPECT_THROW(gov.decide(1.0, -5.0), FatalError);
+}
+
+class DvfsBudgetSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DvfsBudgetSweep, DecisionRespectsBudgetWhenFeasible)
+{
+    DvfsGovernor gov(x4470Spec());
+    double budget = GetParam();
+    auto d = gov.decide(0.95, budget);
+    double floor_power = gov.wallPowerAt(0.95, 1.6);
+    if (budget >= floor_power)
+        EXPECT_LE(d.wallPowerW, budget + 0.01);
+    else
+        EXPECT_DOUBLE_EQ(d.freqGHz, 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, DvfsBudgetSweep,
+                         ::testing::Values(100.0, 300.0, 400.0,
+                                           480.0, 556.0, 800.0));
+
+} // namespace
+} // namespace server
+} // namespace tts

@@ -1,0 +1,61 @@
+/** @file Tests for the fan bank model. */
+
+#include <gtest/gtest.h>
+
+#include "server/fan_model.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+namespace {
+
+FanBank
+rd330Fans()
+{
+    return FanBank{6, 12.0, 0.50, 0.75};
+}
+
+TEST(FanBank, SpeedEndpoints)
+{
+    auto fans = rd330Fans();
+    EXPECT_DOUBLE_EQ(fans.speedAt(0.0), 0.50);
+    EXPECT_DOUBLE_EQ(fans.speedAt(1.0), 0.75);
+}
+
+TEST(FanBank, SpeedLinearInUtilization)
+{
+    auto fans = rd330Fans();
+    EXPECT_DOUBLE_EQ(fans.speedAt(0.5), 0.625);
+}
+
+TEST(FanBank, CubeLawPower)
+{
+    auto fans = rd330Fans();
+    EXPECT_DOUBLE_EQ(fans.powerAt(1.0), 72.0);
+    EXPECT_DOUBLE_EQ(fans.powerAt(0.5), 72.0 * 0.125);
+    EXPECT_DOUBLE_EQ(fans.powerAt(0.0), 0.0);
+}
+
+TEST(FanBank, PowerMonotoneInSpeed)
+{
+    auto fans = rd330Fans();
+    double prev = -1.0;
+    for (double s = 0.0; s <= 1.0; s += 0.1) {
+        double p = fans.powerAt(s);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(FanBank, RejectsOutOfRange)
+{
+    auto fans = rd330Fans();
+    EXPECT_THROW(fans.speedAt(-0.1), FatalError);
+    EXPECT_THROW(fans.speedAt(1.1), FatalError);
+    EXPECT_THROW(fans.powerAt(-0.1), FatalError);
+    EXPECT_THROW(fans.powerAt(1.1), FatalError);
+}
+
+} // namespace
+} // namespace server
+} // namespace tts

@@ -1,0 +1,90 @@
+/** @file Tests for the PSU efficiency model. */
+
+#include <gtest/gtest.h>
+
+#include "server/psu_model.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+namespace {
+
+PsuModel
+rd330Psu()
+{
+    return PsuModel{0.80, 0.90, 180.0};
+}
+
+TEST(PsuModel, EfficiencyEndpoints)
+{
+    auto psu = rd330Psu();
+    EXPECT_DOUBLE_EQ(psu.efficiencyAt(0.0), 0.80);
+    EXPECT_DOUBLE_EQ(psu.efficiencyAt(180.0), 0.90);
+}
+
+TEST(PsuModel, EfficiencyClampsAboveRated)
+{
+    auto psu = rd330Psu();
+    EXPECT_DOUBLE_EQ(psu.efficiencyAt(500.0), 0.90);
+}
+
+TEST(PsuModel, WallPowerExceedsDc)
+{
+    auto psu = rd330Psu();
+    EXPECT_GT(psu.wallPower(100.0), 100.0);
+    EXPECT_DOUBLE_EQ(psu.wallPower(0.0), 0.0);
+}
+
+TEST(PsuModel, LossIsWallMinusDc)
+{
+    auto psu = rd330Psu();
+    double dc = 150.0;
+    EXPECT_NEAR(psu.lossPower(dc), psu.wallPower(dc) - dc, 1e-12);
+    EXPECT_GT(psu.lossPower(dc), 0.0);
+}
+
+TEST(PsuModel, DcFromWallRoundTrip)
+{
+    auto psu = rd330Psu();
+    for (double dc : {10.0, 72.0, 150.0, 180.0}) {
+        double wall = psu.wallPower(dc);
+        EXPECT_NEAR(psu.dcFromWall(wall), dc, 1e-6) << dc;
+    }
+}
+
+TEST(PsuModel, DcFromWallZero)
+{
+    EXPECT_DOUBLE_EQ(rd330Psu().dcFromWall(0.0), 0.0);
+}
+
+TEST(PsuModel, WallPowerIsMonotone)
+{
+    auto psu = rd330Psu();
+    double prev = 0.0;
+    for (double dc = 10.0; dc <= 250.0; dc += 10.0) {
+        double w = psu.wallPower(dc);
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(PsuModel, HigherLoadIsMoreEfficient)
+{
+    auto psu = rd330Psu();
+    double loss_frac_low = psu.lossPower(30.0) / 30.0;
+    double loss_frac_high = psu.lossPower(170.0) / 170.0;
+    EXPECT_GT(loss_frac_low, loss_frac_high);
+}
+
+TEST(PsuModel, RejectsBadInput)
+{
+    auto psu = rd330Psu();
+    EXPECT_THROW(psu.efficiencyAt(-1.0), FatalError);
+    EXPECT_THROW(psu.dcFromWall(-1.0), FatalError);
+    PsuModel bad{0.8, 0.9, 0.0};
+    EXPECT_THROW(bad.efficiencyAt(10.0), FatalError);
+}
+
+} // namespace
+} // namespace server
+} // namespace tts

@@ -1,0 +1,233 @@
+/** @file Tests for the assembled server model. */
+
+#include <gtest/gtest.h>
+
+#include "server/server_model.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+namespace {
+
+class ServerModelPlatforms
+    : public ::testing::TestWithParam<int>
+{
+  protected:
+    ServerSpec
+    spec() const
+    {
+        switch (GetParam()) {
+          case 0: return rd330Spec();
+          case 1: return x4470Spec();
+          default: return openComputeSpec();
+        }
+    }
+};
+
+TEST_P(ServerModelPlatforms, WallPowerMatchesPublishedEnvelope)
+{
+    ServerModel m(spec());
+    m.setLoad(0.0);
+    EXPECT_NEAR(m.wallPower(), spec().idleWallPowerW, 0.5);
+    m.setLoad(1.0);
+    EXPECT_NEAR(m.wallPower(), spec().peakWallPowerW, 0.5);
+}
+
+TEST_P(ServerModelPlatforms, WallPowerMonotoneInUtilization)
+{
+    ServerModel m(spec());
+    double prev = 0.0;
+    for (double u = 0.0; u <= 1.0; u += 0.1) {
+        m.setLoad(u);
+        EXPECT_GT(m.wallPower(), prev);
+        prev = m.wallPower();
+    }
+}
+
+TEST_P(ServerModelPlatforms, SteadyStateCoolingEqualsWallPower)
+{
+    // In steady state all electrical input leaves as heat in the
+    // exhaust air.
+    ServerModel m(spec());
+    for (double u : {0.0, 0.5, 1.0}) {
+        m.setLoad(u);
+        m.solveSteadyState();
+        EXPECT_NEAR(m.coolingLoad(), m.wallPower(),
+                    0.01 * m.wallPower())
+            << "util " << u;
+    }
+}
+
+TEST_P(ServerModelPlatforms, TemperaturesRiseWithLoad)
+{
+    ServerModel m(spec());
+    m.setLoad(0.0);
+    m.solveSteadyState();
+    double idle_out = m.outletTemp();
+    double idle_cpu = m.cpuJunctionTemp();
+    m.setLoad(1.0);
+    m.solveSteadyState();
+    EXPECT_GT(m.outletTemp(), idle_out);
+    EXPECT_GT(m.cpuJunctionTemp(), idle_cpu + 10.0);
+}
+
+TEST_P(ServerModelPlatforms, JunctionHotterThanCase)
+{
+    ServerModel m(spec());
+    m.setLoad(1.0);
+    m.solveSteadyState();
+    EXPECT_GT(m.cpuJunctionTemp(), m.cpuCaseTemp());
+}
+
+TEST_P(ServerModelPlatforms, DownclockingReducesPowerAndThroughput)
+{
+    ServerModel m(spec());
+    m.setLoad(1.0, spec().cpu.nominalFreqGHz);
+    double p_full = m.wallPower();
+    double t_full = m.throughput();
+    m.setLoad(1.0, spec().cpu.minFreqGHz);
+    EXPECT_LT(m.wallPower(), p_full);
+    EXPECT_NEAR(m.throughput() / t_full,
+                spec().cpu.minFreqGHz / spec().cpu.nominalFreqGHz,
+                1e-9);
+}
+
+TEST_P(ServerModelPlatforms, PaperWaxConfigHasLatentCapacity)
+{
+    ServerModel m(spec(), WaxConfig::paper());
+    ASSERT_TRUE(m.hasWax());
+    // Latent capacity = liters x density x 200 J/g.
+    double expect = spec().waxLiters * 0.8 * 200.0 * 1000.0;
+    EXPECT_NEAR(m.waxLatentCapacity(), expect, 0.1 * expect);
+}
+
+TEST_P(ServerModelPlatforms, WaxMeltsAtFullLoadSolidAtIdle)
+{
+    ServerModel m(spec(), WaxConfig::paper());
+    m.setLoad(0.0);
+    m.solveSteadyState();
+    EXPECT_LT(m.waxMeltFraction(), 0.05);
+    m.setLoad(1.0);
+    m.solveSteadyState();
+    EXPECT_GT(m.waxMeltFraction(), 0.95);
+}
+
+TEST_P(ServerModelPlatforms, MeltingWaxStoresHeat)
+{
+    ServerModel m(spec(), WaxConfig::paper());
+    m.setLoad(0.0);
+    m.solveSteadyState();
+    m.setLoad(1.0);
+    m.advance(1800.0, 2.0);
+    // While melting, the cooling load lags the wall power.
+    EXPECT_GT(m.heatStorageRate(), 0.0);
+    EXPECT_GT(m.waxStoredEnergy(), 0.0);
+}
+
+TEST_P(ServerModelPlatforms, PlaceboBlocksAirButStoresLittle)
+{
+    ServerModel wax(spec(), WaxConfig::paper());
+    ServerModel placebo(spec(), WaxConfig::placebo());
+    EXPECT_DOUBLE_EQ(wax.blockage(), placebo.blockage());
+    EXPECT_FALSE(placebo.hasWax());
+    EXPECT_DOUBLE_EQ(placebo.waxStoredEnergy(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, ServerModelPlatforms,
+                         ::testing::Values(0, 1, 2));
+
+TEST(ServerModel, BlockageMatchesPaperFor1U)
+{
+    ServerModel m(rd330Spec(), WaxConfig::paper());
+    EXPECT_NEAR(m.blockage(), 0.70, 0.01);  // Paper: 70 %.
+}
+
+TEST(ServerModel, BlockageMatchesPaperFor2U)
+{
+    ServerModel m(x4470Spec(), WaxConfig::paper());
+    EXPECT_NEAR(m.blockage(), 0.69, 0.01);  // Paper: 69 %.
+}
+
+TEST(ServerModel, OcpWaxAddsNoBlockage)
+{
+    // Figure 9: wax replaces existing inhibitors.
+    ServerModel m(openComputeSpec(), WaxConfig::paper());
+    EXPECT_DOUBLE_EQ(m.blockage(), 0.0);
+}
+
+TEST(ServerModel, OcpProductionHasNoBay)
+{
+    ServerModel m(openComputeSpec(OcpLayout::Production),
+                  WaxConfig::paper());
+    EXPECT_FALSE(m.hasWax());
+    EXPECT_FALSE(m.hasBay());
+}
+
+TEST(ServerModel, BlockageRaisesOutletTemp)
+{
+    // The Fig 7 effect at the deployment blockage.
+    ServerModel stock(rd330Spec());
+    ServerModel boxed(rd330Spec(), WaxConfig::placebo());
+    stock.setLoad(1.0);
+    stock.solveSteadyState();
+    boxed.setLoad(1.0);
+    boxed.solveSteadyState();
+    EXPECT_GT(boxed.outletTemp(), stock.outletTemp());
+}
+
+TEST(ServerModel, CustomWaxOverridesDefaults)
+{
+    WaxConfig cfg = WaxConfig::custom(0.5, 45.0, 2);
+    ServerModel m(rd330Spec(), cfg);
+    ASSERT_TRUE(m.hasWax());
+    EXPECT_NEAR(m.wax()->meltTempC(), 45.0, 1e-12);
+    EXPECT_NEAR(m.waxLatentCapacity(), 0.5 * 0.8 * 200e3, 0.02e5);
+}
+
+TEST(ServerModel, ExplicitBoxGeometryUsed)
+{
+    WaxConfig cfg;
+    cfg.mode = WaxConfig::Mode::Wax;
+    cfg.meltTempC = 39.0;
+    cfg.boxCount = 1;
+    pcm::BoxSpec box;
+    box.lengthM = 0.12;
+    box.widthM = 0.08;
+    box.heightM = 0.014;
+    cfg.explicitBox = box;
+    ServerModel m(rd330Spec(), cfg);
+    ASSERT_TRUE(m.hasWax());
+    // ~90 ml of wax -> ~70 g.
+    double mass_kg = m.waxLatentCapacity() / 200e3;
+    EXPECT_NEAR(mass_kg, 0.070, 0.015);
+    // A single small box blocks only a few percent.
+    EXPECT_LT(m.blockage(), 0.10);
+}
+
+TEST(ServerModel, MiscResidualIsNonNegative)
+{
+    for (auto spec : {rd330Spec(), x4470Spec(), openComputeSpec()}) {
+        ServerModel m(spec);
+        EXPECT_GE(m.miscPower(0.0), 0.0) << spec.name;
+        EXPECT_GE(m.miscPower(1.0), 0.0) << spec.name;
+    }
+}
+
+TEST(ServerModel, RejectsBadLoad)
+{
+    ServerModel m(rd330Spec());
+    EXPECT_THROW(m.setLoad(-0.1), FatalError);
+    EXPECT_THROW(m.setLoad(1.1), FatalError);
+}
+
+TEST(ServerModel, WaxAccessorsRequireWax)
+{
+    ServerModel m(rd330Spec());
+    EXPECT_THROW(m.waxTemp(), FatalError);
+    EXPECT_THROW(m.waxMeltFraction(), FatalError);
+    EXPECT_THROW(m.bayNodeTemp(), FatalError);
+}
+
+} // namespace
+} // namespace server
+} // namespace tts

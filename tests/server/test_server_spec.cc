@@ -1,0 +1,132 @@
+/** @file Tests for the platform specifications. */
+
+#include <gtest/gtest.h>
+
+#include "server/server_spec.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace server {
+namespace {
+
+TEST(ServerSpec, AllPaperPlatformsValidate)
+{
+    EXPECT_NO_THROW(rd330Spec().validate());
+    EXPECT_NO_THROW(x4470Spec().validate());
+    EXPECT_NO_THROW(
+        openComputeSpec(OcpLayout::Production).validate());
+    EXPECT_NO_THROW(
+        openComputeSpec(OcpLayout::InhibitorWax).validate());
+    EXPECT_NO_THROW(
+        openComputeSpec(OcpLayout::FutureSsd).validate());
+}
+
+TEST(ServerSpec, Rd330MatchesPaperMeasurements)
+{
+    auto s = rd330Spec();
+    EXPECT_EQ(s.sockets, 2u);
+    EXPECT_EQ(s.coresPerSocket, 6u);
+    EXPECT_DOUBLE_EQ(s.cpu.idlePowerW, 6.0);   // 6 W idle / socket.
+    EXPECT_DOUBLE_EQ(s.cpu.peakPowerW, 46.0);  // 46 W loaded.
+    EXPECT_DOUBLE_EQ(s.cpu.nominalFreqGHz, 2.4);
+    EXPECT_DOUBLE_EQ(s.idleWallPowerW, 90.0);
+    EXPECT_DOUBLE_EQ(s.peakWallPowerW, 185.0);
+    EXPECT_EQ(s.dram.count, 10u);              // 10 DIMMs.
+    EXPECT_DOUBLE_EQ(s.waxLiters, 1.2);        // Figure 6.
+    EXPECT_NEAR(s.maxWaxBlockage, 0.70, 1e-9); // Fig 7a.
+    EXPECT_DOUBLE_EQ(s.serverCostUsd, 2000.0);
+}
+
+TEST(ServerSpec, X4470MatchesPaper)
+{
+    auto s = x4470Spec();
+    EXPECT_EQ(s.sockets, 4u);
+    EXPECT_EQ(s.coresPerSocket, 8u);
+    EXPECT_NEAR(s.peakWallPowerW * 0.9, 500.0, 10.0);  // 500 W DC.
+    EXPECT_DOUBLE_EQ(s.waxLiters, 4.0);        // Four 1 l boxes.
+    EXPECT_NEAR(s.maxWaxBlockage, 0.69, 1e-9); // Paper: 69 %.
+    EXPECT_DOUBLE_EQ(s.serverCostUsd, 7000.0);
+    EXPECT_EQ(s.serversPerRack, 20u);          // 2U form factor.
+}
+
+TEST(ServerSpec, OcpMatchesPaper)
+{
+    auto s = openComputeSpec(OcpLayout::FutureSsd);
+    EXPECT_EQ(s.sockets, 2u);
+    EXPECT_DOUBLE_EQ(s.idleWallPowerW, 100.0);
+    EXPECT_DOUBLE_EQ(s.peakWallPowerW, 300.0);
+    EXPECT_DOUBLE_EQ(s.waxLiters, 1.5);        // Figure 9 (c).
+    EXPECT_DOUBLE_EQ(s.waxBlockageOverride, 0.0);
+    EXPECT_DOUBLE_EQ(s.serverCostUsd, 4000.0);
+    EXPECT_EQ(s.hdd.count, 4u);                // Redundant HDDs.
+    EXPECT_EQ(s.ssd.count, 2u);                // PCIe SSDs.
+}
+
+TEST(ServerSpec, OcpLayoutsDifferInWax)
+{
+    auto prod = openComputeSpec(OcpLayout::Production);
+    auto inhib = openComputeSpec(OcpLayout::InhibitorWax);
+    auto future = openComputeSpec(OcpLayout::FutureSsd);
+    EXPECT_DOUBLE_EQ(prod.waxLiters, 0.0);
+    EXPECT_DOUBLE_EQ(inhib.waxLiters, 0.5);    // Figure 9 (b).
+    EXPECT_DOUBLE_EQ(future.waxLiters, 1.5);   // Figure 9 (c).
+}
+
+TEST(ServerSpec, FanCurvePassesThroughCalibrationPoint)
+{
+    for (auto s : {rd330Spec(), x4470Spec(), openComputeSpec()}) {
+        auto fan = s.fanCurve();
+        EXPECT_NEAR(fan.pressureAt(s.nominalFlowM3s),
+                    s.refPressurePa, 1e-6)
+            << s.name;
+    }
+}
+
+TEST(ServerSpec, AirflowModelReproducesNominalFlow)
+{
+    for (auto s : {rd330Spec(), x4470Spec(), openComputeSpec()}) {
+        auto m = s.makeAirflow();
+        EXPECT_NEAR(m.flow(), s.nominalFlowM3s, 1e-9) << s.name;
+    }
+}
+
+TEST(ServerSpec, FanStiffnessOrderingMatchesFig7)
+{
+    // Fig 7: the 1U shrugs off blockage, the 2U tolerates ~60 %,
+    // the Open Compute blade collapses immediately.
+    EXPECT_GT(rd330Spec().fanStiffness, x4470Spec().fanStiffness);
+    EXPECT_GT(x4470Spec().fanStiffness,
+              openComputeSpec().fanStiffness);
+}
+
+TEST(ServerSpec, PeakPowerOrdering)
+{
+    // High-throughput 2U is the most power-dense platform.
+    EXPECT_GT(x4470Spec().peakWallPowerW,
+              openComputeSpec().peakWallPowerW);
+    EXPECT_GT(openComputeSpec().peakWallPowerW,
+              rd330Spec().peakWallPowerW);
+}
+
+TEST(ServerSpec, ComponentBankPowerLinear)
+{
+    ComponentBank bank{10, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(bank.power(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(bank.power(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(bank.power(0.5), 15.0);
+}
+
+TEST(ServerSpec, ValidateCatchesInconsistency)
+{
+    auto s = rd330Spec();
+    s.peakWallPowerW = 50.0;  // Below idle.
+    EXPECT_THROW(s.validate(), FatalError);
+
+    s = rd330Spec();
+    s.fanStiffness = 0.5;
+    EXPECT_THROW(s.fanCurve(), FatalError);
+}
+
+} // namespace
+} // namespace server
+} // namespace tts

@@ -1,0 +1,178 @@
+/** @file Tests for the Equation-1 TCO model and savings analyses. */
+
+#include <gtest/gtest.h>
+
+#include "tco/model.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace tco {
+namespace {
+
+TcoModel
+rd330Model()
+{
+    return TcoModel(parametersFor(server::rd330Spec()));
+}
+
+TEST(TcoModel, BreakdownSumsToTotal)
+{
+    auto b = rd330Model().monthly(10000.0, 54000, true);
+    EXPECT_NEAR(b.totalPerMonth(),
+                b.capitalPerMonth() + b.operationalPerMonth(),
+                1e-9);
+    EXPECT_NEAR(b.totalPerYear(), 12.0 * b.totalPerMonth(), 1e-6);
+}
+
+TEST(TcoModel, Equation1TermsAllPresent)
+{
+    auto b = rd330Model().monthly(10000.0, 54000, true);
+    EXPECT_GT(b.facilitySpaceCapEx, 0.0);
+    EXPECT_GT(b.upsCapEx, 0.0);
+    EXPECT_GT(b.powerInfraCapEx, 0.0);
+    EXPECT_GT(b.coolingInfraCapEx, 0.0);
+    EXPECT_GT(b.restCapEx, 0.0);
+    EXPECT_GT(b.dcInterest, 0.0);
+    EXPECT_GT(b.serverCapEx, 0.0);
+    EXPECT_GT(b.waxCapEx, 0.0);
+    EXPECT_GT(b.serverInterest, 0.0);
+    EXPECT_GT(b.datacenterOpEx, 0.0);
+    EXPECT_GT(b.serverEnergyOpEx, 0.0);
+    EXPECT_GT(b.serverPowerOpEx, 0.0);
+    EXPECT_GT(b.coolingEnergyOpEx, 0.0);
+    EXPECT_GT(b.restOpEx, 0.0);
+}
+
+TEST(TcoModel, WaxTermIsNegligibleShare)
+{
+    // The paper: WaxCapEx < 0.1 % of ServerCapEx.
+    auto b = rd330Model().monthly(10000.0, 54000, true);
+    EXPECT_LT(b.waxCapEx, 0.005 * b.serverCapEx);
+}
+
+TEST(TcoModel, WithoutWaxDropsWaxTerm)
+{
+    auto with = rd330Model().monthly(10000.0, 54000, true);
+    auto without = rd330Model().monthly(10000.0, 54000, false);
+    EXPECT_DOUBLE_EQ(without.waxCapEx, 0.0);
+    EXPECT_LT(without.totalPerMonth(), with.totalPerMonth());
+}
+
+TEST(TcoModel, CoolingScaleOnlyTouchesCoolingInfra)
+{
+    auto full = rd330Model().monthly(10000.0, 54000, false, 1.0);
+    auto small = rd330Model().monthly(10000.0, 54000, false, 0.9);
+    EXPECT_NEAR(small.coolingInfraCapEx,
+                0.9 * full.coolingInfraCapEx, 1e-9);
+    EXPECT_DOUBLE_EQ(small.powerInfraCapEx, full.powerInfraCapEx);
+    EXPECT_DOUBLE_EQ(small.serverCapEx, full.serverCapEx);
+}
+
+TEST(TcoModel, TcoLinearInCriticalPower)
+{
+    // The paper assumes most CapEx is linear in critical capacity.
+    auto m = rd330Model();
+    auto one = m.monthly(5000.0, 27000, false);
+    auto two = m.monthly(10000.0, 54000, false);
+    EXPECT_NEAR(two.totalPerMonth(), 2.0 * one.totalPerMonth(),
+                1e-6);
+}
+
+TEST(TcoModel, CoolingSavingsMatchPaper2U)
+{
+    // Paper: 12 % smaller plant in the 2U facility saves ~$254k/yr.
+    TcoModel m(parametersFor(server::x4470Spec()));
+    double s = m.annualCoolingInfraSavings(10000.0, 0.12);
+    EXPECT_NEAR(s, 254000.0, 30000.0);
+}
+
+TEST(TcoModel, CoolingSavingsMatchPaper1U)
+{
+    // Paper: 8.9 % with 1U servers saves ~$187k/yr.
+    TcoModel m(parametersFor(server::rd330Spec()));
+    double s = m.annualCoolingInfraSavings(10000.0, 0.089);
+    EXPECT_NEAR(s, 187000.0, 25000.0);
+}
+
+TEST(TcoModel, CoolingSavingsLinearInReduction)
+{
+    auto m = rd330Model();
+    EXPECT_NEAR(m.annualCoolingInfraSavings(10000.0, 0.10),
+                2.0 * m.annualCoolingInfraSavings(10000.0, 0.05),
+                1e-6);
+    EXPECT_DOUBLE_EQ(m.annualCoolingInfraSavings(10000.0, 0.0),
+                     0.0);
+}
+
+TEST(TcoModel, RetrofitSavingsMatchPaper)
+{
+    // Paper: $3.0-3.2M per year over the remaining 6-year plant
+    // life, roughly platform-independent.
+    for (auto spec : {server::rd330Spec(), server::x4470Spec(),
+                      server::openComputeSpec()}) {
+        TcoModel m(parametersFor(spec));
+        double s = m.annualRetrofitSavings(10000.0, 6.0);
+        EXPECT_GT(s, 2.8e6) << spec.name;
+        EXPECT_LT(s, 3.4e6) << spec.name;
+    }
+}
+
+TEST(TcoModel, RetrofitSavingsScaleWithRemainingLife)
+{
+    auto m = rd330Model();
+    EXPECT_NEAR(m.annualRetrofitSavings(10000.0, 3.0),
+                2.0 * m.annualRetrofitSavings(10000.0, 6.0), 1e-6);
+}
+
+TEST(TcoModel, RetrofitDwarfsNewBuildSavings)
+{
+    // The paper's key contrast: reusing a plant with remaining life
+    // is worth an order of magnitude more than right-sizing a new
+    // one.
+    auto m = rd330Model();
+    EXPECT_GT(m.annualRetrofitSavings(10000.0, 6.0),
+              10.0 * m.annualCoolingInfraSavings(10000.0, 0.089));
+}
+
+TEST(TcoModel, TcoEfficiencyGainGrowsWithThroughput)
+{
+    auto m = rd330Model();
+    double g1 = m.tcoEfficiencyGain(10000.0, 54000, 0.10);
+    double g2 = m.tcoEfficiencyGain(10000.0, 54000, 0.33);
+    double g3 = m.tcoEfficiencyGain(10000.0, 54000, 0.69);
+    EXPECT_GT(g2, g1);
+    EXPECT_GT(g3, g2);
+    // At zero gain the wax is pure (tiny) cost.
+    EXPECT_NEAR(m.tcoEfficiencyGain(10000.0, 54000, 0.0), 0.0,
+                0.002);
+}
+
+TEST(TcoModel, TcoEfficiencyMatchesPaperAtPaperGains)
+{
+    // With the paper's Fig 12 gains, Eq 1 yields the paper's
+    // Section 5.2 efficiency improvements (23 % / 39 % / 24 %).
+    TcoModel m1(parametersFor(server::rd330Spec()));
+    EXPECT_NEAR(m1.tcoEfficiencyGain(10000.0, 54 * 1008, 0.33),
+                0.23, 0.04);
+    TcoModel m2(parametersFor(server::x4470Spec()));
+    EXPECT_NEAR(m2.tcoEfficiencyGain(10000.0, 19 * 1008, 0.69),
+                0.39, 0.05);
+    TcoModel m3(parametersFor(server::openComputeSpec()));
+    EXPECT_NEAR(m3.tcoEfficiencyGain(10000.0, 29 * 1008, 0.34),
+                0.24, 0.04);
+}
+
+TEST(TcoModel, RejectsBadArguments)
+{
+    auto m = rd330Model();
+    EXPECT_THROW(m.monthly(0.0, 100), FatalError);
+    EXPECT_THROW(m.monthly(100.0, 0), FatalError);
+    EXPECT_THROW(m.annualCoolingInfraSavings(100.0, 1.0),
+                 FatalError);
+    EXPECT_THROW(m.annualRetrofitSavings(100.0, 0.0), FatalError);
+    EXPECT_THROW(m.tcoEfficiencyGain(100.0, 10, -0.1), FatalError);
+}
+
+} // namespace
+} // namespace tco
+} // namespace tts

@@ -1,0 +1,118 @@
+/** @file Tests for the Table 2 TCO parameter set. */
+
+#include <gtest/gtest.h>
+
+#include "tco/parameters.hh"
+
+namespace tts {
+namespace tco {
+namespace {
+
+TEST(TcoParameters, DefaultsWithinTable2Ranges)
+{
+    TcoParameters p;
+    EXPECT_DOUBLE_EQ(p.facilitySpacePerSqFt, 1.29);
+    EXPECT_DOUBLE_EQ(p.upsPerServer, 0.13);
+    EXPECT_GE(p.powerInfraPerKW, 15.9);
+    EXPECT_LE(p.powerInfraPerKW, 16.2);
+    EXPECT_DOUBLE_EQ(p.coolingInfraPerKW, 7.0);
+    EXPECT_GE(p.restCapExPerKW, 19.4);
+    EXPECT_LE(p.restCapExPerKW, 21.0);
+    EXPECT_GE(p.dcInterestPerKW, 31.8);
+    EXPECT_LE(p.dcInterestPerKW, 36.3);
+    EXPECT_GE(p.datacenterOpExPerKW, 20.7);
+    EXPECT_LE(p.datacenterOpExPerKW, 20.9);
+    EXPECT_GE(p.serverEnergyOpExPerKW, 19.2);
+    EXPECT_LE(p.serverEnergyOpExPerKW, 24.9);
+    EXPECT_DOUBLE_EQ(p.serverPowerOpExPerKW, 12.0);
+    EXPECT_DOUBLE_EQ(p.coolingEnergyOpExPerKW, 18.4);
+    EXPECT_GE(p.restOpExPerKW, 5.7);
+    EXPECT_LE(p.restOpExPerKW, 6.6);
+}
+
+class PlatformParamSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    server::ServerSpec
+    spec() const
+    {
+        switch (GetParam()) {
+          case 0: return server::rd330Spec();
+          case 1: return server::x4470Spec();
+          default: return server::openComputeSpec();
+        }
+    }
+};
+
+TEST_P(PlatformParamSweep, PerKwRatesStayInTable2Ranges)
+{
+    auto p = parametersFor(spec());
+    EXPECT_GE(p.powerInfraPerKW, 15.9);
+    EXPECT_LE(p.powerInfraPerKW, 16.2);
+    EXPECT_GE(p.restCapExPerKW, 19.4);
+    EXPECT_LE(p.restCapExPerKW, 21.0);
+    EXPECT_GE(p.dcInterestPerKW, 31.8);
+    EXPECT_LE(p.dcInterestPerKW, 36.3);
+    EXPECT_GE(p.serverEnergyOpExPerKW, 19.2);
+    EXPECT_LE(p.serverEnergyOpExPerKW, 24.9);
+}
+
+TEST_P(PlatformParamSweep, ServerCapExIsCostOverLife)
+{
+    auto p = parametersFor(spec());
+    EXPECT_NEAR(p.serverCapExPerServer,
+                spec().serverCostUsd / 48.0, 1e-9);
+}
+
+TEST_P(PlatformParamSweep, WaxCapExTiny)
+{
+    // Table 2: WaxCapEx is "less than 0.1 % of the ServerCapEx"...
+    auto p = parametersFor(spec());
+    if (spec().waxLiters > 0.0) {
+        EXPECT_GT(p.waxCapExPerServer, 0.0);
+        // ...i.e. cents per month per server.
+        EXPECT_LT(p.waxCapExPerServer,
+                  0.005 * p.serverCapExPerServer);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, PlatformParamSweep,
+                         ::testing::Values(0, 1, 2));
+
+TEST(TcoParameters, ServerCapExRangeMatchesTable2)
+{
+    // Table 2: ServerCapEx 42-146 $/server across the platforms.
+    auto lo = parametersFor(server::rd330Spec());
+    auto hi = parametersFor(server::x4470Spec());
+    EXPECT_NEAR(lo.serverCapExPerServer, 42.0, 1.0);
+    EXPECT_NEAR(hi.serverCapExPerServer, 146.0, 1.0);
+}
+
+TEST(TcoParameters, ServerInterestRangeMatchesTable2)
+{
+    // Table 2: ServerInterest 11.00-38.50 $/server.
+    auto lo = parametersFor(server::rd330Spec());
+    auto hi = parametersFor(server::x4470Spec());
+    EXPECT_NEAR(lo.serverInterestPerServer, 11.0, 0.5);
+    EXPECT_NEAR(hi.serverInterestPerServer, 38.5, 0.5);
+}
+
+TEST(TcoParameters, CoolingAttributedCapExSane)
+{
+    TcoParameters p;
+    double rate = p.coolingAttributedCapExPerKW();
+    // Cooling plant + its power infra + interest: high teens $/kW.
+    EXPECT_GT(rate, 12.0);
+    EXPECT_LT(rate, 25.0);
+}
+
+TEST(TcoParameters, WaxFreePlatformHasNoWaxCapEx)
+{
+    auto p = parametersFor(
+        server::openComputeSpec(server::OcpLayout::Production));
+    EXPECT_DOUBLE_EQ(p.waxCapExPerServer, 0.0);
+}
+
+} // namespace
+} // namespace tco
+} // namespace tts

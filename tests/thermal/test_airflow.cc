@@ -1,0 +1,180 @@
+/** @file Tests for the fan-curve / impedance airflow model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/airflow.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace thermal {
+namespace {
+
+FanCurve
+stdFan()
+{
+    return FanCurve{200.0, 0.02};
+}
+
+TEST(FanCurve, EndpointsAtFullSpeed)
+{
+    auto f = stdFan();
+    EXPECT_DOUBLE_EQ(f.pressureAt(0.0), 200.0);
+    EXPECT_DOUBLE_EQ(f.pressureAt(0.02), 0.0);
+}
+
+TEST(FanCurve, NegativeBeyondFreeDelivery)
+{
+    EXPECT_LT(stdFan().pressureAt(0.03), 0.0);
+}
+
+TEST(FanCurve, FanLawsScaleSpeed)
+{
+    auto f = stdFan();
+    // At half speed: pressure x 1/4, free flow x 1/2.
+    EXPECT_DOUBLE_EQ(f.pressureAt(0.0, 0.5), 50.0);
+    EXPECT_DOUBLE_EQ(f.pressureAt(0.01, 0.5), 0.0);
+}
+
+TEST(OperatingPoint, LiesOnBothCurves)
+{
+    auto f = stdFan();
+    double k = 1.0e6;
+    double q = solveOperatingPoint(f, k);
+    EXPECT_NEAR(f.pressureAt(q), k * q * q, 1e-9);
+    EXPECT_GT(q, 0.0);
+    EXPECT_LT(q, f.maxFlowM3s);
+}
+
+TEST(OperatingPoint, HigherImpedanceLowersFlow)
+{
+    auto f = stdFan();
+    EXPECT_GT(solveOperatingPoint(f, 1e5),
+              solveOperatingPoint(f, 1e6));
+}
+
+TEST(OperatingPoint, FlowScalesWithSpeedAtFixedImpedance)
+{
+    // Classic fan law: with a fixed system curve, Q scales with n.
+    auto f = stdFan();
+    double k = 5e5;
+    double q_full = solveOperatingPoint(f, k, 1.0);
+    double q_half = solveOperatingPoint(f, k, 0.5);
+    EXPECT_NEAR(q_half / q_full, 0.5, 1e-9);
+}
+
+TEST(OperatingPoint, RejectsBadArguments)
+{
+    auto f = stdFan();
+    EXPECT_THROW(solveOperatingPoint(f, 0.0), FatalError);
+    EXPECT_THROW(solveOperatingPoint(f, 1e5, 0.0), FatalError);
+    EXPECT_THROW(solveOperatingPoint(f, 1e5, 1.5), FatalError);
+}
+
+AirflowModel
+stdModel()
+{
+    return AirflowModel(stdFan(), 0.012, 0.019);
+}
+
+TEST(AirflowModel, CalibratesToNominalFlow)
+{
+    auto m = stdModel();
+    EXPECT_NEAR(m.flow(), 0.012, 1e-12);
+}
+
+TEST(AirflowModel, MassFlowUsesAirDensity)
+{
+    auto m = stdModel();
+    EXPECT_NEAR(m.massFlow(), 0.012 * units::airDensity, 1e-9);
+}
+
+TEST(AirflowModel, BlockageReducesFlow)
+{
+    auto m = stdModel();
+    double q0 = m.flow();
+    m.setBlockage(0.5);
+    double q50 = m.flow();
+    m.setBlockage(0.9);
+    double q90 = m.flow();
+    EXPECT_GT(q0, q50);
+    EXPECT_GT(q50, q90);
+    EXPECT_GT(q90, 0.0);
+}
+
+TEST(AirflowModel, VelocityRisesThroughConstriction)
+{
+    auto m = stdModel();
+    double v0 = m.velocityAtBlockage();
+    m.setBlockage(0.7);
+    // Flow drops but the open area drops faster.
+    EXPECT_GT(m.velocityAtBlockage(), v0);
+    EXPECT_LT(m.ductVelocity(), v0);
+}
+
+TEST(AirflowModel, FanSpeedScalesFlow)
+{
+    auto m = stdModel();
+    double q_full = m.flow();
+    m.setFanSpeed(0.5);
+    EXPECT_NEAR(m.flow(), 0.5 * q_full, 1e-12);
+}
+
+TEST(AirflowModel, ZeroBlockageRestoresNominal)
+{
+    auto m = stdModel();
+    m.setBlockage(0.6);
+    m.setBlockage(0.0);
+    EXPECT_NEAR(m.flow(), 0.012, 1e-12);
+}
+
+TEST(AirflowModel, RejectsBadInput)
+{
+    auto m = stdModel();
+    EXPECT_THROW(m.setBlockage(-0.1), FatalError);
+    EXPECT_THROW(m.setBlockage(1.0), FatalError);
+    EXPECT_THROW(m.setFanSpeed(0.0), FatalError);
+    EXPECT_THROW(m.setFanSpeed(1.1), FatalError);
+    EXPECT_THROW(AirflowModel(stdFan(), 0.03, 0.019), FatalError);
+    EXPECT_THROW(AirflowModel(stdFan(), 0.012, 0.0), FatalError);
+}
+
+/**
+ * Property sweep over blockage: flow decreases monotonically and the
+ * operating point always satisfies both curves.
+ */
+class BlockageSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BlockageSweep, OperatingPointConsistent)
+{
+    auto m = stdModel();
+    m.setBlockage(GetParam());
+    double q = m.flow();
+    double open = 1.0 - GetParam();
+    double k = m.baseImpedance() / (open * open);
+    EXPECT_NEAR(m.fan().pressureAt(q), k * q * q, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, BlockageSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.69,
+                                           0.8, 0.9, 0.95));
+
+TEST(AirflowModel, StiffFansResistBlockageMore)
+{
+    // The Fig 7 shape knob: higher pressure headroom keeps flow up.
+    FanCurve soft{100.0, 0.024};   // Pmax ~ 2x the nominal drop.
+    FanCurve stiff{1000.0, 0.013}; // Pmax ~ 20x.
+    AirflowModel m_soft(soft, 0.012, 0.019);
+    AirflowModel m_stiff(stiff, 0.012, 0.019);
+    m_soft.setBlockage(0.7);
+    m_stiff.setBlockage(0.7);
+    EXPECT_GT(m_stiff.flow() / 0.012, m_soft.flow() / 0.012);
+}
+
+} // namespace
+} // namespace thermal
+} // namespace tts

@@ -1,0 +1,135 @@
+/** @file Tests for the adaptive Bogacki-Shampine 3(2) stepper. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/integrator.hh"
+
+namespace tts {
+namespace {
+
+const OdeRhs decay = [](double, const std::vector<double> &y,
+                        std::vector<double> &dy) {
+    dy.resize(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        dy[i] = -y[i];
+};
+
+TEST(AdaptiveRk23, SolvesExponentialDecay)
+{
+    AdaptiveRk23 ark(1e-8, 1e-10);
+    std::vector<double> y{1.0};
+    ark.integrate(decay, 0.0, 3.0, y);
+    EXPECT_NEAR(y[0], std::exp(-3.0), 1e-6);
+}
+
+TEST(AdaptiveRk23, TighterToleranceIsMoreAccurate)
+{
+    auto solve = [&](double rtol) {
+        AdaptiveRk23 ark(rtol, rtol * 1e-3);
+        std::vector<double> y{1.0};
+        ark.integrate(decay, 0.0, 2.0, y);
+        return std::abs(y[0] - std::exp(-2.0));
+    };
+    EXPECT_LT(solve(1e-9), solve(1e-4));
+}
+
+TEST(AdaptiveRk23, TighterToleranceTakesMoreSteps)
+{
+    std::vector<double> y1{1.0}, y2{1.0};
+    AdaptiveRk23 loose(1e-3, 1e-6);
+    AdaptiveRk23 tight(1e-9, 1e-12);
+    auto s1 = loose.integrate(decay, 0.0, 5.0, y1);
+    auto s2 = tight.integrate(decay, 0.0, 5.0, y2);
+    EXPECT_GT(s2, s1);
+}
+
+TEST(AdaptiveRk23, StepShrinksAtTransient)
+{
+    // A kink-like forcing: dy/dt jumps at t = 5.  The controller
+    // must reject steps around the jump, not blow through it.
+    OdeRhs kick = [](double t, const std::vector<double> &y,
+                     std::vector<double> &dy) {
+        dy.assign(1, (t < 5.0 ? 0.0 : 100.0) - y[0]);
+    };
+    AdaptiveRk23 ark(1e-7, 1e-9);
+    std::vector<double> y{0.0};
+    ark.integrate(kick, 0.0, 10.0, y, 2.0);
+    // Exact: 100 (1 - exp(-(10-5))).
+    EXPECT_NEAR(y[0], 100.0 * (1.0 - std::exp(-5.0)), 1e-2);
+}
+
+TEST(AdaptiveRk23, SmoothProblemGrowsTheStep)
+{
+    // Over a long smooth decay the controller needs far fewer steps
+    // than a fixed-step RK4 at the small-step accuracy.
+    AdaptiveRk23 ark(1e-6, 1e-9);
+    std::vector<double> y{1.0};
+    auto steps = ark.integrate(decay, 0.0, 1000.0, y, 0.1);
+    EXPECT_LT(steps, 2000u);  // Fixed dt = 0.1 would take 10,000.
+    EXPECT_NEAR(y[0], 0.0, 1e-6);
+}
+
+TEST(AdaptiveRk23, ObserverSeesMonotoneTimes)
+{
+    AdaptiveRk23 ark;
+    std::vector<double> y{1.0};
+    double prev = -1.0;
+    double last = 0.0;
+    ark.integrate(decay, 0.0, 1.0, y, 0.0,
+                  [&](double t, const std::vector<double> &) {
+                      EXPECT_GT(t, prev);
+                      prev = t;
+                      last = t;
+                  });
+    EXPECT_DOUBLE_EQ(last, 1.0);
+}
+
+TEST(AdaptiveRk23, ZeroSpanIsNoop)
+{
+    AdaptiveRk23 ark;
+    std::vector<double> y{4.0};
+    EXPECT_EQ(ark.integrate(decay, 1.0, 1.0, y), 0u);
+    EXPECT_DOUBLE_EQ(y[0], 4.0);
+}
+
+TEST(AdaptiveRk23, MultiDimensionalOscillator)
+{
+    OdeRhs osc = [](double, const std::vector<double> &y,
+                    std::vector<double> &dy) {
+        dy.resize(2);
+        dy[0] = y[1];
+        dy[1] = -y[0];
+    };
+    AdaptiveRk23 ark(1e-8, 1e-10);
+    std::vector<double> y{1.0, 0.0};
+    ark.integrate(osc, 0.0, 2.0 * M_PI, y);
+    EXPECT_NEAR(y[0], 1.0, 1e-4);
+    EXPECT_NEAR(y[1], 0.0, 1e-4);
+}
+
+TEST(AdaptiveRk23, RejectsBadArguments)
+{
+    EXPECT_THROW(AdaptiveRk23(0.0, 1e-9), FatalError);
+    EXPECT_THROW(AdaptiveRk23(1e-6, -1.0), FatalError);
+    AdaptiveRk23 ark;
+    std::vector<double> y{1.0};
+    EXPECT_THROW(ark.integrate(decay, 1.0, 0.0, y), FatalError);
+}
+
+TEST(AdaptiveRk23, ReportsRejections)
+{
+    OdeRhs kick = [](double t, const std::vector<double> &y,
+                     std::vector<double> &dy) {
+        dy.assign(1, (t < 5.0 ? 0.0 : 100.0) - y[0]);
+    };
+    AdaptiveRk23 ark(1e-9, 1e-12);
+    std::vector<double> y{0.0};
+    ark.integrate(kick, 0.0, 10.0, y, 4.0);
+    EXPECT_GT(ark.rejectedSteps(), 0u);
+}
+
+} // namespace
+} // namespace tts

@@ -1,0 +1,169 @@
+/** @file Tests for the ODE steppers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "util/error.hh"
+#include "util/integrator.hh"
+
+namespace tts {
+namespace {
+
+/** dy/dt = -y, y(0) = 1 -> y(t) = exp(-t). */
+const OdeRhs decay = [](double, const std::vector<double> &y,
+                        std::vector<double> &dy) {
+    dy.resize(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        dy[i] = -y[i];
+};
+
+/** dy/dt = cos(t), y(0) = 0 -> y(t) = sin(t). */
+const OdeRhs cosine = [](double t, const std::vector<double> &,
+                         std::vector<double> &dy) {
+    dy.assign(1, std::cos(t));
+};
+
+std::unique_ptr<Integrator>
+makeStepper(const std::string &name)
+{
+    if (name == "euler")
+        return std::make_unique<ForwardEuler>();
+    if (name == "midpoint")
+        return std::make_unique<Midpoint>();
+    return std::make_unique<RungeKutta4>();
+}
+
+class IntegratorSweep
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(IntegratorSweep, SolvesExponentialDecay)
+{
+    auto stepper = makeStepper(GetParam());
+    std::vector<double> y{1.0};
+    integrate(*stepper, decay, 0.0, 1.0, 1e-3, y);
+    // Euler is first order; the higher-order steppers are far
+    // tighter but share the coarse bound here.
+    EXPECT_NEAR(y[0], std::exp(-1.0), 5e-4);
+}
+
+TEST_P(IntegratorSweep, SolvesSine)
+{
+    auto stepper = makeStepper(GetParam());
+    std::vector<double> y{0.0};
+    integrate(*stepper, cosine, 0.0, 2.0, 1e-3, y);
+    EXPECT_NEAR(y[0], std::sin(2.0), 1e-3);
+}
+
+TEST_P(IntegratorSweep, FinalStepLandsExactlyOnT1)
+{
+    auto stepper = makeStepper(GetParam());
+    std::vector<double> y{0.0};
+    double last_t = -1.0;
+    // dt = 0.3 does not divide 1.0; the observer must still see 1.0.
+    integrate(*stepper, cosine, 0.0, 1.0, 0.3, y,
+              [&](double t, const std::vector<double> &) {
+                  last_t = t;
+              });
+    EXPECT_DOUBLE_EQ(last_t, 1.0);
+}
+
+TEST_P(IntegratorSweep, ObserverSeesInitialState)
+{
+    auto stepper = makeStepper(GetParam());
+    std::vector<double> y{7.0};
+    double first_value = 0.0;
+    bool first = true;
+    integrate(*stepper, decay, 0.0, 0.5, 0.1, y,
+              [&](double, const std::vector<double> &s) {
+                  if (first) {
+                      first_value = s[0];
+                      first = false;
+                  }
+              });
+    EXPECT_DOUBLE_EQ(first_value, 7.0);
+}
+
+TEST_P(IntegratorSweep, MultiDimensionalSystem)
+{
+    // Harmonic oscillator: x'' = -x as a 2-state system.
+    auto stepper = makeStepper(GetParam());
+    OdeRhs osc = [](double, const std::vector<double> &y,
+                    std::vector<double> &dy) {
+        dy.resize(2);
+        dy[0] = y[1];
+        dy[1] = -y[0];
+    };
+    std::vector<double> y{1.0, 0.0};
+    integrate(*stepper, osc, 0.0, M_PI, 1e-3, y);
+    EXPECT_NEAR(y[0], -1.0, 5e-3);
+    EXPECT_NEAR(y[1], 0.0, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSteppers, IntegratorSweep,
+                         ::testing::Values("euler", "midpoint",
+                                           "rk4"));
+
+TEST(Integrator, Rk4ConvergesAtFourthOrder)
+{
+    RungeKutta4 rk;
+    auto error_at = [&](double dt) {
+        std::vector<double> y{1.0};
+        integrate(rk, decay, 0.0, 1.0, dt, y);
+        return std::abs(y[0] - std::exp(-1.0));
+    };
+    double e1 = error_at(0.1);
+    double e2 = error_at(0.05);
+    // Halving dt should cut the error by ~2^4 = 16.
+    EXPECT_GT(e1 / e2, 12.0);
+}
+
+TEST(Integrator, EulerConvergesAtFirstOrder)
+{
+    ForwardEuler fe;
+    auto error_at = [&](double dt) {
+        std::vector<double> y{1.0};
+        integrate(fe, decay, 0.0, 1.0, dt, y);
+        return std::abs(y[0] - std::exp(-1.0));
+    };
+    double ratio = error_at(0.01) / error_at(0.005);
+    EXPECT_NEAR(ratio, 2.0, 0.3);
+}
+
+TEST(Integrator, RejectsNonPositiveDt)
+{
+    RungeKutta4 rk;
+    std::vector<double> y{1.0};
+    EXPECT_THROW(integrate(rk, decay, 0.0, 1.0, 0.0, y), FatalError);
+    EXPECT_THROW(integrate(rk, decay, 0.0, 1.0, -1.0, y), FatalError);
+}
+
+TEST(Integrator, RejectsReversedInterval)
+{
+    RungeKutta4 rk;
+    std::vector<double> y{1.0};
+    EXPECT_THROW(integrate(rk, decay, 1.0, 0.0, 0.1, y), FatalError);
+}
+
+TEST(Integrator, ZeroSpanIsNoop)
+{
+    RungeKutta4 rk;
+    std::vector<double> y{3.0};
+    integrate(rk, decay, 2.0, 2.0, 0.1, y);
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(Integrator, NamesAreDistinct)
+{
+    ForwardEuler fe;
+    Midpoint mp;
+    RungeKutta4 rk;
+    EXPECT_STRNE(fe.name(), mp.name());
+    EXPECT_STRNE(mp.name(), rk.name());
+}
+
+} // namespace
+} // namespace tts

@@ -1,0 +1,142 @@
+/** @file Tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace tts {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(rng.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(17);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate)
+{
+    Rng rng(19);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(rng.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsBadRate)
+{
+    Rng rng(29);
+    EXPECT_THROW(rng.exponential(0.0), FatalError);
+    EXPECT_THROW(rng.exponential(-1.0), FatalError);
+}
+
+class RngPoissonSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngPoissonSweep, MeanAndVarianceMatch)
+{
+    double mean = GetParam();
+    Rng rng(31);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(static_cast<double>(rng.poisson(mean)));
+    EXPECT_NEAR(s.mean(), mean, 0.05 * mean + 0.05);
+    EXPECT_NEAR(s.variance(), mean, 0.12 * mean + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonSweep,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0,
+                                           200.0));
+
+TEST(Rng, PoissonZeroMeanIsZero)
+{
+    Rng rng(37);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(41);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(7), 7u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(43);
+    std::vector<int> counts(5, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++counts[rng.uniformInt(5)];
+    for (int c : counts)
+        EXPECT_GT(c, 800);
+}
+
+TEST(Rng, UniformIntRejectsZero)
+{
+    Rng rng(47);
+    EXPECT_THROW(rng.uniformInt(0), FatalError);
+}
+
+} // namespace
+} // namespace tts

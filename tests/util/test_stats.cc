@@ -1,0 +1,158 @@
+/** @file Tests for statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/stats.hh"
+
+namespace tts {
+namespace {
+
+TEST(RunningStats, EmptyState)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, StddevIsSqrtVariance)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(s.variance()));
+}
+
+TEST(RunningStats, NegativeValuesTracked)
+{
+    RunningStats s;
+    s.add(-10.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -10.0);
+}
+
+TEST(RunningStats, ResetClearsState)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, StableOnLargeOffsets)
+{
+    // Welford should survive a large common offset.
+    RunningStats s;
+    for (double x : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0})
+        s.add(x);
+    EXPECT_NEAR(s.mean(), 1e9 + 10.0, 1e-3);
+    EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+TEST(Percentile, MedianOfOddCount)
+{
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, Extremes)
+{
+    std::vector<double> v{5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks)
+{
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 99.0), 42.0);
+}
+
+TEST(Percentile, RejectsBadInput)
+{
+    EXPECT_THROW(percentile({}, 50.0), FatalError);
+    EXPECT_THROW(percentile({1.0}, -1.0), FatalError);
+    EXPECT_THROW(percentile({1.0}, 101.0), FatalError);
+}
+
+TEST(MeanAbsoluteDifference, KnownValue)
+{
+    EXPECT_DOUBLE_EQ(
+        meanAbsoluteDifference({1.0, 2.0, 3.0}, {2.0, 2.0, 1.0}),
+        1.0);
+}
+
+TEST(MeanAbsoluteDifference, ZeroForIdentical)
+{
+    std::vector<double> v{1.0, -2.0, 3.5};
+    EXPECT_DOUBLE_EQ(meanAbsoluteDifference(v, v), 0.0);
+}
+
+TEST(MeanAbsoluteDifference, RejectsMismatchedSizes)
+{
+    EXPECT_THROW(meanAbsoluteDifference({1.0}, {1.0, 2.0}),
+                 FatalError);
+    EXPECT_THROW(meanAbsoluteDifference({}, {}), FatalError);
+}
+
+TEST(PearsonCorrelation, PerfectPositive)
+{
+    EXPECT_NEAR(pearsonCorrelation({1.0, 2.0, 3.0},
+                                   {10.0, 20.0, 30.0}),
+                1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectNegative)
+{
+    EXPECT_NEAR(pearsonCorrelation({1.0, 2.0, 3.0},
+                                   {3.0, 2.0, 1.0}),
+                -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, NearZeroForOrthogonal)
+{
+    EXPECT_NEAR(pearsonCorrelation({1.0, 2.0, 3.0, 4.0},
+                                   {1.0, -1.0, -1.0, 1.0}),
+                0.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, RejectsZeroVariance)
+{
+    EXPECT_THROW(pearsonCorrelation({1.0, 1.0}, {1.0, 2.0}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace tts

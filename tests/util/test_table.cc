@@ -1,0 +1,88 @@
+/** @file Tests for ASCII table and CSV emission. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/table.hh"
+
+namespace tts {
+namespace {
+
+TEST(AsciiTable, PrintsHeaderAndRows)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(AsciiTable, AlignsColumns)
+{
+    AsciiTable t({"a", "b"});
+    t.addRow({"longvalue", "x"});
+    std::ostringstream os;
+    t.print(os);
+    // Header "a" should be padded to the width of "longvalue".
+    std::string first_line =
+        os.str().substr(0, os.str().find('\n'));
+    EXPECT_GE(first_line.size(), std::string("longvalue  b").size());
+}
+
+TEST(AsciiTable, RejectsMismatchedRow)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), FatalError);
+}
+
+TEST(AsciiTable, RejectsEmptyHeader)
+{
+    EXPECT_THROW(AsciiTable({}), FatalError);
+}
+
+TEST(CsvWriter, WritesHeaderOnConstruction)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"t", "x"});
+    EXPECT_EQ(os.str(), "t,x\n");
+}
+
+TEST(CsvWriter, WritesNumericRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"t", "x"});
+    csv.writeRow(std::vector<double>{1.0, 2.5});
+    EXPECT_NE(os.str().find("1,2.5"), std::string::npos);
+}
+
+TEST(CsvWriter, WritesStringRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"k", "v"});
+    csv.writeRow(std::vector<std::string>{"melt", "52C"});
+    EXPECT_NE(os.str().find("melt,52C"), std::string::npos);
+}
+
+TEST(CsvWriter, RejectsColumnMismatch)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"a", "b"});
+    EXPECT_THROW(csv.writeRow(std::vector<double>{1.0}), FatalError);
+}
+
+TEST(FormatFixed, RoundsToPrecision)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+    EXPECT_EQ(formatFixed(-1.005, 1), "-1.0");
+}
+
+} // namespace
+} // namespace tts

@@ -1,0 +1,174 @@
+/** @file Tests for the TimeSeries container. */
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/time_series.hh"
+
+namespace tts {
+namespace {
+
+TimeSeries
+rampSeries()
+{
+    TimeSeries s("ramp");
+    s.append(0.0, 0.0);
+    s.append(10.0, 10.0);
+    s.append(20.0, 0.0);
+    return s;
+}
+
+TEST(TimeSeries, AppendAndSize)
+{
+    auto s = rampSeries();
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.name(), "ramp");
+}
+
+TEST(TimeSeries, RejectsNonIncreasingTime)
+{
+    TimeSeries s;
+    s.append(1.0, 0.0);
+    EXPECT_THROW(s.append(1.0, 1.0), FatalError);
+    EXPECT_THROW(s.append(0.5, 1.0), FatalError);
+}
+
+TEST(TimeSeries, LinearInterpolation)
+{
+    auto s = rampSeries();
+    EXPECT_DOUBLE_EQ(s.at(5.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.at(15.0), 5.0);
+}
+
+TEST(TimeSeries, ClampsOutsideSpan)
+{
+    auto s = rampSeries();
+    EXPECT_DOUBLE_EQ(s.at(-100.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.at(1000.0), 0.0);
+}
+
+TEST(TimeSeries, MinMaxArgMax)
+{
+    auto s = rampSeries();
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.argMax(), 10.0);
+}
+
+TEST(TimeSeries, StartEndTimes)
+{
+    auto s = rampSeries();
+    EXPECT_DOUBLE_EQ(s.startTime(), 0.0);
+    EXPECT_DOUBLE_EQ(s.endTime(), 20.0);
+}
+
+TEST(TimeSeries, MeanOfTriangleIsHalfPeak)
+{
+    auto s = rampSeries();
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(TimeSeries, IntegralOfTriangle)
+{
+    auto s = rampSeries();
+    EXPECT_DOUBLE_EQ(s.integral(0.0, 20.0), 100.0);
+    EXPECT_DOUBLE_EQ(s.integral(0.0, 10.0), 50.0);
+}
+
+TEST(TimeSeries, IntegralSubInterval)
+{
+    auto s = rampSeries();
+    // 4..6: trapezoid with heights 4 and 6 over width 2.
+    EXPECT_DOUBLE_EQ(s.integral(4.0, 6.0), 10.0);
+}
+
+TEST(TimeSeries, IntegralReversedNegates)
+{
+    auto s = rampSeries();
+    EXPECT_DOUBLE_EQ(s.integral(20.0, 0.0), -100.0);
+}
+
+TEST(TimeSeries, FirstCrossingAbove)
+{
+    auto s = rampSeries();
+    EXPECT_DOUBLE_EQ(s.firstCrossingAbove(5.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.firstCrossingAbove(0.0), 0.0);
+    EXPECT_LT(s.firstCrossingAbove(11.0), 0.0);
+}
+
+TEST(TimeSeries, TimeAboveLevel)
+{
+    auto s = rampSeries();
+    // Above 5 between t = 5 and t = 15.
+    EXPECT_DOUBLE_EQ(s.timeAbove(5.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.timeAbove(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.timeAbove(-1.0), 20.0);
+}
+
+TEST(TimeSeries, ScaledMultipliesValues)
+{
+    auto s = rampSeries().scaled(3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 30.0);
+    EXPECT_DOUBLE_EQ(s.at(5.0), 15.0);
+    EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(TimeSeries, ResampledHitsEnds)
+{
+    auto s = rampSeries().resampled(3.0);
+    EXPECT_DOUBLE_EQ(s.startTime(), 0.0);
+    EXPECT_DOUBLE_EQ(s.endTime(), 20.0);
+    EXPECT_DOUBLE_EQ(s.at(5.0), 5.0);
+}
+
+TEST(TimeSeries, ResampledRejectsBadDt)
+{
+    auto s = rampSeries();
+    EXPECT_THROW(s.resampled(0.0), FatalError);
+}
+
+TEST(TimeSeries, CombineSum)
+{
+    TimeSeries a, b;
+    a.append(0.0, 1.0);
+    a.append(10.0, 3.0);
+    b.append(5.0, 10.0);
+    b.append(15.0, 20.0);
+    auto sum = TimeSeries::combine(
+        a, b, [](double x, double y) { return x + y; }, "sum");
+    EXPECT_EQ(sum.name(), "sum");
+    EXPECT_EQ(sum.size(), 4u);
+    EXPECT_DOUBLE_EQ(sum.at(5.0), 2.0 + 10.0);
+    EXPECT_DOUBLE_EQ(sum.at(10.0), 3.0 + 15.0);
+}
+
+TEST(TimeSeries, EmptySeriesThrows)
+{
+    TimeSeries s;
+    EXPECT_THROW(s.at(0.0), FatalError);
+    EXPECT_THROW(s.max(), FatalError);
+    EXPECT_THROW(s.startTime(), FatalError);
+}
+
+/** Property sweep: integral over [a, b] plus [b, c] equals [a, c]. */
+class TimeSeriesIntegralSplit
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TimeSeriesIntegralSplit, IntegralIsAdditive)
+{
+    auto s = rampSeries();
+    double b = GetParam();
+    double whole = s.integral(0.0, 20.0);
+    double split = s.integral(0.0, b) + s.integral(b, 20.0);
+    EXPECT_NEAR(whole, split, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitPoints, TimeSeriesIntegralSplit,
+                         ::testing::Values(1.0, 5.0, 9.99, 10.0,
+                                           13.7, 19.5));
+
+} // namespace
+} // namespace tts

@@ -1,0 +1,72 @@
+/** @file Tests for unit conversion helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+namespace tts {
+namespace units {
+namespace {
+
+TEST(Units, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ(minutes(2.0), 120.0);
+    EXPECT_DOUBLE_EQ(hours(1.5), 5400.0);
+    EXPECT_DOUBLE_EQ(days(2.0), 172800.0);
+    EXPECT_DOUBLE_EQ(toHours(7200.0), 2.0);
+}
+
+TEST(Units, TimeRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(toHours(hours(13.7)), 13.7);
+}
+
+TEST(Units, EnergyConversions)
+{
+    EXPECT_DOUBLE_EQ(kWh(1.0), 3.6e6);
+    EXPECT_DOUBLE_EQ(toKWh(3.6e6), 1.0);
+    EXPECT_DOUBLE_EQ(kJ(2.0), 2000.0);
+}
+
+TEST(Units, PowerConversions)
+{
+    EXPECT_DOUBLE_EQ(kW(1.5), 1500.0);
+    EXPECT_DOUBLE_EQ(MW(10.0), 1.0e7);
+    EXPECT_DOUBLE_EQ(toKW(2500.0), 2.5);
+}
+
+TEST(Units, MassConversions)
+{
+    EXPECT_DOUBLE_EQ(grams(70.0), 0.070);
+    EXPECT_DOUBLE_EQ(tons(1.0), 1000.0);
+}
+
+TEST(Units, VolumeConversions)
+{
+    EXPECT_DOUBLE_EQ(liters(1.2), 0.0012);
+    EXPECT_DOUBLE_EQ(milliliters(90.0), 9.0e-5);
+    EXPECT_DOUBLE_EQ(toLiters(0.004), 4.0);
+    EXPECT_NEAR(cfm(1.0), 4.719474e-4, 1e-10);
+}
+
+TEST(Units, TemperatureConversions)
+{
+    EXPECT_DOUBLE_EQ(toKelvin(0.0), 273.15);
+    EXPECT_DOUBLE_EQ(toCelsius(373.15), 100.0);
+    EXPECT_DOUBLE_EQ(toCelsius(toKelvin(39.0)), 39.0);
+}
+
+TEST(Units, PhysicalConstantsSane)
+{
+    EXPECT_GT(airDensity, 1.0);
+    EXPECT_LT(airDensity, 1.3);
+    EXPECT_NEAR(airSpecificHeat, 1006.0, 10.0);
+    // Paraffin expands on melting: liquid less dense than solid.
+    EXPECT_LT(paraffinDensityLiquid, paraffinDensitySolid);
+    EXPECT_GT(paraffinSpecificHeatLiquid,
+              paraffinSpecificHeatSolid);
+}
+
+} // namespace
+} // namespace units
+} // namespace tts

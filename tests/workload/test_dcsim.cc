@@ -1,0 +1,215 @@
+/** @file Tests for the DCSim-style cluster simulator. */
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/units.hh"
+#include "workload/dcsim.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace workload {
+namespace {
+
+/** A flat trace at the given utilization, one hour long. */
+WorkloadTrace
+flatTrace(double util, double duration = 3600.0)
+{
+    WorkloadTrace t;
+    double per_class = util / 3.0;
+    t.append(0.0, {per_class, per_class, per_class});
+    t.append(duration, {per_class, per_class, per_class});
+    return t;
+}
+
+DcSimConfig
+smallConfig()
+{
+    DcSimConfig c;
+    c.serverCount = 16;
+    c.slotsPerServer = 8;
+    c.meanServiceTimeS = 10.0;
+    c.statsIntervalS = 60.0;
+    c.seed = 7;
+    return c;
+}
+
+TEST(ClusterSim, AchievedUtilizationTracksOffered)
+{
+    ClusterSim sim(smallConfig());
+    auto r = sim.run(flatTrace(0.5));
+    // Mean busy-slot fraction should approach the offered load.
+    double mean = 0.0;
+    for (double u : r.perServerUtilization)
+        mean += u;
+    mean /= static_cast<double>(r.perServerUtilization.size());
+    EXPECT_NEAR(mean, 0.5, 0.05);
+}
+
+TEST(ClusterSim, ThroughputMatchesArrivalRate)
+{
+    auto cfg = smallConfig();
+    ClusterSim sim(cfg);
+    auto r = sim.run(flatTrace(0.5));
+    // Offered: 0.5 * 16 * 8 / 10 = 6.4 jobs/s over 3600 s.
+    double expected = 0.5 * 16.0 * 8.0 / 10.0 * 3600.0;
+    EXPECT_NEAR(static_cast<double>(r.completedJobs), expected,
+                0.08 * expected);
+    EXPECT_EQ(r.droppedJobs, 0u);
+}
+
+TEST(ClusterSim, RoundRobinKeepsServersUniform)
+{
+    // The property the paper's representative-server scale-out
+    // model relies on.
+    ClusterSim sim(smallConfig());
+    auto r = sim.run(flatTrace(0.6));
+    EXPECT_LT(r.utilizationSpread(), 0.06);
+}
+
+TEST(ClusterSim, LatencyNearServiceTimeWhenUnderloaded)
+{
+    ClusterSim sim(smallConfig());
+    auto r = sim.run(flatTrace(0.3));
+    // Almost no queueing at 30 % load.
+    EXPECT_NEAR(r.latency.mean(), 10.0, 2.0);
+}
+
+TEST(ClusterSim, OverloadQueuesAndDrops)
+{
+    auto cfg = smallConfig();
+    cfg.queueCapPerServer = 4;
+    ClusterSim sim(cfg);
+    // Offered load above capacity; drops must appear.
+    WorkloadTrace t;
+    t.append(0.0, {0.5, 0.5, 0.5});
+    t.append(3600.0, {0.5, 0.5, 0.5});
+    auto r = sim.run(t);
+    EXPECT_GT(r.droppedJobs, 0u);
+    EXPECT_GT(r.latency.mean(), 10.0);
+}
+
+TEST(ClusterSim, HigherLoadRaisesLatency)
+{
+    ClusterSim a(smallConfig()), b(smallConfig());
+    auto low = a.run(flatTrace(0.3));
+    auto high = b.run(flatTrace(0.9));
+    EXPECT_GT(high.latency.mean(), low.latency.mean());
+}
+
+TEST(ClusterSim, ClassMixFollowsTrace)
+{
+    // A trace with 2:1:1 class weights should produce completions in
+    // roughly that proportion.
+    WorkloadTrace t;
+    t.append(0.0, {0.3, 0.15, 0.15});
+    t.append(3600.0, {0.3, 0.15, 0.15});
+    ClusterSim sim(smallConfig());
+    auto r = sim.run(t);
+    double total = static_cast<double>(r.completedJobs);
+    EXPECT_NEAR(r.completedByClass[0] / total, 0.5, 0.05);
+    EXPECT_NEAR(r.completedByClass[1] / total, 0.25, 0.05);
+    EXPECT_NEAR(r.completedByClass[2] / total, 0.25, 0.05);
+}
+
+TEST(ClusterSim, DeterministicForSameSeed)
+{
+    ClusterSim a(smallConfig()), b(smallConfig());
+    auto ra = a.run(flatTrace(0.5));
+    auto rb = b.run(flatTrace(0.5));
+    EXPECT_EQ(ra.completedJobs, rb.completedJobs);
+    EXPECT_DOUBLE_EQ(ra.latency.mean(), rb.latency.mean());
+}
+
+TEST(ClusterSim, UtilizationSeriesFollowsDiurnalTrace)
+{
+    GoogleTraceParams p;
+    p.durationS = units::days(1.0);
+    p.sampleIntervalS = 600.0;
+    auto trace = makeGoogleTrace(p);
+
+    auto cfg = smallConfig();
+    cfg.statsIntervalS = 1800.0;
+    ClusterSim sim(cfg);
+    auto r = sim.run(trace);
+    // Cluster utilization at mid-day must exceed the pre-dawn value.
+    EXPECT_GT(r.clusterUtilization.at(units::hours(14.0)),
+              r.clusterUtilization.at(units::hours(4.0)) + 0.2);
+}
+
+TEST(ClusterSim, LeastLoadedBalancerAlsoUniform)
+{
+    ClusterSim sim(smallConfig(),
+                   std::make_unique<LeastLoadedBalancer>());
+    auto r = sim.run(flatTrace(0.6));
+    EXPECT_LT(r.utilizationSpread(), 0.06);
+}
+
+TEST(ClusterSim, RandomBalancerHasMoreSpreadThanRoundRobin)
+{
+    auto cfg = smallConfig();
+    cfg.seed = 11;
+    ClusterSim rr(cfg);
+    ClusterSim rnd(cfg, std::make_unique<RandomBalancer>(3));
+    auto r_rr = rr.run(flatTrace(0.6));
+    auto r_rnd = rnd.run(flatTrace(0.6));
+    EXPECT_LE(r_rr.utilizationSpread(),
+              r_rnd.utilizationSpread() + 0.01);
+}
+
+TEST(ClusterSim, RackMetricsAggregateServers)
+{
+    auto cfg = smallConfig();
+    cfg.serversPerRack = 4;     // 16 servers -> 4 racks.
+    ClusterSim sim(cfg);
+    auto r = sim.run(flatTrace(0.5));
+    ASSERT_EQ(r.perRackUtilization.size(), 4u);
+    // Each rack's mean equals the mean of its servers.
+    double rack0 = 0.0;
+    for (int i = 0; i < 4; ++i)
+        rack0 += r.perServerUtilization[i];
+    EXPECT_NEAR(r.perRackUtilization[0], rack0 / 4.0, 1e-12);
+}
+
+TEST(ClusterSim, RackSpreadTighterThanServerSpread)
+{
+    // Aggregation averages out per-server noise.
+    auto cfg = smallConfig();
+    cfg.serversPerRack = 8;
+    ClusterSim sim(cfg);
+    auto r = sim.run(flatTrace(0.6));
+    EXPECT_LE(r.rackUtilizationSpread(),
+              r.utilizationSpread() + 1e-12);
+}
+
+TEST(ClusterSim, PartialLastRack)
+{
+    auto cfg = smallConfig();
+    cfg.serverCount = 10;
+    cfg.serversPerRack = 4;     // Racks of 4, 4, 2.
+    ClusterSim sim(cfg);
+    auto r = sim.run(flatTrace(0.5));
+    EXPECT_EQ(r.perRackUtilization.size(), 3u);
+}
+
+TEST(ClusterSim, RejectsBadConfig)
+{
+    DcSimConfig c;
+    c.serverCount = 0;
+    EXPECT_THROW(ClusterSim sim(c), FatalError);
+    c = DcSimConfig{};
+    c.meanServiceTimeS = 0.0;
+    EXPECT_THROW(ClusterSim sim(c), FatalError);
+}
+
+TEST(ClusterSim, RejectsShortTrace)
+{
+    ClusterSim sim(smallConfig());
+    WorkloadTrace t;
+    t.append(0.0, {0.1, 0.1, 0.1});
+    EXPECT_THROW(sim.run(t), FatalError);
+}
+
+} // namespace
+} // namespace workload
+} // namespace tts

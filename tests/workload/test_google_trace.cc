@@ -1,0 +1,209 @@
+/** @file Tests for the synthetic Google trace generator (Fig 10). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace workload {
+namespace {
+
+TEST(GoogleTrace, DefaultNormalization)
+{
+    auto t = makeGoogleTrace();
+    // The paper's normalization: 50 % average, 95 % peak.
+    EXPECT_NEAR(t.mean(), 0.50, 1e-6);
+    EXPECT_NEAR(t.peak(), 0.95, 1e-6);
+}
+
+TEST(GoogleTrace, SpansTwoDays)
+{
+    auto t = makeGoogleTrace();
+    EXPECT_DOUBLE_EQ(t.startTime(), 0.0);
+    EXPECT_NEAR(t.endTime(), units::days(2.0), 301.0);
+}
+
+TEST(GoogleTrace, Deterministic)
+{
+    auto a = makeGoogleTrace();
+    auto b = makeGoogleTrace();
+    ASSERT_EQ(a.size(), b.size());
+    for (double at : {0.0, 40000.0, 120000.0})
+        EXPECT_DOUBLE_EQ(a.totalAt(at), b.totalAt(at));
+}
+
+TEST(GoogleTrace, SeedChangesTrace)
+{
+    GoogleTraceParams p;
+    p.seed = 99;
+    auto a = makeGoogleTrace();
+    auto b = makeGoogleTrace(p);
+    bool differs = false;
+    for (double at = 0.0; at < units::days(2.0); at += 3600.0)
+        differs |= std::abs(a.totalAt(at) - b.totalAt(at)) > 1e-6;
+    EXPECT_TRUE(differs);
+}
+
+TEST(GoogleTrace, DiurnalShape)
+{
+    auto t = makeGoogleTrace();
+    // Mid-day (14:00) far above the pre-dawn trough (04:00).
+    double peak_day1 = t.totalAt(units::hours(14.0));
+    double trough_day1 = t.totalAt(units::hours(4.0));
+    EXPECT_GT(peak_day1, 0.8);
+    EXPECT_LT(trough_day1, 0.4);
+}
+
+TEST(GoogleTrace, BothDaysPeakAtMidday)
+{
+    auto t = makeGoogleTrace();
+    for (int day = 0; day < 2; ++day) {
+        double base = units::days(day);
+        EXPECT_GT(t.totalAt(base + units::hours(14.0)),
+                  t.totalAt(base + units::hours(4.0)) + 0.3);
+    }
+}
+
+TEST(GoogleTrace, SearchPeaksAfternoonOrkutEvening)
+{
+    auto t = makeGoogleTrace();
+    const auto &search = t.series(JobClass::WebSearch);
+    const auto &orkut = t.series(JobClass::Orkut);
+    // Search at 14:00 dominates its own 20:00 value; Orkut the
+    // opposite (evening social peak).
+    EXPECT_GT(search.at(units::hours(14.0)),
+              search.at(units::hours(20.0)));
+    EXPECT_GT(orkut.at(units::hours(19.5)),
+              orkut.at(units::hours(12.0)));
+}
+
+TEST(GoogleTrace, MapReduceIsFlattest)
+{
+    auto t = makeGoogleTrace();
+    auto relative_swing = [&](JobClass c) {
+        const auto &s = t.series(c);
+        return (s.max() - s.min()) / s.mean();
+    };
+    EXPECT_LT(relative_swing(JobClass::MapReduce),
+              relative_swing(JobClass::WebSearch));
+    EXPECT_LT(relative_swing(JobClass::MapReduce),
+              relative_swing(JobClass::Orkut));
+}
+
+TEST(GoogleTrace, AllValuesInUnitRange)
+{
+    auto t = makeGoogleTrace();
+    EXPECT_GE(t.total().min(), 0.0);
+    EXPECT_LE(t.peak(), 1.0);
+}
+
+TEST(GoogleTrace, NightLoadMatchesPaperBand)
+{
+    // Figure 10: nighttime load sits around 25-35 %.
+    auto t = makeGoogleTrace();
+    double night = t.totalAt(units::hours(4.0));
+    EXPECT_GT(night, 0.15);
+    EXPECT_LT(night, 0.45);
+}
+
+TEST(GoogleTrace, CustomTargetsRespected)
+{
+    GoogleTraceParams p;
+    p.targetMean = 0.4;
+    p.targetPeak = 0.8;
+    auto t = makeGoogleTrace(p);
+    EXPECT_NEAR(t.mean(), 0.4, 1e-6);
+    EXPECT_NEAR(t.peak(), 0.8, 1e-6);
+}
+
+TEST(GoogleTrace, CustomDurationAndInterval)
+{
+    GoogleTraceParams p;
+    p.durationS = units::days(1.0);
+    p.sampleIntervalS = 600.0;
+    auto t = makeGoogleTrace(p);
+    EXPECT_NEAR(t.endTime(), units::days(1.0), 601.0);
+    EXPECT_NEAR(t.mean(), 0.5, 1e-6);
+}
+
+TEST(GoogleTrace, PeakIsNarrowEnoughForThermalShifting)
+{
+    // The wax sizing logic depends on the time spent near peak; the
+    // default trace stays above 80 % of peak for only a few hours a
+    // day (Figure 10's mid-day spike).
+    auto t = makeGoogleTrace();
+    double above = t.total().timeAbove(0.8 * 0.95);
+    EXPECT_LT(above, units::hours(10.0));  // Over two days.
+    EXPECT_GT(above, units::hours(1.0));
+}
+
+TEST(GoogleTrace, WeekendFactorDipsInteractiveLoad)
+{
+    GoogleTraceParams p;
+    p.durationS = units::days(7.0);
+    p.sampleIntervalS = 900.0;
+    p.startDayOfWeek = 0;          // Monday start.
+    p.weekendFactor = 0.6;
+    p.dayJitter = 0.0;
+    p.noise = 0.0;
+    auto t = makeGoogleTrace(p);
+    // Saturday (day 5) mid-day total below Wednesday's.
+    double wed = t.totalAt(units::days(2.0) + units::hours(14.0));
+    double sat = t.totalAt(units::days(5.0) + units::hours(14.0));
+    EXPECT_LT(sat, wed - 0.05);
+}
+
+TEST(GoogleTrace, WeekendSparesBatchWork)
+{
+    GoogleTraceParams p;
+    p.durationS = units::days(7.0);
+    p.sampleIntervalS = 900.0;
+    p.startDayOfWeek = 0;
+    p.weekendFactor = 0.5;
+    p.dayJitter = 0.0;
+    p.noise = 0.0;
+    auto t = makeGoogleTrace(p);
+    double wed_s = t.classAt(JobClass::WebSearch,
+                             units::days(2.0) + units::hours(14.0));
+    double sat_s = t.classAt(JobClass::WebSearch,
+                             units::days(5.0) + units::hours(14.0));
+    double wed_m = t.classAt(JobClass::MapReduce,
+                             units::days(2.0) + units::hours(13.0));
+    double sat_m = t.classAt(JobClass::MapReduce,
+                             units::days(5.0) + units::hours(13.0));
+    // Search dips much more than MapReduce on the weekend (the
+    // per-instant normalization lets some of the dip bleed into
+    // the batch class).
+    EXPECT_LT(sat_s / wed_s, 0.9);
+    EXPECT_GT(sat_m / wed_m, 0.90);
+}
+
+TEST(GoogleTrace, DefaultTwoWeekdaysUnaffectedByWeekendFactor)
+{
+    // The paper's Nov 17-18, 2010 (Wed-Thu) span contains no
+    // weekend, so the factor must not change the default trace.
+    GoogleTraceParams p;
+    p.weekendFactor = 0.5;
+    auto a = makeGoogleTrace();
+    auto b = makeGoogleTrace(p);
+    EXPECT_DOUBLE_EQ(a.totalAt(units::hours(14.0)),
+                     b.totalAt(units::hours(14.0)));
+}
+
+TEST(GoogleTrace, RejectsBadWeekendParams)
+{
+    GoogleTraceParams p;
+    p.weekendFactor = 0.0;
+    EXPECT_THROW(makeGoogleTrace(p), tts::FatalError);
+    p = GoogleTraceParams{};
+    p.startDayOfWeek = 7;
+    EXPECT_THROW(makeGoogleTrace(p), tts::FatalError);
+}
+
+} // namespace
+} // namespace workload
+} // namespace tts

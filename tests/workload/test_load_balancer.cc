@@ -1,0 +1,82 @@
+/** @file Tests for load balancing policies. */
+
+#include <gtest/gtest.h>
+
+#include "workload/load_balancer.hh"
+
+namespace tts {
+namespace workload {
+namespace {
+
+TEST(RoundRobin, CyclesThroughServers)
+{
+    RoundRobinBalancer rr;
+    std::vector<std::size_t> depths(4, 0);
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(rr.pick(depths), i % 4);
+}
+
+TEST(RoundRobin, IgnoresQueueDepths)
+{
+    RoundRobinBalancer rr;
+    std::vector<std::size_t> depths{100, 0, 0};
+    EXPECT_EQ(rr.pick(depths), 0u);
+    EXPECT_EQ(rr.pick(depths), 1u);
+}
+
+TEST(RoundRobin, UniformAssignment)
+{
+    RoundRobinBalancer rr;
+    std::vector<std::size_t> depths(7, 0);
+    std::vector<int> counts(7, 0);
+    for (int i = 0; i < 7000; ++i)
+        ++counts[rr.pick(depths)];
+    for (int c : counts)
+        EXPECT_EQ(c, 1000);
+}
+
+TEST(RandomBalancer, StaysInRange)
+{
+    RandomBalancer rb(5);
+    std::vector<std::size_t> depths(5, 0);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rb.pick(depths), 5u);
+}
+
+TEST(RandomBalancer, RoughlyUniform)
+{
+    RandomBalancer rb(7);
+    std::vector<std::size_t> depths(4, 0);
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rb.pick(depths)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(LeastLoaded, PicksShortestQueue)
+{
+    LeastLoadedBalancer ll;
+    std::vector<std::size_t> depths{3, 1, 4, 1};
+    EXPECT_EQ(ll.pick(depths), 1u);  // First of the ties.
+}
+
+TEST(LeastLoaded, EmptyServersPreferred)
+{
+    LeastLoadedBalancer ll;
+    std::vector<std::size_t> depths{5, 0, 2};
+    EXPECT_EQ(ll.pick(depths), 1u);
+}
+
+TEST(Balancers, NamesAreDistinct)
+{
+    RoundRobinBalancer rr;
+    RandomBalancer rb(1);
+    LeastLoadedBalancer ll;
+    EXPECT_STRNE(rr.name(), rb.name());
+    EXPECT_STRNE(rb.name(), ll.name());
+}
+
+} // namespace
+} // namespace workload
+} // namespace tts

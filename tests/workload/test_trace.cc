@@ -1,0 +1,131 @@
+/** @file Tests for the multi-class workload trace. */
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "workload/trace.hh"
+
+namespace tts {
+namespace workload {
+namespace {
+
+WorkloadTrace
+simpleTrace()
+{
+    WorkloadTrace t;
+    t.append(0.0, {0.1, 0.2, 0.3});
+    t.append(100.0, {0.2, 0.4, 0.6});
+    t.append(200.0, {0.1, 0.2, 0.3});
+    return t;
+}
+
+TEST(WorkloadTrace, TotalIsSumOfClasses)
+{
+    auto t = simpleTrace();
+    EXPECT_NEAR(t.totalAt(0.0), 0.6, 1e-12);
+    EXPECT_NEAR(t.totalAt(100.0), 1.2, 1e-12);
+}
+
+TEST(WorkloadTrace, ClassLookupInterpolates)
+{
+    auto t = simpleTrace();
+    EXPECT_NEAR(t.classAt(allJobClasses[0], 50.0), 0.15, 1e-12);
+}
+
+TEST(WorkloadTrace, ClassSharesSumToOne)
+{
+    auto t = simpleTrace();
+    double share = 0.0;
+    for (auto c : allJobClasses)
+        share += t.classShareAt(c, 42.0);
+    EXPECT_NEAR(share, 1.0, 1e-12);
+}
+
+TEST(WorkloadTrace, PeakAndMean)
+{
+    auto t = simpleTrace();
+    EXPECT_NEAR(t.peak(), 1.2, 1e-12);
+    EXPECT_GT(t.mean(), 0.6);
+    EXPECT_LT(t.mean(), 1.2);
+}
+
+TEST(WorkloadTrace, RejectsNegativeClassLoad)
+{
+    WorkloadTrace t;
+    EXPECT_THROW(t.append(0.0, {-0.1, 0.2, 0.3}), FatalError);
+}
+
+TEST(WorkloadTrace, NormalizeHitsTargets)
+{
+    auto t = simpleTrace();
+    t.normalize(0.5, 0.95);
+    EXPECT_NEAR(t.mean(), 0.5, 1e-9);
+    EXPECT_NEAR(t.peak(), 0.95, 1e-9);
+}
+
+TEST(WorkloadTrace, NormalizePreservesClassSums)
+{
+    auto t = simpleTrace();
+    t.normalize(0.5, 0.95);
+    for (double at : {0.0, 37.0, 100.0, 150.0}) {
+        double sum = 0.0;
+        for (auto c : allJobClasses)
+            sum += t.classAt(c, at);
+        EXPECT_NEAR(sum, t.totalAt(at), 1e-9) << at;
+    }
+}
+
+TEST(WorkloadTrace, NormalizePreservesClassMix)
+{
+    auto t = simpleTrace();
+    double share_before = t.classShareAt(allJobClasses[2], 100.0);
+    t.normalize(0.5, 0.95);
+    EXPECT_NEAR(t.classShareAt(allJobClasses[2], 100.0),
+                share_before, 1e-9);
+}
+
+TEST(WorkloadTrace, NormalizeKeepsValuesNonNegative)
+{
+    auto t = simpleTrace();
+    t.normalize(0.5, 0.95);
+    for (auto c : allJobClasses) {
+        for (double v : t.series(c).values())
+            EXPECT_GE(v, 0.0);
+    }
+}
+
+TEST(WorkloadTrace, NormalizeRejectsInfeasibleTargets)
+{
+    auto t = simpleTrace();
+    // Stretching a mild trace to an extreme peak/mean ratio pushes
+    // the trough below zero.
+    EXPECT_THROW(t.normalize(0.1, 0.95), FatalError);
+}
+
+TEST(WorkloadTrace, NormalizeRejectsDegenerateArguments)
+{
+    auto t = simpleTrace();
+    EXPECT_THROW(t.normalize(0.9, 0.5), FatalError);
+    EXPECT_THROW(t.normalize(0.0, 0.5), FatalError);
+}
+
+TEST(WorkloadTrace, SeriesNamesMatchFigure10)
+{
+    WorkloadTrace t;
+    t.append(0.0, {0.1, 0.1, 0.1});
+    EXPECT_EQ(t.series(JobClass::Orkut).name(), "Orkut");
+    EXPECT_EQ(t.series(JobClass::WebSearch).name(), "Search");
+    EXPECT_EQ(t.series(JobClass::MapReduce).name(), "FBmr");
+    EXPECT_EQ(t.total().name(), "Total");
+}
+
+TEST(JobClass, ToStringMatchesLegend)
+{
+    EXPECT_EQ(toString(JobClass::WebSearch), "Search");
+    EXPECT_EQ(toString(JobClass::Orkut), "Orkut");
+    EXPECT_EQ(toString(JobClass::MapReduce), "FBmr");
+}
+
+} // namespace
+} // namespace workload
+} // namespace tts

@@ -1,0 +1,150 @@
+/** @file Tests for workload trace CSV I/O. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+#include "workload/trace_io.hh"
+
+namespace tts {
+namespace workload {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesTrace)
+{
+    GoogleTraceParams p;
+    p.durationS = units::days(1.0);
+    p.sampleIntervalS = 1800.0;
+    auto original = makeGoogleTrace(p);
+
+    std::stringstream buf;
+    writeTraceCsv(buf, original);
+    auto loaded = readTraceCsv(buf);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (double t = 0.0; t <= original.endTime();
+         t += units::hours(3.0)) {
+        EXPECT_NEAR(loaded.totalAt(t), original.totalAt(t), 1e-6);
+        for (auto c : allJobClasses)
+            EXPECT_NEAR(loaded.classAt(c, t),
+                        original.classAt(c, t), 1e-6);
+    }
+}
+
+TEST(TraceIo, ParsesHandWrittenCsv)
+{
+    std::stringstream in(
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,0.2,0.3\n"
+        "1,0.2,0.3,0.4\n"
+        "2,0.1,0.2,0.3\n");
+    auto t = readTraceCsv(in);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_NEAR(t.totalAt(units::hours(1.0)), 0.9, 1e-12);
+    EXPECT_NEAR(t.classAt(JobClass::WebSearch, units::hours(0.0)),
+                0.2, 1e-12);
+}
+
+TEST(TraceIo, ColumnsMayBeReordered)
+{
+    std::stringstream in(
+        "t_hours,FBmr,Search,Orkut\n"
+        "0,0.3,0.2,0.1\n"
+        "1,0.4,0.3,0.2\n");
+    auto t = readTraceCsv(in);
+    EXPECT_NEAR(t.classAt(JobClass::MapReduce, 0.0), 0.3, 1e-12);
+    EXPECT_NEAR(t.classAt(JobClass::Orkut, 0.0), 0.1, 1e-12);
+}
+
+TEST(TraceIo, IgnoresExtraTotalColumn)
+{
+    std::stringstream in(
+        "t_hours,Orkut,Search,FBmr,Total\n"
+        "0,0.1,0.2,0.3,0.6\n"
+        "1,0.2,0.3,0.4,0.9\n");
+    auto t = readTraceCsv(in);
+    EXPECT_NEAR(t.totalAt(0.0), 0.6, 1e-12);
+}
+
+TEST(TraceIo, SkipsBlankLines)
+{
+    std::stringstream in(
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,0.2,0.3\n"
+        "\n"
+        "1,0.2,0.3,0.4\n");
+    EXPECT_EQ(readTraceCsv(in).size(), 2u);
+}
+
+TEST(TraceIo, RejectsMissingClassColumn)
+{
+    std::stringstream in(
+        "t_hours,Orkut,Search\n"
+        "0,0.1,0.2\n"
+        "1,0.2,0.3\n");
+    EXPECT_THROW(readTraceCsv(in), FatalError);
+}
+
+TEST(TraceIo, RejectsBadHeader)
+{
+    std::stringstream in("hour,Orkut,Search,FBmr\n0,1,1,1\n");
+    EXPECT_THROW(readTraceCsv(in), FatalError);
+}
+
+TEST(TraceIo, RejectsNonNumericCell)
+{
+    std::stringstream in(
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,abc,0.3\n"
+        "1,0.2,0.3,0.4\n");
+    EXPECT_THROW(readTraceCsv(in), FatalError);
+}
+
+TEST(TraceIo, RejectsNonIncreasingTime)
+{
+    std::stringstream in(
+        "t_hours,Orkut,Search,FBmr\n"
+        "1,0.1,0.2,0.3\n"
+        "1,0.2,0.3,0.4\n");
+    EXPECT_THROW(readTraceCsv(in), FatalError);
+}
+
+TEST(TraceIo, RejectsSingleRow)
+{
+    std::stringstream in(
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,0.2,0.3\n");
+    EXPECT_THROW(readTraceCsv(in), FatalError);
+}
+
+TEST(TraceIo, RejectsEmptyInput)
+{
+    std::stringstream in("");
+    EXPECT_THROW(readTraceCsv(in), FatalError);
+}
+
+TEST(TraceIo, LoadRejectsMissingFile)
+{
+    EXPECT_THROW(loadTrace("/nonexistent/trace.csv"), FatalError);
+}
+
+TEST(TraceIo, SaveAndLoadFile)
+{
+    GoogleTraceParams p;
+    p.durationS = units::hours(6.0);
+    p.sampleIntervalS = 1800.0;
+    auto t = makeGoogleTrace(p);
+    std::string path =
+        std::string(::testing::TempDir()) + "trace.csv";
+    saveTrace(path, t);
+    auto loaded = loadTrace(path);
+    EXPECT_EQ(loaded.size(), t.size());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace workload
+} // namespace tts

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * tts_sim - command-line front end for the thermal-time-shifting
+ * simulator.
+ *
+ * Usage:
+ *   tts_sim trace      [--days=N] [--weekend=F] [--csv]
+ *   tts_sim cooling    [--platform=P] [--melt=C] [--csv]
+ *   tts_sim throughput [--platform=P] [--capacity=F] [--csv]
+ *   tts_sim optimize   [--platform=P] [--min=C] [--max=C]
+ *                      [--step=C]
+ *   tts_sim outage     [--platform=P] [--util=U]
+ *   tts_sim report     [--platform=P] [--out=DIR]
+ *   tts_sim validate
+ *
+ * Any command taking a trace accepts --trace=FILE to load a measured
+ * CSV trace (t_hours,Orkut,Search,FBmr) instead of the synthetic
+ * generator.
+ *
+ * Platforms: 0 = 1U RD330 (default), 1 = 2U X4470, 2 = Open Compute
+ * blade (future 1.5 l layout).  --csv switches the series output
+ * from an aligned table to comma-separated rows for plotting.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/thermal_time_shifting.hh"
+#include "core/outage_study.hh"
+#include "core/report.hh"
+#include "workload/trace_io.hh"
+#include "util/error.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace {
+
+using namespace tts;
+
+/** Parsed command-line options. */
+struct Options
+{
+    std::string command;
+    int platform = 0;
+    double days = 2.0;
+    double weekend = 1.0;
+    double melt = 0.0;
+    double capacity = 0.0;
+    double util = 0.75;
+    double sweep_min = 44.0;
+    double sweep_max = 60.0;
+    double sweep_step = 1.0;
+    bool csv = false;
+    std::string trace_file;
+    std::string out_dir = ".";
+};
+
+double
+numericValue(const std::string &arg)
+{
+    auto pos = arg.find('=');
+    if (pos == std::string::npos) {
+        std::fprintf(stderr, "missing value in '%s'\n",
+                     arg.c_str());
+        std::exit(2);
+    }
+    return std::atof(arg.c_str() + pos + 1);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: tts_sim "
+                     "<trace|cooling|throughput|optimize|outage|"
+                     "report|validate> [options]\n");
+        std::exit(2);
+    }
+    o.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--platform=", 0) == 0)
+            o.platform = static_cast<int>(numericValue(a));
+        else if (a.rfind("--days=", 0) == 0)
+            o.days = numericValue(a);
+        else if (a.rfind("--weekend=", 0) == 0)
+            o.weekend = numericValue(a);
+        else if (a.rfind("--melt=", 0) == 0)
+            o.melt = numericValue(a);
+        else if (a.rfind("--capacity=", 0) == 0)
+            o.capacity = numericValue(a);
+        else if (a.rfind("--util=", 0) == 0)
+            o.util = numericValue(a);
+        else if (a.rfind("--min=", 0) == 0)
+            o.sweep_min = numericValue(a);
+        else if (a.rfind("--max=", 0) == 0)
+            o.sweep_max = numericValue(a);
+        else if (a.rfind("--step=", 0) == 0)
+            o.sweep_step = numericValue(a);
+        else if (a.rfind("--trace=", 0) == 0)
+            o.trace_file = a.substr(8);
+        else if (a.rfind("--out=", 0) == 0)
+            o.out_dir = a.substr(6);
+        else if (a == "--csv")
+            o.csv = true;
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         a.c_str());
+            std::exit(2);
+        }
+    }
+    return o;
+}
+
+server::ServerSpec
+platformOf(const Options &o)
+{
+    switch (o.platform) {
+      case 1: return server::x4470Spec();
+      case 2: return server::openComputeSpec();
+      default: return server::rd330Spec();
+    }
+}
+
+workload::WorkloadTrace
+traceOf(const Options &o)
+{
+    if (!o.trace_file.empty())
+        return workload::loadTrace(o.trace_file);
+    workload::GoogleTraceParams p;
+    p.durationS = units::days(o.days);
+    if (o.weekend < 1.0) {
+        p.weekendFactor = o.weekend;
+        p.startDayOfWeek = 0;
+    }
+    return workload::makeGoogleTrace(p);
+}
+
+void
+emitSeries(const Options &o,
+           const std::vector<const TimeSeries *> &series)
+{
+    std::vector<std::string> headers{"t_h"};
+    for (const auto *s : series)
+        headers.push_back(s->name());
+    if (o.csv) {
+        CsvWriter csv(std::cout, headers);
+        for (double t = series[0]->startTime();
+             t <= series[0]->endTime(); t += 1800.0) {
+            std::vector<std::string> row{
+                formatFixed(units::toHours(t), 2)};
+            for (const auto *s : series)
+                row.push_back(formatFixed(s->at(t), 4));
+            csv.writeRow(row);
+        }
+        return;
+    }
+    AsciiTable table(headers);
+    for (double t = series[0]->startTime();
+         t <= series[0]->endTime(); t += units::hours(2.0)) {
+        std::vector<std::string> row{
+            formatFixed(units::toHours(t), 0)};
+        for (const auto *s : series)
+            row.push_back(formatFixed(s->at(t), 3));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+}
+
+int
+cmdTrace(const Options &o)
+{
+    auto trace = traceOf(o);
+    std::vector<const TimeSeries *> series;
+    for (auto c : workload::allJobClasses)
+        series.push_back(&trace.series(c));
+    series.push_back(&trace.total());
+    emitSeries(o, series);
+    return 0;
+}
+
+int
+cmdCooling(const Options &o)
+{
+    auto spec = platformOf(o);
+    core::CoolingStudyOptions opts;
+    opts.meltTempC = o.melt;
+    auto r = core::runCoolingStudy(spec, traceOf(o), opts);
+    r.baseline.coolingLoadW.setName("cooling_w");
+    r.withWax.coolingLoadW.setName("cooling_pcm_w");
+    emitSeries(o, {&r.baseline.coolingLoadW,
+                   &r.withWax.coolingLoadW,
+                   &r.withWax.waxMeltFraction});
+    std::printf("# platform=%s melt=%.1fC peak=%.1fkW "
+                "peak_pcm=%.1fkW reduction=%.2f%%\n",
+                spec.name.c_str(), r.meltTempC,
+                r.peakBaselineW / 1e3, r.peakWithWaxW / 1e3,
+                100.0 * r.peakReduction());
+    return 0;
+}
+
+int
+cmdThroughput(const Options &o)
+{
+    auto spec = platformOf(o);
+    core::ThroughputStudyOptions opts;
+    opts.coolingCapacityFraction = o.capacity > 0.0
+        ? o.capacity
+        : core::calibratedCapacityFraction(spec);
+    if (o.melt > 0.0)
+        opts.meltTempC = o.melt;
+    auto r = core::runThroughputStudy(spec, traceOf(o), opts);
+    emitSeries(o, {&r.ideal, &r.noWax, &r.withWax, &r.waxMelt});
+    std::printf("# platform=%s capacity=%.1f%% melt=%.1fC "
+                "gain=%.1f%% delay=%.1fh\n",
+                spec.name.c_str(),
+                100.0 * opts.coolingCapacityFraction, r.meltTempC,
+                100.0 * r.throughputGain(), r.delayHours);
+    return 0;
+}
+
+int
+cmdOptimize(const Options &o)
+{
+    auto spec = platformOf(o);
+    core::MeltOptimizerOptions opts;
+    opts.minC = o.sweep_min;
+    opts.maxC = o.sweep_max;
+    opts.stepC = o.sweep_step;
+    auto r = core::optimizeMeltingTemp(
+        spec, traceOf(o), pcm::commercialParaffin(), opts);
+    AsciiTable t({"melt_c", "reduction_pct", "onset_util"});
+    for (const auto &pt : r.sweep) {
+        t.addRow({formatFixed(pt.meltTempC, 1),
+                  formatFixed(100.0 * pt.peakReduction, 2),
+                  pt.meltOnsetUtilization < 0.0
+                      ? std::string("-")
+                      : formatFixed(pt.meltOnsetUtilization, 2)});
+    }
+    t.print(std::cout);
+    std::printf("# best melt=%.1fC reduction=%.2f%%\n",
+                r.meltTempC, 100.0 * r.peakReduction);
+    return 0;
+}
+
+int
+cmdOutage(const Options &o)
+{
+    auto spec = platformOf(o);
+    core::OutageStudyOptions opts;
+    opts.utilization = o.util;
+    if (o.melt > 0.0)
+        opts.meltTempC = o.melt;
+    auto r = core::runOutageStudy(spec, opts);
+    std::printf("platform=%s util=%.2f\n", spec.name.c_str(),
+                o.util);
+    std::printf("ride-through without wax: %.1f min%s\n",
+                r.noWax.rideThroughS / 60.0,
+                r.noWax.hitLimit ? "" : " (never hit limit)");
+    std::printf("ride-through with wax:    %.1f min%s\n",
+                r.withWax.rideThroughS / 60.0,
+                r.withWax.hitLimit ? "" : " (never hit limit)");
+    std::printf("extra time bought by PCM: %.1f min\n",
+                r.extraRideThroughS() / 60.0);
+    return 0;
+}
+
+int
+cmdReport(const Options &o)
+{
+    auto spec = platformOf(o);
+    core::PlatformStudyOptions opts;
+    opts.optimizeMelt = false;
+    auto study =
+        core::runPlatformStudy(spec, traceOf(o), opts);
+    core::writePlatformStudyReport(o.out_dir, study);
+    std::printf("wrote fig11_cooling_load.csv, "
+                "fig12_throughput.csv, wax_state.csv, summary.md "
+                "to %s\n",
+                o.out_dir.c_str());
+    return 0;
+}
+
+int
+cmdValidate(const Options &)
+{
+    auto r = core::runValidation();
+    std::printf("wall power idle/load:    %.1f / %.1f W "
+                "(paper: 90 / 185)\n",
+                r.idleWallW, r.loadWallW);
+    std::printf("package temp idle/load:  %.1f / %.1f C "
+                "(paper: 42 / 76)\n",
+                r.idlePackageC, r.loadPackageC);
+    std::printf("steady-state mean diff:  %.2f C (paper: 0.22)\n",
+                r.steadyStateMeanDiffC);
+    std::printf("trace correlation:       %.4f\n",
+                r.traceCorrelation);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+    try {
+        if (o.command == "trace")
+            return cmdTrace(o);
+        if (o.command == "cooling")
+            return cmdCooling(o);
+        if (o.command == "throughput")
+            return cmdThroughput(o);
+        if (o.command == "optimize")
+            return cmdOptimize(o);
+        if (o.command == "outage")
+            return cmdOutage(o);
+        if (o.command == "report")
+            return cmdReport(o);
+        if (o.command == "validate")
+            return cmdValidate(o);
+    } catch (const tts::Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n",
+                 o.command.c_str());
+    return 2;
+}
