@@ -10,8 +10,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "core/cooling_study.hh"
+#include "exec/parallel.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 #include "workload/google_trace.hh"
@@ -26,10 +28,19 @@ main()
     const double paper[3] = {8.9, 12.0, 8.3};
     int idx = 0;
 
-    for (auto spec : {server::rd330Spec(), server::x4470Spec(),
-                      server::openComputeSpec()}) {
-        CoolingStudyOptions opts;
-        auto r = runCoolingStudy(spec, trace, opts);
+    // All three platform studies fan out across threads
+    // (TTS_THREADS); printing below stays in platform order.
+    std::vector<server::ServerSpec> specs{
+        server::rd330Spec(), server::x4470Spec(),
+        server::openComputeSpec()};
+    auto results = exec::parallel_map(
+        specs, [&](const server::ServerSpec &spec) {
+            return runCoolingStudy(spec, trace,
+                                   CoolingStudyOptions{});
+        });
+
+    for (const auto &spec : specs) {
+        const auto &r = results[idx];
 
         std::cout << "=== Figure 11: " << spec.name
                   << " cooling load (cluster of 1008) ===\n";

@@ -12,9 +12,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "core/capacity_planner.hh"
 #include "core/cooling_study.hh"
+#include "exec/parallel.hh"
 #include "util/table.hh"
 #include "workload/google_trace.hh"
 
@@ -33,15 +35,23 @@ main()
                   "extra servers", "extra (%)",
                   "retrofit ($/yr)"});
 
-    for (auto spec : {server::rd330Spec(), server::x4470Spec(),
-                      server::openComputeSpec()}) {
-        CoolingStudyOptions opts;
-        auto study = runCoolingStudy(spec, trace, opts);
+    // One study + plan per platform, fanned out (TTS_THREADS).
+    std::vector<server::ServerSpec> specs{
+        server::rd330Spec(), server::x4470Spec(),
+        server::openComputeSpec()};
+    auto plans = exec::parallel_map(
+        specs, [&](const server::ServerSpec &spec) {
+            auto study = runCoolingStudy(spec, trace,
+                                         CoolingStudyOptions{});
+            datacenter::DatacenterConfig cfg;
+            if (spec.name.find("2U") != std::string::npos)
+                cfg.provisionedPerServerW = 500.0;  // Paper: 500 W.
+            return planCapacity(spec, study.peakReduction(), cfg);
+        });
 
-        datacenter::DatacenterConfig cfg;
-        if (spec.name.find("2U") != std::string::npos)
-            cfg.provisionedPerServerW = 500.0;  // Paper: 500 W DC.
-        auto plan = planCapacity(spec, study.peakReduction(), cfg);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &spec = specs[i];
+        const auto &plan = plans[i];
 
         t.addRow({spec.name,
                   formatFixed(static_cast<double>(plan.clusters), 0),

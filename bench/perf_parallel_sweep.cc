@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Performance bench for tts::exec: a 24-point melting-temperature
+ * sweep (the Section 5.1 optimizer's inner loop) run serially and
+ * through the thread pool, reporting wall-clock speedup and checking
+ * that both orderings produce bit-identical peaks.
+ *
+ * Emits machine-readable flat JSON on stdout after the human-readable
+ * table, so CI can track the speedup over time:
+ *
+ *     {"parallel_s": ..., "points": 24, "serial_s": ...,
+ *      "speedup": ..., "threads": ..., "identical": 1}
+ *
+ * On a single-core runner the speedup reads ~1.0 by construction;
+ * the identical-results check is meaningful at any width.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/cooling_study.hh"
+#include "exec/parallel.hh"
+#include "util/kv_json.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::core;
+    using Clock = std::chrono::steady_clock;
+
+    // One-day trace on a coarse grid: each point costs ~100 ms, so
+    // the serial sweep is seconds, not minutes.
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(1.0);
+    auto trace = workload::makeGoogleTrace(tp);
+    auto spec = server::rd330Spec();
+
+    CoolingStudyOptions opts;
+    opts.run.controlIntervalS = 900.0;
+    opts.run.thermalStepS = 15.0;
+
+    std::vector<double> candidates;
+    for (double m = 40.0; candidates.size() < 24; m += 0.5)
+        candidates.push_back(m);
+
+    auto sweep_with = [&](const exec::ThreadPool &pool) {
+        return pool.map(candidates, [&](double melt) {
+            CoolingStudyOptions o = opts;
+            o.meltTempC = melt;
+            return runCoolingStudy(spec, trace, o).peakWithWaxW;
+        });
+    };
+
+    exec::ThreadPool serial_pool(1);
+    exec::ThreadPool parallel_pool; // TTS_THREADS or hardware.
+
+    auto t0 = Clock::now();
+    auto serial = sweep_with(serial_pool);
+    auto t1 = Clock::now();
+    auto parallel = sweep_with(parallel_pool);
+    auto t2 = Clock::now();
+
+    double serial_s =
+        std::chrono::duration<double>(t1 - t0).count();
+    double parallel_s =
+        std::chrono::duration<double>(t2 - t1).count();
+
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i)
+        identical = serial[i] == parallel[i];
+
+    std::cout << "=== tts::exec: 24-point melting-temperature sweep "
+                 "(1U, one-day trace) ===\n\n";
+    AsciiTable t({"mode", "threads", "wall (s)"});
+    t.addRow({"serial", "1", formatFixed(serial_s, 2)});
+    t.addRow({"parallel",
+              formatFixed(
+                  static_cast<double>(parallel_pool.threadCount()),
+                  0),
+              formatFixed(parallel_s, 2)});
+    t.print(std::cout);
+    std::cout << "\nspeedup:            "
+              << formatFixed(serial_s / parallel_s, 2) << "x\n";
+    std::cout << "identical results:  "
+              << (identical ? "yes" : "NO") << "\n\n";
+
+    std::map<std::string, double> json{
+        {"points", static_cast<double>(candidates.size())},
+        {"threads",
+         static_cast<double>(parallel_pool.threadCount())},
+        {"serial_s", serial_s},
+        {"parallel_s", parallel_s},
+        {"speedup", serial_s / parallel_s},
+        {"identical", identical ? 1.0 : 0.0},
+    };
+    std::cout << writeKvJson(json);
+    return identical ? 0 : 1;
+}

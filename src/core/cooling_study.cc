@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.hh"
 #include "util/error.hh"
 #include "util/units.hh"
 
@@ -71,15 +72,21 @@ runCoolingStudy(const server::ServerSpec &spec,
     out.meltTempC = options.meltTempC > 0.0 ? options.meltTempC
                                             : spec.defaultMeltTempC;
 
-    datacenter::Cluster base_cluster(spec, server::WaxConfig::none(),
-                                     options.serverCount);
-    out.baseline = base_cluster.run(trace, options.run);
+    // The stock and waxed transients are independent; run them as a
+    // two-task region (a serial pair when the caller is itself a
+    // parallel sweep task).
+    std::vector<server::WaxConfig> configs{
+        server::WaxConfig::none(),
+        server::WaxConfig::withMeltTemp(out.meltTempC)};
+    auto runs = exec::parallel_map(
+        configs, [&](const server::WaxConfig &wax) {
+            datacenter::Cluster cluster(spec, wax,
+                                        options.serverCount);
+            return cluster.run(trace, options.run);
+        });
+    out.baseline = std::move(runs[0]);
+    out.withWax = std::move(runs[1]);
     out.peakBaselineW = out.baseline.peakCoolingLoad();
-
-    server::WaxConfig wax =
-        server::WaxConfig::withMeltTemp(out.meltTempC);
-    datacenter::Cluster wax_cluster(spec, wax, options.serverCount);
-    out.withWax = wax_cluster.run(trace, options.run);
     out.peakWithWaxW = out.withWax.peakCoolingLoad();
     return out;
 }

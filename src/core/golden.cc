@@ -1,0 +1,151 @@
+#include "core/golden.hh"
+
+#include <cstddef>
+#include <vector>
+
+#include "core/capacity_planner.hh"
+#include "core/cooling_study.hh"
+#include "core/thermal_time_shifting.hh"
+#include "core/throughput_study.hh"
+#include "datacenter/datacenter.hh"
+#include "exec/parallel.hh"
+#include "pcm/material.hh"
+#include "tco/model.hh"
+#include "tco/parameters.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace core {
+
+namespace {
+
+/** Per-platform slice of the golden map, computed in one task. */
+struct PlatformGolden
+{
+    CoolingStudyResult cooling;
+    CapacityPlan plan;
+    ThroughputStudyResult throughput;
+    double tcoEfficiencyGain = 0.0;
+};
+
+PlatformGolden
+computePlatform(const server::ServerSpec &spec,
+                const workload::WorkloadTrace &trace)
+{
+    PlatformGolden out;
+    out.cooling = runCoolingStudy(spec, trace);
+
+    datacenter::DatacenterConfig cfg;
+    if (spec.name.find("2U") != std::string::npos)
+        cfg.provisionedPerServerW = 500.0; // Paper: 500 W.
+    out.plan =
+        planCapacity(spec, out.cooling.peakReduction(), cfg);
+
+    ThroughputStudyOptions ts;
+    ts.coolingCapacityFraction = calibratedCapacityFraction(spec);
+    out.throughput = runThroughputStudy(spec, trace, ts);
+
+    tco::TcoModel model(tco::parametersFor(spec));
+    out.tcoEfficiencyGain = model.tcoEfficiencyGain(
+        units::toKW(10.0e6),
+        datacenter::Datacenter(spec, cfg).serverCount(),
+        out.throughput.throughputGain());
+    return out;
+}
+
+} // namespace
+
+std::map<std::string, double>
+computeGoldenValues()
+{
+    std::map<std::string, double> g;
+
+    auto trace = workload::makeGoogleTrace();
+    auto specs = paperPlatforms();
+    const char *tags[3] = {"1u", "2u", "ocp"};
+
+    auto studies = exec::parallel_map(
+        specs, [&](const server::ServerSpec &spec) {
+            return computePlatform(spec, trace);
+        });
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::string p = tags[i];
+        const PlatformGolden &s = studies[i];
+
+        g["cooling." + p + ".peak_baseline_kw"] =
+            s.cooling.peakBaselineW / 1e3;
+        g["cooling." + p + ".peak_with_wax_kw"] =
+            s.cooling.peakWithWaxW / 1e3;
+        g["cooling." + p + ".peak_reduction"] =
+            s.cooling.peakReduction();
+        g["cooling." + p + ".resolidify_h"] =
+            s.cooling.resolidifyHours();
+        g["cooling." + p + ".melt_temp_c"] = s.cooling.meltTempC;
+
+        g["plan." + p + ".clusters"] =
+            static_cast<double>(s.plan.clusters);
+        g["plan." + p + ".servers"] =
+            static_cast<double>(s.plan.servers);
+        g["plan." + p + ".smaller_plant_savings_per_year"] =
+            s.plan.smallerPlantSavingsPerYear;
+        g["plan." + p + ".extra_servers"] =
+            static_cast<double>(s.plan.extraServers);
+        g["plan." + p + ".extra_server_fraction"] =
+            s.plan.extraServerFraction;
+        g["plan." + p + ".retrofit_savings_per_year"] =
+            s.plan.retrofitSavingsPerYear;
+
+        g["throughput." + p + ".gain"] =
+            s.throughput.throughputGain();
+        g["throughput." + p + ".delay_h"] = s.throughput.delayHours;
+        g["throughput." + p + ".peak_ideal"] =
+            s.throughput.peakIdeal;
+        g["throughput." + p + ".peak_with_wax"] =
+            s.throughput.peakWithWax;
+        g["throughput." + p + ".denied_no_wax"] =
+            s.throughput.deniedWorkFractionNoWax;
+        g["throughput." + p + ".denied_with_wax"] =
+            s.throughput.deniedWorkFractionWithWax;
+        g["throughput." + p + ".capacity_kw"] =
+            s.throughput.capacityW / 1e3;
+        g["throughput." + p + ".melt_temp_c"] =
+            s.throughput.meltTempC;
+
+        g["tco." + p + ".efficiency_gain"] = s.tcoEfficiencyGain;
+
+        tco::TcoParameters params = tco::parametersFor(specs[i]);
+        g["table2." + p + ".server_capex_per_server"] =
+            params.serverCapExPerServer;
+        g["table2." + p + ".wax_capex_per_server"] =
+            params.waxCapExPerServer;
+        g["table2." + p + ".cooling_attributed_capex_per_kw"] =
+            params.coolingAttributedCapExPerKW();
+    }
+
+    // Table 1 derived values: the two priced waxes and the
+    // suitability screen over the five families.
+    pcm::Material eico = pcm::eicosane();
+    pcm::Material wax = pcm::commercialParaffin();
+    g["table1.eicosane.energy_density_j_per_ml"] =
+        eico.energyDensityJPerMl();
+    g["table1.eicosane.price_per_ton_usd"] = eico.pricePerTonUsd;
+    g["table1.commercial_paraffin.energy_density_j_per_ml"] =
+        wax.energyDensityJPerMl();
+    g["table1.commercial_paraffin.heat_of_fusion_j_per_g"] =
+        wax.heatOfFusionJPerG;
+    g["table1.commercial_paraffin.price_per_ton_usd"] =
+        wax.pricePerTonUsd;
+    std::size_t suitable = 0;
+    for (const auto &m : pcm::table1Families())
+        if (pcm::suitableForDatacenter(m))
+            ++suitable;
+    g["table1.suitable_family_count"] =
+        static_cast<double>(suitable);
+
+    return g;
+}
+
+} // namespace core
+} // namespace tts

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Golden-value computation for the regression harness.
+ *
+ * One function computes every headline number the reproduction pins:
+ * the Section 5.1 cooling study and capacity plan, the Section 5.2
+ * constrained-throughput study and TCO efficiency for each of the
+ * three paper platforms, plus the Table 1 material and Table 2 cost
+ * values they derive from.  `tools/tts_golden` serializes the map to
+ * `tests/data/golden.json`; `tests/integration/test_golden_values.cc`
+ * recomputes it and diffs against the checked-in file.  Both sides
+ * share this code so the only thing the test can disagree about is
+ * the model itself.
+ *
+ * The computation fans the per-platform studies out through
+ * tts::exec, so its values are also the determinism witness: the
+ * engine's contract says the map must be bit-for-bit identical at
+ * any thread count.
+ */
+
+#ifndef TTS_CORE_GOLDEN_HH
+#define TTS_CORE_GOLDEN_HH
+
+#include <map>
+#include <string>
+
+namespace tts {
+namespace core {
+
+/**
+ * Compute the full golden-value map at default (paper) resolution:
+ * two-day Google trace, default thermal/control steps, 1008-server
+ * clusters.  Keys are dotted paths ("cooling.1u.peak_reduction");
+ * integral quantities (server counts) are stored as exact doubles.
+ */
+std::map<std::string, double> computeGoldenValues();
+
+} // namespace core
+} // namespace tts
+
+#endif // TTS_CORE_GOLDEN_HH

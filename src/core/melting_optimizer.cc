@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -47,10 +48,17 @@ optimizeMeltingTemp(const server::ServerSpec &spec,
     invariant(peak_base > 0.0,
               "optimizeMeltingTemp: degenerate baseline");
 
-    MeltOptimum out;
-    double best_peak = peak_base;
+    std::vector<double> candidates;
     for (double melt = lo; melt <= hi + 1e-9;
-         melt += options.stepC) {
+         melt += options.stepC)
+        candidates.push_back(melt);
+
+    // Every candidate's cluster transient is independent; fan them
+    // out and keep the sweep in candidate order so the argmin scan
+    // below matches the serial code exactly (ties break toward the
+    // lower melting temperature).
+    MeltOptimum out;
+    out.sweep = exec::parallel_map(candidates, [&](double melt) {
         server::WaxConfig wax = server::WaxConfig::withMeltTemp(melt);
         wax.material = material;
         datacenter::Cluster cluster(spec, wax,
@@ -62,10 +70,14 @@ optimizeMeltingTemp(const server::ServerSpec &spec,
         pt.peakReduction =
             (peak_base - pt.peakCoolingLoadW) / peak_base;
         pt.meltOnsetUtilization = meltOnsetUtil(run, trace);
-        out.sweep.push_back(pt);
+        return pt;
+    });
+
+    double best_peak = peak_base;
+    for (const auto &pt : out.sweep) {
         if (pt.peakCoolingLoadW < best_peak) {
             best_peak = pt.peakCoolingLoadW;
-            out.meltTempC = melt;
+            out.meltTempC = pt.meltTempC;
             out.peakReduction = pt.peakReduction;
         }
     }

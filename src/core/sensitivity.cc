@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "datacenter/cluster.hh"
+#include "exec/parallel.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -111,43 +112,72 @@ runSensitivity(const server::ServerSpec &spec,
     double nominal =
         reductionOf(spec, base_wax, trace, options, 1.0);
 
-    std::vector<SensitivityRow> rows;
-    for (const auto &param : params) {
-        SensitivityRow row;
-        row.name = param.name;
-        row.reductionNominal = nominal;
-        bool is_freeze =
-            param.name.rfind("freeze-side", 0) == 0;
-        for (double f : {1.0 - delta, 1.0 + delta}) {
-            server::ServerSpec s = spec;
-            server::WaxConfig w = base_wax;
-            double freeze_scale = 1.0;
-            if (is_freeze)
-                freeze_scale = f;
-            else
-                param.apply(s, w, f);
-            double red =
-                reductionOf(s, w, trace, options, freeze_scale);
-            (f < 1.0 ? row.reductionLow : row.reductionHigh) = red;
+    // One task per (parameter, perturbation side): each runs its
+    // perturbed transient (plus the optional local melt re-sweep)
+    // independently, so the whole harness fans out across threads
+    // with results keyed by task index (tts::exec determinism
+    // contract).
+    struct Perturbation
+    {
+        std::size_t param;
+        double factor;
+    };
+    std::vector<Perturbation> tasks;
+    tasks.reserve(2 * params.size());
+    for (std::size_t p = 0; p < params.size(); ++p) {
+        tasks.push_back({p, 1.0 - delta});
+        tasks.push_back({p, 1.0 + delta});
+    }
 
-            if (reoptimize) {
-                // Coarse local melt sweep on the perturbed
-                // substrate: the deployable answer.
-                double best = red;
-                for (double dm = -4.0; dm <= 4.0 + 1e-9;
-                     dm += 1.0) {
-                    if (dm == 0.0)
-                        continue;
-                    server::WaxConfig w2 = w;
-                    w2.meltTempC = std::clamp(
-                        s.defaultMeltTempC + dm, 39.0, 60.0);
-                    best = std::max(
-                        best, reductionOf(s, w2, trace, options,
-                                          freeze_scale));
-                }
-                (f < 1.0 ? row.reoptimizedLow
-                         : row.reoptimizedHigh) = best;
+    struct SideResult
+    {
+        double reduction = 0.0;
+        double reoptimized = 0.0;
+    };
+    auto sides = exec::parallel_map(tasks, [&](const Perturbation
+                                                   &task) {
+        const auto &param = params[task.param];
+        bool is_freeze = param.name.rfind("freeze-side", 0) == 0;
+        server::ServerSpec s = spec;
+        server::WaxConfig w = base_wax;
+        double freeze_scale = 1.0;
+        if (is_freeze)
+            freeze_scale = task.factor;
+        else
+            param.apply(s, w, task.factor);
+        SideResult out;
+        out.reduction =
+            reductionOf(s, w, trace, options, freeze_scale);
+
+        if (reoptimize) {
+            // Coarse local melt sweep on the perturbed substrate:
+            // the deployable answer.
+            double best = out.reduction;
+            for (double dm = -4.0; dm <= 4.0 + 1e-9; dm += 1.0) {
+                if (dm == 0.0)
+                    continue;
+                server::WaxConfig w2 = w;
+                w2.meltTempC = std::clamp(
+                    s.defaultMeltTempC + dm, 39.0, 60.0);
+                best = std::max(
+                    best, reductionOf(s, w2, trace, options,
+                                      freeze_scale));
             }
+            out.reoptimized = best;
+        }
+        return out;
+    });
+
+    std::vector<SensitivityRow> rows;
+    for (std::size_t p = 0; p < params.size(); ++p) {
+        SensitivityRow row;
+        row.name = params[p].name;
+        row.reductionNominal = nominal;
+        row.reductionLow = sides[2 * p].reduction;
+        row.reductionHigh = sides[2 * p + 1].reduction;
+        if (reoptimize) {
+            row.reoptimizedLow = sides[2 * p].reoptimized;
+            row.reoptimizedHigh = sides[2 * p + 1].reoptimized;
         }
         rows.push_back(row);
     }

@@ -1,5 +1,6 @@
 #include "core/thermal_time_shifting.hh"
 
+#include "exec/parallel.hh"
 #include "tco/model.hh"
 #include "util/units.hh"
 
@@ -62,6 +63,17 @@ runPlatformStudy(const server::ServerSpec &spec,
         datacenter::Datacenter(spec).serverCount(),
         out.throughput.throughputGain());
     return out;
+}
+
+std::vector<PlatformStudy>
+runPlatformStudies(const std::vector<server::ServerSpec> &specs,
+                   const workload::WorkloadTrace &trace,
+                   const PlatformStudyOptions &options)
+{
+    return exec::parallel_map(
+        specs, [&](const server::ServerSpec &spec) {
+            return runPlatformStudy(spec, trace, options);
+        });
 }
 
 } // namespace core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.hh"
 #include "util/error.hh"
 #include "util/units.hh"
 
@@ -176,19 +177,30 @@ runThroughputStudy(const server::ServerSpec &spec,
     ThroughputStudyResult out;
     out.capacityW = capacity;
 
-    // No-wax governed run.
-    server::ServerModel no_wax(spec, server::WaxConfig::none());
-    GovernedRun base = runGoverned(no_wax, trace, budget_per_server,
-                                   n, options);
-
-    // Wax melting point for the constrained regime: a throttled
-    // cluster runs cooler than an unconstrained one, so the melting
-    // temperature must sit just below the wax-bay temperature at the
-    // budget-binding operating point (measured on a placebo server
-    // for blockage parity).  The wax then melts exactly when the
-    // cluster pushes against the plant capacity.
+    // The no-wax governed run and the placebo melt-selection probe
+    // below are independent transients; run them as a two-task
+    // region.  The waxed run must wait for the probe (it needs the
+    // melting point), so it stays after the join.
+    GovernedRun base;
     double melt = options.meltTempC;
-    if (melt <= 0.0) {
+    exec::parallel_for_index(2, [&](std::size_t task) {
+        if (task == 0) {
+            // No-wax governed run.
+            server::ServerModel no_wax(spec,
+                                       server::WaxConfig::none());
+            base = runGoverned(no_wax, trace, budget_per_server, n,
+                               options);
+            return;
+        }
+        // Wax melting point for the constrained regime: a throttled
+        // cluster runs cooler than an unconstrained one, so the
+        // melting temperature must sit just below the wax-bay
+        // temperature at the budget-binding operating point
+        // (measured on a placebo server for blockage parity).  The
+        // wax then melts exactly when the cluster pushes against the
+        // plant capacity.
+        if (melt > 0.0)
+            return;
         // Govern a placebo server (blockage parity, no latent heat)
         // through one trace day and find the hottest wax-bay state
         // reachable without wax.  The melting point sits just BELOW
@@ -215,7 +227,7 @@ runThroughputStudy(const server::ServerSpec &spec,
         pcm::Material mat = pcm::commercialParaffin();
         melt = std::clamp(melt, mat.meltingTempMinC,
                           mat.meltingTempMaxC);
-    }
+    });
 
     // Waxed governed run.
     out.meltTempC = melt;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "exec/parallel.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -94,6 +95,20 @@ geoBalance(const workload::WorkloadTrace &a,
         }
     }
     return {rescaled(a, grid, ta), rescaled(b, grid, tb)};
+}
+
+std::vector<ClusterRunResult>
+runSites(const server::ServerSpec &spec,
+         const server::WaxConfig &wax,
+         const std::vector<workload::WorkloadTrace> &site_traces,
+         std::size_t server_count, const ClusterRunOptions &run)
+{
+    require(!site_traces.empty(), "runSites: no sites");
+    return exec::parallel_map(
+        site_traces, [&](const workload::WorkloadTrace &trace) {
+            Cluster cluster(spec, wax, server_count);
+            return cluster.run(trace, run);
+        });
 }
 
 } // namespace datacenter

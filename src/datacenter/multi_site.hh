@@ -15,7 +15,9 @@
 #define TTS_DATACENTER_MULTI_SITE_HH
 
 #include <utility>
+#include <vector>
 
+#include "datacenter/cluster.hh"
 #include "workload/google_trace.hh"
 #include "workload/trace.hh"
 
@@ -49,6 +51,28 @@ workload::GoogleTraceParams shiftedSiteParams(
 std::pair<workload::WorkloadTrace, workload::WorkloadTrace>
 geoBalance(const workload::WorkloadTrace &a,
            const workload::WorkloadTrace &b, double max_shift);
+
+/**
+ * Run one homogeneous cluster per site, all sites in parallel
+ * (tts::exec), and return the transients in site order.
+ *
+ * Every site gets the same platform, wax charge, and cluster size;
+ * only its local trace differs.  The per-site peak cooling load is
+ * the multi-site plant-sizing metric (every site needs its own
+ * plant), so callers typically reduce the results with
+ * ClusterRunResult::peakCoolingLoad().
+ *
+ * @param spec         Platform deployed at every site.
+ * @param wax          Wax-bay contents at every site.
+ * @param site_traces  One normalized load trace per site.
+ * @param server_count Servers per site.
+ * @param run          Transient options shared by all sites.
+ */
+std::vector<ClusterRunResult> runSites(
+    const server::ServerSpec &spec, const server::WaxConfig &wax,
+    const std::vector<workload::WorkloadTrace> &site_traces,
+    std::size_t server_count = Cluster::defaultServerCount,
+    const ClusterRunOptions &run = ClusterRunOptions{});
 
 } // namespace datacenter
 } // namespace tts

@@ -1,0 +1,132 @@
+#include "exec/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace exec {
+
+namespace {
+
+/** True while the current thread is executing a region task. */
+thread_local bool tl_in_region = false;
+
+} // namespace
+
+std::size_t
+hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t
+defaultThreadCount()
+{
+    const char *env = std::getenv("TTS_THREADS");
+    if (env && *env) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v >= 1)
+            return static_cast<std::size_t>(v);
+    }
+    return hardwareThreads();
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads)
+{
+    require(threads >= 1, "ThreadPool: need at least one thread");
+}
+
+void
+ThreadPool::forIndex(std::size_t n,
+                     const std::function<void(std::size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+    if (threads_ == 1 || n == 1 || tl_in_region) {
+        // Byte-for-byte the serial loop: in order, on this thread,
+        // first exception aborts the remainder immediately.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::size_t err_index = n;
+    std::exception_ptr err;
+
+    auto work = [&]() {
+        tl_in_region = true;
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                break;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(err_mu);
+                if (i < err_index) {
+                    err_index = i;
+                    err = std::current_exception();
+                }
+            }
+        }
+        tl_in_region = false;
+    };
+
+    std::size_t helpers = std::min(threads_, n) - 1;
+    std::vector<std::thread> crew;
+    crew.reserve(helpers);
+    for (std::size_t k = 0; k < helpers; ++k)
+        crew.emplace_back(work);
+    work();  // The caller is the region's first thread.
+    for (auto &t : crew)
+        t.join();
+
+    if (err)
+        std::rethrow_exception(err);
+}
+
+namespace {
+
+ThreadPool &
+globalPoolStorage()
+{
+    static ThreadPool pool{defaultThreadCount()};
+    return pool;
+}
+
+} // namespace
+
+const ThreadPool &
+globalPool()
+{
+    return globalPoolStorage();
+}
+
+void
+setGlobalThreads(std::size_t threads)
+{
+    // A pool carries no threads between regions, so swapping the
+    // width is a plain assignment; callers must not race with a
+    // running region.
+    globalPoolStorage() = ThreadPool(threads);
+}
+
+void
+parallel_for_index(std::size_t n,
+                   const std::function<void(std::size_t)> &fn)
+{
+    globalPool().forIndex(n, fn);
+}
+
+} // namespace exec
+} // namespace tts

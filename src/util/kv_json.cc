@@ -1,0 +1,141 @@
+#include "util/kv_json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace tts {
+
+namespace {
+
+void
+skipWs(const std::string &s, std::size_t &i)
+{
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+}
+
+std::string
+parseString(const std::string &s, std::size_t &i)
+{
+    require(i < s.size() && s[i] == '"',
+            "kv_json: expected '\"' at offset " + std::to_string(i));
+    ++i;
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+        require(s[i] != '\\',
+                "kv_json: escape sequences are not supported");
+        out += s[i++];
+    }
+    require(i < s.size(), "kv_json: unterminated string");
+    ++i; // closing quote
+    return out;
+}
+
+double
+parseNumber(const std::string &s, std::size_t &i)
+{
+    std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) ||
+            s[i] == '-' || s[i] == '+' || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E'))
+        ++i;
+    require(i > start, "kv_json: expected a number at offset " +
+                           std::to_string(start));
+    const std::string tok = s.substr(start, i - start);
+    char *end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    require(end && *end == '\0', "kv_json: bad number '" + tok + "'");
+    return v;
+}
+
+} // namespace
+
+std::string
+writeKvJson(const std::map<std::string, double> &kv)
+{
+    std::ostringstream out;
+    out << "{\n";
+    std::size_t n = 0;
+    for (const auto &[key, value] : kv) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        out << "  \"" << key << "\": " << buf;
+        if (++n < kv.size())
+            out << ",";
+        out << "\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+std::map<std::string, double>
+parseKvJson(const std::string &text)
+{
+    std::map<std::string, double> kv;
+    std::size_t i = 0;
+    skipWs(text, i);
+    require(i < text.size() && text[i] == '{',
+            "kv_json: expected '{'");
+    ++i;
+    skipWs(text, i);
+    if (i < text.size() && text[i] == '}')
+        return kv; // empty object
+    for (;;) {
+        skipWs(text, i);
+        std::string key = parseString(text, i);
+        skipWs(text, i);
+        require(i < text.size() && text[i] == ':',
+                "kv_json: expected ':' after key \"" + key + "\"");
+        ++i;
+        skipWs(text, i);
+        double value = parseNumber(text, i);
+        require(kv.emplace(key, value).second,
+                "kv_json: duplicate key \"" + key + "\"");
+        skipWs(text, i);
+        require(i < text.size(),
+                "kv_json: unterminated object");
+        if (text[i] == ',') {
+            ++i;
+            continue;
+        }
+        require(text[i] == '}',
+                "kv_json: expected ',' or '}' at offset " +
+                    std::to_string(i));
+        ++i;
+        break;
+    }
+    skipWs(text, i);
+    require(i == text.size(),
+            "kv_json: trailing content after object");
+    return kv;
+}
+
+void
+writeKvJsonFile(const std::string &path,
+                const std::map<std::string, double> &kv)
+{
+    std::ofstream f(path);
+    require(f.good(), "kv_json: cannot open '" + path +
+                          "' for writing");
+    f << writeKvJson(kv);
+    f.close();
+    require(f.good(), "kv_json: write to '" + path + "' failed");
+}
+
+std::map<std::string, double>
+readKvJsonFile(const std::string &path)
+{
+    std::ifstream f(path);
+    require(f.good(), "kv_json: cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return parseKvJson(buf.str());
+}
+
+} // namespace tts

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Flat key/value JSON for the golden-value regression harness.
+ *
+ * The golden file is deliberately the simplest JSON dialect that can
+ * hold a `{"key": number, ...}` object: string keys, double values,
+ * no nesting.  Writing uses 17 significant digits so a value survives
+ * a write/parse round trip bit-for-bit; parsing accepts exactly the
+ * subset this writer emits (plus arbitrary whitespace), and fails
+ * loudly on anything else rather than guessing.
+ */
+
+#ifndef TTS_UTIL_KV_JSON_HH
+#define TTS_UTIL_KV_JSON_HH
+
+#include <map>
+#include <string>
+
+namespace tts {
+
+/**
+ * Serialize a flat string->double map as a JSON object, one key per
+ * line, keys in map (lexicographic) order.
+ */
+std::string writeKvJson(const std::map<std::string, double> &kv);
+
+/**
+ * Parse a flat JSON object of string keys and numeric values.
+ *
+ * @throws FatalError on malformed input, non-numeric values, nesting,
+ *         or duplicate keys.
+ */
+std::map<std::string, double> parseKvJson(const std::string &text);
+
+/** Write the map to a file (see writeKvJson). @throws FatalError. */
+void writeKvJsonFile(const std::string &path,
+                     const std::map<std::string, double> &kv);
+
+/** Read and parse a flat JSON file. @throws FatalError. */
+std::map<std::string, double> readKvJsonFile(const std::string &path);
+
+} // namespace tts
+
+#endif // TTS_UTIL_KV_JSON_HH

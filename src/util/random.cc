@@ -118,6 +118,16 @@ Rng::poisson(double mean)
     return x < 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
 }
 
+Rng
+Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+{
+    // Whiten the stream id so ids 0, 1, 2, ... land far apart in
+    // seed space; the constant keeps stream 0 distinct from the
+    // plain Rng(seed) generator.
+    std::uint64_t x = stream + 0x632be59bd9b4e019ULL;
+    return Rng(seed ^ splitmix64(x));
+}
+
 std::uint64_t
 Rng::uniformInt(std::uint64_t n)
 {

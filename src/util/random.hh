@@ -52,6 +52,18 @@ class Rng
     /** @return Uniform integer in [0, n). */
     std::uint64_t uniformInt(std::uint64_t n);
 
+    /**
+     * @return An independent generator for sub-stream `stream` of
+     * `seed`.
+     *
+     * Parallel studies give every task its own stream keyed by the
+     * task's input index, so a seeded run draws identical numbers at
+     * any thread count (tts::exec determinism contract).  The stream
+     * id is whitened through SplitMix64 before being folded into the
+     * seed, so adjacent ids yield uncorrelated states.
+     */
+    static Rng forStream(std::uint64_t seed, std::uint64_t stream);
+
   private:
     std::uint64_t s_[4];
     bool have_spare_ = false;

@@ -230,6 +230,7 @@ ClusterSim::run(const WorkloadTrace &trace)
         double lambda = trace.totalAt(now) * capacity;
         if (rng.uniform() * lambda_max > lambda)
             continue;
+        ++result.offeredJobs;
         std::size_t sv = balancer_->pick(depths);
         ServerState &state = servers[sv];
         std::uint64_t id = alloc_id(now, class_at(now));
@@ -240,6 +241,8 @@ ClusterSim::run(const WorkloadTrace &trace)
             ++depths[sv];
             state.queue.push_back(Job{id, inflight[id].job_class,
                                       now, 0.0});
+            result.maxQueueDepth =
+                std::max(result.maxQueueDepth, state.queue.size());
         } else {
             ++result.droppedJobs;
             free_ids.push_back(id);
@@ -251,6 +254,8 @@ ClusterSim::run(const WorkloadTrace &trace)
         servers[i].accumulate(t1);
         result.perServerUtilization[i] =
             servers[i].busy_integral / ((t1 - t0) * slots);
+        result.residualJobs +=
+            servers[i].busy + servers[i].queue.size();
     }
 
     // Rack-level aggregation (the paper's DCSim models the server,

@@ -66,6 +66,12 @@ struct DcSimResult
     std::uint64_t completedJobs = 0;
     /** Dropped job count (queue overflow). */
     std::uint64_t droppedJobs = 0;
+    /** Jobs offered to the cluster (accepted Poisson arrivals). */
+    std::uint64_t offeredJobs = 0;
+    /** Jobs still in the system (running or queued) at trace end. */
+    std::uint64_t residualJobs = 0;
+    /** Deepest per-server FIFO queue observed during the run. */
+    std::size_t maxQueueDepth = 0;
     /** Sojourn time statistics (queue + service, s). */
     RunningStats latency;
     /** Completed jobs per class. */

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Property-based tests for the enthalpy-temperature model: 100 seeded
+ * random parameter sets (Rng::forStream keeps every case
+ * reproducible independent of execution order), each checked against
+ * the invariants the thermal solver relies on rather than point
+ * values:
+ *
+ *   - H(T) is strictly increasing, so temperature(h) is well defined;
+ *   - temperature(enthalpy(T)) == T across the whole range, including
+ *     inside the melt window (round-trip inversion);
+ *   - melt fraction is 0 below the solidus, 1 above the liquidus, and
+ *     monotone in between;
+ *   - the latent plateau holds exactly latentHeat * mass joules;
+ *   - a PcmElement melt/freeze round trip conserves energy: the heat
+ *     absorbed on the way up equals the heat released on the way
+ *     down, and the element returns to its initial enthalpy.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "pcm/enthalpy_model.hh"
+#include "pcm/material.hh"
+#include "pcm/pcm_element.hh"
+#include "util/random.hh"
+
+using namespace tts;
+using namespace tts::pcm;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0x7c7370636d70726fULL;
+constexpr int kCases = 100;
+
+/** Random but physically sensible curve parameters for one case. */
+EnthalpyParams
+randomParams(Rng &rng)
+{
+    EnthalpyParams p;
+    p.massKg = rng.uniform(0.2, 20.0);
+    p.cpSolid = rng.uniform(1200.0, 3500.0);
+    p.cpLiquid = rng.uniform(1200.0, 3500.0);
+    p.latentHeat = rng.uniform(80e3, 300e3);
+    p.meltTempC = rng.uniform(35.0, 58.0);
+    p.meltWindowC = rng.uniform(0.5, 5.0);
+    p.extraCapacity = rng.uniform(0.0, 2000.0);
+    return p;
+}
+
+} // namespace
+
+TEST(EnthalpyProperties, CurveIsStrictlyIncreasing)
+{
+    for (int c = 0; c < kCases; ++c) {
+        Rng rng = Rng::forStream(kSeed, c);
+        EnthalpyCurve curve(randomParams(rng));
+        double prev = curve.enthalpyAt(-10.0);
+        for (double t = -9.5; t <= 90.0; t += 0.5) {
+            double h = curve.enthalpyAt(t);
+            EXPECT_GT(h, prev)
+                << "case " << c << " at t=" << t;
+            prev = h;
+        }
+    }
+}
+
+TEST(EnthalpyProperties, TemperatureEnthalpyRoundTrip)
+{
+    for (int c = 0; c < kCases; ++c) {
+        Rng rng = Rng::forStream(kSeed + 1, c);
+        EnthalpyParams p = randomParams(rng);
+        EnthalpyCurve curve(p);
+        // Probe random temperatures, biased to land inside the melt
+        // window half the time (the hard region for inversion).
+        for (int k = 0; k < 20; ++k) {
+            double t = (k % 2 == 0)
+                ? rng.uniform(0.0, 85.0)
+                : rng.uniform(p.meltTempC - p.meltWindowC,
+                              p.meltTempC + p.meltWindowC);
+            double h = curve.enthalpyAt(t);
+            EXPECT_NEAR(curve.temperatureAt(h), t, 1e-7)
+                << "case " << c;
+        }
+    }
+}
+
+TEST(EnthalpyProperties, MeltFractionMonotoneAndSaturating)
+{
+    for (int c = 0; c < kCases; ++c) {
+        Rng rng = Rng::forStream(kSeed + 2, c);
+        EnthalpyParams p = randomParams(rng);
+        EnthalpyCurve curve(p);
+
+        EXPECT_DOUBLE_EQ(
+            curve.meltFraction(
+                curve.enthalpyAt(curve.solidusTempC() - 1.0)),
+            0.0)
+            << "case " << c;
+        EXPECT_DOUBLE_EQ(
+            curve.meltFraction(
+                curve.enthalpyAt(curve.liquidusTempC() + 1.0)),
+            1.0)
+            << "case " << c;
+
+        double prev = -1.0;
+        for (int k = 0; k <= 50; ++k) {
+            double h = curve.solidusEnthalpy() +
+                (curve.liquidusEnthalpy() -
+                 curve.solidusEnthalpy()) *
+                    k / 50.0;
+            double f = curve.meltFraction(h);
+            EXPECT_GE(f, prev) << "case " << c;
+            EXPECT_GE(f, 0.0);
+            EXPECT_LE(f, 1.0);
+            prev = f;
+        }
+    }
+}
+
+TEST(EnthalpyProperties, LatentPlateauHoldsExactCapacity)
+{
+    for (int c = 0; c < kCases; ++c) {
+        Rng rng = Rng::forStream(kSeed + 3, c);
+        EnthalpyParams p = randomParams(rng);
+        EnthalpyCurve curve(p);
+        double plateau =
+            curve.liquidusEnthalpy() - curve.solidusEnthalpy();
+        // The window also stores sensible heat; latent capacity is
+        // the dominant part and must be exactly latentHeat * mass.
+        EXPECT_NEAR(curve.latentCapacity(),
+                    p.latentHeat * p.massKg,
+                    1e-6 * p.latentHeat * p.massKg)
+            << "case " << c;
+        EXPECT_GE(plateau, curve.latentCapacity()) << "case " << c;
+    }
+}
+
+TEST(EnthalpyProperties, MeltFreezeRoundTripConservesEnergy)
+{
+    for (int c = 0; c < kCases; ++c) {
+        Rng rng = Rng::forStream(kSeed + 4, c);
+
+        Material wax = commercialParaffin();
+        // ~2 l of wax split across four boxes in a 1U-scale duct.
+        BoxSpec box;
+        box.lengthM = 0.15;
+        box.widthM = 0.10;
+        box.heightM = 0.04;
+        ContainerBank bank(box, 4, 0.025);
+        double melt = rng.uniform(42.0, 55.0);
+        double start = rng.uniform(20.0, 30.0);
+        PcmElement el(wax, bank, melt, start);
+
+        double h0 = el.storedEnthalpy();
+        double absorbed = 0.0;
+
+        // Drive hot air past the wax until it is fully melted, then
+        // cold air until it returns to the start temperature.
+        double hot = melt + rng.uniform(8.0, 20.0);
+        double v = rng.uniform(1.0, 6.0);
+        for (int i = 0; i < 500000 && el.meltFraction() < 1.0; ++i)
+            absorbed += el.step(5.0, hot, v);
+        ASSERT_DOUBLE_EQ(el.meltFraction(), 1.0) << "case " << c;
+        EXPECT_GT(absorbed, el.latentCapacity()) << "case " << c;
+
+        double released = 0.0;
+        for (int i = 0;
+             i < 2000000 && el.temperature() > start + 1e-4; ++i)
+            released -= el.step(5.0, start, v);
+        ASSERT_LE(el.temperature(), start + 1e-3) << "case " << c;
+
+        // First law: net enthalpy change == absorbed - released.
+        EXPECT_NEAR(el.storedEnthalpy() - h0, absorbed - released,
+                    1e-6 * std::abs(absorbed) + 1e-6)
+            << "case " << c;
+        // And the state itself is back where it started (to the
+        // tolerance the temperature stop-criterion allows).
+        EXPECT_NEAR(el.storedEnthalpy(), h0,
+                    2e-3 * el.curve().latentCapacity())
+            << "case " << c;
+    }
+}

@@ -1,0 +1,89 @@
+/** @file Tests for the flat key/value JSON used by the golden file. */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/kv_json.hh"
+
+namespace tts {
+namespace {
+
+TEST(KvJson, RoundTripsExactDoubles)
+{
+    std::map<std::string, double> kv{
+        {"a", 1.0},
+        {"b", 0.083927817053314313},     // 17 significant digits.
+        {"c", -2.5e-7},
+        {"d", 1e300},
+        {"count", 4894.0},
+    };
+    auto parsed = parseKvJson(writeKvJson(kv));
+    ASSERT_EQ(parsed.size(), kv.size());
+    for (const auto &[key, value] : kv) {
+        ASSERT_TRUE(parsed.count(key)) << key;
+        // Bit-exact: %.17g is enough to reconstruct any double.
+        EXPECT_EQ(parsed.at(key), value) << key;
+    }
+}
+
+TEST(KvJson, EmptyObject)
+{
+    EXPECT_TRUE(parseKvJson("{}").empty());
+    EXPECT_TRUE(parseKvJson(" \n{ \t } ").empty());
+    auto parsed = parseKvJson(writeKvJson({}));
+    EXPECT_TRUE(parsed.empty());
+}
+
+TEST(KvJson, AcceptsArbitraryWhitespace)
+{
+    auto kv = parseKvJson("{\n  \"x\"  :\t 1.5 ,\n\"y\":2\n}\n");
+    ASSERT_EQ(kv.size(), 2u);
+    EXPECT_DOUBLE_EQ(kv.at("x"), 1.5);
+    EXPECT_DOUBLE_EQ(kv.at("y"), 2.0);
+}
+
+TEST(KvJson, ParsesScientificNotation)
+{
+    auto kv = parseKvJson("{\"a\": 1.25e-3, \"b\": -4E+2}");
+    EXPECT_DOUBLE_EQ(kv.at("a"), 1.25e-3);
+    EXPECT_DOUBLE_EQ(kv.at("b"), -400.0);
+}
+
+TEST(KvJson, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseKvJson(""), FatalError);
+    EXPECT_THROW(parseKvJson("["), FatalError);
+    EXPECT_THROW(parseKvJson("{\"a\"}"), FatalError);
+    EXPECT_THROW(parseKvJson("{\"a\": }"), FatalError);
+    EXPECT_THROW(parseKvJson("{\"a\": 1,}"), FatalError);
+    EXPECT_THROW(parseKvJson("{\"a\": 1"), FatalError);
+    EXPECT_THROW(parseKvJson("{\"a\": 1} x"), FatalError);
+    EXPECT_THROW(parseKvJson("{\"a\": \"str\"}"), FatalError);
+    EXPECT_THROW(parseKvJson("{\"a\": {\"b\": 1}}"), FatalError);
+}
+
+TEST(KvJson, RejectsDuplicateKeys)
+{
+    EXPECT_THROW(parseKvJson("{\"a\": 1, \"a\": 2}"), FatalError);
+}
+
+TEST(KvJson, FileRoundTrip)
+{
+    std::map<std::string, double> kv{{"pi", 3.14159}, {"n", -7.0}};
+    std::string path = testing::TempDir() + "kv_json_test.json";
+    writeKvJsonFile(path, kv);
+    auto parsed = readKvJsonFile(path);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed.at("pi"), kv.at("pi"));
+    EXPECT_EQ(parsed.at("n"), kv.at("n"));
+}
+
+TEST(KvJson, MissingFileThrows)
+{
+    EXPECT_THROW(readKvJsonFile("/nonexistent/golden.json"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace tts

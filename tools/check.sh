@@ -1,0 +1,44 @@
+#!/bin/sh
+# Developer gate for the parallel execution engine.
+#
+# Builds the repo twice - a normal Release tree and a ThreadSanitizer
+# tree (TTS_SANITIZE=thread) - and runs the suites that exercise
+# tts::exec and the seeded simulator under both:
+#
+#   tools/check.sh           # fast label + TSan exec/dcsim suites
+#   tools/check.sh --full    # also the integration label (slow)
+#
+# Exits non-zero on the first failure.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FULL=0
+[ "${1:-}" = "--full" ] && FULL=1
+
+echo "== Release build =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build -j > /dev/null
+
+echo "== ctest -L fast =="
+ctest --test-dir build -L fast --output-on-failure -j
+
+if [ "$FULL" = "1" ]; then
+    echo "== ctest -L integration =="
+    ctest --test-dir build -L integration --output-on-failure -j
+fi
+
+echo "== ThreadSanitizer build (TTS_SANITIZE=thread) =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTTS_SANITIZE=thread > /dev/null
+cmake --build build-tsan -j \
+    --target tts_exec_test tts_workload_test > /dev/null
+
+echo "== TSan: exec engine, 8 threads =="
+TTS_THREADS=8 ./build-tsan/tests/tts_exec_test
+echo "== TSan: seeded cluster simulator =="
+./build-tsan/tests/tts_workload_test \
+    --gtest_filter='DcSimInvariants*'
+
+echo "OK"

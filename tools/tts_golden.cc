@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Golden-file generator for the regression harness.
+ *
+ * Recomputes every pinned headline value (see core/golden.hh) and
+ * writes the flat JSON the integration test diffs against:
+ *
+ *     tts_golden                   # print to stdout
+ *     tts_golden tests/data/golden.json
+ *
+ * Regenerate the checked-in file ONLY when a model change is
+ * intentional, and say so in the commit message - the whole point of
+ * the harness is that silent numeric drift fails CI.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/golden.hh"
+#include "util/error.hh"
+#include "util/kv_json.hh"
+
+int
+main(int argc, char **argv)
+{
+    try {
+        auto values = tts::core::computeGoldenValues();
+        if (argc > 1) {
+            tts::writeKvJsonFile(argv[1], values);
+            std::cout << "wrote " << values.size()
+                      << " golden values to " << argv[1] << "\n";
+        } else {
+            std::cout << tts::writeKvJson(values);
+        }
+    } catch (const tts::Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
