@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Extension: fault-scenario resilience matrix.
+ *
+ * Runs the canonical fault scenarios (total plant trip, partial trip
+ * with a drifting sensor, seeded crash/fan storm) across the three
+ * paper platforms, comparing how long each rides through with and
+ * without wax and how much throughput the cluster retains.
+ *
+ * Doubles as a determinism gate: the whole grid is computed twice -
+ * through a single-thread pool and through the default-width pool -
+ * and the results must be bit-identical.  Exits non-zero on any
+ * mismatch, so CI catches a broken exec contract.
+ *
+ * Emits machine-readable flat JSON on stdout after the tables.
+ */
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/resilience_study.hh"
+#include "exec/parallel.hh"
+#include "server/server_spec.hh"
+#include "util/kv_json.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace tts;
+    using namespace tts::core;
+
+    const std::vector<server::ServerSpec> specs = {
+        server::rd330Spec(), server::x4470Spec(),
+        server::openComputeSpec()};
+    const char *tags[3] = {"1u", "2u", "ocp"};
+
+    ResilienceStudyOptions opt;
+    auto scenarios = canonicalScenarios(opt.cluster.serverCount);
+
+    // One task per (platform, scenario) cell, run through a pool of
+    // each width; pool.map keys results by index so the orderings
+    // must agree bit-for-bit.
+    struct Cell
+    {
+        std::size_t platform;
+        std::size_t scenario;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t p = 0; p < specs.size(); ++p)
+        for (std::size_t s = 0; s < scenarios.size(); ++s)
+            cells.push_back({p, s});
+
+    auto grid_with = [&](const exec::ThreadPool &pool) {
+        return pool.map(cells, [&](const Cell &c) {
+            return runResilienceStudy(specs[c.platform],
+                                      scenarios[c.scenario], opt);
+        });
+    };
+
+    exec::ThreadPool serial_pool(1);
+    exec::ThreadPool parallel_pool; // TTS_THREADS or hardware.
+    auto serial = grid_with(serial_pool);
+    auto parallel = grid_with(parallel_pool);
+
+    auto arm_equal = [](const ResilienceArm &a,
+                        const ResilienceArm &b) {
+        return a.rideThroughS == b.rideThroughS &&
+               a.hitLimit == b.hitLimit &&
+               a.throughputRetention == b.throughputRetention &&
+               a.throttledS == b.throttledS &&
+               a.roomAirC.values() == b.roomAirC.values() &&
+               a.sensedInletC.values() == b.sensedInletC.values() &&
+               a.waxMelt.values() == b.waxMelt.values();
+    };
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+        const auto &a = serial[i];
+        const auto &b = parallel[i];
+        identical =
+            arm_equal(a.noWax, b.noWax) &&
+            arm_equal(a.withWax, b.withWax) &&
+            a.cluster.completedJobs == b.cluster.completedJobs &&
+            a.cluster.droppedJobs == b.cluster.droppedJobs &&
+            a.cluster.offeredJobs == b.cluster.offeredJobs &&
+            a.cluster.residualJobs == b.cluster.residualJobs &&
+            a.cluster.crashKilledJobs ==
+                b.cluster.crashKilledJobs &&
+            a.cluster.faultEventsApplied ==
+                b.cluster.faultEventsApplied;
+    }
+
+    std::cout << "=== Extension: fault-scenario resilience matrix "
+                 "(1008 servers, wax vs. no wax) ===\n";
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        std::cout << "\nscenario: " << scenarios[s].name << " ("
+                  << scenarios[s].faults.size() << " events, "
+                  << formatFixed(scenarios[s].horizonS / 60.0, 0)
+                  << " min horizon)\n";
+        AsciiTable t({"Platform", "ride no wax (min)",
+                      "ride wax (min)", "extra (min)",
+                      "retention no wax", "retention wax",
+                      "jobs killed"});
+        for (std::size_t p = 0; p < specs.size(); ++p) {
+            const auto &r = serial[p * scenarios.size() + s];
+            t.addRow(
+                {specs[p].name,
+                 formatFixed(r.noWax.rideThroughS / 60.0, 1),
+                 formatFixed(r.withWax.rideThroughS / 60.0, 1),
+                 formatFixed(r.extraRideThroughS() / 60.0, 1),
+                 formatFixed(r.noWax.throughputRetention, 3),
+                 formatFixed(r.withWax.throughputRetention, 3),
+                 formatFixed(
+                     static_cast<double>(r.cluster.crashKilledJobs),
+                     0)});
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\nidentical at 1 vs. "
+              << parallel_pool.threadCount()
+              << " threads:  " << (identical ? "yes" : "NO")
+              << "\n\n";
+
+    std::map<std::string, double> json{
+        {"cells", static_cast<double>(cells.size())},
+        {"threads",
+         static_cast<double>(parallel_pool.threadCount())},
+        {"identical", identical ? 1.0 : 0.0},
+    };
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+        for (std::size_t s = 0; s < scenarios.size(); ++s) {
+            const auto &r = serial[p * scenarios.size() + s];
+            std::string k = std::string(tags[p]) + "." +
+                            scenarios[s].name + ".";
+            json[k + "extra_ride_s"] = r.extraRideThroughS();
+            json[k + "retention_gain"] = r.retentionGain();
+        }
+    }
+    std::cout << writeKvJson(json);
+    return identical ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 
 #include "core/capacity_planner.hh"
 #include "core/cooling_study.hh"
+#include "core/resilience_study.hh"
 #include "core/thermal_time_shifting.hh"
 #include "core/throughput_study.hh"
 #include "datacenter/datacenter.hh"
@@ -143,6 +144,11 @@ computeGoldenValues()
             ++suitable;
     g["table1.suitable_family_count"] =
         static_cast<double>(suitable);
+
+    // Fault-scenario resilience grid (wax vs. no-wax ride-through
+    // and throughput retention for the canonical scenarios).
+    auto resilience = resilienceGoldenValues();
+    g.insert(resilience.begin(), resilience.end());
 
     return g;
 }

@@ -49,7 +49,10 @@ runScenario(const server::ServerSpec &spec,
             break;
         }
     }
-    out.rideThroughS = t;
+    // hitLimit is authoritative: censored runs report exactly the
+    // horizon (the loop can overshoot it by a partial step when
+    // maxDurationS is not a step multiple).
+    out.rideThroughS = out.hitLimit ? t : opt.maxDurationS;
     return out;
 }
 

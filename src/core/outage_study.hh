@@ -52,11 +52,20 @@ struct OutageTrajectory
     TimeSeries roomAirC;
     /** Server inlet == room air; wax melt fraction over time. */
     TimeSeries waxMelt;
-    /** Time until the room air crossed the limit (s); equal to the
-     *  options' maxDurationS if it never did. */
+    /**
+     * Time until the room air crossed the limit (s).  `hitLimit` is
+     * authoritative: when it is false the run was censored at the
+     * horizon and this value is exactly the options' maxDurationS -
+     * a lower bound on the true ride-through, not a measurement.
+     * (The limit can also be hit exactly at the horizon; the two
+     * cases share this value and only hitLimit tells them apart.)
+     */
     double rideThroughS = 0.0;
     /** True if the limit was reached within the horizon. */
     bool hitLimit = false;
+
+    /** @return True if the run ended without reaching the limit. */
+    bool censored() const { return !hitLimit; }
 };
 
 /** With/without-wax comparison. */
@@ -65,9 +74,16 @@ struct OutageStudyResult
     OutageTrajectory noWax;
     OutageTrajectory withWax;
 
-    /** @return Extra ride-through bought by the wax (s). */
+    /**
+     * @return Extra ride-through bought by the wax (s).  When the
+     * with-wax run is censored (never hit the limit) this is a
+     * lower bound; when neither run hit the limit it is 0 - the
+     * horizon was simply too short to separate them.
+     */
     double extraRideThroughS() const
     {
+        if (!noWax.hitLimit && !withWax.hitLimit)
+            return 0.0;
         return withWax.rideThroughS - noWax.rideThroughS;
     }
 };

@@ -1,0 +1,277 @@
+#include "core/resilience_study.hh"
+
+#include <cmath>
+
+#include "exec/parallel.hh"
+#include "fault/fault_injector.hh"
+#include "server/server_model.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace core {
+
+namespace {
+
+/** Flat two-sample trace holding the scenario utilization. */
+workload::WorkloadTrace
+flatTrace(double util, double horizon_s)
+{
+    workload::WorkloadTrace t;
+    double per_class = util / 3.0;
+    t.append(0.0, {per_class, per_class, per_class});
+    t.append(horizon_s, {per_class, per_class, per_class});
+    return t;
+}
+
+/**
+ * Thermal arm: room + two representative servers (healthy and
+ * fan-failed) under the scenario's plant/sensor/fan events, with
+ * sensed-inlet emergency throttling.
+ */
+ResilienceArm
+runThermalArm(const server::ServerSpec &spec,
+              const server::WaxConfig &wax,
+              const ResilienceScenario &scenario,
+              const ResilienceStudyOptions &opt)
+{
+    server::ServerModel srv(spec, wax);
+    // The fan-failed population cannot move its design airflow, so
+    // it is pinned at the DVFS floor for the whole scenario - the
+    // same graceful-degradation choice iDataCool-style operations
+    // make when a cooling loop degrades.
+    server::ServerModel fan_srv(spec, wax);
+    datacenter::RoomModel room(opt.room);
+    fault::FaultInjector inj(scenario.faults,
+                             opt.cluster.serverCount,
+                             opt.room.setpointC);
+
+    const double u = scenario.utilization;
+    const double floor_ghz = spec.cpu.minFreqGHz;
+    const double throttle_at = opt.room.limitC -
+        opt.throttleMarginC;
+    const double n = static_cast<double>(opt.serverCount);
+    const double sample =
+        static_cast<double>(opt.cluster.serverCount);
+
+    srv.network().setInletTemp(opt.room.setpointC);
+    srv.setLoad(u);
+    srv.solveSteadyState();
+    fan_srv.network().setInletTemp(opt.room.setpointC);
+    fan_srv.setLoad(u, floor_ghz);
+    fan_srv.solveSteadyState();
+
+    ResilienceArm arm;
+    arm.roomAirC.setName("room_air_c");
+    arm.sensedInletC.setName("sensed_inlet_c");
+    arm.waxMelt.setName("wax_melt");
+    arm.throughputRel.setName("throughput_rel");
+
+    double t = 0.0;
+    bool throttled = false;
+    double work_integral = 0.0;
+
+    arm.roomAirC.append(t, room.airTemp());
+    arm.sensedInletC.append(t, inj.senseInlet(room.airTemp()));
+    arm.waxMelt.append(t, srv.hasWax() ? srv.waxMeltFraction()
+                                       : 0.0);
+    arm.throughputRel.append(t, u);
+
+    while (t < scenario.horizonS) {
+        inj.advanceTo(t);
+        double sensed = inj.senseInlet(room.airTemp());
+        if (!throttled && sensed >= throttle_at)
+            throttled = true;
+        else if (throttled &&
+                 sensed <= throttle_at - opt.throttleHysteresisC)
+            throttled = false;
+
+        srv.setLoad(u, throttled ? floor_ghz : 0.0);
+        srv.network().setInletTemp(room.airTemp());
+        srv.advance(opt.stepS, opt.stepS);
+        fan_srv.setLoad(u, floor_ghz);
+        fan_srv.network().setInletTemp(room.airTemp());
+        fan_srv.advance(opt.stepS, opt.stepS);
+
+        double alive_frac =
+            static_cast<double>(inj.aliveServers()) / sample;
+        double fan_frac =
+            static_cast<double>(inj.aliveFanFailed()) / sample;
+        double healthy_frac = alive_frac - fan_frac;
+
+        double rejected = n * (healthy_frac * srv.coolingLoad() +
+                               fan_frac * fan_srv.coolingLoad());
+        double removed =
+            inj.coolingCapacityFraction() * rejected;
+        room.step(opt.stepS, rejected, removed);
+
+        double tp = healthy_frac * srv.throughput() +
+            fan_frac * fan_srv.throughput();
+        work_integral += tp * opt.stepS;
+        if (throttled)
+            arm.throttledS += opt.stepS;
+
+        t += opt.stepS;
+        arm.roomAirC.append(t, room.airTemp());
+        arm.sensedInletC.append(t, inj.senseInlet(room.airTemp()));
+        arm.waxMelt.append(
+            t, srv.hasWax() ? srv.waxMeltFraction() : 0.0);
+        arm.throughputRel.append(t, tp);
+        if (room.overLimit()) {
+            arm.hitLimit = true;
+            break;
+        }
+    }
+
+    // hitLimit authoritative, as in the outage study: censored runs
+    // report exactly the horizon.  Work past the limit is zero (the
+    // room forced a shutdown).
+    arm.rideThroughS = arm.hitLimit ? t : scenario.horizonS;
+    arm.throughputRetention =
+        work_integral / (u * scenario.horizonS);
+    return arm;
+}
+
+} // namespace
+
+ResilienceResult
+runResilienceStudy(const server::ServerSpec &spec,
+                   const ResilienceScenario &scenario,
+                   const ResilienceStudyOptions &options)
+{
+    require(!scenario.name.empty(),
+            "runResilienceStudy: scenario needs a name");
+    require(scenario.utilization > 0.0 &&
+            scenario.utilization <= 1.0,
+            "runResilienceStudy: utilization must be in (0, 1]");
+    require(scenario.horizonS > 0.0 && options.stepS > 0.0,
+            "runResilienceStudy: bad horizon or step");
+    require(options.serverCount >= 1 &&
+            options.cluster.serverCount >= 1,
+            "runResilienceStudy: need servers");
+    require(options.throttleMarginC > 0.0 &&
+            options.throttleHysteresisC >= 0.0,
+            "runResilienceStudy: bad throttle thresholds");
+
+    ResilienceResult out;
+    out.scenario = scenario.name;
+    out.noWax = runThermalArm(spec, server::WaxConfig::placebo(),
+                              scenario, options);
+    server::WaxConfig wax = options.meltTempC > 0.0
+        ? server::WaxConfig::withMeltTemp(options.meltTempC)
+        : server::WaxConfig::paper();
+    out.withWax = runThermalArm(spec, wax, scenario, options);
+
+    workload::ClusterSim sim(options.cluster);
+    out.cluster = sim.run(
+        flatTrace(scenario.utilization, scenario.horizonS),
+        &scenario.faults);
+    return out;
+}
+
+std::vector<ResilienceResult>
+runResilienceGrid(const server::ServerSpec &spec,
+                  const std::vector<ResilienceScenario> &scenarios,
+                  const ResilienceStudyOptions &options)
+{
+    return exec::parallel_map(
+        scenarios, [&](const ResilienceScenario &s) {
+            return runResilienceStudy(spec, s, options);
+        });
+}
+
+std::vector<ResilienceScenario>
+canonicalScenarios(std::size_t sample_server_count)
+{
+    using fault::FaultKind;
+    std::vector<ResilienceScenario> out;
+
+    {
+        ResilienceScenario s;
+        s.name = "plant_trip_total";
+        // Four-hour horizon: the emergency throttle stretches the
+        // ride-through well past the unthrottled ~100 min, and both
+        // arms must still hit the limit for the comparison to bite.
+        s.horizonS = 4.0 * 3600.0;
+        s.faults.add(600.0, FaultKind::CoolingTrip,
+                     fault::FaultEvent::noTarget, 1.0);
+        out.push_back(std::move(s));
+    }
+    {
+        ResilienceScenario s;
+        s.name = "partial_trip_sensor_drift";
+        // The sensor reads 3 C low from the start, so the emergency
+        // throttle fires late; 85 % of the plant trips 10 minutes
+        // in and is restored at t = 110 min.  Run hot (90 %
+        // utilization) so the drifted threshold is reachable.
+        s.utilization = 0.9;
+        s.faults.add(0.0, FaultKind::SensorDrift,
+                     fault::FaultEvent::noTarget, -3.0);
+        s.faults.add(600.0, FaultKind::CoolingTrip,
+                     fault::FaultEvent::noTarget, 0.85);
+        s.faults.add(6600.0, FaultKind::CoolingRestore,
+                     fault::FaultEvent::noTarget, 0.85);
+        out.push_back(std::move(s));
+    }
+    {
+        ResilienceScenario s;
+        s.name = "crash_fan_storm";
+        fault::FaultProfile p;
+        p.serverCrashPerHour = 0.25;
+        p.serverRepairMeanS = 900.0;
+        p.fanFailurePerHour = 0.10;
+        p.fanRepairMeanS = 1800.0;
+        p.coolingTripPerHour = 0.5;
+        p.coolingTripFraction = 0.5;
+        p.coolingRepairMeanS = 1800.0;
+        p.sensorDropoutPerHour = 1.0;
+        p.sensorDropoutMeanS = 600.0;
+        p.traceGapPerHour = 1.0;
+        p.traceGapMeanS = 180.0;
+        s.faults = fault::generateSchedule(
+            p, s.horizonS, sample_server_count, 2025);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::map<std::string, double>
+resilienceGoldenValues()
+{
+    ResilienceStudyOptions opt;
+    auto scenarios = canonicalScenarios(opt.cluster.serverCount);
+    auto results =
+        runResilienceGrid(server::rd330Spec(), scenarios, opt);
+
+    std::map<std::string, double> g;
+    for (const auto &r : results) {
+        const std::string p = "resilience." + r.scenario + ".";
+        g[p + "ride_no_wax_s"] = r.noWax.rideThroughS;
+        g[p + "ride_with_wax_s"] = r.withWax.rideThroughS;
+        g[p + "extra_ride_s"] = r.extraRideThroughS();
+        g[p + "hit_limit_no_wax"] = r.noWax.hitLimit ? 1.0 : 0.0;
+        g[p + "hit_limit_with_wax"] =
+            r.withWax.hitLimit ? 1.0 : 0.0;
+        g[p + "retention_no_wax"] = r.noWax.throughputRetention;
+        g[p + "retention_with_wax"] =
+            r.withWax.throughputRetention;
+        g[p + "retention_gain"] = r.retentionGain();
+        g[p + "throttled_no_wax_s"] = r.noWax.throttledS;
+        g[p + "throttled_with_wax_s"] = r.withWax.throttledS;
+        g[p + "cluster_offered"] =
+            static_cast<double>(r.cluster.offeredJobs);
+        g[p + "cluster_completed"] =
+            static_cast<double>(r.cluster.completedJobs);
+        g[p + "cluster_dropped"] =
+            static_cast<double>(r.cluster.droppedJobs);
+        g[p + "cluster_killed"] =
+            static_cast<double>(r.cluster.crashKilledJobs);
+        g[p + "cluster_residual"] =
+            static_cast<double>(r.cluster.residualJobs);
+        g[p + "fault_events"] =
+            static_cast<double>(r.cluster.faultEventsApplied);
+    }
+    return g;
+}
+
+} // namespace core
+} // namespace tts

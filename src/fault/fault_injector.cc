@@ -1,0 +1,144 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace fault {
+
+FaultInjector::FaultInjector(const FaultSchedule &schedule,
+                             std::size_t server_count,
+                             double initial_sensed_c)
+    : schedule_(schedule),
+      server_down_(server_count, false),
+      fan_failed_(server_count, false),
+      alive_count_(server_count),
+      held_reading_c_(initial_sensed_c)
+{
+    require(server_count >= 1,
+            "FaultInjector: need at least one server");
+    for (const auto &e : schedule.events()) {
+        if (kindTargetsServer(e.kind))
+            require(e.target < server_count,
+                    "FaultInjector: event targets server " +
+                        std::to_string(e.target) +
+                        " but the cluster has " +
+                        std::to_string(server_count));
+    }
+}
+
+void
+FaultInjector::advanceTo(double t)
+{
+    require(t >= now_,
+            "FaultInjector::advanceTo: time must not move "
+            "backwards");
+    now_ = t;
+    const auto &events = schedule_.events();
+    while (next_ < events.size() && events[next_].timeS <= t) {
+        apply(events[next_]);
+        ++next_;
+    }
+}
+
+double
+FaultInjector::nextEventTime() const
+{
+    const auto &events = schedule_.events();
+    return next_ < events.size()
+               ? events[next_].timeS
+               : std::numeric_limits<double>::infinity();
+}
+
+void
+FaultInjector::apply(const FaultEvent &e)
+{
+    switch (e.kind) {
+      case FaultKind::ServerCrash:
+        if (!server_down_[e.target]) {
+            server_down_[e.target] = true;
+            --alive_count_;
+        }
+        break;
+      case FaultKind::ServerRecover:
+        if (server_down_[e.target]) {
+            server_down_[e.target] = false;
+            ++alive_count_;
+        }
+        break;
+      case FaultKind::FanFailure:
+        fan_failed_[e.target] = true;
+        break;
+      case FaultKind::FanRepair:
+        fan_failed_[e.target] = false;
+        break;
+      case FaultKind::CoolingTrip:
+        cooling_lost_fraction_ += e.magnitude;
+        break;
+      case FaultKind::CoolingRestore:
+        cooling_lost_fraction_ =
+            std::max(0.0, cooling_lost_fraction_ - e.magnitude);
+        break;
+      case FaultKind::SensorDrift:
+        sensor_bias_c_ += e.magnitude;
+        break;
+      case FaultKind::SensorDropout:
+        sensor_valid_ = false;
+        break;
+      case FaultKind::SensorRestore:
+        sensor_valid_ = true;
+        break;
+      case FaultKind::TraceGapStart:
+        ++trace_gap_depth_;
+        break;
+      case FaultKind::TraceGapEnd:
+        trace_gap_depth_ = std::max(0, trace_gap_depth_ - 1);
+        break;
+    }
+}
+
+bool
+FaultInjector::serverAlive(std::size_t i) const
+{
+    invariant(i < server_down_.size(),
+              "FaultInjector::serverAlive: bad index");
+    return !server_down_[i];
+}
+
+bool
+FaultInjector::fanFailed(std::size_t i) const
+{
+    invariant(i < fan_failed_.size(),
+              "FaultInjector::fanFailed: bad index");
+    return fan_failed_[i];
+}
+
+std::size_t
+FaultInjector::aliveFanFailed() const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < fan_failed_.size(); ++i) {
+        if (fan_failed_[i] && !server_down_[i])
+            ++n;
+    }
+    return n;
+}
+
+double
+FaultInjector::coolingCapacityFraction() const
+{
+    return std::clamp(1.0 - cooling_lost_fraction_, 0.0, 1.0);
+}
+
+double
+FaultInjector::senseInlet(double true_inlet_c)
+{
+    if (sensor_valid_)
+        held_reading_c_ = true_inlet_c + sensor_bias_c_;
+    return held_reading_c_;
+}
+
+} // namespace fault
+} // namespace tts

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Deterministic fault-injection schedule (tts::fault).
+ *
+ * The paper's value proposition is thermal headroom under stress:
+ * PCM buys ride-through minutes when cooling trips and sustains
+ * clocks in thermally constrained clusters.  Studying that robustly
+ * needs *composable* fault scenarios - partial cooling loss, server
+ * and fan failures, drifting or dead inlet sensors, gaps in the
+ * input trace - not just the one stylized total-plant-loss case.
+ *
+ * A FaultSchedule is a time-ordered list of typed FaultEvents.  It
+ * can be built explicitly (event by event), generated from a
+ * FaultProfile of Poisson rates with a fixed seed, or parsed from
+ * the line-oriented text format serialize() emits.  Consumers
+ * (workload::ClusterSim, core::runResilienceStudy) walk the sorted
+ * event list; given the same schedule they produce bit-identical
+ * results at any thread count, extending the tts::exec determinism
+ * contract to fault scenarios.
+ */
+
+#ifndef TTS_FAULT_FAULT_SCHEDULE_HH
+#define TTS_FAULT_FAULT_SCHEDULE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tts {
+namespace fault {
+
+/**
+ * Typed fault events.  Recovery kinds sort before failure kinds so
+ * that a recovery and a failure landing on the same timestamp leave
+ * the component failed (the pessimistic order).
+ */
+enum class FaultKind
+{
+    ServerRecover,  //!< Crashed server rejoins (empty).
+    FanRepair,      //!< Server fan bank repaired.
+    CoolingRestore, //!< Plant regains `magnitude` capacity fraction.
+    SensorRestore,  //!< Inlet sensor reports again (drift intact).
+    TraceGapEnd,    //!< Input load trace resumes.
+    ServerCrash,    //!< Server dies; its jobs are lost.
+    FanFailure,     //!< Server fan bank fails (emergency throttle).
+    CoolingTrip,    //!< Plant loses `magnitude` capacity fraction.
+    SensorDrift,    //!< Inlet sensor bias shifts by `magnitude` C.
+    SensorDropout,  //!< Inlet sensor stops reporting (hold-last).
+    TraceGapStart,  //!< Input load trace goes dark (no arrivals).
+};
+
+/** Number of distinct fault kinds. */
+constexpr std::size_t faultKindCount = 11;
+
+/** @return Stable text name of a kind ("server_crash", ...). */
+const char *toString(FaultKind kind);
+
+/** @return Kind parsed from its toString() name. @throws FatalError */
+FaultKind faultKindFromString(const std::string &name);
+
+/** @return True for kinds that address one server (crash/fan). */
+bool kindTargetsServer(FaultKind kind);
+
+/** One timed fault event. */
+struct FaultEvent
+{
+    /** Target value for plant/sensor/trace-wide events. */
+    static constexpr std::size_t noTarget =
+        static_cast<std::size_t>(-1);
+
+    /** Event time (s since scenario start, >= 0). */
+    double timeS = 0.0;
+    /** What happens. */
+    FaultKind kind = FaultKind::ServerCrash;
+    /** Server index for per-server kinds, else noTarget. */
+    std::size_t target = noTarget;
+    /**
+     * Kind-specific size: capacity fraction lost/restored for
+     * CoolingTrip/CoolingRestore (in (0, 1]), signed bias delta (C)
+     * for SensorDrift; ignored otherwise.
+     */
+    double magnitude = 0.0;
+
+    bool operator==(const FaultEvent &o) const
+    {
+        return timeS == o.timeS && kind == o.kind &&
+               target == o.target && magnitude == o.magnitude;
+    }
+};
+
+/**
+ * Poisson fault-process rates for generated schedules.  Rates are
+ * events per hour (per server for the per-server processes); zero
+ * disables a process.  Repairs follow exponentially after each
+ * failure with the given means.
+ */
+struct FaultProfile
+{
+    /** Server crash rate (per server per hour). */
+    double serverCrashPerHour = 0.0;
+    /** Mean crash-to-recovery time (s). */
+    double serverRepairMeanS = 900.0;
+
+    /** Fan-bank failure rate (per server per hour). */
+    double fanFailurePerHour = 0.0;
+    /** Mean fan repair time (s). */
+    double fanRepairMeanS = 1800.0;
+
+    /** Plant trip rate (per hour). */
+    double coolingTripPerHour = 0.0;
+    /** Capacity fraction lost per trip, in (0, 1]. */
+    double coolingTripFraction = 1.0;
+    /** Mean trip-to-restore time (s). */
+    double coolingRepairMeanS = 1200.0;
+
+    /** Sensor drift-step rate (per hour). */
+    double sensorDriftPerHour = 0.0;
+    /** Drift steps are uniform in [-max, +max] (C). */
+    double sensorDriftMaxC = 3.0;
+
+    /** Sensor dropout rate (per hour). */
+    double sensorDropoutPerHour = 0.0;
+    /** Mean dropout duration (s). */
+    double sensorDropoutMeanS = 300.0;
+
+    /** Trace-gap rate (per hour). */
+    double traceGapPerHour = 0.0;
+    /** Mean gap duration (s). */
+    double traceGapMeanS = 120.0;
+};
+
+/**
+ * A deterministic, time-ordered fault schedule.
+ *
+ * Events are kept sorted by (time, kind, target) with insertion
+ * order breaking residual ties, so iteration order never depends on
+ * construction order beyond genuine ties and is identical on every
+ * platform and at every thread count.
+ */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    /**
+     * Insert one event (kept sorted).
+     *
+     * @throws FatalError on negative/non-finite time, a per-server
+     * kind without a target (or vice versa), or an out-of-range
+     * magnitude for the kinds that use one.
+     */
+    void add(const FaultEvent &event);
+
+    /** Convenience: add({time_s, kind, target, magnitude}). */
+    void add(double time_s, FaultKind kind,
+             std::size_t target = FaultEvent::noTarget,
+             double magnitude = 0.0);
+
+    /** @return Events sorted by (time, kind, target). */
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** @return Number of events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** @return True if there are no events. */
+    bool empty() const { return events_.empty(); }
+
+    /** @return End time of the last event, or 0 if empty. */
+    double horizonS() const;
+
+    /**
+     * Serialize to the line format
+     *
+     *     tts-fault-schedule v1
+     *     <kind> <target|-> <time_s> <magnitude>
+     *
+     * with 17-significant-digit doubles, so parse(serialize())
+     * reproduces the schedule bit-for-bit.
+     */
+    std::string serialize() const;
+
+    /** Parse the serialize() format. @throws FatalError. */
+    static FaultSchedule parse(const std::string &text);
+
+    /** Parse from a stream (see parse()). @throws FatalError. */
+    static FaultSchedule read(std::istream &in);
+
+    bool operator==(const FaultSchedule &o) const
+    {
+        return events_ == o.events_;
+    }
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+/**
+ * Generate a schedule by sampling the profile's Poisson processes
+ * over [0, horizon_s).
+ *
+ * Every process draws from its own Rng::forStream sub-stream of the
+ * seed (per-server processes get one stream per server), so the
+ * result depends only on (profile, horizon, serverCount, seed) -
+ * never on evaluation order - and adding one process never perturbs
+ * another's events.
+ *
+ * @param profile      Rates and repair means.
+ * @param horizon_s    Generation horizon (s), > 0.
+ * @param server_count Servers addressable by per-server faults.
+ * @param seed         Master seed.
+ */
+FaultSchedule generateSchedule(const FaultProfile &profile,
+                               double horizon_s,
+                               std::size_t server_count,
+                               std::uint64_t seed);
+
+} // namespace fault
+} // namespace tts
+
+#endif // TTS_FAULT_FAULT_SCHEDULE_HH

@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 
+#include "fault/fault_schedule.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -64,6 +65,10 @@ struct Departure
     double time;
     std::size_t server;
     std::uint64_t job_id;
+    /** Server incarnation the job started under; a crash bumps the
+     *  server's epoch so stale departures are discarded instead of
+     *  being credited to the dead (or reborn) server. */
+    std::uint64_t epoch;
 
     bool operator>(const Departure &o) const { return time > o.time; }
 };
@@ -90,6 +95,13 @@ struct ServerState
 DcSimResult
 ClusterSim::run(const WorkloadTrace &trace)
 {
+    return run(trace, nullptr);
+}
+
+DcSimResult
+ClusterSim::run(const WorkloadTrace &trace,
+                const fault::FaultSchedule *faults)
+{
     require(trace.size() >= 2, "ClusterSim::run: trace too short");
     const double t0 = trace.startTime();
     const double t1 = trace.endTime();
@@ -110,6 +122,27 @@ ClusterSim::run(const WorkloadTrace &trace)
     DcSimResult result;
     result.clusterUtilization.setName("cluster_util");
     result.throughput.setName("throughput_jobs_per_s");
+    result.completedByServer.assign(n_servers, 0);
+
+    // Fault state: alive/epoch per server, plus the schedule cursor.
+    // The epoch is bumped on every crash so departures of killed
+    // jobs (already counted dropped) are discarded when they pop.
+    static const std::vector<fault::FaultEvent> no_events;
+    const auto &events = faults ? faults->events() : no_events;
+    for (const auto &e : events) {
+        if (fault::kindTargetsServer(e.kind))
+            require(e.target < n_servers,
+                    "ClusterSim::run: fault targets server " +
+                        std::to_string(e.target) +
+                        " but the cluster has " +
+                        std::to_string(n_servers));
+    }
+    std::size_t next_fault = 0;
+    std::vector<bool> alive(n_servers, true);
+    std::vector<std::uint64_t> epoch(n_servers, 0);
+    std::size_t alive_count = n_servers;
+    int gap_depth = 0;
+    std::vector<std::size_t> alive_idx, alive_depths;
 
     // Latency tracking: jobs in flight, keyed implicitly by keeping
     // arrival time inside the Job; map id -> arrival via a vector is
@@ -158,8 +191,60 @@ ClusterSim::run(const WorkloadTrace &trace)
         ++servers[sv].busy;
         double service = rng.exponential(
             1.0 / config_.meanServiceTimeS);
-        departures.push({now + service, sv, id});
+        departures.push({now + service, sv, id, epoch[sv]});
     };
+
+    // Apply every fault event with time <= t.  A crash destroys the
+    // target's running and queued jobs (graceful degradation: the
+    // balancer routes later arrivals around the corpse); a recovery
+    // returns it empty.  Thermal-side kinds are no-ops here.
+    auto apply_faults_to = [&](double t) {
+        while (next_fault < events.size() &&
+               events[next_fault].timeS <= t) {
+            const fault::FaultEvent &e = events[next_fault];
+            ++next_fault;
+            ++result.faultEventsApplied;
+            switch (e.kind) {
+              case fault::FaultKind::ServerCrash: {
+                if (!alive[e.target])
+                    break;
+                ServerState &sv = servers[e.target];
+                sv.accumulate(t);
+                std::uint64_t lost =
+                    sv.busy +
+                    static_cast<std::uint64_t>(sv.queue.size());
+                result.droppedJobs += lost;
+                result.crashKilledJobs += lost;
+                // Queued jobs free their latency slots now; running
+                // jobs free theirs when their stale departure pops.
+                for (const Job &j : sv.queue)
+                    free_ids.push_back(j.id);
+                sv.queue.clear();
+                sv.busy = 0;
+                depths[e.target] = 0;
+                ++epoch[e.target];
+                alive[e.target] = false;
+                --alive_count;
+                break;
+              }
+              case fault::FaultKind::ServerRecover:
+                if (!alive[e.target]) {
+                    alive[e.target] = true;
+                    ++alive_count;
+                }
+                break;
+              case fault::FaultKind::TraceGapStart:
+                ++gap_depth;
+                break;
+              case fault::FaultKind::TraceGapEnd:
+                gap_depth = std::max(0, gap_depth - 1);
+                break;
+              default:
+                break; // Thermal-side kinds.
+            }
+        }
+    };
+    apply_faults_to(t0);
 
     // Thinning-based non-homogeneous Poisson arrivals: draw at the
     // peak rate and accept with probability lambda(t) / lambda_max.
@@ -189,11 +274,20 @@ ClusterSim::run(const WorkloadTrace &trace)
         double next_departure = departures.empty()
             ? std::numeric_limits<double>::infinity()
             : departures.top().time;
+        double next_fault_t = next_fault < events.size()
+            ? events[next_fault].timeS
+            : std::numeric_limits<double>::infinity();
         double now = std::min({next_arrival, next_departure,
-                               next_stats});
+                               next_stats, next_fault_t});
         if (now > t1)
             break;
 
+        if (now == next_fault_t) {
+            // Faults win ties: a crash coinciding with a departure
+            // kills the job rather than completing it.
+            apply_faults_to(now);
+            continue;
+        }
         if (now == next_stats) {
             record_stats(now);
             next_stats += config_.statsIntervalS;
@@ -202,11 +296,18 @@ ClusterSim::run(const WorkloadTrace &trace)
         if (now == next_departure) {
             Departure d = departures.top();
             departures.pop();
+            if (d.epoch != epoch[d.server]) {
+                // The job died with its server; it was counted as
+                // dropped at crash time - just recycle its slot.
+                free_ids.push_back(d.job_id);
+                continue;
+            }
             ServerState &sv = servers[d.server];
             sv.accumulate(now);
             --sv.busy;
             --depths[d.server];
             ++result.completedJobs;
+            ++result.completedByServer[d.server];
             ++completed_window;
             const InFlight &f = inflight[d.job_id];
             result.latency.add(now - f.arrival);
@@ -227,11 +328,33 @@ ClusterSim::run(const WorkloadTrace &trace)
 
         // Arrival (possibly thinned away).
         next_arrival = now + rng.exponential(lambda_max);
+        if (gap_depth > 0)
+            continue; // Trace dark: the job is never offered.
         double lambda = trace.totalAt(now) * capacity;
         if (rng.uniform() * lambda_max > lambda)
             continue;
         ++result.offeredJobs;
-        std::size_t sv = balancer_->pick(depths);
+        if (alive_count == 0) {
+            ++result.droppedJobs;
+            ++result.rejectedNoAliveServer;
+            continue;
+        }
+        std::size_t sv;
+        if (alive_count == n_servers) {
+            sv = balancer_->pick(depths);
+        } else {
+            // Re-dispatch around dead servers: offer the balancer
+            // the compacted alive view and map its pick back.
+            alive_idx.clear();
+            alive_depths.clear();
+            for (std::size_t i = 0; i < n_servers; ++i) {
+                if (alive[i]) {
+                    alive_idx.push_back(i);
+                    alive_depths.push_back(depths[i]);
+                }
+            }
+            sv = alive_idx[balancer_->pick(alive_depths)];
+        }
         ServerState &state = servers[sv];
         std::uint64_t id = alloc_id(now, class_at(now));
         if (state.busy < config_.slotsPerServer) {

@@ -30,6 +30,11 @@
 #include "workload/trace.hh"
 
 namespace tts {
+
+namespace fault {
+class FaultSchedule;
+} // namespace fault
+
 namespace workload {
 
 /** Cluster simulator configuration. */
@@ -72,6 +77,21 @@ struct DcSimResult
     std::uint64_t residualJobs = 0;
     /** Deepest per-server FIFO queue observed during the run. */
     std::size_t maxQueueDepth = 0;
+    /**
+     * Jobs destroyed by a server crash (they were running or queued
+     * on the server when it died).  A subset of droppedJobs, so the
+     * offered = completed + dropped + residual partition still
+     * holds under faults.
+     */
+    std::uint64_t crashKilledJobs = 0;
+    /** Arrivals rejected because no server was alive (subset of
+     *  droppedJobs). */
+    std::uint64_t rejectedNoAliveServer = 0;
+    /** Completed jobs per server (fault studies assert a crashed
+     *  server completes nothing while down). */
+    std::vector<std::uint64_t> completedByServer;
+    /** Fault events applied during the run. */
+    std::uint64_t faultEventsApplied = 0;
     /** Sojourn time statistics (queue + service, s). */
     RunningStats latency;
     /** Completed jobs per class. */
@@ -107,6 +127,32 @@ class ClusterSim
      * @return Aggregated results.
      */
     DcSimResult run(const WorkloadTrace &trace);
+
+    /**
+     * Run the simulator over a load trace with fault injection.
+     *
+     * Fault events interleave with arrivals and departures at their
+     * scheduled times:
+     *
+     *  - ServerCrash kills the target's running and queued jobs
+     *    (counted in droppedJobs and crashKilledJobs) and removes it
+     *    from dispatch; the balancer re-routes subsequent arrivals
+     *    around it.  If every server is dead, arrivals are dropped
+     *    (rejectedNoAliveServer).
+     *  - ServerRecover returns the target, empty, to the pool.
+     *  - TraceGapStart/End suppress arrivals while the input trace
+     *    is dark (the gap's would-be jobs are never offered).
+     *  - Thermal-side kinds (cooling, sensor, fan) are ignored here;
+     *    core::runResilienceStudy applies them to the room model.
+     *
+     * Given the same seed and schedule the run is bit-identical on
+     * every platform and at every thread count.
+     *
+     * @param trace  Normalized multi-class load trace.
+     * @param faults Fault schedule, or nullptr for none.
+     */
+    DcSimResult run(const WorkloadTrace &trace,
+                    const fault::FaultSchedule *faults);
 
     /** @return The configuration. */
     const DcSimConfig &config() const { return config_; }

@@ -1,6 +1,7 @@
 #include "workload/trace_io.hh"
 
 #include <array>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -81,20 +82,40 @@ readTraceCsv(std::istream &in)
     WorkloadTrace trace;
     std::string line;
     std::size_t line_no = 1;
+    bool have_last_t = false;
+    double last_t = 0.0;
     while (std::getline(in, line)) {
         ++line_no;
         if (line.empty() || line == "\r")
             continue;
         auto cells = splitCsvLine(line);
-        require(cells.size() >= columns.size() - 0 &&
+        // Truncated rows (a cut-off download, a partial write) must
+        // fail loudly, not index out of range.
+        require(cells.size() >= columns.size() &&
                 cells.size() >= 1 + jobClassCount,
                 "readTraceCsv: short row at line " +
                     std::to_string(line_no));
         double t = units::hours(parseNumber(cells[0], "time"));
+        require(std::isfinite(t),
+                "readTraceCsv: non-finite time at line " +
+                    std::to_string(line_no));
+        require(!have_last_t || t > last_t,
+                "readTraceCsv: out-of-order timestamp at line " +
+                    std::to_string(line_no) +
+                    " (times must be strictly increasing)");
+        last_t = t;
+        have_last_t = true;
         std::array<double, jobClassCount> sample{};
-        for (std::size_t c = 0; c < jobClassCount; ++c)
-            sample[c] =
-                parseNumber(cells[col[c]], "class load");
+        for (std::size_t c = 0; c < jobClassCount; ++c) {
+            double v = parseNumber(cells[col[c]], "class load");
+            require(std::isfinite(v),
+                    "readTraceCsv: non-finite class load at line " +
+                        std::to_string(line_no));
+            require(v >= 0.0,
+                    "readTraceCsv: negative class load at line " +
+                        std::to_string(line_no));
+            sample[c] = v;
+        }
         trace.append(t, sample);
     }
     require(trace.size() >= 2, "readTraceCsv: need >= 2 rows");

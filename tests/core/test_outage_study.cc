@@ -86,6 +86,39 @@ TEST(OutageStudy, BiggerChargeBuysMoreTime)
               r1.extraRideThroughS());
 }
 
+TEST(OutageStudy, CensoredRunReportsExactlyTheHorizon)
+{
+    // Regression: rideThroughS used to conflate "never hit the
+    // limit" with "hit exactly at the horizon" and could overshoot
+    // the horizon by a partial step.  hitLimit is authoritative;
+    // a censored trajectory reports exactly maxDurationS even when
+    // the step does not divide it.
+    auto o = fastOptions();
+    o.utilization = 0.30;
+    o.residualCoolingFraction = 0.6;
+    o.maxDurationS = 605.0; // Not a multiple of stepS = 10.
+    auto r = runOutageStudy(server::rd330Spec(), o);
+
+    for (const auto *arm : {&r.noWax, &r.withWax}) {
+        ASSERT_FALSE(arm->hitLimit);
+        EXPECT_TRUE(arm->censored());
+        EXPECT_EQ(arm->rideThroughS, o.maxDurationS);
+    }
+    // Neither arm hit: no extra ride-through can be claimed.
+    EXPECT_EQ(r.extraRideThroughS(), 0.0);
+}
+
+TEST(OutageStudy, HitAtTheHorizonIsNotCensored)
+{
+    // The converse: an arm that does hit the limit reports the
+    // crossing time and censored() is false.
+    auto r = runOutageStudy(server::rd330Spec(), fastOptions());
+    ASSERT_TRUE(r.noWax.hitLimit);
+    EXPECT_FALSE(r.noWax.censored());
+    EXPECT_LE(r.noWax.rideThroughS, fastOptions().maxDurationS);
+    EXPECT_GT(r.noWax.rideThroughS, 0.0);
+}
+
 TEST(OutageStudy, RejectsBadOptions)
 {
     auto o = fastOptions();

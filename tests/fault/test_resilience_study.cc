@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Resilience-study tests: the three canonical fault scenarios are
+ * pinned in tests/data/golden.json (regenerate with tools/tts_golden
+ * when a change is intentional), plus physical sanity checks on the
+ * wax-vs-no-wax comparison and the fault-injected cluster accounting.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/resilience_study.hh"
+#include "server/server_spec.hh"
+#include "util/error.hh"
+#include "util/kv_json.hh"
+
+#ifndef TTS_GOLDEN_JSON
+#error "TTS_GOLDEN_JSON must point at the checked-in golden file"
+#endif
+
+using namespace tts;
+using namespace tts::core;
+
+namespace {
+
+/** Recompute the resilience golden slice once (the grid takes a
+ *  couple of seconds). */
+const std::map<std::string, double> &
+computed()
+{
+    static const std::map<std::string, double> values =
+        resilienceGoldenValues();
+    return values;
+}
+
+/** The canonical scenario grid run once, shared across tests. */
+const std::vector<ResilienceResult> &
+canonicalResults()
+{
+    static const std::vector<ResilienceResult> results = [] {
+        ResilienceStudyOptions opt;
+        auto scenarios =
+            canonicalScenarios(opt.cluster.serverCount);
+        return runResilienceGrid(server::rd330Spec(), scenarios,
+                                 opt);
+    }();
+    return results;
+}
+
+} // namespace
+
+TEST(ResilienceStudy, CanonicalScenariosArePinnedInGoldenFile)
+{
+    auto golden = readKvJsonFile(TTS_GOLDEN_JSON);
+    const auto &now = computed();
+
+    // Every recomputed key must exist in the golden file and every
+    // pinned resilience.* key must still be computed.
+    std::size_t pinned = 0;
+    for (const auto &[key, value] : golden) {
+        if (key.rfind("resilience.", 0) != 0)
+            continue;
+        ++pinned;
+        EXPECT_TRUE(now.count(key))
+            << "golden key \"" << key << "\" no longer computed";
+    }
+    EXPECT_EQ(pinned, now.size())
+        << "resilience key set changed; regenerate golden.json "
+        << "with tools/tts_golden";
+
+    for (const auto &[key, value] : now) {
+        auto it = golden.find(key);
+        ASSERT_NE(it, golden.end())
+            << "new value \"" << key
+            << "\" missing from golden file";
+        EXPECT_NEAR(value, it->second,
+                    1e-6 * std::abs(it->second) + 1e-12)
+            << "resilience golden drifted: " << key;
+    }
+}
+
+TEST(ResilienceStudy, CoversThreeCanonicalScenarios)
+{
+    auto scenarios = canonicalScenarios(48);
+    ASSERT_EQ(scenarios.size(), 3u);
+    EXPECT_EQ(scenarios[0].name, "plant_trip_total");
+    EXPECT_EQ(scenarios[1].name, "partial_trip_sensor_drift");
+    EXPECT_EQ(scenarios[2].name, "crash_fan_storm");
+    for (const auto &s : scenarios)
+        EXPECT_FALSE(s.faults.empty()) << s.name;
+}
+
+TEST(ResilienceStudy, WaxExtendsTotalPlantTripRideThrough)
+{
+    const auto &r = canonicalResults()[0];
+    ASSERT_EQ(r.scenario, "plant_trip_total");
+
+    // Losing the whole plant must eventually cross the limit in
+    // both arms, and the wax arm must last strictly longer.
+    EXPECT_TRUE(r.noWax.hitLimit);
+    EXPECT_TRUE(r.withWax.hitLimit);
+    EXPECT_GT(r.extraRideThroughS(), 0.0);
+    EXPECT_GT(r.withWax.rideThroughS, r.noWax.rideThroughS);
+    // Wax buys work too: more throughput retained to the horizon.
+    EXPECT_GE(r.retentionGain(), 0.0);
+    // The wax actually melted during the emergency.
+    double peak_melt = 0.0;
+    for (double m : r.withWax.waxMelt.values())
+        peak_melt = std::max(peak_melt, m);
+    EXPECT_GT(peak_melt, 0.05);
+}
+
+TEST(ResilienceStudy, ArmsReportCoherentMetrics)
+{
+    auto scenarios = canonicalScenarios(48);
+    const auto &results = canonicalResults();
+    ASSERT_EQ(results.size(), scenarios.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        for (const auto *arm : {&r.noWax, &r.withWax}) {
+            // Censored runs report exactly the horizon; hits report
+            // no more than it (a hit at t=horizon still counts).
+            if (arm->hitLimit)
+                EXPECT_LE(arm->rideThroughS, scenarios[i].horizonS)
+                    << r.scenario;
+            else
+                EXPECT_EQ(arm->rideThroughS, scenarios[i].horizonS)
+                    << r.scenario;
+            EXPECT_GE(arm->throughputRetention, 0.0) << r.scenario;
+            EXPECT_LE(arm->throughputRetention, 1.0 + 1e-9)
+                << r.scenario;
+            EXPECT_GE(arm->throttledS, 0.0) << r.scenario;
+            EXPECT_FALSE(arm->roomAirC.values().empty())
+                << r.scenario;
+        }
+        // Cluster accounting partition holds under faults.
+        EXPECT_EQ(r.cluster.offeredJobs,
+                  r.cluster.completedJobs + r.cluster.droppedJobs +
+                      r.cluster.residualJobs)
+            << r.scenario;
+        EXPECT_LE(r.cluster.crashKilledJobs, r.cluster.droppedJobs)
+            << r.scenario;
+    }
+}
+
+TEST(ResilienceStudy, SensorDriftDelaysThrottle)
+{
+    // The drifting-sensor scenario reads 3 C low, so the emergency
+    // throttle engages later than the true temperature warrants; the
+    // sensed series must sit below the true room air during drift.
+    const auto &r = canonicalResults()[1];
+    ASSERT_EQ(r.scenario, "partial_trip_sensor_drift");
+    const auto &true_c = r.noWax.roomAirC.values();
+    const auto &sensed_c = r.noWax.sensedInletC.values();
+    ASSERT_EQ(true_c.size(), sensed_c.size());
+    std::size_t low_readings = 0;
+    for (std::size_t i = 0; i < true_c.size(); ++i)
+        if (sensed_c[i] < true_c[i] - 1.0)
+            ++low_readings;
+    EXPECT_GT(low_readings, true_c.size() / 2);
+}
+
+TEST(ResilienceStudy, CrashStormShowsClusterDegradation)
+{
+    const auto &r = canonicalResults()[2];
+    ASSERT_EQ(r.scenario, "crash_fan_storm");
+    EXPECT_GT(r.cluster.faultEventsApplied, 0u);
+    EXPECT_GT(r.cluster.completedJobs, 0u);
+    // completedByServer must tally with the cluster total.
+    std::uint64_t by_server = 0;
+    for (auto c : r.cluster.completedByServer)
+        by_server += c;
+    EXPECT_EQ(by_server, r.cluster.completedJobs);
+}
+
+TEST(ResilienceStudy, NoFaultScenarioIsCensoredWithFullRetention)
+{
+    ResilienceScenario calm;
+    calm.name = "calm";
+    calm.faults.add(10.0, fault::FaultKind::SensorDropout);
+    calm.faults.add(20.0, fault::FaultKind::SensorRestore);
+    calm.utilization = 0.5;
+    calm.horizonS = 1800.0;
+
+    ResilienceStudyOptions opt;
+    opt.cluster.serverCount = 16;
+    opt.cluster.slotsPerServer = 4;
+    auto r = runResilienceStudy(server::rd330Spec(), calm, opt);
+
+    for (const auto *arm : {&r.noWax, &r.withWax}) {
+        EXPECT_FALSE(arm->hitLimit);
+        // Censored: reports exactly the horizon, never beyond.
+        EXPECT_EQ(arm->rideThroughS, calm.horizonS);
+        EXPECT_NEAR(arm->throughputRetention, 1.0, 1e-6);
+        EXPECT_EQ(arm->throttledS, 0.0);
+    }
+    EXPECT_EQ(r.extraRideThroughS(), 0.0);
+}
+
+TEST(ResilienceStudy, RejectsBadInputs)
+{
+    ResilienceScenario s;
+    s.name = "bad";
+    s.faults.add(10.0, fault::FaultKind::CoolingTrip,
+                 fault::FaultEvent::noTarget, 1.0);
+
+    ResilienceStudyOptions opt;
+    opt.stepS = 0.0;
+    EXPECT_THROW(runResilienceStudy(server::rd330Spec(), s, opt),
+                 FatalError);
+
+    opt = ResilienceStudyOptions{};
+    s.utilization = 1.5;
+    EXPECT_THROW(runResilienceStudy(server::rd330Spec(), s, opt),
+                 FatalError);
+
+    s.utilization = 0.75;
+    s.horizonS = -1.0;
+    EXPECT_THROW(runResilienceStudy(server::rd330Spec(), s, opt),
+                 FatalError);
+}

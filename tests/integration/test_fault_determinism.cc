@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Acceptance criterion for the fault subsystem: the full resilience
+ * grid (FaultSchedule generation, fault-injected DCSim, and both
+ * thermal arms) must be bit-for-bit identical at one and eight
+ * threads.  No tolerance - the schedules are seeded per-stream and
+ * the grid runs through tts::exec::parallel_map keyed by index, so
+ * any drift means the determinism contract is broken.
+ */
+
+#include <gtest/gtest.h>
+#include <map>
+#include <string>
+
+#include "core/resilience_study.hh"
+#include "exec/parallel.hh"
+
+using namespace tts;
+
+TEST(FaultDeterminism, ResilienceGridIdenticalAtOneAndEightThreads)
+{
+    exec::setGlobalThreads(1);
+    auto serial = core::resilienceGoldenValues();
+    exec::setGlobalThreads(8);
+    auto parallel = core::resilienceGoldenValues();
+    exec::setGlobalThreads(exec::defaultThreadCount());
+
+    ASSERT_FALSE(serial.empty());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const auto &[key, value] : serial) {
+        ASSERT_TRUE(parallel.count(key)) << key;
+        // Exact bit equality, not NEAR.
+        EXPECT_EQ(value, parallel.at(key)) << key;
+    }
+}
+
+TEST(FaultDeterminism, GeneratedSchedulesIdenticalAcrossThreadCounts)
+{
+    // Schedule generation itself must not depend on the pool: the
+    // canonical crash_fan_storm scenario is regenerated under both
+    // thread settings and compared event-by-event.
+    exec::setGlobalThreads(1);
+    auto a = core::canonicalScenarios(48);
+    exec::setGlobalThreads(8);
+    auto b = core::canonicalScenarios(48);
+    exec::setGlobalThreads(exec::defaultThreadCount());
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_TRUE(a[i].faults == b[i].faults) << a[i].name;
+        EXPECT_EQ(a[i].faults.serialize(), b[i].faults.serialize())
+            << a[i].name;
+    }
+}

@@ -13,12 +13,16 @@
  *     within Poisson confidence bounds;
  *   - no FIFO queue ever exceeds queueCapPerServer;
  *   - round-robin keeps per-server utilization uniform at every
- *     seed, not just the one the performance test happens to use.
+ *     seed, not just the one the performance test happens to use;
+ *   - the same bookkeeping survives randomized fault injection:
+ *     crashes, recoveries, and trace gaps cannot make a job vanish
+ *     or be double-counted, and a dead server completes nothing.
  */
 
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include "fault/fault_schedule.hh"
 #include "util/units.hh"
 #include "workload/dcsim.hh"
 #include "workload/google_trace.hh"
@@ -144,6 +148,149 @@ TEST(DcSimInvariants, DiurnalTraceConservesJobsToo)
                   r.completedJobs + r.droppedJobs + r.residualJobs)
             << "seed " << seed;
         EXPECT_GT(r.offeredJobs, 0u);
+    }
+}
+
+fault::FaultSchedule
+randomFaults(std::uint64_t seed, std::size_t server_count,
+             double horizon_s)
+{
+    fault::FaultProfile p;
+    p.serverCrashPerHour = 2.0;
+    p.serverRepairMeanS = 300.0;
+    p.traceGapPerHour = 2.0;
+    p.traceGapMeanS = 120.0;
+    // Thermal kinds ride along to prove the cluster sim skips them
+    // without disturbing its accounting.
+    p.coolingTripPerHour = 1.0;
+    p.coolingTripFraction = 0.5;
+    p.sensorDropoutPerHour = 1.0;
+    return fault::generateSchedule(p, horizon_s, server_count,
+                                   seed);
+}
+
+TEST(DcSimFaultInvariants, AccountingPartitionsUnderRandomFaults)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        auto cfg = configForSeed(seed);
+        auto faults = randomFaults(seed * 101, cfg.serverCount,
+                                   3600.0);
+        ClusterSim sim(cfg);
+        auto r = sim.run(flatTrace(0.8), &faults);
+
+        EXPECT_EQ(r.offeredJobs,
+                  r.completedJobs + r.droppedJobs + r.residualJobs)
+            << "seed " << seed;
+        EXPECT_LE(r.crashKilledJobs, r.droppedJobs)
+            << "seed " << seed;
+        EXPECT_LE(r.rejectedNoAliveServer, r.droppedJobs)
+            << "seed " << seed;
+
+        // Per-server completions tally with the cluster total.
+        std::uint64_t by_server = 0;
+        for (auto c : r.completedByServer)
+            by_server += c;
+        EXPECT_EQ(by_server, r.completedJobs) << "seed " << seed;
+
+        // Utilization is a fraction of slots at every sample.
+        for (double v : r.clusterUtilization.values()) {
+            EXPECT_GE(v, 0.0) << "seed " << seed;
+            EXPECT_LE(v, 1.0) << "seed " << seed;
+        }
+    }
+}
+
+TEST(DcSimFaultInvariants, DeadServerCompletesNothing)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        auto cfg = configForSeed(seed);
+        fault::FaultSchedule faults;
+        // Server 3 dies before any arrival and never recovers.
+        faults.add(0.0, fault::FaultKind::ServerCrash, 3);
+        ClusterSim sim(cfg);
+        auto r = sim.run(flatTrace(0.8), &faults);
+
+        ASSERT_EQ(r.completedByServer.size(), cfg.serverCount);
+        EXPECT_EQ(r.completedByServer[3], 0u) << "seed " << seed;
+        // The balancer re-dispatched around the dead server.
+        EXPECT_GT(r.completedJobs, 0u) << "seed " << seed;
+        EXPECT_EQ(r.offeredJobs,
+                  r.completedJobs + r.droppedJobs + r.residualJobs)
+            << "seed " << seed;
+    }
+}
+
+TEST(DcSimFaultInvariants, MidRunCrashKillsInFlightJobsExactly)
+{
+    auto cfg = configForSeed(7);
+    fault::FaultSchedule faults;
+    faults.add(1800.0, fault::FaultKind::ServerCrash, 0);
+    ClusterSim sim(cfg);
+    auto r = sim.run(flatTrace(0.9), &faults);
+
+    // At 90 % load the victim had work in flight: the kill counter
+    // is live and every dropped job here came from the crash.
+    EXPECT_GT(r.crashKilledJobs, 0u);
+    EXPECT_EQ(r.droppedJobs, r.crashKilledJobs);
+    EXPECT_EQ(r.offeredJobs,
+              r.completedJobs + r.droppedJobs + r.residualJobs);
+    EXPECT_EQ(r.faultEventsApplied, 1u);
+}
+
+TEST(DcSimFaultInvariants, AllServersDeadRejectsArrivals)
+{
+    auto cfg = configForSeed(3);
+    fault::FaultSchedule faults;
+    for (std::size_t s = 0; s < cfg.serverCount; ++s)
+        faults.add(600.0, fault::FaultKind::ServerCrash, s);
+    ClusterSim sim(cfg);
+    auto r = sim.run(flatTrace(0.7), &faults);
+
+    EXPECT_GT(r.rejectedNoAliveServer, 0u);
+    // Nothing completes after the massacre and nothing lingers.
+    EXPECT_EQ(r.residualJobs, 0u);
+    EXPECT_EQ(r.offeredJobs,
+              r.completedJobs + r.droppedJobs + r.residualJobs);
+}
+
+TEST(DcSimFaultInvariants, TraceGapSuppressesOffers)
+{
+    auto cfg = configForSeed(5);
+    // Dark input for the middle half of the run.
+    fault::FaultSchedule faults;
+    faults.add(900.0, fault::FaultKind::TraceGapStart);
+    faults.add(2700.0, fault::FaultKind::TraceGapEnd);
+    ClusterSim sim(cfg);
+    auto gap = sim.run(flatTrace(0.7), &faults);
+    ClusterSim base_sim(cfg);
+    auto base = base_sim.run(flatTrace(0.7));
+
+    // The gap's would-be jobs are never offered: roughly half the
+    // fault-free volume, and far fewer than a no-gap run.
+    EXPECT_LT(gap.offeredJobs, base.offeredJobs * 3 / 4);
+    EXPECT_GT(gap.offeredJobs, 0u);
+    EXPECT_EQ(gap.offeredJobs,
+              gap.completedJobs + gap.droppedJobs +
+                  gap.residualJobs);
+}
+
+TEST(DcSimFaultInvariants, NullScheduleMatchesLegacyPathExactly)
+{
+    // run(trace) and run(trace, nullptr) and an empty schedule all
+    // draw the same RNG stream: bit-identical results.
+    auto cfg = configForSeed(11);
+    fault::FaultSchedule empty;
+    auto a = ClusterSim(cfg).run(flatTrace(0.7));
+    auto b = ClusterSim(cfg).run(flatTrace(0.7), nullptr);
+    auto c = ClusterSim(cfg).run(flatTrace(0.7), &empty);
+
+    for (const auto &r : {b, c}) {
+        EXPECT_EQ(a.offeredJobs, r.offeredJobs);
+        EXPECT_EQ(a.completedJobs, r.completedJobs);
+        EXPECT_EQ(a.droppedJobs, r.droppedJobs);
+        EXPECT_EQ(a.residualJobs, r.residualJobs);
+        EXPECT_EQ(a.clusterUtilization.values(),
+                  r.clusterUtilization.values());
     }
 }
 

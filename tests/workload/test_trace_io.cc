@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <sstream>
 
 #include "util/error.hh"
@@ -124,6 +125,80 @@ TEST(TraceIo, RejectsEmptyInput)
 {
     std::stringstream in("");
     EXPECT_THROW(readTraceCsv(in), FatalError);
+}
+
+// Fuzz-style corpus: every malformed input a cut-off download or a
+// corrupted sensor export can produce must die with a FatalError
+// carrying a line number - never an out-of-range index, a silent
+// NaN in the trace, or an accepted partial row.
+TEST(TraceIo, MalformedCorpusAllRejectedWithoutCrashing)
+{
+    const char *corpus[] = {
+        // Truncated data row (fewer cells than the header).
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,0.2,0.3\n"
+        "1,0.2,0.3\n",
+        // Row cut mid-cell.
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,0.2,0.3\n"
+        "1,0.2,0.\n",
+        // Empty cell in the middle.
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,,0.3\n"
+        "1,0.2,0.3,0.4\n",
+        // NaN utilization.
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,nan,0.3\n"
+        "1,0.2,0.3,0.4\n",
+        // Infinite utilization.
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,inf,0.3\n"
+        "1,0.2,0.3,0.4\n",
+        // Negative utilization.
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,-0.2,0.3\n"
+        "1,0.2,0.3,0.4\n",
+        // NaN timestamp.
+        "t_hours,Orkut,Search,FBmr\n"
+        "nan,0.1,0.2,0.3\n"
+        "1,0.2,0.3,0.4\n",
+        // Out-of-order timestamps.
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,0.2,0.3\n"
+        "2,0.2,0.3,0.4\n"
+        "1,0.2,0.3,0.4\n",
+        // Trailing garbage glued to a number.
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,0.2x,0.3\n"
+        "1,0.2,0.3,0.4\n",
+        // Header only, then noise.
+        "t_hours,Orkut,Search,FBmr\n"
+        ",,,\n",
+        // Binary junk where the header should be.
+        "\x01\x02\x03\n0,0.1,0.2,0.3\n",
+    };
+    for (std::size_t i = 0; i < std::size(corpus); ++i) {
+        std::stringstream in(corpus[i]);
+        EXPECT_THROW(readTraceCsv(in), FatalError)
+            << "corpus entry " << i << " was accepted:\n"
+            << corpus[i];
+    }
+}
+
+TEST(TraceIo, ErrorsCarryTheOffendingLineNumber)
+{
+    std::stringstream in(
+        "t_hours,Orkut,Search,FBmr\n"
+        "0,0.1,0.2,0.3\n"
+        "1,0.2,-0.3,0.4\n");
+    try {
+        readTraceCsv(in);
+        FAIL() << "negative load accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(TraceIo, LoadRejectsMissingFile)

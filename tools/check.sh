@@ -5,7 +5,7 @@
 # tree (TTS_SANITIZE=thread) - and runs the suites that exercise
 # tts::exec and the seeded simulator under both:
 #
-#   tools/check.sh           # fast label + TSan exec/dcsim suites
+#   tools/check.sh           # fast + fault labels, TSan suites
 #   tools/check.sh --full    # also the integration label (slow)
 #
 # Exits non-zero on the first failure.
@@ -24,6 +24,9 @@ cmake --build build -j > /dev/null
 echo "== ctest -L fast =="
 ctest --test-dir build -L fast --output-on-failure -j
 
+echo "== ctest -L fault =="
+ctest --test-dir build -L fault --output-on-failure -j
+
 if [ "$FULL" = "1" ]; then
     echo "== ctest -L integration =="
     ctest --test-dir build -L integration --output-on-failure -j
@@ -33,12 +36,15 @@ echo "== ThreadSanitizer build (TTS_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTTS_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j \
-    --target tts_exec_test tts_workload_test > /dev/null
+    --target tts_exec_test tts_workload_test tts_fault_test \
+    > /dev/null
 
 echo "== TSan: exec engine, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_exec_test
 echo "== TSan: seeded cluster simulator =="
 ./build-tsan/tests/tts_workload_test \
-    --gtest_filter='DcSimInvariants*'
+    --gtest_filter='DcSim*'
+echo "== TSan: fault injection + resilience grid, 8 threads =="
+TTS_THREADS=8 ./build-tsan/tests/tts_fault_test
 
 echo "OK"

@@ -10,8 +10,17 @@
  *   tts_sim optimize   [--platform=P] [--min=C] [--max=C]
  *                      [--step=C]
  *   tts_sim outage     [--platform=P] [--util=U]
+ *   tts_sim resilience [--platform=P] [--util=U]
+ *                      [--scenario=NAME | --faults=FILE]
  *   tts_sim report     [--platform=P] [--out=DIR]
  *   tts_sim validate
+ *
+ * The resilience command injects a fault scenario (server crashes,
+ * fan failures, partial cooling trips, sensor drift/dropout, trace
+ * gaps) and compares wax vs. no-wax ride-through and throughput
+ * retention.  --scenario picks a canonical one (plant_trip_total,
+ * partial_trip_sensor_drift, crash_fan_storm); --faults loads a
+ * schedule file in the tts-fault-schedule v1 format.
  *
  * Any command taking a trace accepts --trace=FILE to load a measured
  * CSV trace (t_hours,Orkut,Search,FBmr) instead of the synthetic
@@ -25,12 +34,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/thermal_time_shifting.hh"
 #include "core/outage_study.hh"
 #include "core/report.hh"
+#include "core/resilience_study.hh"
+#include "fault/fault_schedule.hh"
 #include "workload/trace_io.hh"
 #include "util/error.hh"
 #include "util/table.hh"
@@ -56,6 +68,8 @@ struct Options
     bool csv = false;
     std::string trace_file;
     std::string out_dir = ".";
+    std::string scenario = "plant_trip_total";
+    std::string faults_file;
 };
 
 double
@@ -78,7 +92,7 @@ parse(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: tts_sim "
                      "<trace|cooling|throughput|optimize|outage|"
-                     "report|validate> [options]\n");
+                     "resilience|report|validate> [options]\n");
         std::exit(2);
     }
     o.command = argv[1];
@@ -106,6 +120,10 @@ parse(int argc, char **argv)
             o.trace_file = a.substr(8);
         else if (a.rfind("--out=", 0) == 0)
             o.out_dir = a.substr(6);
+        else if (a.rfind("--scenario=", 0) == 0)
+            o.scenario = a.substr(11);
+        else if (a.rfind("--faults=", 0) == 0)
+            o.faults_file = a.substr(9);
         else if (a == "--csv")
             o.csv = true;
         else {
@@ -271,6 +289,70 @@ cmdOutage(const Options &o)
 }
 
 int
+cmdResilience(const Options &o)
+{
+    auto spec = platformOf(o);
+    core::ResilienceStudyOptions opts;
+
+    core::ResilienceScenario scenario;
+    if (!o.faults_file.empty()) {
+        std::ifstream in(o.faults_file);
+        require(in.good(), "cannot open fault schedule '" +
+                               o.faults_file + "'");
+        scenario.name = "file";
+        scenario.faults = fault::FaultSchedule::read(in);
+        scenario.utilization = o.util;
+    } else {
+        bool found = false;
+        for (auto &s : core::canonicalScenarios(
+                 opts.cluster.serverCount)) {
+            if (s.name == o.scenario) {
+                scenario = std::move(s);
+                found = true;
+                break;
+            }
+        }
+        require(found, "unknown scenario '" + o.scenario +
+                           "' (try plant_trip_total, "
+                           "partial_trip_sensor_drift, "
+                           "crash_fan_storm)");
+    }
+
+    auto r = core::runResilienceStudy(spec, scenario, opts);
+    std::printf("platform=%s scenario=%s events=%zu util=%.2f "
+                "horizon=%.0fmin\n",
+                spec.name.c_str(), scenario.name.c_str(),
+                scenario.faults.size(), scenario.utilization,
+                scenario.horizonS / 60.0);
+    auto arm_line = [](const char *label,
+                       const core::ResilienceArm &a) {
+        std::printf("%s ride-through %.1f min%s, retention "
+                    "%.1f%%, throttled %.1f min\n",
+                    label, a.rideThroughS / 60.0,
+                    a.hitLimit ? "" : " (survived horizon)",
+                    100.0 * a.throughputRetention,
+                    a.throttledS / 60.0);
+    };
+    arm_line("without wax:", r.noWax);
+    arm_line("with wax:   ", r.withWax);
+    std::printf("extra ride-through from PCM: %.1f min\n",
+                r.extraRideThroughS() / 60.0);
+    std::printf("cluster: offered=%llu completed=%llu "
+                "dropped=%llu crash-killed=%llu residual=%llu\n",
+                static_cast<unsigned long long>(
+                    r.cluster.offeredJobs),
+                static_cast<unsigned long long>(
+                    r.cluster.completedJobs),
+                static_cast<unsigned long long>(
+                    r.cluster.droppedJobs),
+                static_cast<unsigned long long>(
+                    r.cluster.crashKilledJobs),
+                static_cast<unsigned long long>(
+                    r.cluster.residualJobs));
+    return 0;
+}
+
+int
 cmdReport(const Options &o)
 {
     auto spec = platformOf(o);
@@ -320,6 +402,8 @@ main(int argc, char **argv)
             return cmdOptimize(o);
         if (o.command == "outage")
             return cmdOutage(o);
+        if (o.command == "resilience")
+            return cmdResilience(o);
         if (o.command == "report")
             return cmdReport(o);
         if (o.command == "validate")
