@@ -1,9 +1,12 @@
 #include "core/resilience_study.hh"
 
 #include <cmath>
+#include <fstream>
+#include <limits>
 
 #include "exec/parallel.hh"
 #include "fault/fault_injector.hh"
+#include "guard/checkpoint.hh"
 #include "server/server_model.hh"
 #include "util/error.hh"
 
@@ -23,120 +26,505 @@ flatTrace(double util, double horizon_s)
     return t;
 }
 
-/**
- * Thermal arm: room + two representative servers (healthy and
- * fan-failed) under the scenario's plant/sensor/fan events, with
- * sensed-inlet emergency throttling.
- */
-ResilienceArm
-runThermalArm(const server::ServerSpec &spec,
-              const server::WaxConfig &wax,
-              const ResilienceScenario &scenario,
-              const ResilienceStudyOptions &opt)
+bool
+fileExists(const std::string &path)
 {
-    server::ServerModel srv(spec, wax);
-    // The fan-failed population cannot move its design airflow, so
-    // it is pinned at the DVFS floor for the whole scenario - the
-    // same graceful-degradation choice iDataCool-style operations
-    // make when a cooling loop degrades.
-    server::ServerModel fan_srv(spec, wax);
-    datacenter::RoomModel room(opt.room);
-    fault::FaultInjector inj(scenario.faults,
-                             opt.cluster.serverCount,
-                             opt.room.setpointC);
+    std::ifstream f(path);
+    return f.good();
+}
 
-    const double u = scenario.utilization;
-    const double floor_ghz = spec.cpu.minFreqGHz;
-    const double throttle_at = opt.room.limitC -
-        opt.throttleMarginC;
-    const double n = static_cast<double>(opt.serverCount);
-    const double sample =
-        static_cast<double>(opt.cluster.serverCount);
+void
+saveCounters(guard::CheckpointWriter &w, const std::string &key,
+             const guard::GuardCounters &c)
+{
+    w.putU64Vector(key, {c.advances, c.steps, c.audits,
+                         c.sentinelTrips, c.auditTrips, c.retries,
+                         c.fallbacks});
+    w.put(key + ".worst_residual_j", c.worstResidualJ);
+    w.put(key + ".worst_residual_t", c.worstResidualTimeS);
+}
 
-    srv.network().setInletTemp(opt.room.setpointC);
-    srv.setLoad(u);
-    srv.solveSteadyState();
-    fan_srv.network().setInletTemp(opt.room.setpointC);
-    fan_srv.setLoad(u, floor_ghz);
-    fan_srv.solveSteadyState();
+guard::GuardCounters
+restoreCounters(guard::CheckpointReader &r, const std::string &key)
+{
+    std::vector<std::uint64_t> v = r.expectU64Vector(key);
+    require(v.size() == 7, "resilience checkpoint: bad guard "
+                           "counters for " + key);
+    guard::GuardCounters c;
+    c.advances = v[0];
+    c.steps = v[1];
+    c.audits = v[2];
+    c.sentinelTrips = v[3];
+    c.auditTrips = v[4];
+    c.retries = v[5];
+    c.fallbacks = v[6];
+    c.worstResidualJ = r.expect(key + ".worst_residual_j");
+    c.worstResidualTimeS = r.expect(key + ".worst_residual_t");
+    return c;
+}
 
-    ResilienceArm arm;
-    arm.roomAirC.setName("room_air_c");
-    arm.sensedInletC.setName("sensed_inlet_c");
-    arm.waxMelt.setName("wax_melt");
-    arm.throughputRel.setName("throughput_rel");
+void
+saveSeries(guard::CheckpointWriter &w, const std::string &key,
+           const TimeSeries &s)
+{
+    w.putVector(key + ".times", s.times());
+    w.putVector(key + ".values", s.values());
+}
 
-    double t = 0.0;
-    bool throttled = false;
-    double work_integral = 0.0;
+TimeSeries
+restoreSeries(guard::CheckpointReader &r, const std::string &key,
+              const std::string &name)
+{
+    std::vector<double> times = r.expectVector(key + ".times");
+    std::vector<double> values = r.expectVector(key + ".values");
+    require(times.size() == values.size(),
+            "resilience checkpoint: ragged series " + key);
+    TimeSeries s(name);
+    for (std::size_t i = 0; i < times.size(); ++i)
+        s.append(times[i], values[i]);
+    return s;
+}
 
-    arm.roomAirC.append(t, room.airTemp());
-    arm.sensedInletC.append(t, inj.senseInlet(room.airTemp()));
-    arm.waxMelt.append(t, srv.hasWax() ? srv.waxMeltFraction()
-                                       : 0.0);
-    arm.throughputRel.append(t, u);
+void
+saveArm(guard::CheckpointWriter &w, const ResilienceArm &a)
+{
+    saveSeries(w, "room_air", a.roomAirC);
+    saveSeries(w, "sensed_inlet", a.sensedInletC);
+    saveSeries(w, "wax_melt", a.waxMelt);
+    saveSeries(w, "throughput", a.throughputRel);
+    w.put("ride_through_s", a.rideThroughS);
+    w.putBool("hit_limit", a.hitLimit);
+    w.put("retention", a.throughputRetention);
+    w.put("throttled_s", a.throttledS);
+    saveCounters(w, "guard", a.guard);
+}
 
-    while (t < scenario.horizonS) {
-        inj.advanceTo(t);
-        double sensed = inj.senseInlet(room.airTemp());
-        if (!throttled && sensed >= throttle_at)
-            throttled = true;
-        else if (throttled &&
-                 sensed <= throttle_at - opt.throttleHysteresisC)
-            throttled = false;
+ResilienceArm
+restoreArm(guard::CheckpointReader &r)
+{
+    ResilienceArm a;
+    a.roomAirC = restoreSeries(r, "room_air", "room_air_c");
+    a.sensedInletC =
+        restoreSeries(r, "sensed_inlet", "sensed_inlet_c");
+    a.waxMelt = restoreSeries(r, "wax_melt", "wax_melt");
+    a.throughputRel =
+        restoreSeries(r, "throughput", "throughput_rel");
+    a.rideThroughS = r.expect("ride_through_s");
+    a.hitLimit = r.expectBool("hit_limit");
+    a.throughputRetention = r.expect("retention");
+    a.throttledS = r.expect("throttled_s");
+    a.guard = restoreCounters(r, "guard");
+    return a;
+}
 
-        srv.setLoad(u, throttled ? floor_ghz : 0.0);
-        srv.network().setInletTemp(room.airTemp());
-        srv.advance(opt.stepS, opt.stepS);
-        fan_srv.setLoad(u, floor_ghz);
-        fan_srv.network().setInletTemp(room.airTemp());
-        fan_srv.advance(opt.stepS, opt.stepS);
+/** Serialize one server model's evolving thermal state. */
+void
+saveServer(guard::CheckpointWriter &w, const std::string &key,
+           const server::ServerModel &m)
+{
+    w.putVector(key + ".h", m.network().enthalpies());
+    w.putBool(key + ".has_wax", m.hasWax());
+    if (m.hasWax()) {
+        pcm::PcmElement::ThermalState ts = m.wax()->thermalState();
+        w.put(key + ".wax.h", ts.enthalpyJ);
+        w.putBool(key + ".wax.freezing", ts.freezingBranch);
+        w.putBool(key + ".wax.was_melted", ts.wasMelted);
+        w.putU64(key + ".wax.cycles", ts.cycles);
+    }
+    saveCounters(w, key + ".guard", m.network().guardCounters());
+}
 
-        double alive_frac =
-            static_cast<double>(inj.aliveServers()) / sample;
-        double fan_frac =
-            static_cast<double>(inj.aliveFanFailed()) / sample;
-        double healthy_frac = alive_frac - fan_frac;
+void
+restoreServer(guard::CheckpointReader &r, const std::string &key,
+              server::ServerModel &m)
+{
+    m.network().setEnthalpies(r.expectVector(key + ".h"));
+    bool has_wax = r.expectBool(key + ".has_wax");
+    require(has_wax == m.hasWax(),
+            "resilience checkpoint: wax configuration mismatch for " +
+                key);
+    if (has_wax) {
+        pcm::PcmElement::ThermalState ts;
+        ts.enthalpyJ = r.expect(key + ".wax.h");
+        ts.freezingBranch = r.expectBool(key + ".wax.freezing");
+        ts.wasMelted = r.expectBool(key + ".wax.was_melted");
+        ts.cycles = r.expectU64(key + ".wax.cycles");
+        m.wax()->restoreThermalState(ts);
+    }
+    m.network().setGuardCounters(
+        restoreCounters(r, key + ".guard"));
+}
 
-        double rejected = n * (healthy_frac * srv.coolingLoad() +
-                               fan_frac * fan_srv.coolingLoad());
-        double removed =
-            inj.coolingCapacityFraction() * rejected;
-        room.step(opt.stepS, rejected, removed);
+/**
+ * Thermal arm (room + two representative servers under the
+ * scenario's plant/sensor/fan events with sensed-inlet emergency
+ * throttling) reshaped as a step machine: the loop body of the
+ * original closed-form run is step(), all loop state is members, and
+ * save()/restore() snapshot every evolving quantity so a resumed arm
+ * replays the identical arithmetic.
+ */
+class ThermalArmSim
+{
+  public:
+    ThermalArmSim(const server::ServerSpec &spec,
+                  const server::WaxConfig &wax,
+                  const ResilienceScenario &scenario,
+                  const ResilienceStudyOptions &opt)
+        : scenario_(scenario), opt_(opt), srv_(spec, wax),
+          // The fan-failed population cannot move its design
+          // airflow, so it is pinned at the DVFS floor for the whole
+          // scenario - the same graceful-degradation choice
+          // iDataCool-style operations make when a cooling loop
+          // degrades.
+          fan_srv_(spec, wax), room_(opt.room),
+          inj_(scenario.faults, opt.cluster.serverCount,
+               opt.room.setpointC),
+          u_(scenario.utilization),
+          floor_ghz_(spec.cpu.minFreqGHz),
+          throttle_at_(opt.room.limitC - opt.throttleMarginC),
+          n_(static_cast<double>(opt.serverCount)),
+          sample_(static_cast<double>(opt.cluster.serverCount))
+    {
+        srv_.network().setInletTemp(opt_.room.setpointC);
+        srv_.setLoad(u_);
+        srv_.solveSteadyState();
+        fan_srv_.network().setInletTemp(opt_.room.setpointC);
+        fan_srv_.setLoad(u_, floor_ghz_);
+        fan_srv_.solveSteadyState();
 
-        double tp = healthy_frac * srv.throughput() +
-            fan_frac * fan_srv.throughput();
-        work_integral += tp * opt.stepS;
-        if (throttled)
-            arm.throttledS += opt.stepS;
+        arm_.roomAirC.setName("room_air_c");
+        arm_.sensedInletC.setName("sensed_inlet_c");
+        arm_.waxMelt.setName("wax_melt");
+        arm_.throughputRel.setName("throughput_rel");
 
-        t += opt.stepS;
-        arm.roomAirC.append(t, room.airTemp());
-        arm.sensedInletC.append(t, inj.senseInlet(room.airTemp()));
-        arm.waxMelt.append(
-            t, srv.hasWax() ? srv.waxMeltFraction() : 0.0);
-        arm.throughputRel.append(t, tp);
-        if (room.overLimit()) {
-            arm.hitLimit = true;
-            break;
-        }
+        arm_.roomAirC.append(t_, room_.airTemp());
+        arm_.sensedInletC.append(t_, inj_.senseInlet(room_.airTemp()));
+        arm_.waxMelt.append(t_, srv_.hasWax() ? srv_.waxMeltFraction()
+                                              : 0.0);
+        arm_.throughputRel.append(t_, u_);
     }
 
-    // hitLimit authoritative, as in the outage study: censored runs
-    // report exactly the horizon.  Work past the limit is zero (the
-    // room forced a shutdown).
-    arm.rideThroughS = arm.hitLimit ? t : scenario.horizonS;
-    arm.throughputRetention =
-        work_integral / (u * scenario.horizonS);
-    return arm;
-}
+    bool done() const { return done_; }
+
+    /** One thermal step.  @return Simulated seconds advanced. */
+    double
+    step()
+    {
+        invariant(!done_, "ThermalArmSim::step: already done");
+        inj_.advanceTo(t_);
+        double sensed = inj_.senseInlet(room_.airTemp());
+        if (!throttled_ && sensed >= throttle_at_)
+            throttled_ = true;
+        else if (throttled_ &&
+                 sensed <= throttle_at_ - opt_.throttleHysteresisC)
+            throttled_ = false;
+
+        srv_.setLoad(u_, throttled_ ? floor_ghz_ : 0.0);
+        srv_.network().setInletTemp(room_.airTemp());
+        srv_.advance(opt_.stepS, opt_.stepS);
+        fan_srv_.setLoad(u_, floor_ghz_);
+        fan_srv_.network().setInletTemp(room_.airTemp());
+        fan_srv_.advance(opt_.stepS, opt_.stepS);
+
+        double alive_frac =
+            static_cast<double>(inj_.aliveServers()) / sample_;
+        double fan_frac =
+            static_cast<double>(inj_.aliveFanFailed()) / sample_;
+        double healthy_frac = alive_frac - fan_frac;
+
+        double rejected = n_ * (healthy_frac * srv_.coolingLoad() +
+                                fan_frac * fan_srv_.coolingLoad());
+        double removed = inj_.coolingCapacityFraction() * rejected;
+        room_.step(opt_.stepS, rejected, removed);
+
+        double tp = healthy_frac * srv_.throughput() +
+            fan_frac * fan_srv_.throughput();
+        work_integral_ += tp * opt_.stepS;
+        if (throttled_)
+            arm_.throttledS += opt_.stepS;
+
+        t_ += opt_.stepS;
+        arm_.roomAirC.append(t_, room_.airTemp());
+        arm_.sensedInletC.append(t_, inj_.senseInlet(room_.airTemp()));
+        arm_.waxMelt.append(
+            t_, srv_.hasWax() ? srv_.waxMeltFraction() : 0.0);
+        arm_.throughputRel.append(t_, tp);
+        if (room_.overLimit()) {
+            arm_.hitLimit = true;
+            done_ = true;
+        } else if (!(t_ < scenario_.horizonS)) {
+            done_ = true;
+        }
+        return opt_.stepS;
+    }
+
+    /** Final accounting; call once, after done(). */
+    ResilienceArm
+    take()
+    {
+        invariant(done_, "ThermalArmSim::take: arm not finished");
+        // hitLimit authoritative, as in the outage study: censored
+        // runs report exactly the horizon.  Work past the limit is
+        // zero (the room forced a shutdown).
+        arm_.rideThroughS = arm_.hitLimit ? t_ : scenario_.horizonS;
+        arm_.throughputRetention =
+            work_integral_ / (u_ * scenario_.horizonS);
+        arm_.guard = srv_.network().guardCounters();
+        arm_.guard.merge(fan_srv_.network().guardCounters());
+        return std::move(arm_);
+    }
+
+    void
+    save(guard::CheckpointWriter &w) const
+    {
+        w.section("thermal");
+        saveArm(w, arm_);
+        w.put("t", t_);
+        w.putBool("throttled", throttled_);
+        w.put("work_integral", work_integral_);
+        saveServer(w, "srv", srv_);
+        saveServer(w, "fan_srv", fan_srv_);
+        w.put("room.air_c", room_.airTemp());
+        w.put("room.mass_c", room_.massTemp());
+        fault::FaultInjector::State st = inj_.state();
+        w.putU64("inj.next", st.next);
+        w.put("inj.now", st.now);
+        std::vector<std::uint64_t> bits;
+        for (bool b : st.serverDown)
+            bits.push_back(b ? 1 : 0);
+        w.putU64Vector("inj.server_down", bits);
+        bits.clear();
+        for (bool b : st.fanFailed)
+            bits.push_back(b ? 1 : 0);
+        w.putU64Vector("inj.fan_failed", bits);
+        w.putU64("inj.alive", st.aliveCount);
+        w.put("inj.cooling_lost", st.coolingLostFraction);
+        w.put("inj.sensor_bias_c", st.sensorBiasC);
+        w.putBool("inj.sensor_valid", st.sensorValid);
+        w.put("inj.held_reading_c", st.heldReadingC);
+        w.putI64("inj.gap_depth", st.traceGapDepth);
+    }
+
+    void
+    restore(guard::CheckpointReader &r)
+    {
+        r.expectSection("thermal");
+        arm_ = restoreArm(r);
+        t_ = r.expect("t");
+        throttled_ = r.expectBool("throttled");
+        work_integral_ = r.expect("work_integral");
+        restoreServer(r, "srv", srv_);
+        restoreServer(r, "fan_srv", fan_srv_);
+        double air = r.expect("room.air_c");
+        double mass = r.expect("room.mass_c");
+        room_.setState(air, mass);
+        fault::FaultInjector::State st = inj_.state();
+        st.next = static_cast<std::size_t>(r.expectU64("inj.next"));
+        st.now = r.expect("inj.now");
+        std::vector<std::uint64_t> bits =
+            r.expectU64Vector("inj.server_down");
+        require(bits.size() == st.serverDown.size(),
+                "resilience checkpoint: injector population "
+                "mismatch");
+        for (std::size_t i = 0; i < bits.size(); ++i)
+            st.serverDown[i] = bits[i] != 0;
+        bits = r.expectU64Vector("inj.fan_failed");
+        require(bits.size() == st.fanFailed.size(),
+                "resilience checkpoint: injector population "
+                "mismatch");
+        for (std::size_t i = 0; i < bits.size(); ++i)
+            st.fanFailed[i] = bits[i] != 0;
+        st.aliveCount = static_cast<std::size_t>(
+            r.expectU64("inj.alive"));
+        st.coolingLostFraction = r.expect("inj.cooling_lost");
+        st.sensorBiasC = r.expect("inj.sensor_bias_c");
+        st.sensorValid = r.expectBool("inj.sensor_valid");
+        st.heldReadingC = r.expect("inj.held_reading_c");
+        st.traceGapDepth = static_cast<int>(
+            r.expectI64("inj.gap_depth"));
+        inj_.restoreState(st);
+        done_ = false;
+    }
+
+  private:
+    ResilienceScenario scenario_;
+    ResilienceStudyOptions opt_;
+    server::ServerModel srv_;
+    server::ServerModel fan_srv_;
+    datacenter::RoomModel room_;
+    fault::FaultInjector inj_;
+    double u_;
+    double floor_ghz_;
+    double throttle_at_;
+    double n_;
+    double sample_;
+
+    ResilienceArm arm_;
+    double t_ = 0.0;
+    bool throttled_ = false;
+    double work_integral_ = 0.0;
+    bool done_ = false;
+};
 
 } // namespace
 
-ResilienceResult
-runResilienceStudy(const server::ServerSpec &spec,
-                   const ResilienceScenario &scenario,
-                   const ResilienceStudyOptions &options)
+/** Phase machine: no-wax arm -> with-wax arm -> cluster -> done. */
+struct ResilienceRunner::Impl
+{
+    enum Phase
+    {
+        kArmNoWax = 0,
+        kArmWithWax = 1,
+        kCluster = 2,
+        kDone = 3,
+    };
+
+    server::ServerSpec spec;
+    ResilienceScenario scenario;
+    ResilienceStudyOptions opt;
+    workload::WorkloadTrace trace;
+    workload::RoundRobinBalancer balancer;
+
+    int phase = kArmNoWax;
+    ResilienceResult out;
+    std::unique_ptr<ThermalArmSim> arm;
+    std::unique_ptr<workload::ClusterSimEngine> engine;
+    double cluster_target = 0.0;
+    bool taken = false;
+
+    Impl(const server::ServerSpec &sp, const ResilienceScenario &sc,
+         const ResilienceStudyOptions &op)
+        : spec(sp), scenario(sc), opt(op),
+          trace(flatTrace(sc.utilization, sc.horizonS))
+    {
+        out.scenario = scenario.name;
+        arm = std::make_unique<ThermalArmSim>(
+            spec, waxFor(kArmNoWax), scenario, opt);
+    }
+
+    server::WaxConfig
+    waxFor(int ph) const
+    {
+        if (ph == kArmNoWax)
+            return server::WaxConfig::placebo();
+        return opt.meltTempC > 0.0
+            ? server::WaxConfig::withMeltTemp(opt.meltTempC)
+            : server::WaxConfig::paper();
+    }
+
+    void
+    makeEngine()
+    {
+        engine = std::make_unique<workload::ClusterSimEngine>(
+            opt.cluster, &balancer, trace, &scenario.faults);
+        cluster_target = trace.startTime();
+    }
+
+    /**
+     * Advance one slice: a single thermal step, or up to chunk_s of
+     * cluster events.  @return Simulated seconds advanced.
+     */
+    double
+    advanceOnce(double chunk_s)
+    {
+        if (phase == kArmNoWax || phase == kArmWithWax) {
+            double d = arm->step();
+            if (arm->done()) {
+                if (phase == kArmNoWax) {
+                    out.noWax = arm->take();
+                    phase = kArmWithWax;
+                    arm = std::make_unique<ThermalArmSim>(
+                        spec, waxFor(kArmWithWax), scenario, opt);
+                } else {
+                    out.withWax = arm->take();
+                    arm.reset();
+                    phase = kCluster;
+                    makeEngine();
+                }
+            }
+            return d;
+        }
+        invariant(phase == kCluster,
+                  "ResilienceRunner: advance past completion");
+        double before = cluster_target;
+        cluster_target = std::min(cluster_target + chunk_s,
+                                  engine->traceEnd());
+        engine->runUntil(cluster_target);
+        if (engine->finished()) {
+            out.cluster = engine->take();
+            engine.reset();
+            phase = kDone;
+        }
+        return cluster_target - before;
+    }
+
+    void
+    saveFile(const std::string &path) const
+    {
+        guard::CheckpointWriter w;
+        w.section("resilience");
+        w.putToken("scenario", scenario.name);
+        w.putI64("phase", phase);
+        if (phase >= kArmWithWax) {
+            w.section("arm.no_wax");
+            saveArm(w, out.noWax);
+        }
+        if (phase >= kCluster) {
+            w.section("arm.with_wax");
+            saveArm(w, out.withWax);
+        }
+        if (phase <= kArmWithWax) {
+            arm->save(w);
+        } else {
+            w.put("cluster_target", cluster_target);
+            engine->save(w);
+        }
+        guard::writeCheckpointFile(path, w.finish());
+    }
+
+    void
+    restoreFile(const std::string &path)
+    {
+        guard::CheckpointReader r(guard::readCheckpointFile(path),
+                                  path);
+        r.expectSection("resilience");
+        std::string name = r.expectToken("scenario");
+        require(name == scenario.name,
+                path + ": checkpoint is for scenario '" + name +
+                    "', runner is for '" + scenario.name + "'");
+        int ph = static_cast<int>(r.expectI64("phase"));
+        require(ph >= kArmNoWax && ph <= kCluster,
+                path + ": bad phase in checkpoint");
+        phase = ph;
+        if (phase >= kArmWithWax) {
+            r.expectSection("arm.no_wax");
+            out.noWax = restoreArm(r);
+        }
+        if (phase >= kCluster) {
+            r.expectSection("arm.with_wax");
+            out.withWax = restoreArm(r);
+        }
+        if (phase <= kArmWithWax) {
+            arm = std::make_unique<ThermalArmSim>(
+                spec, waxFor(phase), scenario, opt);
+            arm->restore(r);
+            engine.reset();
+        } else {
+            // makeEngine() resets cluster_target to the trace start;
+            // reapply the restored value after it runs.
+            double target = r.expect("cluster_target");
+            makeEngine();
+            engine->restore(r);
+            cluster_target = target;
+            arm.reset();
+        }
+        r.expectEnd();
+    }
+};
+
+ResilienceRunner::ResilienceRunner(const server::ServerSpec &spec,
+                                   const ResilienceScenario &scenario,
+                                   const ResilienceStudyOptions &options)
 {
     require(!scenario.name.empty(),
             "runResilienceStudy: scenario needs a name");
@@ -151,21 +539,63 @@ runResilienceStudy(const server::ServerSpec &spec,
     require(options.throttleMarginC > 0.0 &&
             options.throttleHysteresisC >= 0.0,
             "runResilienceStudy: bad throttle thresholds");
+    impl_ = std::make_unique<Impl>(spec, scenario, options);
+}
 
-    ResilienceResult out;
-    out.scenario = scenario.name;
-    out.noWax = runThermalArm(spec, server::WaxConfig::placebo(),
-                              scenario, options);
-    server::WaxConfig wax = options.meltTempC > 0.0
-        ? server::WaxConfig::withMeltTemp(options.meltTempC)
-        : server::WaxConfig::paper();
-    out.withWax = runThermalArm(spec, wax, scenario, options);
+ResilienceRunner::~ResilienceRunner() = default;
 
-    workload::ClusterSim sim(options.cluster);
-    out.cluster = sim.run(
-        flatTrace(scenario.utilization, scenario.horizonS),
-        &scenario.faults);
-    return out;
+bool
+ResilienceRunner::run(const ResilienceCheckpointPolicy &policy)
+{
+    invariant(!impl_->taken, "ResilienceRunner::run: after take()");
+    const bool journaled = !policy.path.empty();
+    require(!journaled || policy.checkpointEveryS > 0.0,
+            "ResilienceRunner: checkpointEveryS must be > 0");
+    if (journaled && fileExists(policy.path))
+        impl_->restoreFile(policy.path);
+
+    const double chunk =
+        policy.checkpointEveryS > 0.0 ? policy.checkpointEveryS
+                                      : 900.0;
+    double advanced = 0.0;
+    double since_checkpoint = 0.0;
+    while (impl_->phase != Impl::kDone) {
+        double d = impl_->advanceOnce(chunk);
+        advanced += d;
+        since_checkpoint += d;
+        if (impl_->phase == Impl::kDone)
+            break;
+        if (policy.stopAfterS >= 0.0 && advanced >= policy.stopAfterS) {
+            if (journaled)
+                impl_->saveFile(policy.path);
+            return false;
+        }
+        if (journaled && since_checkpoint >= chunk) {
+            impl_->saveFile(policy.path);
+            since_checkpoint = 0.0;
+        }
+    }
+    return true;
+}
+
+ResilienceResult
+ResilienceRunner::take()
+{
+    require(impl_->phase == Impl::kDone,
+            "ResilienceRunner::take: run not finished");
+    invariant(!impl_->taken, "ResilienceRunner::take: called twice");
+    impl_->taken = true;
+    return std::move(impl_->out);
+}
+
+ResilienceResult
+runResilienceStudy(const server::ServerSpec &spec,
+                   const ResilienceScenario &scenario,
+                   const ResilienceStudyOptions &options)
+{
+    ResilienceRunner runner(spec, scenario, options);
+    runner.run();
+    return runner.take();
 }
 
 std::vector<ResilienceResult>
@@ -269,6 +699,17 @@ resilienceGoldenValues()
             static_cast<double>(r.cluster.residualJobs);
         g[p + "fault_events"] =
             static_cast<double>(r.cluster.faultEventsApplied);
+        // Guard health: audits run (deterministic; one per guarded
+        // interval plus retries) and trips suffered (zero in a
+        // healthy solve).  Both arms merged.
+        g[p + "guard_audits"] = static_cast<double>(
+            r.noWax.guard.audits + r.withWax.guard.audits);
+        g[p + "guard_trips"] = static_cast<double>(
+            r.noWax.guard.sentinelTrips + r.noWax.guard.auditTrips +
+            r.noWax.guard.retries + r.noWax.guard.fallbacks +
+            r.withWax.guard.sentinelTrips +
+            r.withWax.guard.auditTrips + r.withWax.guard.retries +
+            r.withWax.guard.fallbacks);
     }
     return g;
 }

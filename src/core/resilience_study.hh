@@ -28,11 +28,13 @@
 #define TTS_CORE_RESILIENCE_STUDY_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "datacenter/room_model.hh"
 #include "fault/fault_schedule.hh"
+#include "guard/numerics.hh"
 #include "server/server_spec.hh"
 #include "util/time_series.hh"
 #include "workload/dcsim.hh"
@@ -107,6 +109,13 @@ struct ResilienceArm
     double throughputRetention = 0.0;
     /** Seconds spent emergency-throttled at the DVFS floor. */
     double throttledS = 0.0;
+    /**
+     * Numerical-guard counters merged across the arm's two server
+     * networks (healthy + fan-failed).  A healthy run audits every
+     * interval and trips never; nonzero retry/fallback counts flag a
+     * solve that degraded to survive.
+     */
+    guard::GuardCounters guard;
 };
 
 /** Wax vs. no-wax comparison for one scenario. */
@@ -138,6 +147,69 @@ struct ResilienceResult
         return withWax.throughputRetention -
                noWax.throughputRetention;
     }
+};
+
+/** Checkpoint policy for a resumable scenario run. */
+struct ResilienceCheckpointPolicy
+{
+    /**
+     * Checkpoint file path; empty disables checkpointing.  When the
+     * file exists, run() restores from it and continues instead of
+     * starting over.
+     */
+    std::string path;
+    /** Simulated seconds between checkpoint writes. */
+    double checkpointEveryS = 900.0;
+    /**
+     * Pause the run after advancing this much simulated time in this
+     * call (a final checkpoint is written first); < 0 runs to
+     * completion.  Test hook simulating a killed process.
+     */
+    double stopAfterS = -1.0;
+};
+
+/**
+ * Resumable form of runResilienceStudy().
+ *
+ * The scenario runs as a sequence of phases (no-wax thermal arm,
+ * with-wax thermal arm, cluster sample), each advancing in bounded
+ * slices with every piece of evolving state - network enthalpies and
+ * PCM hysteresis latches, injector cursors, DCSim queues and RNG
+ * position, guard counters - held in members.  The run can therefore
+ * stop at any slice boundary, serialize to a guard checkpoint file,
+ * and resume in a new process, producing a ResilienceResult
+ * bit-identical to an uninterrupted run (the integration suite pins
+ * this by killing a run mid-phase at 1 and 8 threads).
+ */
+class ResilienceRunner
+{
+  public:
+    /** Copies everything; validates like runResilienceStudy(). */
+    ResilienceRunner(const server::ServerSpec &spec,
+                     const ResilienceScenario &scenario,
+                     const ResilienceStudyOptions &options =
+                         ResilienceStudyOptions{});
+    ~ResilienceRunner();
+
+    ResilienceRunner(const ResilienceRunner &) = delete;
+    ResilienceRunner &operator=(const ResilienceRunner &) = delete;
+
+    /**
+     * Run the scenario, restoring from policy.path first when that
+     * file exists (it must describe the same scenario).
+     *
+     * @return True when the scenario finished; false when paused by
+     *         policy.stopAfterS (state saved to policy.path).
+     */
+    bool run(const ResilienceCheckpointPolicy &policy =
+                 ResilienceCheckpointPolicy{});
+
+    /** Extract the result.  Call once, after run() returned true. */
+    ResilienceResult take();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 /**

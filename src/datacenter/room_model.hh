@@ -71,6 +71,16 @@ class RoomModel
     /** @return Heat capacity of the room air (J/K). */
     double airCapacity() const;
 
+    /**
+     * Restore the two-node state directly (checkpoint resume);
+     * bypasses the setpoint-equilibrium initialization.
+     */
+    void setState(double air_c, double mass_c)
+    {
+        air_c_ = air_c;
+        mass_c_ = mass_c;
+    }
+
   private:
     RoomConfig config_;
     double air_c_;

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Checkpointed parallel sweeps.
+ *
+ * A long sweep (hundreds of cluster transients) that dies at task
+ * 180/200 should not restart from zero.  checkpointedMap() wraps the
+ * deterministic parallel engine with a per-task completion journal:
+ * each finished task's result row is flushed to a guard checkpoint
+ * file, and a rerun against the same file skips every task already
+ * journaled, producing results identical to an uninterrupted run.
+ *
+ * Determinism: tasks are index-keyed (the tts::exec contract), so a
+ * task's result depends only on its index; which tasks ran in which
+ * interrupted slice is immaterial.  The integration tests pin this
+ * by killing a sweep mid-way (via maxTasks) and comparing the resumed
+ * output at widths 1 and 8 to an uninterrupted run.
+ *
+ * Result rows are flat string->double maps - the same shape the
+ * golden harness uses - which keeps the journal format trivial and
+ * CRC-protected.
+ */
+
+#ifndef TTS_EXEC_SWEEP_RESUME_HH
+#define TTS_EXEC_SWEEP_RESUME_HH
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tts {
+namespace exec {
+
+/** Options for a checkpointed sweep. */
+struct SweepCheckpointOptions
+{
+    /**
+     * Journal path.  Empty disables journaling (plain parallel_map
+     * behaviour).  An existing journal must describe the same task
+     * count or the sweep refuses to resume (FatalError).
+     */
+    std::string path;
+    /**
+     * Stop after this many tasks have newly completed in this call
+     * (0 = no cap).  Test hook simulating a killed run: pending
+     * tasks are scheduled in ascending index order so a capped run
+     * completes a deterministic prefix of the remaining work.
+     */
+    std::size_t maxTasks = 0;
+};
+
+/** Result of a checkpointed sweep call. */
+struct SweepResult
+{
+    /** Per-task result rows; empty rows for tasks not yet run. */
+    std::vector<std::map<std::string, double>> rows;
+    /** Per-task completion flags. */
+    std::vector<bool> done;
+    /** True when every task has a journaled result. */
+    bool complete = false;
+};
+
+/**
+ * Run task(i) for every i in [0, n) not already journaled at
+ * options.path, in parallel on the global pool, journaling each
+ * completion; previously journaled rows are returned without
+ * re-running their tasks.
+ *
+ * @param n       Total task count.
+ * @param task    Index-keyed task; must obey the tts::exec
+ *                determinism contract.
+ * @param options Journal path and test caps.
+ * @throws FatalError if an existing journal is corrupt or describes
+ *         a different task count.
+ */
+SweepResult checkpointedMap(
+    std::size_t n,
+    const std::function<std::map<std::string, double>(std::size_t)> &task,
+    const SweepCheckpointOptions &options);
+
+} // namespace exec
+} // namespace tts
+
+#endif // TTS_EXEC_SWEEP_RESUME_HH

@@ -84,6 +84,54 @@ class FaultInjector
     /** @return Events applied so far. */
     std::size_t eventsApplied() const { return next_; }
 
+    /**
+     * Complete mutable replay state for checkpointing: the schedule
+     * cursor plus every piece of degraded-component state, so a
+     * restored injector resumes the replay bit-identically.  The
+     * schedule itself is configuration and is not captured.
+     */
+    struct State
+    {
+        std::size_t next;               //!< Schedule cursor.
+        double now;                     //!< Last advanceTo() time.
+        std::vector<bool> serverDown;
+        std::vector<bool> fanFailed;
+        std::size_t aliveCount;
+        double coolingLostFraction;
+        double sensorBiasC;
+        bool sensorValid;
+        double heldReadingC;
+        int traceGapDepth;
+    };
+
+    /** @return A snapshot of the replay state. */
+    State state() const
+    {
+        return State{next_,          now_,
+                     server_down_,   fan_failed_,
+                     alive_count_,   cooling_lost_fraction_,
+                     sensor_bias_c_, sensor_valid_,
+                     held_reading_c_, trace_gap_depth_};
+    }
+
+    /**
+     * Restore a snapshot taken with state(); the injector must have
+     * been built against the same schedule and server count.
+     */
+    void restoreState(const State &st)
+    {
+        next_ = st.next;
+        now_ = st.now;
+        server_down_ = st.serverDown;
+        fan_failed_ = st.fanFailed;
+        alive_count_ = st.aliveCount;
+        cooling_lost_fraction_ = st.coolingLostFraction;
+        sensor_bias_c_ = st.sensorBiasC;
+        sensor_valid_ = st.sensorValid;
+        held_reading_c_ = st.heldReadingC;
+        trace_gap_depth_ = st.traceGapDepth;
+    }
+
   private:
     void apply(const FaultEvent &event);
 

@@ -1,0 +1,30 @@
+#include "guard/numerics.hh"
+
+namespace tts {
+namespace guard {
+
+namespace {
+
+GuardConfig &
+mutableDefault()
+{
+    static GuardConfig config;
+    return config;
+}
+
+} // namespace
+
+const GuardConfig &
+defaultGuardConfig()
+{
+    return mutableDefault();
+}
+
+void
+setDefaultGuardConfig(const GuardConfig &cfg)
+{
+    mutableDefault() = cfg;
+}
+
+} // namespace guard
+} // namespace tts

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Numerical-integrity primitives for the guard layer (tts::guard).
+ *
+ * The thermal solver conserves energy by construction, but an
+ * explicit stepper can still integrate through a NaN, diverge on a
+ * too-coarse step, or leak energy slowly enough that nothing crashes
+ * and a garbage number reaches the study reports.  This header holds
+ * the vocabulary the guarded solve is built from:
+ *
+ *  - NumericsError: an Error subclass carrying *where* the numerics
+ *    went bad (node, zone, simulation time, residual magnitude), so
+ *    a four-hour run that trips names the offending node instead of
+ *    printing "nan".
+ *  - GuardConfig: audit tolerances and the step-retry policy.
+ *  - GuardCounters: retry/degradation counters the studies surface.
+ *
+ * Everything here is header-only so the low-level integrator (which
+ * sits below the guard library in the link order) can throw
+ * NumericsError without a dependency cycle.
+ */
+
+#ifndef TTS_GUARD_NUMERICS_HH
+#define TTS_GUARD_NUMERICS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace guard {
+
+/**
+ * Raised when the numerical integrity of a solve is violated: a
+ * NaN/Inf sentinel fired inside a stepper or an air walk, or the
+ * energy audit found a residual beyond tolerance.
+ *
+ * The guarded advance catches it, rolls the interval back and
+ * retries; only when retries are exhausted does it propagate to the
+ * caller, enriched with the offending node's name.
+ */
+class NumericsError : public Error
+{
+  public:
+    /**
+     * @param what       Human-readable description.
+     * @param node       Offending node name ("" if unknown).
+     * @param zone       Offending zone index (-1 if unknown).
+     * @param time_s     Simulation time within the interval (s);
+     *                   negative if unknown.
+     * @param residual_j Energy-audit residual magnitude (J); 0 for
+     *                   sentinel trips.
+     * @param index      Offending state-vector index (-1 if unknown).
+     */
+    explicit NumericsError(const std::string &what,
+                           std::string node = std::string(),
+                           std::ptrdiff_t zone = -1,
+                           double time_s = -1.0,
+                           double residual_j = 0.0,
+                           std::ptrdiff_t index = -1)
+        : Error(what), node_(std::move(node)), zone_(zone),
+          time_s_(time_s), residual_j_(residual_j), index_(index)
+    {
+    }
+
+    /** @return Offending node name ("" if unknown). */
+    const std::string &node() const { return node_; }
+    /** @return Offending zone index (-1 if unknown). */
+    std::ptrdiff_t zone() const { return zone_; }
+    /** @return Simulation time of the trip (s; negative unknown). */
+    double timeS() const { return time_s_; }
+    /** @return Audit residual magnitude (J); 0 for sentinels. */
+    double residualJ() const { return residual_j_; }
+    /** @return Offending state index (-1 if unknown). */
+    std::ptrdiff_t stateIndex() const { return index_; }
+
+  private:
+    std::string node_;
+    std::ptrdiff_t zone_;
+    double time_s_;
+    double residual_j_;
+    std::ptrdiff_t index_;
+};
+
+/** Energy-audit tolerances and step-retry policy. */
+struct GuardConfig
+{
+    /** Master switch; disabled reproduces the unguarded solve. */
+    bool enabled = true;
+    /** Absolute audit tolerance (J). */
+    double auditAtolJ = 50.0;
+    /**
+     * Relative audit tolerance, scaled by the interval's energy
+     * turnover E_in = |∫P_in dt| + |∫airHeat dt| + |Δ(ΣH)|.
+     */
+    double auditRtol = 1e-2;
+    /** Step halvings attempted before degrading further. */
+    int maxRetries = 3;
+    /** Geometric backoff applied to dt_step per retry. */
+    double backoffFactor = 0.5;
+    /** After retries, fall back to an adaptive RK23 solve. */
+    bool fallbackAdaptive = true;
+    /** Fallback solve relative tolerance. */
+    double fallbackRtol = 1e-8;
+    /** Fallback solve absolute tolerance. */
+    double fallbackAtol = 1e-6;
+};
+
+/** Retry/degradation counters surfaced by the studies. */
+struct GuardCounters
+{
+    /** Guarded advance() intervals executed. */
+    std::uint64_t advances = 0;
+    /** Internal integrator steps taken (accepted). */
+    std::uint64_t steps = 0;
+    /** Energy audits performed. */
+    std::uint64_t audits = 0;
+    /** NaN/Inf sentinel trips. */
+    std::uint64_t sentinelTrips = 0;
+    /** Energy-audit residual trips. */
+    std::uint64_t auditTrips = 0;
+    /** Interval retries at a halved step. */
+    std::uint64_t retries = 0;
+    /** Fallbacks to the adaptive stepper. */
+    std::uint64_t fallbacks = 0;
+    /** Worst audit residual magnitude seen (J). */
+    double worstResidualJ = 0.0;
+    /** Interval-local time of the worst residual (s); -1 if none. */
+    double worstResidualTimeS = -1.0;
+
+    /** Accumulate another counter set (study-level aggregation). */
+    void merge(const GuardCounters &o)
+    {
+        advances += o.advances;
+        steps += o.steps;
+        audits += o.audits;
+        sentinelTrips += o.sentinelTrips;
+        auditTrips += o.auditTrips;
+        retries += o.retries;
+        fallbacks += o.fallbacks;
+        if (o.worstResidualJ > worstResidualJ) {
+            worstResidualJ = o.worstResidualJ;
+            worstResidualTimeS = o.worstResidualTimeS;
+        }
+    }
+};
+
+/** @return Index of the first non-finite entry, or -1. */
+inline std::ptrdiff_t
+firstNonFinite(const std::vector<double> &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (!std::isfinite(v[i]))
+            return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+}
+
+/**
+ * @return The process-wide default guard configuration new
+ * ServerThermalNetwork instances start from.  Benches and tests
+ * flip it (setDefaultGuardConfig) to measure guarded vs. unguarded
+ * runs; not safe to mutate while studies are running.
+ */
+const GuardConfig &defaultGuardConfig();
+
+/** Replace the process-wide default guard configuration. */
+void setDefaultGuardConfig(const GuardConfig &cfg);
+
+} // namespace guard
+} // namespace tts
+
+#endif // TTS_GUARD_NUMERICS_HH

@@ -149,6 +149,39 @@ class PcmElement
     /** @return Supercooling depth (C). */
     double supercoolingC() const { return supercooling_c_; }
 
+    /**
+     * Mutable thermal state for checkpointing: everything that
+     * evolves after construction.  Geometry and curves are rebuilt
+     * from configuration; this struct restores the trajectory.
+     */
+    struct ThermalState
+    {
+        double enthalpyJ;      //!< Stored enthalpy (J).
+        bool freezingBranch;   //!< On the supercooled freezing curve.
+        bool wasMelted;        //!< Cycle-counter melt latch.
+        std::uint64_t cycles;  //!< Completed melt/freeze cycles.
+    };
+
+    /** @return A snapshot of the mutable thermal state. */
+    ThermalState thermalState() const
+    {
+        return ThermalState{enthalpy_, freezing_branch_, was_melted_,
+                            cycles_};
+    }
+
+    /**
+     * Restore a snapshot taken with thermalState().  Bypasses the
+     * cycle-counter update setEnthalpy() performs: the snapshot
+     * already holds the post-update latch and count.
+     */
+    void restoreThermalState(const ThermalState &st)
+    {
+        enthalpy_ = st.enthalpyJ;
+        freezing_branch_ = st.freezingBranch;
+        was_melted_ = st.wasMelted;
+        cycles_ = st.cycles;
+    }
+
     /** @return True while the charge sits on the freezing branch. */
     bool onFreezingBranch() const { return freezing_branch_; }
     /** @return The container bank. */

@@ -21,7 +21,8 @@ ServerThermalNetwork::ServerThermalNetwork(const AirflowModel &airflow,
     : airflow_(airflow), zone_count_(zone_count),
       inlet_temp_(inlet_temp_c),
       direct_air_power_(zone_count, 0.0),
-      plume_fraction_(zone_count, 1.0)
+      plume_fraction_(zone_count, 1.0),
+      guard_config_(guard::defaultGuardConfig())
 {
     require(zone_count >= 1,
             "ServerThermalNetwork: need at least one zone");
@@ -191,6 +192,13 @@ ServerThermalNetwork::airWalk(const std::vector<double> &h,
             if (n.zone != z)
                 continue;
             double tn = tempOf(n, h[i]);
+            if (!std::isfinite(tn)) {
+                throw guard::NumericsError(
+                    "airWalk: non-finite temperature at node '" +
+                        n.name + "' (zone " + std::to_string(z) + ")",
+                    n.name, static_cast<std::ptrdiff_t>(z), -1.0, 0.0,
+                    static_cast<std::ptrdiff_t>(i));
+            }
             q += uaOf(n, tn, t_local[z]) * (tn - t_local[z]);
         }
         upstream_rise = q / mcp;
@@ -226,9 +234,205 @@ ServerThermalNetwork::advance(double dt_total, double dt_step)
     require(dt_step > 0.0, "advance: dt_step must be > 0");
     if (dt_total == 0.0)
         return;
+
+    if (!guard_config_.enabled) {
+        OdeRhs plain = [this](double, const std::vector<double> &h,
+                              std::vector<double> &dh) { rhs(h, dh); };
+        integrate(stepper_, plain, 0.0, dt_total, dt_step, state_);
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            if (nodes_[i].element)
+                nodes_[i].element->setEnthalpy(state_[i]);
+        }
+        return;
+    }
+
+    // Guarded path.  The rhs is augmented with an energy accumulator
+    // whose derivative is sum(dH/dt); the stepper integrates it with
+    // exactly the same quadrature as the node enthalpies, so in a
+    // healthy solve it tracks sum(H) to rounding error and the audit
+    // below is a corruption detector rather than a discretization
+    // check.  The node entries see identical arithmetic to the
+    // unguarded solve, so a run that never trips is bit-identical.
     OdeRhs f = [this](double, const std::vector<double> &h,
-                      std::vector<double> &dh) { rhs(h, dh); };
-    integrate(stepper_, f, 0.0, dt_total, dt_step, state_);
+                      std::vector<double> &dh) {
+        rhs(h, dh);
+        double s = 0.0;
+        for (double d : dh)
+            s += d;
+        dh.push_back(s);
+    };
+
+    ++guard_counters_.advances;
+    double dt = dt_step;
+    int attempt = 0;
+    for (;;) {
+        try {
+            guardedAttempt(f, dt_total, dt);
+            break;
+        } catch (const guard::NumericsError &e) {
+            if (e.residualJ() != 0.0)
+                ++guard_counters_.auditTrips;
+            else
+                ++guard_counters_.sentinelTrips;
+            // state_ is untouched by a failed attempt (the attempt
+            // works on aug_scratch_), so retrying is a plain re-run
+            // at a smaller step.
+            if (attempt < guard_config_.maxRetries) {
+                ++attempt;
+                ++guard_counters_.retries;
+                dt *= guard_config_.backoffFactor;
+                continue;
+            }
+            if (guard_config_.fallbackAdaptive) {
+                ++guard_counters_.fallbacks;
+                try {
+                    fallbackAttempt(f, dt_total);
+                    break;
+                } catch (const guard::NumericsError &e2) {
+                    if (e2.residualJ() != 0.0)
+                        ++guard_counters_.auditTrips;
+                    else
+                        ++guard_counters_.sentinelTrips;
+                    enrich(e2);
+                }
+            }
+            enrich(e);
+        }
+    }
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].element)
+            nodes_[i].element->setEnthalpy(state_[i]);
+    }
+}
+
+void
+ServerThermalNetwork::guardedAttempt(const OdeRhs &f, double dt_total,
+                                     double dt)
+{
+    const std::size_t n = nodes_.size();
+    aug_scratch_.assign(state_.begin(), state_.end());
+    double h0_sum = 0.0;
+    for (double h : state_)
+        h0_sum += h;
+    aug_scratch_.push_back(h0_sum);
+
+    std::uint64_t steps = 0;
+    auto obs = [&steps](double t, const std::vector<double> &) {
+        if (t > 0.0)
+            ++steps;
+    };
+    integrate(stepper_, f, 0.0, dt_total, dt, aug_scratch_, obs);
+    guard_counters_.steps += steps;
+    checkAttempt(aug_scratch_, dt_total);
+    state_.assign(aug_scratch_.begin(),
+                  aug_scratch_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+void
+ServerThermalNetwork::fallbackAttempt(const OdeRhs &f, double dt_total)
+{
+    const std::size_t n = nodes_.size();
+    aug_scratch_.assign(state_.begin(), state_.end());
+    double h0_sum = 0.0;
+    for (double h : state_)
+        h0_sum += h;
+    aug_scratch_.push_back(h0_sum);
+
+    AdaptiveRk23 fallback(guard_config_.fallbackRtol,
+                          guard_config_.fallbackAtol);
+    guard_counters_.steps +=
+        fallback.integrate(f, 0.0, dt_total, aug_scratch_);
+    checkAttempt(aug_scratch_, dt_total);
+    state_.assign(aug_scratch_.begin(),
+                  aug_scratch_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+void
+ServerThermalNetwork::checkAttempt(std::vector<double> &aug,
+                                   double dt_total)
+{
+    if (guard_corruptor_) {
+        auto fn = guard_corruptor_;
+        if (guard_corruptor_once_)
+            guard_corruptor_ = nullptr;
+        fn(aug);
+    }
+
+    const std::size_t n = nodes_.size();
+    std::ptrdiff_t bad = guard::firstNonFinite(aug);
+    if (bad >= 0) {
+        throw guard::NumericsError(
+            "advance: non-finite state after interval", std::string(),
+            -1, dt_total, 0.0, bad);
+    }
+
+    ++guard_counters_.audits;
+    double h_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        h_sum += aug[i];
+    const double e_acc = aug[n];
+    const double residual = h_sum - e_acc;
+    const double scale = guard_config_.auditAtolJ +
+        guard_config_.auditRtol * (std::abs(h_sum) + std::abs(e_acc));
+    const double mag = std::abs(residual);
+    if (mag > guard_counters_.worstResidualJ) {
+        guard_counters_.worstResidualJ = mag;
+        guard_counters_.worstResidualTimeS = dt_total;
+    }
+    if (mag > scale) {
+        // Attribute the trip to the node that moved furthest over
+        // the interval - with an external corruption that is the
+        // corrupted node; with genuine divergence it is the node
+        // driving it.
+        std::size_t worst = 0;
+        double wmag = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double d = std::abs(aug[i] - state_[i]);
+            if (d > wmag) {
+                wmag = d;
+                worst = i;
+            }
+        }
+        throw guard::NumericsError(
+            "advance: energy audit residual " + std::to_string(mag) +
+                " J exceeds tolerance " + std::to_string(scale) +
+                " J (worst node '" + nodes_[worst].name + "')",
+            nodes_[worst].name,
+            static_cast<std::ptrdiff_t>(nodes_[worst].zone), dt_total,
+            mag, static_cast<std::ptrdiff_t>(worst));
+    }
+}
+
+void
+ServerThermalNetwork::enrich(const guard::NumericsError &e) const
+{
+    std::ptrdiff_t idx = e.stateIndex();
+    std::string node = e.node();
+    std::ptrdiff_t zone = e.zone();
+    if (node.empty() && idx >= 0) {
+        if (idx < static_cast<std::ptrdiff_t>(nodes_.size())) {
+            node = nodes_[idx].name;
+            zone = static_cast<std::ptrdiff_t>(nodes_[idx].zone);
+        } else {
+            node = "<energy-accumulator>";
+        }
+    }
+    throw guard::NumericsError(
+        "thermal guard: retries exhausted: " + std::string(e.what()) +
+            (node.empty() ? std::string()
+                          : " [node '" + node + "']"),
+        node, zone, e.timeS(), e.residualJ(), idx);
+}
+
+void
+ServerThermalNetwork::setEnthalpies(const std::vector<double> &h)
+{
+    require(h.size() == state_.size(),
+            "setEnthalpies: size mismatch (got " +
+                std::to_string(h.size()) + ", have " +
+                std::to_string(state_.size()) + " nodes)");
+    state_ = h;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         if (nodes_[i].element)
             nodes_[i].element->setEnthalpy(state_[i]);

@@ -23,9 +23,11 @@
 #define TTS_THERMAL_NETWORK_HH
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "guard/numerics.hh"
 #include "pcm/pcm_element.hh"
 #include "thermal/airflow.hh"
 #include "util/integrator.hh"
@@ -168,8 +170,73 @@ class ServerThermalNetwork
     /**
      * Integrate the network forward by dt_total using RK4 with fixed
      * internal step dt_step, holding powers and airflow constant.
+     *
+     * When the guard is enabled (default) every interval is audited:
+     * the state vector is augmented with an energy accumulator
+     * integrating d(sum H)/dt with the same quadrature as the nodes,
+     * so the residual sum(H_end) - E_end is zero up to rounding in a
+     * healthy solve and any NaN/Inf or externally-corrupted state
+     * trips at the interval where it happened.  On a trip the
+     * interval's enthalpy state is rolled back and re-integrated at a
+     * halved step (geometric backoff, bounded attempts), then
+     * optionally with an adaptive RK23 fallback; retries and
+     * degradations are recorded in guardCounters().  A run that never
+     * trips is bit-identical to the unguarded solve.
+     *
+     * @throws guard::NumericsError naming the worst node when every
+     *         retry and fallback is exhausted.
      */
     void advance(double dt_total, double dt_step = 1.0);
+
+    /** @return The guard policy for this network. */
+    const guard::GuardConfig &guardConfig() const
+    {
+        return guard_config_;
+    }
+    /** Replace the guard policy. */
+    void setGuardConfig(const guard::GuardConfig &cfg)
+    {
+        guard_config_ = cfg;
+    }
+
+    /** @return Retry/degradation counters accumulated by advance(). */
+    const guard::GuardCounters &guardCounters() const
+    {
+        return guard_counters_;
+    }
+    /** Restore counters (checkpoint resume). */
+    void setGuardCounters(const guard::GuardCounters &c)
+    {
+        guard_counters_ = c;
+    }
+
+    /**
+     * Test hook: corrupt the augmented state vector (node entries
+     * [0, nodeCount()), energy accumulator last) after integration
+     * but before the sentinel/audit checks of each guarded attempt.
+     *
+     * @param fn   Mutator; null clears the hook.
+     * @param once Fire on the first attempt only, then clear; false
+     *             keeps firing (exhaustion tests).
+     */
+    void setGuardTestCorruptor(
+        std::function<void(std::vector<double> &)> fn, bool once = true)
+    {
+        guard_corruptor_ = std::move(fn);
+        guard_corruptor_once_ = once;
+    }
+
+    /** @return Node enthalpy state (J), for checkpointing. */
+    const std::vector<double> &enthalpies() const { return state_; }
+
+    /**
+     * Restore the node enthalpy state (checkpoint resume).  PCM
+     * elements are re-synced via setEnthalpy(); their hysteresis
+     * flags must be restored separately afterwards
+     * (pcm::PcmElement::restoreThermalState), which overwrites the
+     * latch updates this sync performs.
+     */
+    void setEnthalpies(const std::vector<double> &h);
 
     /**
      * Set every node to its steady-state temperature for the current
@@ -261,6 +328,23 @@ class ServerThermalNetwork
     void rhs(const std::vector<double> &h,
              std::vector<double> &dh) const;
 
+    /**
+     * One guarded integration attempt over the augmented state;
+     * throws guard::NumericsError on a sentinel or audit trip,
+     * leaving state_ untouched (the attempt works on a scratch
+     * vector).  On success commits the node entries to state_.
+     */
+    void guardedAttempt(const OdeRhs &f, double dt_total, double dt);
+
+    /** Same, with the adaptive RK23 fallback stepper. */
+    void fallbackAttempt(const OdeRhs &f, double dt_total);
+
+    /** Sentinel + audit checks on a completed augmented state. */
+    void checkAttempt(std::vector<double> &aug, double dt_total);
+
+    /** Wrap a NumericsError with node/zone naming and rethrow. */
+    [[noreturn]] void enrich(const guard::NumericsError &e) const;
+
     AirflowModel airflow_;
     std::size_t zone_count_;
     double inlet_temp_;
@@ -272,6 +356,12 @@ class ServerThermalNetwork
     RungeKutta4 stepper_;
     mutable std::vector<double> t_mixed_scratch_;
     mutable std::vector<double> t_local_scratch_;
+
+    guard::GuardConfig guard_config_;
+    guard::GuardCounters guard_counters_;
+    std::function<void(std::vector<double> &)> guard_corruptor_;
+    bool guard_corruptor_once_ = true;
+    std::vector<double> aug_scratch_;    //!< Guarded-attempt state.
 };
 
 } // namespace thermal

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "guard/numerics.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -110,6 +111,26 @@ AdaptiveRk23::integrate(
         }
         rhs(t + h, y3_, k4_);
 
+        // Sentinel: a non-finite stage result means the step blew up
+        // or the rhs itself produced a NaN.  The state must be
+        // checked directly - a NaN error norm would be masked by the
+        // std::max() accumulation below.  Shrink and retry; at the
+        // minimum step the problem is not step-size-related, so name
+        // the offending entry instead of accepting garbage.
+        std::ptrdiff_t bad = guard::firstNonFinite(y3_);
+        if (bad >= 0) {
+            if (h <= h_min) {
+                throw guard::NumericsError(
+                    "AdaptiveRk23: non-finite state entry " +
+                        std::to_string(bad) + " at minimum step (t=" +
+                        std::to_string(t) + ")",
+                    std::string(), -1, t, 0.0, bad);
+            }
+            ++rejected_;
+            h = std::max(h * 0.2, h_min);
+            continue;
+        }
+
         // Error: difference to the embedded 2nd-order solution.
         double err = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
@@ -156,8 +177,28 @@ integrate(Integrator &stepper, const OdeRhs &rhs, double t0, double t1,
         observer(t, state);
     while (t < t1) {
         double h = std::min(dt, t1 - t);
+        // Guard against a shortened final step so small that t stops
+        // advancing (t0 far from zero, or accumulated drift).
+        require(t + h > t, "integrate: step underflow (dt too small "
+                           "relative to t)");
         stepper.step(rhs, t, h, state);
+
+        std::ptrdiff_t bad = guard::firstNonFinite(state);
+        if (bad >= 0) {
+            throw guard::NumericsError(
+                "integrate: non-finite state entry " +
+                    std::to_string(bad) + " after " +
+                    std::string(stepper.name()) + " step at t=" +
+                    std::to_string(t + h),
+                std::string(), -1, t + h, 0.0, bad);
+        }
+
         t += h;
+        // Accumulated floating-point drift can leave t just shy of
+        // t1, producing a spurious ~1e-16 s final step; snap within
+        // a 1e-12*dt tolerance so the loop terminates exactly at t1.
+        if (t1 - t <= dt * 1e-12)
+            t = t1;
         if (observer)
             observer(t, state);
     }

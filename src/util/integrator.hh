@@ -113,6 +113,10 @@ class AdaptiveRk23
      * @param observer Optional observer(t, state) at t0 and after
      *                 every accepted step.
      * @return Number of accepted steps.
+     * @throws guard::NumericsError if a stage result is non-finite
+     *         and shrinking the step to the minimum does not cure
+     *         it; a non-finite result at larger steps is treated as
+     *         a rejection and retried at a smaller step.
      */
     std::size_t integrate(
         const OdeRhs &rhs, double t0, double t1,
@@ -139,10 +143,14 @@ class AdaptiveRk23
  * @param t0       Start time (s).
  * @param t1       End time (s); must be >= t0.
  * @param dt       Nominal step (s); the final step is shortened to
- *                 land exactly on t1.
+ *                 land exactly on t1, and accumulated floating-point
+ *                 drift within 1e-12*dt of t1 is snapped to t1 so no
+ *                 spurious ~1-ulp final step is taken.
  * @param state    State vector, updated in place.
  * @param observer Optional callback observer(t, state) called at t0
  *                 and after every step.
+ * @throws guard::NumericsError naming the first non-finite state
+ *         entry if a step produces NaN/Inf.
  */
 void integrate(Integrator &stepper, const OdeRhs &rhs, double t0,
                double t1, double dt, std::vector<double> &state,

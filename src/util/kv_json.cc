@@ -1,6 +1,7 @@
 #include "util/kv_json.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -63,6 +64,11 @@ writeKvJson(const std::map<std::string, double> &kv)
     out << "{\n";
     std::size_t n = 0;
     for (const auto &[key, value] : kv) {
+        // JSON has no NaN/Inf literal; emitting one would silently
+        // produce an unparseable document, so refuse up front and
+        // name the key so the caller can find the bad metric.
+        require(std::isfinite(value),
+                "kv_json: non-finite value for key \"" + key + "\"");
         char buf[64];
         std::snprintf(buf, sizeof(buf), "%.17g", value);
         out << "  \"" << key << "\": " << buf;

@@ -21,6 +21,9 @@ namespace tts {
 /**
  * Serialize a flat string->double map as a JSON object, one key per
  * line, keys in map (lexicographic) order.
+ *
+ * @throws FatalError naming the offending key if a value is NaN or
+ *         infinite (JSON has no literal for either).
  */
 std::string writeKvJson(const std::map<std::string, double> &kv);
 

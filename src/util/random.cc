@@ -128,6 +128,26 @@ Rng::forStream(std::uint64_t seed, std::uint64_t stream)
     return Rng(seed ^ splitmix64(x));
 }
 
+Rng::State
+Rng::state() const
+{
+    State st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.haveSpare = have_spare_;
+    st.spare = spare_;
+    return st;
+}
+
+void
+Rng::setState(const State &st)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = st.s[i];
+    have_spare_ = st.haveSpare;
+    spare_ = st.spare;
+}
+
 std::uint64_t
 Rng::uniformInt(std::uint64_t n)
 {

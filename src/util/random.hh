@@ -64,6 +64,24 @@ class Rng
      */
     static Rng forStream(std::uint64_t seed, std::uint64_t stream);
 
+    /**
+     * Full generator state for checkpointing: the four xoshiro256**
+     * words plus the Box-Muller spare, so a restored generator
+     * continues the stream bit-identically.
+     */
+    struct State
+    {
+        std::uint64_t s[4];
+        bool haveSpare;
+        double spare;
+    };
+
+    /** @return A snapshot of the current stream position. */
+    State state() const;
+
+    /** Restore a snapshot taken with state(). */
+    void setState(const State &st);
+
   private:
     std::uint64_t s_[4];
     bool have_spare_ = false;

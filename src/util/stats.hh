@@ -39,6 +39,37 @@ class RunningStats
     /** Reset to the empty state. */
     void reset();
 
+    /**
+     * Raw accumulator state for checkpointing; restoring it
+     * reproduces the accumulator bit-for-bit mid-stream.
+     */
+    struct Snapshot
+    {
+        std::size_t n;
+        double mean;
+        double m2;
+        double min;
+        double max;
+        double sum;
+    };
+
+    /** @return The raw accumulator state. */
+    Snapshot snapshot() const
+    {
+        return Snapshot{n_, mean_, m2_, min_, max_, sum_};
+    }
+
+    /** Restore a snapshot taken with snapshot(). */
+    void restore(const Snapshot &s)
+    {
+        n_ = s.n;
+        mean_ = s.mean;
+        m2_ = s.m2;
+        min_ = s.min;
+        max_ = s.max;
+        sum_ = s.sum;
+    }
+
   private:
     std::size_t n_ = 0;
     double mean_ = 0.0;

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <functional>
 #include <limits>
-#include <queue>
 
 #include "fault/fault_schedule.hh"
+#include "guard/checkpoint.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -90,72 +91,116 @@ struct ServerState
     }
 };
 
-} // namespace
-
-DcSimResult
-ClusterSim::run(const WorkloadTrace &trace)
+/** Latency bookkeeping for a job in the system. */
+struct InFlight
 {
-    return run(trace, nullptr);
+    double arrival;
+    JobClass job_class;
+};
+
+const std::vector<fault::FaultEvent> &
+eventsOf(const fault::FaultSchedule *faults)
+{
+    static const std::vector<fault::FaultEvent> no_events;
+    return faults ? faults->events() : no_events;
 }
 
-DcSimResult
-ClusterSim::run(const WorkloadTrace &trace,
-                const fault::FaultSchedule *faults)
+const WorkloadTrace &
+checkedTrace(const WorkloadTrace &trace)
 {
     require(trace.size() >= 2, "ClusterSim::run: trace too short");
-    const double t0 = trace.startTime();
-    const double t1 = trace.endTime();
-    const std::size_t n_servers = config_.serverCount;
-    const double slots = static_cast<double>(config_.slotsPerServer);
-    const double capacity =
-        static_cast<double>(n_servers) * slots /
-        config_.meanServiceTimeS;  // jobs/s at util == 1.
+    return trace;
+}
 
-    Rng rng(config_.seed);
-    std::vector<ServerState> servers(n_servers);
-    for (auto &s : servers)
-        s.last_update = t0;
-    std::priority_queue<Departure, std::vector<Departure>,
-                        std::greater<>> departures;
-    std::vector<std::size_t> depths(n_servers, 0);
+/** Restore a TimeSeries by re-appending checkpointed samples. */
+void
+restoreSeries(TimeSeries &series, const std::vector<double> &times,
+              const std::vector<double> &values,
+              const std::string &what)
+{
+    require(times.size() == values.size(),
+            what + ": times/values length mismatch");
+    for (std::size_t i = 0; i < times.size(); ++i)
+        series.append(times[i], values[i]);
+}
 
+} // namespace
+
+/**
+ * All event-loop state as members.  The departure heap is a plain
+ * vector managed with std::push_heap/std::pop_heap (the same
+ * algorithms std::priority_queue uses, hence the same layout and the
+ * same pop order) so it can be serialized verbatim and restored
+ * bit-identically.
+ */
+struct ClusterSimEngine::Impl
+{
+    DcSimConfig config;
+    LoadBalancer *balancer;
+    const WorkloadTrace &trace;
+    const std::vector<fault::FaultEvent> &events;
+
+    double t0, t1;
+    double slots, capacity, lambda_max;
+
+    Rng rng;
+    std::vector<ServerState> servers;
+    std::vector<Departure> departures;    //!< Min-heap by time.
+    std::vector<std::size_t> depths;
     DcSimResult result;
-    result.clusterUtilization.setName("cluster_util");
-    result.throughput.setName("throughput_jobs_per_s");
-    result.completedByServer.assign(n_servers, 0);
-
-    // Fault state: alive/epoch per server, plus the schedule cursor.
-    // The epoch is bumped on every crash so departures of killed
-    // jobs (already counted dropped) are discarded when they pop.
-    static const std::vector<fault::FaultEvent> no_events;
-    const auto &events = faults ? faults->events() : no_events;
-    for (const auto &e : events) {
-        if (fault::kindTargetsServer(e.kind))
-            require(e.target < n_servers,
-                    "ClusterSim::run: fault targets server " +
-                        std::to_string(e.target) +
-                        " but the cluster has " +
-                        std::to_string(n_servers));
-    }
     std::size_t next_fault = 0;
-    std::vector<bool> alive(n_servers, true);
-    std::vector<std::uint64_t> epoch(n_servers, 0);
-    std::size_t alive_count = n_servers;
+    std::vector<bool> alive;
+    std::vector<std::uint64_t> epoch;
+    std::size_t alive_count;
     int gap_depth = 0;
     std::vector<std::size_t> alive_idx, alive_depths;
-
-    // Latency tracking: jobs in flight, keyed implicitly by keeping
-    // arrival time inside the Job; map id -> arrival via a vector is
-    // avoided by storing arrival time in the departure record's
-    // service bookkeeping below.
-    struct InFlight
-    {
-        double arrival;
-        JobClass job_class;
-    };
     std::vector<InFlight> inflight;
     std::vector<std::size_t> free_ids;
-    auto alloc_id = [&](double arrival, JobClass c) {
+    double next_arrival;
+    double next_stats;
+    std::uint64_t completed_window = 0;
+    bool done = false;
+    bool taken = false;
+
+    Impl(const DcSimConfig &cfg, LoadBalancer *lb,
+         const WorkloadTrace &tr, const fault::FaultSchedule *faults)
+        : config(cfg), balancer(lb), trace(checkedTrace(tr)),
+          events(eventsOf(faults)), t0(trace.startTime()),
+          t1(trace.endTime()),
+          slots(static_cast<double>(cfg.slotsPerServer)),
+          capacity(static_cast<double>(cfg.serverCount) * slots /
+                   cfg.meanServiceTimeS),
+          rng(cfg.seed), servers(cfg.serverCount),
+          depths(cfg.serverCount, 0), alive(cfg.serverCount, true),
+          epoch(cfg.serverCount, 0), alive_count(cfg.serverCount)
+    {
+        require(balancer != nullptr, "ClusterSimEngine: no balancer");
+        for (auto &s : servers)
+            s.last_update = t0;
+        result.clusterUtilization.setName("cluster_util");
+        result.throughput.setName("throughput_jobs_per_s");
+        result.completedByServer.assign(config.serverCount, 0);
+        for (const auto &e : events) {
+            if (fault::kindTargetsServer(e.kind))
+                require(e.target < config.serverCount,
+                        "ClusterSim::run: fault targets server " +
+                            std::to_string(e.target) +
+                            " but the cluster has " +
+                            std::to_string(config.serverCount));
+        }
+        applyFaultsTo(t0);
+
+        // Thinning-based non-homogeneous Poisson arrivals: draw at
+        // the peak rate and accept with prob lambda(t) / lambda_max.
+        const double peak_util = std::max(trace.peak(), 1e-6);
+        lambda_max = peak_util * capacity;
+        next_arrival = t0 + rng.exponential(lambda_max);
+        next_stats = t0 + config.statsIntervalS;
+    }
+
+    std::uint64_t
+    allocId(double arrival, JobClass c)
+    {
         if (!free_ids.empty()) {
             std::size_t id = free_ids.back();
             free_ids.pop_back();
@@ -164,9 +209,11 @@ ClusterSim::run(const WorkloadTrace &trace,
         }
         inflight.push_back({arrival, c});
         return inflight.size() - 1;
-    };
+    }
 
-    auto class_at = [&](double t) {
+    JobClass
+    classAt(double t)
+    {
         // Sample a job class from the trace mix at time t.
         double shares[jobClassCount];
         double total = 0.0;
@@ -183,22 +230,43 @@ ClusterSim::run(const WorkloadTrace &trace,
             u -= shares[i];
         }
         return allJobClasses[jobClassCount - 1];
-    };
+    }
 
-    auto start_job = [&](std::size_t sv, double now,
-                         std::uint64_t id) {
+    void
+    pushDeparture(const Departure &d)
+    {
+        departures.push_back(d);
+        std::push_heap(departures.begin(), departures.end(),
+                       std::greater<Departure>{});
+    }
+
+    Departure
+    popDeparture()
+    {
+        std::pop_heap(departures.begin(), departures.end(),
+                      std::greater<Departure>{});
+        Departure d = departures.back();
+        departures.pop_back();
+        return d;
+    }
+
+    void
+    startJob(std::size_t sv, double now, std::uint64_t id)
+    {
         servers[sv].accumulate(now);
         ++servers[sv].busy;
         double service = rng.exponential(
-            1.0 / config_.meanServiceTimeS);
-        departures.push({now + service, sv, id, epoch[sv]});
-    };
+            1.0 / config.meanServiceTimeS);
+        pushDeparture({now + service, sv, id, epoch[sv]});
+    }
 
     // Apply every fault event with time <= t.  A crash destroys the
     // target's running and queued jobs (graceful degradation: the
     // balancer routes later arrivals around the corpse); a recovery
     // returns it empty.  Thermal-side kinds are no-ops here.
-    auto apply_faults_to = [&](double t) {
+    void
+    applyFaultsTo(double t)
+    {
         while (next_fault < events.size() &&
                events[next_fault].timeS <= t) {
             const fault::FaultEvent &e = events[next_fault];
@@ -243,158 +311,460 @@ ClusterSim::run(const WorkloadTrace &trace,
                 break; // Thermal-side kinds.
             }
         }
-    };
-    apply_faults_to(t0);
+    }
 
-    // Thinning-based non-homogeneous Poisson arrivals: draw at the
-    // peak rate and accept with probability lambda(t) / lambda_max.
-    const double peak_util = std::max(trace.peak(), 1e-6);
-    const double lambda_max = peak_util * capacity;
-
-    double next_arrival = t0 + rng.exponential(lambda_max);
-    double next_stats = t0 + config_.statsIntervalS;
-    std::uint64_t completed_window = 0;
-
-    auto record_stats = [&](double now) {
+    void
+    recordStats(double now)
+    {
         double busy_total = 0.0;
         for (auto &s : servers) {
             s.accumulate(now);
             busy_total += static_cast<double>(s.busy);
         }
         double util = busy_total /
-            (static_cast<double>(n_servers) * slots);
+            (static_cast<double>(config.serverCount) * slots);
         result.clusterUtilization.append(now, util);
         result.throughput.append(
             now, static_cast<double>(completed_window) /
-                     config_.statsIntervalS);
+                     config.statsIntervalS);
         completed_window = 0;
-    };
+    }
 
-    while (true) {
-        double next_departure = departures.empty()
-            ? std::numeric_limits<double>::infinity()
-            : departures.top().time;
-        double next_fault_t = next_fault < events.size()
-            ? events[next_fault].timeS
-            : std::numeric_limits<double>::infinity();
-        double now = std::min({next_arrival, next_departure,
-                               next_stats, next_fault_t});
-        if (now > t1)
-            break;
+    bool
+    runUntil(double t_stop)
+    {
+        invariant(!taken, "ClusterSimEngine: run after take()");
+        while (!done) {
+            double next_departure = departures.empty()
+                ? std::numeric_limits<double>::infinity()
+                : departures.front().time;
+            double next_fault_t = next_fault < events.size()
+                ? events[next_fault].timeS
+                : std::numeric_limits<double>::infinity();
+            double now = std::min({next_arrival, next_departure,
+                                   next_stats, next_fault_t});
+            if (now > t1) {
+                done = true;
+                break;
+            }
+            if (now > t_stop)
+                return false;
 
-        if (now == next_fault_t) {
-            // Faults win ties: a crash coinciding with a departure
-            // kills the job rather than completing it.
-            apply_faults_to(now);
-            continue;
-        }
-        if (now == next_stats) {
-            record_stats(now);
-            next_stats += config_.statsIntervalS;
-            continue;
-        }
-        if (now == next_departure) {
-            Departure d = departures.top();
-            departures.pop();
-            if (d.epoch != epoch[d.server]) {
-                // The job died with its server; it was counted as
-                // dropped at crash time - just recycle its slot.
-                free_ids.push_back(d.job_id);
+            if (now == next_fault_t) {
+                // Faults win ties: a crash coinciding with a
+                // departure kills the job rather than completing it.
+                applyFaultsTo(now);
                 continue;
             }
-            ServerState &sv = servers[d.server];
-            sv.accumulate(now);
-            --sv.busy;
-            --depths[d.server];
-            ++result.completedJobs;
-            ++result.completedByServer[d.server];
-            ++completed_window;
-            const InFlight &f = inflight[d.job_id];
-            result.latency.add(now - f.arrival);
-            for (std::size_t i = 0; i < jobClassCount; ++i) {
-                if (allJobClasses[i] == f.job_class)
-                    ++result.completedByClass[i];
+            if (now == next_stats) {
+                recordStats(now);
+                next_stats += config.statsIntervalS;
+                continue;
             }
-            free_ids.push_back(d.job_id);
-            if (!sv.queue.empty()) {
-                // The queued job was already counted in depths at
-                // arrival; it stays in the system, so no increment.
-                Job j = sv.queue.front();
-                sv.queue.pop_front();
-                start_job(d.server, now, j.id);
-            }
-            continue;
-        }
-
-        // Arrival (possibly thinned away).
-        next_arrival = now + rng.exponential(lambda_max);
-        if (gap_depth > 0)
-            continue; // Trace dark: the job is never offered.
-        double lambda = trace.totalAt(now) * capacity;
-        if (rng.uniform() * lambda_max > lambda)
-            continue;
-        ++result.offeredJobs;
-        if (alive_count == 0) {
-            ++result.droppedJobs;
-            ++result.rejectedNoAliveServer;
-            continue;
-        }
-        std::size_t sv;
-        if (alive_count == n_servers) {
-            sv = balancer_->pick(depths);
-        } else {
-            // Re-dispatch around dead servers: offer the balancer
-            // the compacted alive view and map its pick back.
-            alive_idx.clear();
-            alive_depths.clear();
-            for (std::size_t i = 0; i < n_servers; ++i) {
-                if (alive[i]) {
-                    alive_idx.push_back(i);
-                    alive_depths.push_back(depths[i]);
+            if (now == next_departure) {
+                Departure d = popDeparture();
+                if (d.epoch != epoch[d.server]) {
+                    // The job died with its server; it was counted
+                    // as dropped at crash time - just recycle its
+                    // slot.
+                    free_ids.push_back(d.job_id);
+                    continue;
                 }
+                ServerState &sv = servers[d.server];
+                sv.accumulate(now);
+                --sv.busy;
+                --depths[d.server];
+                ++result.completedJobs;
+                ++result.completedByServer[d.server];
+                ++completed_window;
+                const InFlight &f = inflight[d.job_id];
+                result.latency.add(now - f.arrival);
+                for (std::size_t i = 0; i < jobClassCount; ++i) {
+                    if (allJobClasses[i] == f.job_class)
+                        ++result.completedByClass[i];
+                }
+                free_ids.push_back(d.job_id);
+                if (!sv.queue.empty()) {
+                    // The queued job was already counted in depths
+                    // at arrival; it stays in the system, so no
+                    // increment.
+                    Job j = sv.queue.front();
+                    sv.queue.pop_front();
+                    startJob(d.server, now, j.id);
+                }
+                continue;
             }
-            sv = alive_idx[balancer_->pick(alive_depths)];
+
+            // Arrival (possibly thinned away).
+            next_arrival = now + rng.exponential(lambda_max);
+            if (gap_depth > 0)
+                continue; // Trace dark: the job is never offered.
+            double lambda = trace.totalAt(now) * capacity;
+            if (rng.uniform() * lambda_max > lambda)
+                continue;
+            ++result.offeredJobs;
+            if (alive_count == 0) {
+                ++result.droppedJobs;
+                ++result.rejectedNoAliveServer;
+                continue;
+            }
+            std::size_t sv;
+            if (alive_count == config.serverCount) {
+                sv = balancer->pick(depths);
+            } else {
+                // Re-dispatch around dead servers: offer the
+                // balancer the compacted alive view and map its pick
+                // back.
+                alive_idx.clear();
+                alive_depths.clear();
+                for (std::size_t i = 0; i < config.serverCount; ++i) {
+                    if (alive[i]) {
+                        alive_idx.push_back(i);
+                        alive_depths.push_back(depths[i]);
+                    }
+                }
+                sv = alive_idx[balancer->pick(alive_depths)];
+            }
+            ServerState &state = servers[sv];
+            std::uint64_t id = allocId(now, classAt(now));
+            if (state.busy < config.slotsPerServer) {
+                ++depths[sv];
+                startJob(sv, now, id);
+            } else if (state.queue.size() < config.queueCapPerServer) {
+                ++depths[sv];
+                state.queue.push_back(Job{id, inflight[id].job_class,
+                                          now, 0.0});
+                result.maxQueueDepth =
+                    std::max(result.maxQueueDepth,
+                             state.queue.size());
+            } else {
+                ++result.droppedJobs;
+                free_ids.push_back(id);
+            }
         }
-        ServerState &state = servers[sv];
-        std::uint64_t id = alloc_id(now, class_at(now));
-        if (state.busy < config_.slotsPerServer) {
-            ++depths[sv];
-            start_job(sv, now, id);
-        } else if (state.queue.size() < config_.queueCapPerServer) {
-            ++depths[sv];
-            state.queue.push_back(Job{id, inflight[id].job_class,
-                                      now, 0.0});
-            result.maxQueueDepth =
-                std::max(result.maxQueueDepth, state.queue.size());
-        } else {
-            ++result.droppedJobs;
-            free_ids.push_back(id);
-        }
+        return true;
     }
 
-    result.perServerUtilization.resize(n_servers);
-    for (std::size_t i = 0; i < n_servers; ++i) {
-        servers[i].accumulate(t1);
-        result.perServerUtilization[i] =
-            servers[i].busy_integral / ((t1 - t0) * slots);
-        result.residualJobs +=
-            servers[i].busy + servers[i].queue.size();
+    DcSimResult
+    take()
+    {
+        require(done, "ClusterSimEngine::take: run not finished");
+        invariant(!taken, "ClusterSimEngine::take: called twice");
+        taken = true;
+
+        result.perServerUtilization.resize(config.serverCount);
+        for (std::size_t i = 0; i < config.serverCount; ++i) {
+            servers[i].accumulate(t1);
+            result.perServerUtilization[i] =
+                servers[i].busy_integral / ((t1 - t0) * slots);
+            result.residualJobs +=
+                servers[i].busy + servers[i].queue.size();
+        }
+
+        // Rack-level aggregation (the paper's DCSim models the
+        // server, rack, and cluster levels).
+        std::size_t per_rack = std::max<std::size_t>(
+            config.serversPerRack, 1);
+        for (std::size_t start = 0; start < config.serverCount;
+             start += per_rack) {
+            std::size_t end =
+                std::min(start + per_rack, config.serverCount);
+            double mean = 0.0;
+            for (std::size_t i = start; i < end; ++i)
+                mean += result.perServerUtilization[i];
+            result.perRackUtilization.push_back(
+                mean / static_cast<double>(end - start));
+        }
+        return std::move(result);
     }
 
-    // Rack-level aggregation (the paper's DCSim models the server,
-    // rack, and cluster levels).
-    std::size_t per_rack = std::max<std::size_t>(
-        config_.serversPerRack, 1);
-    for (std::size_t start = 0; start < n_servers;
-         start += per_rack) {
-        std::size_t end = std::min(start + per_rack, n_servers);
-        double mean = 0.0;
-        for (std::size_t i = start; i < end; ++i)
-            mean += result.perServerUtilization[i];
-        result.perRackUtilization.push_back(
-            mean / static_cast<double>(end - start));
+    void
+    save(guard::CheckpointWriter &w) const
+    {
+        invariant(!taken, "ClusterSimEngine::save: after take()");
+        w.section("dcsim");
+        w.putU64("servers", config.serverCount);
+
+        Rng::State rs = rng.state();
+        w.putU64Vector("rng.s", {rs.s[0], rs.s[1], rs.s[2], rs.s[3]});
+        w.putBool("rng.have_spare", rs.haveSpare);
+        w.put("rng.spare", rs.spare);
+
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+            const ServerState &s = servers[i];
+            const std::string p = "server." + std::to_string(i) + ".";
+            w.putU64(p + "busy", s.busy);
+            w.put(p + "busy_integral", s.busy_integral);
+            w.put(p + "last_update", s.last_update);
+            w.putU64(p + "queue_len", s.queue.size());
+            for (const Job &j : s.queue) {
+                std::vector<double> job = {
+                    static_cast<double>(j.id),
+                    static_cast<double>(static_cast<int>(j.jobClass)),
+                    j.arrivalTime, j.serviceTime};
+                w.putVector(p + "job", job);
+            }
+        }
+
+        // The heap vector is serialized in layout order and restored
+        // verbatim: it is already a valid heap, so no rebuild (which
+        // could reorder equal keys) is needed.
+        w.putU64("departures", departures.size());
+        for (const Departure &d : departures) {
+            w.put("dep.time", d.time);
+            w.putU64("dep.server", d.server);
+            w.putU64("dep.job", d.job_id);
+            w.putU64("dep.epoch", d.epoch);
+        }
+
+        std::vector<std::uint64_t> u64s(depths.begin(), depths.end());
+        w.putU64Vector("depths", u64s);
+        w.putU64("next_fault", next_fault);
+        u64s.clear();
+        for (bool a : alive)
+            u64s.push_back(a ? 1 : 0);
+        w.putU64Vector("alive", u64s);
+        w.putU64Vector("epoch", epoch);
+        w.putU64("alive_count", alive_count);
+        w.putI64("gap_depth", gap_depth);
+
+        w.putU64("inflight", inflight.size());
+        for (const InFlight &f : inflight) {
+            w.put("inflight.arrival", f.arrival);
+            w.putI64("inflight.class",
+                     static_cast<int>(f.job_class));
+        }
+        u64s.assign(free_ids.begin(), free_ids.end());
+        w.putU64Vector("free_ids", u64s);
+
+        w.put("next_arrival", next_arrival);
+        w.put("next_stats", next_stats);
+        w.putU64("completed_window", completed_window);
+        w.putBool("done", done);
+
+        w.putVector("util.times", result.clusterUtilization.times());
+        w.putVector("util.values",
+                    result.clusterUtilization.values());
+        w.putVector("tput.times", result.throughput.times());
+        w.putVector("tput.values", result.throughput.values());
+        w.putU64("completed", result.completedJobs);
+        w.putU64("dropped", result.droppedJobs);
+        w.putU64("offered", result.offeredJobs);
+        w.putU64("max_queue_depth", result.maxQueueDepth);
+        w.putU64("crash_killed", result.crashKilledJobs);
+        w.putU64("rejected_no_alive", result.rejectedNoAliveServer);
+        w.putU64Vector("completed_by_server",
+                       result.completedByServer);
+        w.putU64("fault_events", result.faultEventsApplied);
+        RunningStats::Snapshot lat = result.latency.snapshot();
+        w.putU64("latency.n", lat.n);
+        w.put("latency.mean", lat.mean);
+        w.put("latency.m2", lat.m2);
+        w.put("latency.min", lat.min);
+        w.put("latency.max", lat.max);
+        w.put("latency.sum", lat.sum);
+        w.putU64Vector("completed_by_class",
+                       {result.completedByClass[0],
+                        result.completedByClass[1],
+                        result.completedByClass[2]});
+
+        std::vector<std::uint64_t> bal;
+        balancer->saveState(bal);
+        w.putU64Vector("balancer", bal);
     }
-    return result;
+
+    void
+    restore(guard::CheckpointReader &r)
+    {
+        r.expectSection("dcsim");
+        require(r.expectU64("servers") == config.serverCount,
+                "dcsim checkpoint: server count mismatch");
+
+        std::vector<std::uint64_t> words = r.expectU64Vector("rng.s");
+        require(words.size() == 4, "dcsim checkpoint: bad rng state");
+        Rng::State rs;
+        for (int i = 0; i < 4; ++i)
+            rs.s[i] = words[i];
+        rs.haveSpare = r.expectBool("rng.have_spare");
+        rs.spare = r.expect("rng.spare");
+        rng.setState(rs);
+
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+            ServerState &s = servers[i];
+            const std::string p = "server." + std::to_string(i) + ".";
+            s.busy = static_cast<std::size_t>(
+                r.expectU64(p + "busy"));
+            s.busy_integral = r.expect(p + "busy_integral");
+            s.last_update = r.expect(p + "last_update");
+            std::uint64_t qlen = r.expectU64(p + "queue_len");
+            s.queue.clear();
+            for (std::uint64_t q = 0; q < qlen; ++q) {
+                std::vector<double> job = r.expectVector(p + "job");
+                require(job.size() == 4,
+                        "dcsim checkpoint: bad job record");
+                s.queue.push_back(Job{
+                    static_cast<std::uint64_t>(job[0]),
+                    static_cast<JobClass>(
+                        static_cast<int>(job[1])),
+                    job[2], job[3]});
+            }
+        }
+
+        std::uint64_t ndep = r.expectU64("departures");
+        departures.clear();
+        for (std::uint64_t i = 0; i < ndep; ++i) {
+            Departure d;
+            d.time = r.expect("dep.time");
+            d.server = static_cast<std::size_t>(
+                r.expectU64("dep.server"));
+            d.job_id = r.expectU64("dep.job");
+            d.epoch = r.expectU64("dep.epoch");
+            departures.push_back(d);
+        }
+
+        std::vector<std::uint64_t> u64s = r.expectU64Vector("depths");
+        require(u64s.size() == config.serverCount,
+                "dcsim checkpoint: bad depths");
+        depths.assign(u64s.begin(), u64s.end());
+        next_fault = static_cast<std::size_t>(
+            r.expectU64("next_fault"));
+        require(next_fault <= events.size(),
+                "dcsim checkpoint: fault cursor beyond schedule");
+        u64s = r.expectU64Vector("alive");
+        require(u64s.size() == config.serverCount,
+                "dcsim checkpoint: bad alive set");
+        for (std::size_t i = 0; i < u64s.size(); ++i)
+            alive[i] = u64s[i] != 0;
+        epoch = r.expectU64Vector("epoch");
+        require(epoch.size() == config.serverCount,
+                "dcsim checkpoint: bad epochs");
+        alive_count = static_cast<std::size_t>(
+            r.expectU64("alive_count"));
+        gap_depth = static_cast<int>(r.expectI64("gap_depth"));
+
+        std::uint64_t nif = r.expectU64("inflight");
+        inflight.clear();
+        for (std::uint64_t i = 0; i < nif; ++i) {
+            InFlight f;
+            f.arrival = r.expect("inflight.arrival");
+            f.job_class = static_cast<JobClass>(
+                static_cast<int>(r.expectI64("inflight.class")));
+            inflight.push_back(f);
+        }
+        u64s = r.expectU64Vector("free_ids");
+        free_ids.assign(u64s.begin(), u64s.end());
+
+        next_arrival = r.expect("next_arrival");
+        next_stats = r.expect("next_stats");
+        completed_window = r.expectU64("completed_window");
+        done = r.expectBool("done");
+
+        std::vector<double> times = r.expectVector("util.times");
+        std::vector<double> values = r.expectVector("util.values");
+        result.clusterUtilization = TimeSeries("cluster_util");
+        restoreSeries(result.clusterUtilization, times, values,
+                      "dcsim checkpoint: cluster_util");
+        times = r.expectVector("tput.times");
+        values = r.expectVector("tput.values");
+        result.throughput = TimeSeries("throughput_jobs_per_s");
+        restoreSeries(result.throughput, times, values,
+                      "dcsim checkpoint: throughput");
+        result.completedJobs = r.expectU64("completed");
+        result.droppedJobs = r.expectU64("dropped");
+        result.offeredJobs = r.expectU64("offered");
+        result.maxQueueDepth = static_cast<std::size_t>(
+            r.expectU64("max_queue_depth"));
+        result.crashKilledJobs = r.expectU64("crash_killed");
+        result.rejectedNoAliveServer =
+            r.expectU64("rejected_no_alive");
+        result.completedByServer =
+            r.expectU64Vector("completed_by_server");
+        require(result.completedByServer.size() == config.serverCount,
+                "dcsim checkpoint: bad per-server counters");
+        result.faultEventsApplied = r.expectU64("fault_events");
+        RunningStats::Snapshot lat;
+        lat.n = static_cast<std::size_t>(r.expectU64("latency.n"));
+        lat.mean = r.expect("latency.mean");
+        lat.m2 = r.expect("latency.m2");
+        lat.min = r.expect("latency.min");
+        lat.max = r.expect("latency.max");
+        lat.sum = r.expect("latency.sum");
+        result.latency.restore(lat);
+        u64s = r.expectU64Vector("completed_by_class");
+        require(u64s.size() == jobClassCount,
+                "dcsim checkpoint: bad class counters");
+        for (std::size_t i = 0; i < jobClassCount; ++i)
+            result.completedByClass[i] = u64s[i];
+
+        std::vector<std::uint64_t> bal =
+            r.expectU64Vector("balancer");
+        std::size_t pos = 0;
+        balancer->restoreState(bal, pos);
+        require(pos == bal.size(),
+                "dcsim checkpoint: balancer state not fully "
+                "consumed");
+    }
+};
+
+ClusterSimEngine::ClusterSimEngine(const DcSimConfig &config,
+                                   LoadBalancer *balancer,
+                                   const WorkloadTrace &trace,
+                                   const fault::FaultSchedule *faults)
+    : impl_(std::make_unique<Impl>(config, balancer, trace, faults))
+{
+}
+
+ClusterSimEngine::~ClusterSimEngine() = default;
+
+bool
+ClusterSimEngine::runUntil(double t_stop)
+{
+    return impl_->runUntil(t_stop);
+}
+
+bool
+ClusterSimEngine::finished() const
+{
+    return impl_->done;
+}
+
+double
+ClusterSimEngine::traceEnd() const
+{
+    return impl_->t1;
+}
+
+DcSimResult
+ClusterSimEngine::take()
+{
+    return impl_->take();
+}
+
+void
+ClusterSimEngine::save(guard::CheckpointWriter &w) const
+{
+    impl_->save(w);
+}
+
+void
+ClusterSimEngine::restore(guard::CheckpointReader &r)
+{
+    impl_->restore(r);
+}
+
+DcSimResult
+ClusterSim::run(const WorkloadTrace &trace)
+{
+    return run(trace, nullptr);
+}
+
+DcSimResult
+ClusterSim::run(const WorkloadTrace &trace,
+                const fault::FaultSchedule *faults)
+{
+    ClusterSimEngine engine(config_, balancer_.get(), trace, faults);
+    engine.runUntil(std::numeric_limits<double>::infinity());
+    return engine.take();
 }
 
 } // namespace workload

@@ -35,6 +35,11 @@ namespace fault {
 class FaultSchedule;
 } // namespace fault
 
+namespace guard {
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace guard
+
 namespace workload {
 
 /** Cluster simulator configuration. */
@@ -105,6 +110,75 @@ struct DcSimResult
 
     /** @return The same uniformity metric at rack granularity. */
     double rackUtilizationSpread() const;
+};
+
+/**
+ * Pausable core of the cluster simulator.
+ *
+ * Holds every piece of event-loop state (pending departures, queues,
+ * fault cursor, RNG position, partial counters) as members, so a run
+ * can stop at an arbitrary simulation time, be serialized to a guard
+ * checkpoint, and resume - in the same process or a new one -
+ * producing results bit-identical to an uninterrupted run.
+ * ClusterSim::run() is a thin wrapper driving this engine to the end
+ * of the trace.
+ *
+ * The trace, fault schedule, and balancer are configuration: the
+ * caller reconstructs them and passes them again on resume; only the
+ * evolving state (including the balancer's cursor/RNG via
+ * LoadBalancer::saveState) is checkpointed.
+ */
+class ClusterSimEngine
+{
+  public:
+    /**
+     * @param config   Simulator configuration.
+     * @param balancer Dispatch policy; must outlive the engine.
+     * @param trace    Load trace; must outlive the engine.
+     * @param faults   Fault schedule, or nullptr.
+     */
+    ClusterSimEngine(const DcSimConfig &config, LoadBalancer *balancer,
+                     const WorkloadTrace &trace,
+                     const fault::FaultSchedule *faults);
+    ~ClusterSimEngine();
+
+    ClusterSimEngine(const ClusterSimEngine &) = delete;
+    ClusterSimEngine &operator=(const ClusterSimEngine &) = delete;
+
+    /**
+     * Process every event with time <= min(t_stop, trace end).
+     *
+     * @return True once the trace end has been reached (no further
+     *         events to process); false if paused at t_stop.
+     */
+    bool runUntil(double t_stop);
+
+    /** @return True once the run has consumed the whole trace. */
+    bool finished() const;
+
+    /** @return Trace end time (s). */
+    double traceEnd() const;
+
+    /**
+     * Final accounting (utilization integrals, residual jobs, rack
+     * aggregation) and result extraction.  Call once, after the run
+     * finished.
+     */
+    DcSimResult take();
+
+    /** Serialize the full engine state (including the balancer's). */
+    void save(guard::CheckpointWriter &w) const;
+
+    /**
+     * Restore state saved by save().  The engine must have been
+     * constructed with the same config, trace, schedule, and
+     * balancer type.
+     */
+    void restore(guard::CheckpointReader &r);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 /** Event-driven cluster simulator. */

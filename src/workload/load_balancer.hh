@@ -11,10 +11,13 @@
 #ifndef TTS_WORKLOAD_LOAD_BALANCER_HH
 #define TTS_WORKLOAD_LOAD_BALANCER_HH
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "util/error.hh"
 #include "util/random.hh"
 
 namespace tts {
@@ -37,6 +40,27 @@ class LoadBalancer
 
     /** @return Policy name. */
     virtual const char *name() const = 0;
+
+    /**
+     * Append the policy's mutable state (cursor, RNG words) to
+     * @p out as opaque 64-bit words for checkpointing.  Stateless
+     * policies append nothing.
+     */
+    virtual void saveState(std::vector<std::uint64_t> &out) const
+    {
+        (void)out;
+    }
+
+    /**
+     * Restore state written by saveState(), consuming words from
+     * @p in starting at @p pos (advanced past what was consumed).
+     */
+    virtual void restoreState(const std::vector<std::uint64_t> &in,
+                              std::size_t &pos)
+    {
+        (void)in;
+        (void)pos;
+    }
 };
 
 /** Round-robin dispatch (the paper's policy). */
@@ -48,6 +72,17 @@ class RoundRobinBalancer : public LoadBalancer
         return depths.empty() ? 0 : (next_++ % depths.size());
     }
     const char *name() const override { return "round-robin"; }
+
+    void saveState(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(next_);
+    }
+    void restoreState(const std::vector<std::uint64_t> &in,
+                      std::size_t &pos) override
+    {
+        require(pos < in.size(), "round-robin: truncated state");
+        next_ = static_cast<std::size_t>(in[pos++]);
+    }
 
   private:
     std::size_t next_ = 0;
@@ -63,6 +98,26 @@ class RandomBalancer : public LoadBalancer
         return depths.empty() ? 0 : rng_.uniformInt(depths.size());
     }
     const char *name() const override { return "random"; }
+
+    void saveState(std::vector<std::uint64_t> &out) const override
+    {
+        Rng::State st = rng_.state();
+        for (std::uint64_t word : st.s)
+            out.push_back(word);
+        out.push_back(st.haveSpare ? 1 : 0);
+        out.push_back(std::bit_cast<std::uint64_t>(st.spare));
+    }
+    void restoreState(const std::vector<std::uint64_t> &in,
+                      std::size_t &pos) override
+    {
+        require(pos + 6 <= in.size(), "random balancer: truncated state");
+        Rng::State st;
+        for (auto &word : st.s)
+            word = in[pos++];
+        st.haveSpare = in[pos++] != 0;
+        st.spare = std::bit_cast<double>(in[pos++]);
+        rng_.setState(st);
+    }
 
   private:
     Rng rng_;

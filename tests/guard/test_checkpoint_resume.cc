@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Kill-and-resume integration tests: a resilience run interrupted at
+ * a checkpoint boundary and resumed in a fresh runner (simulating a
+ * new process) must produce a result bit-identical to an
+ * uninterrupted run, at 1 and 8 worker threads; likewise a
+ * checkpointed sweep capped mid-way and rerun against its journal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/resilience_study.hh"
+#include "exec/parallel.hh"
+#include "exec/sweep_resume.hh"
+#include "fault/fault_schedule.hh"
+#include "server/server_spec.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+/** A scenario small enough to restart a dozen times in a test. */
+ResilienceScenario
+smallScenario()
+{
+    ResilienceScenario s;
+    s.name = "resume_test";
+    s.horizonS = 1800.0;
+    s.utilization = 0.8;
+    s.faults.add(300.0, fault::FaultKind::CoolingTrip,
+                 fault::FaultEvent::noTarget, 1.0);
+    return s;
+}
+
+ResilienceStudyOptions
+smallOptions()
+{
+    ResilienceStudyOptions opt;
+    opt.serverCount = 64;
+    opt.cluster.serverCount = 8;
+    opt.stepS = 10.0;
+    return opt;
+}
+
+void
+expectSameSeries(const TimeSeries &a, const TimeSeries &b)
+{
+    EXPECT_EQ(a.times(), b.times());
+    EXPECT_EQ(a.values(), b.values());
+}
+
+void
+expectSameArm(const ResilienceArm &a, const ResilienceArm &b)
+{
+    expectSameSeries(a.roomAirC, b.roomAirC);
+    expectSameSeries(a.sensedInletC, b.sensedInletC);
+    expectSameSeries(a.waxMelt, b.waxMelt);
+    expectSameSeries(a.throughputRel, b.throughputRel);
+    EXPECT_EQ(a.rideThroughS, b.rideThroughS);
+    EXPECT_EQ(a.hitLimit, b.hitLimit);
+    EXPECT_EQ(a.throughputRetention, b.throughputRetention);
+    EXPECT_EQ(a.throttledS, b.throttledS);
+    EXPECT_EQ(a.guard.advances, b.guard.advances);
+    EXPECT_EQ(a.guard.steps, b.guard.steps);
+    EXPECT_EQ(a.guard.audits, b.guard.audits);
+    EXPECT_EQ(a.guard.sentinelTrips, b.guard.sentinelTrips);
+    EXPECT_EQ(a.guard.auditTrips, b.guard.auditTrips);
+    EXPECT_EQ(a.guard.retries, b.guard.retries);
+    EXPECT_EQ(a.guard.fallbacks, b.guard.fallbacks);
+    EXPECT_EQ(a.guard.worstResidualJ, b.guard.worstResidualJ);
+}
+
+void
+expectSameResult(const ResilienceResult &a, const ResilienceResult &b)
+{
+    EXPECT_EQ(a.scenario, b.scenario);
+    expectSameArm(a.noWax, b.noWax);
+    expectSameArm(a.withWax, b.withWax);
+    expectSameSeries(a.cluster.clusterUtilization,
+                     b.cluster.clusterUtilization);
+    EXPECT_EQ(a.cluster.completedJobs, b.cluster.completedJobs);
+    EXPECT_EQ(a.cluster.droppedJobs, b.cluster.droppedJobs);
+    EXPECT_EQ(a.cluster.offeredJobs, b.cluster.offeredJobs);
+    EXPECT_EQ(a.cluster.residualJobs, b.cluster.residualJobs);
+    EXPECT_EQ(a.cluster.perServerUtilization,
+              b.cluster.perServerUtilization);
+    EXPECT_EQ(a.cluster.latency.count(), b.cluster.latency.count());
+    EXPECT_EQ(a.cluster.latency.mean(), b.cluster.latency.mean());
+}
+
+/**
+ * Run the small scenario killed every 350 simulated seconds, with a
+ * fresh runner per attempt (nothing carries over but the checkpoint
+ * file), and return the final result.
+ */
+ResilienceResult
+chunkedRun(const std::string &path)
+{
+    std::remove(path.c_str());
+    ResilienceCheckpointPolicy policy;
+    policy.path = path;
+    policy.checkpointEveryS = 200.0;
+    policy.stopAfterS = 350.0;
+
+    // Both thermal arms plus the cluster phase advance ~5400
+    // simulated seconds in total; cap the restarts defensively.
+    for (int attempt = 0; attempt < 40; ++attempt) {
+        ResilienceRunner runner(server::rd330Spec(), smallScenario(),
+                                smallOptions());
+        if (runner.run(policy)) {
+            std::remove(path.c_str());
+            return runner.take();
+        }
+    }
+    ADD_FAILURE() << "scenario did not finish within 40 restarts";
+    std::remove(path.c_str());
+    return ResilienceResult{};
+}
+
+TEST(CheckpointResume, KilledRunnerResumesBitIdentically)
+{
+    const ResilienceResult want = runResilienceStudy(
+        server::rd330Spec(), smallScenario(), smallOptions());
+    // The trip must bite (the room heats), so the checkpoint carries
+    // a non-trivial injector cursor and thermal state.
+    ASSERT_GT(want.noWax.roomAirC.values().back(),
+              want.noWax.roomAirC.values().front() + 1.0);
+
+    const std::string base = testing::TempDir() + "/tts_resume_";
+    exec::setGlobalThreads(1);
+    expectSameResult(chunkedRun(base + "t1.tts"), want);
+    exec::setGlobalThreads(8);
+    expectSameResult(chunkedRun(base + "t8.tts"), want);
+    exec::setGlobalThreads(1);
+}
+
+TEST(CheckpointResume, RunnerRefusesAForeignCheckpoint)
+{
+    const std::string path =
+        testing::TempDir() + "/tts_resume_foreign.tts";
+    std::remove(path.c_str());
+
+    // Checkpoint scenario A, then try to resume scenario B from it.
+    ResilienceCheckpointPolicy policy;
+    policy.path = path;
+    policy.stopAfterS = 350.0;
+    ResilienceRunner a(server::rd330Spec(), smallScenario(),
+                       smallOptions());
+    ASSERT_FALSE(a.run(policy));
+
+    ResilienceScenario other = smallScenario();
+    other.name = "some_other_scenario";
+    ResilienceRunner b(server::rd330Spec(), other, smallOptions());
+    EXPECT_THROW(b.run(policy), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, CappedSweepResumesWithoutRerunningTasks)
+{
+    const std::size_t n = 7;
+    std::atomic<int> calls{0};
+    auto task = [&calls](std::size_t i) {
+        ++calls;
+        std::map<std::string, double> row;
+        row["index"] = static_cast<double>(i);
+        row["value"] = static_cast<double>(i * i) + 0.25;
+        return row;
+    };
+
+    exec::SweepCheckpointOptions plain;  // No journal.
+    exec::SweepResult want = exec::checkpointedMap(n, task, plain);
+    ASSERT_TRUE(want.complete);
+    EXPECT_EQ(calls.load(), static_cast<int>(n));
+
+    const std::string path =
+        testing::TempDir() + "/tts_resume_sweep.tts";
+    std::remove(path.c_str());
+    exec::SweepCheckpointOptions capped;
+    capped.path = path;
+    capped.maxTasks = 2;
+
+    calls = 0;
+    exec::setGlobalThreads(8);
+    exec::SweepResult partial;
+    int rounds = 0;
+    do {
+        partial = exec::checkpointedMap(n, task, capped);
+        ++rounds;
+        ASSERT_LE(rounds, 8) << "sweep failed to converge";
+    } while (!partial.complete);
+    exec::setGlobalThreads(1);
+
+    // ceil(7 / 2) = 4 capped rounds, 7 task invocations total: the
+    // journal, not re-execution, supplied completed rows.
+    EXPECT_EQ(rounds, 4);
+    EXPECT_EQ(calls.load(), static_cast<int>(n));
+    ASSERT_EQ(partial.rows.size(), want.rows.size());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(partial.rows[i], want.rows[i]) << i;
+
+    // A fresh call against the finished journal re-runs nothing.
+    calls = 0;
+    exec::SweepCheckpointOptions finished;
+    finished.path = path;
+    exec::SweepResult again = exec::checkpointedMap(n, task, finished);
+    EXPECT_TRUE(again.complete);
+    EXPECT_EQ(calls.load(), 0);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(again.rows[i], want.rows[i]) << i;
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

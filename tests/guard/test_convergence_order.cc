@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Convergence-order checks for the thermal steppers.
+ *
+ * The RK4 solve behind ServerThermalNetwork::advance() must actually
+ * deliver fourth-order accuracy on the wax-bearing network - a silent
+ * order collapse (a kink crossed mid-step, a stage fed the wrong
+ * time) would not fail any physics test but would quietly inflate
+ * every study's discretization error.  The order is measured by
+ * dt-halving against a fine-step reference while the wax is held
+ * inside its melt window, where the enthalpy-temperature curve is
+ * smooth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "pcm/material.hh"
+#include "pcm/pcm_element.hh"
+#include "thermal/network.hh"
+#include "util/integrator.hh"
+
+namespace tts {
+namespace thermal {
+namespace {
+
+AirflowModel
+testAirflow()
+{
+    FanCurve fan{400.0, 0.02};
+    return AirflowModel(fan, 0.010, 0.019);
+}
+
+/**
+ * A cpu node plus a wax bank in the downstream zone - the smallest
+ * network where the PCM nonlinearity participates in the solve.
+ * Members own the bank and element so the network's raw pointer
+ * stays valid for the rig's lifetime.
+ */
+struct WaxRig
+{
+    pcm::ContainerBank bank;
+    pcm::PcmElement wax;
+    ServerThermalNetwork net;
+
+    WaxRig()
+        : bank(pcm::BoxSpec{0.1, 0.08, 0.02}, 2, 0.019),
+          wax(pcm::commercialParaffin(), bank, 40.0, 25.0),
+          net(testAirflow(), 2, 25.0)
+    {
+        int cpu = net.addCapacityNode(
+            "cpu", 500.0, ConvectiveCoupling{6.0, 0.53, 0.8}, 0,
+            25.0);
+        net.addPcmNode("wax", &wax, 1);
+        net.setZonePlumeFraction(1, 0.4);
+        net.setNodePower(cpu, 250.0);
+    }
+};
+
+TEST(ConvergenceOrder, NetworkRk4IsFourthOrderInsideTheMeltWindow)
+{
+    // Warm up until the wax sits mid-melt, away from the onset and
+    // completion kinks where the order would legitimately drop.
+    WaxRig warm;
+    warm.net.advance(600.0, 4.0);
+    ASSERT_GT(warm.wax.meltFraction(), 0.1);
+    ASSERT_LT(warm.wax.meltFraction(), 0.8);
+    const std::vector<double> h0 = warm.net.enthalpies();
+
+    auto solve = [&h0](double dt) {
+        WaxRig rig;
+        rig.net.setEnthalpies(h0);
+        rig.net.advance(64.0, dt);
+        return rig.net.enthalpies();
+    };
+    const std::vector<double> ref = solve(0.25);
+    auto errorAt = [&](double dt) {
+        std::vector<double> h = solve(dt);
+        double e = 0.0;
+        for (std::size_t i = 0; i < h.size(); ++i)
+            e = std::max(e, std::abs(h[i] - ref[i]));
+        return e;
+    };
+
+    double e8 = errorAt(8.0);
+    double e4 = errorAt(4.0);
+    double e2 = errorAt(2.0);
+    ASSERT_GT(e8, 0.0);
+    ASSERT_GT(e4, 0.0);
+    ASSERT_GT(e2, 0.0);
+    // Halving dt must cut the error by ~2^4; accept >= 3 to leave
+    // headroom for the reference's own error and FP noise.
+    double order_84 = std::log2(e8 / e4);
+    double order_42 = std::log2(e4 / e2);
+    EXPECT_GT(order_84, 3.0)
+        << "e8=" << e8 << " e4=" << e4 << " e2=" << e2;
+    EXPECT_GT(order_42, 3.0)
+        << "e8=" << e8 << " e4=" << e4 << " e2=" << e2;
+}
+
+TEST(ConvergenceOrder, AdaptiveMatchesFixedStepAcrossAMeltOnset)
+{
+    // A lumped mass whose heat capacity jumps 11x at 40 C - the
+    // sharpest idealization of a melt onset.  A tight-tolerance
+    // adaptive solve must land where a fine fixed-step RK4 solve
+    // lands, while spending orders of magnitude fewer steps on the
+    // smooth stretches either side of the kink.
+    OdeRhs onset = [](double, const std::vector<double> &y,
+                      std::vector<double> &dy) {
+        double cap = y[0] < 40.0 ? 500.0 : 5500.0;
+        dy.assign(1, 100.0 / cap);
+    };
+
+    std::vector<double> fixed{38.0};
+    RungeKutta4 rk4;
+    integrate(rk4, onset, 0.0, 200.0, 0.01, fixed);
+
+    std::vector<double> adaptive{38.0};
+    AdaptiveRk23 rk23(1e-10, 1e-12);
+    std::size_t steps = rk23.integrate(onset, 0.0, 200.0, adaptive);
+
+    // Exact: 10 s at 0.2 K/s to reach 40 C, then 190 s at 100/5500.
+    double exact = 40.0 + 190.0 * 100.0 / 5500.0;
+    EXPECT_NEAR(fixed[0], exact, 5e-3);
+    EXPECT_NEAR(adaptive[0], fixed[0], 5e-3);
+    EXPECT_LT(steps, 2000u);  // vs 20000 fixed steps.
+}
+
+} // namespace
+} // namespace thermal
+} // namespace tts

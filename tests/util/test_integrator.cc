@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
+#include "guard/numerics.hh"
 #include "util/error.hh"
 #include "util/integrator.hh"
 
@@ -154,6 +156,76 @@ TEST(Integrator, ZeroSpanIsNoop)
     std::vector<double> y{3.0};
     integrate(rk, decay, 2.0, 2.0, 0.1, y);
     EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(Integrator, NonMultipleSpanEndsExactlyOnT1)
+{
+    // 1.0 is not a binary multiple of 0.1: ten accumulated steps
+    // land at 0.9999999999999999, and without the final-step snap
+    // the loop used to take an extra ~1e-16 step (an 11th observer
+    // call at a time indistinguishable from t1).
+    RungeKutta4 rk;
+    std::vector<double> y{1.0};
+    std::vector<double> times;
+    integrate(rk, decay, 0.0, 1.0, 0.1, y,
+              [&](double t, const std::vector<double> &) {
+                  times.push_back(t);
+              });
+    ASSERT_EQ(times.size(), 11u);  // t0 plus exactly ten steps.
+    EXPECT_EQ(times.back(), 1.0);  // Bit-exact, not just approximate.
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_GT(times[i], times[i - 1]);
+    // RK4 at dt=0.1 carries a ~3e-7 global error on this problem;
+    // the bound only needs to catch a skipped or doubled step.
+    EXPECT_NEAR(y[0], std::exp(-1.0), 1e-6);
+}
+
+TEST(Integrator, ShortenedFinalStepCoversRemainder)
+{
+    // Span 0.35 with dt 0.1: three full steps plus a 0.05 remainder.
+    RungeKutta4 rk;
+    std::vector<double> y{1.0};
+    std::vector<double> times;
+    integrate(rk, decay, 0.0, 0.35, 0.1, y,
+              [&](double t, const std::vector<double> &) {
+                  times.push_back(t);
+              });
+    ASSERT_EQ(times.size(), 5u);
+    EXPECT_EQ(times.back(), 0.35);
+    EXPECT_NEAR(y[0], std::exp(-0.35), 1e-6);
+}
+
+TEST(Integrator, StepUnderflowIsAFatalError)
+{
+    // dt so small relative to t that t + dt == t: the loop cannot
+    // advance and must fail loudly instead of spinning forever.
+    // The span must be wider than one ulp of t0 (2.0 at 1e16) or
+    // t1 rounds back onto t0 and the loop never runs.
+    RungeKutta4 rk;
+    std::vector<double> y{1.0};
+    EXPECT_THROW(integrate(rk, decay, 1e16, 1e16 + 4.0, 1e-6, y),
+                 FatalError);
+}
+
+TEST(Integrator, NonFiniteStateNamesTheOffendingIndex)
+{
+    RungeKutta4 rk;
+    std::vector<double> y{1.0, 1.0};
+    const OdeRhs poisoned =
+        [](double t, const std::vector<double> &state,
+           std::vector<double> &dy) {
+            dy.assign(state.size(), -1.0);
+            if (t >= 0.5)
+                dy[1] = std::numeric_limits<double>::quiet_NaN();
+        };
+    try {
+        integrate(rk, poisoned, 0.0, 1.0, 0.1, y);
+        FAIL() << "NaN state was not detected";
+    } catch (const guard::NumericsError &e) {
+        EXPECT_EQ(e.stateIndex(), 1);
+        EXPECT_NE(std::string(e.what()).find("non-finite"),
+                  std::string::npos);
+    }
 }
 
 TEST(Integrator, NamesAreDistinct)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <gtest/gtest.h>
+#include <limits>
 
 #include "util/error.hh"
 #include "util/kv_json.hh"
@@ -77,6 +78,29 @@ TEST(KvJson, FileRoundTrip)
     ASSERT_EQ(parsed.size(), 2u);
     EXPECT_EQ(parsed.at("pi"), kv.at("pi"));
     EXPECT_EQ(parsed.at("n"), kv.at("n"));
+}
+
+TEST(KvJson, RejectsNonFiniteValuesNamingTheKey)
+{
+    // A NaN would serialize as the unparseable literal "nan" and
+    // silently corrupt the golden file; refuse at write time.
+    std::map<std::string, double> kv{
+        {"fine", 1.0},
+        {"poisoned_key", std::nan("")},
+    };
+    try {
+        writeKvJson(kv);
+        FAIL() << "NaN value was serialized";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("poisoned_key"),
+                  std::string::npos);
+    }
+    kv["poisoned_key"] =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(writeKvJson(kv), FatalError);
+    kv["poisoned_key"] =
+        -std::numeric_limits<double>::infinity();
+    EXPECT_THROW(writeKvJson(kv), FatalError);
 }
 
 TEST(KvJson, MissingFileThrows)

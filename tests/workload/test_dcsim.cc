@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
+#include "guard/checkpoint.hh"
 #include "util/error.hh"
 #include "util/units.hh"
 #include "workload/dcsim.hh"
@@ -208,6 +212,92 @@ TEST(ClusterSim, RejectsShortTrace)
     WorkloadTrace t;
     t.append(0.0, {0.1, 0.1, 0.1});
     EXPECT_THROW(sim.run(t), FatalError);
+}
+
+void
+expectSameResult(const DcSimResult &a, const DcSimResult &b)
+{
+    EXPECT_EQ(a.clusterUtilization.times(),
+              b.clusterUtilization.times());
+    EXPECT_EQ(a.clusterUtilization.values(),
+              b.clusterUtilization.values());
+    EXPECT_EQ(a.throughput.values(), b.throughput.values());
+    EXPECT_EQ(a.perServerUtilization, b.perServerUtilization);
+    EXPECT_EQ(a.perRackUtilization, b.perRackUtilization);
+    EXPECT_EQ(a.completedJobs, b.completedJobs);
+    EXPECT_EQ(a.droppedJobs, b.droppedJobs);
+    EXPECT_EQ(a.offeredJobs, b.offeredJobs);
+    EXPECT_EQ(a.residualJobs, b.residualJobs);
+    EXPECT_EQ(a.maxQueueDepth, b.maxQueueDepth);
+    EXPECT_EQ(a.completedByServer, b.completedByServer);
+    EXPECT_EQ(a.latency.count(), b.latency.count());
+    EXPECT_EQ(a.latency.mean(), b.latency.mean());
+    EXPECT_EQ(a.latency.max(), b.latency.max());
+}
+
+TEST(ClusterSimEngine, PausedRunMatchesUninterruptedBitwise)
+{
+    auto trace = flatTrace(0.6);
+    ClusterSim reference(smallConfig());
+    DcSimResult want = reference.run(trace);
+
+    // Same simulation, paused every 100 simulated seconds.
+    RoundRobinBalancer balancer;
+    ClusterSimEngine engine(smallConfig(), &balancer, trace,
+                            nullptr);
+    double t_stop = 100.0;
+    while (!engine.runUntil(t_stop))
+        t_stop += 100.0;
+    expectSameResult(engine.take(), want);
+}
+
+TEST(ClusterSimEngine, SaveRestoreRoundTripsMidRun)
+{
+    auto trace = flatTrace(0.7);
+
+    // Run A: pause mid-run, checkpoint, keep going to the end.
+    RoundRobinBalancer bal_a;
+    ClusterSimEngine a(smallConfig(), &bal_a, trace, nullptr);
+    ASSERT_FALSE(a.runUntil(1700.0));
+    guard::CheckpointWriter w;
+    a.save(w);
+    std::string doc = w.finish();
+    ASSERT_TRUE(a.runUntil(
+        std::numeric_limits<double>::infinity()));
+    DcSimResult want = a.take();
+
+    // Run B: a fresh engine restored from the checkpoint.
+    RoundRobinBalancer bal_b;
+    ClusterSimEngine b(smallConfig(), &bal_b, trace, nullptr);
+    guard::CheckpointReader r(doc, "test");
+    b.restore(r);
+    r.expectEnd();
+    ASSERT_TRUE(b.runUntil(
+        std::numeric_limits<double>::infinity()));
+    expectSameResult(b.take(), want);
+}
+
+TEST(ClusterSimEngine, RestoreRejectsCorruptDocument)
+{
+    auto trace = flatTrace(0.5);
+    RoundRobinBalancer bal;
+    ClusterSimEngine a(smallConfig(), &bal, trace, nullptr);
+    ASSERT_FALSE(a.runUntil(500.0));
+    guard::CheckpointWriter w;
+    a.save(w);
+    std::string doc = w.finish();
+    std::size_t digit = doc.find("rng.s = 4 ");
+    ASSERT_NE(digit, std::string::npos);
+    doc[digit + 10] = doc[digit + 10] == '1' ? '2' : '1';
+
+    RoundRobinBalancer bal_b;
+    ClusterSimEngine b(smallConfig(), &bal_b, trace, nullptr);
+    EXPECT_THROW(
+        {
+            guard::CheckpointReader r(doc, "test");
+            b.restore(r);
+        },
+        FatalError);
 }
 
 } // namespace

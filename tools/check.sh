@@ -1,11 +1,12 @@
 #!/bin/sh
 # Developer gate for the parallel execution engine.
 #
-# Builds the repo twice - a normal Release tree and a ThreadSanitizer
-# tree (TTS_SANITIZE=thread) - and runs the suites that exercise
-# tts::exec and the seeded simulator under both:
+# Builds the repo three times - a normal Release tree, a
+# ThreadSanitizer tree (TTS_SANITIZE=thread), and an ASan+UBSan tree
+# (TTS_SANITIZE=address) - and runs the suites that exercise
+# tts::exec, the seeded simulator, and the numerical guard under them:
 #
-#   tools/check.sh           # fast + fault labels, TSan suites
+#   tools/check.sh           # fast + guard + fault labels, sanitizers
 #   tools/check.sh --full    # also the integration label (slow)
 #
 # Exits non-zero on the first failure.
@@ -23,6 +24,9 @@ cmake --build build -j > /dev/null
 
 echo "== ctest -L fast =="
 ctest --test-dir build -L fast --output-on-failure -j
+
+echo "== ctest -L guard =="
+ctest --test-dir build -L guard --output-on-failure -j
 
 echo "== ctest -L fault =="
 ctest --test-dir build -L fault --output-on-failure -j
@@ -46,5 +50,19 @@ echo "== TSan: seeded cluster simulator =="
     --gtest_filter='DcSim*'
 echo "== TSan: fault injection + resilience grid, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_fault_test
+
+echo "== ASan+UBSan build (TTS_SANITIZE=address) =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTTS_SANITIZE=address > /dev/null
+cmake --build build-asan -j \
+    --target tts_guard_test tts_util_test tts_workload_test \
+    > /dev/null
+
+echo "== ASan: numerical guard + checkpoint resume =="
+./build-asan/tests/tts_guard_test
+echo "== ASan: integrator + kv_json + rng =="
+./build-asan/tests/tts_util_test
+echo "== ASan: cluster simulator save/restore =="
+./build-asan/tests/tts_workload_test --gtest_filter='ClusterSim*'
 
 echo "OK"

@@ -12,6 +12,8 @@
  *   tts_sim outage     [--platform=P] [--util=U]
  *   tts_sim resilience [--platform=P] [--util=U]
  *                      [--scenario=NAME | --faults=FILE]
+ *                      [--checkpoint=FILE] [--checkpoint-every=SEC]
+ *                      [--resume=FILE] [--stop-after=SEC]
  *   tts_sim report     [--platform=P] [--out=DIR]
  *   tts_sim validate
  *
@@ -19,8 +21,19 @@
  * fan failures, partial cooling trips, sensor drift/dropout, trace
  * gaps) and compares wax vs. no-wax ride-through and throughput
  * retention.  --scenario picks a canonical one (plant_trip_total,
- * partial_trip_sensor_drift, crash_fan_storm); --faults loads a
- * schedule file in the tts-fault-schedule v1 format.
+ * partial_trip_sensor_drift, crash_fan_storm) or 'all' to sweep the
+ * whole canonical grid; --faults loads a schedule file in the
+ * tts-fault-schedule v1 format.
+ *
+ * Long runs can be checkpointed and resumed: --checkpoint=FILE
+ * writes a CRC-protected snapshot of the full simulation state every
+ * --checkpoint-every simulated seconds (default 900), --resume=FILE
+ * restores from a snapshot and continues (the result is
+ * bit-identical to an uninterrupted run), and --stop-after pauses
+ * after that much simulated time, writing a final snapshot - useful
+ * for rehearsing a kill/resume cycle.  With --scenario=all the
+ * checkpoint file is a per-scenario completion journal instead:
+ * finished scenarios are skipped on resume.
  *
  * Any command taking a trace accepts --trace=FILE to load a measured
  * CSV trace (t_hours,Orkut,Search,FBmr) instead of the synthetic
@@ -36,7 +49,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+
+#include "exec/sweep_resume.hh"
 
 #include "core/thermal_time_shifting.hh"
 #include "core/outage_study.hh"
@@ -70,6 +86,10 @@ struct Options
     std::string out_dir = ".";
     std::string scenario = "plant_trip_total";
     std::string faults_file;
+    std::string checkpoint_file;
+    std::string resume_file;
+    double checkpoint_every = 900.0;
+    double stop_after = -1.0;
 };
 
 double
@@ -124,6 +144,14 @@ parse(int argc, char **argv)
             o.scenario = a.substr(11);
         else if (a.rfind("--faults=", 0) == 0)
             o.faults_file = a.substr(9);
+        else if (a.rfind("--checkpoint=", 0) == 0)
+            o.checkpoint_file = a.substr(13);
+        else if (a.rfind("--checkpoint-every=", 0) == 0)
+            o.checkpoint_every = numericValue(a);
+        else if (a.rfind("--resume=", 0) == 0)
+            o.resume_file = a.substr(9);
+        else if (a.rfind("--stop-after=", 0) == 0)
+            o.stop_after = numericValue(a);
         else if (a == "--csv")
             o.csv = true;
         else {
@@ -288,11 +316,67 @@ cmdOutage(const Options &o)
     return 0;
 }
 
+/** Flat metric rows for the --scenario=all journaled sweep. */
+std::map<std::string, double>
+resilienceRow(const core::ResilienceResult &r)
+{
+    std::map<std::string, double> row;
+    row["ride_no_wax_min"] = r.noWax.rideThroughS / 60.0;
+    row["ride_with_wax_min"] = r.withWax.rideThroughS / 60.0;
+    row["extra_ride_min"] = r.extraRideThroughS() / 60.0;
+    row["retention_no_wax"] = r.noWax.throughputRetention;
+    row["retention_with_wax"] = r.withWax.throughputRetention;
+    row["guard_trips"] = static_cast<double>(
+        r.noWax.guard.sentinelTrips + r.noWax.guard.auditTrips +
+        r.withWax.guard.sentinelTrips + r.withWax.guard.auditTrips);
+    return row;
+}
+
+int
+cmdResilienceAll(const server::ServerSpec &spec,
+                 const core::ResilienceStudyOptions &opts,
+                 const std::string &journal)
+{
+    auto scenarios =
+        core::canonicalScenarios(opts.cluster.serverCount);
+    exec::SweepCheckpointOptions sweep;
+    sweep.path = journal;
+    auto result = exec::checkpointedMap(
+        scenarios.size(),
+        [&](std::size_t i) {
+            return resilienceRow(core::runResilienceStudy(
+                spec, scenarios[i], opts));
+        },
+        sweep);
+    AsciiTable t({"scenario", "ride_no_wax", "ride_wax",
+                  "extra_min", "retention_gain", "guard_trips"});
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const auto &row = result.rows[i];
+        t.addRow({scenarios[i].name,
+                  formatFixed(row.at("ride_no_wax_min"), 1),
+                  formatFixed(row.at("ride_with_wax_min"), 1),
+                  formatFixed(row.at("extra_ride_min"), 1),
+                  formatFixed(row.at("retention_with_wax") -
+                                  row.at("retention_no_wax"),
+                              4),
+                  formatFixed(row.at("guard_trips"), 0)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
 int
 cmdResilience(const Options &o)
 {
     auto spec = platformOf(o);
     core::ResilienceStudyOptions opts;
+
+    if (o.scenario == "all" && o.faults_file.empty()) {
+        std::string journal = !o.resume_file.empty()
+            ? o.resume_file
+            : o.checkpoint_file;
+        return cmdResilienceAll(spec, opts, journal);
+    }
 
     core::ResilienceScenario scenario;
     if (!o.faults_file.empty()) {
@@ -318,7 +402,22 @@ cmdResilience(const Options &o)
                            "crash_fan_storm)");
     }
 
-    auto r = core::runResilienceStudy(spec, scenario, opts);
+    core::ResilienceCheckpointPolicy policy;
+    policy.path = !o.resume_file.empty() ? o.resume_file
+                                         : o.checkpoint_file;
+    policy.checkpointEveryS = o.checkpoint_every;
+    policy.stopAfterS = o.stop_after;
+
+    core::ResilienceRunner runner(spec, scenario, opts);
+    if (!runner.run(policy)) {
+        std::printf("paused after %.0f simulated seconds; state "
+                    "saved to %s (rerun with --resume=%s to "
+                    "continue)\n",
+                    o.stop_after, policy.path.c_str(),
+                    policy.path.c_str());
+        return 0;
+    }
+    auto r = runner.take();
     std::printf("platform=%s scenario=%s events=%zu util=%.2f "
                 "horizon=%.0fmin\n",
                 spec.name.c_str(), scenario.name.c_str(),
@@ -349,6 +448,15 @@ cmdResilience(const Options &o)
                     r.cluster.crashKilledJobs),
                 static_cast<unsigned long long>(
                     r.cluster.residualJobs));
+    tts::guard::GuardCounters gc = r.noWax.guard;
+    gc.merge(r.withWax.guard);
+    std::printf("guard: audits=%llu sentinel-trips=%llu "
+                "audit-trips=%llu retries=%llu fallbacks=%llu\n",
+                static_cast<unsigned long long>(gc.audits),
+                static_cast<unsigned long long>(gc.sentinelTrips),
+                static_cast<unsigned long long>(gc.auditTrips),
+                static_cast<unsigned long long>(gc.retries),
+                static_cast<unsigned long long>(gc.fallbacks));
     return 0;
 }
 
