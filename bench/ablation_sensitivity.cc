@@ -43,6 +43,25 @@ main()
     }
     t.print(std::cout);
 
+    auto print_hist = [](const char *label, const Histogram &h) {
+        std::cout << label;
+        for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+            double bound = h.upperBound(i);
+            std::cout << "  ";
+            if (i + 1 == h.bucketCount())
+                std::cout << ">" << formatFixed(
+                    100.0 * h.upperBounds().back(), 1);
+            else
+                std::cout << "<=" << formatFixed(100.0 * bound, 1);
+            std::cout << "pt:" << h.countInBucket(i);
+        }
+        std::cout << "\n";
+    };
+    std::cout << "\nspread distribution (knobs per bucket, "
+                 "percentage points of peak reduction):\n";
+    print_hist("  fixed wax: ", spreadHistogram(rows, false));
+    print_hist("  re-opt:    ", spreadHistogram(rows, true));
+
     std::cout << "\nreading: with the wax held FIXED, the thermal "
                  "knobs (plume, airflow, melting point)\nswing the "
                  "result hard - they shift the wax-bay temperature "

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Extension: cost of the observability subsystem.
+ *
+ * The instrumented hot paths (thermal advance, DCSim arrivals, guard
+ * bookkeeping) each pay one relaxed atomic load per TTS_OBS_* macro
+ * when collection is disabled - nothing else.  This bench pins that
+ * claim on a two-day faulted resilience scenario:
+ *
+ *  1. Calibrate the disabled check: time a tight loop of disabled
+ *     macro invocations to get ns per check.
+ *  2. Run the scenario instrumented-but-disabled (the shipping
+ *     configuration) and then enabled, reporting both wall times.
+ *  3. Count how many emissions the enabled run actually performed;
+ *     the projected disabled cost is count * ns-per-check, and the
+ *     bench FAILS (exit 1) if that exceeds 2 % of the disabled wall
+ *     time.  Projection makes the gate robust on noisy CI boxes
+ *     where a direct sub-2 % wall-clock delta would be unmeasurable.
+ *
+ * The enabled-vs-disabled delta is printed for reference but not
+ * gated: it includes the cost of *collection* (buffering, registry
+ * updates), which users opt into with --metrics/--trace.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+
+#include "core/resilience_study.hh"
+#include "fault/fault_schedule.hh"
+#include "obs/obs.hh"
+#include "server/server_spec.hh"
+#include "util/table.hh"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tts::formatFixed;
+
+double
+millisSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     t0)
+        .count();
+}
+
+/** Two simulated days of partial cooling loss with sensor drift. */
+tts::core::ResilienceScenario
+scenario()
+{
+    tts::core::ResilienceScenario s;
+    s.name = "obs_overhead";
+    s.faults.add(3600.0, tts::fault::FaultKind::CoolingTrip,
+                 tts::fault::FaultEvent::noTarget, 0.4);
+    s.faults.add(4.0 * 3600.0, tts::fault::FaultKind::SensorDrift,
+                 tts::fault::FaultEvent::noTarget, -1.5);
+    s.faults.add(8.0 * 3600.0, tts::fault::FaultKind::CoolingRestore,
+                 tts::fault::FaultEvent::noTarget, 0.4);
+    s.utilization = 0.6;
+    s.horizonS = 48.0 * 3600.0;
+    return s;
+}
+
+tts::core::ResilienceStudyOptions
+options()
+{
+    tts::core::ResilienceStudyOptions opt;
+    // Small cluster sample and a coarse step keep the two-day run
+    // benchable; the instrumentation density per step is unchanged.
+    opt.cluster.serverCount = 8;
+    opt.cluster.slotsPerServer = 4;
+    opt.stepS = 30.0;
+    return opt;
+}
+
+/** One full scenario run; obs state (enabled/disabled) is ambient. */
+double
+timeRun()
+{
+    Clock::time_point t0 = Clock::now();
+    auto r = tts::core::runResilienceStudy(tts::server::rd330Spec(),
+                                           scenario(), options());
+    if (r.noWax.rideThroughS <= 0.0)
+        std::abort(); // Keep the run observable to the optimizer.
+    return millisSince(t0);
+}
+
+/** @return ns per disabled TTS_OBS_* check (macro + atomic load). */
+double
+calibrateDisabledCheck()
+{
+    tts::obs::Counter &c =
+        tts::obs::registry().counter("bench.obs.calibration");
+    constexpr std::uint64_t kIters = 20'000'000;
+    Clock::time_point t0 = Clock::now();
+    for (std::uint64_t i = 0; i < kIters; ++i)
+        TTS_OBS_COUNT(c, 1);
+    double ms = millisSince(t0);
+    if (c.value() != 0)
+        std::abort(); // Collection must have been disabled.
+    return ms * 1e6 / static_cast<double>(kIters);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tts;
+
+    std::cout << "=== Extension: observability overhead (1U, "
+                 "2-day faulted resilience run) ===\n\n";
+
+    obs::setEnabled(false);
+    obs::resetForTest();
+    double ns_per_check = calibrateDisabledCheck();
+
+    // Instrumented-but-disabled: warm-up, then best of 2.
+    timeRun();
+    double off_ms = std::min(timeRun(), timeRun());
+    if (!obs::drainEvents().empty()) {
+        std::cout << "FAIL: disabled run emitted trace events\n";
+        return 1;
+    }
+    for (const auto &[key, value] : obs::registry().snapshot()) {
+        if (value != 0.0) {
+            std::cout << "FAIL: disabled run touched metric " << key
+                      << "\n";
+            return 1;
+        }
+    }
+
+    // Enabled: same run with every sink live.
+    obs::setEnabled(true);
+    obs::resetForTest();
+    double on_ms = timeRun();
+    obs::setEnabled(false);
+
+    // How much instrumentation did the run actually cross?  Every
+    // trace event, metric update, and profile scope was one enabled
+    // check; the same sites cost one *disabled* check each in the
+    // shipping configuration.
+    std::uint64_t touches = obs::drainEvents().size();
+    for (const auto &[key, value] : obs::registry().snapshot()) {
+        (void)key;
+        if (value > 0.0)
+            touches += static_cast<std::uint64_t>(value);
+    }
+    for (const auto &[phase, stat] : obs::profileSnapshot()) {
+        (void)phase;
+        touches += stat.calls;
+    }
+    obs::resetForTest();
+
+    double projected_ms =
+        static_cast<double>(touches) * ns_per_check * 1e-6;
+    double projected_pct = projected_ms / off_ms * 100.0;
+    double measured_pct = (on_ms - off_ms) / off_ms * 100.0;
+
+    AsciiTable t({"Configuration", "wall (ms)", "vs disabled"});
+    t.addRow({"instrumented, disabled", formatFixed(off_ms, 1),
+              "-"});
+    t.addRow({"instrumented, enabled", formatFixed(on_ms, 1),
+              formatFixed(measured_pct, 2) + " %"});
+    t.print(std::cout);
+
+    std::cout << "\ndisabled check: "
+              << formatFixed(ns_per_check, 3) << " ns; "
+              << touches << " instrumentation touches; projected "
+              << "disabled overhead "
+              << formatFixed(projected_ms, 3) << " ms ("
+              << formatFixed(projected_pct, 4) << " % of run)\n";
+
+    if (projected_pct > 2.0) {
+        std::cout << "FAIL: projected disabled overhead exceeds "
+                     "the 2 % budget\n";
+        return 1;
+    }
+    std::cout << "PASS: disabled overhead within the 2 % budget\n";
+    return 0;
+}

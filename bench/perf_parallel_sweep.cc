@@ -22,6 +22,7 @@
 
 #include "core/cooling_study.hh"
 #include "exec/parallel.hh"
+#include "obs/obs.hh"
 #include "util/kv_json.hh"
 #include "util/table.hh"
 #include "util/units.hh"
@@ -89,6 +90,19 @@ main()
               << formatFixed(serial_s / parallel_s, 2) << "x\n";
     std::cout << "identical results:  "
               << (identical ? "yes" : "NO") << "\n\n";
+
+    // Where the time goes: rerun one parallel sweep with the obs
+    // profiler live.  Kept out of the timed passes above so the
+    // kv-json series stays comparable across history.
+    obs::resetForTest();
+    obs::setEnabled(true);
+    sweep_with(parallel_pool);
+    obs::setEnabled(false);
+    obs::drainEvents(); // Profiling only; discard the trace.
+    std::cout << "profile of one instrumented parallel sweep:\n";
+    obs::writeProfileTable(std::cout);
+    obs::resetForTest();
+    std::cout << "\n";
 
     std::map<std::string, double> json{
         {"points", static_cast<double>(candidates.size())},

@@ -7,6 +7,8 @@
 #include "exec/parallel.hh"
 #include "fault/fault_injector.hh"
 #include "guard/checkpoint.hh"
+#include "guard/numerics.hh"
+#include "obs/obs.hh"
 #include "server/server_model.hh"
 #include "util/error.hh"
 
@@ -192,6 +194,12 @@ class ThermalArmSim
         fan_srv_.setLoad(u_, floor_ghz_);
         fan_srv_.solveSteadyState();
 
+        label_ = srv_.hasWax() ? "with_wax" : "no_wax";
+        srv_.network().setObsLabel(label_ + "/srv");
+        fan_srv_.network().setObsLabel(label_ + "/fan_srv");
+        TTS_OBS_EVENT(obs::EventKind::PhaseBegin, t_,
+                      "resilience.arm." + label_, u_, -1);
+
         arm_.roomAirC.setName("room_air_c");
         arm_.sensedInletC.setName("sensed_inlet_c");
         arm_.waxMelt.setName("wax_melt");
@@ -211,19 +219,28 @@ class ThermalArmSim
     step()
     {
         invariant(!done_, "ThermalArmSim::step: already done");
+        obs::Scope scope("resilience.thermal");
         inj_.advanceTo(t_);
         double sensed = inj_.senseInlet(room_.airTemp());
-        if (!throttled_ && sensed >= throttle_at_)
+        if (!throttled_ && sensed >= throttle_at_) {
             throttled_ = true;
-        else if (throttled_ &&
-                 sensed <= throttle_at_ - opt_.throttleHysteresisC)
+            TTS_OBS_EVENT(obs::EventKind::ThrottleOn, t_,
+                          label_ + "/dvfs", sensed, -1);
+        } else if (throttled_ &&
+                   sensed <= throttle_at_ -
+                                 opt_.throttleHysteresisC) {
             throttled_ = false;
+            TTS_OBS_EVENT(obs::EventKind::ThrottleOff, t_,
+                          label_ + "/dvfs", sensed, -1);
+        }
 
         srv_.setLoad(u_, throttled_ ? floor_ghz_ : 0.0);
         srv_.network().setInletTemp(room_.airTemp());
+        srv_.network().setObsClock(t_);
         srv_.advance(opt_.stepS, opt_.stepS);
         fan_srv_.setLoad(u_, floor_ghz_);
         fan_srv_.network().setInletTemp(room_.airTemp());
+        fan_srv_.network().setObsClock(t_);
         fan_srv_.advance(opt_.stepS, opt_.stepS);
 
         double alive_frac =
@@ -271,6 +288,16 @@ class ThermalArmSim
             work_integral_ / (u_ * scenario_.horizonS);
         arm_.guard = srv_.network().guardCounters();
         arm_.guard.merge(fan_srv_.network().guardCounters());
+        guard::publishCounters(arm_.guard);
+        TTS_OBS_EVENT(obs::EventKind::GuardCounters, t_,
+                      label_ + "/guard",
+                      static_cast<double>(arm_.guard.audits),
+                      static_cast<std::int64_t>(
+                          arm_.guard.sentinelTrips +
+                          arm_.guard.auditTrips));
+        TTS_OBS_EVENT(obs::EventKind::PhaseEnd, t_,
+                      "resilience.arm." + label_, arm_.rideThroughS,
+                      arm_.hitLimit ? 1 : 0);
         return std::move(arm_);
     }
 
@@ -360,6 +387,7 @@ class ThermalArmSim
     double sample_;
 
     ResilienceArm arm_;
+    std::string label_;      //!< "no_wax" / "with_wax" (obs only).
     double t_ = 0.0;
     bool throttled_ = false;
     double work_integral_ = 0.0;
@@ -418,6 +446,9 @@ struct ResilienceRunner::Impl
         engine = std::make_unique<workload::ClusterSimEngine>(
             opt.cluster, &balancer, trace, &scenario.faults);
         cluster_target = trace.startTime();
+        TTS_OBS_EVENT(obs::EventKind::PhaseBegin, cluster_target,
+                      "resilience.cluster", scenario.utilization,
+                      -1);
     }
 
     /**
@@ -446,11 +477,15 @@ struct ResilienceRunner::Impl
         }
         invariant(phase == kCluster,
                   "ResilienceRunner: advance past completion");
+        obs::Scope scope("resilience.cluster");
         double before = cluster_target;
         cluster_target = std::min(cluster_target + chunk_s,
                                   engine->traceEnd());
         engine->runUntil(cluster_target);
         if (engine->finished()) {
+            TTS_OBS_EVENT(obs::EventKind::PhaseEnd,
+                          engine->traceEnd(), "resilience.cluster",
+                          0.0, -1);
             out.cluster = engine->take();
             engine.reset();
             phase = kDone;
@@ -461,6 +496,7 @@ struct ResilienceRunner::Impl
     void
     saveFile(const std::string &path) const
     {
+        obs::Scope scope("resilience.checkpoint_io");
         guard::CheckpointWriter w;
         w.section("resilience");
         w.putToken("scenario", scenario.name);
@@ -551,8 +587,11 @@ ResilienceRunner::run(const ResilienceCheckpointPolicy &policy)
     const bool journaled = !policy.path.empty();
     require(!journaled || policy.checkpointEveryS > 0.0,
             "ResilienceRunner: checkpointEveryS must be > 0");
-    if (journaled && fileExists(policy.path))
+    if (journaled && fileExists(policy.path)) {
         impl_->restoreFile(policy.path);
+        TTS_OBS_EVENT(obs::EventKind::CheckpointRestore, 0.0,
+                      impl_->scenario.name, 0.0, impl_->phase);
+    }
 
     const double chunk =
         policy.checkpointEveryS > 0.0 ? policy.checkpointEveryS
@@ -566,12 +605,19 @@ ResilienceRunner::run(const ResilienceCheckpointPolicy &policy)
         if (impl_->phase == Impl::kDone)
             break;
         if (policy.stopAfterS >= 0.0 && advanced >= policy.stopAfterS) {
-            if (journaled)
+            if (journaled) {
                 impl_->saveFile(policy.path);
+                TTS_OBS_EVENT(obs::EventKind::CheckpointSave,
+                              advanced, impl_->scenario.name,
+                              since_checkpoint, impl_->phase);
+            }
             return false;
         }
         if (journaled && since_checkpoint >= chunk) {
             impl_->saveFile(policy.path);
+            TTS_OBS_EVENT(obs::EventKind::CheckpointSave, advanced,
+                          impl_->scenario.name, since_checkpoint,
+                          impl_->phase);
             since_checkpoint = 0.0;
         }
     }

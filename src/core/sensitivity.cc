@@ -184,5 +184,15 @@ runSensitivity(const server::ServerSpec &spec,
     return rows;
 }
 
+Histogram
+spreadHistogram(const std::vector<SensitivityRow> &rows,
+                bool reoptimized)
+{
+    Histogram h({0.005, 0.01, 0.02, 0.05});
+    for (const auto &row : rows)
+        h.add(reoptimized ? row.reoptimizedSpread() : row.spread());
+    return h;
+}
+
 } // namespace core
 } // namespace tts

@@ -19,6 +19,7 @@
 
 #include "core/cooling_study.hh"
 #include "server/server_spec.hh"
+#include "util/stats.hh"
 #include "workload/trace.hh"
 
 namespace tts {
@@ -82,6 +83,21 @@ std::vector<SensitivityRow> runSensitivity(
     std::vector<SensitivityParameter> params = calibrationKnobs(),
     const CoolingStudyOptions &options = CoolingStudyOptions{},
     bool reoptimize = false);
+
+/**
+ * Bucket the per-knob spreads into a fixed Histogram (the same
+ * tts::Histogram the obs metrics registry snapshots, so report and
+ * metrics bucket semantics agree).  Bounds are absolute
+ * peak-reduction fractions: 0.005, 0.01, 0.02, 0.05 - i.e. half a
+ * point, one, two, and five points of cooling-peak reduction, with
+ * anything wilder in the overflow bucket.
+ *
+ * @param rows        Sweep output.
+ * @param reoptimized Bucket reoptimizedSpread() instead of spread()
+ *                    (requires rows from a reoptimize=true run).
+ */
+Histogram spreadHistogram(const std::vector<SensitivityRow> &rows,
+                          bool reoptimized = false);
 
 } // namespace core
 } // namespace tts

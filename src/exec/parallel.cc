@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -50,11 +51,35 @@ ThreadPool::forIndex(std::size_t n,
 {
     if (n == 0)
         return;
+
+    // Trace stream identity: allocate the region id here, on the
+    // launching thread, so the allocation order is the same at any
+    // pool width.  Nested loops (already inside a TaskScope) stay on
+    // the enclosing task's stream - matching the parallel path,
+    // where nested calls fall back to serial inside a worker task.
+    bool traced = obs::enabled() && !obs::inTaskScope();
+    std::uint64_t region = 0;
+    if (traced) {
+        static obs::Counter &region_count =
+            obs::registry().counter("exec.region.count");
+        static obs::Counter &task_count =
+            obs::registry().counter("exec.task.count");
+        region = obs::beginRegion();
+        region_count.add(1);
+        task_count.add(n);
+    }
+
     if (threads_ == 1 || n == 1 || tl_in_region) {
         // Byte-for-byte the serial loop: in order, on this thread,
         // first exception aborts the remainder immediately.
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (traced) {
+                obs::TaskScope scope(region, i);
+                fn(i);
+            } else {
+                fn(i);
+            }
+        }
         return;
     }
 
@@ -70,7 +95,12 @@ ThreadPool::forIndex(std::size_t n,
             if (i >= n)
                 break;
             try {
-                fn(i);
+                if (traced) {
+                    obs::TaskScope scope(region, i);
+                    fn(i);
+                } else {
+                    fn(i);
+                }
             } catch (...) {
                 std::lock_guard<std::mutex> lk(err_mu);
                 if (i < err_index) {

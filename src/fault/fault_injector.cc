@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -55,6 +56,16 @@ FaultInjector::nextEventTime() const
 void
 FaultInjector::apply(const FaultEvent &e)
 {
+    if (obs::enabled()) {
+        static obs::Counter &injected =
+            obs::registry().counter("fault.injected.total");
+        injected.add(1);
+        obs::emitEvent(obs::EventKind::FaultInjected, e.timeS,
+                       toString(e.kind), e.magnitude,
+                       e.target == FaultEvent::noTarget
+                           ? -1
+                           : static_cast<std::int64_t>(e.target));
+    }
     switch (e.kind) {
       case FaultKind::ServerCrash:
         if (!server_down_[e.target]) {

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -336,6 +337,14 @@ writeCheckpointFile(const std::string &path, const std::string &document)
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         fatal("cannot rename checkpoint '" + tmp + "' to '" + path + "'");
+    if (obs::enabled()) {
+        static obs::Counter &saves =
+            obs::registry().counter("guard.checkpoint.saves");
+        static obs::Counter &bytes =
+            obs::registry().counter("guard.checkpoint.bytes_written");
+        saves.add(1);
+        bytes.add(document.size());
+    }
 }
 
 std::string
@@ -346,6 +355,11 @@ readCheckpointFile(const std::string &path)
     std::ostringstream buf;
     buf << in.rdbuf();
     require(!in.bad(), "failed reading checkpoint file '" + path + "'");
+    if (obs::enabled()) {
+        static obs::Counter &restores =
+            obs::registry().counter("guard.checkpoint.restores");
+        restores.add(1);
+    }
     return buf.str();
 }
 

@@ -1,5 +1,7 @@
 #include "guard/numerics.hh"
 
+#include "obs/obs.hh"
+
 namespace tts {
 namespace guard {
 
@@ -24,6 +26,25 @@ void
 setDefaultGuardConfig(const GuardConfig &cfg)
 {
     mutableDefault() = cfg;
+}
+
+void
+publishCounters(const GuardCounters &c)
+{
+    if (!obs::enabled())
+        return;
+    // Called once per finished run/arm with its aggregate, rather
+    // than live from advance(), so the registry never double-counts
+    // an interval that was also merged into a study total.
+    obs::Registry &r = obs::registry();
+    r.counter("guard.advance.count").add(c.advances);
+    r.counter("guard.step.count").add(c.steps);
+    r.counter("guard.audit.count").add(c.audits);
+    r.counter("guard.retry.count").add(c.retries);
+    r.counter("guard.fallback.count").add(c.fallbacks);
+    r.counter("guard.trip.count")
+        .add(c.sentinelTrips + c.auditTrips);
+    r.gauge("guard.worst_residual_j").set(c.worstResidualJ);
 }
 
 } // namespace guard

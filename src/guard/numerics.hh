@@ -172,6 +172,16 @@ const GuardConfig &defaultGuardConfig();
 /** Replace the process-wide default guard configuration. */
 void setDefaultGuardConfig(const GuardConfig &cfg);
 
+/**
+ * Mirror a finished run's counter aggregate into the obs metrics
+ * registry (guard.advance.count, guard.step.count,
+ * guard.audit.count, guard.retry.count, guard.fallback.count,
+ * guard.trip.count, guard.worst_residual_j).  No-op when collection
+ * is disabled.  Call once per completed run or study arm - not per
+ * interval - so merged aggregates are not double-counted.
+ */
+void publishCounters(const GuardCounters &c);
+
 } // namespace guard
 } // namespace tts
 

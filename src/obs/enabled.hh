@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Observability master switch.
+ *
+ * Split out of obs.hh so the individual sinks (metrics, trace,
+ * profile) can inline the check without pulling in each other.  The
+ * disabled fast path is a single relaxed atomic load - cheap enough
+ * to leave on every hot path in the simulator.
+ */
+
+#ifndef TTS_OBS_ENABLED_HH
+#define TTS_OBS_ENABLED_HH
+
+#include <atomic>
+
+namespace tts {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** @return True when observability collection is on (default off). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * Turn collection on or off process-wide.  Toggling does not clear
+ * any sink; use resetForTest() for a clean slate.
+ */
+void setEnabled(bool on);
+
+} // namespace obs
+} // namespace tts
+
+#endif // TTS_OBS_ENABLED_HH

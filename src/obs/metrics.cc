@@ -1,0 +1,108 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+
+namespace tts {
+namespace obs {
+
+namespace {
+
+/** Bucket-bound suffix: integral bounds print bare ("64"), others
+ *  with %g ("0.5"); the overflow bucket is "inf". */
+std::string
+boundKey(double bound)
+{
+    char buf[32];
+    if (bound == static_cast<double>(static_cast<long long>(bound)))
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(bound));
+    else
+        std::snprintf(buf, sizeof(buf), "%g", bound);
+    return buf;
+}
+
+} // namespace
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Counter> &slot = counters_[name];
+    if (!slot)
+        slot.reset(new Counter);
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Gauge> &slot = gauges_[name];
+    if (!slot)
+        slot.reset(new Gauge);
+    return *slot;
+}
+
+HistogramCell &
+Registry::histogram(const std::string &name,
+                    const std::vector<double> &upper_bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<HistogramCell> &slot = histograms_[name];
+    if (!slot)
+        slot.reset(new HistogramCell(upper_bounds));
+    return *slot;
+}
+
+std::map<std::string, double>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, double> out;
+    for (const auto &kv : counters_)
+        out[kv.first] =
+            static_cast<double>(kv.second->value());
+    for (const auto &kv : gauges_)
+        out[kv.first] = kv.second->value();
+    for (const auto &kv : histograms_) {
+        Histogram h = kv.second->snapshot();
+        const std::string &base = kv.first;
+        out[base + ".count"] = static_cast<double>(h.count());
+        out[base + ".sum"] = h.sum();
+        out[base + ".min"] = h.min();
+        out[base + ".max"] = h.max();
+        // Cumulative counts, Prometheus-style "le" semantics.
+        std::size_t cum = 0;
+        for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+            cum += h.countInBucket(i);
+            std::string key = base + ".le.";
+            key += i + 1 == h.bucketCount()
+                       ? std::string("inf")
+                       : boundKey(h.upperBound(i));
+            out[key] = static_cast<double>(cum);
+        }
+    }
+    return out;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &kv : counters_)
+        kv.second->reset();
+    for (auto &kv : gauges_)
+        kv.second->reset();
+    for (auto &kv : histograms_)
+        kv.second->reset();
+}
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace obs
+} // namespace tts

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and histograms.
+ *
+ * Instruments live for the lifetime of the process - the registry
+ * hands out stable references that call sites may cache, so the hot
+ * path is a relaxed atomic add with no lock and no lookup.  The
+ * naming scheme is dotted lower_snake segments, subsystem first:
+ * `thermal.advance.steps`, `dcsim.queue.depth`, `guard.retry.count`,
+ * `fault.injected.total` (taxonomy in DESIGN.md section 12).
+ */
+
+#ifndef TTS_OBS_METRICS_HH
+#define TTS_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace tts {
+namespace obs {
+
+/** Monotonic counter; add() is lock-free and thread-safe. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Last-write-wins scalar; set() is lock-free and thread-safe. */
+class Gauge
+{
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/** Mutex-guarded tts::Histogram for concurrent observation. */
+class HistogramCell
+{
+  public:
+    explicit HistogramCell(std::vector<double> upper_bounds)
+        : h_(std::move(upper_bounds))
+    {
+    }
+
+    void observe(double x)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        h_.add(x);
+    }
+
+    /** @return A copy of the current histogram state. */
+    Histogram snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return h_;
+    }
+
+    void reset()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        h_.reset();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    Histogram h_;
+};
+
+/**
+ * Name -> instrument map.  Lookup takes a mutex; the returned
+ * references stay valid forever (instruments are never removed), so
+ * call sites fetch once and cache.
+ */
+class Registry
+{
+  public:
+    /** Get or create the counter `name`. */
+    Counter &counter(const std::string &name);
+    /** Get or create the gauge `name`. */
+    Gauge &gauge(const std::string &name);
+    /**
+     * Get or create the histogram `name`.  The bounds are used only
+     * on first creation; later calls return the existing cell.
+     */
+    HistogramCell &histogram(const std::string &name,
+                             const std::vector<double> &upper_bounds);
+
+    /**
+     * Flatten every instrument to scalar keys, ready for kv_json.
+     * Counters and gauges keep their name; a histogram `h` expands
+     * to `h.count`, `h.sum`, `h.min`, `h.max`, and one
+     * `h.le.<bound>` cumulative count per bucket (`h.le.inf` for
+     * the overflow bucket).
+     */
+    std::map<std::string, double> snapshot() const;
+
+    /** Zero every instrument, keeping the registered names. */
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<HistogramCell>> histograms_;
+};
+
+/** The process-wide registry. */
+Registry &registry();
+
+} // namespace obs
+} // namespace tts
+
+#endif // TTS_OBS_METRICS_HH

@@ -1,0 +1,31 @@
+#include "obs/obs.hh"
+
+namespace tts {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+// Implemented in trace.cc / metrics.cc / profile.cc.
+void resetTrace();
+void resetProfile();
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+resetForTest()
+{
+    detail::resetTrace();
+    detail::resetProfile();
+    registry().reset();
+}
+
+} // namespace obs
+} // namespace tts

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * tts::obs - runtime-switched observability for the simulator.
+ *
+ * Umbrella header: master switch (enabled.hh), metrics registry
+ * (metrics.hh), structured trace sink (trace.hh), and scoped
+ * profiling (profile.hh), plus the emission macros instrumented
+ * call sites use.
+ *
+ * Design contract: with collection disabled (the default) every
+ * instrumented path costs one relaxed atomic load per macro and is
+ * bit-identical to the uninstrumented simulator - no argument
+ * evaluation, no allocation, no clock reads.  Enabling collection
+ * never perturbs simulation arithmetic either; it only records.
+ */
+
+#ifndef TTS_OBS_OBS_HH
+#define TTS_OBS_OBS_HH
+
+#include "obs/enabled.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
+
+namespace tts {
+namespace obs {
+
+/**
+ * Clear every sink: trace buffers and region allocator, registry
+ * values, and profile tables.  For tests and benches that run the
+ * same simulation repeatedly in one process and compare output.
+ */
+void resetForTest();
+
+} // namespace obs
+} // namespace tts
+
+/**
+ * Emit a trace event when collection is enabled.  The arguments are
+ * not evaluated on the disabled path.
+ */
+#define TTS_OBS_EVENT(kind, time_s, name, value, target)             \
+    do {                                                             \
+        if (::tts::obs::enabled())                                   \
+            ::tts::obs::emitEvent((kind), (time_s), (name), (value), \
+                                  (target));                         \
+    } while (0)
+
+/**
+ * Bump a cached metrics instrument when collection is enabled.
+ * `cell` is a Counter/Gauge/HistogramCell lvalue (fetch it from the
+ * registry once - references stay valid forever).
+ */
+#define TTS_OBS_COUNT(cell, n)                                       \
+    do {                                                             \
+        if (::tts::obs::enabled())                                   \
+            (cell).add(n);                                           \
+    } while (0)
+
+#define TTS_OBS_GAUGE(cell, v)                                       \
+    do {                                                             \
+        if (::tts::obs::enabled())                                   \
+            (cell).set(v);                                           \
+    } while (0)
+
+#define TTS_OBS_OBSERVE(cell, x)                                     \
+    do {                                                             \
+        if (::tts::obs::enabled())                                   \
+            (cell).observe(x);                                       \
+    } while (0)
+
+#endif // TTS_OBS_OBS_HH

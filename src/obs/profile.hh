@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Scoped wall-clock profiling with per-thread aggregation.
+ *
+ * obs::Scope times a phase ("thermal.advance", "resilience.cluster")
+ * into a thread-local table; tables merge into a global map when a
+ * thread exits or a snapshot is taken.  Worker threads recruited by
+ * exec::ThreadPool are joined at region end, so their contributions
+ * are visible to the launching thread immediately afterwards.
+ *
+ * Wall-clock numbers are inherently nondeterministic, so they stay
+ * out of the trace stream entirely - profiles are reported
+ * separately (stderr tables, bench output) and never affect the
+ * golden values or trace byte-equality.
+ */
+
+#ifndef TTS_OBS_PROFILE_HH
+#define TTS_OBS_PROFILE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/enabled.hh"
+
+namespace tts {
+namespace obs {
+
+/** Aggregated timings for one phase label. */
+struct PhaseStat
+{
+    std::uint64_t calls = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t maxNs = 0;
+};
+
+namespace detail {
+/** Fold one finished scope into the calling thread's table. */
+void recordScope(const char *phase, std::uint64_t elapsed_ns);
+} // namespace detail
+
+/**
+ * RAII phase timer.  When collection is disabled at construction the
+ * scope is inert - no clock call, no table touch - so instrumenting
+ * a hot loop costs one branch per iteration.
+ *
+ * @param phase Static label; the pointer must outlive the profile
+ *     (string literals only).
+ */
+class Scope
+{
+  public:
+    explicit Scope(const char *phase)
+        : phase_(enabled() ? phase : nullptr)
+    {
+        if (phase_)
+            t0_ = std::chrono::steady_clock::now();
+    }
+
+    ~Scope()
+    {
+        if (phase_)
+            detail::recordScope(
+                phase_,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count()));
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    const char *phase_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+/**
+ * Merge the global table with the calling thread's and return the
+ * result.  Does not clear anything.
+ */
+std::map<std::string, PhaseStat> profileSnapshot();
+
+/** Print profileSnapshot() as an aligned table, busiest phase first. */
+void writeProfileTable(std::ostream &out);
+
+} // namespace obs
+} // namespace tts
+
+#endif // TTS_OBS_PROFILE_HH

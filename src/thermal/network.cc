@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/units.hh"
 
@@ -235,6 +236,13 @@ ServerThermalNetwork::advance(double dt_total, double dt_step)
     if (dt_total == 0.0)
         return;
 
+    obs::Scope profile("thermal.advance");
+
+    // Capture pre-interval melt fractions the first time collection
+    // is on, so a transition inside this very interval is seen.
+    if (obs::enabled() && !obs_melt_seeded_)
+        seedMeltFractions();
+
     if (!guard_config_.enabled) {
         OdeRhs plain = [this](double, const std::vector<double> &h,
                               std::vector<double> &dh) { rhs(h, dh); };
@@ -243,6 +251,12 @@ ServerThermalNetwork::advance(double dt_total, double dt_step)
             if (nodes_[i].element)
                 nodes_[i].element->setEnthalpy(state_[i]);
         }
+        obs_clock_ += dt_total;
+        if (obs::enabled())
+            emitThermalEvents(static_cast<std::uint64_t>(
+                std::ceil(dt_total / dt_step)));
+        else
+            obs_melt_seeded_ = false;
         return;
     }
 
@@ -263,6 +277,7 @@ ServerThermalNetwork::advance(double dt_total, double dt_step)
     };
 
     ++guard_counters_.advances;
+    const std::uint64_t steps_before = guard_counters_.steps;
     double dt = dt_step;
     int attempt = 0;
     for (;;) {
@@ -281,10 +296,16 @@ ServerThermalNetwork::advance(double dt_total, double dt_step)
                 ++attempt;
                 ++guard_counters_.retries;
                 dt *= guard_config_.backoffFactor;
+                TTS_OBS_EVENT(obs::EventKind::GuardRetry, obs_clock_,
+                              obsName(e.node()), e.residualJ(),
+                              attempt);
                 continue;
             }
             if (guard_config_.fallbackAdaptive) {
                 ++guard_counters_.fallbacks;
+                TTS_OBS_EVENT(obs::EventKind::GuardFallback,
+                              obs_clock_, obsName(e.node()),
+                              e.residualJ(), attempt);
                 try {
                     fallbackAttempt(f, dt_total);
                     break;
@@ -293,9 +314,14 @@ ServerThermalNetwork::advance(double dt_total, double dt_step)
                         ++guard_counters_.auditTrips;
                     else
                         ++guard_counters_.sentinelTrips;
+                    TTS_OBS_EVENT(obs::EventKind::GuardTrip,
+                                  obs_clock_, obsName(e2.node()),
+                                  e2.residualJ(), attempt);
                     enrich(e2);
                 }
             }
+            TTS_OBS_EVENT(obs::EventKind::GuardTrip, obs_clock_,
+                          obsName(e.node()), e.residualJ(), attempt);
             enrich(e);
         }
     }
@@ -304,6 +330,11 @@ ServerThermalNetwork::advance(double dt_total, double dt_step)
         if (nodes_[i].element)
             nodes_[i].element->setEnthalpy(state_[i]);
     }
+    obs_clock_ += dt_total;
+    if (obs::enabled())
+        emitThermalEvents(guard_counters_.steps - steps_before);
+    else
+        obs_melt_seeded_ = false;
 }
 
 void
@@ -323,8 +354,11 @@ ServerThermalNetwork::guardedAttempt(const OdeRhs &f, double dt_total,
             ++steps;
     };
     integrate(stepper_, f, 0.0, dt_total, dt, aug_scratch_, obs);
-    guard_counters_.steps += steps;
     checkAttempt(aug_scratch_, dt_total);
+    // Count steps only after the attempt passed its checks: a
+    // tripped attempt is rolled back wholesale, and `steps` is
+    // documented as *accepted* integrator steps.
+    guard_counters_.steps += steps;
     state_.assign(aug_scratch_.begin(),
                   aug_scratch_.begin() + static_cast<std::ptrdiff_t>(n));
 }
@@ -341,9 +375,12 @@ ServerThermalNetwork::fallbackAttempt(const OdeRhs &f, double dt_total)
 
     AdaptiveRk23 fallback(guard_config_.fallbackRtol,
                           guard_config_.fallbackAtol);
-    guard_counters_.steps +=
+    std::uint64_t steps =
         fallback.integrate(f, 0.0, dt_total, aug_scratch_);
     checkAttempt(aug_scratch_, dt_total);
+    // As in guardedAttempt: rolled-back attempts contribute no
+    // accepted steps.
+    guard_counters_.steps += steps;
     state_.assign(aug_scratch_.begin(),
                   aug_scratch_.begin() + static_cast<std::ptrdiff_t>(n));
 }
@@ -425,6 +462,61 @@ ServerThermalNetwork::enrich(const guard::NumericsError &e) const
         node, zone, e.timeS(), e.residualJ(), idx);
 }
 
+std::string
+ServerThermalNetwork::obsName(const std::string &node) const
+{
+    const std::string &leaf = node.empty() ? "net" : node;
+    if (obs_label_.empty())
+        return leaf;
+    return obs_label_ + "/" + leaf;
+}
+
+void
+ServerThermalNetwork::seedMeltFractions()
+{
+    obs_melt_prev_.assign(nodes_.size(), 0.0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].element)
+            obs_melt_prev_[i] = nodes_[i].element->meltFraction();
+    }
+    obs_melt_seeded_ = true;
+}
+
+void
+ServerThermalNetwork::emitThermalEvents(std::uint64_t steps_taken)
+{
+    static obs::Counter &step_count =
+        obs::registry().counter("thermal.advance.steps");
+    static obs::Counter &advance_count =
+        obs::registry().counter("thermal.advance.count");
+    step_count.add(steps_taken);
+    advance_count.add(1);
+
+    if (!obs_melt_seeded_) {
+        seedMeltFractions();
+        return;
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!nodes_[i].element)
+            continue;
+        double prev = obs_melt_prev_[i];
+        double now = nodes_[i].element->meltFraction();
+        if (prev <= 0.0 && now > 0.0)
+            obs::emitEvent(obs::EventKind::MeltOnset, obs_clock_,
+                           obsName(nodes_[i].name), now,
+                           static_cast<std::int64_t>(i));
+        if (prev < 1.0 && now >= 1.0)
+            obs::emitEvent(obs::EventKind::MeltComplete, obs_clock_,
+                           obsName(nodes_[i].name), now,
+                           static_cast<std::int64_t>(i));
+        if (prev > 0.0 && now <= 0.0)
+            obs::emitEvent(obs::EventKind::MeltRefrozen, obs_clock_,
+                           obsName(nodes_[i].name), now,
+                           static_cast<std::int64_t>(i));
+        obs_melt_prev_[i] = now;
+    }
+}
+
 void
 ServerThermalNetwork::setEnthalpies(const std::vector<double> &h)
 {
@@ -437,6 +529,9 @@ ServerThermalNetwork::setEnthalpies(const std::vector<double> &h)
         if (nodes_[i].element)
             nodes_[i].element->setEnthalpy(state_[i]);
     }
+    // External state replacement (checkpoint restore) is not a
+    // simulated transition; re-snapshot before the next advance.
+    obs_melt_seeded_ = false;
 }
 
 void
@@ -488,6 +583,7 @@ ServerThermalNetwork::solveSteadyState()
         if (nodes_[i].element)
             nodes_[i].element->setEnthalpy(state_[i]);
     }
+    obs_melt_seeded_ = false;
 }
 
 double

@@ -23,6 +23,7 @@
 #define TTS_THERMAL_NETWORK_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -285,6 +286,28 @@ class ServerThermalNetwork
     /** @return Node id by name, or -1. */
     int findNode(const std::string &name) const;
 
+    /**
+     * Observability: label prefixed to node names in emitted trace
+     * events (e.g. "with_wax/srv"); empty by default.
+     */
+    void setObsLabel(const std::string &label)
+    {
+        obs_label_ = label;
+    }
+    /** @return The observability label. */
+    const std::string &obsLabel() const { return obs_label_; }
+
+    /**
+     * Observability: absolute simulation time of the current state
+     * (seconds).  advance() moves it forward by dt_total; drivers
+     * that own the clock (resilience arms) set it before advancing
+     * so trace events carry study time rather than network-local
+     * time.  Never read by the simulation itself.
+     */
+    void setObsClock(double t_s) { obs_clock_ = t_s; }
+    /** @return The observability clock (seconds). */
+    double obsClock() const { return obs_clock_; }
+
   private:
     struct Node
     {
@@ -345,6 +368,19 @@ class ServerThermalNetwork
     /** Wrap a NumericsError with node/zone naming and rethrow. */
     [[noreturn]] void enrich(const guard::NumericsError &e) const;
 
+    /** Event subject: "<label>/<node>" ("net" when node is empty). */
+    std::string obsName(const std::string &node) const;
+
+    /** Snapshot PCM melt fractions into obs_melt_prev_. */
+    void seedMeltFractions();
+
+    /**
+     * Emit melt onset/complete/refrozen transitions against
+     * obs_melt_prev_ and bump the step counter.  Only called with
+     * collection enabled, after advance() committed the state.
+     */
+    void emitThermalEvents(std::uint64_t steps_taken);
+
     AirflowModel airflow_;
     std::size_t zone_count_;
     double inlet_temp_;
@@ -362,6 +398,11 @@ class ServerThermalNetwork
     std::function<void(std::vector<double> &)> guard_corruptor_;
     bool guard_corruptor_once_ = true;
     std::vector<double> aug_scratch_;    //!< Guarded-attempt state.
+
+    std::string obs_label_;              //!< Trace event prefix.
+    double obs_clock_ = 0.0;             //!< Sim time of state_ (s).
+    bool obs_melt_seeded_ = false;       //!< obs_melt_prev_ valid.
+    std::vector<double> obs_melt_prev_;  //!< Melt fraction per node.
 };
 
 } // namespace thermal

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hh"
 
@@ -41,6 +42,82 @@ void
 RunningStats::reset()
 {
     *this = RunningStats();
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0)
+{
+    require(!bounds_.empty(), "Histogram: no bucket bounds");
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        require(std::isfinite(bounds_[i]),
+                "Histogram: non-finite bucket bound");
+        require(i == 0 || bounds_[i - 1] < bounds_[i],
+                "Histogram: bounds not strictly increasing");
+    }
+}
+
+void
+Histogram::add(double x)
+{
+    require(std::isfinite(x), "Histogram::add: non-finite value");
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), x) -
+        bounds_.begin());
+    ++counts_[bucket];
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    require(bounds_ == o.bounds_,
+            "Histogram::merge: bucket bounds differ");
+    if (o.n_ == 0)
+        return;
+    if (n_ == 0) {
+        min_ = o.min_;
+        max_ = o.max_;
+    } else {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+    n_ += o.n_;
+    sum_ += o.sum_;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += o.counts_[i];
+}
+
+double
+Histogram::upperBound(std::size_t i) const
+{
+    require(i < counts_.size(), "Histogram::upperBound: bad bucket");
+    if (i == bounds_.size())
+        return std::numeric_limits<double>::infinity();
+    return bounds_[i];
+}
+
+std::size_t
+Histogram::countInBucket(std::size_t i) const
+{
+    require(i < counts_.size(),
+            "Histogram::countInBucket: bad bucket");
+    return counts_[i];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    n_ = 0;
+    sum_ = min_ = max_ = 0.0;
 }
 
 double

@@ -80,6 +80,72 @@ class RunningStats
 };
 
 /**
+ * Fixed-bucket histogram with cumulative-style upper bounds.
+ *
+ * Buckets are defined by a strictly increasing vector of finite
+ * upper bounds; an observation lands in the first bucket whose bound
+ * is >= the value, and an implicit overflow bucket catches anything
+ * above the last bound.  Alongside the buckets the histogram tracks
+ * count/sum/min/max, so a snapshot can be flattened to scalar keys
+ * (the obs metrics registry does exactly that).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param upper_bounds Strictly increasing, finite bucket upper
+     *     bounds; must be non-empty.
+     */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    /** Add one observation (must be finite). */
+    void add(double x);
+
+    /**
+     * Fold another histogram into this one.  Both must have been
+     * built with identical upper bounds.
+     */
+    void merge(const Histogram &o);
+
+    /** @return Number of observations. */
+    std::size_t count() const { return n_; }
+    /** @return Sum of observations (0 when empty). */
+    double sum() const { return sum_; }
+    /** @return Minimum observation (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+    /** @return Maximum observation (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+    /** @return Sample mean (0 when empty). */
+    double mean() const
+    {
+        return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+    }
+
+    /** @return Number of buckets, including the overflow bucket. */
+    std::size_t bucketCount() const { return counts_.size(); }
+    /**
+     * @return Upper bound of bucket `i`; +infinity for the final
+     *     (overflow) bucket.
+     */
+    double upperBound(std::size_t i) const;
+    /** @return Observations that landed in bucket `i`. */
+    std::size_t countInBucket(std::size_t i) const;
+    /** @return The configured finite upper bounds. */
+    const std::vector<double> &upperBounds() const { return bounds_; }
+
+    /** Drop every observation, keeping the bucket layout. */
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::size_t> counts_; //!< bounds_.size() + 1 cells.
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
  * Linear-interpolated percentile of a data vector.
  *
  * @param data Observations (copied and sorted internally).

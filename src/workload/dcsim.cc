@@ -8,6 +8,7 @@
 
 #include "fault/fault_schedule.hh"
 #include "guard/checkpoint.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace tts {
@@ -162,6 +163,24 @@ struct ClusterSimEngine::Impl
     bool done = false;
     bool taken = false;
 
+    // Cached metrics instruments (registry references are stable, so
+    // the hot path pays one relaxed add, no lookup).  Bumped only
+    // when collection is enabled; they mirror the DcSimResult
+    // counters live, across every engine in the process.
+    obs::Counter &obs_offered =
+        obs::registry().counter("dcsim.jobs.offered");
+    obs::Counter &obs_completed =
+        obs::registry().counter("dcsim.jobs.completed");
+    obs::Counter &obs_dropped =
+        obs::registry().counter("dcsim.jobs.dropped");
+    obs::Counter &obs_crash_killed =
+        obs::registry().counter("dcsim.jobs.crash_killed");
+    obs::Counter &obs_faults =
+        obs::registry().counter("dcsim.fault.applied");
+    obs::HistogramCell &obs_depth = obs::registry().histogram(
+        "dcsim.queue.depth",
+        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+
     Impl(const DcSimConfig &cfg, LoadBalancer *lb,
          const WorkloadTrace &tr, const fault::FaultSchedule *faults)
         : config(cfg), balancer(lb), trace(checkedTrace(tr)),
@@ -272,6 +291,14 @@ struct ClusterSimEngine::Impl
             const fault::FaultEvent &e = events[next_fault];
             ++next_fault;
             ++result.faultEventsApplied;
+            TTS_OBS_COUNT(obs_faults, 1);
+            TTS_OBS_EVENT(obs::EventKind::FaultInjected, e.timeS,
+                          std::string("dcsim.") +
+                              fault::toString(e.kind),
+                          e.magnitude,
+                          e.target == fault::FaultEvent::noTarget
+                              ? -1
+                              : static_cast<std::int64_t>(e.target));
             switch (e.kind) {
               case fault::FaultKind::ServerCrash: {
                 if (!alive[e.target])
@@ -283,6 +310,11 @@ struct ClusterSimEngine::Impl
                     static_cast<std::uint64_t>(sv.queue.size());
                 result.droppedJobs += lost;
                 result.crashKilledJobs += lost;
+                TTS_OBS_COUNT(obs_dropped, lost);
+                TTS_OBS_COUNT(obs_crash_killed, lost);
+                TTS_OBS_EVENT(obs::EventKind::JobCrashKill, t,
+                              "dcsim", static_cast<double>(lost),
+                              static_cast<std::int64_t>(e.target));
                 // Queued jobs free their latency slots now; running
                 // jobs free theirs when their stale departure pops.
                 for (const Job &j : sv.queue)
@@ -377,6 +409,7 @@ struct ClusterSimEngine::Impl
                 ++result.completedJobs;
                 ++result.completedByServer[d.server];
                 ++completed_window;
+                TTS_OBS_COUNT(obs_completed, 1);
                 const InFlight &f = inflight[d.job_id];
                 result.latency.add(now - f.arrival);
                 for (std::size_t i = 0; i < jobClassCount; ++i) {
@@ -403,9 +436,11 @@ struct ClusterSimEngine::Impl
             if (rng.uniform() * lambda_max > lambda)
                 continue;
             ++result.offeredJobs;
+            TTS_OBS_COUNT(obs_offered, 1);
             if (alive_count == 0) {
                 ++result.droppedJobs;
                 ++result.rejectedNoAliveServer;
+                TTS_OBS_COUNT(obs_dropped, 1);
                 continue;
             }
             std::size_t sv;
@@ -427,6 +462,7 @@ struct ClusterSimEngine::Impl
             }
             ServerState &state = servers[sv];
             std::uint64_t id = allocId(now, classAt(now));
+            bool accepted = true;
             if (state.busy < config.slotsPerServer) {
                 ++depths[sv];
                 startJob(sv, now, id);
@@ -440,6 +476,16 @@ struct ClusterSimEngine::Impl
             } else {
                 ++result.droppedJobs;
                 free_ids.push_back(id);
+                accepted = false;
+                TTS_OBS_COUNT(obs_dropped, 1);
+            }
+            if (accepted && obs::enabled()) {
+                obs_depth.observe(
+                    static_cast<double>(depths[sv]));
+                obs::emitEvent(obs::EventKind::JobDispatch, now,
+                               "dcsim",
+                               static_cast<double>(depths[sv]),
+                               static_cast<std::int64_t>(sv));
             }
         }
         return true;
@@ -719,6 +765,7 @@ ClusterSimEngine::~ClusterSimEngine() = default;
 bool
 ClusterSimEngine::runUntil(double t_stop)
 {
+    obs::Scope scope("dcsim.run");
     return impl_->runUntil(t_stop);
 }
 

@@ -83,6 +83,35 @@ TEST(SensitivityRow, NegativeReductionsHandled)
     EXPECT_DOUBLE_EQ(r.spread(), 0.11);
 }
 
+TEST(SensitivityRow, SpreadHistogramBucketsKnobs)
+{
+    std::vector<SensitivityRow> rows{
+        row(0.088, 0.09, 0.091),  // spread 0.002 -> <= 0.005
+        row(0.083, 0.09, 0.092),  // spread 0.007 -> <= 0.01
+        row(0.05, 0.09, 0.10),    // spread 0.04  -> <= 0.05
+        row(-0.02, 0.09, 0.09),   // spread 0.11  -> overflow
+    };
+    Histogram h = spreadHistogram(rows);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucketCount(), 5u);
+    EXPECT_EQ(h.countInBucket(0), 1u);
+    EXPECT_EQ(h.countInBucket(1), 1u);
+    EXPECT_EQ(h.countInBucket(2), 0u);
+    EXPECT_EQ(h.countInBucket(3), 1u);
+    EXPECT_EQ(h.countInBucket(4), 1u);
+}
+
+TEST(SensitivityRow, SpreadHistogramReoptimizedMode)
+{
+    SensitivityRow r = row(0.02, 0.09, 0.16); // raw spread 0.07
+    r.reoptimizedLow = 0.089;
+    r.reoptimizedHigh = 0.091; // re-opt spread 0.001
+    Histogram raw = spreadHistogram({r}, false);
+    Histogram reopt = spreadHistogram({r}, true);
+    EXPECT_EQ(raw.countInBucket(4), 1u);   // Overflow (> 0.05).
+    EXPECT_EQ(reopt.countInBucket(0), 1u); // Tightest bucket.
+}
+
 } // namespace
 } // namespace core
 } // namespace tts

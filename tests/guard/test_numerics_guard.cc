@@ -209,6 +209,24 @@ TEST(NumericsGuard, ErrorCarriesDiagnosticFields)
               std::string::npos);
 }
 
+TEST(NumericsGuard, RolledBackAttemptsContributeNoAcceptedSteps)
+{
+    // Regression: the step counter used to accumulate before the
+    // energy audit could reject the attempt, so a tripped interval
+    // counted its rolled-back steps on top of the retry's.  An
+    // advance(4, 1) whose first attempt trips must report only the
+    // 8 accepted retry steps at dt/2 - not 4 + 8.
+    ServerThermalNetwork net = testNetwork();
+    net.setGuardTestCorruptor(
+        [](std::vector<double> &aug) { aug[0] += 1e12; },
+        /*once=*/true);
+    net.advance(4.0, 1.0);
+    const guard::GuardCounters &c = net.guardCounters();
+    EXPECT_EQ(c.retries, 1u);
+    EXPECT_EQ(c.auditTrips, 1u);
+    EXPECT_EQ(c.steps, 8u);
+}
+
 TEST(NumericsGuard, DefaultConfigIsProcessWideButOverridable)
 {
     guard::GuardConfig saved = guard::defaultGuardConfig();

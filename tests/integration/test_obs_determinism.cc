@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Acceptance criteria for the obs subsystem:
+ *
+ *  1. Tracing is thread-count invariant: a faulted resilience grid
+ *     run at 1 and 8 threads produces byte-identical sorted JSONL
+ *     (events carry logical (region, task, seq) stream ids, never OS
+ *     thread ids, and stamp simulation time, never wall time).
+ *  2. Observing is non-perturbing: the pinned resilience golden keys
+ *     are bit-identical with collection enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/resilience_study.hh"
+#include "exec/parallel.hh"
+#include "fault/fault_schedule.hh"
+#include "obs/obs.hh"
+#include "server/server_spec.hh"
+#include "util/kv_json.hh"
+
+#ifndef TTS_GOLDEN_JSON
+#error "TTS_GOLDEN_JSON must point at the checked-in golden file"
+#endif
+
+using namespace tts;
+
+namespace {
+
+/** A small faulted grid: cheap, but exercises every event source. */
+std::vector<core::ResilienceScenario>
+smallGrid()
+{
+    std::vector<core::ResilienceScenario> grid;
+
+    core::ResilienceScenario trip;
+    trip.name = "obs_trip";
+    trip.faults.add(300.0, fault::FaultKind::CoolingTrip,
+                    fault::FaultEvent::noTarget, 1.0);
+    trip.utilization = 0.8;
+    trip.horizonS = 1800.0;
+    grid.push_back(trip);
+
+    core::ResilienceScenario storm;
+    storm.name = "obs_storm";
+    storm.faults.add(60.0, fault::FaultKind::ServerCrash, 3);
+    storm.faults.add(120.0, fault::FaultKind::FanFailure, 1);
+    storm.faults.add(200.0, fault::FaultKind::SensorDrift,
+                     fault::FaultEvent::noTarget, -2.0);
+    storm.faults.add(400.0, fault::FaultKind::ServerRecover, 3);
+    storm.utilization = 0.6;
+    storm.horizonS = 1800.0;
+    grid.push_back(storm);
+
+    return grid;
+}
+
+core::ResilienceStudyOptions
+smallOptions()
+{
+    core::ResilienceStudyOptions opt;
+    opt.cluster.serverCount = 16;
+    opt.cluster.slotsPerServer = 4;
+    return opt;
+}
+
+/** Run the grid traced at `threads` and return the sorted JSONL. */
+std::string
+tracedRun(std::size_t threads)
+{
+    exec::setGlobalThreads(threads);
+    obs::resetForTest();
+    obs::setEnabled(true);
+    auto results = core::runResilienceGrid(
+        server::rd330Spec(), smallGrid(), smallOptions());
+    obs::setEnabled(false);
+    std::ostringstream out;
+    obs::writeJsonl(out, obs::drainEvents());
+    exec::setGlobalThreads(exec::defaultThreadCount());
+    EXPECT_EQ(results.size(), 2u);
+    return out.str();
+}
+
+} // namespace
+
+TEST(ObsDeterminism, SortedJsonlIdenticalAtOneAndEightThreads)
+{
+    std::string serial = tracedRun(1);
+    std::string parallel = tracedRun(8);
+
+    ASSERT_FALSE(serial.empty());
+    // Sanity: the trace saw the interesting event sources, not just
+    // job dispatches.
+    for (const char *needle :
+         {"\"kind\":\"fault.injected\"", "\"kind\":\"phase.begin\"",
+          "\"kind\":\"guard.counters\"",
+          "\"kind\":\"job.dispatch\""})
+        EXPECT_NE(serial.find(needle), std::string::npos) << needle;
+
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ObsDeterminism, GoldenResilienceKeysUnchangedWhileObserved)
+{
+    obs::resetForTest();
+    obs::setEnabled(true);
+    auto observed = core::resilienceGoldenValues();
+    obs::setEnabled(false);
+    obs::drainEvents(); // Discard; only the values matter here.
+
+    auto golden = readKvJsonFile(TTS_GOLDEN_JSON);
+    std::size_t checked = 0;
+    for (const auto &[key, expected] : golden) {
+        if (key.rfind("resilience.", 0) != 0)
+            continue;
+        ASSERT_TRUE(observed.count(key)) << key;
+        // Bit-identical, not NEAR: enabling collection must never
+        // perturb simulation arithmetic.
+        EXPECT_EQ(observed.at(key), expected) << key;
+        ++checked;
+    }
+    EXPECT_GT(checked, 0u);
+}

@@ -1,0 +1,139 @@
+/** @file Tests for the obs metrics registry. */
+
+#include <gtest/gtest.h>
+
+#include "exec/parallel.hh"
+#include "obs/obs.hh"
+
+namespace tts {
+namespace obs {
+namespace {
+
+/** Every test starts from disabled collection and empty sinks. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setEnabled(false);
+        resetForTest();
+    }
+    void TearDown() override
+    {
+        setEnabled(false);
+        resetForTest();
+    }
+};
+
+TEST_F(MetricsTest, CounterAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeIsLastWriteWins)
+{
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(MetricsTest, RegistryHandsOutStableReferences)
+{
+    Counter &a = registry().counter("test.metrics.stable");
+    a.add(7);
+    Counter &b = registry().counter("test.metrics.stable");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 7u);
+}
+
+TEST_F(MetricsTest, HistogramCellSnapshotIsACopy)
+{
+    HistogramCell cell({1.0, 2.0});
+    cell.observe(0.5);
+    Histogram snap = cell.snapshot();
+    cell.observe(1.5);
+    EXPECT_EQ(snap.count(), 1u);
+    EXPECT_EQ(cell.snapshot().count(), 2u);
+}
+
+TEST_F(MetricsTest, SnapshotFlattensEveryInstrument)
+{
+    registry().counter("test.snap.counter").add(3);
+    registry().gauge("test.snap.gauge").set(2.5);
+    HistogramCell &h =
+        registry().histogram("test.snap.hist", {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(5.0);
+    h.observe(50.0);
+
+    auto kv = registry().snapshot();
+    EXPECT_DOUBLE_EQ(kv.at("test.snap.counter"), 3.0);
+    EXPECT_DOUBLE_EQ(kv.at("test.snap.gauge"), 2.5);
+    EXPECT_DOUBLE_EQ(kv.at("test.snap.hist.count"), 3.0);
+    EXPECT_DOUBLE_EQ(kv.at("test.snap.hist.sum"), 55.5);
+    EXPECT_DOUBLE_EQ(kv.at("test.snap.hist.min"), 0.5);
+    EXPECT_DOUBLE_EQ(kv.at("test.snap.hist.max"), 50.0);
+    // Bucket keys are cumulative ("le" semantics).
+    EXPECT_DOUBLE_EQ(kv.at("test.snap.hist.le.1"), 1.0);
+    EXPECT_DOUBLE_EQ(kv.at("test.snap.hist.le.10"), 2.0);
+    EXPECT_DOUBLE_EQ(kv.at("test.snap.hist.le.inf"), 3.0);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsNames)
+{
+    Counter &c = registry().counter("test.reset.counter");
+    c.add(9);
+    registry().reset();
+    EXPECT_EQ(c.value(), 0u);
+    auto kv = registry().snapshot();
+    EXPECT_DOUBLE_EQ(kv.at("test.reset.counter"), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramBoundsFixedOnFirstCreation)
+{
+    HistogramCell &a =
+        registry().histogram("test.bounds.hist", {1.0, 2.0});
+    HistogramCell &b =
+        registry().histogram("test.bounds.hist", {99.0});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.snapshot().bucketCount(), 3u);
+}
+
+TEST_F(MetricsTest, MacrosSkipWorkWhenDisabled)
+{
+    Counter &c = registry().counter("test.macro.counter");
+    int evaluations = 0;
+    auto cost = [&]() {
+        ++evaluations;
+        return std::uint64_t{1};
+    };
+    TTS_OBS_COUNT(c, cost());
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(evaluations, 0);
+
+    setEnabled(true);
+    TTS_OBS_COUNT(c, cost());
+    EXPECT_EQ(c.value(), 1u);
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(MetricsTest, ConcurrentAddsAreLossless)
+{
+    Counter &c = registry().counter("test.concurrent.counter");
+    setEnabled(true);
+    exec::ThreadPool pool(8);
+    pool.forIndex(1000, [&](std::size_t) { c.add(1); });
+    EXPECT_EQ(c.value(), 1000u);
+}
+
+} // namespace
+} // namespace obs
+} // namespace tts

@@ -1,0 +1,230 @@
+/** @file Tests for the structured trace sink. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/parallel.hh"
+#include "obs/obs.hh"
+#include "pcm/material.hh"
+#include "pcm/pcm_element.hh"
+#include "thermal/network.hh"
+
+namespace tts {
+namespace obs {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setEnabled(false);
+        resetForTest();
+    }
+    void TearDown() override
+    {
+        setEnabled(false);
+        resetForTest();
+    }
+};
+
+TEST_F(TraceTest, DisabledEmissionIsDropped)
+{
+    int evaluations = 0;
+    auto name = [&]() {
+        ++evaluations;
+        return std::string("x");
+    };
+    TTS_OBS_EVENT(EventKind::PhaseBegin, 1.0, name(), 0.0, -1);
+    emitEvent(EventKind::PhaseEnd, 2.0, "y");
+    EXPECT_TRUE(drainEvents().empty());
+    EXPECT_EQ(evaluations, 0); // Macro must not evaluate args.
+}
+
+TEST_F(TraceTest, MainLineEventsKeepEmissionOrder)
+{
+    setEnabled(true);
+    emitEvent(EventKind::PhaseBegin, 0.0, "a", 1.5, 3);
+    emitEvent(EventKind::PhaseEnd, 10.0, "b");
+    auto events = drainEvents();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].region, 0u);
+    EXPECT_EQ(events[0].task, 0u);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[0].kind, EventKind::PhaseBegin);
+    EXPECT_EQ(events[0].name, "a");
+    EXPECT_DOUBLE_EQ(events[0].value, 1.5);
+    EXPECT_EQ(events[0].target, 3);
+    EXPECT_EQ(events[1].seq, 1u);
+    // Drain moved everything out.
+    EXPECT_TRUE(drainEvents().empty());
+}
+
+TEST_F(TraceTest, TaskScopeBindsStreamIdentity)
+{
+    setEnabled(true);
+    std::uint64_t region = beginRegion();
+    EXPECT_EQ(region, 1u);
+    EXPECT_FALSE(inTaskScope());
+    {
+        TaskScope scope(region, 7);
+        EXPECT_TRUE(inTaskScope());
+        emitEvent(EventKind::PhaseBegin, 0.0, "in-task");
+    }
+    EXPECT_FALSE(inTaskScope());
+    emitEvent(EventKind::PhaseEnd, 0.0, "main-line");
+    auto events = drainEvents();
+    ASSERT_EQ(events.size(), 2u);
+    // Sorted by (region, task, seq): main stream (0,0) first.
+    EXPECT_EQ(events[0].name, "main-line");
+    EXPECT_EQ(events[1].region, 1u);
+    EXPECT_EQ(events[1].task, 7u);
+    EXPECT_EQ(events[1].seq, 0u);
+}
+
+TEST_F(TraceTest, ParallelForIndexTraceIsThreadCountInvariant)
+{
+    auto emit_grid = [](std::size_t threads) {
+        resetForTest();
+        setEnabled(true);
+        exec::ThreadPool pool(threads);
+        pool.forIndex(16, [](std::size_t i) {
+            emitEvent(EventKind::PhaseBegin,
+                      static_cast<double>(i), "task", 0.0,
+                      static_cast<std::int64_t>(i));
+            emitEvent(EventKind::PhaseEnd,
+                      static_cast<double>(i) + 0.5, "task");
+        });
+        std::ostringstream out;
+        writeJsonl(out, drainEvents());
+        setEnabled(false);
+        return out.str();
+    };
+    std::string serial = emit_grid(1);
+    std::string parallel = emit_grid(8);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(TraceTest, JsonlUsesFixedKeyOrder)
+{
+    setEnabled(true);
+    emitEvent(EventKind::FaultInjected, 1.5, "server_crash", 2.0, 4);
+    std::ostringstream out;
+    writeJsonl(out, drainEvents());
+    EXPECT_EQ(out.str(),
+              "{\"rg\":0,\"tk\":0,\"sq\":0,\"t\":1.5,"
+              "\"kind\":\"fault.injected\","
+              "\"name\":\"server_crash\",\"v\":2,\"tgt\":4}\n");
+}
+
+TEST_F(TraceTest, JsonlEscapesStrings)
+{
+    setEnabled(true);
+    emitEvent(EventKind::PhaseBegin, 0.0, "a\"b\\c\nd");
+    std::ostringstream out;
+    writeJsonl(out, drainEvents());
+    EXPECT_NE(out.str().find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceIsWellFormed)
+{
+    setEnabled(true);
+    emitEvent(EventKind::MeltOnset, 2.0, "with_wax/srv/wax", 0.1, 5);
+    std::ostringstream out;
+    writeChromeTrace(out, drainEvents());
+    const std::string doc = out.str();
+    EXPECT_EQ(doc.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(doc.find("\"name\":\"melt.onset with_wax/srv/wax\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\":2000000"), std::string::npos);
+    EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\"}"),
+              std::string::npos);
+}
+
+TEST_F(TraceTest, EventKindNamesAreStable)
+{
+    EXPECT_STREQ(eventKindName(EventKind::MeltOnset), "melt.onset");
+    EXPECT_STREQ(eventKindName(EventKind::GuardRetry), "guard.retry");
+    EXPECT_STREQ(eventKindName(EventKind::CheckpointSave),
+                 "checkpoint.save");
+    EXPECT_STREQ(eventKindName(EventKind::JobDispatch),
+                 "job.dispatch");
+}
+
+// --- Instrumented-subsystem emission --------------------------------
+
+thermal::AirflowModel
+testAirflow()
+{
+    thermal::FanCurve fan{400.0, 0.02};
+    return thermal::AirflowModel(fan, 0.010, 0.019);
+}
+
+TEST_F(TraceTest, WaxNetworkEmitsMeltTransitions)
+{
+    thermal::ServerThermalNetwork net(testAirflow(), 2, 25.0);
+    int cpu = net.addCapacityNode(
+        "cpu", 500.0, thermal::ConvectiveCoupling{6.0, 0.53, 0.8}, 0,
+        25.0);
+    pcm::BoxSpec box;
+    box.lengthM = 0.1;
+    box.widthM = 0.08;
+    box.heightM = 0.02;
+    pcm::ContainerBank bank(box, 2, 0.019);
+    pcm::PcmElement wax(pcm::commercialParaffin(), bank, 40.0, 25.0);
+    net.addPcmNode("wax", &wax, 1);
+    net.setZonePlumeFraction(1, 0.4);
+    net.setNodePower(cpu, 250.0);
+    net.setObsLabel("test/srv");
+
+    setEnabled(true);
+    for (int i = 0; i < 24; ++i)
+        net.advance(600.0, 1.0);
+    ASSERT_GT(wax.meltFraction(), 0.0);
+
+    auto events = drainEvents();
+    std::vector<TraceEvent> onsets;
+    for (const auto &e : events) {
+        if (e.kind == EventKind::MeltOnset)
+            onsets.push_back(e);
+    }
+    ASSERT_EQ(onsets.size(), 1u); // Exactly one onset per melt.
+    EXPECT_EQ(onsets[0].name, "test/srv/wax");
+    EXPECT_GT(onsets[0].value, 0.0);
+    EXPECT_GT(onsets[0].timeS, 0.0);
+    // Metrics registry saw the advance steps too.
+    EXPECT_EQ(registry().counter("thermal.advance.steps").value(),
+              24u * 600u);
+}
+
+TEST_F(TraceTest, GuardRetryEmitsEvent)
+{
+    thermal::ServerThermalNetwork net(testAirflow(), 1, 25.0);
+    int n = net.addCapacityNode(
+        "cpu", 500.0, thermal::ConvectiveCoupling{5.0, 0.53, 0.8}, 0,
+        25.0);
+    net.setNodePower(n, 60.0);
+    net.setGuardTestCorruptor(
+        [](std::vector<double> &aug) { aug[0] += 1e12; },
+        /*once=*/true);
+    setEnabled(true);
+    net.setObsClock(120.0);
+    net.advance(60.0, 1.0);
+
+    auto events = drainEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, EventKind::GuardRetry);
+    EXPECT_DOUBLE_EQ(events[0].timeS, 120.0);
+    EXPECT_GT(events[0].value, 0.0); // Audit residual magnitude.
+    EXPECT_EQ(registry().counter("thermal.advance.steps").value(),
+              60u + 60u); // Retry steps at dt/2 count when accepted.
+}
+
+} // namespace
+} // namespace obs
+} // namespace tts

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/error.hh"
 #include "util/stats.hh"
@@ -152,6 +153,105 @@ TEST(PearsonCorrelation, RejectsZeroVariance)
 {
     EXPECT_THROW(pearsonCorrelation({1.0, 1.0}, {1.0, 2.0}),
                  FatalError);
+}
+
+TEST(Histogram, EmptyState)
+{
+    Histogram h({1.0, 2.0});
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.bucketCount(), 3u);
+    for (std::size_t i = 0; i < h.bucketCount(); ++i)
+        EXPECT_EQ(h.countInBucket(i), 0u);
+}
+
+TEST(Histogram, BucketsAreCumulativeUpperBounds)
+{
+    Histogram h({0.0, 2.0, 4.0});
+    // Exactly on a bound lands in that bound's bucket ("le"
+    // semantics); above every bound lands in the overflow cell.
+    h.add(-1.0); // <= 0
+    h.add(0.0);  // <= 0
+    h.add(1.0);  // <= 2
+    h.add(2.0);  // <= 2
+    h.add(3.0);  // <= 4
+    h.add(9.0);  // overflow
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.countInBucket(0), 2u);
+    EXPECT_EQ(h.countInBucket(1), 2u);
+    EXPECT_EQ(h.countInBucket(2), 1u);
+    EXPECT_EQ(h.countInBucket(3), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 9.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 14.0);
+    EXPECT_DOUBLE_EQ(h.upperBound(2), 4.0);
+    EXPECT_TRUE(std::isinf(h.upperBound(3)));
+}
+
+TEST(Histogram, MergeAddsCountsAndExtremes)
+{
+    Histogram a({1.0, 10.0});
+    Histogram b({1.0, 10.0});
+    a.add(0.5);
+    a.add(5.0);
+    b.add(20.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.countInBucket(0), 1u);
+    EXPECT_EQ(a.countInBucket(1), 1u);
+    EXPECT_EQ(a.countInBucket(2), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.5);
+    EXPECT_DOUBLE_EQ(a.max(), 20.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 25.5);
+}
+
+TEST(Histogram, MergeWithEmptyKeepsExtremes)
+{
+    Histogram a({1.0});
+    Histogram b({1.0});
+    a.add(3.0);
+    a.merge(b); // empty other must not clobber min/max
+    EXPECT_DOUBLE_EQ(a.min(), 3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.min(), 3.0);
+    EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Histogram, ResetKeepsLayout)
+{
+    Histogram h({1.0, 2.0});
+    h.add(1.5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(), 3u);
+    EXPECT_EQ(h.countInBucket(1), 0u);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram({}), FatalError);
+    EXPECT_THROW(Histogram({1.0, 1.0}), FatalError);
+    EXPECT_THROW(Histogram({2.0, 1.0}), FatalError);
+    EXPECT_THROW(
+        Histogram({std::numeric_limits<double>::infinity()}),
+        FatalError);
+}
+
+TEST(Histogram, RejectsNonFiniteObservations)
+{
+    Histogram h({1.0});
+    EXPECT_THROW(h.add(std::nan("")), FatalError);
+}
+
+TEST(Histogram, RejectsMismatchedMerge)
+{
+    Histogram a({1.0});
+    Histogram b({2.0});
+    EXPECT_THROW(a.merge(b), FatalError);
 }
 
 } // namespace

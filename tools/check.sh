@@ -6,7 +6,7 @@
 # (TTS_SANITIZE=address) - and runs the suites that exercise
 # tts::exec, the seeded simulator, and the numerical guard under them:
 #
-#   tools/check.sh           # fast + guard + fault labels, sanitizers
+#   tools/check.sh           # fast + guard + fault + obs, sanitizers
 #   tools/check.sh --full    # also the integration label (slow)
 #
 # Exits non-zero on the first failure.
@@ -31,6 +31,9 @@ ctest --test-dir build -L guard --output-on-failure -j
 echo "== ctest -L fault =="
 ctest --test-dir build -L fault --output-on-failure -j
 
+echo "== ctest -L obs =="
+ctest --test-dir build -L obs --output-on-failure -j
+
 if [ "$FULL" = "1" ]; then
     echo "== ctest -L integration =="
     ctest --test-dir build -L integration --output-on-failure -j
@@ -41,7 +44,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTTS_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j \
     --target tts_exec_test tts_workload_test tts_fault_test \
-    > /dev/null
+    tts_obs_test > /dev/null
 
 echo "== TSan: exec engine, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_exec_test
@@ -50,6 +53,8 @@ echo "== TSan: seeded cluster simulator =="
     --gtest_filter='DcSim*'
 echo "== TSan: fault injection + resilience grid, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_fault_test
+echo "== TSan: obs trace/metrics/profile, 8 threads =="
+TTS_THREADS=8 ./build-tsan/tests/tts_obs_test
 
 echo "== ASan+UBSan build (TTS_SANITIZE=address) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

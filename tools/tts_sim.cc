@@ -17,6 +17,9 @@
  *   tts_sim report     [--platform=P] [--out=DIR]
  *   tts_sim validate
  *
+ * All commands also accept [--metrics=FILE] [--trace=FILE]
+ * [--trace-format=jsonl|chrome].
+ *
  * The resilience command injects a fault scenario (server crashes,
  * fan failures, partial cooling trips, sensor drift/dropout, trace
  * gaps) and compares wax vs. no-wax ride-through and throughput
@@ -35,9 +38,17 @@
  * checkpoint file is a per-scenario completion journal instead:
  * finished scenarios are skipped on resume.
  *
- * Any command taking a trace accepts --trace=FILE to load a measured
- * CSV trace (t_hours,Orkut,Search,FBmr) instead of the synthetic
- * generator.
+ * Any command taking a trace accepts --trace-csv=FILE to load a
+ * measured CSV trace (t_hours,Orkut,Search,FBmr) instead of the
+ * synthetic generator.
+ *
+ * Observability: --metrics=FILE dumps the obs metrics registry as
+ * kv-json after the command finishes; --trace=FILE writes the
+ * structured event trace (melt transitions, DVFS throttling, fault
+ * injections, guard trips, checkpoint I/O, job dispatch) in the
+ * format picked by --trace-format=jsonl|chrome (default jsonl; the
+ * chrome form loads in chrome://tracing or Perfetto).  Either flag
+ * enables collection; both add nothing measurable when absent.
  *
  * Platforms: 0 = 1U RD330 (default), 1 = 2U X4470, 2 = Open Compute
  * blade (future 1.5 l layout).  --csv switches the series output
@@ -53,6 +64,7 @@
 #include <string>
 
 #include "exec/sweep_resume.hh"
+#include "obs/obs.hh"
 
 #include "core/thermal_time_shifting.hh"
 #include "core/outage_study.hh"
@@ -61,6 +73,7 @@
 #include "fault/fault_schedule.hh"
 #include "workload/trace_io.hh"
 #include "util/error.hh"
+#include "util/kv_json.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -90,6 +103,9 @@ struct Options
     std::string resume_file;
     double checkpoint_every = 900.0;
     double stop_after = -1.0;
+    std::string metrics_file;
+    std::string obs_trace_file;
+    obs::TraceFormat trace_format = obs::TraceFormat::Jsonl;
 };
 
 double
@@ -136,8 +152,26 @@ parse(int argc, char **argv)
             o.sweep_max = numericValue(a);
         else if (a.rfind("--step=", 0) == 0)
             o.sweep_step = numericValue(a);
+        else if (a.rfind("--trace-csv=", 0) == 0)
+            o.trace_file = a.substr(12);
+        else if (a.rfind("--trace-format=", 0) == 0) {
+            std::string fmt = a.substr(15);
+            if (fmt == "jsonl")
+                o.trace_format = obs::TraceFormat::Jsonl;
+            else if (fmt == "chrome")
+                o.trace_format = obs::TraceFormat::Chrome;
+            else {
+                std::fprintf(stderr,
+                             "bad --trace-format '%s' (want "
+                             "jsonl or chrome)\n",
+                             fmt.c_str());
+                std::exit(2);
+            }
+        }
         else if (a.rfind("--trace=", 0) == 0)
-            o.trace_file = a.substr(8);
+            o.obs_trace_file = a.substr(8);
+        else if (a.rfind("--metrics=", 0) == 0)
+            o.metrics_file = a.substr(10);
         else if (a.rfind("--out=", 0) == 0)
             o.out_dir = a.substr(6);
         else if (a.rfind("--scenario=", 0) == 0)
@@ -495,32 +529,63 @@ cmdValidate(const Options &)
 
 } // namespace
 
+namespace {
+
+int
+dispatch(const Options &o)
+{
+    if (o.command == "trace")
+        return cmdTrace(o);
+    if (o.command == "cooling")
+        return cmdCooling(o);
+    if (o.command == "throughput")
+        return cmdThroughput(o);
+    if (o.command == "optimize")
+        return cmdOptimize(o);
+    if (o.command == "outage")
+        return cmdOutage(o);
+    if (o.command == "resilience")
+        return cmdResilience(o);
+    if (o.command == "report")
+        return cmdReport(o);
+    if (o.command == "validate")
+        return cmdValidate(o);
+    std::fprintf(stderr, "unknown command '%s'\n",
+                 o.command.c_str());
+    return 2;
+}
+
+/** Dump metrics/trace/profile sinks after the command has run. */
+void
+writeObsOutputs(const Options &o)
+{
+    if (!o.metrics_file.empty())
+        writeKvJsonFile(o.metrics_file,
+                        obs::registry().snapshot());
+    if (!o.obs_trace_file.empty())
+        obs::writeTraceFile(o.obs_trace_file, o.trace_format);
+    std::cerr << "profile (wall time inside instrumented "
+                 "phases):\n";
+    obs::writeProfileTable(std::cerr);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     Options o = parse(argc, argv);
+    bool observe =
+        !o.metrics_file.empty() || !o.obs_trace_file.empty();
+    if (observe)
+        obs::setEnabled(true);
     try {
-        if (o.command == "trace")
-            return cmdTrace(o);
-        if (o.command == "cooling")
-            return cmdCooling(o);
-        if (o.command == "throughput")
-            return cmdThroughput(o);
-        if (o.command == "optimize")
-            return cmdOptimize(o);
-        if (o.command == "outage")
-            return cmdOutage(o);
-        if (o.command == "resilience")
-            return cmdResilience(o);
-        if (o.command == "report")
-            return cmdReport(o);
-        if (o.command == "validate")
-            return cmdValidate(o);
+        int rc = dispatch(o);
+        if (observe)
+            writeObsOutputs(o);
+        return rc;
     } catch (const tts::Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    std::fprintf(stderr, "unknown command '%s'\n",
-                 o.command.c_str());
-    return 2;
 }
