@@ -25,7 +25,7 @@ main()
     auto trace = workload::makeGoogleTrace();
     auto rows = runSensitivity(spec, trace, 0.10,
                                calibrationKnobs(),
-                               CoolingStudyOptions{},
+                               CoolingConfig{},
                                /*reoptimize=*/true);
 
     std::cout << "=== Calibration sensitivity: " << spec.name

@@ -32,17 +32,17 @@ main()
                       "blockage (%)", "peak reduction (%)"});
         for (double frac : {0.25, 0.5, 0.75, 1.0}) {
             double liters = frac * spec.waxLiters;
-            CoolingStudyOptions opts;
+            CoolingConfig opts;
             // Keep the platform's box count so surface area scales
             // with volume.
             auto base_cluster = datacenter::Cluster(
                 spec, server::WaxConfig::none());
-            auto baseline = base_cluster.run(trace, opts.run);
+            auto baseline = base_cluster.run(trace, opts.cluster);
 
             server::WaxConfig cfg = server::WaxConfig::custom(
                 liters, spec.defaultMeltTempC, spec.waxBoxCount);
             datacenter::Cluster waxed(spec, cfg);
-            auto run = waxed.run(trace, opts.run);
+            auto run = waxed.run(trace, opts.cluster);
 
             double red = (baseline.peakCoolingLoad() -
                           run.peakCoolingLoad()) /

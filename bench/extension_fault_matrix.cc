@@ -37,7 +37,7 @@ main()
         server::openComputeSpec()};
     const char *tags[3] = {"1u", "2u", "ocp"};
 
-    ResilienceStudyOptions opt;
+    ResilienceConfig opt;
     auto scenarios = canonicalScenarios(opt.cluster.serverCount);
 
     // One task per (platform, scenario) cell, run through a pool of

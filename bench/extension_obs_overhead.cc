@@ -62,10 +62,10 @@ scenario()
     return s;
 }
 
-tts::core::ResilienceStudyOptions
+tts::core::ResilienceConfig
 options()
 {
-    tts::core::ResilienceStudyOptions opt;
+    tts::core::ResilienceConfig opt;
     // Small cluster sample and a coarse step keep the two-day run
     // benchable; the instrumentation density per step is unchanged.
     opt.cluster.serverCount = 8;
@@ -138,15 +138,12 @@ main()
     obs::setEnabled(false);
 
     // How much instrumentation did the run actually cross?  Every
-    // trace event, metric update, and profile scope was one enabled
-    // check; the same sites cost one *disabled* check each in the
-    // shipping configuration.
-    std::uint64_t touches = obs::drainEvents().size();
-    for (const auto &[key, value] : obs::registry().snapshot()) {
-        (void)key;
-        if (value > 0.0)
-            touches += static_cast<std::uint64_t>(value);
-    }
+    // trace event, metric mutation call, and profile scope was one
+    // enabled check; the same sites cost one *disabled* check each
+    // in the shipping configuration.  (metricUpdates() counts calls,
+    // not counter values - a batched add(n) is one check, not n.)
+    std::uint64_t touches =
+        obs::drainEvents().size() + obs::metricUpdates();
     for (const auto &[phase, stat] : obs::profileSnapshot()) {
         (void)phase;
         touches += stat.calls;

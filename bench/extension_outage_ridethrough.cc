@@ -29,7 +29,7 @@ main()
 
     for (auto spec : {server::rd330Spec(), server::x4470Spec(),
                       server::openComputeSpec()}) {
-        OutageStudyOptions opts;
+        OutageConfig opts;
         auto r = runOutageStudy(spec, opts);
         t.addRow({spec.name,
                   formatFixed(r.noWax.rideThroughS / 60.0, 1),
@@ -41,7 +41,7 @@ main()
     t.print(std::cout);
 
     // One detailed trajectory.
-    OutageStudyOptions opts;
+    OutageConfig opts;
     auto r = runOutageStudy(server::rd330Spec(), opts);
     std::cout << "\nroom-air trajectory, 1U platform:\n";
     AsciiTable tr({"t (min)", "room air no-wax (C)",

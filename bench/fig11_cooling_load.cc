@@ -36,7 +36,7 @@ main()
     auto results = exec::parallel_map(
         specs, [&](const server::ServerSpec &spec) {
             return runCoolingStudy(spec, trace,
-                                   CoolingStudyOptions{});
+                                   CoolingConfig{});
         });
 
     for (const auto &spec : specs) {

@@ -44,7 +44,7 @@ main()
         server::openComputeSpec()};
     auto results = exec::parallel_map(
         specs, [&](const server::ServerSpec &spec) {
-            ThroughputStudyOptions opts;
+            ThroughputConfig opts;
             opts.coolingCapacityFraction =
                 calibratedCapacityFraction(spec);
             return runThroughputStudy(spec, trace, opts);

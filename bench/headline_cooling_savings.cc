@@ -42,7 +42,7 @@ main()
     auto plans = exec::parallel_map(
         specs, [&](const server::ServerSpec &spec) {
             auto study = runCoolingStudy(spec, trace,
-                                         CoolingStudyOptions{});
+                                         CoolingConfig{});
             datacenter::DatacenterConfig cfg;
             if (spec.name.find("2U") != std::string::npos)
                 cfg.provisionedPerServerW = 500.0;  // Paper: 500 W.

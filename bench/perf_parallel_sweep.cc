@@ -6,7 +6,8 @@
  * that both orderings produce bit-identical peaks.
  *
  * Emits machine-readable flat JSON on stdout after the human-readable
- * table, so CI can track the speedup over time:
+ * table (and, with --out=FILE, to the file CI tracks as
+ * BENCH_sweep.json), so the speedup can be followed over time:
  *
  *     {"parallel_s": ..., "points": 24, "serial_s": ...,
  *      "speedup": ..., "threads": ..., "identical": 1}
@@ -16,24 +17,44 @@
  */
 
 #include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/cooling_study.hh"
 #include "exec/parallel.hh"
 #include "obs/obs.hh"
+#include "util/cli.hh"
 #include "util/kv_json.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 #include "workload/google_trace.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tts;
     using namespace tts::core;
     using Clock = std::chrono::steady_clock;
+
+    std::string out_file;
+    cli::Parser p("perf_parallel_sweep",
+                  "Serial vs. parallel melting-temperature sweep "
+                  "speedup and determinism check.");
+    p.addString("out", &out_file,
+                "also write the kv-json here (BENCH_sweep.json)");
+    switch (p.parse(argc - 1, argv + 1)) {
+      case cli::Status::Help:
+        std::fputs(p.helpText().c_str(), stdout);
+        return 0;
+      case cli::Status::Error:
+        std::fprintf(stderr, "%s\n", p.error().c_str());
+        return 2;
+      case cli::Status::Ok:
+        break;
+    }
 
     // One-day trace on a coarse grid: each point costs ~100 ms, so
     // the serial sweep is seconds, not minutes.
@@ -42,9 +63,9 @@ main()
     auto trace = workload::makeGoogleTrace(tp);
     auto spec = server::rd330Spec();
 
-    CoolingStudyOptions opts;
-    opts.run.controlIntervalS = 900.0;
-    opts.run.thermalStepS = 15.0;
+    CoolingConfig opts;
+    opts.cluster.controlIntervalS = 900.0;
+    opts.cluster.thermalStepS = 15.0;
 
     std::vector<double> candidates;
     for (double m = 40.0; candidates.size() < 24; m += 0.5)
@@ -52,8 +73,8 @@ main()
 
     auto sweep_with = [&](const exec::ThreadPool &pool) {
         return pool.map(candidates, [&](double melt) {
-            CoolingStudyOptions o = opts;
-            o.meltTempC = melt;
+            CoolingConfig o = opts;
+            o.run.meltTempC = melt;
             return runCoolingStudy(spec, trace, o).peakWithWaxW;
         });
     };
@@ -114,5 +135,7 @@ main()
         {"identical", identical ? 1.0 : 0.0},
     };
     std::cout << writeKvJson(json);
+    if (!out_file.empty())
+        writeKvJsonFile(out_file, json);
     return identical ? 0 : 1;
 }

@@ -25,7 +25,7 @@ main(int argc, char **argv)
     using namespace tts::core;
 
     server::ServerSpec spec = server::x4470Spec();
-    ThroughputStudyOptions opts;
+    ThroughputConfig opts;
     opts.coolingCapacityFraction = argc > 1
         ? std::atof(argv[1])
         : calibratedCapacityFraction(spec);

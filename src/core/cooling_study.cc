@@ -66,11 +66,10 @@ CoolingStudyResult::resolidifiesDaily(double tolerance) const
 CoolingStudyResult
 runCoolingStudy(const server::ServerSpec &spec,
                 const workload::WorkloadTrace &trace,
-                const CoolingStudyOptions &options)
+                const CoolingConfig &options)
 {
     CoolingStudyResult out;
-    out.meltTempC = options.meltTempC > 0.0 ? options.meltTempC
-                                            : spec.defaultMeltTempC;
+    out.meltTempC = options.run.meltTempFor(spec);
 
     // The stock and waxed transients are independent; run them as a
     // two-task region (a serial pair when the caller is itself a
@@ -81,8 +80,8 @@ runCoolingStudy(const server::ServerSpec &spec,
     auto runs = exec::parallel_map(
         configs, [&](const server::WaxConfig &wax) {
             datacenter::Cluster cluster(spec, wax,
-                                        options.serverCount);
-            return cluster.run(trace, options.run);
+                                        options.run.serverCount);
+            return cluster.run(trace, options.cluster);
         });
     out.baseline = std::move(runs[0]);
     out.withWax = std::move(runs[1]);

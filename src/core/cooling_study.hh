@@ -11,6 +11,7 @@
 #ifndef TTS_CORE_COOLING_STUDY_HH
 #define TTS_CORE_COOLING_STUDY_HH
 
+#include "core/run_config.hh"
 #include "datacenter/cluster.hh"
 #include "server/server_model.hh"
 #include "server/server_spec.hh"
@@ -19,16 +20,18 @@
 namespace tts {
 namespace core {
 
-/** Options for the cooling-load study. */
-struct CoolingStudyOptions
+/** Cooling-load study configuration. */
+struct CoolingConfig
 {
-    /** Cluster size. */
-    std::size_t serverCount = datacenter::Cluster::defaultServerCount;
-    /** Melting temperature (C); <= 0 uses the platform default. */
-    double meltTempC = 0.0;
+    /** Shared run knobs (serverCount, meltTempC, ...). */
+    RunConfig run;
     /** Cluster run options (steps, warm-up). */
-    datacenter::ClusterRunOptions run;
+    datacenter::ClusterRunOptions cluster;
 };
+
+/** @deprecated Old name; fields moved into .run / .cluster. */
+using CoolingStudyOptions
+    [[deprecated("use core::CoolingConfig")]] = CoolingConfig;
 
 /** Results of the cooling-load study for one platform. */
 struct CoolingStudyResult
@@ -71,7 +74,7 @@ struct CoolingStudyResult
 CoolingStudyResult runCoolingStudy(
     const server::ServerSpec &spec,
     const workload::WorkloadTrace &trace,
-    const CoolingStudyOptions &options = CoolingStudyOptions{});
+    const CoolingConfig &options = CoolingConfig{});
 
 } // namespace core
 } // namespace tts

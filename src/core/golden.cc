@@ -43,7 +43,7 @@ computePlatform(const server::ServerSpec &spec,
     out.plan =
         planCapacity(spec, out.cooling.peakReduction(), cfg);
 
-    ThroughputStudyOptions ts;
+    ThroughputConfig ts;
     ts.coolingCapacityFraction = calibratedCapacityFraction(spec);
     out.throughput = runThroughputStudy(spec, trace, ts);
 

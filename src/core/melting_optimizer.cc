@@ -42,8 +42,8 @@ optimizeMeltingTemp(const server::ServerSpec &spec,
 
     // One shared baseline run (wax-independent).
     datacenter::Cluster base_cluster(spec, server::WaxConfig::none(),
-                                     options.study.serverCount);
-    auto baseline = base_cluster.run(trace, options.study.run);
+                                     options.study.run.serverCount);
+    auto baseline = base_cluster.run(trace, options.study.cluster);
     double peak_base = baseline.peakCoolingLoad();
     invariant(peak_base > 0.0,
               "optimizeMeltingTemp: degenerate baseline");
@@ -62,8 +62,8 @@ optimizeMeltingTemp(const server::ServerSpec &spec,
         server::WaxConfig wax = server::WaxConfig::withMeltTemp(melt);
         wax.material = material;
         datacenter::Cluster cluster(spec, wax,
-                                    options.study.serverCount);
-        auto run = cluster.run(trace, options.study.run);
+                                    options.study.run.serverCount);
+        auto run = cluster.run(trace, options.study.cluster);
         MeltSweepPoint pt;
         pt.meltTempC = melt;
         pt.peakCoolingLoadW = run.peakCoolingLoad();

@@ -64,8 +64,8 @@ struct MeltOptimizerOptions
      *  [minC, maxC]. */
     double minC = 30.0;
     double maxC = 60.0;
-    /** Study options applied to every candidate. */
-    CoolingStudyOptions study;
+    /** Study configuration applied to every candidate. */
+    CoolingConfig study;
 };
 
 /**

@@ -12,16 +12,16 @@ namespace {
 OutageTrajectory
 runScenario(const server::ServerSpec &spec,
             const server::WaxConfig &wax,
-            const OutageStudyOptions &opt)
+            const OutageConfig &opt)
 {
     server::ServerModel srv(spec, wax);
     datacenter::RoomModel room(opt.room);
-    const double n = static_cast<double>(opt.serverCount);
+    const double n = static_cast<double>(opt.run.serverCount);
 
     // Pre-outage steady state: plant removes exactly the IT heat,
     // room at the setpoint.
     srv.network().setInletTemp(opt.room.setpointC);
-    srv.setLoad(opt.utilization);
+    srv.setLoad(opt.run.utilization);
     srv.solveSteadyState();
 
     OutageTrajectory out;
@@ -60,12 +60,12 @@ runScenario(const server::ServerSpec &spec,
 
 OutageStudyResult
 runOutageStudy(const server::ServerSpec &spec,
-               const OutageStudyOptions &options)
+               const OutageConfig &options)
 {
-    require(options.serverCount >= 1,
+    require(options.run.serverCount >= 1,
             "runOutageStudy: need at least one server");
-    require(options.utilization >= 0.0 &&
-            options.utilization <= 1.0,
+    require(options.run.utilization >= 0.0 &&
+            options.run.utilization <= 1.0,
             "runOutageStudy: utilization must be in [0, 1]");
     require(options.residualCoolingFraction >= 0.0 &&
             options.residualCoolingFraction < 1.0,
@@ -77,8 +77,8 @@ runOutageStudy(const server::ServerSpec &spec,
     out.noWax = runScenario(spec, server::WaxConfig::placebo(),
                             options);
 
-    server::WaxConfig wax = options.meltTempC > 0.0
-        ? server::WaxConfig::withMeltTemp(options.meltTempC)
+    server::WaxConfig wax = options.run.meltTempC > 0.0
+        ? server::WaxConfig::withMeltTemp(options.run.meltTempC)
         : server::WaxConfig::paper();
     out.withWax = runScenario(spec, wax, options);
     return out;

@@ -17,6 +17,7 @@
 #ifndef TTS_CORE_OUTAGE_STUDY_HH
 #define TTS_CORE_OUTAGE_STUDY_HH
 
+#include "core/run_config.hh"
 #include "datacenter/room_model.hh"
 #include "server/server_model.hh"
 #include "server/server_spec.hh"
@@ -25,13 +26,11 @@
 namespace tts {
 namespace core {
 
-/** Options for the outage study. */
-struct OutageStudyOptions
+/** Outage study configuration. */
+struct OutageConfig
 {
-    /** Servers in the room. */
-    std::size_t serverCount = 1008;
-    /** Utilization when the plant trips (and held thereafter). */
-    double utilization = 0.75;
+    /** Shared run knobs; utilization is held from the trip on. */
+    RunConfig run;
     /** Room configuration. */
     datacenter::RoomConfig room;
     /** Fraction of the heat load still removed during the outage
@@ -41,9 +40,11 @@ struct OutageStudyOptions
     double stepS = 5.0;
     /** Give up after this long (s). */
     double maxDurationS = 4.0 * 3600.0;
-    /** Melting temperature (C); <= 0 uses the platform default. */
-    double meltTempC = 0.0;
 };
+
+/** @deprecated Old name; shared fields moved into .run. */
+using OutageStudyOptions
+    [[deprecated("use core::OutageConfig")]] = OutageConfig;
 
 /** One scenario's trajectory. */
 struct OutageTrajectory
@@ -96,7 +97,7 @@ struct OutageStudyResult
  */
 OutageStudyResult runOutageStudy(
     const server::ServerSpec &spec,
-    const OutageStudyOptions &options = OutageStudyOptions{});
+    const OutageConfig &options = OutageConfig{});
 
 } // namespace core
 } // namespace tts

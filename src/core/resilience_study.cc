@@ -171,7 +171,7 @@ class ThermalArmSim
     ThermalArmSim(const server::ServerSpec &spec,
                   const server::WaxConfig &wax,
                   const ResilienceScenario &scenario,
-                  const ResilienceStudyOptions &opt)
+                  const ResilienceConfig &opt)
         : scenario_(scenario), opt_(opt), srv_(spec, wax),
           // The fan-failed population cannot move its design
           // airflow, so it is pinned at the DVFS floor for the whole
@@ -184,7 +184,7 @@ class ThermalArmSim
           u_(scenario.utilization),
           floor_ghz_(spec.cpu.minFreqGHz),
           throttle_at_(opt.room.limitC - opt.throttleMarginC),
-          n_(static_cast<double>(opt.serverCount)),
+          n_(static_cast<double>(opt.run.serverCount)),
           sample_(static_cast<double>(opt.cluster.serverCount))
     {
         srv_.network().setInletTemp(opt_.room.setpointC);
@@ -237,11 +237,11 @@ class ThermalArmSim
         srv_.setLoad(u_, throttled_ ? floor_ghz_ : 0.0);
         srv_.network().setInletTemp(room_.airTemp());
         srv_.network().setObsClock(t_);
-        srv_.advance(opt_.stepS, opt_.stepS);
         fan_srv_.setLoad(u_, floor_ghz_);
         fan_srv_.network().setInletTemp(room_.airTemp());
         fan_srv_.network().setObsClock(t_);
-        fan_srv_.advance(opt_.stepS, opt_.stepS);
+        server::advanceServers({&srv_, &fan_srv_}, opt_.stepS,
+                               opt_.stepS);
 
         double alive_frac =
             static_cast<double>(inj_.aliveServers()) / sample_;
@@ -375,7 +375,7 @@ class ThermalArmSim
 
   private:
     ResilienceScenario scenario_;
-    ResilienceStudyOptions opt_;
+    ResilienceConfig opt_;
     server::ServerModel srv_;
     server::ServerModel fan_srv_;
     datacenter::RoomModel room_;
@@ -409,7 +409,7 @@ struct ResilienceRunner::Impl
 
     server::ServerSpec spec;
     ResilienceScenario scenario;
-    ResilienceStudyOptions opt;
+    ResilienceConfig opt;
     workload::WorkloadTrace trace;
     workload::RoundRobinBalancer balancer;
 
@@ -421,7 +421,7 @@ struct ResilienceRunner::Impl
     bool taken = false;
 
     Impl(const server::ServerSpec &sp, const ResilienceScenario &sc,
-         const ResilienceStudyOptions &op)
+         const ResilienceConfig &op)
         : spec(sp), scenario(sc), opt(op),
           trace(flatTrace(sc.utilization, sc.horizonS))
     {
@@ -435,8 +435,8 @@ struct ResilienceRunner::Impl
     {
         if (ph == kArmNoWax)
             return server::WaxConfig::placebo();
-        return opt.meltTempC > 0.0
-            ? server::WaxConfig::withMeltTemp(opt.meltTempC)
+        return opt.run.meltTempC > 0.0
+            ? server::WaxConfig::withMeltTemp(opt.run.meltTempC)
             : server::WaxConfig::paper();
     }
 
@@ -560,7 +560,7 @@ struct ResilienceRunner::Impl
 
 ResilienceRunner::ResilienceRunner(const server::ServerSpec &spec,
                                    const ResilienceScenario &scenario,
-                                   const ResilienceStudyOptions &options)
+                                   const ResilienceConfig &options)
 {
     require(!scenario.name.empty(),
             "runResilienceStudy: scenario needs a name");
@@ -569,7 +569,7 @@ ResilienceRunner::ResilienceRunner(const server::ServerSpec &spec,
             "runResilienceStudy: utilization must be in (0, 1]");
     require(scenario.horizonS > 0.0 && options.stepS > 0.0,
             "runResilienceStudy: bad horizon or step");
-    require(options.serverCount >= 1 &&
+    require(options.run.serverCount >= 1 &&
             options.cluster.serverCount >= 1,
             "runResilienceStudy: need servers");
     require(options.throttleMarginC > 0.0 &&
@@ -581,7 +581,7 @@ ResilienceRunner::ResilienceRunner(const server::ServerSpec &spec,
 ResilienceRunner::~ResilienceRunner() = default;
 
 bool
-ResilienceRunner::run(const ResilienceCheckpointPolicy &policy)
+ResilienceRunner::run(const CheckpointPolicy &policy)
 {
     invariant(!impl_->taken, "ResilienceRunner::run: after take()");
     const bool journaled = !policy.path.empty();
@@ -637,7 +637,7 @@ ResilienceRunner::take()
 ResilienceResult
 runResilienceStudy(const server::ServerSpec &spec,
                    const ResilienceScenario &scenario,
-                   const ResilienceStudyOptions &options)
+                   const ResilienceConfig &options)
 {
     ResilienceRunner runner(spec, scenario, options);
     runner.run();
@@ -647,7 +647,7 @@ runResilienceStudy(const server::ServerSpec &spec,
 std::vector<ResilienceResult>
 runResilienceGrid(const server::ServerSpec &spec,
                   const std::vector<ResilienceScenario> &scenarios,
-                  const ResilienceStudyOptions &options)
+                  const ResilienceConfig &options)
 {
     return exec::parallel_map(
         scenarios, [&](const ResilienceScenario &s) {
@@ -713,7 +713,7 @@ canonicalScenarios(std::size_t sample_server_count)
 std::map<std::string, double>
 resilienceGoldenValues()
 {
-    ResilienceStudyOptions opt;
+    ResilienceConfig opt;
     auto scenarios = canonicalScenarios(opt.cluster.serverCount);
     auto results =
         runResilienceGrid(server::rd330Spec(), scenarios, opt);

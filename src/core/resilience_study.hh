@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/run_config.hh"
 #include "datacenter/room_model.hh"
 #include "fault/fault_schedule.hh"
 #include "guard/numerics.hh"
@@ -55,17 +56,15 @@ struct ResilienceScenario
     double horizonS = 2.0 * 3600.0;
 };
 
-/** Study options shared by every scenario. */
-struct ResilienceStudyOptions
+/** Study configuration shared by every scenario. */
+struct ResilienceConfig
 {
-    /** Servers in the room (scale-out population). */
-    std::size_t serverCount = 1008;
+    /** Shared run knobs (serverCount, meltTempC, checkpoint). */
+    RunConfig run;
     /** Room configuration. */
     datacenter::RoomConfig room;
     /** Thermal step (s). */
     double stepS = 10.0;
-    /** Melting temperature (C); <= 0 uses the platform default. */
-    double meltTempC = 0.0;
     /**
      * Emergency throttle threshold margin: servers drop to the DVFS
      * floor when the sensed inlet reaches limitC - margin (C).
@@ -80,6 +79,10 @@ struct ResilienceStudyOptions
      */
     workload::DcSimConfig cluster;
 };
+
+/** @deprecated Old name; shared fields moved into .run. */
+using ResilienceStudyOptions
+    [[deprecated("use core::ResilienceConfig")]] = ResilienceConfig;
 
 /** One arm (no-wax or with-wax) of a scenario. */
 struct ResilienceArm
@@ -149,24 +152,13 @@ struct ResilienceResult
     }
 };
 
-/** Checkpoint policy for a resumable scenario run. */
-struct ResilienceCheckpointPolicy
-{
-    /**
-     * Checkpoint file path; empty disables checkpointing.  When the
-     * file exists, run() restores from it and continues instead of
-     * starting over.
-     */
-    std::string path;
-    /** Simulated seconds between checkpoint writes. */
-    double checkpointEveryS = 900.0;
-    /**
-     * Pause the run after advancing this much simulated time in this
-     * call (a final checkpoint is written first); < 0 runs to
-     * completion.  Test hook simulating a killed process.
-     */
-    double stopAfterS = -1.0;
-};
+/**
+ * @deprecated The checkpoint policy is now the study-agnostic
+ * core::CheckpointPolicy (run_config.hh), also reachable as
+ * RunConfig::checkpoint.
+ */
+using ResilienceCheckpointPolicy
+    [[deprecated("use core::CheckpointPolicy")]] = CheckpointPolicy;
 
 /**
  * Resumable form of runResilienceStudy().
@@ -187,8 +179,8 @@ class ResilienceRunner
     /** Copies everything; validates like runResilienceStudy(). */
     ResilienceRunner(const server::ServerSpec &spec,
                      const ResilienceScenario &scenario,
-                     const ResilienceStudyOptions &options =
-                         ResilienceStudyOptions{});
+                     const ResilienceConfig &options =
+                         ResilienceConfig{});
     ~ResilienceRunner();
 
     ResilienceRunner(const ResilienceRunner &) = delete;
@@ -201,8 +193,7 @@ class ResilienceRunner
      * @return True when the scenario finished; false when paused by
      *         policy.stopAfterS (state saved to policy.path).
      */
-    bool run(const ResilienceCheckpointPolicy &policy =
-                 ResilienceCheckpointPolicy{});
+    bool run(const CheckpointPolicy &policy = CheckpointPolicy{});
 
     /** Extract the result.  Call once, after run() returned true. */
     ResilienceResult take();
@@ -219,8 +210,7 @@ class ResilienceRunner
 ResilienceResult runResilienceStudy(
     const server::ServerSpec &spec,
     const ResilienceScenario &scenario,
-    const ResilienceStudyOptions &options =
-        ResilienceStudyOptions{});
+    const ResilienceConfig &options = ResilienceConfig{});
 
 /**
  * Run a scenario grid through tts::exec::parallel_map (one task per
@@ -229,8 +219,7 @@ ResilienceResult runResilienceStudy(
 std::vector<ResilienceResult> runResilienceGrid(
     const server::ServerSpec &spec,
     const std::vector<ResilienceScenario> &scenarios,
-    const ResilienceStudyOptions &options =
-        ResilienceStudyOptions{});
+    const ResilienceConfig &options = ResilienceConfig{});
 
 /**
  * The three canonical scenarios the golden file pins:

@@ -76,14 +76,14 @@ double
 reductionOf(const server::ServerSpec &spec,
             const server::WaxConfig &wax,
             const workload::WorkloadTrace &trace,
-            const CoolingStudyOptions &options,
+            const CoolingConfig &options,
             double freeze_factor_scale)
 {
     datacenter::Cluster base(spec, server::WaxConfig::none(),
-                             options.serverCount);
-    auto rb = base.run(trace, options.run);
+                             options.run.serverCount);
+    auto rb = base.run(trace, options.cluster);
 
-    datacenter::Cluster waxed(spec, wax, options.serverCount);
+    datacenter::Cluster waxed(spec, wax, options.run.serverCount);
     if (freeze_factor_scale != 1.0 &&
         waxed.representative().hasWax()) {
         auto *el = waxed.representative().wax();
@@ -91,7 +91,7 @@ reductionOf(const server::ServerSpec &spec,
             el->freezeConductanceFactor() * freeze_factor_scale,
             0.01, 1.0));
     }
-    auto rw = waxed.run(trace, options.run);
+    auto rw = waxed.run(trace, options.cluster);
     return (rb.peakCoolingLoad() - rw.peakCoolingLoad()) /
         rb.peakCoolingLoad();
 }
@@ -102,7 +102,7 @@ std::vector<SensitivityRow>
 runSensitivity(const server::ServerSpec &spec,
                const workload::WorkloadTrace &trace, double delta,
                std::vector<SensitivityParameter> params,
-               const CoolingStudyOptions &options, bool reoptimize)
+               const CoolingConfig &options, bool reoptimize)
 {
     require(delta > 0.0 && delta < 1.0,
             "runSensitivity: delta must be in (0, 1)");

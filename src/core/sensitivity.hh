@@ -81,7 +81,7 @@ std::vector<SensitivityRow> runSensitivity(
     const server::ServerSpec &spec,
     const workload::WorkloadTrace &trace, double delta = 0.10,
     std::vector<SensitivityParameter> params = calibrationKnobs(),
-    const CoolingStudyOptions &options = CoolingStudyOptions{},
+    const CoolingConfig &options = CoolingConfig{},
     bool reoptimize = false);
 
 /**

@@ -23,7 +23,7 @@ paperPlatforms()
 PlatformStudy
 runPlatformStudy(const server::ServerSpec &spec,
                  const workload::WorkloadTrace &trace,
-                 const PlatformStudyOptions &options)
+                 const PlatformConfig &options)
 {
     PlatformStudy out;
     out.spec = spec;
@@ -39,19 +39,19 @@ runPlatformStudy(const server::ServerSpec &spec,
         out.meltTempC = spec.defaultMeltTempC;
     }
 
-    CoolingStudyOptions cs = options.cooling;
-    cs.meltTempC = out.meltTempC;
+    CoolingConfig cs = options.cooling;
+    cs.run.meltTempC = out.meltTempC;
     out.cooling = runCoolingStudy(spec, trace, cs);
     out.plan = planCapacity(spec, out.cooling.peakReduction());
 
     // The constrained study picks its own melting point: a throttled
     // cluster runs cooler than the fully-subscribed one, so the
     // Section 5.1 optimum would never melt there.
-    ThroughputStudyOptions ts;
-    ts.serverCount = cs.serverCount;
-    ts.controlIntervalS = cs.run.controlIntervalS;
-    ts.thermalStepS = cs.run.thermalStepS;
-    ts.warmupDays = cs.run.warmupDays;
+    ThroughputConfig ts;
+    ts.run.serverCount = cs.run.serverCount;
+    ts.controlIntervalS = cs.cluster.controlIntervalS;
+    ts.thermalStepS = cs.cluster.thermalStepS;
+    ts.warmupDays = cs.cluster.warmupDays;
     ts.coolingCapacityFraction = options.capacityFraction > 0.0
         ? options.capacityFraction
         : calibratedCapacityFraction(spec);
@@ -68,7 +68,7 @@ runPlatformStudy(const server::ServerSpec &spec,
 std::vector<PlatformStudy>
 runPlatformStudies(const std::vector<server::ServerSpec> &specs,
                    const workload::WorkloadTrace &trace,
-                   const PlatformStudyOptions &options)
+                   const PlatformConfig &options)
 {
     return exec::parallel_map(
         specs, [&](const server::ServerSpec &spec) {

@@ -58,8 +58,8 @@ struct PlatformStudy
     double tcoEfficiencyGain = 0.0;
 };
 
-/** Options for runPlatformStudy. */
-struct PlatformStudyOptions
+/** Configuration for runPlatformStudy. */
+struct PlatformConfig
 {
     /** Optimize the melting temperature (else platform default). */
     bool optimizeMelt = true;
@@ -68,9 +68,13 @@ struct PlatformStudyOptions
     /** Cooling-plant oversubscription for the throughput study;
      *  <= 0 uses the calibrated per-platform value. */
     double capacityFraction = 0.0;
-    /** Study/cluster options shared by the runs. */
-    CoolingStudyOptions cooling;
+    /** Study/cluster configuration shared by the runs. */
+    CoolingConfig cooling;
 };
+
+/** @deprecated Old name. */
+using PlatformStudyOptions
+    [[deprecated("use core::PlatformConfig")]] = PlatformConfig;
 
 /**
  * Run the full Section 5 pipeline for one platform.
@@ -82,7 +86,7 @@ struct PlatformStudyOptions
 PlatformStudy runPlatformStudy(
     const server::ServerSpec &spec,
     const workload::WorkloadTrace &trace,
-    const PlatformStudyOptions &options = PlatformStudyOptions{});
+    const PlatformConfig &options = PlatformConfig{});
 
 /**
  * Run the full Section 5 pipeline for several platforms, fanned out
@@ -97,7 +101,7 @@ PlatformStudy runPlatformStudy(
 std::vector<PlatformStudy> runPlatformStudies(
     const std::vector<server::ServerSpec> &specs,
     const workload::WorkloadTrace &trace,
-    const PlatformStudyOptions &options = PlatformStudyOptions{});
+    const PlatformConfig &options = PlatformConfig{});
 
 } // namespace core
 } // namespace tts

@@ -91,7 +91,7 @@ GovernedRun
 runGoverned(server::ServerModel &m,
             const workload::WorkloadTrace &trace,
             double budget_per_server_w, double n_servers,
-            const ThroughputStudyOptions &opt)
+            const ThroughputConfig &opt)
 {
     const double t0 = trace.startTime();
     const double t1 = trace.endTime();
@@ -157,15 +157,15 @@ calibratedCapacityFraction(const server::ServerSpec &spec)
 ThroughputStudyResult
 runThroughputStudy(const server::ServerSpec &spec,
                    const workload::WorkloadTrace &trace,
-                   const ThroughputStudyOptions &options)
+                   const ThroughputConfig &options)
 {
-    require(options.serverCount >= 1,
+    require(options.run.serverCount >= 1,
             "runThroughputStudy: need servers");
     require(options.coolingCapacityFraction > 0.0 &&
             options.coolingCapacityFraction <= 1.0,
             "runThroughputStudy: capacity fraction in (0, 1]");
 
-    const double n = static_cast<double>(options.serverCount);
+    const double n = static_cast<double>(options.run.serverCount);
 
     // Plant capacity: a fraction of the full-tilt cluster heat.
     server::ServerModel probe(spec, server::WaxConfig::none());
@@ -182,7 +182,7 @@ runThroughputStudy(const server::ServerSpec &spec,
     // region.  The waxed run must wait for the probe (it needs the
     // melting point), so it stays after the join.
     GovernedRun base;
-    double melt = options.meltTempC;
+    double melt = options.run.meltTempC;
     exec::parallel_for_index(2, [&](std::size_t task) {
         if (task == 0) {
             // No-wax governed run.

@@ -16,6 +16,7 @@
 #ifndef TTS_CORE_THROUGHPUT_STUDY_HH
 #define TTS_CORE_THROUGHPUT_STUDY_HH
 
+#include "core/run_config.hh"
 #include "server/server_model.hh"
 #include "server/server_spec.hh"
 #include "util/time_series.hh"
@@ -24,11 +25,11 @@
 namespace tts {
 namespace core {
 
-/** Options for the thermally-constrained study. */
-struct ThroughputStudyOptions
+/** Thermally-constrained study configuration. */
+struct ThroughputConfig
 {
-    /** Cluster size. */
-    std::size_t serverCount = 1008;
+    /** Shared run knobs (serverCount, meltTempC, ...). */
+    RunConfig run;
     /**
      * Cooling plant capacity as a fraction of the cluster's peak
      * wall power at 100 % utilization and nominal frequency.  This
@@ -36,8 +37,6 @@ struct ThroughputStudyOptions
      * value per platform (its Figure 12 gains differ).
      */
     double coolingCapacityFraction = 0.85;
-    /** Melting temperature (C); <= 0 uses the platform default. */
-    double meltTempC = 0.0;
     /** Governor control interval (s). */
     double controlIntervalS = 300.0;
     /** Inner thermal step (s). */
@@ -45,6 +44,10 @@ struct ThroughputStudyOptions
     /** Warm-up days before recording. */
     int warmupDays = 1;
 };
+
+/** @deprecated Old name; shared fields moved into .run. */
+using ThroughputStudyOptions
+    [[deprecated("use core::ThroughputConfig")]] = ThroughputConfig;
 
 /** Results (throughputs normalized to the no-wax peak == 1.0). */
 struct ThroughputStudyResult
@@ -107,7 +110,7 @@ struct ThroughputStudyResult
 ThroughputStudyResult runThroughputStudy(
     const server::ServerSpec &spec,
     const workload::WorkloadTrace &trace,
-    const ThroughputStudyOptions &options = ThroughputStudyOptions{});
+    const ThroughputConfig &options = ThroughputConfig{});
 
 /**
  * The per-platform oversubscription fractions calibrated so the

@@ -5,6 +5,16 @@
 namespace tts {
 namespace obs {
 
+namespace detail {
+std::atomic<std::uint64_t> g_metric_updates{0};
+} // namespace detail
+
+std::uint64_t
+metricUpdates()
+{
+    return detail::g_metric_updates.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 /** Bucket-bound suffix: integral bounds print bare ("64"), others
@@ -95,6 +105,7 @@ Registry::reset()
         kv.second->reset();
     for (auto &kv : histograms_)
         kv.second->reset();
+    detail::g_metric_updates.store(0, std::memory_order_relaxed);
 }
 
 Registry &

@@ -26,12 +26,23 @@
 namespace tts {
 namespace obs {
 
+namespace detail {
+/** Total metric mutations (see metricUpdates()). */
+extern std::atomic<std::uint64_t> g_metric_updates;
+inline void
+noteMetricUpdate()
+{
+    g_metric_updates.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace detail
+
 /** Monotonic counter; add() is lock-free and thread-safe. */
 class Counter
 {
   public:
     void add(std::uint64_t n = 1)
     {
+        detail::noteMetricUpdate();
         v_.fetch_add(n, std::memory_order_relaxed);
     }
     std::uint64_t value() const
@@ -48,7 +59,11 @@ class Counter
 class Gauge
 {
   public:
-    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    void set(double v)
+    {
+        detail::noteMetricUpdate();
+        v_.store(v, std::memory_order_relaxed);
+    }
     double value() const
     {
         return v_.load(std::memory_order_relaxed);
@@ -70,6 +85,7 @@ class HistogramCell
 
     void observe(double x)
     {
+        detail::noteMetricUpdate();
         std::lock_guard<std::mutex> lock(mu_);
         h_.add(x);
     }
@@ -132,6 +148,16 @@ class Registry
 
 /** The process-wide registry. */
 Registry &registry();
+
+/**
+ * Total metric mutation calls (Counter::add, Gauge::set,
+ * HistogramCell::observe) since the last Registry::reset().  Every
+ * mutation crosses exactly one enabled-check in the shipping
+ * configuration, so this is the count bench/extension_obs_overhead
+ * projects the disabled cost from - summing counter *values* would
+ * overstate batched add(n) sites.
+ */
+std::uint64_t metricUpdates();
 
 } // namespace obs
 } // namespace tts

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "thermal/kernel_config.hh"
 #include "util/error.hh"
 #include "util/units.hh"
 
@@ -40,7 +41,8 @@ solveOperatingPoint(const FanCurve &fan, double k, double speed)
 
 AirflowModel::AirflowModel(const FanCurve &fan, double nominal_flow,
                            double duct_area)
-    : fan_(fan), duct_area_(duct_area)
+    : fan_(fan), duct_area_(duct_area),
+      memo_enabled_(defaultKernelConfig().airflowMemo)
 {
     require(nominal_flow > 0.0,
             "AirflowModel: nominal flow must be > 0");
@@ -60,7 +62,11 @@ AirflowModel::setBlockage(double fraction)
 {
     require(fraction >= 0.0 && fraction < 1.0,
             "AirflowModel: blockage must be in [0, 1)");
+    if (fraction == blockage_)
+        return;
     blockage_ = fraction;
+    ++revision_;
+    memo_valid_ = false;
 }
 
 void
@@ -68,15 +74,38 @@ AirflowModel::setFanSpeed(double speed)
 {
     require(speed > 0.0 && speed <= 1.0,
             "AirflowModel: fan speed must be in (0, 1]");
+    if (speed == speed_)
+        return;
     speed_ = speed;
+    ++revision_;
+    memo_valid_ = false;
+}
+
+void
+AirflowModel::setMemoEnabled(bool enabled)
+{
+    memo_enabled_ = enabled;
+    memo_valid_ = false;
+}
+
+double
+AirflowModel::solveCurrent() const
+{
+    double open = 1.0 - blockage_;
+    double k = k0_ / (open * open);
+    return solveOperatingPoint(fan_, k, speed_);
 }
 
 double
 AirflowModel::flow() const
 {
-    double open = 1.0 - blockage_;
-    double k = k0_ / (open * open);
-    return solveOperatingPoint(fan_, k, speed_);
+    if (!memo_enabled_)
+        return solveCurrent();
+    if (!memo_valid_) {
+        memo_flow_ = solveCurrent();
+        memo_valid_ = true;
+    }
+    return memo_flow_;
 }
 
 double

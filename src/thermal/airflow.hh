@@ -9,10 +9,23 @@
  * cross-section scales the impedance by 1/(1-b)^2 (orifice law),
  * which reproduces the paper's Figure 7 blockage sweeps once the fan
  * stiffness is calibrated per server.
+ *
+ * The operating-point solve is memoized behind a dirty flag: the
+ * state (blockage, fan speed) changes a handful of times per control
+ * interval while flow() is queried on every RK4 stage of every
+ * thermal step, so the solve runs only when a setter actually changes
+ * a value.  The memo returns the bit-identical result of the same
+ * deterministic solve, never an approximation.  Every value-changing
+ * setter also bumps a revision counter so downstream caches (the
+ * thermal network's conductance table) can invalidate without
+ * subscribing to callbacks - including when the change comes from a
+ * fault event (a fan-bank failure pinning the speed).
  */
 
 #ifndef TTS_THERMAL_AIRFLOW_HH
 #define TTS_THERMAL_AIRFLOW_HH
+
+#include <cstdint>
 
 namespace tts {
 namespace thermal {
@@ -107,12 +120,36 @@ class AirflowModel
     /** @return Duct cross-sectional area (m^2). */
     double ductArea() const { return duct_area_; }
 
+    /**
+     * @return Monotone counter bumped by every value-changing
+     * setBlockage()/setFanSpeed().  Downstream caches compare it to
+     * decide whether their derived quantities are stale.
+     */
+    std::uint64_t revision() const { return revision_; }
+
+    /**
+     * Enable/disable the operating-point memo (defaults to
+     * KernelConfig.airflowMemo at construction).  Disabling gives the
+     * reference re-solve-per-call behavior; results are bit-identical
+     * either way.
+     */
+    void setMemoEnabled(bool enabled);
+    /** @return True when the operating-point memo is on. */
+    bool memoEnabled() const { return memo_enabled_; }
+
   private:
+    /** The un-memoized operating-point solve at the current state. */
+    double solveCurrent() const;
+
     FanCurve fan_;
     double duct_area_;
     double k0_;
     double blockage_ = 0.0;
     double speed_ = 1.0;
+    std::uint64_t revision_ = 0;
+    bool memo_enabled_;
+    mutable bool memo_valid_ = false;
+    mutable double memo_flow_ = 0.0;
 };
 
 } // namespace thermal

@@ -1,0 +1,34 @@
+#include "thermal/kernel_config.hh"
+
+#include <atomic>
+
+namespace tts {
+namespace thermal {
+
+namespace {
+
+std::atomic<bool> g_airflow_memo{true};
+std::atomic<bool> g_network_cache{true};
+
+} // namespace
+
+KernelConfig
+defaultKernelConfig()
+{
+    KernelConfig cfg;
+    cfg.airflowMemo = g_airflow_memo.load(std::memory_order_relaxed);
+    cfg.networkCache =
+        g_network_cache.load(std::memory_order_relaxed);
+    return cfg;
+}
+
+void
+setDefaultKernelConfig(const KernelConfig &cfg)
+{
+    g_airflow_memo.store(cfg.airflowMemo, std::memory_order_relaxed);
+    g_network_cache.store(cfg.networkCache,
+                          std::memory_order_relaxed);
+}
+
+} // namespace thermal
+} // namespace tts

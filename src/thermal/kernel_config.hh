@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Process-wide thermal kernel configuration.
+ *
+ * The optimized kernel memoizes the airflow operating point and
+ * caches the velocity-dependent conductances between airflow
+ * revisions; both caches reproduce the reference arithmetic
+ * bit-for-bit (they reuse results of identical deterministic
+ * computations, never reassociate or re-order them).  The reference
+ * kernel recomputes everything per call, exactly as the pre-SoA
+ * implementation did - it exists so bench/perf_thermal_kernel can
+ * measure the speedup and so tests can pin cached-vs-uncached
+ * bit-identity across the fault grid.
+ *
+ * The defaults are captured by AirflowModel / ServerThermalNetwork at
+ * construction; changing them never affects live objects (which have
+ * their own setters).
+ */
+
+#ifndef TTS_THERMAL_KERNEL_CONFIG_HH
+#define TTS_THERMAL_KERNEL_CONFIG_HH
+
+namespace tts {
+namespace thermal {
+
+/** Kernel cache switches applied to newly-built objects. */
+struct KernelConfig
+{
+    /** Memoize the fan-vs-impedance operating-point solve. */
+    bool airflowMemo = true;
+    /** Cache per-node conductances + CSR zone topology. */
+    bool networkCache = true;
+};
+
+/** @return The current process-wide defaults. */
+KernelConfig defaultKernelConfig();
+
+/** Replace the process-wide defaults (bench/test hook). */
+void setDefaultKernelConfig(const KernelConfig &cfg);
+
+/** @return All caches off: the pre-refactor reference arithmetic. */
+inline KernelConfig
+referenceKernelConfig()
+{
+    return KernelConfig{false, false};
+}
+
+} // namespace thermal
+} // namespace tts
+
+#endif // TTS_THERMAL_KERNEL_CONFIG_HH

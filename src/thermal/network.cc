@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "exec/parallel.hh"
 #include "obs/obs.hh"
+#include "thermal/kernel_config.hh"
 #include "util/error.hh"
 #include "util/units.hh"
 
@@ -23,6 +25,7 @@ ServerThermalNetwork::ServerThermalNetwork(const AirflowModel &airflow,
       inlet_temp_(inlet_temp_c),
       direct_air_power_(zone_count, 0.0),
       plume_fraction_(zone_count, 1.0),
+      kernel_cache_(defaultKernelConfig().networkCache),
       guard_config_(guard::defaultGuardConfig())
 {
     require(zone_count >= 1,
@@ -41,16 +44,17 @@ ServerThermalNetwork::addCapacityNode(const std::string &name,
             "addCapacityNode: capacity must be > 0");
     require(coupling.ua0 > 0.0, "addCapacityNode: ua0 must be > 0");
     require(zone < zone_count_, "addCapacityNode: zone out of range");
-    Node n;
-    n.name = name;
-    n.capacity = capacity;
-    n.coupling = coupling;
-    n.zone = zone;
-    n.vref = vref;
-    n.element = nullptr;
-    nodes_.push_back(n);
+    names_.push_back(name);
+    capacity_.push_back(capacity);
+    coupling_.push_back(coupling);
+    zone_.push_back(zone);
+    vref_.push_back(vref);
+    element_.push_back(nullptr);
+    power_.push_back(0.0);
+    air_coupled_.push_back(1);
     state_.push_back(capacity * initial_temp_c);
-    return static_cast<int>(nodes_.size()) - 1;
+    ++topo_rev_;
+    return static_cast<int>(names_.size()) - 1;
 }
 
 int
@@ -60,24 +64,24 @@ ServerThermalNetwork::addPcmNode(const std::string &name,
 {
     require(element != nullptr, "addPcmNode: null element");
     require(zone < zone_count_, "addPcmNode: zone out of range");
-    Node n;
-    n.name = name;
-    n.capacity = 0.0;
-    n.coupling = ConvectiveCoupling{1.0, 2.0, 0.8};
-    n.zone = zone;
-    n.vref = VelocityRef::Constriction;
-    n.element = element;
-    n.airCoupled = air_coupled;
-    nodes_.push_back(n);
+    names_.push_back(name);
+    capacity_.push_back(0.0);
+    coupling_.push_back(ConvectiveCoupling{1.0, 2.0, 0.8});
+    zone_.push_back(zone);
+    vref_.push_back(VelocityRef::Constriction);
+    element_.push_back(element);
+    power_.push_back(0.0);
+    air_coupled_.push_back(air_coupled ? 1 : 0);
     state_.push_back(element->storedEnthalpy());
-    return static_cast<int>(nodes_.size()) - 1;
+    ++topo_rev_;
+    return static_cast<int>(names_.size()) - 1;
 }
 
 void
 ServerThermalNetwork::addConduction(int a, int b, double conductance)
 {
-    require(a >= 0 && a < static_cast<int>(nodes_.size()) &&
-            b >= 0 && b < static_cast<int>(nodes_.size()) && a != b,
+    require(a >= 0 && a < static_cast<int>(names_.size()) &&
+            b >= 0 && b < static_cast<int>(names_.size()) && a != b,
             "addConduction: bad node ids");
     require(conductance > 0.0,
             "addConduction: conductance must be > 0");
@@ -87,18 +91,18 @@ ServerThermalNetwork::addConduction(int a, int b, double conductance)
 void
 ServerThermalNetwork::setNodePower(int node, double watts)
 {
-    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+    require(node >= 0 && node < static_cast<int>(names_.size()),
             "setNodePower: bad node id");
     require(watts >= 0.0, "setNodePower: power must be >= 0");
-    nodes_[node].power = watts;
+    power_[node] = watts;
 }
 
 double
 ServerThermalNetwork::nodePower(int node) const
 {
-    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+    require(node >= 0 && node < static_cast<int>(names_.size()),
             "nodePower: bad node id");
-    return nodes_[node].power;
+    return power_[node];
 }
 
 void
@@ -132,45 +136,81 @@ ServerThermalNetwork::setInletTemp(double t_c)
     inlet_temp_ = t_c;
 }
 
-double
-ServerThermalNetwork::tempOf(const Node &n, double h) const
+void
+ServerThermalNetwork::setKernelCacheEnabled(bool enabled)
 {
-    if (n.element)
-        return n.element->temperatureAtEnthalpy(h);
-    return h / n.capacity;
+    kernel_cache_ = enabled;
+    // Force a rebuild on next use so a re-enable never reads stale
+    // tables.
+    csr_topo_rev_ = ~std::uint64_t{0};
+    ua_topo_rev_ = ~std::uint64_t{0};
+    ua_airflow_rev_ = ~std::uint64_t{0};
 }
 
 double
-ServerThermalNetwork::uaOf(const Node &n) const
+ServerThermalNetwork::tempOf(std::size_t i, double h) const
 {
-    if (!n.airCoupled)
+    if (element_[i])
+        return element_[i]->temperatureAtEnthalpy(h);
+    return h / capacity_[i];
+}
+
+double
+ServerThermalNetwork::computeUaBase(std::size_t i) const
+{
+    if (!air_coupled_[i])
         return 0.0;
-    double v = n.vref == VelocityRef::Constriction
+    double v = vref_[i] == VelocityRef::Constriction
         ? airflow_.velocityAtBlockage()
         : airflow_.ductVelocity();
-    if (n.element)
-        return n.element->bank().conductanceAt(v);
-    return n.coupling.ua(v);
+    if (element_[i])
+        return element_[i]->bank().conductanceAt(v);
+    return coupling_[i].ua(v);
 }
 
 double
-ServerThermalNetwork::uaOf(const Node &n, double t_node,
+ServerThermalNetwork::uaAt(std::size_t i, double t_node,
                            double t_air) const
 {
-    if (!n.airCoupled)
-        return 0.0;
-    if (n.element) {
-        // PCM conductance is direction-dependent: freezing is
-        // conduction-limited through the growing solid layer.
-        double v = n.vref == VelocityRef::Constriction
-            ? airflow_.velocityAtBlockage()
-            : airflow_.ductVelocity();
-        double ua = n.element->bank().conductanceAt(v);
-        if (t_node > t_air)
-            ua *= n.element->freezeConductanceFactor();
-        return ua;
+    // The cached base conductance is the bit-identical result of
+    // computeUaBase() at the current airflow revision; only the
+    // direction-dependent PCM freeze derating (a mutable element
+    // property) is applied live.
+    double ua = kernel_cache_ ? ua_base_[i] : computeUaBase(i);
+    if (element_[i] && air_coupled_[i] && t_node > t_air)
+        ua *= element_[i]->freezeConductanceFactor();
+    return ua;
+}
+
+void
+ServerThermalNetwork::refreshKernelCaches() const
+{
+    if (!kernel_cache_)
+        return;
+    const std::size_t n = names_.size();
+    if (csr_topo_rev_ != topo_rev_) {
+        zone_offsets_.assign(zone_count_ + 1, 0);
+        for (std::size_t i = 0; i < n; ++i)
+            ++zone_offsets_[zone_[i] + 1];
+        for (std::size_t z = 0; z < zone_count_; ++z)
+            zone_offsets_[z + 1] += zone_offsets_[z];
+        zone_node_ids_.resize(n);
+        std::vector<std::size_t> cursor(
+            zone_offsets_.begin(), zone_offsets_.end() - 1);
+        // Ascending node ids within each zone: the air walk must
+        // accumulate q in the same order as the reference full scan.
+        for (std::size_t i = 0; i < n; ++i)
+            zone_node_ids_[cursor[zone_[i]]++] = i;
+        csr_topo_rev_ = topo_rev_;
     }
-    return uaOf(n);
+    std::uint64_t arev = airflow_.revision();
+    if (ua_topo_rev_ != topo_rev_ || ua_airflow_rev_ != arev) {
+        ua_base_.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            ua_base_[i] = computeUaBase(i);
+        ua_topo_rev_ = topo_rev_;
+        ua_airflow_rev_ = arev;
+    }
 }
 
 void
@@ -182,25 +222,40 @@ ServerThermalNetwork::airWalk(const std::vector<double> &h,
     t_local.resize(zone_count_);
     double mcp = airflow_.massFlow() * units::airSpecificHeat;
     invariant(mcp > 0.0, "airWalk: no airflow");
+    refreshKernelCaches();
     t_mixed[0] = inlet_temp_;
     double upstream_rise = 0.0;
+
+    auto node_heat = [&](std::size_t i, std::size_t z,
+                         double t_air) {
+        double tn = tempOf(i, h[i]);
+        if (!std::isfinite(tn)) {
+            throw guard::NumericsError(
+                "airWalk: non-finite temperature at node '" +
+                    names_[i] + "' (zone " + std::to_string(z) + ")",
+                names_[i], static_cast<std::ptrdiff_t>(z), -1.0, 0.0,
+                static_cast<std::ptrdiff_t>(i));
+        }
+        return uaAt(i, tn, t_air) * (tn - t_air);
+    };
+
     for (std::size_t z = 0; z < zone_count_; ++z) {
         double p = plume_fraction_[z];
         t_local[z] = t_mixed[z] + (1.0 / p - 1.0) * upstream_rise;
         double q = direct_air_power_[z];
-        for (std::size_t i = 0; i < nodes_.size(); ++i) {
-            const Node &n = nodes_[i];
-            if (n.zone != z)
-                continue;
-            double tn = tempOf(n, h[i]);
-            if (!std::isfinite(tn)) {
-                throw guard::NumericsError(
-                    "airWalk: non-finite temperature at node '" +
-                        n.name + "' (zone " + std::to_string(z) + ")",
-                    n.name, static_cast<std::ptrdiff_t>(z), -1.0, 0.0,
-                    static_cast<std::ptrdiff_t>(i));
+        if (kernel_cache_) {
+            // Precompiled CSR slice: only this zone's nodes, in
+            // ascending id order (same accumulation order as the
+            // reference scan below).
+            for (std::size_t k = zone_offsets_[z];
+                 k < zone_offsets_[z + 1]; ++k)
+                q += node_heat(zone_node_ids_[k], z, t_local[z]);
+        } else {
+            for (std::size_t i = 0; i < names_.size(); ++i) {
+                if (zone_[i] != z)
+                    continue;
+                q += node_heat(i, z, t_local[z]);
             }
-            q += uaOf(n, tn, t_local[z]) * (tn - t_local[z]);
         }
         upstream_rise = q / mcp;
         t_mixed[z + 1] = t_mixed[z] + upstream_rise;
@@ -212,16 +267,16 @@ ServerThermalNetwork::rhs(const std::vector<double> &h,
                           std::vector<double> &dh) const
 {
     airWalk(h, t_mixed_scratch_, t_local_scratch_);
-    dh.assign(nodes_.size(), 0.0);
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        const Node &n = nodes_[i];
-        double t = tempOf(n, h[i]);
-        dh[i] = n.power - uaOf(n, t, t_local_scratch_[n.zone]) *
-            (t - t_local_scratch_[n.zone]);
+    const std::size_t n = names_.size();
+    dh.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double t = tempOf(i, h[i]);
+        double t_air = t_local_scratch_[zone_[i]];
+        dh[i] = power_[i] - uaAt(i, t, t_air) * (t - t_air);
     }
     for (const auto &link : links_) {
-        double ta = tempOf(nodes_[link.a], h[link.a]);
-        double tb = tempOf(nodes_[link.b], h[link.b]);
+        double ta = tempOf(link.a, h[link.a]);
+        double tb = tempOf(link.b, h[link.b]);
         double q = link.conductance * (ta - tb);
         dh[link.a] -= q;
         dh[link.b] += q;
@@ -247,9 +302,9 @@ ServerThermalNetwork::advance(double dt_total, double dt_step)
         OdeRhs plain = [this](double, const std::vector<double> &h,
                               std::vector<double> &dh) { rhs(h, dh); };
         integrate(stepper_, plain, 0.0, dt_total, dt_step, state_);
-        for (std::size_t i = 0; i < nodes_.size(); ++i) {
-            if (nodes_[i].element)
-                nodes_[i].element->setEnthalpy(state_[i]);
+        for (std::size_t i = 0; i < names_.size(); ++i) {
+            if (element_[i])
+                element_[i]->setEnthalpy(state_[i]);
         }
         obs_clock_ += dt_total;
         if (obs::enabled())
@@ -326,9 +381,9 @@ ServerThermalNetwork::advance(double dt_total, double dt_step)
         }
     }
 
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (nodes_[i].element)
-            nodes_[i].element->setEnthalpy(state_[i]);
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (element_[i])
+            element_[i]->setEnthalpy(state_[i]);
     }
     obs_clock_ += dt_total;
     if (obs::enabled())
@@ -341,7 +396,7 @@ void
 ServerThermalNetwork::guardedAttempt(const OdeRhs &f, double dt_total,
                                      double dt)
 {
-    const std::size_t n = nodes_.size();
+    const std::size_t n = names_.size();
     aug_scratch_.assign(state_.begin(), state_.end());
     double h0_sum = 0.0;
     for (double h : state_)
@@ -366,7 +421,7 @@ ServerThermalNetwork::guardedAttempt(const OdeRhs &f, double dt_total,
 void
 ServerThermalNetwork::fallbackAttempt(const OdeRhs &f, double dt_total)
 {
-    const std::size_t n = nodes_.size();
+    const std::size_t n = names_.size();
     aug_scratch_.assign(state_.begin(), state_.end());
     double h0_sum = 0.0;
     for (double h : state_)
@@ -396,7 +451,7 @@ ServerThermalNetwork::checkAttempt(std::vector<double> &aug,
         fn(aug);
     }
 
-    const std::size_t n = nodes_.size();
+    const std::size_t n = names_.size();
     std::ptrdiff_t bad = guard::firstNonFinite(aug);
     if (bad >= 0) {
         throw guard::NumericsError(
@@ -434,9 +489,9 @@ ServerThermalNetwork::checkAttempt(std::vector<double> &aug,
         throw guard::NumericsError(
             "advance: energy audit residual " + std::to_string(mag) +
                 " J exceeds tolerance " + std::to_string(scale) +
-                " J (worst node '" + nodes_[worst].name + "')",
-            nodes_[worst].name,
-            static_cast<std::ptrdiff_t>(nodes_[worst].zone), dt_total,
+                " J (worst node '" + names_[worst] + "')",
+            names_[worst],
+            static_cast<std::ptrdiff_t>(zone_[worst]), dt_total,
             mag, static_cast<std::ptrdiff_t>(worst));
     }
 }
@@ -448,9 +503,9 @@ ServerThermalNetwork::enrich(const guard::NumericsError &e) const
     std::string node = e.node();
     std::ptrdiff_t zone = e.zone();
     if (node.empty() && idx >= 0) {
-        if (idx < static_cast<std::ptrdiff_t>(nodes_.size())) {
-            node = nodes_[idx].name;
-            zone = static_cast<std::ptrdiff_t>(nodes_[idx].zone);
+        if (idx < static_cast<std::ptrdiff_t>(names_.size())) {
+            node = names_[idx];
+            zone = static_cast<std::ptrdiff_t>(zone_[idx]);
         } else {
             node = "<energy-accumulator>";
         }
@@ -474,10 +529,10 @@ ServerThermalNetwork::obsName(const std::string &node) const
 void
 ServerThermalNetwork::seedMeltFractions()
 {
-    obs_melt_prev_.assign(nodes_.size(), 0.0);
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (nodes_[i].element)
-            obs_melt_prev_[i] = nodes_[i].element->meltFraction();
+    obs_melt_prev_.assign(names_.size(), 0.0);
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (element_[i])
+            obs_melt_prev_[i] = element_[i]->meltFraction();
     }
     obs_melt_seeded_ = true;
 }
@@ -496,22 +551,22 @@ ServerThermalNetwork::emitThermalEvents(std::uint64_t steps_taken)
         seedMeltFractions();
         return;
     }
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (!nodes_[i].element)
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (!element_[i])
             continue;
         double prev = obs_melt_prev_[i];
-        double now = nodes_[i].element->meltFraction();
+        double now = element_[i]->meltFraction();
         if (prev <= 0.0 && now > 0.0)
             obs::emitEvent(obs::EventKind::MeltOnset, obs_clock_,
-                           obsName(nodes_[i].name), now,
+                           obsName(names_[i]), now,
                            static_cast<std::int64_t>(i));
         if (prev < 1.0 && now >= 1.0)
             obs::emitEvent(obs::EventKind::MeltComplete, obs_clock_,
-                           obsName(nodes_[i].name), now,
+                           obsName(names_[i]), now,
                            static_cast<std::int64_t>(i));
         if (prev > 0.0 && now <= 0.0)
             obs::emitEvent(obs::EventKind::MeltRefrozen, obs_clock_,
-                           obsName(nodes_[i].name), now,
+                           obsName(names_[i]), now,
                            static_cast<std::int64_t>(i));
         obs_melt_prev_[i] = now;
     }
@@ -525,9 +580,9 @@ ServerThermalNetwork::setEnthalpies(const std::vector<double> &h)
                 std::to_string(h.size()) + ", have " +
                 std::to_string(state_.size()) + " nodes)");
     state_ = h;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (nodes_[i].element)
-            nodes_[i].element->setEnthalpy(state_[i]);
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (element_[i])
+            element_[i]->setEnthalpy(state_[i]);
     }
     // External state replacement (checkpoint restore) is not a
     // simulated transition; re-snapshot before the next advance.
@@ -539,24 +594,24 @@ ServerThermalNetwork::solveSteadyState()
 {
     // Gauss-Seidel on the per-node balances interleaved with air
     // walks.  Converges fast because air-to-node coupling dominates.
-    std::vector<double> t(nodes_.size());
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
-        t[i] = tempOf(nodes_[i], state_[i]);
+    const std::size_t n = names_.size();
+    std::vector<double> t(n);
+    for (std::size_t i = 0; i < n; ++i)
+        t[i] = tempOf(i, state_[i]);
 
     std::vector<double> t_mixed, t_local;
     for (int iter = 0; iter < 500; ++iter) {
         // Convert temps back to enthalpies for the walk.
-        for (std::size_t i = 0; i < nodes_.size(); ++i) {
-            state_[i] = nodes_[i].element
-                ? nodes_[i].element->activeCurve().enthalpyAt(t[i])
-                : nodes_[i].capacity * t[i];
+        for (std::size_t i = 0; i < n; ++i) {
+            state_[i] = element_[i]
+                ? element_[i]->activeCurve().enthalpyAt(t[i])
+                : capacity_[i] * t[i];
         }
         airWalk(state_, t_mixed, t_local);
         double max_delta = 0.0;
-        for (std::size_t i = 0; i < nodes_.size(); ++i) {
-            const Node &n = nodes_[i];
-            double ua = uaOf(n, t[i], t_local[n.zone]);
-            double num = n.power + ua * t_local[n.zone];
+        for (std::size_t i = 0; i < n; ++i) {
+            double ua = uaAt(i, t[i], t_local[zone_[i]]);
+            double num = power_[i] + ua * t_local[zone_[i]];
             double den = ua;
             for (const auto &link : links_) {
                 if (link.a == static_cast<int>(i)) {
@@ -576,12 +631,12 @@ ServerThermalNetwork::solveSteadyState()
         if (max_delta < 1e-9)
             break;
     }
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        state_[i] = nodes_[i].element
-            ? nodes_[i].element->activeCurve().enthalpyAt(t[i])
-            : nodes_[i].capacity * t[i];
-        if (nodes_[i].element)
-            nodes_[i].element->setEnthalpy(state_[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+        state_[i] = element_[i]
+            ? element_[i]->activeCurve().enthalpyAt(t[i])
+            : capacity_[i] * t[i];
+        if (element_[i])
+            element_[i]->setEnthalpy(state_[i]);
     }
     obs_melt_seeded_ = false;
 }
@@ -589,15 +644,15 @@ ServerThermalNetwork::solveSteadyState()
 double
 ServerThermalNetwork::nodeTemperature(int node) const
 {
-    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+    require(node >= 0 && node < static_cast<int>(names_.size()),
             "nodeTemperature: bad node id");
-    return tempOf(nodes_[node], state_[node]);
+    return tempOf(node, state_[node]);
 }
 
 double
 ServerThermalNetwork::nodeEnthalpy(int node) const
 {
-    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+    require(node >= 0 && node < static_cast<int>(names_.size()),
             "nodeEnthalpy: bad node id");
     return state_[node];
 }
@@ -637,8 +692,8 @@ double
 ServerThermalNetwork::totalInputPower() const
 {
     double total = 0.0;
-    for (const auto &n : nodes_)
-        total += n.power;
+    for (double p : power_)
+        total += p;
     for (double p : direct_air_power_)
         total += p;
     return total;
@@ -647,19 +702,38 @@ ServerThermalNetwork::totalInputPower() const
 const std::string &
 ServerThermalNetwork::nodeName(int node) const
 {
-    require(node >= 0 && node < static_cast<int>(nodes_.size()),
+    require(node >= 0 && node < static_cast<int>(names_.size()),
             "nodeName: bad node id");
-    return nodes_[node].name;
+    return names_[node];
 }
 
 int
 ServerThermalNetwork::findNode(const std::string &name) const
 {
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (nodes_[i].name == name)
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
             return static_cast<int>(i);
     }
     return -1;
+}
+
+void
+advanceNetworks(const std::vector<ServerThermalNetwork *> &nets,
+                double dt_total, double dt_step)
+{
+    // Below this, per-region thread recruitment costs more than the
+    // integration itself (a resilience arm has two networks).
+    constexpr std::size_t kMinParallel = 4;
+    for (const ServerThermalNetwork *net : nets)
+        require(net != nullptr, "advanceNetworks: null network");
+    if (nets.size() < kMinParallel) {
+        for (ServerThermalNetwork *net : nets)
+            net->advance(dt_total, dt_step);
+        return;
+    }
+    exec::parallel_for_index(nets.size(), [&](std::size_t i) {
+        nets[i]->advance(dt_total, dt_step);
+    });
 }
 
 } // namespace thermal

@@ -17,6 +17,16 @@
  * enthalpy-temperature curve so melting needs no special cases.
  * Energy is conserved by construction: d/dt(sum H) = sum P_in -
  * (heat advected out by the air).
+ *
+ * Hot-path layout: node attributes live in structure-of-arrays
+ * storage (parallel vectors indexed by node id) rather than an
+ * array-of-structs, the zone->node topology is precompiled into a
+ * CSR-style (offsets, ids) pair instead of being re-scanned every
+ * air walk, and the velocity-dependent conductances are cached per
+ * airflow revision (they only change when blockage or fan speed
+ * does).  All caches replay bit-identical arithmetic - see
+ * thermal/kernel_config.hh for the reference-mode switch that
+ * disables them.
  */
 
 #ifndef TTS_THERMAL_NETWORK_HH
@@ -278,13 +288,23 @@ class ServerThermalNetwork
     double totalInputPower() const;
 
     /** @return Number of solid nodes. */
-    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t nodeCount() const { return names_.size(); }
 
     /** @return Name of a node. */
     const std::string &nodeName(int node) const;
 
     /** @return Node id by name, or -1. */
     int findNode(const std::string &name) const;
+
+    /**
+     * Enable/disable the conductance + topology caches (defaults to
+     * KernelConfig.networkCache at construction).  Disabling gives
+     * the reference recompute-per-call kernel; results are
+     * bit-identical either way.
+     */
+    void setKernelCacheEnabled(bool enabled);
+    /** @return True when the kernel caches are on. */
+    bool kernelCacheEnabled() const { return kernel_cache_; }
 
     /**
      * Observability: label prefixed to node names in emitted trace
@@ -309,29 +329,26 @@ class ServerThermalNetwork
     double obsClock() const { return obs_clock_; }
 
   private:
-    struct Node
-    {
-        std::string name;
-        double capacity;                 //!< J/K; unused for PCM.
-        ConvectiveCoupling coupling;     //!< Unused for PCM.
-        std::size_t zone;
-        VelocityRef vref;
-        pcm::PcmElement *element;        //!< Null for capacity nodes.
-        double power = 0.0;              //!< External input (W).
-        bool airCoupled = true;          //!< Exchanges with the air.
-    };
-
-    /** Temperature of node n at enthalpy h. */
-    double tempOf(const Node &n, double h) const;
-
-    /** Conductance of node n at current airflow. */
-    double uaOf(const Node &n) const;
+    /** Temperature of node i at enthalpy h. */
+    double tempOf(std::size_t i, double h) const;
 
     /**
-     * Direction-aware conductance: PCM nodes release heat through a
-     * derated (conduction-limited) path.
+     * Direction-aware conductance of node i at the current airflow:
+     * PCM nodes release heat through a derated (conduction-limited)
+     * path.  Reads the cached base conductance when the kernel cache
+     * is on (refreshKernelCaches() must have run this revision).
      */
-    double uaOf(const Node &n, double t_node, double t_air) const;
+    double uaAt(std::size_t i, double t_node, double t_air) const;
+
+    /** The uncached base conductance of node i (no freeze derating). */
+    double computeUaBase(std::size_t i) const;
+
+    /**
+     * Rebuild the CSR zone topology and the per-node conductance
+     * table iff stale (topology or airflow revision moved).  No-op
+     * when the kernel cache is off.
+     */
+    void refreshKernelCaches() const;
 
     /**
      * Walk the air path for the given node enthalpies.
@@ -384,7 +401,17 @@ class ServerThermalNetwork
     AirflowModel airflow_;
     std::size_t zone_count_;
     double inlet_temp_;
-    std::vector<Node> nodes_;
+
+    // Node attributes, structure-of-arrays (all sized nodeCount()).
+    std::vector<std::string> names_;
+    std::vector<double> capacity_;       //!< J/K; 0 for PCM nodes.
+    std::vector<ConvectiveCoupling> coupling_; //!< Unused for PCM.
+    std::vector<std::size_t> zone_;
+    std::vector<VelocityRef> vref_;
+    std::vector<pcm::PcmElement *> element_; //!< Null for capacity.
+    std::vector<double> power_;          //!< External input (W).
+    std::vector<char> air_coupled_;      //!< Exchanges with the air.
+
     std::vector<ConductionLink> links_;
     std::vector<double> direct_air_power_;
     std::vector<double> plume_fraction_;
@@ -392,6 +419,16 @@ class ServerThermalNetwork
     RungeKutta4 stepper_;
     mutable std::vector<double> t_mixed_scratch_;
     mutable std::vector<double> t_local_scratch_;
+
+    // Kernel caches (see refreshKernelCaches).
+    bool kernel_cache_;
+    std::uint64_t topo_rev_ = 0;         //!< Bumped per added node.
+    mutable std::uint64_t csr_topo_rev_ = ~std::uint64_t{0};
+    mutable std::vector<std::size_t> zone_offsets_; //!< CSR offsets.
+    mutable std::vector<std::size_t> zone_node_ids_; //!< CSR ids.
+    mutable std::uint64_t ua_topo_rev_ = ~std::uint64_t{0};
+    mutable std::uint64_t ua_airflow_rev_ = ~std::uint64_t{0};
+    mutable std::vector<double> ua_base_; //!< Cached conductances.
 
     guard::GuardConfig guard_config_;
     guard::GuardCounters guard_counters_;
@@ -404,6 +441,20 @@ class ServerThermalNetwork
     bool obs_melt_seeded_ = false;       //!< obs_melt_prev_ valid.
     std::vector<double> obs_melt_prev_;  //!< Melt fraction per node.
 };
+
+/**
+ * Advance a batch of independent networks by the same interval.
+ *
+ * Small batches (fewer than four networks - e.g. the two
+ * representative servers of a resilience arm) run serially on the
+ * caller: per-region thread recruitment would cost more than the
+ * integration.  Larger batches fan out through the global
+ * exec::ThreadPool with its deterministic (region, task, seq) obs
+ * stream keys; since the networks share no state, results are
+ * bit-identical at any thread count.
+ */
+void advanceNetworks(const std::vector<ServerThermalNetwork *> &nets,
+                     double dt_total, double dt_step = 1.0);
 
 } // namespace thermal
 } // namespace tts

@@ -1,0 +1,343 @@
+#include "util/cli.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace cli {
+
+namespace {
+
+/** Classic Levenshtein distance (small strings; O(n*m) rows). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+bool
+parseDoubleValue(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseLongValue(const std::string &s, long long *out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+std::string
+formatDefault(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+Parser::Parser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary))
+{
+}
+
+void
+Parser::add(const std::string &name, Kind kind, void *out,
+            const std::string &help, std::string default_repr,
+            std::vector<std::string> choices)
+{
+    require(!name.empty() && name.rfind("--", 0) != 0,
+            "cli: register flag names without the leading '--'");
+    require(out != nullptr, "cli: null destination for --" + name);
+    for (const auto &s : specs_)
+        require(s.name != name, "cli: duplicate flag --" + name);
+    specs_.push_back(Spec{name, kind, out, help,
+                          std::move(default_repr),
+                          std::move(choices)});
+}
+
+void
+Parser::addFlag(const std::string &name, bool *out,
+                const std::string &help)
+{
+    add(name, Kind::Flag, out, help, *out ? "true" : "false");
+}
+
+void
+Parser::addDouble(const std::string &name, double *out,
+                  const std::string &help)
+{
+    add(name, Kind::Double, out, help, formatDefault(*out));
+}
+
+void
+Parser::addInt(const std::string &name, int *out,
+               const std::string &help)
+{
+    add(name, Kind::Int, out, help, std::to_string(*out));
+}
+
+void
+Parser::addSize(const std::string &name, std::size_t *out,
+                const std::string &help)
+{
+    add(name, Kind::Size, out, help, std::to_string(*out));
+}
+
+void
+Parser::addString(const std::string &name, std::string *out,
+                  const std::string &help)
+{
+    add(name, Kind::String, out, help,
+        out->empty() ? std::string() : "\"" + *out + "\"");
+}
+
+void
+Parser::addChoice(const std::string &name, std::string *out,
+                  const std::vector<std::string> &choices,
+                  const std::string &help)
+{
+    require(!choices.empty(), "cli: empty choice set for --" + name);
+    add(name, Kind::Choice, out, help, *out, choices);
+}
+
+void
+Parser::addPositional(const std::string &name, std::string *out,
+                      const std::string &help)
+{
+    require(out != nullptr,
+            "cli: null destination for positional " + name);
+    positionals_.push_back(Positional{name, out, help});
+}
+
+bool
+Parser::fail(const std::string &message)
+{
+    error_ = program_ + ": " + message;
+    return false;
+}
+
+std::string
+Parser::suggestionFor(const std::string &name) const
+{
+    std::string best;
+    std::size_t best_d = std::numeric_limits<std::size_t>::max();
+    for (const auto &s : specs_) {
+        std::size_t d = editDistance(name, s.name);
+        if (d < best_d) {
+            best_d = d;
+            best = s.name;
+        }
+    }
+    // Only suggest near-misses: a distance beyond 2 (or most of the
+    // name's length) reads as noise, not help.
+    if (best.empty() ||
+        best_d > std::max<std::size_t>(2, name.size() / 2))
+        return std::string();
+    return best;
+}
+
+bool
+Parser::applyValue(const Spec &spec, const std::string &value)
+{
+    switch (spec.kind) {
+      case Kind::Flag: {
+        if (value == "true" || value == "1") {
+            *static_cast<bool *>(spec.out) = true;
+            return true;
+        }
+        if (value == "false" || value == "0") {
+            *static_cast<bool *>(spec.out) = false;
+            return true;
+        }
+        return fail("bad value '" + value + "' for --" + spec.name +
+                    " (want true|false|1|0)");
+      }
+      case Kind::Double: {
+        double v;
+        if (!parseDoubleValue(value, &v))
+            return fail("bad number '" + value + "' for --" +
+                        spec.name);
+        *static_cast<double *>(spec.out) = v;
+        return true;
+      }
+      case Kind::Int: {
+        long long v;
+        if (!parseLongValue(value, &v) ||
+            v < std::numeric_limits<int>::min() ||
+            v > std::numeric_limits<int>::max())
+            return fail("bad integer '" + value + "' for --" +
+                        spec.name);
+        *static_cast<int *>(spec.out) = static_cast<int>(v);
+        return true;
+      }
+      case Kind::Size: {
+        long long v;
+        if (!parseLongValue(value, &v) || v < 0)
+            return fail("bad size '" + value + "' for --" +
+                        spec.name);
+        *static_cast<std::size_t *>(spec.out) =
+            static_cast<std::size_t>(v);
+        return true;
+      }
+      case Kind::String:
+        *static_cast<std::string *>(spec.out) = value;
+        return true;
+      case Kind::Choice: {
+        for (const auto &c : spec.choices) {
+            if (value == c) {
+                *static_cast<std::string *>(spec.out) = value;
+                return true;
+            }
+        }
+        std::string want;
+        for (const auto &c : spec.choices)
+            want += (want.empty() ? "" : "|") + c;
+        return fail("bad value '" + value + "' for --" + spec.name +
+                    " (want " + want + ")");
+      }
+    }
+    return fail("unreachable");
+}
+
+Status
+Parser::parse(int argc, const char *const *argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    return parse(args);
+}
+
+Status
+Parser::parse(const std::vector<std::string> &args)
+{
+    error_.clear();
+    std::size_t next_positional = 0;
+    for (const std::string &a : args) {
+        if (a == "--help" || a == "-h")
+            return Status::Help;
+        if (a.rfind("--", 0) != 0) {
+            if (next_positional < positionals_.size()) {
+                *positionals_[next_positional++].out = a;
+                continue;
+            }
+            fail("unexpected argument '" + a + "'");
+            return Status::Error;
+        }
+        std::string body = a.substr(2);
+        std::string name = body;
+        std::string value;
+        bool has_value = false;
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+            has_value = true;
+        }
+        const Spec *spec = nullptr;
+        for (const auto &s : specs_) {
+            if (s.name == name) {
+                spec = &s;
+                break;
+            }
+        }
+        if (!spec) {
+            std::string hint = suggestionFor(name);
+            fail("unknown flag '--" + name + "'" +
+                 (hint.empty() ? std::string()
+                               : " (did you mean '--" + hint + "'?)") +
+                 "; see --help");
+            return Status::Error;
+        }
+        if (!has_value) {
+            if (spec->kind != Kind::Flag) {
+                fail("flag --" + name + " needs a value (--" + name +
+                     "=...)");
+                return Status::Error;
+            }
+            *static_cast<bool *>(spec->out) = true;
+            continue;
+        }
+        if (!applyValue(*spec, value))
+            return Status::Error;
+    }
+    return Status::Ok;
+}
+
+std::string
+Parser::helpText() const
+{
+    std::ostringstream os;
+    os << "usage: " << program_ << " [options]";
+    for (const auto &p : positionals_)
+        os << " [" << p.name << "]";
+    os << "\n";
+    if (!summary_.empty())
+        os << summary_ << "\n";
+    if (!positionals_.empty()) {
+        os << "\npositional arguments:\n";
+        for (const auto &p : positionals_)
+            os << "  " << p.name << "  " << p.help << "\n";
+    }
+    os << "\noptions:\n";
+    std::size_t width = 4; // for --help
+    for (const auto &s : specs_)
+        width = std::max(width, s.name.size() +
+                                    (s.kind == Kind::Flag ? 0 : 4));
+    for (const auto &s : specs_) {
+        std::string left = "--" + s.name;
+        if (s.kind != Kind::Flag)
+            left += "=<v>";
+        os << "  " << left
+           << std::string(width + 2 - (left.size() - 2), ' ')
+           << s.help;
+        if (s.kind == Kind::Choice) {
+            os << " [";
+            for (std::size_t i = 0; i < s.choices.size(); ++i)
+                os << (i ? "|" : "") << s.choices[i];
+            os << "]";
+        }
+        if (!s.defaultRepr.empty())
+            os << " (default " << s.defaultRepr << ")";
+        os << "\n";
+    }
+    os << "  --help" << std::string(width + 2 - 4, ' ')
+       << "show this help\n";
+    return os.str();
+}
+
+} // namespace cli
+} // namespace tts

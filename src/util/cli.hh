@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Minimal typed command-line flag parser.
+ *
+ * Replaces the hand-rolled `rfind("--x=", 0)` chains of the tools and
+ * bench binaries.  Flags register against typed destinations; parse()
+ * fills them in and reports problems as values instead of calling
+ * exit(), so the parser itself is unit-testable:
+ *
+ * @code
+ *   double melt = 0.0;
+ *   bool csv = false;
+ *   cli::Parser p("tts_sim cooling", "Cooling-load study");
+ *   p.addDouble("melt", &melt, "melting temperature (C)");
+ *   p.addFlag("csv", &csv, "emit CSV instead of a table");
+ *   switch (p.parse(argc - 2, argv + 2)) {
+ *     case cli::Status::Help: std::cout << p.helpText(); return 0;
+ *     case cli::Status::Error:
+ *         std::cerr << p.error() << "\n"; return 2;
+ *     case cli::Status::Ok: break;
+ *   }
+ * @endcode
+ *
+ * Syntax: `--name=value` for valued flags, `--name` (or
+ * `--name=true|false|1|0`) for booleans.  `--help`/`-h` is always
+ * recognized.  Unknown flags produce an error that names the closest
+ * registered flag (edit distance) as a suggestion; malformed numbers
+ * are errors, not silent zeros.
+ */
+
+#ifndef TTS_UTIL_CLI_HH
+#define TTS_UTIL_CLI_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tts {
+namespace cli {
+
+/** Outcome of Parser::parse(). */
+enum class Status
+{
+    Ok,    //!< All arguments consumed; destinations filled in.
+    Help,  //!< --help/-h seen; print helpText() and exit 0.
+    Error, //!< Bad input; print error() and exit non-zero.
+};
+
+/** Typed flag registry + parser.  See the file comment. */
+class Parser
+{
+  public:
+    /**
+     * @param program Program (or subcommand) name for helpText().
+     * @param summary One-line description for helpText(); optional.
+     */
+    explicit Parser(std::string program, std::string summary = "");
+
+    /** Boolean switch: `--name` or `--name=true|false|1|0`. */
+    void addFlag(const std::string &name, bool *out,
+                 const std::string &help);
+    /** Floating-point flag: `--name=3.5`. */
+    void addDouble(const std::string &name, double *out,
+                   const std::string &help);
+    /** Integer flag: `--name=-2`. */
+    void addInt(const std::string &name, int *out,
+                const std::string &help);
+    /** Unsigned size flag: `--name=1008`. */
+    void addSize(const std::string &name, std::size_t *out,
+                 const std::string &help);
+    /** String flag: `--name=path`. */
+    void addString(const std::string &name, std::string *out,
+                   const std::string &help);
+    /**
+     * String flag restricted to a fixed choice set; anything else is
+     * an error listing the choices.
+     */
+    void addChoice(const std::string &name, std::string *out,
+                   const std::vector<std::string> &choices,
+                   const std::string &help);
+    /**
+     * Optional positional argument (consumed in registration order).
+     * Extra positionals beyond those registered are errors.
+     */
+    void addPositional(const std::string &name, std::string *out,
+                       const std::string &help);
+
+    /**
+     * Parse exactly the given arguments (no argv[0] skipping; pass
+     * `argc - 1, argv + 1` from main).  Destinations keep their
+     * defaults for flags that never appear.
+     */
+    Status parse(int argc, const char *const *argv);
+    /** Same, from a vector (tests). */
+    Status parse(const std::vector<std::string> &args);
+
+    /** @return The error message after Status::Error. */
+    const std::string &error() const { return error_; }
+
+    /** @return The generated --help text. */
+    std::string helpText() const;
+
+  private:
+    enum class Kind
+    {
+        Flag,
+        Double,
+        Int,
+        Size,
+        String,
+        Choice,
+    };
+
+    struct Spec
+    {
+        std::string name;
+        Kind kind;
+        void *out;
+        std::string help;
+        std::string defaultRepr;
+        std::vector<std::string> choices;
+    };
+
+    struct Positional
+    {
+        std::string name;
+        std::string *out;
+        std::string help;
+    };
+
+    void add(const std::string &name, Kind kind, void *out,
+             const std::string &help, std::string default_repr,
+             std::vector<std::string> choices = {});
+    bool applyValue(const Spec &spec, const std::string &value);
+    bool fail(const std::string &message);
+    /** Closest registered flag by edit distance, or empty. */
+    std::string suggestionFor(const std::string &name) const;
+
+    std::string program_;
+    std::string summary_;
+    std::vector<Spec> specs_;
+    std::vector<Positional> positionals_;
+    std::string error_;
+};
+
+} // namespace cli
+} // namespace tts
+
+#endif // TTS_UTIL_CLI_HH

@@ -19,13 +19,13 @@ fastTrace()
     return workload::makeGoogleTrace(p);
 }
 
-CoolingStudyOptions
+CoolingConfig
 fastOptions()
 {
-    CoolingStudyOptions o;
-    o.run.controlIntervalS = 900.0;
-    o.run.thermalStepS = 15.0;
-    o.run.warmupDays = 1;
+    CoolingConfig o;
+    o.cluster.controlIntervalS = 900.0;
+    o.cluster.thermalStepS = 15.0;
+    o.cluster.warmupDays = 1;
     return o;
 }
 
@@ -49,7 +49,7 @@ TEST(CoolingStudy, DefaultMeltTempComesFromSpec)
 TEST(CoolingStudy, ExplicitMeltTempOverrides)
 {
     auto o = fastOptions();
-    o.meltTempC = 45.0;
+    o.run.meltTempC = 45.0;
     auto r = runCoolingStudy(server::rd330Spec(), fastTrace(), o);
     EXPECT_DOUBLE_EQ(r.meltTempC, 45.0);
 }
@@ -58,7 +58,7 @@ TEST(CoolingStudy, BadMeltTempGivesNoReduction)
 {
     // Wax that never melts is dead weight: peaks nearly equal.
     auto o = fastOptions();
-    o.meltTempC = 60.0;
+    o.run.meltTempC = 60.0;
     auto r = runCoolingStudy(server::rd330Spec(), fastTrace(), o);
     EXPECT_LT(r.peakReduction(), 0.02);
 }
@@ -96,10 +96,10 @@ TEST(CoolingStudy, ReductionOrderingAcrossPlatforms)
 TEST(CoolingStudy, BaselinePeakScalesWithServerCount)
 {
     auto o = fastOptions();
-    o.serverCount = 504;
+    o.run.serverCount = 504;
     auto half = runCoolingStudy(server::rd330Spec(), fastTrace(),
                                 o);
-    o.serverCount = 1008;
+    o.run.serverCount = 1008;
     auto full = runCoolingStudy(server::rd330Spec(), fastTrace(),
                                 o);
     EXPECT_NEAR(full.peakBaselineW, 2.0 * half.peakBaselineW,

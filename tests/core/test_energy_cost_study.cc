@@ -21,9 +21,9 @@ class EnergyCostFixture : public ::testing::Test
         tp.durationS = units::days(1.0);
         tp.sampleIntervalS = 900.0;
         auto trace = workload::makeGoogleTrace(tp);
-        CoolingStudyOptions opts;
-        opts.run.controlIntervalS = 900.0;
-        opts.run.thermalStepS = 15.0;
+        CoolingConfig opts;
+        opts.cluster.controlIntervalS = 900.0;
+        opts.cluster.thermalStepS = 15.0;
         study_ = new CoolingStudyResult(
             runCoolingStudy(server::rd330Spec(), trace, opts));
     }

@@ -27,9 +27,9 @@ fastOptions(double step = 2.0)
     o.stepC = step;
     o.minC = 44.0;
     o.maxC = 58.0;
-    o.study.run.controlIntervalS = 900.0;
-    o.study.run.thermalStepS = 15.0;
-    o.study.run.warmupDays = 1;
+    o.study.cluster.controlIntervalS = 900.0;
+    o.study.cluster.thermalStepS = 15.0;
+    o.study.cluster.warmupDays = 1;
     return o;
 }
 

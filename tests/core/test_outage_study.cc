@@ -9,10 +9,10 @@ namespace tts {
 namespace core {
 namespace {
 
-OutageStudyOptions
+OutageConfig
 fastOptions()
 {
-    OutageStudyOptions o;
+    OutageConfig o;
     o.stepS = 10.0;
     o.maxDurationS = 3.0 * 3600.0;
     return o;
@@ -65,9 +65,9 @@ TEST(OutageStudy, ResidualCoolingBuysTime)
 TEST(OutageStudy, LowerUtilizationBuysTime)
 {
     auto busy = fastOptions();
-    busy.utilization = 0.95;
+    busy.run.utilization = 0.95;
     auto calm = fastOptions();
-    calm.utilization = 0.40;
+    calm.run.utilization = 0.40;
     auto r_busy = runOutageStudy(server::rd330Spec(), busy);
     auto r_calm = runOutageStudy(server::rd330Spec(), calm);
     EXPECT_GT(r_calm.noWax.rideThroughS,
@@ -94,7 +94,7 @@ TEST(OutageStudy, CensoredRunReportsExactlyTheHorizon)
     // a censored trajectory reports exactly maxDurationS even when
     // the step does not divide it.
     auto o = fastOptions();
-    o.utilization = 0.30;
+    o.run.utilization = 0.30;
     o.residualCoolingFraction = 0.6;
     o.maxDurationS = 605.0; // Not a multiple of stepS = 10.
     auto r = runOutageStudy(server::rd330Spec(), o);
@@ -122,11 +122,11 @@ TEST(OutageStudy, HitAtTheHorizonIsNotCensored)
 TEST(OutageStudy, RejectsBadOptions)
 {
     auto o = fastOptions();
-    o.serverCount = 0;
+    o.run.serverCount = 0;
     EXPECT_THROW(runOutageStudy(server::rd330Spec(), o),
                  FatalError);
     o = fastOptions();
-    o.utilization = 1.5;
+    o.run.utilization = 1.5;
     EXPECT_THROW(runOutageStudy(server::rd330Spec(), o),
                  FatalError);
     o = fastOptions();

@@ -20,12 +20,12 @@ fastTrace()
     return workload::makeGoogleTrace(p);
 }
 
-CoolingStudyOptions
+CoolingConfig
 fastOptions()
 {
-    CoolingStudyOptions o;
-    o.run.controlIntervalS = 900.0;
-    o.run.thermalStepS = 20.0;
+    CoolingConfig o;
+    o.cluster.controlIntervalS = 900.0;
+    o.cluster.thermalStepS = 20.0;
     return o;
 }
 

@@ -20,10 +20,10 @@ fastTrace()
     return workload::makeGoogleTrace(p);
 }
 
-ThroughputStudyOptions
+ThroughputConfig
 fastOptions(const server::ServerSpec &spec)
 {
-    ThroughputStudyOptions o;
+    ThroughputConfig o;
     o.coolingCapacityFraction = calibratedCapacityFraction(spec);
     o.controlIntervalS = 900.0;
     o.thermalStepS = 15.0;
@@ -144,7 +144,7 @@ TEST(ThroughputStudy, CalibratedFractionsPerPlatform)
 
 TEST(ThroughputStudy, RejectsBadOptions)
 {
-    ThroughputStudyOptions o;
+    ThroughputConfig o;
     o.coolingCapacityFraction = 0.0;
     EXPECT_THROW(runThroughputStudy(server::rd330Spec(),
                                     fastTrace(), o),

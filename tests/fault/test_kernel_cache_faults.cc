@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cached vs. reference thermal kernel across the canonical fault
+ * grid.
+ *
+ * The optimized kernel (airflow operating-point memo + SoA network
+ * caches) must be bit-identical to the pre-refactor reference
+ * arithmetic under every canonical fault scenario - plant trips, fan
+ * failures, sensor drift, crash storms - because those are exactly
+ * the events that mutate the cached state mid-run.  Any stale cache
+ * shows up here as a ULP-level diff in a golden metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/resilience_study.hh"
+#include "thermal/kernel_config.hh"
+
+namespace tts {
+namespace core {
+namespace {
+
+/** Restores the process-wide kernel config on scope exit. */
+class KernelConfigGuard
+{
+  public:
+    KernelConfigGuard() : saved_(thermal::defaultKernelConfig()) {}
+    ~KernelConfigGuard() { thermal::setDefaultKernelConfig(saved_); }
+
+  private:
+    thermal::KernelConfig saved_;
+};
+
+TEST(KernelCacheFaults, CanonicalGridBitIdenticalToReference)
+{
+    KernelConfigGuard guard;
+
+    thermal::setDefaultKernelConfig(thermal::KernelConfig{});
+    std::map<std::string, double> cached = resilienceGoldenValues();
+
+    thermal::setDefaultKernelConfig(
+        thermal::referenceKernelConfig());
+    std::map<std::string, double> reference =
+        resilienceGoldenValues();
+
+    ASSERT_EQ(cached.size(), reference.size());
+    for (const auto &kv : cached) {
+        auto it = reference.find(kv.first);
+        ASSERT_NE(it, reference.end()) << kv.first;
+        // Exact double equality: the caches replay identical
+        // deterministic computations, so even the last ULP matches.
+        EXPECT_EQ(kv.second, it->second) << kv.first;
+    }
+}
+
+TEST(KernelCacheFaults, FanStormScenarioBitIdenticalPerArm)
+{
+    KernelConfigGuard guard;
+    auto spec = server::rd330Spec();
+    ResilienceConfig opt;
+    opt.cluster.serverCount = 16;
+    auto scenarios = canonicalScenarios(opt.cluster.serverCount);
+    const ResilienceScenario *storm = nullptr;
+    for (const auto &s : scenarios)
+        if (s.name == "crash_fan_storm")
+            storm = &s;
+    ASSERT_NE(storm, nullptr);
+
+    thermal::setDefaultKernelConfig(thermal::KernelConfig{});
+    auto cached = runResilienceStudy(spec, *storm, opt);
+
+    thermal::setDefaultKernelConfig(
+        thermal::referenceKernelConfig());
+    auto reference = runResilienceStudy(spec, *storm, opt);
+
+    // Fan failures pin fan speed mid-run; a memo that survived the
+    // event would skew the whole trajectory from that step on.
+    EXPECT_EQ(cached.noWax.rideThroughS,
+              reference.noWax.rideThroughS);
+    EXPECT_EQ(cached.withWax.rideThroughS,
+              reference.withWax.rideThroughS);
+    EXPECT_EQ(cached.noWax.throughputRetention,
+              reference.noWax.throughputRetention);
+    EXPECT_EQ(cached.withWax.throughputRetention,
+              reference.withWax.throughputRetention);
+    EXPECT_EQ(cached.noWax.throttledS, reference.noWax.throttledS);
+    EXPECT_EQ(cached.withWax.throttledS,
+              reference.withWax.throttledS);
+    ASSERT_EQ(cached.withWax.roomAirC.values().size(),
+              reference.withWax.roomAirC.values().size());
+    for (std::size_t i = 0;
+         i < cached.withWax.roomAirC.values().size(); ++i)
+        EXPECT_EQ(cached.withWax.roomAirC.values()[i],
+                  reference.withWax.roomAirC.values()[i]);
+}
+
+} // namespace
+} // namespace core
+} // namespace tts

@@ -38,7 +38,7 @@ const std::vector<ResilienceResult> &
 canonicalResults()
 {
     static const std::vector<ResilienceResult> results = [] {
-        ResilienceStudyOptions opt;
+        ResilienceConfig opt;
         auto scenarios =
             canonicalScenarios(opt.cluster.serverCount);
         return runResilienceGrid(server::rd330Spec(), scenarios,
@@ -182,7 +182,7 @@ TEST(ResilienceStudy, NoFaultScenarioIsCensoredWithFullRetention)
     calm.utilization = 0.5;
     calm.horizonS = 1800.0;
 
-    ResilienceStudyOptions opt;
+    ResilienceConfig opt;
     opt.cluster.serverCount = 16;
     opt.cluster.slotsPerServer = 4;
     auto r = runResilienceStudy(server::rd330Spec(), calm, opt);
@@ -204,12 +204,12 @@ TEST(ResilienceStudy, RejectsBadInputs)
     s.faults.add(10.0, fault::FaultKind::CoolingTrip,
                  fault::FaultEvent::noTarget, 1.0);
 
-    ResilienceStudyOptions opt;
+    ResilienceConfig opt;
     opt.stepS = 0.0;
     EXPECT_THROW(runResilienceStudy(server::rd330Spec(), s, opt),
                  FatalError);
 
-    opt = ResilienceStudyOptions{};
+    opt = ResilienceConfig{};
     s.utilization = 1.5;
     EXPECT_THROW(runResilienceStudy(server::rd330Spec(), s, opt),
                  FatalError);

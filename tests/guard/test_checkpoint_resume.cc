@@ -39,11 +39,11 @@ smallScenario()
     return s;
 }
 
-ResilienceStudyOptions
+ResilienceConfig
 smallOptions()
 {
-    ResilienceStudyOptions opt;
-    opt.serverCount = 64;
+    ResilienceConfig opt;
+    opt.run.serverCount = 64;
     opt.cluster.serverCount = 8;
     opt.stepS = 10.0;
     return opt;
@@ -104,7 +104,7 @@ ResilienceResult
 chunkedRun(const std::string &path)
 {
     std::remove(path.c_str());
-    ResilienceCheckpointPolicy policy;
+    CheckpointPolicy policy;
     policy.path = path;
     policy.checkpointEveryS = 200.0;
     policy.stopAfterS = 350.0;
@@ -148,7 +148,7 @@ TEST(CheckpointResume, RunnerRefusesAForeignCheckpoint)
     std::remove(path.c_str());
 
     // Checkpoint scenario A, then try to resume scenario B from it.
-    ResilienceCheckpointPolicy policy;
+    CheckpointPolicy policy;
     policy.path = path;
     policy.stopAfterS = 350.0;
     ResilienceRunner a(server::rd330Spec(), smallScenario(),

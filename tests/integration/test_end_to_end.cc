@@ -33,11 +33,11 @@ TEST(EndToEnd, FullPipelineFor1U)
     tp.sampleIntervalS = 900.0;
     auto trace = workload::makeGoogleTrace(tp);
 
-    PlatformStudyOptions opts;
+    PlatformConfig opts;
     opts.optimizeMelt = false;  // Spec default; optimizer has its
                                 // own tests.
-    opts.cooling.run.controlIntervalS = 900.0;
-    opts.cooling.run.thermalStepS = 15.0;
+    opts.cooling.cluster.controlIntervalS = 900.0;
+    opts.cooling.cluster.thermalStepS = 15.0;
 
     auto study = runPlatformStudy(server::rd330Spec(), trace, opts);
 

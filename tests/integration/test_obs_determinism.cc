@@ -60,10 +60,10 @@ smallGrid()
     return grid;
 }
 
-core::ResilienceStudyOptions
+core::ResilienceConfig
 smallOptions()
 {
-    core::ResilienceStudyOptions opt;
+    core::ResilienceConfig opt;
     opt.cluster.serverCount = 16;
     opt.cluster.slotsPerServer = 4;
     return opt;

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Regression tests for the airflow operating-point memo.
+ *
+ * The memo must never be observable: a fault event that changes fan
+ * state or duct blockage invalidates it within the same step, and a
+ * memoized model tracks an unmemoized twin bit-for-bit through any
+ * mutation sequence.  These pin the cache-invalidation rules the
+ * fault injector relies on (a fan-failure event pins the fan speed
+ * and must see the new operating point immediately).
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/airflow.hh"
+#include "thermal/kernel_config.hh"
+
+namespace tts {
+namespace thermal {
+namespace {
+
+AirflowModel
+makeModel(bool memo)
+{
+    AirflowModel m(FanCurve{200.0, 0.02}, 0.015, 0.01);
+    m.setMemoEnabled(memo);
+    return m;
+}
+
+TEST(AirflowMemo, RepeatedQueriesHitTheMemoAndKeepTheValue)
+{
+    auto cached = makeModel(true);
+    auto reference = makeModel(false);
+    double first = cached.flow();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(cached.flow(), first);
+    EXPECT_EQ(cached.flow(), reference.flow());
+    EXPECT_EQ(cached.revision(), reference.revision());
+}
+
+TEST(AirflowMemo, SameValueSetKeepsRevisionAndCache)
+{
+    auto m = makeModel(true);
+    (void)m.flow();
+    std::uint64_t rev = m.revision();
+    // ServerModel::setLoad re-sets the fan speed every control step;
+    // a no-op set must not look like a fault event to downstream
+    // caches.
+    m.setFanSpeed(m.fanSpeed());
+    m.setBlockage(m.blockage());
+    EXPECT_EQ(m.revision(), rev);
+}
+
+TEST(AirflowMemo, FanEventInvalidatesSameStep)
+{
+    auto cached = makeModel(true);
+    auto reference = makeModel(false);
+    // Warm the memo at the healthy operating point.
+    (void)cached.flow();
+    std::uint64_t rev = cached.revision();
+
+    // A fan-bank failure drops the fan to 40 % mid-run.  The very
+    // next query must already be the degraded operating point.
+    cached.setFanSpeed(0.4);
+    reference.setFanSpeed(0.4);
+    EXPECT_GT(cached.revision(), rev);
+    EXPECT_EQ(cached.flow(), reference.flow());
+    EXPECT_EQ(cached.massFlow(), reference.massFlow());
+}
+
+TEST(AirflowMemo, BlockageEventInvalidatesSameStep)
+{
+    auto cached = makeModel(true);
+    auto reference = makeModel(false);
+    (void)cached.flow();
+    std::uint64_t rev = cached.revision();
+
+    cached.setBlockage(0.3);
+    reference.setBlockage(0.3);
+    EXPECT_GT(cached.revision(), rev);
+    EXPECT_EQ(cached.flow(), reference.flow());
+    EXPECT_EQ(cached.velocityAtBlockage(),
+              reference.velocityAtBlockage());
+}
+
+TEST(AirflowMemo, LockstepMutationSequenceIsBitIdentical)
+{
+    auto cached = makeModel(true);
+    auto reference = makeModel(false);
+    // A deterministic storm of fan and blockage events, with
+    // repeated queries between them to exercise warm-memo reads.
+    const double speeds[] = {1.0, 0.7, 0.7, 0.4, 1.0, 0.55};
+    const double blockages[] = {0.0, 0.1, 0.25, 0.25, 0.05, 0.4};
+    for (int round = 0; round < 3; ++round) {
+        for (std::size_t i = 0; i < 6; ++i) {
+            cached.setFanSpeed(speeds[i]);
+            reference.setFanSpeed(speeds[i]);
+            cached.setBlockage(blockages[i]);
+            reference.setBlockage(blockages[i]);
+            for (int q = 0; q < 2; ++q) {
+                EXPECT_EQ(cached.flow(), reference.flow());
+                EXPECT_EQ(cached.massFlow(), reference.massFlow());
+                EXPECT_EQ(cached.velocityAtBlockage(),
+                          reference.velocityAtBlockage());
+                EXPECT_EQ(cached.ductVelocity(),
+                          reference.ductVelocity());
+            }
+        }
+    }
+    EXPECT_EQ(cached.revision(), reference.revision());
+}
+
+TEST(AirflowMemo, DefaultComesFromKernelConfig)
+{
+    KernelConfig saved = defaultKernelConfig();
+    setDefaultKernelConfig(referenceKernelConfig());
+    AirflowModel off(FanCurve{200.0, 0.02}, 0.015, 0.01);
+    EXPECT_FALSE(off.memoEnabled());
+    setDefaultKernelConfig(saved);
+    AirflowModel on(FanCurve{200.0, 0.02}, 0.015, 0.01);
+    EXPECT_EQ(on.memoEnabled(), saved.airflowMemo);
+    EXPECT_EQ(off.flow(), on.flow());
+}
+
+} // namespace
+} // namespace thermal
+} // namespace tts

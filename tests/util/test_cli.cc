@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the typed command-line parser (util/cli).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace {
+
+TEST(Cli, DefaultsSurviveEmptyArgs)
+{
+    double melt = 44.5;
+    bool csv = false;
+    std::string out = "a.json";
+    cli::Parser p("prog");
+    p.addDouble("melt", &melt, "melt temp");
+    p.addFlag("csv", &csv, "emit csv");
+    p.addString("out", &out, "output path");
+    EXPECT_EQ(p.parse({}), cli::Status::Ok);
+    EXPECT_EQ(melt, 44.5);
+    EXPECT_FALSE(csv);
+    EXPECT_EQ(out, "a.json");
+}
+
+TEST(Cli, ParsesTypedValues)
+{
+    double melt = 0.0;
+    int platform = 0;
+    std::size_t servers = 0;
+    bool csv = false;
+    std::string out;
+    cli::Parser p("prog");
+    p.addDouble("melt", &melt, "");
+    p.addInt("platform", &platform, "");
+    p.addSize("servers", &servers, "");
+    p.addFlag("csv", &csv, "");
+    p.addString("out", &out, "");
+    EXPECT_EQ(p.parse({"--melt=45.25", "--platform=-2",
+                       "--servers=1008", "--csv",
+                       "--out=dir/x.json"}),
+              cli::Status::Ok);
+    EXPECT_EQ(melt, 45.25);
+    EXPECT_EQ(platform, -2);
+    EXPECT_EQ(servers, 1008u);
+    EXPECT_TRUE(csv);
+    EXPECT_EQ(out, "dir/x.json");
+}
+
+TEST(Cli, BooleanAcceptsExplicitValues)
+{
+    bool csv = true;
+    cli::Parser p("prog");
+    p.addFlag("csv", &csv, "");
+    EXPECT_EQ(p.parse({"--csv=false"}), cli::Status::Ok);
+    EXPECT_FALSE(csv);
+    EXPECT_EQ(p.parse({"--csv=1"}), cli::Status::Ok);
+    EXPECT_TRUE(csv);
+    EXPECT_EQ(p.parse({"--csv=maybe"}), cli::Status::Error);
+    EXPECT_NE(p.error().find("--csv"), std::string::npos);
+}
+
+TEST(Cli, MalformedNumbersAreErrorsNotZeros)
+{
+    double melt = 44.0;
+    cli::Parser p("prog");
+    p.addDouble("melt", &melt, "");
+    EXPECT_EQ(p.parse({"--melt=4x"}), cli::Status::Error);
+    EXPECT_NE(p.error().find("bad number"), std::string::npos);
+    EXPECT_EQ(p.parse({"--melt="}), cli::Status::Error);
+    // The old atof()-based parsers silently read 0.0 here.
+}
+
+TEST(Cli, IntRangeAndSignChecks)
+{
+    int platform = 0;
+    std::size_t n = 0;
+    cli::Parser p("prog");
+    p.addInt("platform", &platform, "");
+    p.addSize("servers", &n, "");
+    EXPECT_EQ(p.parse({"--platform=9999999999999"}),
+              cli::Status::Error);
+    EXPECT_EQ(p.parse({"--servers=-5"}), cli::Status::Error);
+}
+
+TEST(Cli, UnknownFlagSuggestsClosest)
+{
+    double melt = 0.0;
+    std::string scenario;
+    cli::Parser p("prog");
+    p.addDouble("melt", &melt, "");
+    p.addString("scenario", &scenario, "");
+    EXPECT_EQ(p.parse({"--mlet=44"}), cli::Status::Error);
+    EXPECT_NE(p.error().find("unknown flag '--mlet'"),
+              std::string::npos);
+    EXPECT_NE(p.error().find("did you mean '--melt'"),
+              std::string::npos);
+
+    // Distant typos get no suggestion, just the unknown-flag error.
+    EXPECT_EQ(p.parse({"--completely-unrelated=1"}),
+              cli::Status::Error);
+    EXPECT_EQ(p.error().find("did you mean"), std::string::npos);
+}
+
+TEST(Cli, ValuedFlagWithoutValueIsError)
+{
+    double melt = 0.0;
+    cli::Parser p("prog");
+    p.addDouble("melt", &melt, "");
+    EXPECT_EQ(p.parse({"--melt"}), cli::Status::Error);
+    EXPECT_NE(p.error().find("needs a value"), std::string::npos);
+}
+
+TEST(Cli, HelpShortCircuits)
+{
+    double melt = 1.0;
+    cli::Parser p("prog", "Example tool");
+    p.addDouble("melt", &melt, "melting temperature (C)");
+    EXPECT_EQ(p.parse({"--help"}), cli::Status::Help);
+    EXPECT_EQ(p.parse({"-h"}), cli::Status::Help);
+    // Even with bad flags after it.
+    EXPECT_EQ(p.parse({"--help", "--nope=1"}), cli::Status::Help);
+}
+
+TEST(Cli, HelpTextListsFlagsDefaultsAndChoices)
+{
+    double melt = 44.5;
+    bool csv = false;
+    std::string fmt = "jsonl";
+    cli::Parser p("prog", "Example tool");
+    p.addDouble("melt", &melt, "melting temperature (C)");
+    p.addFlag("csv", &csv, "emit csv");
+    p.addChoice("trace-format", &fmt, {"jsonl", "chrome"},
+                "trace format");
+    std::string h = p.helpText();
+    EXPECT_NE(h.find("usage: prog"), std::string::npos);
+    EXPECT_NE(h.find("Example tool"), std::string::npos);
+    EXPECT_NE(h.find("--melt=<v>"), std::string::npos);
+    EXPECT_NE(h.find("melting temperature (C)"), std::string::npos);
+    EXPECT_NE(h.find("default 44.5"), std::string::npos);
+    EXPECT_NE(h.find("jsonl|chrome"), std::string::npos);
+    EXPECT_NE(h.find("--help"), std::string::npos);
+}
+
+TEST(Cli, ChoiceRejectsOutOfSet)
+{
+    std::string fmt = "jsonl";
+    cli::Parser p("prog");
+    p.addChoice("trace-format", &fmt, {"jsonl", "chrome"}, "");
+    EXPECT_EQ(p.parse({"--trace-format=chrome"}), cli::Status::Ok);
+    EXPECT_EQ(fmt, "chrome");
+    EXPECT_EQ(p.parse({"--trace-format=xml"}), cli::Status::Error);
+    EXPECT_NE(p.error().find("jsonl|chrome"), std::string::npos);
+}
+
+TEST(Cli, PositionalsConsumedInOrderExtrasError)
+{
+    std::string first, second;
+    cli::Parser p("prog");
+    p.addPositional("output", &first, "output path");
+    p.addPositional("input", &second, "input path");
+    EXPECT_EQ(p.parse({"a.json"}), cli::Status::Ok);
+    EXPECT_EQ(first, "a.json");
+    EXPECT_TRUE(second.empty());
+    EXPECT_EQ(p.parse({"b.json", "c.json", "d.json"}),
+              cli::Status::Error);
+    EXPECT_NE(p.error().find("unexpected argument"),
+              std::string::npos);
+}
+
+TEST(Cli, DuplicateRegistrationThrows)
+{
+    double a = 0.0, b = 0.0;
+    cli::Parser p("prog");
+    p.addDouble("melt", &a, "");
+    EXPECT_THROW(p.addDouble("melt", &b, ""), Error);
+}
+
+TEST(Cli, LastOccurrenceWins)
+{
+    double melt = 0.0;
+    cli::Parser p("prog");
+    p.addDouble("melt", &melt, "");
+    EXPECT_EQ(p.parse({"--melt=40", "--melt=50"}), cli::Status::Ok);
+    EXPECT_EQ(melt, 50.0);
+}
+
+} // namespace
+} // namespace tts

@@ -1,12 +1,18 @@
 #!/bin/sh
-# Developer gate for the parallel execution engine.
+# Developer gate for the parallel execution engine and the SoA
+# thermal kernel.
 #
 # Builds the repo three times - a normal Release tree, a
 # ThreadSanitizer tree (TTS_SANITIZE=thread), and an ASan+UBSan tree
 # (TTS_SANITIZE=address) - and runs the suites that exercise
-# tts::exec, the seeded simulator, and the numerical guard under them:
+# tts::exec, the seeded simulator, and the numerical guard under
+# them.  The Release tree also runs the perf lane: the ctest perf
+# smoke label, then the full two-day thermal-kernel gate (2x speedup
+# + bit-identity) and the parallel-sweep bench, which write the CI
+# tracked BENCH_thermal.json / BENCH_sweep.json at the repo root:
 #
-#   tools/check.sh           # fast + guard + fault + obs, sanitizers
+#   tools/check.sh           # fast + guard + fault + obs + perf,
+#                            # sanitizers, BENCH_*.json refresh
 #   tools/check.sh --full    # also the integration label (slow)
 #
 # Exits non-zero on the first failure.
@@ -33,6 +39,16 @@ ctest --test-dir build -L fault --output-on-failure -j
 
 echo "== ctest -L obs =="
 ctest --test-dir build -L obs --output-on-failure -j
+
+echo "== ctest -L perf (smoke) =="
+ctest --test-dir build -L perf --output-on-failure -j
+
+echo "== perf gate: SoA thermal kernel (2x, bit-identity) =="
+./build/bench/perf_thermal_kernel --min-speedup=2.0 \
+    --out=BENCH_thermal.json
+
+echo "== perf: parallel sweep =="
+./build/bench/perf_parallel_sweep --out=BENCH_sweep.json
 
 if [ "$FULL" = "1" ]; then
     echo "== ctest -L integration =="
@@ -61,7 +77,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTTS_SANITIZE=address > /dev/null
 cmake --build build-asan -j \
     --target tts_guard_test tts_util_test tts_workload_test \
-    > /dev/null
+    tts_thermal_test > /dev/null
 
 echo "== ASan: numerical guard + checkpoint resume =="
 ./build-asan/tests/tts_guard_test
@@ -69,5 +85,7 @@ echo "== ASan: integrator + kv_json + rng =="
 ./build-asan/tests/tts_util_test
 echo "== ASan: cluster simulator save/restore =="
 ./build-asan/tests/tts_workload_test --gtest_filter='ClusterSim*'
+echo "== ASan: SoA thermal kernel + airflow memo =="
+./build-asan/tests/tts_thermal_test
 
 echo "OK"

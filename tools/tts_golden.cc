@@ -14,21 +14,38 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "core/golden.hh"
+#include "util/cli.hh"
 #include "util/error.hh"
 #include "util/kv_json.hh"
 
 int
 main(int argc, char **argv)
 {
+    std::string out;
+    tts::cli::Parser p("tts_golden",
+                       "Recompute the pinned golden values.");
+    p.addPositional("output", &out,
+                    "output file (stdout when omitted)");
+    switch (p.parse(argc - 1, argv + 1)) {
+      case tts::cli::Status::Help:
+        std::fputs(p.helpText().c_str(), stdout);
+        return 0;
+      case tts::cli::Status::Error:
+        std::fprintf(stderr, "%s\n", p.error().c_str());
+        return 2;
+      case tts::cli::Status::Ok:
+        break;
+    }
     try {
         auto values = tts::core::computeGoldenValues();
-        if (argc > 1) {
-            tts::writeKvJsonFile(argv[1], values);
+        if (!out.empty()) {
+            tts::writeKvJsonFile(out, values);
             std::cout << "wrote " << values.size()
-                      << " golden values to " << argv[1] << "\n";
+                      << " golden values to " << out << "\n";
         } else {
             std::cout << tts::writeKvJson(values);
         }

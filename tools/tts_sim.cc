@@ -66,12 +66,14 @@
 #include "exec/sweep_resume.hh"
 #include "obs/obs.hh"
 
+#include "core/run_config.hh"
 #include "core/thermal_time_shifting.hh"
 #include "core/outage_study.hh"
 #include "core/report.hh"
 #include "core/resilience_study.hh"
 #include "fault/fault_schedule.hh"
 #include "workload/trace_io.hh"
+#include "util/cli.hh"
 #include "util/error.hh"
 #include "util/kv_json.hh"
 #include "util/table.hh"
@@ -105,96 +107,97 @@ struct Options
     double stop_after = -1.0;
     std::string metrics_file;
     std::string obs_trace_file;
-    obs::TraceFormat trace_format = obs::TraceFormat::Jsonl;
+    std::string trace_format = "jsonl";
 };
 
-double
-numericValue(const std::string &arg)
+/** Register every flag on the parser; shared with --help output. */
+void
+registerFlags(cli::Parser &p, Options *o)
 {
-    auto pos = arg.find('=');
-    if (pos == std::string::npos) {
-        std::fprintf(stderr, "missing value in '%s'\n",
-                     arg.c_str());
-        std::exit(2);
-    }
-    return std::atof(arg.c_str() + pos + 1);
+    p.addPositional("command",
+                    &o->command,
+                    "trace|cooling|throughput|optimize|outage|"
+                    "resilience|report|validate");
+    p.addInt("platform", &o->platform,
+             "0=1U RD330, 1=2U X4470, 2=Open Compute");
+    p.addDouble("days", &o->days, "trace length (days)");
+    p.addDouble("weekend", &o->weekend,
+                "weekend load factor (enables weekly shape)");
+    p.addDouble("melt", &o->melt,
+                "melting temperature (C); 0 = platform default");
+    p.addDouble("capacity", &o->capacity,
+                "cooling capacity fraction; 0 = calibrated");
+    p.addDouble("util", &o->util, "held utilization");
+    p.addDouble("min", &o->sweep_min, "melt sweep lower bound (C)");
+    p.addDouble("max", &o->sweep_max, "melt sweep upper bound (C)");
+    p.addDouble("step", &o->sweep_step, "melt sweep step (C)");
+    p.addFlag("csv", &o->csv, "emit csv instead of a table");
+    p.addString("trace-csv", &o->trace_file,
+                "load a measured CSV trace instead of synthesizing");
+    p.addString("out", &o->out_dir, "report output directory");
+    p.addString("scenario", &o->scenario,
+                "fault scenario name, or 'all' for the grid");
+    p.addString("faults", &o->faults_file,
+                "fault schedule file (tts-fault-schedule v1)");
+    p.addString("checkpoint", &o->checkpoint_file,
+                "checkpoint snapshot file for long runs");
+    p.addString("resume", &o->resume_file,
+                "resume from a checkpoint snapshot");
+    p.addDouble("checkpoint-every", &o->checkpoint_every,
+                "simulated seconds between checkpoints");
+    p.addDouble("stop-after", &o->stop_after,
+                "pause after this much simulated time (s); -1 = run "
+                "to completion");
+    p.addString("metrics", &o->metrics_file,
+                "dump obs metrics registry (kv-json) here");
+    p.addString("trace", &o->obs_trace_file,
+                "write the structured obs event trace here");
+    p.addChoice("trace-format", &o->trace_format,
+                {"jsonl", "chrome"}, "obs trace format");
 }
 
 Options
 parse(int argc, char **argv)
 {
     Options o;
-    if (argc < 2) {
+    cli::Parser p("tts_sim",
+                  "Thermal-time-shifting simulator front end.");
+    registerFlags(p, &o);
+    switch (p.parse(argc - 1, argv + 1)) {
+      case cli::Status::Help:
+        std::fputs(p.helpText().c_str(), stdout);
+        std::exit(0);
+      case cli::Status::Error:
+        std::fprintf(stderr, "%s\n", p.error().c_str());
+        std::exit(2);
+      case cli::Status::Ok:
+        break;
+    }
+    if (o.command.empty()) {
         std::fprintf(stderr,
                      "usage: tts_sim "
                      "<trace|cooling|throughput|optimize|outage|"
                      "resilience|report|validate> [options]\n");
         std::exit(2);
     }
-    o.command = argv[1];
-    for (int i = 2; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a.rfind("--platform=", 0) == 0)
-            o.platform = static_cast<int>(numericValue(a));
-        else if (a.rfind("--days=", 0) == 0)
-            o.days = numericValue(a);
-        else if (a.rfind("--weekend=", 0) == 0)
-            o.weekend = numericValue(a);
-        else if (a.rfind("--melt=", 0) == 0)
-            o.melt = numericValue(a);
-        else if (a.rfind("--capacity=", 0) == 0)
-            o.capacity = numericValue(a);
-        else if (a.rfind("--util=", 0) == 0)
-            o.util = numericValue(a);
-        else if (a.rfind("--min=", 0) == 0)
-            o.sweep_min = numericValue(a);
-        else if (a.rfind("--max=", 0) == 0)
-            o.sweep_max = numericValue(a);
-        else if (a.rfind("--step=", 0) == 0)
-            o.sweep_step = numericValue(a);
-        else if (a.rfind("--trace-csv=", 0) == 0)
-            o.trace_file = a.substr(12);
-        else if (a.rfind("--trace-format=", 0) == 0) {
-            std::string fmt = a.substr(15);
-            if (fmt == "jsonl")
-                o.trace_format = obs::TraceFormat::Jsonl;
-            else if (fmt == "chrome")
-                o.trace_format = obs::TraceFormat::Chrome;
-            else {
-                std::fprintf(stderr,
-                             "bad --trace-format '%s' (want "
-                             "jsonl or chrome)\n",
-                             fmt.c_str());
-                std::exit(2);
-            }
-        }
-        else if (a.rfind("--trace=", 0) == 0)
-            o.obs_trace_file = a.substr(8);
-        else if (a.rfind("--metrics=", 0) == 0)
-            o.metrics_file = a.substr(10);
-        else if (a.rfind("--out=", 0) == 0)
-            o.out_dir = a.substr(6);
-        else if (a.rfind("--scenario=", 0) == 0)
-            o.scenario = a.substr(11);
-        else if (a.rfind("--faults=", 0) == 0)
-            o.faults_file = a.substr(9);
-        else if (a.rfind("--checkpoint=", 0) == 0)
-            o.checkpoint_file = a.substr(13);
-        else if (a.rfind("--checkpoint-every=", 0) == 0)
-            o.checkpoint_every = numericValue(a);
-        else if (a.rfind("--resume=", 0) == 0)
-            o.resume_file = a.substr(9);
-        else if (a.rfind("--stop-after=", 0) == 0)
-            o.stop_after = numericValue(a);
-        else if (a == "--csv")
-            o.csv = true;
-        else {
-            std::fprintf(stderr, "unknown option '%s'\n",
-                         a.c_str());
-            std::exit(2);
-        }
-    }
     return o;
+}
+
+/** The shared study knobs this invocation asks for. */
+core::RunConfig
+runConfigOf(const Options &o)
+{
+    core::RunConfig run;
+    run.meltTempC = o.melt;
+    run.utilization = o.util;
+    run.obs.metricsPath = o.metrics_file;
+    run.obs.tracePath = o.obs_trace_file;
+    run.obs.traceFormat = o.trace_format;
+    run.checkpoint.path = !o.resume_file.empty() ? o.resume_file
+                                                 : o.checkpoint_file;
+    run.checkpoint.checkpointEveryS = o.checkpoint_every;
+    run.checkpoint.stopAfterS = o.stop_after;
+    return run;
 }
 
 server::ServerSpec
@@ -268,8 +271,8 @@ int
 cmdCooling(const Options &o)
 {
     auto spec = platformOf(o);
-    core::CoolingStudyOptions opts;
-    opts.meltTempC = o.melt;
+    core::CoolingConfig opts;
+    opts.run = runConfigOf(o);
     auto r = core::runCoolingStudy(spec, traceOf(o), opts);
     r.baseline.coolingLoadW.setName("cooling_w");
     r.withWax.coolingLoadW.setName("cooling_pcm_w");
@@ -288,12 +291,11 @@ int
 cmdThroughput(const Options &o)
 {
     auto spec = platformOf(o);
-    core::ThroughputStudyOptions opts;
+    core::ThroughputConfig opts;
+    opts.run = runConfigOf(o);
     opts.coolingCapacityFraction = o.capacity > 0.0
         ? o.capacity
         : core::calibratedCapacityFraction(spec);
-    if (o.melt > 0.0)
-        opts.meltTempC = o.melt;
     auto r = core::runThroughputStudy(spec, traceOf(o), opts);
     emitSeries(o, {&r.ideal, &r.noWax, &r.withWax, &r.waxMelt});
     std::printf("# platform=%s capacity=%.1f%% melt=%.1fC "
@@ -332,10 +334,8 @@ int
 cmdOutage(const Options &o)
 {
     auto spec = platformOf(o);
-    core::OutageStudyOptions opts;
-    opts.utilization = o.util;
-    if (o.melt > 0.0)
-        opts.meltTempC = o.melt;
+    core::OutageConfig opts;
+    opts.run = runConfigOf(o);
     auto r = core::runOutageStudy(spec, opts);
     std::printf("platform=%s util=%.2f\n", spec.name.c_str(),
                 o.util);
@@ -368,7 +368,7 @@ resilienceRow(const core::ResilienceResult &r)
 
 int
 cmdResilienceAll(const server::ServerSpec &spec,
-                 const core::ResilienceStudyOptions &opts,
+                 const core::ResilienceConfig &opts,
                  const std::string &journal)
 {
     auto scenarios =
@@ -403,13 +403,12 @@ int
 cmdResilience(const Options &o)
 {
     auto spec = platformOf(o);
-    core::ResilienceStudyOptions opts;
+    core::ResilienceConfig opts;
+    opts.run = runConfigOf(o);
 
     if (o.scenario == "all" && o.faults_file.empty()) {
-        std::string journal = !o.resume_file.empty()
-            ? o.resume_file
-            : o.checkpoint_file;
-        return cmdResilienceAll(spec, opts, journal);
+        return cmdResilienceAll(spec, opts,
+                                opts.run.checkpoint.path);
     }
 
     core::ResilienceScenario scenario;
@@ -436,11 +435,7 @@ cmdResilience(const Options &o)
                            "crash_fan_storm)");
     }
 
-    core::ResilienceCheckpointPolicy policy;
-    policy.path = !o.resume_file.empty() ? o.resume_file
-                                         : o.checkpoint_file;
-    policy.checkpointEveryS = o.checkpoint_every;
-    policy.stopAfterS = o.stop_after;
+    const core::CheckpointPolicy &policy = opts.run.checkpoint;
 
     core::ResilienceRunner runner(spec, scenario, opts);
     if (!runner.run(policy)) {
@@ -498,7 +493,9 @@ int
 cmdReport(const Options &o)
 {
     auto spec = platformOf(o);
-    core::PlatformStudyOptions opts;
+    core::PlatformConfig opts;
+    opts.cooling.run = runConfigOf(o);
+    opts.cooling.run.meltTempC = 0.0;
     opts.optimizeMelt = false;
     auto study =
         core::runPlatformStudy(spec, traceOf(o), opts);
@@ -555,34 +552,27 @@ dispatch(const Options &o)
     return 2;
 }
 
-/** Dump metrics/trace/profile sinks after the command has run. */
-void
-writeObsOutputs(const Options &o)
-{
-    if (!o.metrics_file.empty())
-        writeKvJsonFile(o.metrics_file,
-                        obs::registry().snapshot());
-    if (!o.obs_trace_file.empty())
-        obs::writeTraceFile(o.obs_trace_file, o.trace_format);
-    std::cerr << "profile (wall time inside instrumented "
-                 "phases):\n";
-    obs::writeProfileTable(std::cerr);
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options o = parse(argc, argv);
-    bool observe =
-        !o.metrics_file.empty() || !o.obs_trace_file.empty();
-    if (observe)
-        obs::setEnabled(true);
+    // The context owns the obs sink lifecycle (enable before the
+    // command, write metrics/trace files after); commands build
+    // their own spec/trace, so the context's stay empty here.
+    core::StudyContext ctx(platformOf(o),
+                           workload::WorkloadTrace{},
+                           runConfigOf(o));
+    ctx.beginObs();
     try {
         int rc = dispatch(o);
-        if (observe)
-            writeObsOutputs(o);
+        if (ctx.obsRequested()) {
+            ctx.finishObs();
+            std::cerr << "profile (wall time inside instrumented "
+                         "phases):\n";
+            obs::writeProfileTable(std::cerr);
+        }
         return rc;
     } catch (const tts::Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
