@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Performance gate for tts::fleet: the paper's 10 MW facility
+ * (~40k servers) over a two-day diurnal trace.
+ *
+ * Three lanes:
+ *
+ *  1. The full warehouse transient at 1 thread and at 8 threads;
+ *     their state digests and series must be bit-identical
+ *     (fleet_identical) and the wall clock must stay under the
+ *     --max-wall budget.
+ *  2. A small homogeneous fleet integrated twice - archetype dedupe
+ *     on vs the naive every-row-private path - compared on logical
+ *     server-steps per second (dedupe_speedup, gated by
+ *     --min-dedupe-speedup).
+ *
+ * Emits flat kv-json on stdout after the human-readable table (and,
+ * with --out=FILE, to the file CI tracks as BENCH_fleet.json):
+ *
+ *     {"servers": ..., "days": ..., "wall_s": ..., "wall_8t_s": ...,
+ *      "fleet_identical": 1, "materialized_rows": ...,
+ *      "dedupe_factor": ..., "dedupe_speedup": ...,
+ *      "naive_steps_per_s": ..., "dedupe_steps_per_s": ...}
+ *
+ * Exit code 0 only when the identity and speedup gates both hold.
+ * --short shrinks every lane for the ctest perf smoke.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "exec/parallel.hh"
+#include "fleet/fleet.hh"
+#include "server/server_spec.hh"
+#include "util/cli.hh"
+#include "util/kv_json.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tts;
+    using Clock = std::chrono::steady_clock;
+
+    std::string out_file;
+    std::size_t servers = 40320;
+    double days = 2.0;
+    double max_wall_s = 600.0;
+    double min_dedupe_speedup = 10.0;
+    bool short_run = false;
+
+    cli::Parser p("perf_fleet",
+                  "Warehouse-scale fleet transient: wall-clock "
+                  "budget, 1-vs-8-thread bit-identity, and archetype "
+                  "dedupe leverage.");
+    p.addString("out", &out_file,
+                "also write the kv-json here (BENCH_fleet.json)");
+    p.addSize("servers", &servers, "fleet population");
+    p.addDouble("days", &days, "simulated horizon (days)");
+    p.addDouble("max-wall", &max_wall_s,
+                "wall-clock budget for one full run (s)");
+    p.addDouble("min-dedupe-speedup", &min_dedupe_speedup,
+                "required naive-vs-dedupe steps/s ratio");
+    p.addFlag("short", &short_run,
+              "shrink every lane (ctest perf smoke)");
+    switch (p.parse(argc - 1, argv + 1)) {
+      case cli::Status::Help:
+        std::fputs(p.helpText().c_str(), stdout);
+        return 0;
+      case cli::Status::Error:
+        std::fprintf(stderr, "%s\n", p.error().c_str());
+        return 2;
+      case cli::Status::Ok:
+        break;
+    }
+    if (short_run) {
+        servers = 4096;
+        days = 0.25;
+    }
+
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(days);
+    auto trace = workload::makeGoogleTrace(tp);
+    auto spec = server::rd330Spec();
+
+    fleet::FleetConfig cfg;
+    cfg.run.serverCount = servers;
+    cfg.durationS = units::days(days);
+    cfg.controlIntervalS = 300.0;
+    cfg.thermalStepS = 15.0;
+    cfg.mixedPlatforms = true;
+    // A handful of events per thousand server-days keeps the
+    // materialized-row population warehouse-realistic (hundreds of
+    // divergent servers) without drowning the dedupe leverage.
+    cfg.perturb.eventsPerServerDay = 0.01;
+
+    auto timed_run = [&](std::size_t threads) {
+        exec::setGlobalThreads(threads);
+        fleet::FleetSim sim(spec, trace, cfg);
+        auto t0 = Clock::now();
+        sim.run();
+        auto t1 = Clock::now();
+        exec::setGlobalThreads(1);
+        return std::make_pair(
+            sim.take(),
+            std::chrono::duration<double>(t1 - t0).count());
+    };
+
+    auto [serial, wall_s] = timed_run(1);
+    auto [wide, wall_8t_s] = timed_run(8);
+
+    bool identical =
+        serial.stateDigest == wide.stateDigest &&
+        serial.coolingLoadW.values() == wide.coolingLoadW.values() &&
+        serial.itPowerW.values() == wide.itPowerW.values() &&
+        serial.coolingEnergyJ == wide.coolingEnergyJ;
+
+    // Dedupe leverage lane: a fleet small enough that the naive
+    // every-row path is affordable, compared on logical server-steps
+    // per second of wall clock.
+    fleet::FleetConfig small = cfg;
+    small.run.serverCount = short_run ? 64 : 256;
+    small.durationS = units::hours(short_run ? 1.0 : 4.0);
+    small.mixedPlatforms = false;
+    small.perturb.eventsPerServerDay = 0.0;
+
+    auto rate_of = [&](bool dedupe) {
+        fleet::FleetConfig c = small;
+        c.dedupe = dedupe;
+        fleet::FleetSim sim(spec, trace, c);
+        auto t0 = Clock::now();
+        sim.run();
+        auto t1 = Clock::now();
+        double s = std::chrono::duration<double>(t1 - t0).count();
+        fleet::FleetResult r = sim.take();
+        return std::make_pair(
+            static_cast<double>(r.serverSteps) / s, r);
+    };
+
+    auto [naive_rate, naive_r] = rate_of(false);
+    auto [dedupe_rate, dedupe_r] = rate_of(true);
+    double dedupe_speedup = dedupe_rate / naive_rate;
+    bool states_match = dedupe_r.stateDigest == naive_r.stateDigest;
+
+    std::cout << "=== tts::fleet: " << servers << " servers, "
+              << formatFixed(days, 2) << "-day trace ===\n\n";
+    AsciiTable t({"lane", "threads", "wall (s)", "digest"});
+    char digest[32];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(serial.stateDigest));
+    t.addRow({"fleet", "1", formatFixed(wall_s, 2), digest});
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(wide.stateDigest));
+    t.addRow({"fleet", "8", formatFixed(wall_8t_s, 2), digest});
+    t.print(std::cout);
+    std::cout << "\nbit-identical 1t vs 8t:  "
+              << (identical ? "yes" : "NO") << "\n";
+    std::cout << "materialized rows:       "
+              << serial.materializedRows << " / " << servers << "\n";
+    std::cout << "dedupe factor (full):    "
+              << formatFixed(serial.dedupeFactor(), 1) << "x\n";
+    std::cout << "dedupe vs naive rate:    "
+              << formatFixed(dedupe_speedup, 1) << "x ("
+              << formatFixed(dedupe_rate / 1e6, 2) << "M vs "
+              << formatFixed(naive_rate / 1e6, 2)
+              << "M server-steps/s, states "
+              << (states_match ? "match" : "DIVERGE") << ")\n\n";
+
+    bool wall_ok = wall_s <= max_wall_s && wall_8t_s <= max_wall_s;
+    bool speedup_ok = dedupe_speedup >= min_dedupe_speedup;
+    if (!wall_ok)
+        std::cout << "FAIL: wall clock exceeded "
+                  << formatFixed(max_wall_s, 0) << " s budget\n";
+    if (!speedup_ok)
+        std::cout << "FAIL: dedupe speedup below "
+                  << formatFixed(min_dedupe_speedup, 1) << "x\n";
+    if (!identical)
+        std::cout << "FAIL: 1t and 8t runs are not bit-identical\n";
+    if (!states_match)
+        std::cout << "FAIL: dedupe and naive end states differ\n";
+
+    std::map<std::string, double> json{
+        {"servers", static_cast<double>(servers)},
+        {"days", days},
+        {"wall_s", wall_s},
+        {"wall_8t_s", wall_8t_s},
+        {"fleet_identical", identical ? 1.0 : 0.0},
+        {"materialized_rows",
+         static_cast<double>(serial.materializedRows)},
+        {"dedupe_factor", serial.dedupeFactor()},
+        {"dedupe_speedup", dedupe_speedup},
+        {"naive_steps_per_s", naive_rate},
+        {"dedupe_steps_per_s", dedupe_rate},
+    };
+    std::cout << writeKvJson(json);
+    if (!out_file.empty())
+        writeKvJsonFile(out_file, json);
+    return identical && states_match && wall_ok && speedup_ok ? 0
+                                                              : 1;
+}

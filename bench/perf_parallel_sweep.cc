@@ -10,14 +10,20 @@
  * BENCH_sweep.json), so the speedup can be followed over time:
  *
  *     {"parallel_s": ..., "points": 24, "serial_s": ...,
- *      "speedup": ..., "threads": ..., "identical": 1}
+ *      "speedup": ..., "serial_threads": 1, "parallel_threads": ...,
+ *      "identical": 1}
  *
- * On a single-core runner the speedup reads ~1.0 by construction;
- * the identical-results check is meaningful at any width.
+ * The parallel lane honours TTS_THREADS when set and otherwise uses
+ * at least two threads even on a single-core runner, so the recorded
+ * speedup always compares genuinely different widths; the
+ * identical-results check is meaningful at any width (and oversub-
+ * scription on one core should cost ~nothing with coarse tasks).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -79,8 +85,16 @@ main(int argc, char **argv)
         });
     };
 
+    // Explicit TTS_THREADS wins; otherwise never run the "parallel"
+    // lane at width 1 (a single-core box would silently rerun the
+    // serial sweep and record a meaningless ~1.0x speedup).
+    std::size_t parallel_threads = exec::defaultThreadCount();
+    if (!std::getenv("TTS_THREADS"))
+        parallel_threads =
+            std::max<std::size_t>(2, exec::hardwareThreads());
+
     exec::ThreadPool serial_pool(1);
-    exec::ThreadPool parallel_pool; // TTS_THREADS or hardware.
+    exec::ThreadPool parallel_pool(parallel_threads);
 
     auto t0 = Clock::now();
     auto serial = sweep_with(serial_pool);
@@ -127,7 +141,8 @@ main(int argc, char **argv)
 
     std::map<std::string, double> json{
         {"points", static_cast<double>(candidates.size())},
-        {"threads",
+        {"serial_threads", 1.0},
+        {"parallel_threads",
          static_cast<double>(parallel_pool.threadCount())},
         {"serial_s", serial_s},
         {"parallel_s", parallel_s},

@@ -29,10 +29,6 @@ struct CoolingConfig
     datacenter::ClusterRunOptions cluster;
 };
 
-/** @deprecated Old name; fields moved into .run / .cluster. */
-using CoolingStudyOptions
-    [[deprecated("use core::CoolingConfig")]] = CoolingConfig;
-
 /** Results of the cooling-load study for one platform. */
 struct CoolingStudyResult
 {

@@ -42,10 +42,6 @@ struct OutageConfig
     double maxDurationS = 4.0 * 3600.0;
 };
 
-/** @deprecated Old name; shared fields moved into .run. */
-using OutageStudyOptions
-    [[deprecated("use core::OutageConfig")]] = OutageConfig;
-
 /** One scenario's trajectory. */
 struct OutageTrajectory
 {

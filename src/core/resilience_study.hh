@@ -80,10 +80,6 @@ struct ResilienceConfig
     workload::DcSimConfig cluster;
 };
 
-/** @deprecated Old name; shared fields moved into .run. */
-using ResilienceStudyOptions
-    [[deprecated("use core::ResilienceConfig")]] = ResilienceConfig;
-
 /** One arm (no-wax or with-wax) of a scenario. */
 struct ResilienceArm
 {
@@ -151,14 +147,6 @@ struct ResilienceResult
                noWax.throughputRetention;
     }
 };
-
-/**
- * @deprecated The checkpoint policy is now the study-agnostic
- * core::CheckpointPolicy (run_config.hh), also reachable as
- * RunConfig::checkpoint.
- */
-using ResilienceCheckpointPolicy
-    [[deprecated("use core::CheckpointPolicy")]] = CheckpointPolicy;
 
 /**
  * Resumable form of runResilienceStudy().

@@ -21,9 +21,6 @@
  *   auto r = core::runCoolingStudy(ctx.spec(), ctx.trace(), {run});
  *   ctx.finishObs();
  * @endcode
- *
- * The old names (CoolingStudyOptions, ResilienceStudyOptions, ...)
- * remain as [[deprecated]] aliases for one release.
  */
 
 #ifndef TTS_CORE_RUN_CONFIG_HH
@@ -56,10 +53,7 @@ struct ObsSinks
     }
 };
 
-/**
- * Checkpoint/resume policy for long runs (previously
- * ResilienceCheckpointPolicy; now shared via RunConfig).
- */
+/** Checkpoint/resume policy for long runs (shared via RunConfig). */
 struct CheckpointPolicy
 {
     /**

@@ -72,10 +72,6 @@ struct PlatformConfig
     CoolingConfig cooling;
 };
 
-/** @deprecated Old name. */
-using PlatformStudyOptions
-    [[deprecated("use core::PlatformConfig")]] = PlatformConfig;
-
 /**
  * Run the full Section 5 pipeline for one platform.
  *

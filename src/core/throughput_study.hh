@@ -45,10 +45,6 @@ struct ThroughputConfig
     int warmupDays = 1;
 };
 
-/** @deprecated Old name; shared fields moved into .run. */
-using ThroughputStudyOptions
-    [[deprecated("use core::ThroughputConfig")]] = ThroughputConfig;
-
 /** Results (throughputs normalized to the no-wax peak == 1.0). */
 struct ThroughputStudyResult
 {

@@ -1,0 +1,80 @@
+#include "fleet/perturbation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/random.hh"
+
+namespace tts {
+namespace fleet {
+
+const char *
+perturbKindName(PerturbKind kind)
+{
+    switch (kind) {
+      case PerturbKind::UtilizationDelta: return "perturb.util_delta";
+      case PerturbKind::InletDrift: return "perturb.inlet_drift";
+      case PerturbKind::FanFailure: return "perturb.fan_failure";
+    }
+    return "perturb.unknown";
+}
+
+bool
+perturbEventLess(const PerturbEvent &a, const PerturbEvent &b)
+{
+    if (a.timeS != b.timeS)
+        return a.timeS < b.timeS;
+    if (a.server != b.server)
+        return a.server < b.server;
+    if (a.kind != b.kind)
+        return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    return a.value < b.value;
+}
+
+std::vector<PerturbEvent>
+generatePerturbations(std::uint64_t seed, std::uint32_t server_count,
+                      double duration_s,
+                      const PerturbationModel &model)
+{
+    require(model.eventsPerServerDay >= 0.0,
+            "generatePerturbations: negative event rate");
+    require(model.fanFailureWeight >= 0.0 &&
+                model.fanFailureWeight <= 1.0,
+            "generatePerturbations: fanFailureWeight outside [0, 1]");
+    std::vector<PerturbEvent> events;
+    if (model.eventsPerServerDay <= 0.0 || duration_s <= 0.0 ||
+        server_count == 0)
+        return events;
+
+    double mean = model.eventsPerServerDay * duration_s / 86400.0;
+    for (std::uint32_t s = 0; s < server_count; ++s) {
+        // One sub-stream per server: the draw sequence below is a
+        // pure function of (seed, s), so sharding cannot change it.
+        Rng rng = Rng::forStream(seed, s);
+        std::uint64_t n = rng.poisson(mean);
+        for (std::uint64_t k = 0; k < n; ++k) {
+            PerturbEvent e;
+            e.timeS = rng.uniform(0.0, duration_s);
+            e.server = s;
+            double pick = rng.uniform();
+            if (pick < model.fanFailureWeight) {
+                e.kind = PerturbKind::FanFailure;
+                e.value = 0.0;
+            } else if (pick < model.fanFailureWeight +
+                                  0.5 * (1.0 - model.fanFailureWeight)) {
+                e.kind = PerturbKind::UtilizationDelta;
+                e.value = rng.normal(0.0, model.utilDeltaSigma);
+            } else {
+                e.kind = PerturbKind::InletDrift;
+                e.value = rng.normal(0.0, model.inletDriftSigmaC);
+            }
+            events.push_back(e);
+        }
+    }
+    std::sort(events.begin(), events.end(), perturbEventLess);
+    return events;
+}
+
+} // namespace fleet
+} // namespace tts

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-server perturbation schedules for the fleet simulator.
+ *
+ * A warehouse fleet is *almost* homogeneous: most servers of one
+ * platform archetype see the same load trace and the same cold-aisle
+ * air, so their thermal trajectories are bit-identical and need to be
+ * computed only once (tts::fleet's dedupe).  What breaks the symmetry
+ * is a sparse stream of per-server perturbations - a hot spot drifts
+ * an inlet sensor, a fan bank degrades, a scheduler pins extra load on
+ * a rack.  This file models that stream: typed events, drawn from
+ * per-server RNG sub-streams so the schedule is a pure function of
+ * (seed, server id) - independent of shard width, thread count, and
+ * iteration order.
+ */
+
+#ifndef TTS_FLEET_PERTURBATION_HH
+#define TTS_FLEET_PERTURBATION_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tts {
+namespace fleet {
+
+/** What a perturbation does to its server. */
+enum class PerturbKind
+{
+    /** Persistent utilization offset (value: delta in [-1, 1]). */
+    UtilizationDelta,
+    /** Inlet air offset seen by the server (value: delta C). */
+    InletDrift,
+    /** Fan bank failure: frequency pinned to the DVFS floor. */
+    FanFailure,
+};
+
+/** @return Stable dotted name, e.g. "perturb.util_delta". */
+const char *perturbKindName(PerturbKind kind);
+
+/** One perturbation event aimed at one server. */
+struct PerturbEvent
+{
+    /** Simulated time the event fires (s). */
+    double timeS = 0.0;
+    /** Global server index. */
+    std::uint32_t server = 0;
+    PerturbKind kind = PerturbKind::UtilizationDelta;
+    /** Kind-specific magnitude (see PerturbKind). */
+    double value = 0.0;
+};
+
+/** Rate/magnitude model for generated schedules. */
+struct PerturbationModel
+{
+    /**
+     * Expected perturbation events per server per simulated day
+     * (Poisson); 0 disables generation and keeps the fleet fully
+     * deduplicated.
+     */
+    double eventsPerServerDay = 0.0;
+    /** Std-dev of a UtilizationDelta draw. */
+    double utilDeltaSigma = 0.08;
+    /** Std-dev of an InletDrift draw (C). */
+    double inletDriftSigmaC = 1.5;
+    /**
+     * Probability a drawn event is a FanFailure; the remainder splits
+     * evenly between UtilizationDelta and InletDrift.
+     */
+    double fanFailureWeight = 0.2;
+};
+
+/**
+ * Generate a deterministic perturbation schedule.
+ *
+ * Each server draws from its own Rng::forStream(seed, server)
+ * sub-stream: event count ~ Poisson(rate * days), times uniform over
+ * the horizon, kinds and magnitudes per the model.  Because draws are
+ * keyed by server id - never by shard or worker - the schedule (and
+ * therefore the whole fleet trajectory) is bit-identical at any shard
+ * width and thread count.  The result is sorted by (time, server,
+ * kind, value) so replay order is canonical.
+ *
+ * @param seed        Fleet seed.
+ * @param server_count Fleet population.
+ * @param duration_s  Horizon the events are drawn over (s).
+ * @param model       Rates and magnitudes.
+ */
+std::vector<PerturbEvent> generatePerturbations(
+    std::uint64_t seed, std::uint32_t server_count, double duration_s,
+    const PerturbationModel &model);
+
+/**
+ * Canonical ordering used by generatePerturbations(); exposed so
+ * callers appending hand-written events (tests, scenario drivers) can
+ * restore the replay invariant with std::sort.
+ */
+bool perturbEventLess(const PerturbEvent &a, const PerturbEvent &b);
+
+} // namespace fleet
+} // namespace tts
+
+#endif // TTS_FLEET_PERTURBATION_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shard-boundary edge cases: degenerate fleets (empty, singleton),
+ * populations that do not divide the shard count (prime sizes,
+ * 100 servers over 7 shards), and more shards than servers.  Every
+ * case must run and produce shard-width-invariant results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.hh"
+#include "server/server_spec.hh"
+#include "util/error.hh"
+#include "workload/trace.hh"
+
+namespace tts {
+namespace fleet {
+namespace {
+
+FleetConfig
+shardConfig(std::size_t servers, std::size_t shards)
+{
+    FleetConfig cfg;
+    cfg.run.serverCount = servers;
+    cfg.run.utilization = 0.65;
+    cfg.durationS = 3600.0;
+    cfg.controlIntervalS = 300.0;
+    cfg.thermalStepS = 60.0;
+    cfg.shardCount = shards;
+    cfg.perturb.eventsPerServerDay = 12.0;
+    return cfg;
+}
+
+FleetResult
+runShardCase(std::size_t servers, std::size_t shards)
+{
+    FleetSim sim(server::rd330Spec(), workload::WorkloadTrace{},
+                 shardConfig(servers, shards));
+    EXPECT_EQ(sim.shardCount(), shards);
+    EXPECT_TRUE(sim.run());
+    return sim.take();
+}
+
+TEST(FleetShards, EmptyFleetRunsToCompletion)
+{
+    FleetResult r = runShardCase(0, 8);
+    EXPECT_EQ(r.serverCount, 0u);
+    EXPECT_EQ(r.serverSteps, 0u);
+    EXPECT_EQ(r.materializedRows, 0u);
+    ASSERT_FALSE(r.coolingLoadW.empty());
+    EXPECT_EQ(r.coolingLoadW.max(), 0.0);
+    EXPECT_EQ(r.peakItPowerW, 0.0);
+    // Two empty fleets agree on the (time-only) digest.
+    FleetResult r2 = runShardCase(0, 3);
+    EXPECT_EQ(r.stateDigest, r2.stateDigest);
+}
+
+TEST(FleetShards, SingleServerFleetIsShardInvariant)
+{
+    FleetResult a = runShardCase(1, 1);
+    FleetResult b = runShardCase(1, 8);
+    EXPECT_EQ(a.serverCount, 1u);
+    EXPECT_EQ(a.stateDigest, b.stateDigest);
+    EXPECT_EQ(a.coolingLoadW.values(), b.coolingLoadW.values());
+    EXPECT_GT(a.peakItPowerW, 0.0);
+}
+
+TEST(FleetShards, PrimeFleetSizeIsShardInvariant)
+{
+    FleetResult a = runShardCase(97, 1);
+    FleetResult b = runShardCase(97, 8);
+    FleetResult c = runShardCase(97, 64);
+    ASSERT_GT(a.materializedRows, 0u);
+    EXPECT_EQ(a.stateDigest, b.stateDigest);
+    EXPECT_EQ(a.stateDigest, c.stateDigest);
+    EXPECT_EQ(a.coolingLoadW.values(), b.coolingLoadW.values());
+    EXPECT_EQ(a.coolingLoadW.values(), c.coolingLoadW.values());
+}
+
+TEST(FleetShards, IndivisibleShardCountIsShardInvariant)
+{
+    // 100 servers over 7 shards: ceil chunk of 15 leaves the last
+    // shard short - the ranges must still cover exactly [0, 100).
+    FleetResult a = runShardCase(100, 7);
+    FleetResult b = runShardCase(100, 1);
+    EXPECT_EQ(a.stateDigest, b.stateDigest);
+    EXPECT_EQ(a.itPowerW.values(), b.itPowerW.values());
+}
+
+TEST(FleetShards, MoreShardsThanServers)
+{
+    FleetResult a = runShardCase(5, 64);
+    FleetResult b = runShardCase(5, 1);
+    EXPECT_EQ(a.stateDigest, b.stateDigest);
+    EXPECT_EQ(a.coolingLoadW.values(), b.coolingLoadW.values());
+}
+
+TEST(FleetShards, DefaultShardCountIsEight)
+{
+    FleetConfig cfg = shardConfig(16, 0);
+    FleetSim sim(server::rd330Spec(), workload::WorkloadTrace{},
+                 cfg);
+    EXPECT_EQ(sim.shardCount(), 8u);
+}
+
+TEST(FleetShards, ExtraEventOutsideFleetIsRejected)
+{
+    FleetConfig cfg = shardConfig(4, 2);
+    cfg.extraEvents = {
+        {10.0, 4, PerturbKind::UtilizationDelta, 0.1}};
+    EXPECT_THROW(FleetSim(server::rd330Spec(),
+                          workload::WorkloadTrace{}, cfg),
+                 Error);
+}
+
+} // namespace
+} // namespace fleet
+} // namespace tts

@@ -8,11 +8,13 @@
 # tts::exec, the seeded simulator, and the numerical guard under
 # them.  The Release tree also runs the perf lane: the ctest perf
 # smoke label, then the full two-day thermal-kernel gate (2x speedup
-# + bit-identity) and the parallel-sweep bench, which write the CI
-# tracked BENCH_thermal.json / BENCH_sweep.json at the repo root:
+# + bit-identity), the parallel-sweep bench, and the 40k-server
+# fleet gate (wall-clock budget, 1-vs-8-thread bit-identity, 10x
+# dedupe leverage), which write the CI tracked BENCH_thermal.json /
+# BENCH_sweep.json / BENCH_fleet.json at the repo root:
 #
-#   tools/check.sh           # fast + guard + fault + obs + perf,
-#                            # sanitizers, BENCH_*.json refresh
+#   tools/check.sh           # fast + guard + fault + obs + fleet +
+#                            # perf, sanitizers, BENCH_*.json refresh
 #   tools/check.sh --full    # also the integration label (slow)
 #
 # Exits non-zero on the first failure.
@@ -40,6 +42,9 @@ ctest --test-dir build -L fault --output-on-failure -j
 echo "== ctest -L obs =="
 ctest --test-dir build -L obs --output-on-failure -j
 
+echo "== ctest -L fleet =="
+ctest --test-dir build -L fleet --output-on-failure -j
+
 echo "== ctest -L perf (smoke) =="
 ctest --test-dir build -L perf --output-on-failure -j
 
@@ -49,6 +54,10 @@ echo "== perf gate: SoA thermal kernel (2x, bit-identity) =="
 
 echo "== perf: parallel sweep =="
 ./build/bench/perf_parallel_sweep --out=BENCH_sweep.json
+
+echo "== perf gate: 40k-server fleet (10-min wall, 1t==8t, 10x dedupe) =="
+./build/bench/perf_fleet --min-dedupe-speedup=10.0 \
+    --out=BENCH_fleet.json
 
 if [ "$FULL" = "1" ]; then
     echo "== ctest -L integration =="
@@ -60,7 +69,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTTS_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j \
     --target tts_exec_test tts_workload_test tts_fault_test \
-    tts_obs_test > /dev/null
+    tts_obs_test tts_fleet_test > /dev/null
 
 echo "== TSan: exec engine, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_exec_test
@@ -71,6 +80,8 @@ echo "== TSan: fault injection + resilience grid, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_fault_test
 echo "== TSan: obs trace/metrics/profile, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_obs_test
+echo "== TSan: sharded fleet sim, 8 threads =="
+TTS_THREADS=8 ./build-tsan/tests/tts_fleet_test
 
 echo "== ASan+UBSan build (TTS_SANITIZE=address) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -14,6 +14,10 @@
  *                      [--scenario=NAME | --faults=FILE]
  *                      [--checkpoint=FILE] [--checkpoint-every=SEC]
  *                      [--resume=FILE] [--stop-after=SEC]
+ *   tts_sim fleet      [--platform=P] [--servers=N] [--mixed]
+ *                      [--days=N] [--perturb-rate=R] [--shards=K]
+ *                      [--seed=S] [--csv] [checkpoint flags as
+ *                      above]
  *   tts_sim report     [--platform=P] [--out=DIR]
  *   tts_sim validate
  *
@@ -41,6 +45,15 @@
  * Any command taking a trace accepts --trace-csv=FILE to load a
  * measured CSV trace (t_hours,Orkut,Search,FBmr) instead of the
  * synthetic generator.
+ *
+ * The fleet command scales the simulation from one server to a 10 MW
+ * warehouse (~40k servers): servers sharing a platform archetype and
+ * an unperturbed input stream advance as one deduplicated baseline
+ * row, while perturbed servers (--perturb-rate events per server-day:
+ * utilization offsets, inlet drift, fan failures) materialize private
+ * rows sharded across the thread pool.  Results are bit-identical at
+ * any thread count and shard width, and long runs checkpoint/resume
+ * through the same flags as resilience.
  *
  * Observability: --metrics=FILE dumps the obs metrics registry as
  * kv-json after the command finishes; --trace=FILE writes the
@@ -72,6 +85,7 @@
 #include "core/report.hh"
 #include "core/resilience_study.hh"
 #include "fault/fault_schedule.hh"
+#include "fleet/fleet.hh"
 #include "workload/trace_io.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
@@ -108,6 +122,11 @@ struct Options
     std::string metrics_file;
     std::string obs_trace_file;
     std::string trace_format = "jsonl";
+    std::size_t servers = 40320;
+    bool mixed = false;
+    double perturb_rate = 0.01;
+    std::size_t shards = 0;
+    std::size_t seed = 0x715f1ee7;
 };
 
 /** Register every flag on the parser; shared with --help output. */
@@ -117,7 +136,7 @@ registerFlags(cli::Parser &p, Options *o)
     p.addPositional("command",
                     &o->command,
                     "trace|cooling|throughput|optimize|outage|"
-                    "resilience|report|validate");
+                    "resilience|fleet|report|validate");
     p.addInt("platform", &o->platform,
              "0=1U RD330, 1=2U X4470, 2=Open Compute");
     p.addDouble("days", &o->days, "trace length (days)");
@@ -154,6 +173,14 @@ registerFlags(cli::Parser &p, Options *o)
                 "write the structured obs event trace here");
     p.addChoice("trace-format", &o->trace_format,
                 {"jsonl", "chrome"}, "obs trace format");
+    p.addSize("servers", &o->servers, "fleet population");
+    p.addFlag("mixed", &o->mixed,
+              "split the fleet across all three platforms");
+    p.addDouble("perturb-rate", &o->perturb_rate,
+                "perturbation events per server-day");
+    p.addSize("shards", &o->shards,
+              "fleet shard count; 0 = default (8)");
+    p.addSize("seed", &o->seed, "fleet perturbation seed");
 }
 
 Options
@@ -177,7 +204,7 @@ parse(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: tts_sim "
                      "<trace|cooling|throughput|optimize|outage|"
-                     "resilience|report|validate> [options]\n");
+                     "resilience|fleet|report|validate> [options]\n");
         std::exit(2);
     }
     return o;
@@ -490,6 +517,50 @@ cmdResilience(const Options &o)
 }
 
 int
+cmdFleet(const Options &o)
+{
+    auto spec = platformOf(o);
+    fleet::FleetConfig cfg;
+    cfg.run = runConfigOf(o);
+    cfg.run.serverCount = o.servers;
+    cfg.durationS = units::days(o.days);
+    cfg.mixedPlatforms = o.mixed;
+    cfg.shardCount = o.shards;
+    cfg.seed = o.seed;
+    cfg.perturb.eventsPerServerDay = o.perturb_rate;
+
+    fleet::FleetSim sim(spec, traceOf(o), cfg);
+    if (!sim.run(cfg.run.checkpoint)) {
+        std::printf("paused after %.0f simulated seconds; state "
+                    "saved to %s (rerun with --resume=%s to "
+                    "continue)\n",
+                    o.stop_after,
+                    cfg.run.checkpoint.path.c_str(),
+                    cfg.run.checkpoint.path.c_str());
+        return 0;
+    }
+    auto r = sim.take();
+
+    TimeSeries cooling_mw = r.coolingLoadW.scaled(1e-6);
+    cooling_mw.setName("cooling_mw");
+    TimeSeries it_mw = r.itPowerW.scaled(1e-6);
+    it_mw.setName("it_mw");
+    r.meltFraction.setName("melt_frac");
+    emitSeries(o, {&cooling_mw, &it_mw, &r.meltFraction});
+    std::printf("# platform=%s servers=%zu mixed=%d days=%.2f "
+                "events=%zu materialized=%zu dedupe=%.1fx\n",
+                spec.name.c_str(), r.serverCount, o.mixed ? 1 : 0,
+                o.days, r.eventsApplied, r.materializedRows,
+                r.dedupeFactor());
+    std::printf("# peak_cooling=%.3fMW peak_it=%.3fMW "
+                "cooling_energy=%.1fMWh digest=%016llx\n",
+                r.peakCoolingW / 1e6, r.peakItPowerW / 1e6,
+                r.coolingEnergyJ / 3.6e9,
+                static_cast<unsigned long long>(r.stateDigest));
+    return 0;
+}
+
+int
 cmdReport(const Options &o)
 {
     auto spec = platformOf(o);
@@ -543,6 +614,8 @@ dispatch(const Options &o)
         return cmdOutage(o);
     if (o.command == "resilience")
         return cmdResilience(o);
+    if (o.command == "fleet")
+        return cmdFleet(o);
     if (o.command == "report")
         return cmdReport(o);
     if (o.command == "validate")
