@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Performance gate for tts::opt: the pinned 2U wax-placement search
+ * (48-server fleet oracle, two-day diurnal trace) at a fixed
+ * evaluation budget.
+ *
+ * Three gates:
+ *
+ *  1. The full search at 1 thread and at 8 threads must return
+ *     bit-identical results - best candidate, costs, counters, and
+ *     the complete trace (search_identical).
+ *  2. The accepted configuration must beat the paper's uniform-wax
+ *     2U deployment on peak cooling load (beats_uniform_2u).
+ *  3. The 1-thread wall clock must stay under --max-wall.
+ *
+ * Emits flat kv-json on stdout after the human-readable table (and,
+ * with --out=FILE, to the file CI tracks as BENCH_opt.json):
+ *
+ *     {"servers": ..., "budget": ..., "wall_s": ..., "wall_8t_s": ...,
+ *      "search_identical": 1, "evaluations": ..., "oracle_calls": ...,
+ *      "memo_hits": ..., "memo_hit_rate": ..., "beats_uniform_2u": 1,
+ *      "baseline_peak_kw": ..., "best_peak_kw": ...,
+ *      "peak_reduction": ...}
+ *
+ * Exit code 0 only when all three gates hold.  --short shrinks the
+ * fleet and budget for the ctest perf smoke.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "exec/parallel.hh"
+#include "opt/engine.hh"
+#include "opt/space.hh"
+#include "server/server_spec.hh"
+#include "util/cli.hh"
+#include "util/kv_json.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tts;
+    using Clock = std::chrono::steady_clock;
+
+    std::string out_file;
+    std::size_t servers = 48;
+    std::size_t budget = 96;
+    std::size_t restarts = 4;
+    double days = 2.0;
+    double max_wall_s = 120.0;
+    bool short_run = false;
+
+    cli::Parser p("perf_opt",
+                  "Fixed-budget 2U wax-placement search: wall-clock "
+                  "budget, 1-vs-8-thread bit-identity, memo "
+                  "leverage, and the beats-uniform gate.");
+    p.addString("out", &out_file,
+                "also write the kv-json here (BENCH_opt.json)");
+    p.addSize("servers", &servers, "oracle fleet population");
+    p.addSize("budget", &budget, "annealing evaluation budget");
+    p.addSize("restarts", &restarts, "multi-start restart count");
+    p.addDouble("days", &days, "simulated horizon (days)");
+    p.addDouble("max-wall", &max_wall_s,
+                "wall-clock budget for the 1-thread search (s)");
+    p.addFlag("short", &short_run,
+              "shrink the fleet and budget (ctest perf smoke)");
+    switch (p.parse(argc - 1, argv + 1)) {
+      case cli::Status::Help:
+        std::fputs(p.helpText().c_str(), stdout);
+        return 0;
+      case cli::Status::Error:
+        std::fprintf(stderr, "%s\n", p.error().c_str());
+        return 2;
+      case cli::Status::Ok:
+        break;
+    }
+    if (short_run) {
+        servers = 16;
+        budget = 24;
+        restarts = 2;
+        days = 1.0;
+    }
+
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(days);
+    auto trace = workload::makeGoogleTrace(tp);
+
+    opt::SpaceOptions so;
+    so.lockPolicy = true; // Single archetype: policy is inert.
+    opt::SearchSpace space =
+        opt::makeSearchSpace({server::x4470Spec()}, so);
+
+    opt::OptOptions opts;
+    opts.budget = budget;
+    opts.restarts = restarts;
+    opts.fleet.run.serverCount = servers;
+    opts.fleet.durationS = units::days(days);
+    opts.fleet.controlIntervalS = 300.0;
+    opts.fleet.thermalStepS = 60.0;
+
+    auto timed_run = [&](std::size_t threads) {
+        exec::setGlobalThreads(threads);
+        auto t0 = Clock::now();
+        opt::OptResult r = opt::optimizeWaxPlacement(space, trace,
+                                                     opts);
+        auto t1 = Clock::now();
+        exec::setGlobalThreads(1);
+        return std::make_pair(
+            std::move(r),
+            std::chrono::duration<double>(t1 - t0).count());
+    };
+
+    auto [serial, wall_s] = timed_run(1);
+    auto [wide, wall_8t_s] = timed_run(8);
+
+    bool identical = serial.best == wide.best &&
+        serial.bestCost == wide.bestCost &&
+        serial.baselineCost == wide.baselineCost &&
+        serial.evaluations == wide.evaluations &&
+        serial.oracleCalls == wide.oracleCalls &&
+        serial.memoHits == wide.memoHits &&
+        serial.restartBest == wide.restartBest &&
+        serial.trace.size() == wide.trace.size();
+    if (identical)
+        for (std::size_t i = 0; i < serial.trace.size(); ++i)
+            identical = identical &&
+                serial.trace[i].currentCost ==
+                    wide.trace[i].currentCost &&
+                serial.trace[i].restartBestCost ==
+                    wide.trace[i].restartBestCost;
+
+    bool beats = serial.beatsBaseline();
+    double memo_hit_rate = serial.evaluations == 0
+        ? 0.0
+        : static_cast<double>(serial.memoHits) /
+            static_cast<double>(serial.evaluations);
+    double reduction = serial.baselineCost == 0.0
+        ? 0.0
+        : (serial.baselineCost - serial.bestCost) /
+            serial.baselineCost;
+
+    std::cout << "=== tts::opt: 2U search, " << servers
+              << " servers, budget " << budget << " ===\n\n";
+    AsciiTable t({"lane", "threads", "wall (s)", "best (kW)"});
+    t.addRow({"search", "1", formatFixed(wall_s, 2),
+              formatFixed(serial.bestCost / 1e3, 4)});
+    t.addRow({"search", "8", formatFixed(wall_8t_s, 2),
+              formatFixed(wide.bestCost / 1e3, 4)});
+    t.print(std::cout);
+    std::cout << "\nbit-identical 1t vs 8t:  "
+              << (identical ? "yes" : "NO") << "\n";
+    std::cout << "baseline (paper 2U):     "
+              << formatFixed(serial.baselineCost / 1e3, 4) << " kW\n";
+    std::cout << "accepted configuration:  "
+              << formatFixed(serial.bestCost / 1e3, 4) << " kW ("
+              << formatFixed(reduction * 100.0, 2) << "% better, "
+              << (beats ? "beats" : "DOES NOT beat")
+              << " uniform)\n";
+    std::cout << "oracle calls / evals:    " << serial.oracleCalls
+              << " / " << serial.evaluations << " (memo hit rate "
+              << formatFixed(memo_hit_rate * 100.0, 1) << "%)\n\n";
+
+    bool wall_ok = wall_s <= max_wall_s;
+    if (!wall_ok)
+        std::cout << "FAIL: wall clock exceeded "
+                  << formatFixed(max_wall_s, 0) << " s budget\n";
+    if (!identical)
+        std::cout << "FAIL: 1t and 8t searches are not "
+                     "bit-identical\n";
+    if (!beats)
+        std::cout << "FAIL: search did not beat the uniform-wax 2U "
+                     "baseline\n";
+
+    std::map<std::string, double> json{
+        {"servers", static_cast<double>(servers)},
+        {"days", days},
+        {"budget", static_cast<double>(budget)},
+        {"restarts", static_cast<double>(restarts)},
+        {"wall_s", wall_s},
+        {"wall_8t_s", wall_8t_s},
+        {"search_identical", identical ? 1.0 : 0.0},
+        {"evaluations", static_cast<double>(serial.evaluations)},
+        {"oracle_calls", static_cast<double>(serial.oracleCalls)},
+        {"memo_hits", static_cast<double>(serial.memoHits)},
+        {"memo_hit_rate", memo_hit_rate},
+        {"beats_uniform_2u", beats ? 1.0 : 0.0},
+        {"baseline_peak_kw", serial.baselineCost / 1e3},
+        {"best_peak_kw", serial.bestCost / 1e3},
+        {"peak_reduction", reduction},
+    };
+    std::cout << writeKvJson(json);
+    if (!out_file.empty())
+        writeKvJsonFile(out_file, json);
+    return identical && beats && wall_ok ? 0 : 1;
+}

@@ -10,9 +10,13 @@ namespace core {
 server::WaxConfig
 RunConfig::waxConfig() const
 {
-    server::WaxConfig wax = meltTempC > 0.0
-        ? server::WaxConfig::withMeltTemp(meltTempC)
-        : server::WaxConfig::paper();
+    // custom() with non-positive liters/melt resolves both to the
+    // platform defaults inside ServerModel, so this reproduces the
+    // old withMeltTemp()/paper() pair while letting waxLiters scale
+    // the charge.
+    server::WaxConfig wax = server::WaxConfig::custom(
+        waxLiters > 0.0 ? waxLiters : 0.0,
+        meltTempC > 0.0 ? meltTempC : 0.0);
     wax.meltWindowC = meltWindowC;
     return wax;
 }

@@ -83,6 +83,9 @@ struct RunConfig
     double meltTempC = 0.0;
     /** Melt window width (C); see server::WaxConfig::meltWindowC. */
     double meltWindowC = 0.5;
+    /** Wax charge per server (liters); <= 0 uses the platform
+     *  default deployment (the paper's liters). */
+    double waxLiters = 0.0;
     /** Observability sinks (tools; studies never read these). */
     ObsSinks obs;
     /** Checkpoint policy (resilience runner; others ignore it). */

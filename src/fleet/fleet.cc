@@ -134,8 +134,9 @@ FleetSim::FleetSim(const server::ServerSpec &spec,
             "FleetSim: bad step sizes");
 
     double u0 = utilAt(0.0);
-    server::WaxConfig wax = cfg_.withWax ? cfg_.run.waxConfig()
-                                         : server::WaxConfig::none();
+    server::WaxConfig shared_wax = cfg_.withWax
+        ? cfg_.run.waxConfig()
+        : server::WaxConfig::none();
     if (server_count_ > 0) {
         std::vector<server::ServerSpec> specs;
         if (cfg_.mixedPlatforms) {
@@ -144,6 +145,11 @@ FleetSim::FleetSim(const server::ServerSpec &spec,
         } else {
             specs = {spec};
         }
+        require(cfg_.archetypeWax.empty() ||
+                    cfg_.archetypeWax.size() == specs.size(),
+                "FleetSim: archetypeWax must carry one entry per "
+                "platform slot (" + std::to_string(specs.size()) +
+                    ")");
         std::uint32_t n = static_cast<std::uint32_t>(server_count_);
         std::uint32_t base = n / static_cast<std::uint32_t>(specs.size());
         std::uint32_t rem = n % static_cast<std::uint32_t>(specs.size());
@@ -152,11 +158,29 @@ FleetSim::FleetSim(const server::ServerSpec &spec,
             std::uint32_t count = base + (i < rem ? 1 : 0);
             if (count == 0)
                 continue;
+            const server::WaxConfig &wax = cfg_.archetypeWax.empty()
+                ? shared_wax
+                : cfg_.archetypeWax[i];
             arenas_.push_back(std::make_unique<ArchetypeArena>(
                 specs[i], wax, first, count, cfg_.inletTempC, u0));
             first += count;
         }
     }
+
+    // Placement weights are a pure function of the built arenas, so
+    // they are identical at any thread count and across resume.
+    std::vector<workload::ArchetypeLoadTraits> traits;
+    for (const auto &a : arenas_) {
+        workload::ArchetypeLoadTraits t;
+        t.count = a->count();
+        t.latentCapacityJ = a->baseline().waxLatentCapacity();
+        t.idleWallW = a->spec().idleWallPowerW;
+        t.peakWallW = a->spec().peakWallPowerW;
+        traits.push_back(t);
+    }
+    weights_ = arenas_.empty()
+        ? std::vector<double>{}
+        : workload::placementWeights(cfg_.placement, traits);
 
     events_ = generatePerturbations(
         cfg_.seed, static_cast<std::uint32_t>(server_count_),
@@ -242,6 +266,26 @@ FleetSim::materialize(std::uint32_t s)
     return rows_.emplace(s, std::move(row)).first->second;
 }
 
+std::uint64_t
+FleetSim::waxDigest() const
+{
+    // Canonical fingerprint of every arena's wax deployment, so a
+    // checkpoint written under one candidate configuration cannot be
+    // resumed under another (the opt engine varies exactly these
+    // fields between otherwise identical fleets).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto &a : arenas_) {
+        const server::WaxConfig &wax = a->wax();
+        h = digestU64(h, static_cast<std::uint64_t>(wax.mode));
+        h = digestDouble(h, wax.liters);
+        h = digestU64(h, wax.boxCount);
+        h = digestDouble(h, wax.meltTempC);
+        h = digestDouble(h, wax.meltWindowC);
+        h = digestDouble(h, wax.supercoolingC);
+    }
+    return h;
+}
+
 void
 FleetSim::applyEventsUpTo(double t)
 {
@@ -277,15 +321,16 @@ FleetSim::applyEventsUpTo(double t)
 void
 FleetSim::setLoads(double u)
 {
-    for (auto &arena : arenas_) {
-        server::ServerModel &b = arena->baseline();
-        b.setLoad(u);
+    for (std::size_t i = 0; i < arenas_.size(); ++i) {
+        server::ServerModel &b = arenas_[i]->baseline();
+        b.setLoad(std::clamp(u * weights_[i], 0.0, 1.0));
         b.network().setObsClock(t_);
     }
     for (auto &kv : rows_) {
         MaterializedRow &row = kv.second;
         const ArchetypeArena &arena = *arenas_[row.arena];
-        double util = std::clamp(u + row.pert.utilDelta, 0.0, 1.0);
+        double util = std::clamp(
+            u * weights_[row.arena] + row.pert.utilDelta, 0.0, 1.0);
         double freq = row.pert.fanPinned
             ? arena.spec().cpu.minFreqGHz
             : 0.0;
@@ -329,9 +374,12 @@ FleetSim::record(double t)
             }
         }
     }
-    cooling_w_.append(t, cooling);
-    it_w_.append(t, it_power);
-    melt_.append(t, wax_servers > 0.0 ? melt_sum / wax_servers : 0.0);
+    if (cfg_.recordSeries) {
+        cooling_w_.append(t, cooling);
+        it_w_.append(t, it_power);
+        melt_.append(t,
+                     wax_servers > 0.0 ? melt_sum / wax_servers : 0.0);
+    }
     peak_cooling_w_ = std::max(peak_cooling_w_, cooling);
     peak_it_w_ = std::max(peak_it_w_, it_power);
     last_cooling_w_ = cooling;
@@ -448,6 +496,8 @@ FleetSim::save(const std::string &path) const
     w.putU64("arena_count", arenas_.size());
     w.putU64("seed", cfg_.seed);
     w.putBool("dedupe", cfg_.dedupe);
+    w.putU64("placement", static_cast<std::uint64_t>(cfg_.placement));
+    w.putU64("wax_digest", waxDigest());
     w.put("duration_s", cfg_.durationS);
     w.put("control_s", cfg_.controlIntervalS);
     w.put("thermal_s", cfg_.thermalStepS);
@@ -506,6 +556,11 @@ FleetSim::restore(const std::string &path)
             "fleet checkpoint: seed mismatch");
     require(r.expectBool("dedupe") == cfg_.dedupe,
             "fleet checkpoint: dedupe mode mismatch");
+    require(r.expectU64("placement") ==
+                static_cast<std::uint64_t>(cfg_.placement),
+            "fleet checkpoint: placement policy mismatch");
+    require(r.expectU64("wax_digest") == waxDigest(),
+            "fleet checkpoint: wax deployment mismatch");
     require(r.expect("duration_s") == cfg_.durationS &&
                 r.expect("control_s") == cfg_.controlIntervalS &&
                 r.expect("thermal_s") == cfg_.thermalStepS &&

@@ -39,6 +39,7 @@
 #include "fleet/perturbation.hh"
 #include "server/server_spec.hh"
 #include "util/time_series.hh"
+#include "workload/placement.hh"
 #include "workload/trace.hh"
 
 namespace tts {
@@ -92,6 +93,30 @@ struct FleetConfig
     bool mixedPlatforms = false;
     /** Deploy wax (run.waxConfig()); false runs a stock fleet. */
     bool withWax = true;
+    /**
+     * Per-archetype wax overrides, indexed by platform slot (the
+     * single platform, or {1U, 2U, OCP} under mixedPlatforms).  When
+     * non-empty it must have one entry per slot and replaces the
+     * withWax/run.waxConfig() choice for every arena - this is the
+     * knob tts::opt turns for per-archetype wax mass / melt / box
+     * count candidates.
+     */
+    std::vector<server::WaxConfig> archetypeWax;
+    /**
+     * Job-placement policy: skews per-archetype utilization by
+     * workload::placementWeights while conserving total fleet load.
+     * Uniform reproduces the paper (every archetype at the fleet
+     * utilization).
+     */
+    workload::PlacementPolicy placement =
+        workload::PlacementPolicy::Uniform;
+    /**
+     * Record the per-step cooling/IT/melt series.  The opt oracle
+     * turns this off: peaks, energy, and digests are still tracked,
+     * but thousands of candidate evaluations skip the per-step
+     * appends and carry no series memory.
+     */
+    bool recordSeries = true;
 };
 
 /** Aggregated outputs of a fleet run. */
@@ -193,6 +218,12 @@ class FleetSim
         return arenas_;
     }
 
+    /** @return Per-arena utilization weights (cfg.placement). */
+    const std::vector<double> &placementWeights() const
+    {
+        return weights_;
+    }
+
     /** @return Materialized rows across all arenas. */
     std::size_t materializedCount() const { return rows_.size(); }
 
@@ -245,6 +276,9 @@ class FleetSim
     /** Utilization at time t (trace, or the flat run value). */
     double utilAt(double t) const;
 
+    /** Canonical digest of every arena's wax deployment. */
+    std::uint64_t waxDigest() const;
+
     /** Arena covering global server s. */
     ArchetypeArena &arenaOf(std::uint32_t s);
     const ArchetypeArena &arenaOf(std::uint32_t s) const;
@@ -269,6 +303,8 @@ class FleetSim
     std::size_t server_count_;
     std::size_t shard_count_;
     std::vector<std::unique_ptr<ArchetypeArena>> arenas_;
+    /** Per-arena utilization weights from cfg.placement. */
+    std::vector<double> weights_;
     /** Materialized rows keyed by server id (canonical order). */
     std::map<std::uint32_t, MaterializedRow> rows_;
     std::vector<PerturbEvent> events_;

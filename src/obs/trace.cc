@@ -136,6 +136,8 @@ eventKindName(EventKind kind)
         return "job.dispatch";
     case EventKind::JobCrashKill:
         return "job.crash_kill";
+    case EventKind::OptStep:
+        return "opt.step";
     case EventKind::PhaseBegin:
         return "phase.begin";
     case EventKind::PhaseEnd:

@@ -51,6 +51,7 @@ enum class EventKind
     JobCrashKill,      //!< DCSim jobs killed by a server crash.
     PhaseBegin,        //!< Study phase started.
     PhaseEnd,          //!< Study phase finished.
+    OptStep,           //!< Wax-placement search iteration sample.
 };
 
 /** @return Stable dotted name, e.g. "melt.onset". */

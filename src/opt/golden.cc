@@ -1,0 +1,55 @@
+#include "opt/golden.hh"
+
+#include "opt/engine.hh"
+#include "opt/space.hh"
+#include "server/server_spec.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace opt {
+
+std::map<std::string, double>
+computeOptGoldenValues()
+{
+    std::map<std::string, double> g;
+
+    // The pinned 2U search: real Google trace, reduced population
+    // and step resolution so the map stays cheap to recompute, and
+    // a fixed modest budget.  Everything below is part of the golden
+    // contract - changing any knob re-pins the opt.* keys.
+    server::ServerSpec spec = server::x4470Spec();
+    workload::WorkloadTrace trace = workload::makeGoogleTrace();
+
+    SpaceOptions sopts;
+    sopts.lockPolicy = true; // Single archetype: placement is moot.
+    SearchSpace space = makeSearchSpace({spec}, sopts);
+
+    OptOptions opts;
+    opts.budget = 48;
+    opts.restarts = 2;
+    opts.objective = Objective::PeakCooling;
+    opts.fleet.run.serverCount = 48;
+    opts.fleet.controlIntervalS = 300.0;
+    opts.fleet.thermalStepS = 60.0;
+
+    OptResult r = optimizeWaxPlacement(space, trace, opts);
+
+    g["opt.2u.baseline_peak_kw"] =
+        r.baselineOutcome.peakCoolingW / 1e3;
+    g["opt.2u.best_peak_kw"] = r.bestOutcome.peakCoolingW / 1e3;
+    g["opt.2u.peak_reduction_vs_uniform"] =
+        (r.baselineCost - r.bestCost) / r.baselineCost;
+    g["opt.2u.best_melt_c"] = r.choice[0].meltTempC;
+    g["opt.2u.best_mass_kg"] = r.choice[0].massKg;
+    g["opt.2u.best_boxes"] = static_cast<double>(r.choice[0].boxes);
+    g["opt.2u.evaluations"] = static_cast<double>(r.evaluations);
+    g["opt.2u.oracle_call_count"] =
+        static_cast<double>(r.oracleCalls);
+    g["opt.2u.memo_hit_count"] = static_cast<double>(r.memoHits);
+    g["opt.2u.beats_uniform"] = r.beatsBaseline() ? 1.0 : 0.0;
+
+    return g;
+}
+
+} // namespace opt
+} // namespace tts

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Golden values for the wax-placement search.
+ *
+ * Pins the `opt.*` keys: a small but real search on the 2U fleet
+ * oracle whose accepted configuration must beat the paper's uniform
+ * 2U deployment on peak cooling load.  tools/tts_golden merges this
+ * map into tests/data/golden.json next to core::computeGoldenValues()
+ * (opt sits above core in the layering, so core cannot host these),
+ * and the integration test recomputes both and diffs.
+ */
+
+#ifndef TTS_OPT_GOLDEN_HH
+#define TTS_OPT_GOLDEN_HH
+
+#include <map>
+#include <string>
+
+namespace tts {
+namespace opt {
+
+/**
+ * Run the pinned 2U search (fixed seed, budget, restarts, reduced
+ * fleet/step resolution so the whole map stays cheap) and return the
+ * `opt.2u.*` golden keys: baseline vs. best peak cooling, the chosen
+ * melt/mass/boxes, evaluation counters, and beats_uniform.
+ */
+std::map<std::string, double> computeOptGoldenValues();
+
+} // namespace opt
+} // namespace tts
+
+#endif // TTS_OPT_GOLDEN_HH

@@ -1,0 +1,336 @@
+#include "opt/space.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pcm/container.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace opt {
+
+namespace {
+
+std::uint64_t
+fnvInt(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffULL;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** True when archetype axis a can hold this (mass, boxes) pair. */
+bool
+archFeasible(const SearchSpace &space, const ArchetypeAxis &axis,
+             int mass_step, int boxes)
+{
+    if (mass_step == 0)
+        return true;
+    if (axis.spec.waxLiters <= 0.0 || axis.spec.waxBoxCount == 0)
+        return false; // Platform has no wax bay.
+    double liters = static_cast<double>(mass_step) *
+        space.opts.massStepKg / space.opts.material.densitySolidGPerMl;
+    double cap = axis.spec.waxBlockageOverride >= 0.0
+        ? 0.55
+        : (axis.spec.maxWaxBlockage > 0.0 ? axis.spec.maxWaxBlockage
+                                          : 0.35);
+    try {
+        pcm::sizeBank(units::liters(liters), axis.spec.ductAreaM2,
+                      axis.spec.ductHeightM, cap,
+                      static_cast<std::size_t>(boxes));
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+SearchSpace::size() const
+{
+    std::uint64_t n = static_cast<std::uint64_t>(policies.size());
+    for (const ArchetypeAxis &a : archetypes) {
+        // Zero-mass canonicalization collapses (0, *, *) to one
+        // point; positive masses span the box and melt axes.
+        std::uint64_t boxes =
+            static_cast<std::uint64_t>(a.maxBoxes - a.minBoxes + 1);
+        std::uint64_t melts = static_cast<std::uint64_t>(a.meltSteps);
+        std::uint64_t masses = static_cast<std::uint64_t>(
+            a.maxMassSteps - a.minMassSteps + 1);
+        std::uint64_t positive =
+            a.minMassSteps == 0 ? masses - 1 : masses;
+        std::uint64_t zero = a.minMassSteps == 0 ? 1 : 0;
+        n *= zero + positive * boxes * melts;
+    }
+    return n;
+}
+
+SearchSpace
+makeSearchSpace(const std::vector<server::ServerSpec> &specs,
+                const SpaceOptions &opts)
+{
+    require(!specs.empty(), "makeSearchSpace: no platforms");
+    require(opts.massStepKg > 0.0 && opts.massStepKg <= 1.0,
+            "makeSearchSpace: massStepKg must be in (0, 1] kg");
+    require(opts.meltStepC > 0.0,
+            "makeSearchSpace: meltStepC must be > 0");
+    require(opts.material.densitySolidGPerMl > 0.0,
+            "makeSearchSpace: material density must be > 0");
+
+    SearchSpace space;
+    space.opts = opts;
+    double melt_lo =
+        std::max(opts.meltMinC, opts.material.meltingTempMinC);
+    double melt_hi =
+        std::min(opts.meltMaxC, opts.material.meltingTempMaxC);
+    require(melt_hi >= melt_lo - 1e-9,
+            "makeSearchSpace: melt window does not intersect the "
+            "material's range");
+    space.meltMinC = melt_lo;
+    int melt_steps = static_cast<int>(
+        std::floor((melt_hi - melt_lo) / opts.meltStepC + 1e-9)) + 1;
+
+    for (const server::ServerSpec &spec : specs) {
+        ArchetypeAxis axis;
+        axis.spec = spec;
+        axis.paperMassKg =
+            spec.waxLiters * opts.material.densitySolidGPerMl;
+        axis.meltSteps = melt_steps;
+        double default_melt =
+            std::clamp(spec.defaultMeltTempC, melt_lo, melt_hi);
+        axis.paperMeltStep = static_cast<int>(
+            std::lround((default_melt - melt_lo) / opts.meltStepC));
+        axis.paperMeltStep =
+            std::clamp(axis.paperMeltStep, 0, melt_steps - 1);
+
+        bool has_bay = spec.waxLiters > 0.0 && spec.waxBoxCount > 0;
+        axis.paperBoxes =
+            has_bay ? static_cast<int>(spec.waxBoxCount) : 1;
+        if (opts.lockBoxes || !has_bay) {
+            axis.minBoxes = axis.maxBoxes = axis.paperBoxes;
+        } else {
+            axis.minBoxes =
+                std::max(1, axis.paperBoxes - opts.boxRadius);
+            axis.maxBoxes = axis.paperBoxes + opts.boxRadius;
+        }
+
+        axis.paperMassSteps = has_bay
+            ? std::max(1, static_cast<int>(std::lround(
+                              axis.paperMassKg / opts.massStepKg)))
+            : 0;
+        if (opts.lockMass || !has_bay) {
+            axis.minMassSteps = axis.maxMassSteps =
+                axis.paperMassSteps;
+        } else {
+            axis.minMassSteps = 0;
+            axis.maxMassSteps = std::max(
+                axis.paperMassSteps,
+                static_cast<int>(std::floor(
+                    opts.massCapFactor * axis.paperMassKg /
+                    opts.massStepKg + 1e-9)));
+        }
+        // Clamp the paper seed down until its bank actually fits
+        // (the snap can land just past the blockage cap).
+        while (axis.paperMassSteps > axis.minMassSteps &&
+               !archFeasible(space, axis, axis.paperMassSteps,
+                             axis.paperBoxes))
+            --axis.paperMassSteps;
+        space.archetypes.push_back(axis);
+    }
+
+    if (opts.lockPolicy)
+        space.policies = {workload::PlacementPolicy::Uniform};
+    else
+        space.policies = workload::allPlacementPolicies();
+    return space;
+}
+
+double
+massKgOf(const SearchSpace &space, const Candidate &c, std::size_t a)
+{
+    return static_cast<double>(c.arch[a].massStep) *
+        space.opts.massStepKg;
+}
+
+double
+litersOf(const SearchSpace &space, const Candidate &c, std::size_t a)
+{
+    return massKgOf(space, c, a) /
+        space.opts.material.densitySolidGPerMl;
+}
+
+double
+meltTempCOf(const SearchSpace &space, const Candidate &c,
+            std::size_t a)
+{
+    return space.meltMinC +
+        static_cast<double>(c.arch[a].meltStep) *
+        space.opts.meltStepC;
+}
+
+server::WaxConfig
+waxConfigOf(const SearchSpace &space, const Candidate &c,
+            std::size_t a, double melt_window_c)
+{
+    if (c.arch[a].massStep == 0)
+        return server::WaxConfig::none();
+    server::WaxConfig wax = server::WaxConfig::custom(
+        litersOf(space, c, a), meltTempCOf(space, c, a),
+        static_cast<std::size_t>(c.arch[a].boxes));
+    wax.material = space.opts.material;
+    wax.meltWindowC = melt_window_c;
+    return wax;
+}
+
+Candidate
+canonical(const SearchSpace &space, Candidate c)
+{
+    require(c.arch.size() == space.archetypes.size(),
+            "opt: candidate/space archetype count mismatch");
+    for (std::size_t a = 0; a < c.arch.size(); ++a) {
+        if (c.arch[a].massStep == 0) {
+            c.arch[a].boxes = space.archetypes[a].paperBoxes;
+            c.arch[a].meltStep = space.archetypes[a].paperMeltStep;
+        }
+    }
+    return c;
+}
+
+std::uint64_t
+fingerprint(const SearchSpace &space, const Candidate &c)
+{
+    Candidate k = canonical(space, c);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Candidate::Arch &a : k.arch) {
+        h = fnvInt(h, static_cast<std::uint64_t>(a.massStep));
+        h = fnvInt(h, static_cast<std::uint64_t>(a.boxes));
+        h = fnvInt(h, static_cast<std::uint64_t>(a.meltStep));
+    }
+    return fnvInt(h, static_cast<std::uint64_t>(k.policy));
+}
+
+bool
+feasible(const SearchSpace &space, const Candidate &c)
+{
+    if (c.arch.size() != space.archetypes.size())
+        return false;
+    if (c.policy < 0 ||
+        c.policy >= static_cast<int>(space.policies.size()))
+        return false;
+    for (std::size_t a = 0; a < c.arch.size(); ++a) {
+        const ArchetypeAxis &axis = space.archetypes[a];
+        const Candidate::Arch &x = c.arch[a];
+        if (x.massStep < axis.minMassSteps ||
+            x.massStep > axis.maxMassSteps ||
+            x.boxes < axis.minBoxes || x.boxes > axis.maxBoxes ||
+            x.meltStep < 0 || x.meltStep >= axis.meltSteps)
+            return false;
+        if (!archFeasible(space, axis, x.massStep, x.boxes))
+            return false;
+    }
+    return true;
+}
+
+Candidate
+paperCandidate(const SearchSpace &space)
+{
+    Candidate c;
+    for (const ArchetypeAxis &axis : space.archetypes) {
+        Candidate::Arch a;
+        a.massStep = axis.paperMassSteps;
+        a.boxes = axis.paperBoxes;
+        a.meltStep = axis.paperMeltStep;
+        c.arch.push_back(a);
+    }
+    c.policy = 0; // Uniform is always policies[0].
+    return canonical(space, c);
+}
+
+std::vector<Candidate>
+neighbors(const SearchSpace &space, const Candidate &c)
+{
+    Candidate base = canonical(space, c);
+    std::uint64_t base_fp = fingerprint(space, base);
+    std::vector<Candidate> out;
+    std::vector<std::uint64_t> seen;
+    auto push = [&](Candidate n) {
+        n = canonical(space, std::move(n));
+        std::uint64_t fp = fingerprint(space, n);
+        if (fp == base_fp)
+            return;
+        if (std::find(seen.begin(), seen.end(), fp) != seen.end())
+            return;
+        if (!feasible(space, n))
+            return;
+        seen.push_back(fp);
+        out.push_back(std::move(n));
+    };
+    for (std::size_t a = 0; a < base.arch.size(); ++a) {
+        for (int d : {-1, +1}) {
+            Candidate n = base;
+            n.arch[a].massStep += d;
+            push(std::move(n));
+        }
+        for (int d : {-1, +1}) {
+            Candidate n = base;
+            n.arch[a].boxes += d;
+            push(std::move(n));
+        }
+        for (int d : {-1, +1}) {
+            Candidate n = base;
+            n.arch[a].meltStep += d;
+            push(std::move(n));
+        }
+    }
+    for (int d : {-1, +1}) {
+        Candidate n = base;
+        n.policy += d;
+        push(std::move(n));
+    }
+    return out;
+}
+
+Candidate
+randomCandidate(const SearchSpace &space, Rng &rng)
+{
+    for (int attempt = 0; attempt < 256; ++attempt) {
+        Candidate c;
+        for (const ArchetypeAxis &axis : space.archetypes) {
+            Candidate::Arch a;
+            a.massStep = axis.minMassSteps +
+                static_cast<int>(rng.uniformInt(
+                    static_cast<std::uint64_t>(axis.maxMassSteps -
+                                               axis.minMassSteps +
+                                               1)));
+            a.boxes = axis.minBoxes +
+                static_cast<int>(rng.uniformInt(
+                    static_cast<std::uint64_t>(axis.maxBoxes -
+                                               axis.minBoxes + 1)));
+            a.meltStep = static_cast<int>(rng.uniformInt(
+                static_cast<std::uint64_t>(axis.meltSteps)));
+            c.arch.push_back(a);
+        }
+        c.policy = static_cast<int>(
+            rng.uniformInt(space.policies.size()));
+        c = canonical(space, std::move(c));
+        if (feasible(space, c))
+            return c;
+    }
+    return paperCandidate(space);
+}
+
+Candidate
+randomNeighbor(const SearchSpace &space, const Candidate &c, Rng &rng)
+{
+    std::vector<Candidate> ns = neighbors(space, c);
+    if (ns.empty())
+        return canonical(space, c);
+    return ns[rng.uniformInt(ns.size())];
+}
+
+} // namespace opt
+} // namespace tts

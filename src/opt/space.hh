@@ -1,0 +1,196 @@
+/**
+ * @file
+ * tts::opt search space: typed wax-placement configurations.
+ *
+ * A Candidate is one fleet-wide wax deployment: per platform
+ * archetype a discrete wax mass (multiples of massStepKg), a
+ * container count, and a melting temperature on a grid inside the
+ * PCM family's range, plus one fleet-wide job-placement policy.
+ * The space is small enough to enumerate per-dimension neighbors
+ * exactly, and every candidate decodes deterministically to the
+ * FleetConfig overrides the fleet oracle consumes.
+ *
+ * Candidates are kept in *canonical* form: a zero-mass archetype has
+ * no wax, so its box-count and melt-temperature coordinates are
+ * pinned to the paper values before fingerprinting - configurations
+ * that decode to the same fleet never occupy two memo slots or show
+ * up as distinct neighbors.  The fingerprint is an order-fixed
+ * FNV-1a over the canonical integer coordinates and is the LRU memo
+ * key.
+ *
+ * Feasibility is the PCM sizing model's word, not a heuristic: a
+ * candidate is feasible iff pcm::sizeBank can fit its volume under
+ * the platform's duct-blockage cap with its box count (the 2U
+ * deployment already sits at the cap, so "more wax" prunes itself).
+ */
+
+#ifndef TTS_OPT_SPACE_HH
+#define TTS_OPT_SPACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pcm/material.hh"
+#include "server/server_model.hh"
+#include "server/server_spec.hh"
+#include "util/random.hh"
+#include "workload/placement.hh"
+
+namespace tts {
+namespace opt {
+
+/** Knobs shaping the search space. */
+struct SpaceOptions
+{
+    /** PCM family; bounds the melt grid and supplies the density
+     *  converting mass steps to liters. */
+    pcm::Material material = pcm::commercialParaffin();
+    /** Wax mass granularity (kg); the ISSUE's 0-1 kg step. */
+    double massStepKg = 0.5;
+    /** Mass axis upper bound as a multiple of the paper charge. */
+    double massCapFactor = 2.0;
+    /** Melt grid granularity (C). */
+    double meltStepC = 0.5;
+    /** Melt grid bounds (C), intersected with the material range. */
+    double meltMinC = 40.0;
+    double meltMaxC = 60.0;
+    /** Box-count axis half-width around the platform default. */
+    int boxRadius = 4;
+    /** Freeze the mass axis at the paper charge. */
+    bool lockMass = false;
+    /** Freeze the box-count axis at the platform default. */
+    bool lockBoxes = false;
+    /** Restrict the policy axis to Uniform. */
+    bool lockPolicy = false;
+};
+
+/** One archetype's axes, derived from its spec and the options. */
+struct ArchetypeAxis
+{
+    server::ServerSpec spec;
+    /** Paper deployment mass (kg): spec liters x solid density. */
+    double paperMassKg = 0.0;
+    /** Mass axis (units of massStepKg), inclusive bounds. */
+    int minMassSteps = 0;
+    int maxMassSteps = 0;
+    /** Paper mass snapped to the grid (seed candidate). */
+    int paperMassSteps = 0;
+    /** Box-count axis, inclusive bounds. */
+    int minBoxes = 1;
+    int maxBoxes = 1;
+    int paperBoxes = 1;
+    /** Melt grid (units of meltStepC above meltMinC), inclusive. */
+    int meltSteps = 1;
+    /** Platform default melt snapped to the grid. */
+    int paperMeltStep = 0;
+};
+
+/** The full configuration space. */
+struct SearchSpace
+{
+    SpaceOptions opts;
+    /** Resolved melt grid origin (C). */
+    double meltMinC = 0.0;
+    std::vector<ArchetypeAxis> archetypes;
+    /** Policy axis, canonical (enum) order. */
+    std::vector<workload::PlacementPolicy> policies;
+
+    /** @return Number of candidates (canonical forms). */
+    std::uint64_t size() const;
+};
+
+/** One candidate configuration (canonical form; see file comment). */
+struct Candidate
+{
+    struct Arch
+    {
+        /** Wax mass in units of massStepKg. */
+        int massStep = 0;
+        /** Container count. */
+        int boxes = 1;
+        /** Melt grid index (meltMinC + meltStep * meltStepC). */
+        int meltStep = 0;
+
+        bool operator==(const Arch &) const = default;
+    };
+    std::vector<Arch> arch;
+    /** Index into SearchSpace::policies. */
+    int policy = 0;
+
+    bool operator==(const Candidate &) const = default;
+};
+
+/**
+ * Build the space for a platform set (one spec, or the three-slot
+ * mixed fleet).  @throws FatalError on empty specs, non-positive
+ * steps, or a melt window outside the material's range.
+ */
+SearchSpace makeSearchSpace(
+    const std::vector<server::ServerSpec> &specs,
+    const SpaceOptions &opts = SpaceOptions{});
+
+/** @return Wax mass of archetype a (kg). */
+double massKgOf(const SearchSpace &space, const Candidate &c,
+                std::size_t a);
+
+/** @return Wax volume of archetype a (liters). */
+double litersOf(const SearchSpace &space, const Candidate &c,
+                std::size_t a);
+
+/** @return Melting temperature of archetype a (C). */
+double meltTempCOf(const SearchSpace &space, const Candidate &c,
+                   std::size_t a);
+
+/**
+ * @return The wax deployment archetype a carries under candidate c
+ * (WaxConfig::none() at zero mass).
+ *
+ * @param melt_window_c Melt window forwarded to the deployment.
+ */
+server::WaxConfig waxConfigOf(const SearchSpace &space,
+                              const Candidate &c, std::size_t a,
+                              double melt_window_c = 0.5);
+
+/** Pin zero-mass archetypes' box/melt coordinates (see file doc). */
+Candidate canonical(const SearchSpace &space, Candidate c);
+
+/** @return Order-fixed FNV-1a over the canonical coordinates. */
+std::uint64_t fingerprint(const SearchSpace &space,
+                          const Candidate &c);
+
+/**
+ * @return True when every archetype's volume fits under its
+ * platform's blockage cap with its box count (zero mass is always
+ * feasible).
+ */
+bool feasible(const SearchSpace &space, const Candidate &c);
+
+/** The paper's uniform deployment snapped to the grid (feasible by
+ *  construction; mass is clamped down until the bank fits). */
+Candidate paperCandidate(const SearchSpace &space);
+
+/**
+ * All feasible canonical neighbors of c: +-1 on every coordinate of
+ * every archetype, then +-1 on the policy index, deduplicated, in
+ * that canonical order.  c itself never appears.
+ */
+std::vector<Candidate> neighbors(const SearchSpace &space,
+                                 const Candidate &c);
+
+/**
+ * A uniformly drawn feasible candidate (rejection sampling, falls
+ * back to the paper candidate if 256 draws all land infeasible).
+ * Draws only from @p rng, so restarts seeded by Rng::forStream are
+ * independent and reproducible.
+ */
+Candidate randomCandidate(const SearchSpace &space, Rng &rng);
+
+/** A uniform draw from neighbors(); c itself when it has none. */
+Candidate randomNeighbor(const SearchSpace &space, const Candidate &c,
+                         Rng &rng);
+
+} // namespace opt
+} // namespace tts
+
+#endif // TTS_OPT_SPACE_HH

@@ -1,0 +1,195 @@
+#include "workload/placement.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace workload {
+
+namespace {
+
+/** Clamp bounds keeping any archetype usable but not saturated. */
+constexpr double kMinRawWeight = 0.25;
+constexpr double kMaxRawWeight = 4.0;
+
+/**
+ * Normalize raw per-archetype preferences into load-conserving
+ * weights: scale so sum(count_a * w_a) == sum(count_a).
+ */
+std::vector<double>
+normalize(const std::vector<ArchetypeLoadTraits> &traits,
+          std::vector<double> raw)
+{
+    double population = 0.0;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < traits.size(); ++i) {
+        raw[i] = std::clamp(raw[i], kMinRawWeight, kMaxRawWeight);
+        double count = static_cast<double>(traits[i].count);
+        population += count;
+        weighted += count * raw[i];
+    }
+    require(population > 0.0,
+            "placementWeights: fleet population is zero");
+    double scale = population / weighted;
+    for (double &w : raw)
+        w *= scale;
+    return raw;
+}
+
+} // namespace
+
+const char *
+placementPolicyName(PlacementPolicy p)
+{
+    switch (p) {
+      case PlacementPolicy::Uniform: return "uniform";
+      case PlacementPolicy::WaxAware: return "wax-aware";
+      case PlacementPolicy::EfficiencyFirst: return "efficiency-first";
+    }
+    return "unknown";
+}
+
+PlacementPolicy
+placementPolicyFromName(const std::string &name)
+{
+    for (PlacementPolicy p : allPlacementPolicies())
+        if (name == placementPolicyName(p))
+            return p;
+    fatal("unknown placement policy '" + name +
+          "' (want uniform, wax-aware, or efficiency-first)");
+}
+
+std::vector<PlacementPolicy>
+allPlacementPolicies()
+{
+    return {PlacementPolicy::Uniform, PlacementPolicy::WaxAware,
+            PlacementPolicy::EfficiencyFirst};
+}
+
+std::vector<double>
+placementWeights(PlacementPolicy policy,
+                 const std::vector<ArchetypeLoadTraits> &traits)
+{
+    require(!traits.empty(), "placementWeights: no archetypes");
+    std::vector<double> raw(traits.size(), 1.0);
+    switch (policy) {
+      case PlacementPolicy::Uniform:
+        break;
+      case PlacementPolicy::WaxAware: {
+        // Preference proportional to latent capacity relative to the
+        // population mean; all-zero (stock fleet) stays uniform.
+        double population = 0.0;
+        double latent_sum = 0.0;
+        double latent_max = 0.0;
+        for (const auto &t : traits) {
+            double count = static_cast<double>(t.count);
+            population += count;
+            latent_sum += count * t.latentCapacityJ;
+            latent_max = std::max(latent_max, t.latentCapacityJ);
+        }
+        require(population > 0.0,
+                "placementWeights: fleet population is zero");
+        if (latent_max <= 0.0)
+            break;
+        double mean = latent_sum / population;
+        for (std::size_t i = 0; i < traits.size(); ++i)
+            raw[i] = 1.0 +
+                0.5 * (traits[i].latentCapacityJ - mean) / latent_max;
+        break;
+      }
+      case PlacementPolicy::EfficiencyFirst: {
+        // Preference inversely proportional to the power slope
+        // (marginal watts per unit utilization).
+        double population = 0.0;
+        double slope_sum = 0.0;
+        bool degenerate = false;
+        for (const auto &t : traits) {
+            double slope = t.peakWallW - t.idleWallW;
+            if (slope <= 0.0)
+                degenerate = true;
+            population += static_cast<double>(t.count);
+            slope_sum +=
+                static_cast<double>(t.count) * std::max(slope, 0.0);
+        }
+        require(population > 0.0,
+                "placementWeights: fleet population is zero");
+        if (degenerate || slope_sum <= 0.0)
+            break;
+        double mean_slope = slope_sum / population;
+        for (std::size_t i = 0; i < traits.size(); ++i)
+            raw[i] = mean_slope /
+                (traits[i].peakWallW - traits[i].idleWallW);
+        break;
+      }
+    }
+    return normalize(traits, std::move(raw));
+}
+
+std::vector<double>
+expandArchetypeWeights(const std::vector<ArchetypeLoadTraits> &traits,
+                       const std::vector<double> &weights)
+{
+    require(traits.size() == weights.size(),
+            "expandArchetypeWeights: traits/weights size mismatch");
+    std::vector<double> out;
+    for (std::size_t i = 0; i < traits.size(); ++i)
+        out.insert(out.end(), traits[i].count, weights[i]);
+    return out;
+}
+
+WeightedRoundRobinBalancer::WeightedRoundRobinBalancer(
+    std::vector<double> weights)
+    : weights_(std::move(weights)),
+      credit_(weights_.size(), 0.0)
+{
+    require(!weights_.empty(),
+            "WeightedRoundRobinBalancer: no servers");
+    for (double w : weights_) {
+        require(w > 0.0,
+                "WeightedRoundRobinBalancer: weights must be > 0");
+        total_ += w;
+    }
+}
+
+std::size_t
+WeightedRoundRobinBalancer::pick(
+    const std::vector<std::size_t> &depths)
+{
+    require(depths.size() == weights_.size(),
+            "WeightedRoundRobinBalancer: depth vector size mismatch");
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < credit_.size(); ++i) {
+        credit_[i] += weights_[i];
+        if (credit_[i] > credit_[best])
+            best = i;
+    }
+    credit_[best] -= total_;
+    return best;
+}
+
+void
+WeightedRoundRobinBalancer::saveState(
+    std::vector<std::uint64_t> &out) const
+{
+    out.push_back(credit_.size());
+    for (double c : credit_)
+        out.push_back(std::bit_cast<std::uint64_t>(c));
+}
+
+void
+WeightedRoundRobinBalancer::restoreState(
+    const std::vector<std::uint64_t> &in, std::size_t &pos)
+{
+    require(pos < in.size(),
+            "weighted-round-robin: truncated state");
+    std::size_t n = static_cast<std::size_t>(in[pos++]);
+    require(n == credit_.size() && pos + n <= in.size(),
+            "weighted-round-robin: state size mismatch");
+    for (std::size_t i = 0; i < n; ++i)
+        credit_[i] = std::bit_cast<double>(in[pos++]);
+}
+
+} // namespace workload
+} // namespace tts

@@ -20,6 +20,7 @@
 
 #include "core/golden.hh"
 #include "exec/parallel.hh"
+#include "opt/golden.hh"
 #include "util/kv_json.hh"
 
 #ifndef TTS_GOLDEN_JSON
@@ -30,12 +31,22 @@ using namespace tts;
 
 namespace {
 
+/** Everything tts_golden writes: the core map plus the opt keys. */
+std::map<std::string, double>
+computeAll()
+{
+    std::map<std::string, double> values =
+        core::computeGoldenValues();
+    auto opt_values = opt::computeOptGoldenValues();
+    values.insert(opt_values.begin(), opt_values.end());
+    return values;
+}
+
 /** Recompute once and share across tests (the studies take ~4 s). */
 const std::map<std::string, double> &
 computed()
 {
-    static const std::map<std::string, double> values =
-        core::computeGoldenValues();
+    static const std::map<std::string, double> values = computeAll();
     return values;
 }
 
@@ -162,6 +173,22 @@ TEST(GoldenValues, PaperHeadlineWindows)
 }
 
 /**
+ * The tentpole acceptance bar: the pinned wax-placement search must
+ * find a configuration whose fleet peak cooling load beats the
+ * paper's uniform 2U deployment on the same oracle.
+ */
+TEST(GoldenValues, OptSearchBeatsUniform2U)
+{
+    const auto &g = computed();
+    EXPECT_EQ(g.at("opt.2u.beats_uniform"), 1.0);
+    EXPECT_LT(g.at("opt.2u.best_peak_kw"),
+              g.at("opt.2u.baseline_peak_kw"));
+    EXPECT_GT(g.at("opt.2u.peak_reduction_vs_uniform"), 0.0);
+    // The memo earned its keep on the pinned search.
+    EXPECT_GT(g.at("opt.2u.memo_hit_count"), 0.0);
+}
+
+/**
  * tts::exec determinism: the entire golden map, computed through the
  * parallel engine, must be bit-for-bit identical at one and eight
  * threads.  No tolerance - identical doubles or the engine's
@@ -170,9 +197,9 @@ TEST(GoldenValues, PaperHeadlineWindows)
 TEST(GoldenValues, IdenticalAtOneAndEightThreads)
 {
     exec::setGlobalThreads(1);
-    auto serial = core::computeGoldenValues();
+    auto serial = computeAll();
     exec::setGlobalThreads(8);
-    auto parallel = core::computeGoldenValues();
+    auto parallel = computeAll();
     exec::setGlobalThreads(exec::defaultThreadCount());
 
     ASSERT_EQ(serial.size(), parallel.size());

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared fixture for the tts::opt test battery: a fleet oracle small
+ * enough that a full search runs in well under a second, on the real
+ * Google trace shape.
+ */
+
+#ifndef TTS_TESTS_OPT_OPT_TEST_UTIL_HH
+#define TTS_TESTS_OPT_OPT_TEST_UTIL_HH
+
+#include "opt/engine.hh"
+#include "opt/space.hh"
+#include "server/server_spec.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace opt {
+
+/** One-day trace at coarse sampling (fast, still diurnal). */
+inline workload::WorkloadTrace
+fastTrace()
+{
+    workload::GoogleTraceParams p;
+    p.durationS = units::days(1.0);
+    p.sampleIntervalS = 900.0;
+    return workload::makeGoogleTrace(p);
+}
+
+/** A trimmed 2U search space: 11 melt points, tight box radius. */
+inline SearchSpace
+fastSpace()
+{
+    SpaceOptions o;
+    o.meltMinC = 48.0;
+    o.meltMaxC = 58.0;
+    o.meltStepC = 1.0;
+    o.boxRadius = 2;
+    o.lockPolicy = true; // Single archetype: placement is moot.
+    return makeSearchSpace({server::x4470Spec()}, o);
+}
+
+/** Cheap oracle: 16 servers, one day, coarse steps. */
+inline OptOptions
+fastOptions()
+{
+    OptOptions o;
+    o.budget = 24;
+    o.restarts = 2;
+    o.batchSize = 6;
+    o.fleet.run.serverCount = 16;
+    o.fleet.durationS = units::days(1.0);
+    o.fleet.controlIntervalS = 300.0;
+    o.fleet.thermalStepS = 60.0;
+    return o;
+}
+
+} // namespace opt
+} // namespace tts
+
+#endif // TTS_TESTS_OPT_OPT_TEST_UTIL_HH

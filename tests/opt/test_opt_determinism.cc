@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The headline test surface: the full wax-placement search is
+ * bit-identical at any thread count, and the memo changes how many
+ * fleet transients run - never what the search returns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/parallel.hh"
+#include "opt_test_util.hh"
+
+namespace tts {
+namespace opt {
+namespace {
+
+/** Every comparison is exact - identical doubles or the engine's
+ *  determinism contract is broken. */
+void
+expectIdentical(const OptResult &a, const OptResult &b)
+{
+    EXPECT_TRUE(a.best == b.best);
+    EXPECT_EQ(a.bestCost, b.bestCost);
+    EXPECT_EQ(a.bestOutcome.peakCoolingW, b.bestOutcome.peakCoolingW);
+    EXPECT_EQ(a.bestOutcome.coolingEnergyJ,
+              b.bestOutcome.coolingEnergyJ);
+    EXPECT_EQ(a.bestOutcome.tcoUsdPerYear, b.bestOutcome.tcoUsdPerYear);
+    EXPECT_EQ(a.baselineCost, b.baselineCost);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+    EXPECT_EQ(a.oracleCalls, b.oracleCalls);
+    EXPECT_EQ(a.memoHits, b.memoHits);
+    EXPECT_EQ(a.polishRounds, b.polishRounds);
+    ASSERT_EQ(a.restartBest.size(), b.restartBest.size());
+    for (std::size_t i = 0; i < a.restartBest.size(); ++i)
+        EXPECT_EQ(a.restartBest[i], b.restartBest[i]) << i;
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].restart, b.trace[i].restart) << i;
+        EXPECT_EQ(a.trace[i].iteration, b.trace[i].iteration) << i;
+        EXPECT_EQ(a.trace[i].evaluations, b.trace[i].evaluations)
+            << i;
+        EXPECT_EQ(a.trace[i].currentCost, b.trace[i].currentCost)
+            << i;
+        EXPECT_EQ(a.trace[i].restartBestCost,
+                  b.trace[i].restartBestCost)
+            << i;
+        EXPECT_EQ(a.trace[i].temperature, b.trace[i].temperature)
+            << i;
+    }
+    ASSERT_EQ(a.choice.size(), b.choice.size());
+    for (std::size_t i = 0; i < a.choice.size(); ++i) {
+        EXPECT_EQ(a.choice[i].massKg, b.choice[i].massKg) << i;
+        EXPECT_EQ(a.choice[i].boxes, b.choice[i].boxes) << i;
+        EXPECT_EQ(a.choice[i].meltTempC, b.choice[i].meltTempC) << i;
+    }
+}
+
+OptResult
+runAtThreads(std::size_t threads, std::size_t restarts)
+{
+    SearchSpace space = fastSpace();
+    OptOptions opts = fastOptions();
+    opts.restarts = restarts;
+    exec::setGlobalThreads(threads);
+    OptResult r = optimizeWaxPlacement(space, fastTrace(), opts);
+    exec::setGlobalThreads(exec::defaultThreadCount());
+    return r;
+}
+
+TEST(OptDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    for (std::size_t restarts : {1u, 4u}) {
+        OptResult serial = runAtThreads(1, restarts);
+        for (std::size_t threads : {4u, 8u}) {
+            OptResult parallel = runAtThreads(threads, restarts);
+            expectIdentical(serial, parallel);
+        }
+    }
+}
+
+TEST(OptDeterminism, MemoOnAndOffWalkTheSameTrajectory)
+{
+    SearchSpace space = fastSpace();
+    auto trace = fastTrace();
+
+    OptOptions on = fastOptions();
+    on.useMemo = true;
+    OptResult with_memo = optimizeWaxPlacement(space, trace, on);
+
+    OptOptions off = fastOptions();
+    off.useMemo = false;
+    OptResult without_memo = optimizeWaxPlacement(space, trace, off);
+
+    // The budget counts logical evaluations, so the walks and the
+    // results are identical except for the oracle/memo counters.
+    EXPECT_TRUE(with_memo.best == without_memo.best);
+    EXPECT_EQ(with_memo.bestCost, without_memo.bestCost);
+    EXPECT_EQ(with_memo.evaluations, without_memo.evaluations);
+    ASSERT_EQ(with_memo.trace.size(), without_memo.trace.size());
+    for (std::size_t i = 0; i < with_memo.trace.size(); ++i) {
+        EXPECT_EQ(with_memo.trace[i].currentCost,
+                  without_memo.trace[i].currentCost)
+            << i;
+        EXPECT_EQ(with_memo.trace[i].restartBestCost,
+                  without_memo.trace[i].restartBestCost)
+            << i;
+    }
+
+    // The memo must have actually saved work on a 24-proposal walk
+    // over an 11-melt neighborhood.
+    EXPECT_GT(with_memo.memoHits, 0u);
+    EXPECT_EQ(without_memo.memoHits, 0u);
+    EXPECT_LT(with_memo.oracleCalls, without_memo.oracleCalls);
+}
+
+TEST(OptDeterminism, TinyMemoCapacityOnlyChangesCounters)
+{
+    SearchSpace space = fastSpace();
+    auto trace = fastTrace();
+
+    OptOptions big = fastOptions();
+    OptResult roomy = optimizeWaxPlacement(space, trace, big);
+
+    OptOptions small = fastOptions();
+    small.memoCapacity = 2; // Constant eviction pressure.
+    OptResult tight = optimizeWaxPlacement(space, trace, small);
+
+    EXPECT_TRUE(roomy.best == tight.best);
+    EXPECT_EQ(roomy.bestCost, tight.bestCost);
+    EXPECT_EQ(roomy.evaluations, tight.evaluations);
+    EXPECT_GE(tight.oracleCalls, roomy.oracleCalls);
+}
+
+TEST(OptDeterminism, DifferentSeedsSearchDifferently)
+{
+    SearchSpace space = fastSpace();
+    auto trace = fastTrace();
+
+    OptOptions a = fastOptions();
+    OptOptions b = fastOptions();
+    b.seed = a.seed + 1;
+    OptResult ra = optimizeWaxPlacement(space, trace, a);
+    OptResult rb = optimizeWaxPlacement(space, trace, b);
+
+    // Same budget, same space - but the walks must differ somewhere
+    // (identical whole traces would mean the seed is ignored).
+    bool differs = ra.trace.size() != rb.trace.size();
+    for (std::size_t i = 0;
+         !differs && i < ra.trace.size(); ++i)
+        differs = ra.trace[i].currentCost != rb.trace[i].currentCost;
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace opt
+} // namespace tts

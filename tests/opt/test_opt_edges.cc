@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Annealing-schedule and configuration edge cases: zero budget, a
+ * single-candidate space, an all-ties cost surface, and option
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt_test_util.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace opt {
+namespace {
+
+TEST(OptEdges, ZeroBudgetReturnsTheSeedCandidate)
+{
+    SearchSpace space = fastSpace();
+    OptOptions opts = fastOptions();
+    opts.budget = 0;
+    opts.restarts = 1;
+    opts.polish = false;
+    OptResult r = optimizeWaxPlacement(space, fastTrace(), opts);
+
+    EXPECT_TRUE(r.best == paperCandidate(space));
+    EXPECT_EQ(r.evaluations, 1u); // The restart's initial only.
+    EXPECT_LE(r.oracleCalls, 2u); // Baseline + initial.
+    ASSERT_EQ(r.trace.size(), 1u);
+    EXPECT_EQ(r.trace[0].currentCost, r.bestCost);
+    EXPECT_EQ(r.restartBest.size(), 1u);
+    EXPECT_EQ(r.restartBest[0], r.bestCost);
+}
+
+TEST(OptEdges, SingleCandidateSpaceConverges)
+{
+    // Lock every axis and shrink the melt window to one point: the
+    // space has exactly one candidate.
+    SpaceOptions so;
+    so.meltMinC = 54.0;
+    so.meltMaxC = 54.0;
+    so.lockMass = true;
+    so.lockBoxes = true;
+    so.lockPolicy = true;
+    SearchSpace space = makeSearchSpace({server::x4470Spec()}, so);
+    ASSERT_EQ(space.size(), 1u);
+    EXPECT_TRUE(neighbors(space, paperCandidate(space)).empty());
+
+    OptOptions opts = fastOptions();
+    opts.budget = 8;
+    OptResult r = optimizeWaxPlacement(space, fastTrace(), opts);
+
+    EXPECT_TRUE(r.best == paperCandidate(space));
+    // Every proposal is the same candidate: one real evaluation,
+    // everything else memoized.
+    EXPECT_LE(r.oracleCalls, 2u); // Baseline + the candidate.
+    EXPECT_GT(r.memoHits, 0u);
+    EXPECT_EQ(r.polishRounds, 0u);
+}
+
+TEST(OptEdges, AllTiesKeepTheFirstAchiever)
+{
+    // Single archetype, all axes locked except the placement policy:
+    // with one archetype every policy collapses to uniform weights,
+    // so all three candidates cost exactly the same.  Ties must
+    // resolve deterministically to the first achiever - the paper
+    // (Uniform) seed.
+    SpaceOptions so;
+    so.meltMinC = 54.0;
+    so.meltMaxC = 54.0;
+    so.lockMass = true;
+    so.lockBoxes = true;
+    so.lockPolicy = false;
+    SearchSpace space = makeSearchSpace({server::x4470Spec()}, so);
+    ASSERT_EQ(space.size(), 3u); // The three policies.
+
+    OptOptions opts = fastOptions();
+    opts.budget = 12;
+    OptResult r = optimizeWaxPlacement(space, fastTrace(), opts);
+
+    EXPECT_EQ(r.policy, "uniform");
+    EXPECT_EQ(r.bestCost, r.trace[0].currentCost);
+    // Ties are never "improvements": the walk may wander across the
+    // tied policies, but the running best must stay flat.
+    for (const OptTracePoint &p : r.trace)
+        EXPECT_EQ(p.restartBestCost, r.bestCost);
+    EXPECT_EQ(r.polishRounds, 0u);
+}
+
+TEST(OptEdges, GreedyCoolingAtZeroTemperature)
+{
+    // initialTempFrac = 0 degenerates annealing to pure greedy
+    // descent: still deterministic, still returns a local minimum.
+    SearchSpace space = fastSpace();
+    OptOptions opts = fastOptions();
+    opts.initialTempFrac = 0.0;
+    OptResult r = optimizeWaxPlacement(space, fastTrace(), opts);
+    for (const Candidate &n : neighbors(space, r.best)) {
+        EvalOutcome out =
+            evaluateCandidate(space, n, fastTrace(), opts);
+        EXPECT_GE(costOf(out, opts.objective), r.bestCost);
+    }
+}
+
+TEST(OptEdges, RejectsBadOptions)
+{
+    SearchSpace space = fastSpace();
+    auto trace = fastTrace();
+
+    OptOptions opts = fastOptions();
+    opts.restarts = 0;
+    EXPECT_THROW(optimizeWaxPlacement(space, trace, opts),
+                 FatalError);
+
+    opts = fastOptions();
+    opts.batchSize = 0;
+    EXPECT_THROW(optimizeWaxPlacement(space, trace, opts),
+                 FatalError);
+
+    opts = fastOptions();
+    opts.coolingRate = 0.0;
+    EXPECT_THROW(optimizeWaxPlacement(space, trace, opts),
+                 FatalError);
+
+    // Space/fleet archetype mismatch: one-archetype space over a
+    // mixed three-platform oracle.
+    opts = fastOptions();
+    opts.fleet.mixedPlatforms = true;
+    EXPECT_THROW(optimizeWaxPlacement(space, trace, opts),
+                 FatalError);
+}
+
+TEST(OptEdges, ObjectiveNamesRoundTrip)
+{
+    EXPECT_EQ(objectiveFromName("peak"), Objective::PeakCooling);
+    EXPECT_EQ(objectiveFromName("tco"), Objective::Tco);
+    EXPECT_STREQ(objectiveName(Objective::PeakCooling), "peak");
+    EXPECT_STREQ(objectiveName(Objective::Tco), "tco");
+    EXPECT_THROW(objectiveFromName("bogus"), FatalError);
+}
+
+} // namespace
+} // namespace opt
+} // namespace tts

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Property tests for the search: per-restart best cost is monotone
+ * non-increasing, the returned optimum is locally minimal among its
+ * full neighbor set, and the global best never loses to anything the
+ * walk visited.
+ */
+
+#include <gtest/gtest.h>
+#include <limits>
+
+#include "opt_test_util.hh"
+#include "tco/parameters.hh"
+
+namespace tts {
+namespace opt {
+namespace {
+
+TEST(OptProperties, RestartBestIsMonotoneNonIncreasing)
+{
+    SearchSpace space = fastSpace();
+    OptOptions opts = fastOptions();
+    opts.restarts = 3;
+    OptResult r = optimizeWaxPlacement(space, fastTrace(), opts);
+
+    // Within each restart the running best can only improve.
+    for (std::size_t rs = 0; rs < opts.restarts; ++rs) {
+        double prev = std::numeric_limits<double>::infinity();
+        bool seen = false;
+        for (const OptTracePoint &p : r.trace) {
+            if (p.restart != rs)
+                continue;
+            EXPECT_LE(p.restartBestCost, prev)
+                << "restart " << rs << " iteration " << p.iteration;
+            EXPECT_LE(p.restartBestCost, p.currentCost)
+                << "restart " << rs << " iteration " << p.iteration;
+            prev = p.restartBestCost;
+            seen = true;
+        }
+        EXPECT_TRUE(seen) << "restart " << rs << " left no trace";
+        // The reported per-restart best is the final running best.
+        EXPECT_EQ(r.restartBest[rs], prev);
+    }
+}
+
+TEST(OptProperties, ReturnedOptimumIsLocallyMinimal)
+{
+    SearchSpace space = fastSpace();
+    OptOptions opts = fastOptions();
+    OptResult r = optimizeWaxPlacement(space, fastTrace(), opts);
+
+    // Re-evaluate every neighbor of the returned best through the
+    // bare oracle (no memo, no engine) - none may beat it, or the
+    // polish stage's local-minimality guarantee is broken.
+    for (const Candidate &n : neighbors(space, r.best)) {
+        EvalOutcome out =
+            evaluateCandidate(space, n, fastTrace(), opts);
+        EXPECT_GE(costOf(out, opts.objective), r.bestCost);
+    }
+}
+
+TEST(OptProperties, BestNeverLosesToTheVisitedWalk)
+{
+    SearchSpace space = fastSpace();
+    OptOptions opts = fastOptions();
+    OptResult r = optimizeWaxPlacement(space, fastTrace(), opts);
+
+    for (const OptTracePoint &p : r.trace) {
+        EXPECT_LE(r.bestCost, p.currentCost);
+        EXPECT_LE(r.bestCost, p.restartBestCost);
+    }
+    for (double rb : r.restartBest)
+        EXPECT_LE(r.bestCost, rb);
+}
+
+TEST(OptProperties, BestCostMatchesAFreshEvaluation)
+{
+    SearchSpace space = fastSpace();
+    OptOptions opts = fastOptions();
+    OptResult r = optimizeWaxPlacement(space, fastTrace(), opts);
+
+    // The reported cost is a real oracle value for the reported
+    // candidate, not a stale accumulator.
+    EvalOutcome out =
+        evaluateCandidate(space, r.best, fastTrace(), opts);
+    EXPECT_EQ(costOf(out, opts.objective), r.bestCost);
+    EXPECT_EQ(out.peakCoolingW, r.bestOutcome.peakCoolingW);
+}
+
+TEST(OptProperties, TcoObjectiveChargesForWax)
+{
+    SearchSpace space = fastSpace();
+    OptOptions opts = fastOptions();
+
+    // Same peak => more wax must cost more under the TCO objective.
+    Candidate paper = paperCandidate(space);
+    EvalOutcome out =
+        evaluateCandidate(space, paper, fastTrace(), opts);
+    EXPECT_GT(out.tcoUsdPerYear, 0.0);
+
+    Candidate none = paper;
+    none.arch[0].massStep = 0;
+    EvalOutcome bare =
+        evaluateCandidate(space, none, fastTrace(), opts);
+    // No wax: the TCO is purely the peak's cooling capital.  With
+    // wax the peak shrinks but the charge is billed; both parts must
+    // show up in the difference.
+    double peak_part_paper = out.tcoUsdPerYear -
+        (out.peakCoolingW / 1e3) * 12.0 *
+            tco::parametersFor(space.archetypes[0].spec)
+                .coolingAttributedCapExPerKW();
+    double peak_part_bare = bare.tcoUsdPerYear -
+        (bare.peakCoolingW / 1e3) * 12.0 *
+            tco::parametersFor(space.archetypes[0].spec)
+                .coolingAttributedCapExPerKW();
+    EXPECT_GT(peak_part_paper, 0.0); // Wax billed.
+    EXPECT_NEAR(peak_part_bare, 0.0, 1e-9); // No wax, no bill.
+}
+
+} // namespace
+} // namespace opt
+} // namespace tts

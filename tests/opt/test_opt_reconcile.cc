@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Regression reconciliation: on the single-archetype case with mass,
+ * boxes, and policy locked, the fleet-oracle search reduces to a
+ * melting-temperature sweep - and must agree with the existing
+ * core::melting_optimizer about where the optimum sits, within one
+ * grid step.  The two paths share no oracle code (cluster study with
+ * a warmup day vs. cold-start fleet transient), so agreement here
+ * pins the physics, not an implementation detail.
+ */
+
+#include <gtest/gtest.h>
+#include <cmath>
+#include <limits>
+
+#include "core/melting_optimizer.hh"
+#include "opt_test_util.hh"
+
+namespace tts {
+namespace opt {
+namespace {
+
+constexpr double kStepC = 2.0;
+
+/** Melt-only 1U space on the shared 44-58 C grid. */
+SearchSpace
+meltOnlySpace()
+{
+    SpaceOptions so;
+    so.meltMinC = 44.0;
+    so.meltMaxC = 58.0;
+    so.meltStepC = kStepC;
+    so.lockMass = true;
+    so.lockBoxes = true;
+    so.lockPolicy = true;
+    return makeSearchSpace({server::rd330Spec()}, so);
+}
+
+/** Two-day fleet oracle: day one plays the warmup the cluster study
+ *  gets explicitly, so the peak lands on a warmed fleet. */
+OptOptions
+reconcileOptions()
+{
+    OptOptions o;
+    o.fleet.run.serverCount = 8;
+    o.fleet.durationS = units::days(2.0);
+    o.fleet.controlIntervalS = 900.0;
+    o.fleet.thermalStepS = 15.0;
+    return o;
+}
+
+workload::WorkloadTrace
+twoDayTrace()
+{
+    workload::GoogleTraceParams p;
+    p.durationS = units::days(2.0);
+    p.sampleIntervalS = 900.0;
+    return workload::makeGoogleTrace(p);
+}
+
+TEST(OptReconcile, AgreesWithMeltingOptimizerWithinOneStep)
+{
+    // Side A: the existing single-cluster melting optimizer.
+    core::MeltOptimizerOptions mo;
+    mo.stepC = kStepC;
+    mo.minC = 44.0;
+    mo.maxC = 58.0;
+    mo.study.cluster.controlIntervalS = 900.0;
+    mo.study.cluster.thermalStepS = 15.0;
+    mo.study.cluster.warmupDays = 1;
+    auto cluster = core::optimizeMeltingTemp(
+        server::rd330Spec(), fastTrace(), pcm::commercialParaffin(),
+        mo);
+
+    // Side B: enumerate the same melt grid through the fleet oracle.
+    SearchSpace space = meltOnlySpace();
+    OptOptions opts = reconcileOptions();
+    auto trace = twoDayTrace();
+    Candidate c = paperCandidate(space);
+    double best_melt = 0.0;
+    double best_peak = std::numeric_limits<double>::infinity();
+    for (int m = 0; m < space.archetypes[0].meltSteps; ++m) {
+        c.arch[0].meltStep = m;
+        EvalOutcome out = evaluateCandidate(space, c, trace, opts);
+        if (out.peakCoolingW < best_peak) {
+            best_peak = out.peakCoolingW;
+            best_melt = meltTempCOf(space, c, 0);
+        }
+    }
+
+    EXPECT_NEAR(best_melt, cluster.meltTempC, kStepC + 1e-9)
+        << "fleet oracle and melting optimizer disagree by more "
+           "than one grid step";
+}
+
+TEST(OptReconcile, SearchFindsTheEnumeratedOptimum)
+{
+    SearchSpace space = meltOnlySpace();
+    OptOptions opts = reconcileOptions();
+    opts.budget = 16;
+    opts.restarts = 2;
+    auto trace = twoDayTrace();
+
+    // Ground truth by brute force over the 8-point grid.
+    Candidate c = paperCandidate(space);
+    double best_peak = std::numeric_limits<double>::infinity();
+    double best_melt = 0.0;
+    for (int m = 0; m < space.archetypes[0].meltSteps; ++m) {
+        c.arch[0].meltStep = m;
+        EvalOutcome out = evaluateCandidate(space, c, trace, opts);
+        if (out.peakCoolingW < best_peak) {
+            best_peak = out.peakCoolingW;
+            best_melt = meltTempCOf(space, c, 0);
+        }
+    }
+
+    OptResult r = optimizeWaxPlacement(space, trace, opts);
+    EXPECT_NEAR(r.choice[0].meltTempC, best_melt, kStepC + 1e-9);
+    EXPECT_LE(r.bestCost, best_peak * (1.0 + 1e-12) + 1e-9);
+}
+
+} // namespace
+} // namespace opt
+} // namespace tts

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Search-space unit tests: canonicalization, fingerprints,
+ * feasibility against the PCM sizing model, neighbor enumeration,
+ * and seeded random draws.
+ */
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "opt_test_util.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace opt {
+namespace {
+
+TEST(OptSpace, PaperCandidateIsFeasibleAndOnGrid)
+{
+    SearchSpace space = fastSpace();
+    Candidate c = paperCandidate(space);
+    EXPECT_TRUE(feasible(space, c));
+    // 2U X4470: 4.0 l of paraffin, mass snapped to the 0.5 kg grid.
+    EXPECT_GT(massKgOf(space, c, 0), 0.0);
+    EXPECT_NEAR(massKgOf(space, c, 0),
+                space.archetypes[0].paperMassKg, 0.5);
+    EXPECT_EQ(c.policy, 0);
+}
+
+TEST(OptSpace, CanonicalPinsZeroMassCoordinates)
+{
+    SearchSpace space = fastSpace();
+    Candidate a = paperCandidate(space);
+    a.arch[0].massStep = 0;
+    a.arch[0].meltStep = 3;
+    Candidate b = paperCandidate(space);
+    b.arch[0].massStep = 0;
+    b.arch[0].meltStep = 7;
+    // No wax: the melt coordinate is meaningless, so both decode to
+    // the same fleet and must share one canonical form / memo slot.
+    EXPECT_TRUE(canonical(space, a) == canonical(space, b));
+    EXPECT_EQ(fingerprint(space, a), fingerprint(space, b));
+    // With wax they are distinct.
+    a.arch[0].massStep = b.arch[0].massStep = 2;
+    EXPECT_NE(fingerprint(space, a), fingerprint(space, b));
+}
+
+TEST(OptSpace, NeighborsAreFeasibleDedupedAndExcludeBase)
+{
+    SearchSpace space = fastSpace();
+    Candidate base = paperCandidate(space);
+    auto ns = neighbors(space, base);
+    ASSERT_FALSE(ns.empty());
+    std::set<std::uint64_t> fps;
+    for (const Candidate &n : ns) {
+        EXPECT_TRUE(feasible(space, n));
+        EXPECT_FALSE(n == base);
+        EXPECT_TRUE(
+            fps.insert(fingerprint(space, n)).second)
+            << "duplicate neighbor";
+        // Exactly one coordinate moved by one step.
+        int moved = std::abs(n.arch[0].massStep -
+                             base.arch[0].massStep) +
+            std::abs(n.arch[0].boxes - base.arch[0].boxes) +
+            std::abs(n.arch[0].meltStep - base.arch[0].meltStep) +
+            std::abs(n.policy - base.policy);
+        EXPECT_EQ(moved, 1);
+    }
+}
+
+TEST(OptSpace, FeasibilityFollowsTheBlockageCap)
+{
+    SearchSpace space = fastSpace();
+    Candidate c = paperCandidate(space);
+    // Zero mass is always feasible.
+    c.arch[0].massStep = 0;
+    EXPECT_TRUE(feasible(space, canonical(space, c)));
+    // The axis max was derived from massCapFactor, but the sizing
+    // model has the final word: past the cap sizeBank refuses, so an
+    // out-of-range step is infeasible outright.
+    c = paperCandidate(space);
+    c.arch[0].massStep = space.archetypes[0].maxMassSteps + 1;
+    EXPECT_FALSE(feasible(space, c));
+}
+
+TEST(OptSpace, SizeCountsCanonicalForms)
+{
+    SearchSpace space = fastSpace();
+    const ArchetypeAxis &a = space.archetypes[0];
+    std::uint64_t boxes =
+        static_cast<std::uint64_t>(a.maxBoxes - a.minBoxes + 1);
+    std::uint64_t melts = static_cast<std::uint64_t>(a.meltSteps);
+    std::uint64_t positive =
+        static_cast<std::uint64_t>(a.maxMassSteps - a.minMassSteps);
+    // minMassSteps == 0 on an unlocked axis: one zero-mass form plus
+    // the positive grid.
+    ASSERT_EQ(a.minMassSteps, 0);
+    EXPECT_EQ(space.size(), 1 + positive * boxes * melts);
+}
+
+TEST(OptSpace, RandomDrawsAreSeededAndFeasible)
+{
+    SearchSpace space = fastSpace();
+    Rng a = Rng::forStream(42, 7);
+    Rng b = Rng::forStream(42, 7);
+    for (int i = 0; i < 32; ++i) {
+        Candidate ca = randomCandidate(space, a);
+        Candidate cb = randomCandidate(space, b);
+        EXPECT_TRUE(ca == cb) << "draw " << i;
+        EXPECT_TRUE(feasible(space, ca));
+    }
+    // A different stream diverges somewhere in 32 draws.
+    Rng c = Rng::forStream(42, 8);
+    bool differs = false;
+    Rng a2 = Rng::forStream(42, 7);
+    for (int i = 0; i < 32 && !differs; ++i)
+        differs = !(randomCandidate(space, a2) ==
+                    randomCandidate(space, c));
+    EXPECT_TRUE(differs);
+}
+
+TEST(OptSpace, DecodeMatchesTheGrid)
+{
+    SearchSpace space = fastSpace();
+    Candidate c = paperCandidate(space);
+    c.arch[0].massStep = 3;
+    c.arch[0].meltStep = 2;
+    EXPECT_DOUBLE_EQ(massKgOf(space, c, 0),
+                     3.0 * space.opts.massStepKg);
+    EXPECT_DOUBLE_EQ(meltTempCOf(space, c, 0),
+                     space.meltMinC + 2.0 * space.opts.meltStepC);
+    EXPECT_DOUBLE_EQ(
+        litersOf(space, c, 0),
+        massKgOf(space, c, 0) /
+            space.opts.material.densitySolidGPerMl);
+    server::WaxConfig wax = waxConfigOf(space, c, 0, 0.75);
+    EXPECT_DOUBLE_EQ(wax.meltTempC, meltTempCOf(space, c, 0));
+    EXPECT_DOUBLE_EQ(wax.meltWindowC, 0.75);
+    c.arch[0].massStep = 0;
+    EXPECT_DOUBLE_EQ(massKgOf(space, c, 0), 0.0);
+}
+
+TEST(OptSpace, RejectsBadOptions)
+{
+    EXPECT_THROW(makeSearchSpace({}, SpaceOptions{}), FatalError);
+
+    SpaceOptions so;
+    so.massStepKg = 0.0;
+    EXPECT_THROW(makeSearchSpace({server::x4470Spec()}, so),
+                 FatalError);
+
+    so = SpaceOptions{};
+    so.meltStepC = -1.0;
+    EXPECT_THROW(makeSearchSpace({server::x4470Spec()}, so),
+                 FatalError);
+
+    // Melt window entirely outside the material's range.
+    so = SpaceOptions{};
+    so.meltMinC = 90.0;
+    so.meltMaxC = 95.0;
+    EXPECT_THROW(makeSearchSpace({server::x4470Spec()}, so),
+                 FatalError);
+}
+
+} // namespace
+} // namespace opt
+} // namespace tts

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Placement-policy tests: weight conservation, skew directions,
+ * degenerate collapse to uniform, and the smooth weighted
+ * round-robin balancer's frequency and save/restore contracts.
+ */
+
+#include <gtest/gtest.h>
+#include <numeric>
+
+#include "util/error.hh"
+#include "workload/placement.hh"
+
+namespace tts {
+namespace workload {
+namespace {
+
+std::vector<ArchetypeLoadTraits>
+mixedTraits()
+{
+    // Shaped like the paper fleet: 1U (small wax), 2U (big wax),
+    // OCP (medium wax), with distinct power slopes.
+    return {
+        {100, 0.24e6, 90.0, 185.0},
+        {100, 0.80e6, 150.0, 320.0},
+        {100, 0.30e6, 80.0, 160.0},
+    };
+}
+
+double
+weightedLoad(const std::vector<ArchetypeLoadTraits> &traits,
+             const std::vector<double> &w)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < traits.size(); ++i)
+        sum += static_cast<double>(traits[i].count) * w[i];
+    return sum;
+}
+
+TEST(Placement, WeightsConserveTotalLoad)
+{
+    auto traits = mixedTraits();
+    double population = 300.0;
+    for (PlacementPolicy p : allPlacementPolicies()) {
+        auto w = placementWeights(p, traits);
+        ASSERT_EQ(w.size(), traits.size());
+        EXPECT_NEAR(weightedLoad(traits, w), population, 1e-9)
+            << placementPolicyName(p);
+        for (double x : w) {
+            EXPECT_GT(x, 0.0);
+        }
+    }
+}
+
+TEST(Placement, UniformIsExactlyUniform)
+{
+    auto w = placementWeights(PlacementPolicy::Uniform, mixedTraits());
+    for (double x : w)
+        EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Placement, WaxAwareSkewsTowardLatentCapacity)
+{
+    auto traits = mixedTraits();
+    auto w = placementWeights(PlacementPolicy::WaxAware, traits);
+    // The 2U archetype has the most wax per server: it must carry
+    // the highest weight; the 1U the least.
+    EXPECT_GT(w[1], w[0]);
+    EXPECT_GT(w[1], w[2]);
+    EXPECT_GT(w[2], w[0]);
+}
+
+TEST(Placement, EfficiencyFirstSkewsTowardFlatSlope)
+{
+    auto traits = mixedTraits();
+    // Power slopes (peak - idle): 95, 170, 80 W per unit load; the
+    // OCP archetype is cheapest to load up.
+    auto w =
+        placementWeights(PlacementPolicy::EfficiencyFirst, traits);
+    EXPECT_GT(w[2], w[0]);
+    EXPECT_GT(w[0], w[1]);
+}
+
+TEST(Placement, FlatTraitsCollapseToUniform)
+{
+    std::vector<ArchetypeLoadTraits> flat(
+        3, ArchetypeLoadTraits{50, 0.5e6, 100.0, 200.0});
+    for (PlacementPolicy p : allPlacementPolicies()) {
+        auto w = placementWeights(p, flat);
+        for (double x : w)
+            EXPECT_DOUBLE_EQ(x, 1.0) << placementPolicyName(p);
+    }
+    // Waxless fleet: latent capacity all zero, WaxAware must not
+    // divide by it.
+    std::vector<ArchetypeLoadTraits> waxless = mixedTraits();
+    for (auto &t : waxless)
+        t.latentCapacityJ = 0.0;
+    auto w = placementWeights(PlacementPolicy::WaxAware, waxless);
+    for (double x : w)
+        EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Placement, NamesRoundTripAndReject)
+{
+    for (PlacementPolicy p : allPlacementPolicies())
+        EXPECT_EQ(placementPolicyFromName(placementPolicyName(p)), p);
+    EXPECT_THROW(placementPolicyFromName("bogus"), FatalError);
+    EXPECT_THROW(placementWeights(PlacementPolicy::Uniform, {}),
+                 FatalError);
+}
+
+TEST(Placement, ExpandedWeightsFollowArchetypeOrder)
+{
+    std::vector<ArchetypeLoadTraits> traits = {
+        {2, 0.2e6, 90.0, 185.0},
+        {3, 0.8e6, 150.0, 320.0},
+    };
+    auto w = placementWeights(PlacementPolicy::WaxAware, traits);
+    auto per_server = expandArchetypeWeights(traits, w);
+    ASSERT_EQ(per_server.size(), 5u);
+    EXPECT_DOUBLE_EQ(per_server[0], w[0]);
+    EXPECT_DOUBLE_EQ(per_server[1], w[0]);
+    EXPECT_DOUBLE_EQ(per_server[2], w[1]);
+    EXPECT_DOUBLE_EQ(per_server[4], w[1]);
+}
+
+TEST(Placement, SmoothWrrMatchesWeightFrequencies)
+{
+    // Weights 3:2:1 over 600 picks: exactly 300/200/100, and the
+    // running spread between ideal and actual share stays within one
+    // pick (the smooth-WRR property).
+    WeightedRoundRobinBalancer wrr({3.0, 2.0, 1.0});
+    std::vector<std::size_t> depths(3, 0);
+    std::vector<int> picks(3, 0);
+    const int n = 600;
+    for (int i = 1; i <= n; ++i) {
+        std::size_t s = wrr.pick(depths);
+        ASSERT_LT(s, 3u);
+        ++picks[s];
+        double ideal = static_cast<double>(i) *
+            wrr.weights()[s] / 6.0;
+        EXPECT_LE(std::abs(picks[s] - ideal), 1.0 + 1e-9)
+            << "pick " << i;
+    }
+    EXPECT_EQ(picks[0], 300);
+    EXPECT_EQ(picks[1], 200);
+    EXPECT_EQ(picks[2], 100);
+}
+
+TEST(Placement, WrrSaveRestoreRoundTrips)
+{
+    WeightedRoundRobinBalancer a({3.0, 2.0, 1.0});
+    std::vector<std::size_t> depths(3, 0);
+    for (int i = 0; i < 7; ++i)
+        a.pick(depths);
+
+    std::vector<std::uint64_t> blob;
+    a.saveState(blob);
+
+    WeightedRoundRobinBalancer b({3.0, 2.0, 1.0});
+    std::size_t pos = 0;
+    b.restoreState(blob, pos);
+    EXPECT_EQ(pos, blob.size());
+
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.pick(depths), b.pick(depths)) << i;
+}
+
+} // namespace
+} // namespace workload
+} // namespace tts

@@ -8,14 +8,21 @@
 # tts::exec, the seeded simulator, and the numerical guard under
 # them.  The Release tree also runs the perf lane: the ctest perf
 # smoke label, then the full two-day thermal-kernel gate (2x speedup
-# + bit-identity), the parallel-sweep bench, and the 40k-server
-# fleet gate (wall-clock budget, 1-vs-8-thread bit-identity, 10x
-# dedupe leverage), which write the CI tracked BENCH_thermal.json /
-# BENCH_sweep.json / BENCH_fleet.json at the repo root:
+# + bit-identity), the parallel-sweep bench, the 40k-server fleet
+# gate (wall-clock budget, 1-vs-8-thread bit-identity, 10x dedupe
+# leverage), and the wax-placement search gate (1t==8t, beats the
+# uniform-wax 2U baseline), which write the CI tracked
+# BENCH_thermal.json / BENCH_sweep.json / BENCH_fleet.json /
+# BENCH_opt.json at the repo root:
 #
 #   tools/check.sh           # fast + guard + fault + obs + fleet +
-#                            # perf, sanitizers, BENCH_*.json refresh
+#                            # opt + perf, sanitizers, BENCH_*.json
 #   tools/check.sh --full    # also the integration label (slow)
+#
+# The integration label pins the opt.* golden keys; after a
+# deliberate search or oracle change, refresh them with
+#     ./build/tools/tts_golden tests/data/golden.json
+# and review the diff.
 #
 # Exits non-zero on the first failure.
 
@@ -45,6 +52,9 @@ ctest --test-dir build -L obs --output-on-failure -j
 echo "== ctest -L fleet =="
 ctest --test-dir build -L fleet --output-on-failure -j
 
+echo "== ctest -L opt =="
+ctest --test-dir build -L opt --output-on-failure -j
+
 echo "== ctest -L perf (smoke) =="
 ctest --test-dir build -L perf --output-on-failure -j
 
@@ -59,6 +69,9 @@ echo "== perf gate: 40k-server fleet (10-min wall, 1t==8t, 10x dedupe) =="
 ./build/bench/perf_fleet --min-dedupe-speedup=10.0 \
     --out=BENCH_fleet.json
 
+echo "== perf gate: wax-placement search (1t==8t, beats uniform 2U) =="
+./build/bench/perf_opt --out=BENCH_opt.json
+
 if [ "$FULL" = "1" ]; then
     echo "== ctest -L integration =="
     ctest --test-dir build -L integration --output-on-failure -j
@@ -69,7 +82,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTTS_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j \
     --target tts_exec_test tts_workload_test tts_fault_test \
-    tts_obs_test tts_fleet_test > /dev/null
+    tts_obs_test tts_fleet_test tts_opt_test > /dev/null
 
 echo "== TSan: exec engine, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_exec_test
@@ -82,6 +95,8 @@ echo "== TSan: obs trace/metrics/profile, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_obs_test
 echo "== TSan: sharded fleet sim, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_fleet_test
+echo "== TSan: wax-placement search, 8 threads =="
+TTS_THREADS=8 ./build-tsan/tests/tts_opt_test
 
 echo "== ASan+UBSan build (TTS_SANITIZE=address) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

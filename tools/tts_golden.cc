@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "core/golden.hh"
+#include "opt/golden.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
 #include "util/kv_json.hh"
@@ -42,6 +43,9 @@ main(int argc, char **argv)
     }
     try {
         auto values = tts::core::computeGoldenValues();
+        // The opt layer sits above core, so its keys merge here.
+        auto opt_values = tts::opt::computeOptGoldenValues();
+        values.insert(opt_values.begin(), opt_values.end());
         if (!out.empty()) {
             tts::writeKvJsonFile(out, values);
             std::cout << "wrote " << values.size()

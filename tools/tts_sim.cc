@@ -7,8 +7,10 @@
  *   tts_sim trace      [--days=N] [--weekend=F] [--csv]
  *   tts_sim cooling    [--platform=P] [--melt=C] [--csv]
  *   tts_sim throughput [--platform=P] [--capacity=F] [--csv]
- *   tts_sim optimize   [--platform=P] [--min=C] [--max=C]
- *                      [--step=C]
+ *   tts_sim optimize   [--platform=P] [--servers=N] [--mixed]
+ *                      [--budget=N] [--restarts=N]
+ *                      [--objective=peak|tco] [--seed=S]
+ *                      [--min=C] [--max=C] [--step=C] [--sweep]
  *   tts_sim outage     [--platform=P] [--util=U]
  *   tts_sim resilience [--platform=P] [--util=U]
  *                      [--scenario=NAME | --faults=FILE]
@@ -63,6 +65,16 @@
  * chrome form loads in chrome://tracing or Perfetto).  Either flag
  * enables collection; both add nothing measurable when absent.
  *
+ * The optimize command runs the tts::opt wax-placement search: a
+ * seeded multi-start annealer over per-archetype wax mass, melt
+ * temperature, and box count (plus the job-placement policy under
+ * --mixed), with the fleet simulator as the cost oracle and an LRU
+ * memo over candidate fingerprints.  --objective picks peak cooling
+ * load (default) or annualized TCO; --min/--max/--step bound the
+ * melt grid; the search is bit-identical at any thread count.
+ * --sweep runs the legacy single-server melting-temperature sweep
+ * instead.
+ *
  * Platforms: 0 = 1U RD330 (default), 1 = 2U X4470, 2 = Open Compute
  * blade (future 1.5 l layout).  --csv switches the series output
  * from an aligned table to comma-separated rows for plotting.
@@ -86,6 +98,8 @@
 #include "core/resilience_study.hh"
 #include "fault/fault_schedule.hh"
 #include "fleet/fleet.hh"
+#include "opt/engine.hh"
+#include "opt/space.hh"
 #include "workload/trace_io.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
@@ -127,6 +141,10 @@ struct Options
     double perturb_rate = 0.01;
     std::size_t shards = 0;
     std::size_t seed = 0x715f1ee7;
+    std::size_t budget = 128;
+    std::size_t restarts = 4;
+    std::string objective = "peak";
+    bool sweep = false;
 };
 
 /** Register every flag on the parser; shared with --help output. */
@@ -180,7 +198,16 @@ registerFlags(cli::Parser &p, Options *o)
                 "perturbation events per server-day");
     p.addSize("shards", &o->shards,
               "fleet shard count; 0 = default (8)");
-    p.addSize("seed", &o->seed, "fleet perturbation seed");
+    p.addSize("seed", &o->seed, "fleet perturbation / search seed");
+    p.addSize("budget", &o->budget,
+              "optimize: proposal evaluations across restarts");
+    p.addSize("restarts", &o->restarts,
+              "optimize: independent annealing restarts");
+    p.addChoice("objective", &o->objective, {"peak", "tco"},
+                "optimize: minimize peak cooling W or TCO $/yr");
+    p.addFlag("sweep", &o->sweep,
+              "optimize: legacy single-server melt sweep instead "
+              "of the fleet search");
 }
 
 Options
@@ -334,7 +361,7 @@ cmdThroughput(const Options &o)
 }
 
 int
-cmdOptimize(const Options &o)
+cmdOptimizeSweep(const Options &o)
 {
     auto spec = platformOf(o);
     core::MeltOptimizerOptions opts;
@@ -354,6 +381,67 @@ cmdOptimize(const Options &o)
     t.print(std::cout);
     std::printf("# best melt=%.1fC reduction=%.2f%%\n",
                 r.meltTempC, 100.0 * r.peakReduction);
+    return 0;
+}
+
+int
+cmdOptimize(const Options &o)
+{
+    if (o.sweep)
+        return cmdOptimizeSweep(o);
+
+    std::vector<server::ServerSpec> specs;
+    if (o.mixed)
+        specs = core::paperPlatforms();
+    else
+        specs = {platformOf(o)};
+
+    opt::SpaceOptions sopts;
+    sopts.meltMinC = o.sweep_min;
+    sopts.meltMaxC = o.sweep_max;
+    sopts.meltStepC = o.sweep_step;
+    sopts.lockPolicy = !o.mixed; // One archetype: placement is moot.
+    opt::SearchSpace space = opt::makeSearchSpace(specs, sopts);
+
+    opt::OptOptions opts;
+    opts.seed = o.seed;
+    opts.budget = o.budget;
+    opts.restarts = o.restarts;
+    opts.objective = opt::objectiveFromName(o.objective);
+    opts.fleet.run = runConfigOf(o);
+    opts.fleet.run.serverCount = o.servers;
+    opts.fleet.durationS = units::days(o.days);
+    opts.fleet.mixedPlatforms = o.mixed;
+    opts.fleet.shardCount = o.shards;
+    opts.fleet.seed = o.seed;
+    opts.fleet.perturb.eventsPerServerDay = o.perturb_rate;
+
+    auto r = opt::optimizeWaxPlacement(space, traceOf(o), opts);
+
+    AsciiTable t({"platform", "mass_kg", "liters", "boxes",
+                  "melt_c"});
+    for (const auto &c : r.choice) {
+        t.addRow({c.platform, formatFixed(c.massKg, 2),
+                  formatFixed(c.liters, 2),
+                  formatFixed(static_cast<double>(c.boxes), 0),
+                  formatFixed(c.meltTempC, 1)});
+    }
+    t.print(std::cout);
+    std::printf("# objective=%s policy=%s space=%llu candidates\n",
+                o.objective.c_str(), r.policy.c_str(),
+                static_cast<unsigned long long>(space.size()));
+    std::printf("# baseline(paper uniform)=%.4g best=%.4g "
+                "improvement=%.2f%% beats_baseline=%d\n",
+                r.baselineCost, r.bestCost,
+                100.0 * (r.baselineCost - r.bestCost) /
+                    r.baselineCost,
+                r.beatsBaseline() ? 1 : 0);
+    std::printf("# evals=%llu oracle_calls=%llu memo_hits=%llu "
+                "restarts=%zu polish_rounds=%zu\n",
+                static_cast<unsigned long long>(r.evaluations),
+                static_cast<unsigned long long>(r.oracleCalls),
+                static_cast<unsigned long long>(r.memoHits),
+                opts.restarts, r.polishRounds);
     return 0;
 }
 
