@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Performance gate for tts::serve: a live daemon answering a mixed
+ * scenario workload, measuring end-to-end request latency and cache
+ * leverage, plus a shed-under-overload sanity lane.
+ *
+ * Three gates:
+ *
+ *  1. Correctness: every request in the steady-state lane is
+ *     answered ok, and repeated documents hit the cache (hit rate
+ *     above --min-hit-rate after the warm-up pass).
+ *  2. Latency: cached p99 must stay under --max-cached-p99-ms -
+ *     a cache hit is a map lookup plus a snapshot copy and must
+ *     never cost anything close to an evaluation.
+ *  3. Overload sanity: a burst submitted against a one-worker,
+ *     tiny-queue daemon must shed (admission control engages) and
+ *     still answer every request (nothing hangs, nothing crashes).
+ *
+ * Emits flat kv-json on stdout after the human-readable table (and,
+ * with --out=FILE, to the file CI tracks as BENCH_serve.json):
+ *
+ *     {"requests": ..., "distinct": ..., "workers": ...,
+ *      "wall_s": ..., "p50_ms": ..., "p99_ms": ...,
+ *      "cached_p50_ms": ..., "cached_p99_ms": ..., "hit_rate": ...,
+ *      "evaluations": ..., "burst": ..., "burst_shed": ...,
+ *      "burst_answered": 1, "shed_engaged": 1, "all_ok": 1}
+ *
+ * Exit code 0 only when all three gates hold.  --short shrinks the
+ * request count for the ctest perf smoke.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/daemon.hh"
+#include "serve/eval.hh"
+#include "util/cli.hh"
+#include "util/kv_json.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tts;
+    using namespace tts::serve;
+    using Clock = std::chrono::steady_clock;
+
+    std::string out_file;
+    std::size_t requests = 512;
+    std::size_t workers = 4;
+    std::size_t burst = 64;
+    double min_hit_rate = 0.5;
+    double max_cached_p99_ms = 50.0;
+    bool short_run = false;
+
+    cli::Parser p("perf_serve",
+                  "Scenario-serving daemon gate: request latency "
+                  "percentiles, cache hit rate, and shed-under-"
+                  "overload sanity.");
+    p.addString("out", &out_file,
+                "also write the kv-json here (BENCH_serve.json)");
+    p.addSize("requests", &requests,
+              "steady-state lane request count");
+    p.addSize("workers", &workers, "daemon worker threads");
+    p.addSize("burst", &burst, "overload lane burst size");
+    p.addDouble("min-hit-rate", &min_hit_rate,
+                "cache hit-rate floor for the steady-state lane");
+    p.addDouble("max-cached-p99-ms", &max_cached_p99_ms,
+                "p99 budget for cache-hit replies (ms)");
+    p.addFlag("short", &short_run,
+              "shrink the lanes (ctest perf smoke)");
+    switch (p.parse(argc - 1, argv + 1)) {
+      case cli::Status::Help:
+        std::fputs(p.helpText().c_str(), stdout);
+        return 0;
+      case cli::Status::Error:
+        std::fprintf(stderr, "%s\n", p.error().c_str());
+        return 2;
+      case cli::Status::Ok:
+        break;
+    }
+    if (short_run) {
+        requests = 96;
+        burst = 24;
+    }
+
+    // 16 distinct quick outage studies, drawn uniformly: after each
+    // document's first evaluation every further draw is a hit, so
+    // the expected hit rate is 1 - distinct/requests (~97% at the
+    // default sizes; the 50% floor leaves slack for the smoke lane).
+    std::vector<std::string> pool;
+    for (double horizon : {60.0, 90.0, 120.0, 150.0}) {
+        for (double util : {0.6, 0.9}) {
+            for (double wax : {0.0, 8.0}) {
+                Request r;
+                r.study = "outage";
+                r.servers = 8;
+                r.horizonS = horizon;
+                r.utilization = util;
+                r.waxLiters = wax;
+                pool.push_back(writeRequest(r));
+            }
+        }
+    }
+
+    // Lane 1: steady state.  Submit sequentially (call()) so each
+    // latency sample is one request end-to-end, not queue depth.
+    DaemonConfig config;
+    config.workers = workers;
+    config.queueCapacity = 2 * requests;
+    config.cache.capacity = 2 * pool.size();
+    Daemon daemon(config);
+
+    Rng pick = Rng::forStream(0xbe9c5e, 7);
+    std::vector<double> all_ms;
+    std::vector<double> cached_ms;
+    std::size_t ok = 0;
+    const auto lane0 = Clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+        const std::string &doc = pool[pick.uniformInt(pool.size())];
+        const auto t0 = Clock::now();
+        const Reply r = daemon.call(doc);
+        const double ms = std::chrono::duration<double, std::milli>(
+            Clock::now() - t0).count();
+        if (r.ok)
+            ++ok;
+        all_ms.push_back(ms);
+        if (r.cacheHit)
+            cached_ms.push_back(ms);
+    }
+    const double wall_s = std::chrono::duration<double>(
+        Clock::now() - lane0).count();
+    const DaemonStats steady = daemon.stats();
+    const auto cache = daemon.cacheCounters();
+    const bool all_ok = ok == requests;
+    const double hit_rate = requests == 0
+        ? 0.0
+        : static_cast<double>(cache.hits + steady.coalesced) /
+            static_cast<double>(requests);
+    const double p50 = percentile(all_ms, 50.0);
+    const double p99 = percentile(all_ms, 99.0);
+    const double cached_p50 =
+        cached_ms.empty() ? 0.0 : percentile(cached_ms, 50.0);
+    const double cached_p99 =
+        cached_ms.empty() ? 0.0 : percentile(cached_ms, 99.0);
+    daemon.shutdown();
+
+    // Lane 2: overload.  One worker, a one-slot queue, and a burst
+    // submitted as fast as futures can be minted: admission control
+    // must engage (sheds > 0) and every request must still get an
+    // answer (the futures all resolve).
+    DaemonConfig tiny;
+    tiny.workers = 1;
+    tiny.queueCapacity = 1;
+    Daemon little(tiny);
+    std::vector<std::future<Reply>> inflight;
+    for (std::size_t i = 0; i < burst; ++i)
+        inflight.push_back(
+            little.submit(pool[i % pool.size()]));
+    std::size_t burst_ok = 0;
+    std::size_t burst_shed = 0;
+    std::size_t burst_answered = 0;
+    for (auto &f : inflight) {
+        const Reply r = f.get();
+        ++burst_answered;
+        if (r.ok)
+            ++burst_ok;
+        else if (r.error == ErrorKind::Overloaded)
+            ++burst_shed;
+    }
+    little.shutdown();
+    const bool shed_engaged = burst_shed > 0;
+    const bool burst_all_answered = burst_answered == burst &&
+        burst_ok + burst_shed == burst;
+
+    std::cout << "=== tts::serve: " << requests << " requests over "
+              << pool.size() << " documents, " << workers
+              << " workers ===\n\n";
+    AsciiTable t({"lane", "p50 (ms)", "p99 (ms)", "samples"});
+    t.addRow({"all", formatFixed(p50, 3), formatFixed(p99, 3),
+              std::to_string(all_ms.size())});
+    t.addRow({"cached", formatFixed(cached_p50, 3),
+              formatFixed(cached_p99, 3),
+              std::to_string(cached_ms.size())});
+    t.print(std::cout);
+    std::cout << "\nwall clock:         " << formatFixed(wall_s, 2)
+              << " s\n";
+    std::cout << "cache hit rate:     "
+              << formatFixed(hit_rate * 100.0, 1) << "% ("
+              << steady.evaluations << " evaluations)\n";
+    std::cout << "overload burst:     " << burst << " submitted, "
+              << burst_ok << " ok, " << burst_shed << " shed\n\n";
+
+    if (!all_ok)
+        std::cout << "FAIL: " << (requests - ok)
+                  << " steady-state requests were rejected\n";
+    if (hit_rate < min_hit_rate)
+        std::cout << "FAIL: hit rate "
+                  << formatFixed(hit_rate * 100.0, 1)
+                  << "% is under the "
+                  << formatFixed(min_hit_rate * 100.0, 0)
+                  << "% floor\n";
+    if (cached_p99 > max_cached_p99_ms)
+        std::cout << "FAIL: cached p99 "
+                  << formatFixed(cached_p99, 3) << " ms exceeds "
+                  << formatFixed(max_cached_p99_ms, 1)
+                  << " ms budget\n";
+    if (!shed_engaged)
+        std::cout << "FAIL: the overload burst never shed\n";
+    if (!burst_all_answered)
+        std::cout << "FAIL: burst replies were not all ok-or-shed\n";
+
+    std::map<std::string, double> json{
+        {"requests", static_cast<double>(requests)},
+        {"distinct", static_cast<double>(pool.size())},
+        {"workers", static_cast<double>(workers)},
+        {"wall_s", wall_s},
+        {"p50_ms", p50},
+        {"p99_ms", p99},
+        {"cached_p50_ms", cached_p50},
+        {"cached_p99_ms", cached_p99},
+        {"hit_rate", hit_rate},
+        {"evaluations",
+         static_cast<double>(steady.evaluations)},
+        {"burst", static_cast<double>(burst)},
+        {"burst_shed", static_cast<double>(burst_shed)},
+        {"burst_answered", burst_all_answered ? 1.0 : 0.0},
+        {"shed_engaged", shed_engaged ? 1.0 : 0.0},
+        {"all_ok", all_ok ? 1.0 : 0.0},
+    };
+    std::cout << writeKvJson(json);
+    if (!out_file.empty())
+        writeKvJsonFile(out_file, json);
+    const bool gates = all_ok && hit_rate >= min_hit_rate &&
+        cached_p99 <= max_cached_p99_ms && shed_engaged &&
+        burst_all_answered;
+    return gates ? 0 : 1;
+}

@@ -142,8 +142,10 @@ CheckpointReader::CheckpointReader(const std::string &document,
         char want[16], got[16];
         std::snprintf(want, sizeof(want), "%08x", stored);
         std::snprintf(got, sizeof(got), "%08x", actual);
-        fatal(origin_ + ": crc mismatch (file " + want + ", computed " +
-              got + ") - checkpoint is corrupt or truncated");
+        fatal(origin_ + ": crc32 mismatch: expected " + want +
+              " (stored trailer), actual " + got + " (computed over " +
+              std::to_string(body.size()) +
+              " bytes) - checkpoint is corrupt or truncated");
     }
 
     std::istringstream in(body);

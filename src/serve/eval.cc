@@ -1,0 +1,157 @@
+#include "serve/eval.hh"
+
+#include <utility>
+
+#include "core/cooling_study.hh"
+#include "core/outage_study.hh"
+#include "core/resilience_study.hh"
+#include "core/run_config.hh"
+#include "fault/fault_schedule.hh"
+#include "server/server_spec.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace serve {
+
+namespace {
+
+server::ServerSpec
+specOf(const Request &req)
+{
+    switch (req.platform) {
+      case 1: return server::x4470Spec();
+      case 2: return server::openComputeSpec();
+      default: return server::rd330Spec();
+    }
+}
+
+core::RunConfig
+runConfigOf(const Request &req)
+{
+    core::RunConfig run;
+    run.serverCount = req.servers;
+    run.utilization = req.utilization;
+    run.meltTempC = req.meltC;
+    run.waxLiters = req.waxLiters;
+    return run;
+}
+
+Result
+evalCooling(const Request &req)
+{
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(req.days);
+    auto trace = workload::makeGoogleTrace(tp);
+
+    core::CoolingConfig cfg;
+    cfg.run = runConfigOf(req);
+    auto r = core::runCoolingStudy(specOf(req), trace, cfg);
+
+    Result out;
+    out["cooling.peak_w"] = r.peakBaselineW;
+    out["cooling.peak_pcm_w"] = r.peakWithWaxW;
+    out["cooling.reduction"] = r.peakReduction();
+    out["cooling.resolidify_h"] = r.resolidifyHours();
+    out["cooling.resolidifies_daily"] =
+        r.resolidifiesDaily() ? 1.0 : 0.0;
+    out["cooling.melt_c"] = r.meltTempC;
+    return out;
+}
+
+Result
+evalOutage(const Request &req)
+{
+    core::OutageConfig cfg;
+    cfg.run = runConfigOf(req);
+    if (req.horizonS > 0.0)
+        cfg.maxDurationS = req.horizonS;
+    auto r = core::runOutageStudy(specOf(req), cfg);
+
+    Result out;
+    out["outage.ride_no_wax_s"] = r.noWax.rideThroughS;
+    out["outage.ride_with_wax_s"] = r.withWax.rideThroughS;
+    out["outage.extra_ride_s"] = r.extraRideThroughS();
+    out["outage.hit_limit_no_wax"] = r.noWax.hitLimit ? 1.0 : 0.0;
+    out["outage.hit_limit_with_wax"] =
+        r.withWax.hitLimit ? 1.0 : 0.0;
+    return out;
+}
+
+Result
+evalResilience(const Request &req)
+{
+    core::ResilienceConfig cfg;
+    cfg.run = runConfigOf(req);
+    // The thermal loop models a room-scale sample, not the full
+    // population knob meant for the cooling study.
+    cfg.run.serverCount = core::ResilienceConfig{}.run.serverCount;
+
+    core::ResilienceScenario scenario;
+    if (!req.faults.empty()) {
+        scenario.name = "inline";
+        scenario.faults = fault::FaultSchedule::parse(req.faults);
+        scenario.utilization = req.utilization;
+        if (req.horizonS > 0.0)
+            scenario.horizonS = req.horizonS;
+        else if (scenario.faults.horizonS() > 0.0)
+            scenario.horizonS = scenario.faults.horizonS() + 1800.0;
+    } else {
+        bool found = false;
+        for (auto &s : core::canonicalScenarios(
+                 cfg.cluster.serverCount)) {
+            if (s.name == req.scenario) {
+                scenario = std::move(s);
+                found = true;
+                break;
+            }
+        }
+        require(found, "request: unknown scenario \"" +
+                           req.scenario +
+                           "\" (try plant_trip_total, "
+                           "partial_trip_sensor_drift, "
+                           "crash_fan_storm)");
+        scenario.utilization = req.utilization;
+        if (req.horizonS > 0.0)
+            scenario.horizonS = req.horizonS;
+    }
+
+    auto r = core::runResilienceStudy(specOf(req), scenario, cfg);
+
+    Result out;
+    out["resilience.ride_no_wax_s"] = r.noWax.rideThroughS;
+    out["resilience.ride_with_wax_s"] = r.withWax.rideThroughS;
+    out["resilience.extra_ride_s"] = r.extraRideThroughS();
+    out["resilience.retention_no_wax"] =
+        r.noWax.throughputRetention;
+    out["resilience.retention_with_wax"] =
+        r.withWax.throughputRetention;
+    out["resilience.retention_gain"] = r.retentionGain();
+    out["resilience.throttled_no_wax_s"] = r.noWax.throttledS;
+    out["resilience.throttled_with_wax_s"] = r.withWax.throttledS;
+    out["resilience.jobs_completed"] =
+        static_cast<double>(r.cluster.completedJobs);
+    out["resilience.jobs_dropped"] =
+        static_cast<double>(r.cluster.droppedJobs);
+    return out;
+}
+
+} // namespace
+
+Result
+evaluate(const Request &req)
+{
+    if (req.study == "cooling")
+        return evalCooling(req);
+    if (req.study == "outage")
+        return evalOutage(req);
+    if (req.study == "resilience")
+        return evalResilience(req);
+    // parseRequest validates the study name; reaching here means a
+    // caller built a Request by hand and got it wrong.
+    fatal("evaluate: unknown study \"" + req.study + "\"");
+}
+
+} // namespace serve
+} // namespace tts

@@ -1,0 +1,93 @@
+#include "serve/fault.hh"
+
+#include "util/random.hh"
+
+namespace tts {
+namespace serve {
+
+ServeFaultPlan
+ServeFaultPlan::generate(const ServeFaultProfile &profile,
+                         std::size_t request_count)
+{
+    auto probability = [](double p, const char *name) {
+        require(p >= 0.0 && p <= 1.0,
+                std::string("serve fault profile: ") + name +
+                    " must be in [0, 1]");
+    };
+    probability(profile.workerCrashPerRequest, "workerCrashPerRequest");
+    probability(profile.malformedPerRequest, "malformedPerRequest");
+    probability(profile.oversizedPerRequest, "oversizedPerRequest");
+    probability(profile.truncatedPerRequest, "truncatedPerRequest");
+    probability(profile.slowClientPerRequest, "slowClientPerRequest");
+    const double client_total = profile.malformedPerRequest +
+        profile.oversizedPerRequest + profile.truncatedPerRequest +
+        profile.slowClientPerRequest;
+    require(client_total <= 1.0,
+            "serve fault profile: client-side probabilities sum past "
+            "1");
+    require(profile.slowClientStallMs >= 0.0,
+            "serve fault profile: slowClientStallMs must be >= 0");
+
+    ServeFaultPlan plan;
+    plan.stallMs_ = profile.slowClientStallMs;
+    plan.requestFaults_.resize(request_count, RequestFault::None);
+    plan.crashAttempts_.resize(request_count, 0);
+    for (std::size_t i = 0; i < request_count; ++i) {
+        // One sub-stream per axis per request: adding crash faults
+        // never reshuffles which requests go malformed.
+        Rng client = Rng::forStream(profile.seed, 2 * i);
+        const double u = client.uniform();
+        double edge = profile.malformedPerRequest;
+        if (u < edge) {
+            plan.requestFaults_[i] = RequestFault::Malformed;
+        } else if (u < (edge += profile.oversizedPerRequest)) {
+            plan.requestFaults_[i] = RequestFault::Oversized;
+        } else if (u < (edge += profile.truncatedPerRequest)) {
+            plan.requestFaults_[i] = RequestFault::Truncated;
+        } else if (u < (edge += profile.slowClientPerRequest)) {
+            plan.requestFaults_[i] = RequestFault::SlowClient;
+        }
+        Rng worker = Rng::forStream(profile.seed, 2 * i + 1);
+        if (worker.uniform() < profile.workerCrashPerRequest)
+            plan.crashAttempts_[i] = profile.workerCrashAttempts;
+    }
+    return plan;
+}
+
+std::size_t
+ServeFaultPlan::crashAttempts(std::uint64_t seq) const
+{
+    return seq < crashAttempts_.size()
+        ? crashAttempts_[static_cast<std::size_t>(seq)]
+        : 0;
+}
+
+RequestFault
+ServeFaultPlan::requestFault(std::size_t i) const
+{
+    return i < requestFaults_.size() ? requestFaults_[i]
+                                     : RequestFault::None;
+}
+
+std::size_t
+ServeFaultPlan::countOf(RequestFault kind) const
+{
+    std::size_t n = 0;
+    for (RequestFault f : requestFaults_)
+        if (f == kind)
+            ++n;
+    return n;
+}
+
+std::size_t
+ServeFaultPlan::crashedRequests() const
+{
+    std::size_t n = 0;
+    for (std::size_t c : crashAttempts_)
+        if (c > 0)
+            ++n;
+    return n;
+}
+
+} // namespace serve
+} // namespace tts

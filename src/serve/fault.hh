@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Serve-layer fault injection (extends the tts::fault idea to the
+ * daemon's own failure surface).
+ *
+ * The simulator-level FaultSchedule speaks plant trips and fan
+ * failures; the serving layer fails differently - a worker dies
+ * mid-request, a client sends garbage, a frame lies about its
+ * length, a reader stalls.  A ServeFaultPlan is the deterministic,
+ * seeded schedule of those events for one soak run: request index
+ * `i` is assigned its client-side mutation (malformed payload,
+ * oversized frame, truncated frame, slow-client stall) and its
+ * worker-side crash count (how many leading evaluation attempts
+ * throw TransientWorkerFailure before one succeeds) up front, from
+ * Rng::forStream sub-streams of one seed.  The same (profile,
+ * request_count, seed) therefore replays the same hostile schedule
+ * on every run and at every thread count - the soak test's
+ * zero-crash and every-request-answered assertions are assertions
+ * about one reproducible execution, not about luck.
+ *
+ * The daemon consumes only the worker-crash axis (via
+ * crashAttempts()); the client-side axes are consumed by the soak
+ * harness and tools when they build the hostile byte stream.
+ */
+
+#ifndef TTS_SERVE_FAULT_HH
+#define TTS_SERVE_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace tts {
+namespace serve {
+
+/** A worker failure worth retrying (injected or genuinely
+ *  transient); anything else is not retried. */
+class TransientWorkerFailure : public Error
+{
+  public:
+    explicit TransientWorkerFailure(const std::string &what)
+        : Error(what)
+    {
+    }
+};
+
+/** What the hostile client does to one request. */
+enum class RequestFault
+{
+    None,      //!< Sent faithfully.
+    Malformed, //!< Payload replaced with a malformed-corpus entry.
+    Oversized, //!< Framed with a payload over the frame limit.
+    Truncated, //!< Frame header declares more bytes than are sent.
+    SlowClient,//!< Stall between header and payload bytes.
+};
+
+/** Per-request event probabilities for a generated plan. */
+struct ServeFaultProfile
+{
+    /** P(evaluation attempts fail transiently) per request. */
+    double workerCrashPerRequest = 0.0;
+    /** Crash depth: selected requests fail this many leading
+     *  attempts (drive it past the retry budget to exercise the
+     *  worker_failed rung of the ladder). */
+    std::size_t workerCrashAttempts = 1;
+    /** P(malformed payload) per request. */
+    double malformedPerRequest = 0.0;
+    /** P(oversized frame) per request. */
+    double oversizedPerRequest = 0.0;
+    /** P(truncated frame) per request. */
+    double truncatedPerRequest = 0.0;
+    /** P(slow-client stall) per request. */
+    double slowClientPerRequest = 0.0;
+    /** Stall length (wall ms) for slow-client events. */
+    double slowClientStallMs = 2.0;
+    /** Master seed. */
+    std::uint64_t seed = 0x5eedbea7;
+};
+
+/** The materialized, replayable schedule for one soak run. */
+class ServeFaultPlan
+{
+  public:
+    /** Benign plan: no faults anywhere (the daemon default). */
+    ServeFaultPlan() = default;
+
+    /**
+     * Sample a plan for `request_count` requests.  Each request
+     * draws its client-side fault from one forStream(seed, i)
+     * stream and its worker-crash selection from another, so the
+     * axes never perturb each other (the fault::generateSchedule
+     * idiom).
+     */
+    static ServeFaultPlan generate(const ServeFaultProfile &profile,
+                                   std::size_t request_count);
+
+    /**
+     * @return How many leading evaluation attempts of admission
+     * sequence number `seq` must fail with TransientWorkerFailure.
+     * Zero for sequences beyond the planned range (late requests
+     * run clean).
+     */
+    std::size_t crashAttempts(std::uint64_t seq) const;
+
+    /** @return The client-side mutation for request `i` (None past
+     *  the planned range). */
+    RequestFault requestFault(std::size_t i) const;
+
+    /** @return Stall length for SlowClient events (wall ms). */
+    double stallMs() const { return stallMs_; }
+
+    /** @return Planned request count. */
+    std::size_t size() const { return requestFaults_.size(); }
+
+    /** @return Number of planned events of `kind`. */
+    std::size_t countOf(RequestFault kind) const;
+
+    /** @return Number of requests with planned worker crashes. */
+    std::size_t crashedRequests() const;
+
+  private:
+    std::vector<RequestFault> requestFaults_;
+    std::vector<std::size_t> crashAttempts_;
+    double stallMs_ = 2.0;
+};
+
+} // namespace serve
+} // namespace tts
+
+#endif // TTS_SERVE_FAULT_HH

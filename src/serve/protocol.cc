@@ -1,0 +1,428 @@
+#include "serve/protocol.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/kv_json.hh"
+
+namespace tts {
+namespace serve {
+
+namespace {
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Typed field extraction over the parsed KvAnyMap. */
+class Fields
+{
+  public:
+    explicit Fields(KvAnyMap kv) : kv_(std::move(kv)) {}
+
+    double number(const std::string &key, double fallback)
+    {
+        auto it = kv_.find(key);
+        if (it == kv_.end())
+            return fallback;
+        require(it->second.isNumber(),
+                "request: key \"" + key + "\" must be a number");
+        taken_.insert(key);
+        return it->second.num;
+    }
+
+    std::string text(const std::string &key,
+                     const std::string &fallback)
+    {
+        auto it = kv_.find(key);
+        if (it == kv_.end())
+            return fallback;
+        require(it->second.isString(),
+                "request: key \"" + key + "\" must be a string");
+        taken_.insert(key);
+        return it->second.str;
+    }
+
+    /** Reject any key no extractor consumed (typo defense). */
+    void expectAllTaken() const
+    {
+        for (const auto &[key, value] : kv_) {
+            (void)value;
+            require(taken_.count(key) != 0,
+                    "request: unknown key \"" + key + "\"");
+        }
+    }
+
+  private:
+    KvAnyMap kv_;
+    std::set<std::string> taken_;
+};
+
+void
+validate(const Request &r)
+{
+    require(r.study == "cooling" || r.study == "outage" ||
+                r.study == "resilience",
+            "request: unknown study \"" + r.study +
+                "\" (try cooling, outage, resilience)");
+    require(r.platform >= 0 && r.platform <= 2,
+            "request: platform must be 0, 1, or 2");
+    require(r.servers >= 1 && r.servers <= 1000000,
+            "request: servers must be in [1, 1000000]");
+    require(std::isfinite(r.days) && r.days > 0.0 && r.days <= 32.0,
+            "request: days must be in (0, 32]");
+    require(std::isfinite(r.meltC) && r.meltC >= 0.0 &&
+                r.meltC <= 120.0,
+            "request: melt_c must be in [0, 120]");
+    require(std::isfinite(r.waxLiters) && r.waxLiters >= 0.0 &&
+                r.waxLiters <= 64.0,
+            "request: wax_l must be in [0, 64]");
+    require(std::isfinite(r.utilization) && r.utilization >= 0.0 &&
+                r.utilization <= 1.0,
+            "request: util must be in [0, 1]");
+    require(std::isfinite(r.horizonS) && r.horizonS >= 0.0 &&
+                r.horizonS <= 32.0 * 86400.0,
+            "request: horizon_s must be in [0, 32 days]");
+    require(std::isfinite(r.deadlineMs) && r.deadlineMs >= 0.0,
+            "request: deadline_ms must be >= 0");
+}
+
+} // namespace
+
+const char *
+toString(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Malformed: return "malformed";
+      case ErrorKind::Overloaded: return "overloaded";
+      case ErrorKind::DeadlineExceeded: return "deadline_exceeded";
+      case ErrorKind::WorkerFailed: return "worker_failed";
+      case ErrorKind::Shutdown: return "shutdown";
+    }
+    panic("unreachable ErrorKind");
+}
+
+ErrorKind
+errorKindFromString(const std::string &name)
+{
+    for (ErrorKind k :
+         {ErrorKind::Malformed, ErrorKind::Overloaded,
+          ErrorKind::DeadlineExceeded, ErrorKind::WorkerFailed,
+          ErrorKind::Shutdown}) {
+        if (name == toString(k))
+            return k;
+    }
+    fatal("unknown serve error kind '" + name + "'");
+}
+
+Request
+parseRequest(const std::string &json, std::size_t max_bytes)
+{
+    Fields f(parseKvAnyJson(json, max_bytes));
+    Request r;
+    r.study = f.text("study", r.study);
+    r.platform = static_cast<int>(
+        f.number("platform", static_cast<double>(r.platform)));
+    double servers =
+        f.number("servers", static_cast<double>(r.servers));
+    require(std::isfinite(servers) && servers >= 0.0 &&
+                servers == std::floor(servers),
+            "request: servers must be a non-negative integer");
+    r.servers = static_cast<std::size_t>(servers);
+    r.days = f.number("days", r.days);
+    r.meltC = f.number("melt_c", r.meltC);
+    r.waxLiters = f.number("wax_l", r.waxLiters);
+    r.utilization = f.number("util", r.utilization);
+    r.horizonS = f.number("horizon_s", r.horizonS);
+    r.scenario = f.text("scenario", r.scenario);
+    // The escape-free string dialect cannot carry newlines, so a
+    // multi-line fault schedule travels with ';' line breaks (the
+    // schedule grammar never uses ';'); restore them here so the
+    // Request always holds the real `tts-fault-schedule v1` text.
+    r.faults = f.text("faults", r.faults);
+    for (char &c : r.faults)
+        if (c == ';')
+            c = '\n';
+    r.deadlineMs = f.number("deadline_ms", r.deadlineMs);
+    f.expectAllTaken();
+    validate(r);
+    return r;
+}
+
+std::string
+writeRequest(const Request &req)
+{
+    KvAnyMap kv;
+    kv["study"] = KvValue::string(req.study);
+    kv["platform"] =
+        KvValue::number(static_cast<double>(req.platform));
+    kv["servers"] = KvValue::number(static_cast<double>(req.servers));
+    kv["days"] = KvValue::number(req.days);
+    kv["melt_c"] = KvValue::number(req.meltC);
+    kv["wax_l"] = KvValue::number(req.waxLiters);
+    kv["util"] = KvValue::number(req.utilization);
+    kv["horizon_s"] = KvValue::number(req.horizonS);
+    kv["scenario"] = KvValue::string(req.scenario);
+    kv["deadline_ms"] = KvValue::number(req.deadlineMs);
+    if (!req.faults.empty()) {
+        // Multi-line schedule text travels with ';' line breaks
+        // (see parseRequest); everything else must already be
+        // representable in the escape-free dialect.
+        for (char c : req.faults)
+            require(c != '"' && c != '\\' && c != ';',
+                    "request: fault schedule text contains an "
+                    "unencodable character");
+        std::string flat = req.faults;
+        for (char &c : flat)
+            if (c == '\n')
+                c = ';';
+        kv["faults"] = KvValue::string(flat);
+    }
+    return writeKvAnyJson(kv);
+}
+
+std::string
+canonicalText(const Request &req)
+{
+    // Fixed field order, every field spelled out, deadline excluded:
+    // the deadline shapes scheduling, never the result bits.
+    std::ostringstream out;
+    out << "tts-serve-request v1\n"
+        << "study " << req.study << "\n"
+        << "platform " << req.platform << "\n"
+        << "servers " << req.servers << "\n"
+        << "days " << formatDouble(req.days) << "\n"
+        << "melt_c " << formatDouble(req.meltC) << "\n"
+        << "wax_l " << formatDouble(req.waxLiters) << "\n"
+        << "util " << formatDouble(req.utilization) << "\n"
+        << "horizon_s " << formatDouble(req.horizonS) << "\n"
+        << "scenario " << req.scenario << "\n"
+        << "faults " << req.faults.size() << ":" << req.faults
+        << "\n";
+    return out.str();
+}
+
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fingerprint(const Request &req)
+{
+    return fnv1a(canonicalText(req));
+}
+
+Reply
+Reply::okReply(std::uint64_t fp, bool cache_hit, double eval_ms,
+               Result result)
+{
+    Reply r;
+    r.ok = true;
+    r.cacheHit = cache_hit;
+    r.fingerprintValue = fp;
+    r.evalMs = eval_ms;
+    r.result = std::move(result);
+    return r;
+}
+
+Reply
+Reply::errorReply(ErrorKind kind, const std::string &detail,
+                  std::uint64_t fp)
+{
+    Reply r;
+    r.ok = false;
+    r.error = kind;
+    r.detail = detail;
+    r.fingerprintValue = fp;
+    return r;
+}
+
+std::string
+Reply::toJson() const
+{
+    KvAnyMap kv;
+    char fp_hex[24];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                  static_cast<unsigned long long>(fingerprintValue));
+    kv["fingerprint"] = KvValue::string(fp_hex);
+    if (ok) {
+        kv["status"] = KvValue::string("ok");
+        kv["cache_hit"] = KvValue::number(cacheHit ? 1.0 : 0.0);
+        kv["eval_ms"] = KvValue::number(evalMs);
+        for (const auto &[key, value] : result) {
+            invariant(key.find('.') != std::string::npos,
+                      "serve result key '" + key +
+                          "' is not dotted (would collide with the "
+                          "reply envelope)");
+            kv[key] = KvValue::number(value);
+        }
+    } else {
+        kv["status"] = KvValue::string("error");
+        kv["error"] = KvValue::string(toString(error));
+        // The detail repeats hostile request bytes; strip anything
+        // the escape-free writer would reject.
+        std::string safe = detail;
+        for (char &c : safe) {
+            const auto u = static_cast<unsigned char>(c);
+            if (c == '"' || c == '\\' || u < 0x20)
+                c = '?';
+        }
+        kv["detail"] = KvValue::string(safe);
+    }
+    return writeKvAnyJson(kv);
+}
+
+Reply
+Reply::fromJson(const std::string &json)
+{
+    KvAnyMap kv = parseKvAnyJson(json);
+    Reply r;
+    auto text = [&](const std::string &key) {
+        auto it = kv.find(key);
+        require(it != kv.end() && it->second.isString(),
+                "reply: missing string key \"" + key + "\"");
+        return it->second.str;
+    };
+    const std::string status = text("status");
+    r.fingerprintValue = static_cast<std::uint64_t>(
+        std::strtoull(text("fingerprint").c_str(), nullptr, 16));
+    if (status == "ok") {
+        r.ok = true;
+        auto hit = kv.find("cache_hit");
+        require(hit != kv.end() && hit->second.isNumber(),
+                "reply: missing cache_hit");
+        r.cacheHit = hit->second.num != 0.0;
+        auto ms = kv.find("eval_ms");
+        require(ms != kv.end() && ms->second.isNumber(),
+                "reply: missing eval_ms");
+        r.evalMs = ms->second.num;
+        for (const auto &[key, value] : kv) {
+            if (key.find('.') == std::string::npos)
+                continue;
+            require(value.isNumber(),
+                    "reply: result key \"" + key +
+                        "\" must be a number");
+            r.result[key] = value.num;
+        }
+        return r;
+    }
+    require(status == "error",
+            "reply: bad status \"" + status + "\"");
+    r.ok = false;
+    r.error = errorKindFromString(text("error"));
+    r.detail = text("detail");
+    return r;
+}
+
+void
+writeFrame(std::ostream &out, const std::string &payload,
+           const FrameLimits &limits)
+{
+    require(payload.size() <= limits.maxPayloadBytes,
+            "frame: payload of " + std::to_string(payload.size()) +
+                " bytes exceeds the " +
+                std::to_string(limits.maxPayloadBytes) +
+                "-byte frame limit");
+    out << "tts-frame " << payload.size() << "\n" << payload;
+    out.flush();
+}
+
+FrameResult
+readFrame(std::istream &in, const FrameLimits &limits)
+{
+    FrameResult r;
+    std::string header;
+    if (!std::getline(in, header)) {
+        r.status = FrameStatus::Eof;
+        return r;
+    }
+    const std::string tag = "tts-frame ";
+    if (header.rfind(tag, 0) != 0) {
+        r.status = FrameStatus::Malformed;
+        r.diagnostic = "frame: bad header (expected 'tts-frame "
+                       "<length>')";
+        r.recoverable = false;
+        return r;
+    }
+    const std::string len_text = header.substr(tag.size());
+    std::size_t used = 0;
+    unsigned long long len = 0;
+    bool len_ok = !len_text.empty();
+    if (len_ok) {
+        try {
+            len = std::stoull(len_text, &used);
+            len_ok = used == len_text.size();
+        } catch (const std::exception &) {
+            len_ok = false;
+        }
+    }
+    if (!len_ok) {
+        r.status = FrameStatus::Malformed;
+        r.diagnostic =
+            "frame: bad length '" + len_text + "' in header";
+        r.recoverable = false;
+        return r;
+    }
+    if (len > limits.maxPayloadBytes) {
+        // Drain the declared payload so the next frame still lines
+        // up; a stream too short to drain is unrecoverable anyway.
+        char sink[4096];
+        unsigned long long remaining = len;
+        while (remaining > 0 && in.good()) {
+            const auto chunk = static_cast<std::streamsize>(
+                remaining < sizeof(sink)
+                    ? remaining
+                    : static_cast<unsigned long long>(sizeof(sink)));
+            in.read(sink, chunk);
+            remaining -=
+                static_cast<unsigned long long>(in.gcount());
+            if (in.gcount() == 0)
+                break;
+        }
+        r.status = FrameStatus::Malformed;
+        r.diagnostic = "frame: payload of " + std::to_string(len) +
+            " bytes exceeds the " +
+            std::to_string(limits.maxPayloadBytes) +
+            "-byte frame limit";
+        r.recoverable = remaining == 0;
+        return r;
+    }
+    r.payload.resize(static_cast<std::size_t>(len));
+    if (len > 0) {
+        in.read(r.payload.data(),
+                static_cast<std::streamsize>(len));
+        const auto got = static_cast<std::size_t>(in.gcount());
+        if (got != static_cast<std::size_t>(len)) {
+            r.payload.clear();
+            r.status = FrameStatus::Malformed;
+            r.diagnostic = "frame: truncated payload (" +
+                std::to_string(got) + " of " + std::to_string(len) +
+                " declared bytes)";
+            r.recoverable = false;
+            return r;
+        }
+    }
+    r.status = FrameStatus::Ok;
+    return r;
+}
+
+} // namespace serve
+} // namespace tts

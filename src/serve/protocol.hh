@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Wire protocol for the tts_serve scenario daemon (tts::serve).
+ *
+ * A scenario request is a flat JSON object (util/kv_json's KvAnyMap
+ * dialect: string keys, number-or-string values, no nesting, no
+ * escapes) naming a study and its RunConfig deltas, with an optional
+ * inline fault schedule.  Requests travel over a byte stream in
+ * length-prefixed frames:
+ *
+ *     tts-frame <decimal payload length>\n
+ *     <payload bytes>
+ *
+ * The framing layer is the daemon's first line of defense: a frame
+ * header that is not exactly the form above, a length over the
+ * configured limit, or a payload the stream cannot deliver in full
+ * is reported as a typed malformed-frame condition - never an
+ * exception out of the read loop, and never a partial payload
+ * handed to the parser.  An oversized frame whose header parsed
+ * cleanly is drained from the stream so the connection stays in
+ * sync and later frames still get answers.
+ *
+ * Replies reuse the same JSON dialect and framing.  A success reply
+ * carries the envelope keys `status` ("ok"), `cache_hit`,
+ * `fingerprint`, and `eval_ms`, plus the study's flat result keys
+ * (`outage.ride_with_wax_s`, ...).  A rejection carries `status`
+ * ("error"), a machine-readable `error` kind from the degradation
+ * ladder (malformed / overloaded / deadline_exceeded /
+ * worker_failed / shutdown), and a human-readable `detail`.  Result
+ * keys are disjoint from envelope keys by construction (every study
+ * key is dotted, envelope keys are not), so cache-hit bit-identity
+ * can be asserted over exactly the result keys.
+ */
+
+#ifndef TTS_SERVE_PROTOCOL_HH
+#define TTS_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace tts {
+namespace serve {
+
+/** Typed rejection categories, most to least recoverable. */
+enum class ErrorKind
+{
+    Malformed,        //!< Request unparseable or invalid; never retry.
+    Overloaded,       //!< Admission queue full; retry with backoff.
+    DeadlineExceeded, //!< Deadline passed before evaluation started.
+    WorkerFailed,     //!< Evaluation kept failing past the retry budget.
+    Shutdown,         //!< Daemon is draining; retry against a new one.
+};
+
+/** @return Stable wire name ("malformed", ...). */
+const char *toString(ErrorKind kind);
+
+/** @return Kind parsed from its toString() name. @throws FatalError */
+ErrorKind errorKindFromString(const std::string &name);
+
+/**
+ * One scenario request: a study selector plus RunConfig deltas.
+ * Field defaults are the canonical values - a request that omits a
+ * key and one that spells the default out fingerprint identically.
+ */
+struct Request
+{
+    /** Study to run: "cooling", "outage", or "resilience". */
+    std::string study = "cooling";
+    /** Platform index (0 = 1U RD330, 1 = 2U X4470, 2 = OpenCompute). */
+    int platform = 0;
+    /** Cluster population for the cooling study. */
+    std::size_t servers = 48;
+    /** Trace length for the cooling study (days). */
+    double days = 1.0;
+    /** Melting temperature (C); 0 = platform default. */
+    double meltC = 0.0;
+    /** Wax charge per server (liters); 0 = platform default. */
+    double waxLiters = 0.0;
+    /** Held utilization (outage / resilience). */
+    double utilization = 0.75;
+    /** Horizon override (s); 0 = the study's default horizon. */
+    double horizonS = 0.0;
+    /** Canonical fault scenario name (resilience only). */
+    std::string scenario = "plant_trip_total";
+    /** Inline `tts-fault-schedule v1` text; overrides `scenario`. */
+    std::string faults;
+    /**
+     * Per-request deadline (ms of wall time from admission to the
+     * start of evaluation); 0 = none.  Excluded from the canonical
+     * fingerprint: it changes whether the answer arrives, never
+     * what the answer is.
+     */
+    double deadlineMs = 0.0;
+
+    bool operator==(const Request &o) const
+    {
+        return study == o.study && platform == o.platform &&
+               servers == o.servers && days == o.days &&
+               meltC == o.meltC && waxLiters == o.waxLiters &&
+               utilization == o.utilization &&
+               horizonS == o.horizonS && scenario == o.scenario &&
+               faults == o.faults && deadlineMs == o.deadlineMs;
+    }
+};
+
+/**
+ * Parse and validate a request document.
+ *
+ * Strict on both syntax and vocabulary: unknown keys, wrong value
+ * types, out-of-range values, and oversized documents are all
+ * FatalErrors whose message carries a byte offset where one exists.
+ *
+ * @throws FatalError - callers map it to an ErrorKind::Malformed
+ *         reply, so a hostile request can never take the daemon
+ *         down.
+ */
+Request parseRequest(const std::string &json,
+                     std::size_t max_bytes = 64 * 1024);
+
+/** Serialize a request (canonical key order, defaults included). */
+std::string writeRequest(const Request &req);
+
+/**
+ * Canonical fingerprint text: every result-affecting field in fixed
+ * order with %.17g doubles.  Two requests evaluate bit-identically
+ * iff their canonical texts match, so this string is both the cache
+ * key preimage and the collision tiebreaker stored beside it.
+ */
+std::string canonicalText(const Request &req);
+
+/** @return FNV-1a (64-bit) over canonicalText(req). */
+std::uint64_t fingerprint(const Request &req);
+
+/** FNV-1a 64-bit over raw bytes (exposed for the cache tests). */
+std::uint64_t fnv1a(const std::string &bytes);
+
+/** Flat result payload (golden-key style dotted metric names). */
+using Result = std::map<std::string, double>;
+
+/** One reply: a result or a typed rejection. */
+struct Reply
+{
+    /** True when `result` is valid; false when `error` is. */
+    bool ok = false;
+    /** Rejection category (valid when !ok). */
+    ErrorKind error = ErrorKind::Malformed;
+    /** Human-readable rejection detail (valid when !ok). */
+    std::string detail;
+    /** True when the result came from the cache or was coalesced
+     *  onto another request's in-flight evaluation. */
+    bool cacheHit = false;
+    /** Canonical fingerprint of the request (0 when unparseable). */
+    std::uint64_t fingerprintValue = 0;
+    /** Wall time spent evaluating (0 on a cache hit). */
+    double evalMs = 0.0;
+    /** The study's flat result keys (valid when ok). */
+    Result result;
+
+    static Reply okReply(std::uint64_t fp, bool cache_hit,
+                         double eval_ms, Result result);
+    static Reply errorReply(ErrorKind kind, const std::string &detail,
+                            std::uint64_t fp = 0);
+
+    /** Serialize to the flat reply JSON described above. */
+    std::string toJson() const;
+
+    /** Parse toJson() output. @throws FatalError. */
+    static Reply fromJson(const std::string &json);
+};
+
+/** Framing limits shared by readers and writers. */
+struct FrameLimits
+{
+    /** Largest payload accepted or emitted (bytes). */
+    std::size_t maxPayloadBytes = 64 * 1024;
+};
+
+/** Outcome of one readFrame() call. */
+enum class FrameStatus
+{
+    Ok,        //!< `payload` holds a complete frame payload.
+    Eof,       //!< Clean end of stream before any header byte.
+    Malformed, //!< Bad header, oversized length, or short payload.
+};
+
+/** One parsed frame (or the diagnostic for a rejected one). */
+struct FrameResult
+{
+    FrameStatus status = FrameStatus::Eof;
+    /** Payload bytes (Ok only). */
+    std::string payload;
+    /** What was wrong (Malformed only). */
+    std::string diagnostic;
+    /**
+     * Malformed only: true when the stream was resynchronized (an
+     * oversized frame was drained) and later frames can still be
+     * served; false when the stream position is unrecoverable and
+     * the connection should be dropped after the error reply.
+     */
+    bool recoverable = false;
+};
+
+/** Write one frame (header + payload). @throws FatalError if the
+ *  payload exceeds limits.maxPayloadBytes. */
+void writeFrame(std::ostream &out, const std::string &payload,
+                const FrameLimits &limits = FrameLimits{});
+
+/** Read one frame; never throws on hostile input (see FrameResult). */
+FrameResult readFrame(std::istream &in,
+                      const FrameLimits &limits = FrameLimits{});
+
+} // namespace serve
+} // namespace tts
+
+#endif // TTS_SERVE_PROTOCOL_HH

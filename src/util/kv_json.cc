@@ -24,15 +24,19 @@ std::string
 parseString(const std::string &s, std::size_t &i)
 {
     require(i < s.size() && s[i] == '"',
-            "kv_json: expected '\"' at offset " + std::to_string(i));
+            "kv_json: expected '\"' at byte offset " + std::to_string(i));
+    const std::size_t start = i;
     ++i;
     std::string out;
     while (i < s.size() && s[i] != '"') {
         require(s[i] != '\\',
-                "kv_json: escape sequences are not supported");
+                "kv_json: escape sequence at byte offset " +
+                    std::to_string(i) + " (escapes are not supported)");
         out += s[i++];
     }
-    require(i < s.size(), "kv_json: unterminated string");
+    require(i < s.size(),
+            "kv_json: unterminated string starting at byte offset " +
+                std::to_string(start));
     ++i; // closing quote
     return out;
 }
@@ -46,13 +50,99 @@ parseNumber(const std::string &s, std::size_t &i)
             s[i] == '-' || s[i] == '+' || s[i] == '.' ||
             s[i] == 'e' || s[i] == 'E'))
         ++i;
-    require(i > start, "kv_json: expected a number at offset " +
+    require(i > start, "kv_json: expected a number at byte offset " +
                            std::to_string(start));
     const std::string tok = s.substr(start, i - start);
     char *end = nullptr;
     double v = std::strtod(tok.c_str(), &end);
-    require(end && *end == '\0', "kv_json: bad number '" + tok + "'");
+    require(end && *end == '\0', "kv_json: bad number '" + tok +
+                                     "' at byte offset " +
+                                     std::to_string(start));
     return v;
+}
+
+/**
+ * The shared object walk: both public parsers funnel through this
+ * with a value callback, so the hostile-input hardening (byte
+ * budget, offset diagnostics, duplicate/nesting rejection) lives in
+ * exactly one place.
+ */
+template <typename OnValue>
+void
+parseObject(const std::string &text, std::size_t max_bytes,
+            bool allow_strings, const OnValue &on_value)
+{
+    // Bound first: a frame that lies about its payload length must
+    // not reach the character loop at all.
+    require(text.size() <= max_bytes,
+            "kv_json: input of " + std::to_string(text.size()) +
+                " bytes exceeds the " + std::to_string(max_bytes) +
+                "-byte limit");
+    std::size_t i = 0;
+    skipWs(text, i);
+    require(i < text.size() && text[i] == '{',
+            "kv_json: expected '{' at byte offset " + std::to_string(i));
+    ++i;
+    skipWs(text, i);
+    if (i < text.size() && text[i] == '}') {
+        ++i;
+        skipWs(text, i);
+        require(i == text.size(),
+                "kv_json: trailing content after object at byte "
+                "offset " +
+                    std::to_string(i));
+        return; // empty object
+    }
+    for (;;) {
+        skipWs(text, i);
+        std::string key = parseString(text, i);
+        skipWs(text, i);
+        require(i < text.size() && text[i] == ':',
+                "kv_json: expected ':' after key \"" + key +
+                    "\" at byte offset " + std::to_string(i));
+        ++i;
+        skipWs(text, i);
+        const std::size_t value_at = i;
+        KvValue value;
+        if (i < text.size() && text[i] == '"') {
+            require(allow_strings,
+                    "kv_json: string value for key \"" + key +
+                        "\" at byte offset " + std::to_string(i) +
+                        " (this document holds numbers only)");
+            value = KvValue::string(parseString(text, i));
+        } else {
+            value = KvValue::number(parseNumber(text, i));
+        }
+        on_value(key, value, value_at);
+        skipWs(text, i);
+        require(i < text.size(),
+                "kv_json: unterminated object at byte offset " +
+                    std::to_string(i));
+        if (text[i] == ',') {
+            ++i;
+            continue;
+        }
+        require(text[i] == '}',
+                "kv_json: expected ',' or '}' at byte offset " +
+                    std::to_string(i));
+        ++i;
+        break;
+    }
+    skipWs(text, i);
+    require(i == text.size(),
+            "kv_json: trailing content after object at byte offset " +
+                std::to_string(i));
+}
+
+void
+requireWritableString(const std::string &key, const std::string &s)
+{
+    for (char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        require(c != '"' && c != '\\' && u >= 0x20,
+                "kv_json: string value for key \"" + key +
+                    "\" needs escaping (unsupported)");
+    }
 }
 
 } // namespace
@@ -81,44 +171,59 @@ writeKvJson(const std::map<std::string, double> &kv)
 }
 
 std::map<std::string, double>
-parseKvJson(const std::string &text)
+parseKvJson(const std::string &text, std::size_t max_bytes)
 {
     std::map<std::string, double> kv;
-    std::size_t i = 0;
-    skipWs(text, i);
-    require(i < text.size() && text[i] == '{',
-            "kv_json: expected '{'");
-    ++i;
-    skipWs(text, i);
-    if (i < text.size() && text[i] == '}')
-        return kv; // empty object
-    for (;;) {
-        skipWs(text, i);
-        std::string key = parseString(text, i);
-        skipWs(text, i);
-        require(i < text.size() && text[i] == ':',
-                "kv_json: expected ':' after key \"" + key + "\"");
-        ++i;
-        skipWs(text, i);
-        double value = parseNumber(text, i);
-        require(kv.emplace(key, value).second,
-                "kv_json: duplicate key \"" + key + "\"");
-        skipWs(text, i);
-        require(i < text.size(),
-                "kv_json: unterminated object");
-        if (text[i] == ',') {
-            ++i;
-            continue;
+    parseObject(text, max_bytes, false,
+                [&](const std::string &key, const KvValue &value,
+                    std::size_t offset) {
+                    require(kv.emplace(key, value.num).second,
+                            "kv_json: duplicate key \"" + key +
+                                "\" at byte offset " +
+                                std::to_string(offset));
+                });
+    return kv;
+}
+
+std::string
+writeKvAnyJson(const KvAnyMap &kv)
+{
+    std::ostringstream out;
+    out << "{\n";
+    std::size_t n = 0;
+    for (const auto &[key, value] : kv) {
+        out << "  \"" << key << "\": ";
+        if (value.isString()) {
+            requireWritableString(key, value.str);
+            out << '"' << value.str << '"';
+        } else {
+            require(std::isfinite(value.num),
+                    "kv_json: non-finite value for key \"" + key +
+                        "\"");
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.17g", value.num);
+            out << buf;
         }
-        require(text[i] == '}',
-                "kv_json: expected ',' or '}' at offset " +
-                    std::to_string(i));
-        ++i;
-        break;
+        if (++n < kv.size())
+            out << ",";
+        out << "\n";
     }
-    skipWs(text, i);
-    require(i == text.size(),
-            "kv_json: trailing content after object");
+    out << "}\n";
+    return out.str();
+}
+
+KvAnyMap
+parseKvAnyJson(const std::string &text, std::size_t max_bytes)
+{
+    KvAnyMap kv;
+    parseObject(text, max_bytes, true,
+                [&](const std::string &key, const KvValue &value,
+                    std::size_t offset) {
+                    require(kv.emplace(key, value).second,
+                            "kv_json: duplicate key \"" + key +
+                                "\" at byte offset " +
+                                std::to_string(offset));
+                });
     return kv;
 }
 

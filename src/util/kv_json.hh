@@ -1,6 +1,7 @@
 /**
  * @file
- * Flat key/value JSON for the golden-value regression harness.
+ * Flat key/value JSON for the golden-value regression harness and
+ * the tts_serve wire protocol.
  *
  * The golden file is deliberately the simplest JSON dialect that can
  * hold a `{"key": number, ...}` object: string keys, double values,
@@ -8,15 +9,74 @@
  * a write/parse round trip bit-for-bit; parsing accepts exactly the
  * subset this writer emits (plus arbitrary whitespace), and fails
  * loudly on anything else rather than guessing.
+ *
+ * Since the serving daemon started parsing *hostile* input with this
+ * module, the parsers are hardened for that duty: every input is
+ * bounded by an explicit byte budget (a frame that lies about its
+ * length cannot balloon memory), and every rejection carries the
+ * byte offset of the offending construct so a client can be told
+ * exactly where its request went wrong.  The KvValue overloads add
+ * the one extension the request protocol needs - string values
+ * beside numbers - still flat, still escape-free.
  */
 
 #ifndef TTS_UTIL_KV_JSON_HH
 #define TTS_UTIL_KV_JSON_HH
 
+#include <cstddef>
 #include <map>
 #include <string>
 
 namespace tts {
+
+/**
+ * Hard upper bound on parser input (bytes).  Large enough for every
+ * golden/bench/metrics file in the tree by orders of magnitude;
+ * small enough that a malicious request cannot make the parser
+ * allocate unboundedly.
+ */
+inline constexpr std::size_t kKvJsonMaxBytes = 1u << 20;
+
+/** A flat JSON scalar: a finite number or an escape-free string. */
+struct KvValue
+{
+    enum class Kind
+    {
+        Number,
+        String,
+    };
+
+    Kind kind = Kind::Number;
+    double num = 0.0;
+    std::string str;
+
+    static KvValue number(double v)
+    {
+        KvValue k;
+        k.kind = Kind::Number;
+        k.num = v;
+        return k;
+    }
+
+    static KvValue string(std::string s)
+    {
+        KvValue k;
+        k.kind = Kind::String;
+        k.str = std::move(s);
+        return k;
+    }
+
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    bool operator==(const KvValue &o) const
+    {
+        return kind == o.kind && num == o.num && str == o.str;
+    }
+};
+
+/** String-or-number object, the request/reply payload shape. */
+using KvAnyMap = std::map<std::string, KvValue>;
 
 /**
  * Serialize a flat string->double map as a JSON object, one key per
@@ -30,10 +90,30 @@ std::string writeKvJson(const std::map<std::string, double> &kv);
 /**
  * Parse a flat JSON object of string keys and numeric values.
  *
- * @throws FatalError on malformed input, non-numeric values, nesting,
- *         or duplicate keys.
+ * @param text      The document.
+ * @param max_bytes Reject inputs larger than this up front.
+ * @throws FatalError on malformed input, non-numeric values,
+ *         nesting, duplicate keys, or an oversized input; the
+ *         message names the byte offset of the offense.
  */
-std::map<std::string, double> parseKvJson(const std::string &text);
+std::map<std::string, double>
+parseKvJson(const std::string &text,
+            std::size_t max_bytes = kKvJsonMaxBytes);
+
+/**
+ * Serialize a flat string->KvValue map (numbers and strings).
+ * String values must be escape-free (no '"', '\\', or control
+ * characters); @throws FatalError naming the key otherwise, and for
+ * non-finite numbers as in writeKvJson().
+ */
+std::string writeKvAnyJson(const KvAnyMap &kv);
+
+/**
+ * Parse a flat JSON object whose values are numbers or strings.
+ * Same strictness and diagnostics as parseKvJson().
+ */
+KvAnyMap parseKvAnyJson(const std::string &text,
+                        std::size_t max_bytes = kKvJsonMaxBytes);
 
 /** Write the map to a file (see writeKvJson). @throws FatalError. */
 void writeKvJsonFile(const std::string &path,

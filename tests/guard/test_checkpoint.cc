@@ -79,6 +79,45 @@ TEST(Checkpoint, SingleBitCorruptionIsDetected)
     }
 }
 
+TEST(Checkpoint, CrcMismatchNamesExpectedAndActualValues)
+{
+    // A one-byte flip must be rejected with a diagnostic carrying
+    // both sides of the comparison: the CRC stored in the trailer
+    // and the CRC computed over the (corrupted) body.  "Mismatch"
+    // alone leaves an operator unable to tell a damaged body from a
+    // damaged trailer.
+    CheckpointWriter w;
+    w.section("s");
+    w.put("value", 1234.5);
+    std::string doc = w.finish();
+    std::size_t pos = doc.find("1234.5");
+    ASSERT_NE(pos, std::string::npos);
+    doc[pos] = '7';
+
+    // Recompute both sides independently of the reader.
+    std::size_t trailer = doc.rfind("crc32 ");
+    ASSERT_NE(trailer, std::string::npos);
+    const std::string expected_hex = doc.substr(trailer + 6, 8);
+    char actual_hex[16];
+    std::snprintf(actual_hex, sizeof(actual_hex), "%08x",
+                  crc32(doc.substr(0, trailer)));
+    ASSERT_NE(expected_hex, actual_hex);
+
+    try {
+        CheckpointReader r(doc, "diag-test");
+        FAIL() << "corrupt document accepted";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("expected " + expected_hex),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find(std::string("actual ") + actual_hex),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("diag-test"), std::string::npos) << msg;
+    }
+}
+
 TEST(Checkpoint, TruncationIsDetected)
 {
     CheckpointWriter w;

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Wire-protocol tests: request parsing (including the hostile-input
+ * fuzz corpus), canonicalization/fingerprinting, reply round trips,
+ * and the length-prefixed framing layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <sstream>
+#include <streambuf>
+#include <thread>
+
+#include "serve/protocol.hh"
+#include "util/error.hh"
+
+using namespace tts;
+using namespace tts::serve;
+
+TEST(ServeProtocol, ErrorKindNamesRoundTrip)
+{
+    for (ErrorKind k :
+         {ErrorKind::Malformed, ErrorKind::Overloaded,
+          ErrorKind::DeadlineExceeded, ErrorKind::WorkerFailed,
+          ErrorKind::Shutdown}) {
+        EXPECT_EQ(errorKindFromString(toString(k)), k);
+    }
+    EXPECT_THROW(errorKindFromString("nope"), FatalError);
+}
+
+TEST(ServeProtocol, DefaultRequestRoundTrips)
+{
+    const Request def;
+    EXPECT_EQ(parseRequest(writeRequest(def)), def);
+}
+
+TEST(ServeProtocol, CustomRequestRoundTripsIncludingFaultText)
+{
+    Request r;
+    r.study = "resilience";
+    r.platform = 2;
+    r.servers = 96;
+    r.days = 2.5;
+    r.meltC = 45.0;
+    r.waxLiters = 12.25;
+    r.utilization = 0.875;
+    r.horizonS = 7200.0;
+    r.scenario = "crash_fan_storm";
+    r.faults = "tts-fault-schedule v1\n"
+               "at 600 plant_trip magnitude=1 duration=900\n"
+               "at 1800 fan_failure magnitude=0.5 duration=600\n";
+    r.deadlineMs = 250.0;
+    EXPECT_EQ(parseRequest(writeRequest(r)), r);
+}
+
+TEST(ServeProtocol, OmittedKeysFingerprintLikeSpelledOutDefaults)
+{
+    const Request def;
+    EXPECT_EQ(fingerprint(parseRequest("{}")), fingerprint(def));
+    EXPECT_EQ(fingerprint(parseRequest(writeRequest(def))),
+              fingerprint(def));
+}
+
+TEST(ServeProtocol, DeadlineDoesNotChangeTheFingerprint)
+{
+    Request a;
+    Request b = a;
+    b.deadlineMs = 500.0;
+    EXPECT_EQ(canonicalText(a), canonicalText(b));
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(ServeProtocol, ResultAffectingFieldsChangeTheFingerprint)
+{
+    const Request base;
+    auto differs = [&](Request changed) {
+        EXPECT_NE(fingerprint(changed), fingerprint(base));
+    };
+    Request r = base;
+    r.study = "outage";
+    differs(r);
+    r = base;
+    r.platform = 1;
+    differs(r);
+    r = base;
+    r.waxLiters = 16.0;
+    differs(r);
+    r = base;
+    r.utilization = 0.5;
+    differs(r);
+    r = base;
+    r.faults = "tts-fault-schedule v1\n";
+    differs(r);
+}
+
+TEST(ServeProtocol, Fnv1aMatchesTheReferenceVectors)
+{
+    // Offset basis and the classic "a" test vector for 64-bit
+    // FNV-1a; getting either wrong silently re-keys every cache.
+    EXPECT_EQ(fnv1a(""), 14695981039346656037ull);
+    EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+}
+
+// Fuzz-style corpus: every malformed request a hostile or buggy
+// client can send must die with a FatalError the daemon converts to
+// a typed `malformed` reply - never a crash, never a silent default.
+TEST(ServeProtocol, MalformedCorpusAllRejectedWithoutCrashing)
+{
+    const char *corpus[] = {
+        // Not JSON at all.
+        "",
+        "   ",
+        "hello",
+        "\x01\x02\x03\xff",
+        // Structurally broken documents.
+        "{",
+        "}",
+        "{\"study\"}",
+        "{\"study\":}",
+        "{\"study\": \"cooling\"",
+        "{\"study\": \"cooling\",}",
+        "{\"study\": \"cooling\"} trailing",
+        "{\"study\": \"coo",
+        "{\"study\": \"cooling\\\"\"}",
+        "{\"a\": {\"b\": 1}}",
+        "{\"a\": [1, 2]}",
+        "{1: 2}",
+        // Unknown vocabulary.
+        "{\"studyy\": \"cooling\"}",
+        "{\"study\": \"cool\"}",
+        "{\"scenario\": \"plant_trip_total\", \"bogus\": 1}",
+        // Type confusion.
+        "{\"study\": 3}",
+        "{\"platform\": \"one\"}",
+        "{\"servers\": \"many\"}",
+        // Out-of-range values.
+        "{\"platform\": 9}",
+        "{\"platform\": -1}",
+        "{\"servers\": 0}",
+        "{\"servers\": 1.5}",
+        "{\"servers\": -4}",
+        "{\"servers\": 2000000}",
+        "{\"days\": 0}",
+        "{\"days\": 64}",
+        "{\"days\": -1}",
+        "{\"melt_c\": 400}",
+        "{\"wax_l\": -2}",
+        "{\"wax_l\": 100}",
+        "{\"util\": 1.5}",
+        "{\"util\": -0.1}",
+        "{\"horizon_s\": -60}",
+        "{\"deadline_ms\": -5}",
+        // Number syntax abuse.
+        "{\"days\": 1e999}",
+        "{\"days\": 0x10}",
+        "{\"days\": nan}",
+        "{\"days\": 1..5}",
+        "{\"days\": --1}",
+    };
+    for (std::size_t i = 0; i < std::size(corpus); ++i) {
+        EXPECT_THROW(parseRequest(corpus[i]), FatalError)
+            << "corpus entry " << i << " was accepted:\n"
+            << corpus[i];
+    }
+}
+
+TEST(ServeProtocol, UnterminatedStringDiagnosticCarriesByteOffset)
+{
+    try {
+        parseRequest("{\"study\": \"coo");
+        FAIL() << "unterminated string accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("byte offset"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ServeProtocol, OversizedRequestRejectedUpFront)
+{
+    std::string big = "{\"study\": \"cooling\"}";
+    big.append(100000, ' ');
+    try {
+        parseRequest(big, 64 * 1024);
+        FAIL() << "oversized request accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("exceeds"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ServeProtocol, OkReplyRoundTrips)
+{
+    Result result;
+    result["outage.ride_with_wax_s"] = 1234.0625;
+    result["outage.ride_no_wax_s"] = 700.03125;
+    Reply r = Reply::okReply(0xdeadbeefcafef00dull, true, 0.0,
+                             result);
+    Reply back = Reply::fromJson(r.toJson());
+    EXPECT_TRUE(back.ok);
+    EXPECT_TRUE(back.cacheHit);
+    EXPECT_EQ(back.fingerprintValue, r.fingerprintValue);
+    EXPECT_EQ(back.result, result);
+}
+
+TEST(ServeProtocol, ErrorReplyRoundTripsWithSanitizedDetail)
+{
+    Reply r = Reply::errorReply(
+        ErrorKind::Overloaded, "queue \"full\"\nat byte \x01", 7);
+    Reply back = Reply::fromJson(r.toJson());
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, ErrorKind::Overloaded);
+    EXPECT_EQ(back.fingerprintValue, 7u);
+    // Hostile bytes inside the detail are replaced, never echoed.
+    EXPECT_EQ(back.detail.find('"'), std::string::npos);
+    EXPECT_EQ(back.detail.find('\n'), std::string::npos);
+    EXPECT_NE(back.detail.find("queue ?full?"), std::string::npos);
+}
+
+TEST(ServeProtocol, NonDottedResultKeyIsAnInvariantViolation)
+{
+    Result result;
+    result["status"] = 1.0; // would collide with the envelope
+    Reply r = Reply::okReply(1, false, 0.0, result);
+    EXPECT_THROW(r.toJson(), PanicError);
+}
+
+TEST(ServeFraming, RoundTripsArbitraryPayloadBytes)
+{
+    std::stringstream s;
+    const std::string payload =
+        std::string("line one\nline two\n\x00\x01\xfe binary", 31);
+    writeFrame(s, payload);
+    writeFrame(s, "");
+    writeFrame(s, "{\"study\": \"cooling\"}");
+    FrameResult a = readFrame(s);
+    ASSERT_EQ(a.status, FrameStatus::Ok);
+    EXPECT_EQ(a.payload, payload);
+    FrameResult b = readFrame(s);
+    ASSERT_EQ(b.status, FrameStatus::Ok);
+    EXPECT_EQ(b.payload, "");
+    FrameResult c = readFrame(s);
+    ASSERT_EQ(c.status, FrameStatus::Ok);
+    EXPECT_EQ(c.payload, "{\"study\": \"cooling\"}");
+    EXPECT_EQ(readFrame(s).status, FrameStatus::Eof);
+}
+
+TEST(ServeFraming, EmptyStreamIsCleanEof)
+{
+    std::stringstream s;
+    EXPECT_EQ(readFrame(s).status, FrameStatus::Eof);
+}
+
+TEST(ServeFraming, BadHeadersAreMalformedAndUnrecoverable)
+{
+    const char *bad[] = {
+        "GET / HTTP/1.1\n",
+        "tts-frame\n",
+        "tts-frame \n",
+        "tts-frame twelve\n",
+        "tts-frame 12x\n",
+        "tts-frame 99999999999999999999999999\n",
+    };
+    for (const char *header : bad) {
+        std::stringstream s(header);
+        FrameResult r = readFrame(s);
+        EXPECT_EQ(r.status, FrameStatus::Malformed) << header;
+        EXPECT_FALSE(r.recoverable) << header;
+        EXPECT_FALSE(r.diagnostic.empty()) << header;
+    }
+}
+
+TEST(ServeFraming, OversizedFrameIsDrainedAndRecoverable)
+{
+    FrameLimits limits;
+    limits.maxPayloadBytes = 16;
+    std::stringstream s;
+    s << "tts-frame 64\n" << std::string(64, 'x');
+    writeFrame(s, "after", limits);
+
+    FrameResult big = readFrame(s, limits);
+    EXPECT_EQ(big.status, FrameStatus::Malformed);
+    EXPECT_TRUE(big.recoverable);
+    EXPECT_NE(big.diagnostic.find("exceeds"), std::string::npos);
+
+    // The oversized payload was drained; the stream is resynced.
+    FrameResult next = readFrame(s, limits);
+    ASSERT_EQ(next.status, FrameStatus::Ok);
+    EXPECT_EQ(next.payload, "after");
+}
+
+TEST(ServeFraming, OversizedFrameOnATruncatedStreamIsUnrecoverable)
+{
+    FrameLimits limits;
+    limits.maxPayloadBytes = 16;
+    std::stringstream s;
+    s << "tts-frame 64\n" << std::string(10, 'x');
+    FrameResult r = readFrame(s, limits);
+    EXPECT_EQ(r.status, FrameStatus::Malformed);
+    EXPECT_FALSE(r.recoverable);
+}
+
+TEST(ServeFraming, TruncatedPayloadIsMalformedWithByteCounts)
+{
+    std::stringstream s;
+    s << "tts-frame 20\nonly twelve!";
+    FrameResult r = readFrame(s);
+    EXPECT_EQ(r.status, FrameStatus::Malformed);
+    EXPECT_FALSE(r.recoverable);
+    EXPECT_NE(r.diagnostic.find("12 of 20"), std::string::npos)
+        << r.diagnostic;
+}
+
+TEST(ServeFraming, PayloadExactlyAtTheLimitIsAccepted)
+{
+    FrameLimits limits;
+    limits.maxPayloadBytes = 8;
+    std::stringstream s;
+    writeFrame(s, "12345678", limits);
+    EXPECT_EQ(readFrame(s, limits).status, FrameStatus::Ok);
+    EXPECT_THROW(writeFrame(s, "123456789", limits), FatalError);
+}
+
+namespace {
+
+/**
+ * A streambuf that dribbles its string out a few bytes per
+ * underflow, stalling once mid-payload - the slow-client shape.
+ */
+class DribbleBuf : public std::streambuf
+{
+  public:
+    DribbleBuf(std::string text, std::size_t chunk, double stall_ms)
+        : text_(std::move(text)), chunk_(chunk),
+          stallMs_(stall_ms)
+    {
+    }
+
+  protected:
+    int_type underflow() override
+    {
+        if (pos_ >= text_.size())
+            return traits_type::eof();
+        if (!stalled_ && pos_ >= text_.size() / 2) {
+            stalled_ = true;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    stallMs_));
+        }
+        const std::size_t n =
+            std::min(chunk_, text_.size() - pos_);
+        setg(text_.data() + pos_, text_.data() + pos_,
+             text_.data() + pos_ + n);
+        pos_ += n;
+        return traits_type::to_int_type(*gptr());
+    }
+
+  private:
+    std::string text_;
+    std::size_t chunk_;
+    double stallMs_;
+    std::size_t pos_ = 0;
+    bool stalled_ = false;
+};
+
+} // namespace
+
+TEST(ServeFraming, SlowClientDribbleStillDeliversCompleteFrames)
+{
+    std::ostringstream wire;
+    writeFrame(wire, "{\"study\": \"cooling\"}");
+    writeFrame(wire, "{\"study\": \"outage\"}");
+    DribbleBuf buf(wire.str(), 3, 2.0);
+    std::istream in(&buf);
+    FrameResult a = readFrame(in);
+    ASSERT_EQ(a.status, FrameStatus::Ok);
+    EXPECT_EQ(a.payload, "{\"study\": \"cooling\"}");
+    FrameResult b = readFrame(in);
+    ASSERT_EQ(b.status, FrameStatus::Ok);
+    EXPECT_EQ(b.payload, "{\"study\": \"outage\"}");
+    EXPECT_EQ(readFrame(in).status, FrameStatus::Eof);
+}

@@ -109,5 +109,90 @@ TEST(KvJson, MissingFileThrows)
                  FatalError);
 }
 
+TEST(KvJson, RejectsOversizedInputBeforeParsing)
+{
+    std::string big = "{\"a\": 1}";
+    big.append(200, ' ');
+    EXPECT_NO_THROW(parseKvJson(big));
+    try {
+        parseKvJson(big, 64);
+        FAIL() << "oversized input accepted";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("208 bytes"), std::string::npos) << what;
+        EXPECT_NE(what.find("64-byte limit"), std::string::npos)
+            << what;
+    }
+    EXPECT_THROW(parseKvAnyJson(big, 64), FatalError);
+}
+
+TEST(KvJson, UnterminatedStringNamesItsStartingByteOffset)
+{
+    try {
+        parseKvJson("{\"a\": 1, \"unfinished");
+        FAIL() << "unterminated string accepted";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unterminated string"),
+                  std::string::npos)
+            << what;
+        // The opening quote sits at byte 9.
+        EXPECT_NE(what.find("byte offset 9"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(KvJson, DiagnosticsCarryByteOffsets)
+{
+    auto offsetNamed = [](const std::string &text) {
+        try {
+            parseKvAnyJson(text);
+            return false; // accepted: the EXPECT below fails
+        } catch (const FatalError &e) {
+            return std::string(e.what()).find("byte offset") !=
+                std::string::npos;
+        }
+    };
+    EXPECT_TRUE(offsetNamed("nope"));
+    EXPECT_TRUE(offsetNamed("{\"a\" 1}"));
+    EXPECT_TRUE(offsetNamed("{\"a\": x}"));
+    EXPECT_TRUE(offsetNamed("{\"a\": 1,, \"b\": 2}"));
+    EXPECT_TRUE(offsetNamed("{\"a\": 1} trailing"));
+    EXPECT_TRUE(offsetNamed("{\"a\": \"b\\\"c\"}")); // escapes
+    EXPECT_TRUE(offsetNamed("{\"a\": 1, \"a\": 2}")); // duplicate
+}
+
+TEST(KvJson, AnyMapRoundTripsMixedValues)
+{
+    KvAnyMap kv;
+    kv["study"] = KvValue::string("outage");
+    kv["ratio"] = KvValue::number(0.083927817053314313);
+    kv["empty"] = KvValue::string("");
+    KvAnyMap parsed = parseKvAnyJson(writeKvAnyJson(kv));
+    EXPECT_EQ(parsed, kv);
+}
+
+TEST(KvJson, AnyMapWriterRefusesUnescapableStrings)
+{
+    for (const char *bad : {"has \"quotes\"", "back\\slash",
+                            "new\nline", "tab\there"}) {
+        KvAnyMap kv;
+        kv["k"] = KvValue::string(bad);
+        EXPECT_THROW(writeKvAnyJson(kv), FatalError) << bad;
+    }
+}
+
+TEST(KvJson, NumberOnlyParserStillRejectsStringsWithAnOffset)
+{
+    try {
+        parseKvJson("{\"a\": \"str\"}");
+        FAIL() << "string value accepted by the numbers-only parser";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("byte offset 6"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 } // namespace
 } // namespace tts

@@ -10,13 +10,16 @@
 # smoke label, then the full two-day thermal-kernel gate (2x speedup
 # + bit-identity), the parallel-sweep bench, the 40k-server fleet
 # gate (wall-clock budget, 1-vs-8-thread bit-identity, 10x dedupe
-# leverage), and the wax-placement search gate (1t==8t, beats the
-# uniform-wax 2U baseline), which write the CI tracked
-# BENCH_thermal.json / BENCH_sweep.json / BENCH_fleet.json /
-# BENCH_opt.json at the repo root:
+# leverage), the wax-placement search gate (1t==8t, beats the
+# uniform-wax 2U baseline), and the scenario-daemon gate (latency
+# percentiles, cache hit rate, shed-under-overload sanity), which
+# write the CI tracked BENCH_thermal.json / BENCH_sweep.json /
+# BENCH_fleet.json / BENCH_opt.json / BENCH_serve.json at the repo
+# root:
 #
 #   tools/check.sh           # fast + guard + fault + obs + fleet +
-#                            # opt + perf, sanitizers, BENCH_*.json
+#                            # opt + serve + perf, sanitizers,
+#                            # BENCH_*.json
 #   tools/check.sh --full    # also the integration label (slow)
 #
 # The integration label pins the opt.* golden keys; after a
@@ -55,6 +58,9 @@ ctest --test-dir build -L fleet --output-on-failure -j
 echo "== ctest -L opt =="
 ctest --test-dir build -L opt --output-on-failure -j
 
+echo "== ctest -L serve =="
+ctest --test-dir build -L serve --output-on-failure -j
+
 echo "== ctest -L perf (smoke) =="
 ctest --test-dir build -L perf --output-on-failure -j
 
@@ -72,6 +78,9 @@ echo "== perf gate: 40k-server fleet (10-min wall, 1t==8t, 10x dedupe) =="
 echo "== perf gate: wax-placement search (1t==8t, beats uniform 2U) =="
 ./build/bench/perf_opt --out=BENCH_opt.json
 
+echo "== perf gate: scenario daemon (latency, hit rate, shed sanity) =="
+./build/bench/perf_serve --out=BENCH_serve.json
+
 if [ "$FULL" = "1" ]; then
     echo "== ctest -L integration =="
     ctest --test-dir build -L integration --output-on-failure -j
@@ -82,7 +91,8 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTTS_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j \
     --target tts_exec_test tts_workload_test tts_fault_test \
-    tts_obs_test tts_fleet_test tts_opt_test > /dev/null
+    tts_obs_test tts_fleet_test tts_opt_test \
+    tts_serve_test > /dev/null
 
 echo "== TSan: exec engine, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_exec_test
@@ -97,6 +107,8 @@ echo "== TSan: sharded fleet sim, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_fleet_test
 echo "== TSan: wax-placement search, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_opt_test
+echo "== TSan: scenario daemon + fault-injection soak, 8 workers =="
+TTS_THREADS=8 ./build-tsan/tests/tts_serve_test
 
 echo "== ASan+UBSan build (TTS_SANITIZE=address) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

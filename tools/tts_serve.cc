@@ -1,0 +1,364 @@
+/**
+ * @file
+ * tts_serve - the scenario-serving daemon and its client.
+ *
+ * Usage:
+ *   tts_serve stdio  [daemon flags]
+ *   tts_serve socket --socket=PATH [--once] [daemon flags]
+ *   tts_serve send   --socket=PATH [request on stdin]
+ *   tts_serve call   [request on stdin]
+ *
+ * Daemon flags (stdio and socket modes):
+ *   [--workers=N] [--queue=N] [--deadline-ms=D] [--retries=N]
+ *   [--backoff-ms=D] [--max-bytes=N] [--cache=FILE]
+ *   [--cache-cap=N] [--persist-every=N] [--stats=FILE]
+ *
+ * `stdio` serves length-prefixed request frames from stdin and
+ * writes one reply frame per request to stdout, in order - the
+ * simplest way to drive the daemon from a script or a test harness:
+ *
+ *   printf 'tts-frame 20\n{"study": "outage"}\n' | tts_serve stdio
+ *
+ * `socket` listens on a Unix domain socket and serves connections
+ * one at a time (each connection is one framed session); --once
+ * exits after the first connection, which makes demos and tests
+ * self-terminating.  `send` is the matching client: it reads one
+ * request document from stdin, frames it, and prints the reply
+ * payload.  `call` skips the transport entirely and answers one
+ * request in-process - same parser, same evaluation, same reply
+ * JSON - so scripts can smoke-test a request without a daemon.
+ *
+ * Requests are flat kv-json (see DESIGN.md section 16), e.g.:
+ *
+ *   {"study": "outage", "util": 0.9, "wax_l": 8, "horizon_s": 600}
+ *
+ * The daemon caches results content-addressed by the request's
+ * canonical fingerprint; --cache=FILE persists the cache across
+ * restarts through the CRC-protected checkpoint path (a corrupt
+ * snapshot is quarantined to FILE.corrupt, never fatal).  --stats
+ * dumps lifetime serving counters as kv-json on exit.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/daemon.hh"
+#include "util/cli.hh"
+#include "util/error.hh"
+#include "util/kv_json.hh"
+
+using namespace tts;
+
+namespace {
+
+/** Minimal streambuf over a POSIX fd (socket connections). */
+class FdBuf : public std::streambuf
+{
+  public:
+    explicit FdBuf(int fd) : fd_(fd)
+    {
+        setg(in_, in_, in_);
+        setp(out_, out_ + sizeof(out_));
+    }
+
+    ~FdBuf() override { sync(); }
+
+  protected:
+    int_type underflow() override
+    {
+        const ssize_t n = ::read(fd_, in_, sizeof(in_));
+        if (n <= 0)
+            return traits_type::eof();
+        setg(in_, in_, in_ + n);
+        return traits_type::to_int_type(*gptr());
+    }
+
+    int_type overflow(int_type c) override
+    {
+        if (sync() != 0)
+            return traits_type::eof();
+        if (!traits_type::eq_int_type(c, traits_type::eof())) {
+            *pptr() = traits_type::to_char_type(c);
+            pbump(1);
+        }
+        return traits_type::not_eof(c);
+    }
+
+    int sync() override
+    {
+        const char *p = pbase();
+        while (p < pptr()) {
+            const ssize_t n =
+                ::write(fd_, p, static_cast<size_t>(pptr() - p));
+            if (n <= 0)
+                return -1;
+            p += n;
+        }
+        setp(out_, out_ + sizeof(out_));
+        return 0;
+    }
+
+  private:
+    int fd_;
+    char in_[4096];
+    char out_[4096];
+};
+
+struct DaemonFlags
+{
+    std::size_t workers = 0;
+    std::size_t queue = 64;
+    double deadlineMs = 0.0;
+    std::size_t retries = 3;
+    double backoffMs = 0.5;
+    std::size_t maxBytes = 64 * 1024;
+    std::string cachePath;
+    std::size_t cacheCap = 256;
+    std::size_t persistEvery = 0;
+    std::string statsPath;
+};
+
+void
+addDaemonFlags(cli::Parser &p, DaemonFlags &f)
+{
+    p.addSize("workers", &f.workers,
+              "worker threads (0 = TTS_THREADS / hardware)");
+    p.addSize("queue", &f.queue, "admission queue capacity");
+    p.addDouble("deadline-ms", &f.deadlineMs,
+                "default per-request deadline (0 = none)");
+    p.addSize("retries", &f.retries,
+              "evaluation attempts per request");
+    p.addDouble("backoff-ms", &f.backoffMs,
+                "base retry backoff (doubles per attempt)");
+    p.addSize("max-bytes", &f.maxBytes,
+              "largest accepted request/frame payload");
+    p.addString("cache", &f.cachePath,
+                "result-cache snapshot file (empty = in-memory)");
+    p.addSize("cache-cap", &f.cacheCap, "cached results (LRU)");
+    p.addSize("persist-every", &f.persistEvery,
+              "auto-persist the cache every N inserts (0 = only "
+              "on shutdown)");
+    p.addString("stats", &f.statsPath,
+                "write serving counters as kv-json on exit");
+}
+
+serve::DaemonConfig
+configOf(const DaemonFlags &f)
+{
+    serve::DaemonConfig config;
+    config.workers = f.workers;
+    config.queueCapacity = f.queue;
+    config.defaultDeadlineMs = f.deadlineMs;
+    config.retryBudget = f.retries;
+    config.retryBackoffBaseMs = f.backoffMs;
+    config.maxRequestBytes = f.maxBytes;
+    config.cache.path = f.cachePath;
+    config.cache.capacity = f.cacheCap;
+    config.cache.persistEveryInserts = f.persistEvery;
+    return config;
+}
+
+void
+dumpStats(const serve::Daemon &daemon, const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::map<std::string, double> kv = daemon.stats().toMap();
+    const auto cache = daemon.cacheCounters();
+    kv["serve.cache.hits"] = static_cast<double>(cache.hits);
+    kv["serve.cache.misses"] = static_cast<double>(cache.misses);
+    kv["serve.cache.evictions"] =
+        static_cast<double>(cache.evictions);
+    kv["serve.cache.collisions"] =
+        static_cast<double>(cache.collisions);
+    kv["serve.cache.persists"] = static_cast<double>(cache.persists);
+    writeKvJsonFile(path, kv);
+}
+
+serve::StreamOptions
+streamOptionsOf(const DaemonFlags &f)
+{
+    serve::StreamOptions options;
+    options.limits.maxPayloadBytes = f.maxBytes;
+    return options;
+}
+
+int
+runStdio(const DaemonFlags &flags)
+{
+    serve::Daemon daemon(configOf(flags));
+    if (daemon.cacheLoadOutcome() ==
+        serve::CacheLoadOutcome::Quarantined)
+        std::cerr << "tts_serve: cache snapshot was corrupt; "
+                     "quarantined to "
+                  << flags.cachePath << ".corrupt\n";
+    serve::serveStream(std::cin, std::cout, daemon,
+                       streamOptionsOf(flags));
+    daemon.shutdown();
+    dumpStats(daemon, flags.statsPath);
+    return 0;
+}
+
+int
+runSocket(const DaemonFlags &flags, const std::string &path,
+          bool once)
+{
+    require(!path.empty(), "socket mode needs --socket=PATH");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    require(path.size() < sizeof(addr.sun_path),
+            "socket path too long: " + path);
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  path.c_str());
+
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    require(listener >= 0, "socket() failed");
+    ::unlink(path.c_str());
+    require(::bind(listener,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) == 0,
+            "bind(" + path + ") failed");
+    require(::listen(listener, 8) == 0, "listen() failed");
+
+    serve::Daemon daemon(configOf(flags));
+    std::cerr << "tts_serve: listening on " << path << "\n";
+    for (;;) {
+        const int conn = ::accept(listener, nullptr, nullptr);
+        if (conn < 0)
+            break;
+        FdBuf buf(conn);
+        std::istream in(&buf);
+        std::ostream out(&buf);
+        serve::serveStream(in, out, daemon,
+                           streamOptionsOf(flags));
+        ::close(conn);
+        if (once)
+            break;
+    }
+    ::close(listener);
+    ::unlink(path.c_str());
+    daemon.shutdown();
+    dumpStats(daemon, flags.statsPath);
+    return 0;
+}
+
+std::string
+readAll(std::istream &in)
+{
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+int
+runSend(const std::string &path)
+{
+    require(!path.empty(), "send mode needs --socket=PATH");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    require(path.size() < sizeof(addr.sun_path),
+            "socket path too long: " + path);
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  path.c_str());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    require(fd >= 0, "socket() failed");
+    require(::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0,
+            "connect(" + path + ") failed - is tts_serve socket "
+                               "running?");
+    FdBuf buf(fd);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    serve::writeFrame(out, readAll(std::cin));
+    ::shutdown(fd, SHUT_WR);
+    const serve::FrameResult reply = serve::readFrame(in);
+    ::close(fd);
+    require(reply.status == serve::FrameStatus::Ok,
+            "no reply frame: " + reply.diagnostic);
+    std::cout << reply.payload;
+    const serve::Reply parsed = serve::Reply::fromJson(reply.payload);
+    return parsed.ok ? 0 : 1;
+}
+
+int
+runCall(const DaemonFlags &flags)
+{
+    serve::DaemonConfig config = configOf(flags);
+    config.workers = 1;
+    serve::Daemon daemon(config);
+    const serve::Reply reply = daemon.call(readAll(std::cin));
+    daemon.shutdown();
+    std::cout << reply.toJson();
+    dumpStats(daemon, flags.statsPath);
+    return reply.ok ? 0 : 1;
+}
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: tts_serve <stdio|socket|send|call> [--help]\n"
+           "  stdio   serve framed requests on stdin/stdout\n"
+           "  socket  serve connections on a Unix socket\n"
+           "  send    client: frame stdin, print the reply\n"
+           "  call    answer one request in-process\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr, 2);
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h")
+        return usage(std::cout, 0);
+
+    DaemonFlags flags;
+    std::string socket_path;
+    bool once = false;
+    cli::Parser p("tts_serve " + command);
+    if (command == "stdio" || command == "call") {
+        addDaemonFlags(p, flags);
+    } else if (command == "socket") {
+        addDaemonFlags(p, flags);
+        p.addString("socket", &socket_path, "Unix socket path");
+        p.addFlag("once", &once, "exit after the first connection");
+    } else if (command == "send") {
+        p.addString("socket", &socket_path, "Unix socket path");
+    } else {
+        std::cerr << "tts_serve: unknown command '" << command
+                  << "'\n";
+        return usage(std::cerr, 2);
+    }
+    switch (p.parse(argc - 2, argv + 2)) {
+      case cli::Status::Help:
+        std::cout << p.helpText();
+        return 0;
+      case cli::Status::Error:
+        std::cerr << p.error() << "\n";
+        return 2;
+      case cli::Status::Ok:
+        break;
+    }
+
+    try {
+        if (command == "stdio")
+            return runStdio(flags);
+        if (command == "socket")
+            return runSocket(flags, socket_path, once);
+        if (command == "send")
+            return runSend(socket_path);
+        return runCall(flags);
+    } catch (const Error &e) {
+        std::cerr << "tts_serve: " << e.what() << "\n";
+        return 1;
+    }
+}
