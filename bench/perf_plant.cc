@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Performance gate for tts::plant: the four cooling backends raced
+ * over the pinned cluster scenario (rd330 fleet, paper wax, Google
+ * diurnal trace), the same shape the plant.* golden keys pin.
+ *
+ * Three gates:
+ *
+ *  1. compareBackends at 1 thread and at 8 threads must return
+ *     bit-identical arms - every cost, counter, and the full
+ *     electric series (arms_identical).
+ *  2. The MPC controller must beat the static CRAC plant on yearly
+ *     net cost by at least --min-saving (mpc_beats_crac).
+ *  3. The 1-thread wall clock must stay under --max-wall.
+ *
+ * Emits flat kv-json on stdout after the human-readable table (and,
+ * with --out=FILE, to the file CI tracks as BENCH_plant.json):
+ *
+ *     {"servers": ..., "days": ..., "wall_s": ..., "wall_8t_s": ...,
+ *      "arms_identical": 1, "crac_yearly_usd": ...,
+ *      "hot_water_yearly_usd": ..., "economizer_yearly_usd": ...,
+ *      "mpc_yearly_usd": ..., "mpc_vs_crac_saving": ...,
+ *      "mpc_buffer_discharge_kwh": ..., "hw_reuse_credit_usd": ...,
+ *      "mpc_beats_crac": 1}
+ *
+ * Exit code 0 only when all three gates hold.  --short shrinks the
+ * fleet and horizon for the ctest perf smoke.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/parallel.hh"
+#include "plant/study.hh"
+#include "server/server_spec.hh"
+#include "util/cli.hh"
+#include "util/kv_json.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+#include "workload/google_trace.hh"
+
+namespace {
+
+using namespace tts;
+
+bool
+sameArm(const plant::PlantResult &a, const plant::PlantResult &b)
+{
+    bool same = a.backend == b.backend && a.steps == b.steps &&
+        a.electricEnergyJ == b.electricEnergyJ &&
+        a.peakElectricW == b.peakElectricW &&
+        a.energyCostUsd == b.energyCostUsd &&
+        a.reusedEnergyJ == b.reusedEnergyJ &&
+        a.reuseCreditUsd == b.reuseCreditUsd &&
+        a.dvfsPenaltyUsd == b.dvfsPenaltyUsd &&
+        a.netCostUsd == b.netCostUsd &&
+        a.yearlyNetCostUsd == b.yearlyNetCostUsd &&
+        a.throughputRetention == b.throughputRetention &&
+        a.bufferDischargeJ == b.bufferDischargeJ &&
+        a.electricW.size() == b.electricW.size();
+    if (!same)
+        return false;
+    for (std::size_t i = 0; i < a.electricW.size(); ++i)
+        if (a.electricW.times()[i] != b.electricW.times()[i] ||
+            a.electricW.values()[i] != b.electricW.values()[i])
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::string out_file;
+    std::size_t servers = 48;
+    double days = 2.0;
+    double min_saving = 0.10;
+    double max_wall_s = 120.0;
+    bool short_run = false;
+
+    cli::Parser p("perf_plant",
+                  "Four cooling backends over the pinned cluster "
+                  "scenario: wall-clock budget, 1-vs-8-thread "
+                  "bit-identity, and the MPC-beats-CRAC margin.");
+    p.addString("out", &out_file,
+                "also write the kv-json here (BENCH_plant.json)");
+    p.addSize("servers", &servers, "cluster population");
+    p.addDouble("days", &days, "simulated horizon (days)");
+    p.addDouble("min-saving", &min_saving,
+                "required (crac - mpc) / crac yearly saving");
+    p.addDouble("max-wall", &max_wall_s,
+                "wall-clock budget for the 1-thread race (s)");
+    p.addFlag("short", &short_run,
+              "shrink the fleet and horizon (ctest perf smoke)");
+    switch (p.parse(argc - 1, argv + 1)) {
+      case cli::Status::Help:
+        std::fputs(p.helpText().c_str(), stdout);
+        return 0;
+      case cli::Status::Error:
+        std::fprintf(stderr, "%s\n", p.error().c_str());
+        return 2;
+      case cli::Status::Ok:
+        break;
+    }
+    if (short_run) {
+        servers = 16;
+        days = 1.0;
+    }
+
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(days);
+    auto trace = workload::makeGoogleTrace(tp);
+
+    plant::PlantScenario scenario;
+    scenario.loadW = plant::clusterCoolingLoad(
+        server::rd330Spec(), server::WaxConfig::paper(), servers,
+        trace);
+    scenario.serverCount = servers;
+    plant::PlantConfig config;
+
+    const std::vector<plant::BackendKind> kinds = {
+        plant::BackendKind::Crac, plant::BackendKind::HotWater,
+        plant::BackendKind::Economizer, plant::BackendKind::Mpc};
+
+    auto timed_race = [&](std::size_t threads) {
+        exec::setGlobalThreads(threads);
+        auto t0 = Clock::now();
+        auto cmp = plant::compareBackends(scenario, config, kinds);
+        auto t1 = Clock::now();
+        exec::setGlobalThreads(1);
+        return std::make_pair(
+            std::move(cmp),
+            std::chrono::duration<double>(t1 - t0).count());
+    };
+
+    auto [serial, wall_s] = timed_race(1);
+    auto [wide, wall_8t_s] = timed_race(8);
+
+    bool identical = serial.arms.size() == wide.arms.size() &&
+        serial.mpcVsCracSaving == wide.mpcVsCracSaving;
+    for (std::size_t i = 0; identical && i < serial.arms.size();
+         ++i)
+        identical = sameArm(serial.arms[i], wide.arms[i]);
+
+    const auto &crac = serial.arms[0];
+    const auto &hw = serial.arms[1];
+    const auto &eco = serial.arms[2];
+    const auto &mpc = serial.arms[3];
+    bool beats = serial.mpcVsCracSaving >= min_saving;
+    bool wall_ok = wall_s <= max_wall_s;
+
+    std::cout << "=== tts::plant: 4-backend race, " << servers
+              << " servers, " << formatFixed(days, 1)
+              << " days ===\n\n";
+    AsciiTable t({"backend", "electric (kWh)", "net ($/yr)",
+                  "reuse ($)", "retention"});
+    for (const auto &arm : serial.arms)
+        t.addRow({arm.backend,
+                  formatFixed(arm.electricEnergyJ / 3.6e6, 2),
+                  formatFixed(arm.yearlyNetCostUsd, 1),
+                  formatFixed(arm.reuseCreditUsd, 2),
+                  formatFixed(arm.throughputRetention, 4)});
+    t.print(std::cout);
+    std::cout << "\nwall clock 1t / 8t:      "
+              << formatFixed(wall_s, 2) << " s / "
+              << formatFixed(wall_8t_s, 2) << " s\n";
+    std::cout << "bit-identical 1t vs 8t:  "
+              << (identical ? "yes" : "NO") << "\n";
+    std::cout << "mpc vs crac saving:      "
+              << formatFixed(serial.mpcVsCracSaving * 100.0, 2)
+              << "% (" << (beats ? "meets" : "MISSES") << " the "
+              << formatFixed(min_saving * 100.0, 0)
+              << "% floor)\n";
+    std::cout << "mpc buffer discharge:    "
+              << formatFixed(mpc.bufferDischargeJ / 3.6e6, 2)
+              << " kWh\n\n";
+
+    if (!wall_ok)
+        std::cout << "FAIL: wall clock exceeded "
+                  << formatFixed(max_wall_s, 0) << " s budget\n";
+    if (!identical)
+        std::cout << "FAIL: 1t and 8t races are not bit-identical\n";
+    if (!beats)
+        std::cout << "FAIL: MPC missed the saving floor\n";
+
+    std::map<std::string, double> json{
+        {"servers", static_cast<double>(servers)},
+        {"days", days},
+        {"wall_s", wall_s},
+        {"wall_8t_s", wall_8t_s},
+        {"arms_identical", identical ? 1.0 : 0.0},
+        {"crac_yearly_usd", crac.yearlyNetCostUsd},
+        {"hot_water_yearly_usd", hw.yearlyNetCostUsd},
+        {"economizer_yearly_usd", eco.yearlyNetCostUsd},
+        {"mpc_yearly_usd", mpc.yearlyNetCostUsd},
+        {"mpc_vs_crac_saving", serial.mpcVsCracSaving},
+        {"mpc_buffer_discharge_kwh", mpc.bufferDischargeJ / 3.6e6},
+        {"hw_reuse_credit_usd", hw.reuseCreditUsd},
+        {"mpc_beats_crac", beats ? 1.0 : 0.0},
+    };
+    std::cout << writeKvJson(json);
+    if (!out_file.empty())
+        writeKvJsonFile(out_file, json);
+    return identical && beats && wall_ok ? 0 : 1;
+}

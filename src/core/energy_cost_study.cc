@@ -45,11 +45,46 @@ priceCoolingEnergy(const CoolingStudyResult &study,
         return options.tariff.costOf(elec.scaled(scale)) * to_year;
     };
 
+    // Hot-water plant (iDataCool): a loop captures hwEffectiveness
+    // of the heat as reusable hot water, the chiller removes the
+    // residue, a pump overhead is paid, and the captured heat earns
+    // a thermal credit.
+    require(options.hwEffectiveness > 0.0 &&
+                options.hwEffectiveness <= 1.0 &&
+                options.hwMechanicalCop > 0.0 &&
+                options.hwPumpFraction >= 0.0 &&
+                options.hwReusePricePerKWh >= 0.0,
+            "priceCoolingEnergy: bad hot-water options");
+    auto hot_water = [&](const TimeSeries &load,
+                         double *credit_out) {
+        TimeSeries elec("elec_w");
+        double reused_j = 0.0;
+        const auto &times = load.times();
+        const auto &values = load.values();
+        for (std::size_t i = 0; i < times.size(); ++i) {
+            double v = scale * std::max(values[i], 0.0);
+            double reused = v * options.hwEffectiveness;
+            elec.append(times[i],
+                        (v - reused) / options.hwMechanicalCop +
+                            options.hwPumpFraction * v);
+            if (i + 1 < times.size())
+                reused_j += reused * (times[i + 1] - times[i]);
+        }
+        double credit = options.hwReusePricePerKWh *
+            units::toKWh(reused_j) * to_year;
+        if (credit_out)
+            *credit_out = credit;
+        return options.tariff.costOf(elec) * to_year - credit;
+    };
+
     EnergyCostResult out;
     out.flatCostNoWax = flat_cost(base);
     out.flatCostWithWax = flat_cost(wax);
     out.economizerCostNoWax = econo_cost(base);
     out.economizerCostWithWax = econo_cost(wax);
+    out.hotWaterCostNoWax =
+        hot_water(base, &out.hotWaterReuseCreditNoWax);
+    out.hotWaterCostWithWax = hot_water(wax, nullptr);
     return out;
 }
 

@@ -35,6 +35,15 @@ struct EnergyCostOptions
     double flatCop = 3.5;
     /** Facility scale: clusters of 1008 made whole-facility. */
     std::size_t clusters = 50;
+
+    /** Hot-water loop capture effectiveness, in (0, 1]. */
+    double hwEffectiveness = 0.75;
+    /** COP removing the heat the hot-water loop cannot capture. */
+    double hwMechanicalCop = 3.5;
+    /** Loop pump electric power as a fraction of the heat load. */
+    double hwPumpFraction = 0.02;
+    /** Credit for captured reusable heat (USD/kWh thermal). */
+    double hwReusePricePerKWh = 0.03;
 };
 
 /** Energy costs for one platform (USD per year, whole facility). */
@@ -48,6 +57,12 @@ struct EnergyCostResult
     double economizerCostNoWax = 0.0;
     /** Economizer plant, tariff priced: with wax. */
     double economizerCostWithWax = 0.0;
+    /** Hot-water plant, net of the reuse credit: no wax. */
+    double hotWaterCostNoWax = 0.0;
+    /** Hot-water plant, net of the reuse credit: with wax. */
+    double hotWaterCostWithWax = 0.0;
+    /** Yearly reuse credit of the no-wax hot-water plant (USD). */
+    double hotWaterReuseCreditNoWax = 0.0;
 
     /** @return Yearly OpEx saving with a flat-COP plant (USD). */
     double flatSaving() const
@@ -58,6 +73,11 @@ struct EnergyCostResult
     double economizerSaving() const
     {
         return economizerCostNoWax - economizerCostWithWax;
+    }
+    /** @return Yearly OpEx saving on the hot-water plant (USD). */
+    double hotWaterSaving() const
+    {
+        return hotWaterCostNoWax - hotWaterCostWithWax;
     }
 };
 

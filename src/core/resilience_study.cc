@@ -330,6 +330,9 @@ class ThermalArmSim
         w.putBool("inj.sensor_valid", st.sensorValid);
         w.put("inj.held_reading_c", st.heldReadingC);
         w.putI64("inj.gap_depth", st.traceGapDepth);
+        w.putBool("inj.pump_failed", st.pumpFailed);
+        w.put("inj.hx_fouling", st.hxFoulingFraction);
+        w.putI64("inj.weather_gap_depth", st.weatherGapDepth);
     }
 
     void
@@ -369,6 +372,10 @@ class ThermalArmSim
         st.heldReadingC = r.expect("inj.held_reading_c");
         st.traceGapDepth = static_cast<int>(
             r.expectI64("inj.gap_depth"));
+        st.pumpFailed = r.expectBool("inj.pump_failed");
+        st.hxFoulingFraction = r.expect("inj.hx_fouling");
+        st.weatherGapDepth = static_cast<int>(
+            r.expectI64("inj.weather_gap_depth"));
         inj_.restoreState(st);
         done_ = false;
     }

@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <string>
 
+#include "plant/options.hh"
 #include "server/server_model.hh"
 #include "server/server_spec.hh"
 #include "workload/trace.hh"
@@ -90,6 +91,9 @@ struct RunConfig
     ObsSinks obs;
     /** Checkpoint policy (resilience runner; others ignore it). */
     CheckpointPolicy checkpoint;
+    /** Cooling-plant backend selection (default: CRAC adapter,
+     *  which prices exactly like datacenter::CoolingSystem). */
+    plant::PlantOptions plant;
 
     /** @return meltTempC resolved against the platform default. */
     double meltTempFor(const server::ServerSpec &spec) const

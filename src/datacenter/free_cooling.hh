@@ -62,10 +62,22 @@ class EconomizerCoolingModel
     /** Effective COP in full free-cooling mode. */
     double freeCop = 20.0;
 
-    /** @return Effective COP at the given ambient temperature. */
+    /**
+     * @return Effective COP at the given ambient temperature,
+     * always > 0: ambient at or above the return air clamps to
+     * plain mechanical COP (no negative assist).
+     *
+     * @throws FatalError on a non-finite ambient or a degenerate
+     * model (non-positive mechanicalCop/freeCop, negative
+     * copPerDegree, non-finite temperatures).
+     */
     double copAt(double ambient_c) const;
 
-    /** @return Electric power to remove load_w at ambient_c (W). */
+    /**
+     * @return Electric power to remove load_w at ambient_c (W).
+     * @throws FatalError on a negative or non-finite load (and the
+     * copAt() diagnostics).
+     */
     double electricPower(double load_w, double ambient_c) const;
 
     /**

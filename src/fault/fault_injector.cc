@@ -107,6 +107,26 @@ FaultInjector::apply(const FaultEvent &e)
       case FaultKind::TraceGapEnd:
         trace_gap_depth_ = std::max(0, trace_gap_depth_ - 1);
         break;
+      case FaultKind::PumpFailure:
+        pump_failed_ = true;
+        break;
+      case FaultKind::PumpRepair:
+        pump_failed_ = false;
+        break;
+      case FaultKind::HxFouling:
+        hx_fouling_fraction_ =
+            std::min(1.0, hx_fouling_fraction_ + e.magnitude);
+        break;
+      case FaultKind::HxDefoul:
+        hx_fouling_fraction_ =
+            std::max(0.0, hx_fouling_fraction_ - e.magnitude);
+        break;
+      case FaultKind::WeatherGapStart:
+        ++weather_gap_depth_;
+        break;
+      case FaultKind::WeatherGapEnd:
+        weather_gap_depth_ = std::max(0, weather_gap_depth_ - 1);
+        break;
     }
 }
 

@@ -81,6 +81,24 @@ class FaultInjector
     /** @return True while the input trace is dark. */
     bool traceGapActive() const { return trace_gap_depth_ > 0; }
 
+    /** @return True while the coolant-loop pump is failed. */
+    bool pumpFailed() const { return pump_failed_; }
+
+    /**
+     * @return Accumulated heat-exchanger effectiveness fraction
+     * lost to fouling, in [0, 1] (0 = clean).
+     */
+    double hxFoulingFraction() const
+    {
+        return hx_fouling_fraction_;
+    }
+
+    /** @return True while the weather trace is dark (hold-last). */
+    bool weatherGapActive() const
+    {
+        return weather_gap_depth_ > 0;
+    }
+
     /** @return Events applied so far. */
     std::size_t eventsApplied() const { return next_; }
 
@@ -102,6 +120,9 @@ class FaultInjector
         bool sensorValid;
         double heldReadingC;
         int traceGapDepth;
+        bool pumpFailed;
+        double hxFoulingFraction;
+        int weatherGapDepth;
     };
 
     /** @return A snapshot of the replay state. */
@@ -111,7 +132,9 @@ class FaultInjector
                      server_down_,   fan_failed_,
                      alive_count_,   cooling_lost_fraction_,
                      sensor_bias_c_, sensor_valid_,
-                     held_reading_c_, trace_gap_depth_};
+                     held_reading_c_, trace_gap_depth_,
+                     pump_failed_,   hx_fouling_fraction_,
+                     weather_gap_depth_};
     }
 
     /**
@@ -130,6 +153,9 @@ class FaultInjector
         sensor_valid_ = st.sensorValid;
         held_reading_c_ = st.heldReadingC;
         trace_gap_depth_ = st.traceGapDepth;
+        pump_failed_ = st.pumpFailed;
+        hx_fouling_fraction_ = st.hxFoulingFraction;
+        weather_gap_depth_ = st.weatherGapDepth;
     }
 
   private:
@@ -147,6 +173,9 @@ class FaultInjector
     bool sensor_valid_ = true;
     double held_reading_c_;
     int trace_gap_depth_ = 0;
+    bool pump_failed_ = false;
+    double hx_fouling_fraction_ = 0.0;
+    int weather_gap_depth_ = 0;
 };
 
 } // namespace fault

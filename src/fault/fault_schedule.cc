@@ -16,10 +16,12 @@ namespace fault {
 namespace {
 
 const char *const kindNames[faultKindCount] = {
-    "server_recover", "fan_repair",     "cooling_restore",
-    "sensor_restore", "trace_gap_end",  "server_crash",
-    "fan_failure",    "cooling_trip",   "sensor_drift",
-    "sensor_dropout", "trace_gap_start",
+    "server_recover", "fan_repair",        "cooling_restore",
+    "sensor_restore", "trace_gap_end",     "pump_repair",
+    "hx_defoul",      "weather_gap_end",   "server_crash",
+    "fan_failure",    "cooling_trip",      "sensor_drift",
+    "sensor_dropout", "trace_gap_start",   "pump_failure",
+    "hx_fouling",     "weather_gap_start",
 };
 
 /** Sort key: recoveries before failures at equal times. */
@@ -87,6 +89,11 @@ FaultSchedule::add(const FaultEvent &event)
         require(event.magnitude > 0.0 && event.magnitude <= 1.0,
                 "FaultSchedule::add: cooling capacity fraction "
                 "must be in (0, 1]");
+    if (event.kind == FaultKind::HxFouling ||
+        event.kind == FaultKind::HxDefoul)
+        require(event.magnitude > 0.0 && event.magnitude <= 1.0,
+                "FaultSchedule::add: heat-exchanger effectiveness "
+                "fraction must be in (0, 1]");
 
     // Stable insertion keeps equal-key events in insertion order.
     auto pos = std::upper_bound(
@@ -200,6 +207,17 @@ enum GeneratorStream : std::uint64_t
 };
 
 /**
+ * The plant-loop processes draw from streams numbered after both
+ * per-server blocks so enabling them never perturbs the events any
+ * pre-existing process generates.
+ */
+std::uint64_t
+plantStreamBase(std::size_t server_count)
+{
+    return StreamPerServerBase + 2 * server_count;
+}
+
+/**
  * Sample one failure/repair alternating process: failures arrive
  * with exponential gaps at `rate_per_s` while up; each failure is
  * followed by an exponential repair after `repair_mean_s`.  The
@@ -239,16 +257,25 @@ generateSchedule(const FaultProfile &profile, double horizon_s,
             profile.coolingTripPerHour >= 0.0 &&
             profile.sensorDriftPerHour >= 0.0 &&
             profile.sensorDropoutPerHour >= 0.0 &&
-            profile.traceGapPerHour >= 0.0,
+            profile.traceGapPerHour >= 0.0 &&
+            profile.pumpFailurePerHour >= 0.0 &&
+            profile.hxFoulingPerHour >= 0.0 &&
+            profile.weatherGapPerHour >= 0.0,
             "generateSchedule: rates must be >= 0");
     require(profile.coolingTripFraction > 0.0 &&
             profile.coolingTripFraction <= 1.0,
             "generateSchedule: trip fraction must be in (0, 1]");
+    require(profile.hxFoulingFraction > 0.0 &&
+            profile.hxFoulingFraction <= 1.0,
+            "generateSchedule: fouling fraction must be in (0, 1]");
     require(profile.serverRepairMeanS > 0.0 &&
             profile.fanRepairMeanS > 0.0 &&
             profile.coolingRepairMeanS > 0.0 &&
             profile.sensorDropoutMeanS > 0.0 &&
-            profile.traceGapMeanS > 0.0,
+            profile.traceGapMeanS > 0.0 &&
+            profile.pumpRepairMeanS > 0.0 &&
+            profile.hxCleanMeanS > 0.0 &&
+            profile.weatherGapMeanS > 0.0,
             "generateSchedule: repair means must be > 0");
 
     const double per_hour = 1.0 / 3600.0;
@@ -313,6 +340,36 @@ generateSchedule(const FaultProfile &profile, double horizon_s,
                 FaultKind::FanFailure, FaultKind::FanRepair,
                 s, 0.0);
     }
+
+    const std::uint64_t plant_base = plantStreamBase(server_count);
+
+    if (profile.pumpFailurePerHour > 0.0)
+        sampleFailRepair(out,
+                         Rng::forStream(seed, plant_base + 0),
+                         profile.pumpFailurePerHour * per_hour,
+                         profile.pumpRepairMeanS, horizon_s,
+                         FaultKind::PumpFailure,
+                         FaultKind::PumpRepair,
+                         FaultEvent::noTarget, 0.0);
+
+    if (profile.hxFoulingPerHour > 0.0)
+        sampleFailRepair(out,
+                         Rng::forStream(seed, plant_base + 1),
+                         profile.hxFoulingPerHour * per_hour,
+                         profile.hxCleanMeanS, horizon_s,
+                         FaultKind::HxFouling,
+                         FaultKind::HxDefoul,
+                         FaultEvent::noTarget,
+                         profile.hxFoulingFraction);
+
+    if (profile.weatherGapPerHour > 0.0)
+        sampleFailRepair(out,
+                         Rng::forStream(seed, plant_base + 2),
+                         profile.weatherGapPerHour * per_hour,
+                         profile.weatherGapMeanS, horizon_s,
+                         FaultKind::WeatherGapStart,
+                         FaultKind::WeatherGapEnd,
+                         FaultEvent::noTarget, 0.0);
 
     return out;
 }

@@ -43,16 +43,24 @@ enum class FaultKind
     CoolingRestore, //!< Plant regains `magnitude` capacity fraction.
     SensorRestore,  //!< Inlet sensor reports again (drift intact).
     TraceGapEnd,    //!< Input load trace resumes.
+    PumpRepair,     //!< Coolant loop pump back in service.
+    HxDefoul,       //!< Heat exchanger cleaned; `magnitude`
+                    //!< effectiveness fraction recovered.
+    WeatherGapEnd,  //!< Weather trace reports again.
     ServerCrash,    //!< Server dies; its jobs are lost.
     FanFailure,     //!< Server fan bank fails (emergency throttle).
     CoolingTrip,    //!< Plant loses `magnitude` capacity fraction.
     SensorDrift,    //!< Inlet sensor bias shifts by `magnitude` C.
     SensorDropout,  //!< Inlet sensor stops reporting (hold-last).
     TraceGapStart,  //!< Input load trace goes dark (no arrivals).
+    PumpFailure,    //!< Coolant loop pump fails (backup plant).
+    HxFouling,      //!< Heat exchanger fouls; loses `magnitude`
+                    //!< effectiveness fraction.
+    WeatherGapStart, //!< Weather trace goes dark (hold-last ambient).
 };
 
 /** Number of distinct fault kinds. */
-constexpr std::size_t faultKindCount = 11;
+constexpr std::size_t faultKindCount = 17;
 
 /** @return Stable text name of a kind ("server_crash", ...). */
 const char *toString(FaultKind kind);
@@ -129,6 +137,23 @@ struct FaultProfile
     double traceGapPerHour = 0.0;
     /** Mean gap duration (s). */
     double traceGapMeanS = 120.0;
+
+    /** Coolant-pump failure rate (per hour; tts::plant loops). */
+    double pumpFailurePerHour = 0.0;
+    /** Mean pump repair time (s). */
+    double pumpRepairMeanS = 1800.0;
+
+    /** Heat-exchanger fouling-step rate (per hour). */
+    double hxFoulingPerHour = 0.0;
+    /** Effectiveness fraction lost per fouling step, in (0, 1]. */
+    double hxFoulingFraction = 0.2;
+    /** Mean fouling-to-cleaning time (s). */
+    double hxCleanMeanS = 3600.0;
+
+    /** Weather-trace gap rate (per hour). */
+    double weatherGapPerHour = 0.0;
+    /** Mean weather-gap duration (s). */
+    double weatherGapMeanS = 600.0;
 };
 
 /**

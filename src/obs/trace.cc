@@ -138,6 +138,8 @@ eventKindName(EventKind kind)
         return "job.crash_kill";
     case EventKind::OptStep:
         return "opt.step";
+    case EventKind::PlantControl:
+        return "plant.control";
     case EventKind::PhaseBegin:
         return "phase.begin";
     case EventKind::PhaseEnd:

@@ -52,6 +52,7 @@ enum class EventKind
     PhaseBegin,        //!< Study phase started.
     PhaseEnd,          //!< Study phase finished.
     OptStep,           //!< Wax-placement search iteration sample.
+    PlantControl,      //!< Cooling-plant backend control decision.
 };
 
 /** @return Stable dotted name, e.g. "melt.onset". */

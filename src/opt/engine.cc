@@ -9,6 +9,7 @@
 
 #include "exec/parallel.hh"
 #include "obs/obs.hh"
+#include "plant/study.hh"
 #include "tco/parameters.hh"
 #include "util/error.hh"
 
@@ -97,6 +98,31 @@ annualTcoUsd(const SearchSpace &space,
             (mass_kg[a] / axis.paperMassKg);
     }
     return 12.0 * monthly;
+}
+
+/**
+ * Yearly OpEx of a non-default cooling backend serving the fleet's
+ * mean cooling load (USD/year).  The oracle sees only the integrated
+ * cooling energy (series recording is off), so the load is replayed
+ * flat at hourly samples - enough for the time-of-use tariff and the
+ * diurnal economizer COP to price it.  Zero for the default CRAC
+ * adapter: the Table 2 coolingEnergyOpEx rate already covers it, and
+ * the default search objective stays bit-identical.
+ */
+double
+plantOpExUsdPerYear(const core::RunConfig &run, double duration_s,
+                    double cooling_energy_j)
+{
+    if (run.plant.kind == plant::BackendKind::Crac ||
+        duration_s <= 0.0)
+        return 0.0;
+    plant::PlantScenario scenario;
+    double mean_w = std::max(cooling_energy_j, 0.0) / duration_s;
+    for (double t = 0.0; t <= duration_s + 1e-9; t += 3600.0)
+        scenario.loadW.append(t, mean_w);
+    plant::PlantConfig config;
+    config.options = run.plant;
+    return plant::runPlant(scenario, config).yearlyNetCostUsd;
 }
 
 /** The oracle's fleet configuration shared by every evaluation. */
@@ -214,6 +240,8 @@ class Engine
         outcome.coolingEnergyJ = r.coolingEnergyJ;
         outcome.tcoUsdPerYear = annualTcoUsd(
             space_, mass_kg, r.peakCoolingW, f.run.serverCount);
+        outcome.tcoUsdPerYear += plantOpExUsdPerYear(
+            f.run, f.durationS, r.coolingEnergyJ);
         return outcome;
     }
 
@@ -279,6 +307,8 @@ evaluateCandidate(const SearchSpace &space, const Candidate &c,
     outcome.coolingEnergyJ = r.coolingEnergyJ;
     outcome.tcoUsdPerYear = annualTcoUsd(space, mass, r.peakCoolingW,
                                          f.run.serverCount);
+    outcome.tcoUsdPerYear += plantOpExUsdPerYear(
+        f.run, f.durationS, r.coolingEnergyJ);
     return outcome;
 }
 

@@ -1,0 +1,25 @@
+#include "plant/backend.hh"
+
+#include "util/error.hh"
+
+namespace tts {
+namespace plant {
+
+std::unique_ptr<CoolingBackend>
+makeBackend(BackendKind kind, const PlantTuning &tuning)
+{
+    switch (kind) {
+      case BackendKind::Crac:
+        return makeCracBackend(tuning);
+      case BackendKind::HotWater:
+        return makeHotWaterBackend(tuning);
+      case BackendKind::Economizer:
+        return makeEconomizerBackend(tuning);
+      case BackendKind::Mpc:
+        return makeMpcBackend(tuning);
+    }
+    fatal("makeBackend: bad BackendKind");
+}
+
+} // namespace plant
+} // namespace tts

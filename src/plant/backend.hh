@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The pluggable cooling-plant backend interface (tts::plant).
+ *
+ * A CoolingBackend turns one sample of plant heat load (plus the
+ * ambient and the live fault state) into electric power, reused
+ * heat, and - for the controlling backends - fan/DVFS/melt actions.
+ * Four implementations ship:
+ *
+ *  - crac: the paper's plant, arithmetic bit-identical to
+ *    datacenter::CoolingSystem so the default path repro every
+ *    pre-plant golden key.
+ *  - hot_water: iDataCool-style warm-water loop; a heat exchanger
+ *    captures a fraction of the load into reusable hot water, the
+ *    residue goes to a mechanical chiller, and a pump overhead is
+ *    paid.  Pump failure falls back to a low-COP backup chiller;
+ *    fouling erodes the exchanger effectiveness.
+ *  - economizer: datacenter::EconomizerCoolingModel priced under a
+ *    WeatherSource (measured trace or sinusoid).
+ *  - mpc: a receding-horizon controller over a PCM cold buffer that
+ *    co-schedules buffer charge/discharge (melt state), fan level,
+ *    and a DVFS cap against a perfect load/weather forecast,
+ *    minimizing time-of-use electricity cost plus a throughput
+ *    penalty.  Pure arithmetic: bit-identical at any thread count.
+ *
+ * Backends are deliberately passive: all fault state arrives in the
+ * PlantStep (the runner reads the fault::FaultInjector), so a
+ * backend is a deterministic function of its inputs and its own
+ * serialized controller state.
+ */
+
+#ifndef TTS_PLANT_BACKEND_HH
+#define TTS_PLANT_BACKEND_HH
+
+#include <memory>
+
+#include "datacenter/cooling_system.hh"
+#include "datacenter/free_cooling.hh"
+#include "guard/checkpoint.hh"
+#include "plant/options.hh"
+#include "util/time_series.hh"
+
+namespace tts {
+namespace plant {
+
+/** Numeric knobs for every backend (defaults match the paper). */
+struct PlantTuning
+{
+    /** Time-of-use tariff: prices the study AND the MPC cost-to-go. */
+    datacenter::ElectricityTariff tariff;
+
+    /** CRAC coefficient of performance (paper: 3.5). */
+    double cracCop = 3.5;
+
+    /** Hot-water heat-exchanger capture effectiveness, in (0, 1]. */
+    double hwEffectiveness = 0.75;
+    /** COP of the chiller that removes the uncaptured residue. */
+    double hwMechanicalCop = 3.5;
+    /** COP of the backup chiller while the loop pump is failed. */
+    double hwBackupCop = 2.0;
+    /** Loop pump electric power as a fraction of the heat load. */
+    double hwPumpFraction = 0.02;
+    /** Price credit for captured reusable heat (USD/kWh thermal). */
+    double hwReusePricePerKWh = 0.03;
+
+    /** Economizer efficiency model (also the MPC plant model). */
+    datacenter::EconomizerCoolingModel economizer;
+
+    /** MPC lookahead window (forecast steps). */
+    std::size_t mpcHorizonSteps = 36;
+    /** PCM cold-buffer capacity (J of absorbable heat). */
+    double mpcBufferJ = 0.0; //!< <= 0: sized from the forecast.
+    /**
+     * Buffer levels in the controller's value iteration.  One level
+     * is the charge/discharge quantum per step, so keep a level
+     * close to one control step of mean load - a coarse grid forces
+     * discharges far larger than the instantaneous load, the excess
+     * is clamped away, and the DP (correctly) never arbitrages.
+     */
+    std::size_t mpcBufferLevels = 24;
+    /** Round-trip efficiency of buffer charge/discharge, in (0,1]. */
+    double mpcRoundTripEff = 0.90;
+    /** Fan electric overhead at full speed, fraction of heat load. */
+    double mpcFanFraction = 0.005;
+    /** Candidate fan levels (cube-law power, linear COP factor). */
+    double mpcFanLevels[3] = {0.6, 0.8, 1.0};
+    /** Candidate DVFS caps (fraction of nominal IT heat). */
+    double mpcDvfsCaps[2] = {0.85, 1.0};
+    /** Penalty for shed IT work (USD/kWh of lost compute). */
+    double mpcDvfsPenaltyPerKWh = 0.60;
+
+    /** Auto-sized buffer: hours of mean load it can absorb. */
+    double mpcBufferHoursOfMeanLoad = 2.0;
+};
+
+/** One plant step: the runner fills this from sim + fault state. */
+struct PlantStep
+{
+    /** Sample time (s since scenario start). */
+    double timeS = 0.0;
+    /** Forward interval to the next sample (s; 0 on the last). */
+    double dtS = 0.0;
+    /** IT heat arriving at the plant this sample (W, >= 0). */
+    double heatLoadW = 0.0;
+    /** Outdoor ambient (C), already gap-held by the runner. */
+    double ambientC = 18.0;
+    /** Surviving plant capacity fraction in [0, 1] (CoolingTrip). */
+    double capacityFraction = 1.0;
+    /** True while the loop pump is failed (hot-water backup mode). */
+    bool pumpFailed = false;
+    /** Heat-exchanger effectiveness fraction lost to fouling. */
+    double hxFouling = 0.0;
+};
+
+/** What one step produced. */
+struct PlantStepResult
+{
+    /** Plant electric power (W). */
+    double electricW = 0.0;
+    /** Heat actually removed (W); the rest is unserved. */
+    double servedW = 0.0;
+    /** Heat captured into the reuse loop (W). */
+    double reusedW = 0.0;
+    /** DVFS cap chosen (1 = uncapped; MPC only). */
+    double dvfsCap = 1.0;
+    /** Fan level chosen (MPC only; 1 otherwise). */
+    double fanLevel = 1.0;
+    /** Cold-buffer fill after the step (J; MPC only). */
+    double bufferJ = 0.0;
+    /** Buffer energy discharged this step (J; MPC only). */
+    double dischargedJ = 0.0;
+};
+
+/** A pluggable cooling-plant backend (see file comment). */
+class CoolingBackend
+{
+  public:
+    virtual ~CoolingBackend() = default;
+
+    /** @return The BackendKind name ("crac", ...). */
+    virtual const char *name() const = 0;
+
+    /** Advance one sample; called in strictly increasing time. */
+    virtual PlantStepResult step(const PlantStep &in) = 0;
+
+    /**
+     * Perfect forecast for lookahead controllers (no-op for the
+     * static backends).  @p load_w and @p ambient_c are sampled on
+     * the runner's step grid.
+     */
+    virtual void setForecast(const TimeSeries &load_w,
+                             const TimeSeries &ambient_c)
+    {
+        (void)load_w;
+        (void)ambient_c;
+    }
+
+    /** Reset all mutable state to the initial (t = 0) condition. */
+    virtual void reset() = 0;
+
+    /** Serialize mutable controller state (a named section). */
+    virtual void save(guard::CheckpointWriter &w) const = 0;
+
+    /** Restore state written by save(). @throws FatalError */
+    virtual void restore(guard::CheckpointReader &r) = 0;
+};
+
+/** @return A fresh backend of the given kind. @throws FatalError */
+std::unique_ptr<CoolingBackend> makeBackend(BackendKind kind,
+                                            const PlantTuning &tuning);
+
+/** Internal per-kind factories (each lives in its own TU). */
+std::unique_ptr<CoolingBackend>
+makeCracBackend(const PlantTuning &tuning);
+std::unique_ptr<CoolingBackend>
+makeHotWaterBackend(const PlantTuning &tuning);
+std::unique_ptr<CoolingBackend>
+makeEconomizerBackend(const PlantTuning &tuning);
+std::unique_ptr<CoolingBackend>
+makeMpcBackend(const PlantTuning &tuning);
+
+} // namespace plant
+} // namespace tts
+
+#endif // TTS_PLANT_BACKEND_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CRAC adapter backend.
+ *
+ * Wraps the paper's datacenter::CoolingSystem arithmetic exactly:
+ * with full capacity the electric power is max(load, 0) / COP, the
+ * very expression CoolingSystem::electricSeries() appends, so a
+ * plant run under the default backend prices bit-identically to
+ * every pre-plant golden.  A CoolingTrip fault sheds load
+ * proportionally: only the surviving capacity fraction of the heat
+ * is removed (and paid for); the rest is reported unserved.
+ */
+
+#include <algorithm>
+
+#include "plant/backend.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace plant {
+
+namespace {
+
+class CracBackend final : public CoolingBackend
+{
+  public:
+    explicit CracBackend(const PlantTuning &tuning)
+        : cop_(tuning.cracCop)
+    {
+        require(cop_ > 0.0, "CracBackend: COP must be > 0");
+    }
+
+    const char *name() const override { return "crac"; }
+
+    PlantStepResult
+    step(const PlantStep &in) override
+    {
+        double load = std::max(in.heatLoadW, 0.0);
+        PlantStepResult out;
+        out.servedW = load * in.capacityFraction;
+        out.electricW = out.servedW / cop_;
+        return out;
+    }
+
+    void reset() override {}
+
+    void
+    save(guard::CheckpointWriter &w) const override
+    {
+        w.section("plant.crac");
+    }
+
+    void
+    restore(guard::CheckpointReader &r) override
+    {
+        r.expectSection("plant.crac");
+    }
+
+  private:
+    double cop_;
+};
+
+} // namespace
+
+std::unique_ptr<CoolingBackend>
+makeCracBackend(const PlantTuning &tuning)
+{
+    return std::make_unique<CracBackend>(tuning);
+}
+
+} // namespace plant
+} // namespace tts

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Free-air economizer backend.
+ *
+ * Prices the heat load with datacenter::EconomizerCoolingModel at
+ * the ambient the runner supplies - a measured WeatherTrace when
+ * one is configured, the sinusoidal AmbientModel otherwise.  Weather
+ * gaps are already folded into step.ambientC (hold-last in the
+ * runner's WeatherSource), so this backend stays stateless.
+ */
+
+#include <algorithm>
+
+#include "plant/backend.hh"
+
+namespace tts {
+namespace plant {
+
+namespace {
+
+class EconomizerBackend final : public CoolingBackend
+{
+  public:
+    explicit EconomizerBackend(const PlantTuning &tuning)
+        : model_(tuning.economizer)
+    {
+        // Validate the model up front, not on the first step.
+        model_.copAt(model_.returnAirC);
+    }
+
+    const char *name() const override { return "economizer"; }
+
+    PlantStepResult
+    step(const PlantStep &in) override
+    {
+        double load = std::max(in.heatLoadW, 0.0);
+        PlantStepResult out;
+        out.servedW = load * in.capacityFraction;
+        out.electricW = model_.electricPower(out.servedW,
+                                             in.ambientC);
+        return out;
+    }
+
+    void reset() override {}
+
+    void
+    save(guard::CheckpointWriter &w) const override
+    {
+        w.section("plant.economizer");
+    }
+
+    void
+    restore(guard::CheckpointReader &r) override
+    {
+        r.expectSection("plant.economizer");
+    }
+
+  private:
+    datacenter::EconomizerCoolingModel model_;
+};
+
+} // namespace
+
+std::unique_ptr<CoolingBackend>
+makeEconomizerBackend(const PlantTuning &tuning)
+{
+    return std::make_unique<EconomizerBackend>(tuning);
+}
+
+} // namespace plant
+} // namespace tts

@@ -1,0 +1,94 @@
+#include "plant/golden.hh"
+
+#include <cmath>
+
+#include "datacenter/cooling_system.hh"
+#include "plant/study.hh"
+#include "server/server_model.hh"
+#include "server/server_spec.hh"
+#include "workload/google_trace.hh"
+
+namespace tts {
+namespace plant {
+
+namespace {
+
+/** The pinned scenario: a 48-server RD330 pod, paper wax. */
+PlantScenario
+goldenScenario()
+{
+    PlantScenario scenario;
+    scenario.loadW = clusterCoolingLoad(
+        server::rd330Spec(), server::WaxConfig::paper(), 48,
+        workload::makeGoogleTrace());
+    return scenario;
+}
+
+void
+putArm(std::map<std::string, double> &g, const PlantResult &r)
+{
+    const std::string p = "plant." + r.backend;
+    g[p + ".electric_energy_kwh"] = r.electricEnergyJ / 3.6e6;
+    g[p + ".peak_electric_w"] = r.peakElectricW;
+    g[p + ".yearly_net_cost_usd"] = r.yearlyNetCostUsd;
+}
+
+} // namespace
+
+std::map<std::string, double>
+computePlantGoldenValues()
+{
+    std::map<std::string, double> g;
+    PlantScenario scenario = goldenScenario();
+    PlantConfig config;
+    config.recordSeries = true;
+
+    auto cmp = compareBackends(
+        scenario, config,
+        {BackendKind::Crac, BackendKind::HotWater,
+         BackendKind::Economizer, BackendKind::Mpc});
+
+    for (const auto &arm : cmp.arms)
+        putArm(g, arm);
+    g["plant.hot_water.reuse_credit_usd_year"] =
+        cmp.arms[1].reuseCreditUsd * 365.25 /
+        ((scenario.loadW.endTime() - scenario.loadW.startTime()) /
+         86400.0);
+    g["plant.mpc.buffer_discharge_kwh"] =
+        cmp.arms[3].bufferDischargeJ / 3.6e6;
+    g["plant.mpc.throughput_retention"] =
+        cmp.arms[3].throughputRetention;
+    g["plant.mpc_vs_crac.saving_fraction"] = cmp.mpcVsCracSaving;
+
+    // CRAC adapter equivalence: the default backend must price
+    // exactly like the paper's datacenter::CoolingSystem.
+    datacenter::CoolingSystem legacy(
+        std::max(scenario.loadW.max(), 1.0), config.tuning.cracCop);
+    double legacy_cost = legacy.energyCost(scenario.loadW,
+                                           config.tuning.tariff);
+    double span_days =
+        (scenario.loadW.endTime() - scenario.loadW.startTime()) /
+        86400.0;
+    double legacy_yearly = legacy_cost * 365.25 / span_days;
+    g["plant.adapter.cost_delta_usd"] =
+        std::abs(cmp.arms[0].yearlyNetCostUsd - legacy_yearly);
+
+    // A faulted hot-water arm: pump failure then exchanger fouling.
+    PlantScenario faulted = scenario;
+    faulted.faults.add(6.0 * 3600.0, fault::FaultKind::PumpFailure);
+    faulted.faults.add(10.0 * 3600.0, fault::FaultKind::PumpRepair);
+    faulted.faults.add(20.0 * 3600.0, fault::FaultKind::HxFouling,
+                       fault::FaultEvent::noTarget, 0.3);
+    PlantConfig hw = config;
+    hw.options.kind = BackendKind::HotWater;
+    PlantResult fr = runPlant(faulted, hw);
+    g["plant.hot_water.faulted_yearly_net_cost_usd"] =
+        fr.yearlyNetCostUsd;
+    g["plant.hot_water.faulted_events"] =
+        static_cast<double>(fr.faultEventsApplied);
+
+    return g;
+}
+
+} // namespace plant
+} // namespace tts

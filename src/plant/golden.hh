@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Golden values for the cooling-plant backends.
+ *
+ * Pins the `plant.*` keys: every backend run as an arm over the
+ * same cluster-derived heat load (48 RD330 servers with the paper's
+ * wax under the synthetic Google trace), a faulted hot-water arm
+ * (pump failure + exchanger fouling), the CRAC-adapter equivalence
+ * delta against datacenter::CoolingSystem (must be exactly zero),
+ * and the MPC-vs-CRAC yearly saving the controller must sustain.
+ * tools/tts_golden merges this map into tests/data/golden.json next
+ * to core::computeGoldenValues() (plant sits above datacenter but
+ * below core, so core cannot host these), and the integration test
+ * recomputes both and diffs.
+ */
+
+#ifndef TTS_PLANT_GOLDEN_HH
+#define TTS_PLANT_GOLDEN_HH
+
+#include <map>
+#include <string>
+
+namespace tts {
+namespace plant {
+
+/** Recompute the pinned `plant.*` golden keys. */
+std::map<std::string, double> computePlantGoldenValues();
+
+} // namespace plant
+} // namespace tts
+
+#endif // TTS_PLANT_GOLDEN_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Hot-water cooling with energy reuse (iDataCool, arXiv 1309.4887).
+ *
+ * Server heat is carried off on a warm-water loop; a heat exchanger
+ * captures an effectiveness fraction of it as reusable hot water
+ * (credited at a thermal price by the study), and a mechanical
+ * chiller removes the residue.  Running the loop costs a pump
+ * overhead proportional to the heat load.  Faults:
+ *
+ *  - PumpFailure: the loop is down; the whole load falls back to a
+ *    low-COP backup chiller and nothing is captured.
+ *  - HxFouling: the exchanger loses a cumulative effectiveness
+ *    fraction (step.hxFouling), shrinking both the reuse credit and
+ *    the capture; the chiller picks up the difference.
+ *  - CoolingTrip (capacityFraction < 1): load is shed
+ *    proportionally, as in the CRAC adapter.
+ */
+
+#include <algorithm>
+
+#include "plant/backend.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace plant {
+
+namespace {
+
+class HotWaterBackend final : public CoolingBackend
+{
+  public:
+    explicit HotWaterBackend(const PlantTuning &tuning)
+        : effectiveness_(tuning.hwEffectiveness),
+          mech_cop_(tuning.hwMechanicalCop),
+          backup_cop_(tuning.hwBackupCop),
+          pump_fraction_(tuning.hwPumpFraction)
+    {
+        require(effectiveness_ > 0.0 && effectiveness_ <= 1.0,
+                "HotWaterBackend: effectiveness must be in (0, 1]");
+        require(mech_cop_ > 0.0 && backup_cop_ > 0.0,
+                "HotWaterBackend: COPs must be > 0");
+        require(pump_fraction_ >= 0.0,
+                "HotWaterBackend: pump fraction must be >= 0");
+    }
+
+    const char *name() const override { return "hot_water"; }
+
+    PlantStepResult
+    step(const PlantStep &in) override
+    {
+        double load = std::max(in.heatLoadW, 0.0);
+        PlantStepResult out;
+        out.servedW = load * in.capacityFraction;
+        if (in.pumpFailed) {
+            // Loop down: everything through the backup chiller.
+            out.electricW = out.servedW / backup_cop_;
+            return out;
+        }
+        double eff = effectiveness_ *
+            std::clamp(1.0 - in.hxFouling, 0.0, 1.0);
+        out.reusedW = out.servedW * eff;
+        double residual = out.servedW - out.reusedW;
+        out.electricW = residual / mech_cop_ +
+            pump_fraction_ * out.servedW;
+        return out;
+    }
+
+    void reset() override {}
+
+    void
+    save(guard::CheckpointWriter &w) const override
+    {
+        w.section("plant.hot_water");
+    }
+
+    void
+    restore(guard::CheckpointReader &r) override
+    {
+        r.expectSection("plant.hot_water");
+    }
+
+  private:
+    double effectiveness_;
+    double mech_cop_;
+    double backup_cop_;
+    double pump_fraction_;
+};
+
+} // namespace
+
+std::unique_ptr<CoolingBackend>
+makeHotWaterBackend(const PlantTuning &tuning)
+{
+    return std::make_unique<HotWaterBackend>(tuning);
+}
+
+} // namespace plant
+} // namespace tts

@@ -1,0 +1,39 @@
+#include "plant/options.hh"
+
+#include "util/error.hh"
+
+namespace tts {
+namespace plant {
+
+namespace {
+
+const char *const kindNames[backendKindCount] = {
+    "crac",
+    "hot_water",
+    "economizer",
+    "mpc",
+};
+
+} // namespace
+
+const char *
+toString(BackendKind kind)
+{
+    auto i = static_cast<std::size_t>(kind);
+    invariant(i < backendKindCount, "toString: bad BackendKind");
+    return kindNames[i];
+}
+
+BackendKind
+backendKindFromString(const std::string &name)
+{
+    for (std::size_t i = 0; i < backendKindCount; ++i) {
+        if (name == kindNames[i])
+            return static_cast<BackendKind>(i);
+    }
+    fatal("plant: unknown backend '" + name +
+          "' (want crac|hot_water|economizer|mpc)");
+}
+
+} // namespace plant
+} // namespace tts

@@ -1,0 +1,328 @@
+#include "plant/study.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "fault/fault_injector.hh"
+#include "guard/checkpoint.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
+#include "plant/weather.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace plant {
+
+namespace {
+
+/** Checkpoint exists <=> restorable. */
+bool
+fileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f)
+        std::fclose(f);
+    return f != nullptr;
+}
+
+WeatherSource
+makeWeather(const PlantConfig &config)
+{
+    if (!config.weatherText.empty())
+        return WeatherSource(
+            WeatherTrace::parse(config.weatherText));
+    if (!config.options.weatherPath.empty())
+        return WeatherSource(
+            WeatherTrace::load(config.options.weatherPath));
+    return WeatherSource(config.ambient);
+}
+
+/** Gap-free ambient forecast on the load sample grid. */
+TimeSeries
+ambientForecast(const PlantConfig &config, const TimeSeries &load_w)
+{
+    WeatherSource src = makeWeather(config);
+    TimeSeries out("ambient_c");
+    for (std::size_t i = 0; i < load_w.size(); ++i) {
+        double t = load_w.times()[i];
+        out.append(t, src.at(t));
+    }
+    return out;
+}
+
+/** Mutable loop state: everything a checkpoint must capture. */
+struct RunState
+{
+    std::size_t next = 0; //!< Next load-series sample index.
+    TimeSeries electric{"plant_electric_w"};
+    double reusedJ = 0.0;
+    double unservedJ = 0.0;
+    double shedComputeJ = 0.0;
+    double servedComputeJ = 0.0;
+    double nominalComputeJ = 0.0;
+    double dischargeJ = 0.0;
+};
+
+void
+saveRun(guard::CheckpointWriter &w, const RunState &st,
+        const std::string &backend, const WeatherSource &weather,
+        const fault::FaultInjector &inj)
+{
+    w.section("plant.run");
+    w.putToken("backend", backend);
+    w.putU64("next", st.next);
+    w.putVector("electric.t", st.electric.times());
+    w.putVector("electric.v", st.electric.values());
+    w.put("reused_j", st.reusedJ);
+    w.put("unserved_j", st.unservedJ);
+    w.put("shed_j", st.shedComputeJ);
+    w.put("served_work_j", st.servedComputeJ);
+    w.put("nominal_work_j", st.nominalComputeJ);
+    w.put("discharge_j", st.dischargeJ);
+    w.put("weather.held_c", weather.heldC());
+    fault::FaultInjector::State is = inj.state();
+    w.putU64("inj.next", is.next);
+    w.put("inj.now", is.now);
+    w.put("inj.cooling_lost", is.coolingLostFraction);
+    w.putBool("inj.pump_failed", is.pumpFailed);
+    w.put("inj.hx_fouling", is.hxFoulingFraction);
+    w.putI64("inj.weather_gap_depth", is.weatherGapDepth);
+}
+
+void
+restoreRun(guard::CheckpointReader &r, RunState &st,
+           const std::string &backend, WeatherSource &weather,
+           fault::FaultInjector &inj)
+{
+    r.expectSection("plant.run");
+    std::string got = r.expectToken("backend");
+    require(got == backend,
+            "plant checkpoint: backend mismatch (checkpoint has '" +
+                got + "', run wants '" + backend + "')");
+    st.next = static_cast<std::size_t>(r.expectU64("next"));
+    std::vector<double> ts = r.expectVector("electric.t");
+    std::vector<double> vs = r.expectVector("electric.v");
+    require(ts.size() == vs.size(),
+            "plant checkpoint: electric series length mismatch");
+    st.electric = TimeSeries("plant_electric_w");
+    for (std::size_t i = 0; i < ts.size(); ++i)
+        st.electric.append(ts[i], vs[i]);
+    st.reusedJ = r.expect("reused_j");
+    st.unservedJ = r.expect("unserved_j");
+    st.shedComputeJ = r.expect("shed_j");
+    st.servedComputeJ = r.expect("served_work_j");
+    st.nominalComputeJ = r.expect("nominal_work_j");
+    st.dischargeJ = r.expect("discharge_j");
+    weather.setHeldC(r.expect("weather.held_c"));
+    fault::FaultInjector::State is = inj.state();
+    is.next = static_cast<std::size_t>(r.expectU64("inj.next"));
+    is.now = r.expect("inj.now");
+    is.coolingLostFraction = r.expect("inj.cooling_lost");
+    is.pumpFailed = r.expectBool("inj.pump_failed");
+    is.hxFoulingFraction = r.expect("inj.hx_fouling");
+    is.weatherGapDepth = static_cast<int>(
+        r.expectI64("inj.weather_gap_depth"));
+    inj.restoreState(is);
+}
+
+} // namespace
+
+PlantResult
+runPlant(const PlantScenario &scenario, const PlantConfig &config)
+{
+    const TimeSeries &load = scenario.loadW;
+    require(load.size() >= 2,
+            "runPlant: load series needs >= 2 samples");
+    for (double v : load.values())
+        require(std::isfinite(v),
+                "runPlant: non-finite load sample");
+    require(scenario.serverCount >= 1,
+            "runPlant: need at least one server");
+
+    auto backend = makeBackend(config.options.kind, config.tuning);
+    WeatherSource weather = makeWeather(config);
+    backend->setForecast(load, ambientForecast(config, load));
+    backend->reset();
+    fault::FaultInjector inj(scenario.faults, scenario.serverCount);
+
+    RunState st;
+    const PlantCheckpointPolicy &ckpt = config.checkpoint;
+    if (!ckpt.path.empty() && fileExists(ckpt.path)) {
+        guard::CheckpointReader r(
+            guard::readCheckpointFile(ckpt.path), ckpt.path);
+        restoreRun(r, st, backend->name(), weather, inj);
+        backend->restore(r);
+        r.expectEnd();
+        TTS_OBS_EVENT(obs::EventKind::CheckpointRestore,
+                      st.next ? load.times()[st.next - 1] : 0.0,
+                      "plant", static_cast<double>(st.next), -1);
+    }
+
+    const auto &times = load.times();
+    const auto &values = load.values();
+    const std::size_t n = times.size();
+    const double start_t = st.next < n ? times[st.next]
+                                       : times[n - 1];
+    double last_ckpt_t = start_t;
+    bool paused = false;
+
+    auto writeCheckpoint = [&](double now) {
+        guard::CheckpointWriter w;
+        saveRun(w, st, backend->name(), weather, inj);
+        backend->save(w);
+        guard::writeCheckpointFile(ckpt.path, w.finish());
+        TTS_OBS_EVENT(obs::EventKind::CheckpointSave, now, "plant",
+                      static_cast<double>(st.next), -1);
+        last_ckpt_t = now;
+    };
+
+    while (st.next < n) {
+        std::size_t i = st.next;
+        double t = times[i];
+        double dt = i + 1 < n ? times[i + 1] - t : 0.0;
+        inj.advanceTo(t);
+        double ambient = weather.at(t, inj.weatherGapActive());
+
+        PlantStep in;
+        in.timeS = t;
+        in.dtS = dt;
+        in.heatLoadW = std::max(values[i], 0.0);
+        in.ambientC = ambient;
+        in.capacityFraction = inj.coolingCapacityFraction();
+        in.pumpFailed = inj.pumpFailed();
+        in.hxFouling = inj.hxFoulingFraction();
+        PlantStepResult out = backend->step(in);
+
+        st.electric.append(t, out.electricW);
+        st.reusedJ += out.reusedW * dt;
+        st.unservedJ +=
+            std::max(in.heatLoadW - out.servedW, 0.0) * dt;
+        st.shedComputeJ += (1.0 - out.dvfsCap) * in.heatLoadW * dt;
+        st.servedComputeJ += out.dvfsCap * in.heatLoadW * dt;
+        st.nominalComputeJ += in.heatLoadW * dt;
+        st.dischargeJ += out.dischargedJ;
+        st.next = i + 1;
+
+        if (obs::enabled()) {
+            static obs::Counter &steps =
+                obs::registry().counter("plant.steps.total");
+            steps.add(1);
+            if (out.dvfsCap < 1.0 || out.fanLevel < 1.0 ||
+                out.dischargedJ > 0.0 || out.bufferJ > 0.0)
+                obs::emitEvent(obs::EventKind::PlantControl, t,
+                               std::string("plant.") +
+                                   backend->name(),
+                               out.bufferJ,
+                               static_cast<std::int64_t>(
+                                   100.0 * out.dvfsCap));
+        }
+
+        if (!ckpt.path.empty()) {
+            if (t - last_ckpt_t >= ckpt.checkpointEveryS)
+                writeCheckpoint(t);
+            if (ckpt.stopAfterS >= 0.0 && st.next < n &&
+                t - start_t >= ckpt.stopAfterS) {
+                writeCheckpoint(t);
+                paused = true;
+                break;
+            }
+        }
+    }
+
+    PlantResult result;
+    result.backend = backend->name();
+    result.finished = !paused && st.next >= n;
+    result.steps = st.next;
+    result.faultEventsApplied = inj.eventsApplied();
+    result.reusedEnergyJ = st.reusedJ;
+    result.unservedJ = st.unservedJ;
+    result.shedComputeJ = st.shedComputeJ;
+    result.bufferDischargeJ = st.dischargeJ;
+    result.throughputRetention = st.nominalComputeJ > 0.0
+        ? st.servedComputeJ / st.nominalComputeJ
+        : 1.0;
+
+    if (result.finished) {
+        result.electricEnergyJ = st.electric.integral(
+            st.electric.startTime(), st.electric.endTime());
+        result.peakElectricW = st.electric.max();
+        result.energyCostUsd =
+            config.tuning.tariff.costOf(st.electric);
+        result.reuseCreditUsd = config.tuning.hwReusePricePerKWh *
+            units::toKWh(st.reusedJ);
+        result.dvfsPenaltyUsd =
+            config.tuning.mpcDvfsPenaltyPerKWh *
+            units::toKWh(st.shedComputeJ);
+        result.netCostUsd = result.energyCostUsd +
+            result.dvfsPenaltyUsd - result.reuseCreditUsd;
+        double span_days = scenario.spanDays > 0.0
+            ? scenario.spanDays
+            : (load.endTime() - load.startTime()) / 86400.0;
+        require(span_days > 0.0, "runPlant: zero-length span");
+        result.yearlyNetCostUsd =
+            result.netCostUsd * 365.25 / span_days;
+        if (obs::enabled()) {
+            static obs::Counter &runs =
+                obs::registry().counter("plant.runs.total");
+            runs.add(1);
+        }
+    }
+    if (config.recordSeries)
+        result.electricW = std::move(st.electric);
+    return result;
+}
+
+PlantComparison
+compareBackends(const PlantScenario &scenario,
+                const PlantConfig &config,
+                const std::vector<BackendKind> &kinds,
+                exec::ThreadPool *pool)
+{
+    require(!kinds.empty(), "compareBackends: no backends");
+    PlantComparison cmp;
+    cmp.arms.resize(kinds.size());
+    auto runArm = [&](std::size_t i) {
+        PlantConfig arm = config;
+        arm.options.kind = kinds[i];
+        arm.checkpoint = PlantCheckpointPolicy{};
+        cmp.arms[i] = runPlant(scenario, arm);
+    };
+    if (pool) {
+        pool->forIndex(kinds.size(), runArm);
+    } else {
+        exec::ThreadPool local;
+        local.forIndex(kinds.size(), runArm);
+    }
+
+    double crac = 0.0, mpc = 0.0;
+    bool have_crac = false, have_mpc = false;
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        if (kinds[i] == BackendKind::Crac) {
+            crac = cmp.arms[i].yearlyNetCostUsd;
+            have_crac = true;
+        }
+        if (kinds[i] == BackendKind::Mpc) {
+            mpc = cmp.arms[i].yearlyNetCostUsd;
+            have_mpc = true;
+        }
+    }
+    if (have_crac && have_mpc && crac > 0.0)
+        cmp.mpcVsCracSaving = (crac - mpc) / crac;
+    return cmp;
+}
+
+TimeSeries
+clusterCoolingLoad(const server::ServerSpec &spec,
+                   const server::WaxConfig &wax,
+                   std::size_t server_count,
+                   const workload::WorkloadTrace &trace,
+                   const datacenter::ClusterRunOptions &options)
+{
+    datacenter::Cluster cluster(spec, wax, server_count);
+    return cluster.run(trace, options).coolingLoadW;
+}
+
+} // namespace plant
+} // namespace tts

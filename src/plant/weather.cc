@@ -1,0 +1,159 @@
+#include "plant/weather.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace plant {
+
+namespace {
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ss(line);
+    while (std::getline(ss, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+double
+parseNumber(const std::string &cell, const char *what,
+            std::size_t line_no)
+{
+    try {
+        std::size_t used = 0;
+        double v = std::stod(cell, &used);
+        // Allow trailing whitespace / CR only.
+        for (std::size_t i = used; i < cell.size(); ++i) {
+            char c = cell[i];
+            require(c == ' ' || c == '\t' || c == '\r',
+                    std::string("readWeatherCsv: trailing garbage "
+                                "in ") + what + " at line " +
+                        std::to_string(line_no));
+        }
+        return v;
+    } catch (const std::invalid_argument &) {
+        fatal(std::string("readWeatherCsv: non-numeric ") + what +
+              " '" + cell + "' at line " + std::to_string(line_no));
+    } catch (const std::out_of_range &) {
+        fatal(std::string("readWeatherCsv: out-of-range ") + what +
+              " at line " + std::to_string(line_no));
+    }
+}
+
+std::string
+trimmedCell(std::string cell)
+{
+    while (!cell.empty() &&
+           (cell.back() == '\r' || cell.back() == ' '))
+        cell.pop_back();
+    return cell;
+}
+
+} // namespace
+
+WeatherTrace
+WeatherTrace::read(std::istream &in)
+{
+    std::string header;
+    require(static_cast<bool>(std::getline(in, header)),
+            "readWeatherCsv: empty input");
+    auto columns = splitCsvLine(header);
+    require(!columns.empty() && columns[0].rfind("t_", 0) == 0,
+            "readWeatherCsv: first column must be the time "
+            "(t_hours)");
+    int ambient_col = -1;
+    for (std::size_t i = 1; i < columns.size(); ++i) {
+        if (trimmedCell(columns[i]) == "ambient_c")
+            ambient_col = static_cast<int>(i);
+    }
+    require(ambient_col >= 0,
+            "readWeatherCsv: missing column 'ambient_c'");
+
+    WeatherTrace trace;
+    std::string line;
+    std::size_t line_no = 1;
+    bool have_last_t = false;
+    double last_t = 0.0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line == "\r")
+            continue;
+        auto cells = splitCsvLine(line);
+        // Truncated rows (a cut-off download, a partial write) must
+        // fail loudly, not index out of range.
+        require(cells.size() >= columns.size(),
+                "readWeatherCsv: short row at line " +
+                    std::to_string(line_no));
+        double t = units::hours(parseNumber(cells[0], "time",
+                                            line_no));
+        require(std::isfinite(t),
+                "readWeatherCsv: non-finite time at line " +
+                    std::to_string(line_no));
+        require(!have_last_t || t > last_t,
+                "readWeatherCsv: out-of-order timestamp at line " +
+                    std::to_string(line_no) +
+                    " (times must be strictly increasing)");
+        last_t = t;
+        have_last_t = true;
+        double c = parseNumber(cells[ambient_col], "ambient",
+                               line_no);
+        require(std::isfinite(c),
+                "readWeatherCsv: non-finite ambient at line " +
+                    std::to_string(line_no));
+        require(c >= minCredibleC && c <= maxCredibleC,
+                "readWeatherCsv: implausible ambient at line " +
+                    std::to_string(line_no) + " (want [" +
+                    std::to_string(minCredibleC) + ", " +
+                    std::to_string(maxCredibleC) + "] C)");
+        trace.series_.append(t, c);
+    }
+    require(trace.size() >= 2, "readWeatherCsv: need >= 2 rows");
+    return trace;
+}
+
+WeatherTrace
+WeatherTrace::parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return read(in);
+}
+
+WeatherTrace
+WeatherTrace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    require(in.good(),
+            "WeatherTrace::load: cannot open '" + path + "'");
+    return read(in);
+}
+
+WeatherSource::WeatherSource(const datacenter::AmbientModel &model)
+    : from_trace_(false), model_(model), held_c_(model.at(0.0))
+{
+}
+
+WeatherSource::WeatherSource(WeatherTrace trace)
+    : from_trace_(true), trace_(std::move(trace)),
+      held_c_(trace_.at(trace_.startS()))
+{
+}
+
+double
+WeatherSource::at(double t_s, bool gap_active)
+{
+    if (!gap_active)
+        held_c_ = from_trace_ ? trace_.at(t_s) : model_.at(t_s);
+    return held_c_;
+}
+
+} // namespace plant
+} // namespace tts

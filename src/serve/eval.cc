@@ -7,6 +7,7 @@
 #include "core/resilience_study.hh"
 #include "core/run_config.hh"
 #include "fault/fault_schedule.hh"
+#include "plant/study.hh"
 #include "server/server_spec.hh"
 #include "util/error.hh"
 #include "util/units.hh"
@@ -137,6 +138,42 @@ evalResilience(const Request &req)
     return out;
 }
 
+Result
+evalPlant(const Request &req)
+{
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(req.days);
+    auto trace = workload::makeGoogleTrace(tp);
+
+    core::RunConfig run = runConfigOf(req);
+    plant::PlantScenario scenario;
+    scenario.loadW = plant::clusterCoolingLoad(
+        specOf(req), run.waxConfig(), req.servers, trace);
+    scenario.serverCount = req.servers;
+    if (!req.faults.empty())
+        scenario.faults = fault::FaultSchedule::parse(req.faults);
+
+    plant::PlantConfig cfg;
+    cfg.options.kind =
+        plant::backendKindFromString(req.plantBackend);
+    cfg.weatherText = req.weather;
+    cfg.recordSeries = false;
+    plant::PlantResult r = plant::runPlant(scenario, cfg);
+
+    Result out;
+    out["plant.electric_energy_kwh"] = r.electricEnergyJ / 3.6e6;
+    out["plant.peak_electric_w"] = r.peakElectricW;
+    out["plant.energy_cost_usd"] = r.energyCostUsd;
+    out["plant.reuse_credit_usd"] = r.reuseCreditUsd;
+    out["plant.dvfs_penalty_usd"] = r.dvfsPenaltyUsd;
+    out["plant.net_cost_usd"] = r.netCostUsd;
+    out["plant.yearly_net_cost_usd"] = r.yearlyNetCostUsd;
+    out["plant.throughput_retention"] = r.throughputRetention;
+    out["plant.fault_events"] =
+        static_cast<double>(r.faultEventsApplied);
+    return out;
+}
+
 } // namespace
 
 Result
@@ -148,6 +185,8 @@ evaluate(const Request &req)
         return evalOutage(req);
     if (req.study == "resilience")
         return evalResilience(req);
+    if (req.study == "plant")
+        return evalPlant(req);
     // parseRequest validates the study name; reaching here means a
     // caller built a Request by hand and got it wrong.
     fatal("evaluate: unknown study \"" + req.study + "\"");

@@ -4,7 +4,8 @@
  * Result out.
  *
  * Evaluation delegates to the existing core studies (cooling,
- * outage, resilience) with the request's RunConfig deltas applied,
+ * outage, resilience) and the plant runner (tts::plant) with the
+ * request's RunConfig deltas applied,
  * so a served result is *by construction* the same computation a
  * batch `tts_sim` run performs - the cache bit-identity contract
  * reduces to the studies' own determinism contract (bit-identical

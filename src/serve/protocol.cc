@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 
+#include "plant/options.hh"
 #include "util/error.hh"
 #include "util/kv_json.hh"
 
@@ -73,9 +74,11 @@ void
 validate(const Request &r)
 {
     require(r.study == "cooling" || r.study == "outage" ||
-                r.study == "resilience",
+                r.study == "resilience" || r.study == "plant",
             "request: unknown study \"" + r.study +
-                "\" (try cooling, outage, resilience)");
+                "\" (try cooling, outage, resilience, plant)");
+    // Throws its own FatalError on an unknown backend name.
+    plant::backendKindFromString(r.plantBackend);
     require(r.platform >= 0 && r.platform <= 2,
             "request: platform must be 0, 1, or 2");
     require(r.servers >= 1 && r.servers <= 1000000,
@@ -154,6 +157,11 @@ parseRequest(const std::string &json, std::size_t max_bytes)
     for (char &c : r.faults)
         if (c == ';')
             c = '\n';
+    r.plantBackend = f.text("plant_backend", r.plantBackend);
+    r.weather = f.text("weather", r.weather);
+    for (char &c : r.weather)
+        if (c == ';')
+            c = '\n';
     r.deadlineMs = f.number("deadline_ms", r.deadlineMs);
     f.expectAllTaken();
     validate(r);
@@ -189,6 +197,21 @@ writeRequest(const Request &req)
                 c = ';';
         kv["faults"] = KvValue::string(flat);
     }
+    // Plant fields are omitted at their defaults so pre-plant
+    // request documents round-trip byte-identically.
+    if (req.plantBackend != "crac")
+        kv["plant_backend"] = KvValue::string(req.plantBackend);
+    if (!req.weather.empty()) {
+        for (char c : req.weather)
+            require(c != '"' && c != '\\' && c != ';',
+                    "request: weather trace text contains an "
+                    "unencodable character");
+        std::string flat = req.weather;
+        for (char &c : flat)
+            if (c == '\n')
+                c = ';';
+        kv["weather"] = KvValue::string(flat);
+    }
     return writeKvAnyJson(kv);
 }
 
@@ -210,6 +233,14 @@ canonicalText(const Request &req)
         << "scenario " << req.scenario << "\n"
         << "faults " << req.faults.size() << ":" << req.faults
         << "\n";
+    // Plant fields append only when non-default: a pre-plant request
+    // keeps its pinned fingerprint, and "omitted" and "spelled-out
+    // default" still hash identically.
+    if (req.plantBackend != "crac")
+        out << "plant_backend " << req.plantBackend << "\n";
+    if (!req.weather.empty())
+        out << "weather " << req.weather.size() << ":"
+            << req.weather << "\n";
     return out.str();
 }
 

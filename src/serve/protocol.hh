@@ -67,7 +67,7 @@ ErrorKind errorKindFromString(const std::string &name);
  */
 struct Request
 {
-    /** Study to run: "cooling", "outage", or "resilience". */
+    /** Study: "cooling", "outage", "resilience", or "plant". */
     std::string study = "cooling";
     /** Platform index (0 = 1U RD330, 1 = 2U X4470, 2 = OpenCompute). */
     int platform = 0;
@@ -87,6 +87,13 @@ struct Request
     std::string scenario = "plant_trip_total";
     /** Inline `tts-fault-schedule v1` text; overrides `scenario`. */
     std::string faults;
+    /** Cooling-plant backend (plant study): "crac", "hot_water",
+     *  "economizer", or "mpc". */
+    std::string plantBackend = "crac";
+    /** Inline t_hours,ambient_c weather CSV (plant study); empty
+     *  uses the sinusoidal ambient.  Travels with ';' line breaks
+     *  like `faults`. */
+    std::string weather;
     /**
      * Per-request deadline (ms of wall time from admission to the
      * start of evaluation); 0 = none.  Excluded from the canonical
@@ -102,7 +109,9 @@ struct Request
                meltC == o.meltC && waxLiters == o.waxLiters &&
                utilization == o.utilization &&
                horizonS == o.horizonS && scenario == o.scenario &&
-               faults == o.faults && deadlineMs == o.deadlineMs;
+               faults == o.faults &&
+               plantBackend == o.plantBackend &&
+               weather == o.weather && deadlineMs == o.deadlineMs;
     }
 };
 

@@ -17,7 +17,7 @@ double
 TcoBreakdown::operationalPerMonth() const
 {
     return datacenterOpEx + serverEnergyOpEx + serverPowerOpEx +
-        coolingEnergyOpEx + restOpEx;
+        coolingEnergyOpEx + restOpEx - heatReuseCredit;
 }
 
 double
@@ -61,6 +61,7 @@ TcoModel::monthly(double critical_kw, std::size_t server_count,
     b.serverPowerOpEx = p.serverPowerOpExPerKW * critical_kw;
     b.coolingEnergyOpEx = p.coolingEnergyOpExPerKW * critical_kw;
     b.restOpEx = p.restOpExPerKW * critical_kw;
+    b.heatReuseCredit = p.heatReuseCreditPerMonth;
     return b;
 }
 

@@ -40,10 +40,12 @@ struct TcoBreakdown
     double serverPowerOpEx = 0.0;
     double coolingEnergyOpEx = 0.0;
     double restOpEx = 0.0;
+    /** Reused-heat revenue (subtracted from OpEx; usually 0). */
+    double heatReuseCredit = 0.0;
 
     /** @return Sum of all CapEx + interest terms. */
     double capitalPerMonth() const;
-    /** @return Sum of all OpEx terms. */
+    /** @return Sum of all OpEx terms, net of the reuse credit. */
     double operationalPerMonth() const;
     /** @return Total monthly TCO. */
     double totalPerMonth() const;

@@ -46,6 +46,12 @@ struct TcoParameters
     double serverPowerOpExPerKW = 12.0;
     double coolingEnergyOpExPerKW = 18.4;
     double restOpExPerKW = 6.0;            // Table 2: 5.7-6.6.
+    /**
+     * Credit for reused waste heat ($/month, whole facility).
+     * Zero unless the facility runs a hot-water cooling plant that
+     * sells its captured heat (see plant::makeHotWaterBackend).
+     */
+    double heatReuseCreditPerMonth = 0.0;
     /// @}
 
     /** @name Derived / auxiliary assumptions */

@@ -1,6 +1,8 @@
 /** @file Tests for the ambient model and economizer plant. */
 
+#include <cmath>
 #include <gtest/gtest.h>
+#include <limits>
 
 #include "datacenter/free_cooling.hh"
 #include "util/error.hh"
@@ -88,6 +90,71 @@ TEST(Economizer, NightLoadIsCheaperThanDayLoad)
     night.append(units::hours(4.0), 1000.0);
     EXPECT_LT(e.electricEnergy(night, ambient),
               e.electricEnergy(day, ambient));
+}
+
+TEST(Economizer, RejectsNonFiniteAmbient)
+{
+    EconomizerCoolingModel e;
+    EXPECT_THROW(e.copAt(std::nan("")), FatalError);
+    EXPECT_THROW(e.copAt(std::numeric_limits<double>::infinity()),
+                 FatalError);
+    EXPECT_THROW(e.electricPower(1000.0, std::nan("")), FatalError);
+}
+
+TEST(Economizer, RejectsDegenerateModel)
+{
+    {
+        EconomizerCoolingModel e;
+        e.mechanicalCop = 0.0;
+        EXPECT_THROW(e.copAt(20.0), FatalError);
+    }
+    {
+        EconomizerCoolingModel e;
+        e.mechanicalCop = -3.5;
+        EXPECT_THROW(e.copAt(20.0), FatalError);
+    }
+    {
+        EconomizerCoolingModel e;
+        e.freeCop = 0.0;
+        EXPECT_THROW(e.copAt(20.0), FatalError);
+    }
+    {
+        EconomizerCoolingModel e;
+        e.copPerDegree = -0.25;
+        EXPECT_THROW(e.copAt(20.0), FatalError);
+    }
+    {
+        EconomizerCoolingModel e;
+        e.returnAirC = std::nan("");
+        EXPECT_THROW(e.copAt(20.0), FatalError);
+    }
+    {
+        EconomizerCoolingModel e;
+        e.freeCoolingBelowC = std::nan("");
+        EXPECT_THROW(e.copAt(20.0), FatalError);
+    }
+}
+
+TEST(Economizer, RejectsNonFiniteLoad)
+{
+    EconomizerCoolingModel e;
+    EXPECT_THROW(e.electricPower(std::nan(""), 20.0), FatalError);
+    EXPECT_THROW(
+        e.electricPower(std::numeric_limits<double>::infinity(),
+                        20.0),
+        FatalError);
+}
+
+TEST(Economizer, DefaultArithmeticUnchanged)
+{
+    // Pin the default model's arithmetic: the edge-case guards must
+    // not move any in-range result.
+    EconomizerCoolingModel e;
+    EXPECT_DOUBLE_EQ(e.copAt(20.0), 3.5 + 0.25 * 15.0);
+    EXPECT_DOUBLE_EQ(e.copAt(10.0 + 1e-9),
+                     3.5 + 0.25 * (35.0 - (10.0 + 1e-9)));
+    EXPECT_DOUBLE_EQ(e.electricPower(7000.0, 20.0),
+                     7000.0 / (3.5 + 0.25 * 15.0));
 }
 
 TEST(Economizer, ElectricSeriesMatchesPointwise)

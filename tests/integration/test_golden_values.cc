@@ -21,6 +21,7 @@
 #include "core/golden.hh"
 #include "exec/parallel.hh"
 #include "opt/golden.hh"
+#include "plant/golden.hh"
 #include "util/kv_json.hh"
 
 #ifndef TTS_GOLDEN_JSON
@@ -31,7 +32,7 @@ using namespace tts;
 
 namespace {
 
-/** Everything tts_golden writes: the core map plus the opt keys. */
+/** Everything tts_golden writes: core plus opt plus plant keys. */
 std::map<std::string, double>
 computeAll()
 {
@@ -39,6 +40,8 @@ computeAll()
         core::computeGoldenValues();
     auto opt_values = opt::computeOptGoldenValues();
     values.insert(opt_values.begin(), opt_values.end());
+    auto plant_values = plant::computePlantGoldenValues();
+    values.insert(plant_values.begin(), plant_values.end());
     return values;
 }
 

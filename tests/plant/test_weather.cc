@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Weather-trace reader hardening: every malformed CSV a cut-off
+ * download or a corrupted sensor export can produce must die with a
+ * FatalError naming the offending line, never a silent skip, plus
+ * the WeatherSource hold-last gap semantics the fault machinery
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/free_cooling.hh"
+#include "plant/weather.hh"
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace tts {
+namespace plant {
+namespace {
+
+TEST(WeatherTrace, ParsesAndInterpolates)
+{
+    auto w = WeatherTrace::parse(
+        "t_hours,ambient_c\n0,10\n1,12\n2,8\n");
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w.at(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(w.at(units::hours(0.5)), 11.0);
+    EXPECT_DOUBLE_EQ(w.at(units::hours(2.0)), 8.0);
+    // Times outside the span clamp to the end samples.
+    EXPECT_DOUBLE_EQ(w.at(units::hours(5.0)), 8.0);
+    EXPECT_DOUBLE_EQ(w.at(-100.0), 10.0);
+}
+
+TEST(WeatherTrace, AcceptsExtraColumnsAndBlankLines)
+{
+    auto w = WeatherTrace::parse(
+        "t_hours,station,ambient_c\n0,a,10\n\n1,b,12\n");
+    EXPECT_EQ(w.size(), 2u);
+    EXPECT_DOUBLE_EQ(w.at(units::hours(1.0)), 12.0);
+}
+
+TEST(WeatherTrace, RejectsEmptyInput)
+{
+    EXPECT_THROW(WeatherTrace::parse(""), FatalError);
+}
+
+TEST(WeatherTrace, RejectsMissingAmbientColumn)
+{
+    EXPECT_THROW(WeatherTrace::parse("t_hours,temp\n0,10\n1,11\n"),
+                 FatalError);
+}
+
+TEST(WeatherTrace, RejectsNonTimeFirstColumn)
+{
+    EXPECT_THROW(
+        WeatherTrace::parse("station,ambient_c\n0,10\n1,11\n"),
+        FatalError);
+}
+
+TEST(WeatherTrace, RejectsTruncatedRow)
+{
+    EXPECT_THROW(WeatherTrace::parse("t_hours,ambient_c\n0,10\n1\n"),
+                 FatalError);
+}
+
+TEST(WeatherTrace, RejectsNonNumericCells)
+{
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\nx,11\n"),
+        FatalError);
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\n1,cold\n"),
+        FatalError);
+}
+
+TEST(WeatherTrace, RejectsTrailingGarbage)
+{
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\n1,11junk\n"),
+        FatalError);
+}
+
+TEST(WeatherTrace, RejectsNonFiniteValues)
+{
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\nnan,11\n"),
+        FatalError);
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\n1,nan\n"),
+        FatalError);
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\ninf,11\n"),
+        FatalError);
+}
+
+TEST(WeatherTrace, RejectsUnsortedTimestamps)
+{
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\n2,11\n1,12\n"),
+        FatalError);
+    // Duplicates count as out of order (strictly increasing).
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\n0,11\n"),
+        FatalError);
+}
+
+TEST(WeatherTrace, RejectsImplausibleTemperatures)
+{
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\n1,-120\n"),
+        FatalError);
+    EXPECT_THROW(
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\n1,99\n"),
+        FatalError);
+}
+
+TEST(WeatherTrace, RejectsSingleRow)
+{
+    EXPECT_THROW(WeatherTrace::parse("t_hours,ambient_c\n0,10\n"),
+                 FatalError);
+}
+
+TEST(WeatherTrace, DiagnosticNamesTheLine)
+{
+    try {
+        WeatherTrace::parse("t_hours,ambient_c\n0,10\n1,11\n1.5\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 4"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(WeatherTrace, LoadRejectsMissingFile)
+{
+    EXPECT_THROW(WeatherTrace::load("/nonexistent/weather.csv"),
+                 FatalError);
+}
+
+TEST(WeatherSource, TraceHoldsLastReadingDuringGap)
+{
+    WeatherSource src(WeatherTrace::parse(
+        "t_hours,ambient_c\n0,10\n1,20\n2,30\n"));
+    ASSERT_TRUE(src.fromTrace());
+    EXPECT_DOUBLE_EQ(src.at(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(src.at(units::hours(1.0)), 20.0);
+    // Gap: the 2 h reading is never taken; 20 C is held.
+    EXPECT_DOUBLE_EQ(src.at(units::hours(2.0), true), 20.0);
+    EXPECT_DOUBLE_EQ(src.heldC(), 20.0);
+    // Gap ends: fresh readings resume.
+    EXPECT_DOUBLE_EQ(src.at(units::hours(2.0)), 30.0);
+}
+
+TEST(WeatherSource, SinusoidHoldsLastReadingDuringGap)
+{
+    datacenter::AmbientModel model;
+    WeatherSource src(model);
+    ASSERT_FALSE(src.fromTrace());
+    double c0 = src.at(units::hours(3.0));
+    EXPECT_DOUBLE_EQ(c0, model.at(units::hours(3.0)));
+    EXPECT_DOUBLE_EQ(src.at(units::hours(15.0), true), c0);
+    EXPECT_NE(src.at(units::hours(15.0)), c0);
+}
+
+TEST(WeatherSource, HeldReadingRestoresFromCheckpoint)
+{
+    WeatherSource src(WeatherTrace::parse(
+        "t_hours,ambient_c\n0,10\n1,20\n"));
+    src.setHeldC(17.5);
+    EXPECT_DOUBLE_EQ(src.at(units::hours(9.0), true), 17.5);
+}
+
+} // namespace
+} // namespace plant
+} // namespace tts

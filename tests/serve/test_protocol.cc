@@ -96,6 +96,47 @@ TEST(ServeProtocol, ResultAffectingFieldsChangeTheFingerprint)
     differs(r);
 }
 
+TEST(ServeProtocol, PlantFieldsRoundTripWithInlineWeather)
+{
+    Request r;
+    r.study = "plant";
+    r.plantBackend = "economizer";
+    r.weather = "t_hours,ambient_c\n0,11.5\n12,24\n24,11.5\n";
+    EXPECT_EQ(parseRequest(writeRequest(r)), r);
+}
+
+TEST(ServeProtocol, PlantDefaultsLeaveOldFingerprintsUnchanged)
+{
+    // Pre-plant clients never sent plant_backend/weather; the new
+    // fields must only reach the canonical text when non-default,
+    // or every cached fingerprint in the fleet would rotate.
+    const Request def;
+    EXPECT_EQ(canonicalText(def).find("plant_backend"),
+              std::string::npos);
+    EXPECT_EQ(canonicalText(def).find("weather"),
+              std::string::npos);
+    Request spelled = def;
+    spelled.plantBackend = "crac";
+    EXPECT_EQ(fingerprint(spelled), fingerprint(def));
+
+    Request mpc = def;
+    mpc.plantBackend = "mpc";
+    EXPECT_NE(fingerprint(mpc), fingerprint(def));
+    Request weather = def;
+    weather.weather = "t_hours,ambient_c\n0,5\n24,5\n";
+    EXPECT_NE(fingerprint(weather), fingerprint(def));
+}
+
+TEST(ServeProtocol, UnknownPlantBackendIsRejected)
+{
+    EXPECT_THROW(parseRequest("{\"study\": \"plant\", "
+                              "\"plant_backend\": \"swamp_cooler\"}"),
+                 FatalError);
+    Request ok = parseRequest(
+        "{\"study\": \"plant\", \"plant_backend\": \"hot_water\"}");
+    EXPECT_EQ(ok.plantBackend, "hot_water");
+}
+
 TEST(ServeProtocol, Fnv1aMatchesTheReferenceVectors)
 {
     // Offset basis and the classic "a" test vector for 64-bit

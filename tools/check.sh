@@ -11,10 +11,12 @@
 # + bit-identity), the parallel-sweep bench, the 40k-server fleet
 # gate (wall-clock budget, 1-vs-8-thread bit-identity, 10x dedupe
 # leverage), the wax-placement search gate (1t==8t, beats the
-# uniform-wax 2U baseline), and the scenario-daemon gate (latency
-# percentiles, cache hit rate, shed-under-overload sanity), which
-# write the CI tracked BENCH_thermal.json / BENCH_sweep.json /
-# BENCH_fleet.json / BENCH_opt.json / BENCH_serve.json at the repo
+# uniform-wax 2U baseline), the cooling-plant gate (four backends
+# bit-identical 1t vs 8t, MPC beats static CRAC by the margin), and
+# the scenario-daemon gate (latency percentiles, cache hit rate,
+# shed-under-overload sanity), which write the CI tracked
+# BENCH_thermal.json / BENCH_sweep.json / BENCH_fleet.json /
+# BENCH_opt.json / BENCH_plant.json / BENCH_serve.json at the repo
 # root:
 #
 #   tools/check.sh           # fast + guard + fault + obs + fleet +
@@ -61,6 +63,9 @@ ctest --test-dir build -L opt --output-on-failure -j
 echo "== ctest -L serve =="
 ctest --test-dir build -L serve --output-on-failure -j
 
+echo "== ctest -L plant =="
+ctest --test-dir build -L plant --output-on-failure -j
+
 echo "== ctest -L perf (smoke) =="
 ctest --test-dir build -L perf --output-on-failure -j
 
@@ -78,6 +83,9 @@ echo "== perf gate: 40k-server fleet (10-min wall, 1t==8t, 10x dedupe) =="
 echo "== perf gate: wax-placement search (1t==8t, beats uniform 2U) =="
 ./build/bench/perf_opt --out=BENCH_opt.json
 
+echo "== perf gate: cooling plant (1t==8t, MPC beats static CRAC) =="
+./build/bench/perf_plant --out=BENCH_plant.json
+
 echo "== perf gate: scenario daemon (latency, hit rate, shed sanity) =="
 ./build/bench/perf_serve --out=BENCH_serve.json
 
@@ -91,7 +99,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTTS_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j \
     --target tts_exec_test tts_workload_test tts_fault_test \
-    tts_obs_test tts_fleet_test tts_opt_test \
+    tts_obs_test tts_fleet_test tts_opt_test tts_plant_test \
     tts_serve_test > /dev/null
 
 echo "== TSan: exec engine, 8 threads =="
@@ -107,6 +115,8 @@ echo "== TSan: sharded fleet sim, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_fleet_test
 echo "== TSan: wax-placement search, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_opt_test
+echo "== TSan: cooling-plant backends + MPC, 8 threads =="
+TTS_THREADS=8 ./build-tsan/tests/tts_plant_test
 echo "== TSan: scenario daemon + fault-injection soak, 8 workers =="
 TTS_THREADS=8 ./build-tsan/tests/tts_serve_test
 

@@ -19,6 +19,7 @@
 
 #include "core/golden.hh"
 #include "opt/golden.hh"
+#include "plant/golden.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
 #include "util/kv_json.hh"
@@ -46,6 +47,8 @@ main(int argc, char **argv)
         // The opt layer sits above core, so its keys merge here.
         auto opt_values = tts::opt::computeOptGoldenValues();
         values.insert(opt_values.begin(), opt_values.end());
+        auto plant_values = tts::plant::computePlantGoldenValues();
+        values.insert(plant_values.begin(), plant_values.end());
         if (!out.empty()) {
             tts::writeKvJsonFile(out, values);
             std::cout << "wrote " << values.size()

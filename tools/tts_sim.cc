@@ -19,7 +19,11 @@
  *   tts_sim fleet      [--platform=P] [--servers=N] [--mixed]
  *                      [--days=N] [--perturb-rate=R] [--shards=K]
  *                      [--seed=S] [--csv] [checkpoint flags as
- *                      above]
+ *                      above] [--backend=B] [--weather=FILE]
+ *   tts_sim plant      [--platform=P] [--servers=N] [--days=N]
+ *                      [--backend=crac|hot_water|economizer|mpc|all]
+ *                      [--weather=FILE] [--faults=FILE]
+ *                      [checkpoint flags as above]
  *   tts_sim report     [--platform=P] [--out=DIR]
  *   tts_sim validate
  *
@@ -75,6 +79,17 @@
  * --sweep runs the legacy single-server melting-temperature sweep
  * instead.
  *
+ * The plant command runs the cluster's heat load through one of the
+ * pluggable cooling-plant backends (tts::plant): the paper's CRAC
+ * (the default, priced exactly like the legacy cooling model), a
+ * hot-water loop that captures heat for reuse, a free-air economizer
+ * under a measured weather trace (--weather, t_hours,ambient_c CSV),
+ * or a receding-horizon MPC controller that co-schedules fan speed,
+ * DVFS caps, and melt state against the forecast.  --backend=all
+ * compares every backend over the same scenario.  The same --backend
+ * and --weather flags select the plant for the fleet command, which
+ * then appends a plant-cost line to its summary.
+ *
  * Platforms: 0 = 1U RD330 (default), 1 = 2U X4470, 2 = Open Compute
  * blade (future 1.5 l layout).  --csv switches the series output
  * from an aligned table to comma-separated rows for plotting.
@@ -100,6 +115,7 @@
 #include "fleet/fleet.hh"
 #include "opt/engine.hh"
 #include "opt/space.hh"
+#include "plant/study.hh"
 #include "workload/trace_io.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
@@ -145,6 +161,8 @@ struct Options
     std::size_t restarts = 4;
     std::string objective = "peak";
     bool sweep = false;
+    std::string backend = "crac";
+    std::string weather_file;
 };
 
 /** Register every flag on the parser; shared with --help output. */
@@ -154,7 +172,7 @@ registerFlags(cli::Parser &p, Options *o)
     p.addPositional("command",
                     &o->command,
                     "trace|cooling|throughput|optimize|outage|"
-                    "resilience|fleet|report|validate");
+                    "resilience|fleet|plant|report|validate");
     p.addInt("platform", &o->platform,
              "0=1U RD330, 1=2U X4470, 2=Open Compute");
     p.addDouble("days", &o->days, "trace length (days)");
@@ -208,6 +226,13 @@ registerFlags(cli::Parser &p, Options *o)
     p.addFlag("sweep", &o->sweep,
               "optimize: legacy single-server melt sweep instead "
               "of the fleet search");
+    p.addChoice("backend", &o->backend,
+                {"crac", "hot_water", "economizer", "mpc", "all"},
+                "cooling-plant backend ('all': plant command "
+                "comparison)");
+    p.addString("weather", &o->weather_file,
+                "weather trace CSV (t_hours,ambient_c) for the "
+                "economizer/MPC backends");
 }
 
 Options
@@ -231,7 +256,8 @@ parse(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: tts_sim "
                      "<trace|cooling|throughput|optimize|outage|"
-                     "resilience|fleet|report|validate> [options]\n");
+                     "resilience|fleet|plant|report|validate> "
+                     "[options]\n");
         std::exit(2);
     }
     return o;
@@ -251,6 +277,11 @@ runConfigOf(const Options &o)
                                                  : o.checkpoint_file;
     run.checkpoint.checkpointEveryS = o.checkpoint_every;
     run.checkpoint.stopAfterS = o.stop_after;
+    // "all" is the plant command's comparison mode, not a backend
+    // RunConfig can carry; cmdPlant branches on it before this.
+    if (o.backend != "all")
+        run.plant.kind = plant::backendKindFromString(o.backend);
+    run.plant.weatherPath = o.weather_file;
     return run;
 }
 
@@ -645,6 +676,92 @@ cmdFleet(const Options &o)
                 r.peakCoolingW / 1e6, r.peakItPowerW / 1e6,
                 r.coolingEnergyJ / 3.6e9,
                 static_cast<unsigned long long>(r.stateDigest));
+    if (cfg.run.plant.kind != plant::BackendKind::Crac) {
+        plant::PlantScenario ps;
+        ps.loadW = r.coolingLoadW;
+        plant::PlantConfig pcfg;
+        pcfg.options = cfg.run.plant;
+        pcfg.recordSeries = false;
+        auto pr = plant::runPlant(ps, pcfg);
+        std::printf("# plant backend=%s electric=%.1fMWh "
+                    "net_cost=%.0f$/yr reuse=%.0f$/run "
+                    "retention=%.4f\n",
+                    pr.backend.c_str(),
+                    pr.electricEnergyJ / 3.6e9,
+                    pr.yearlyNetCostUsd, pr.reuseCreditUsd,
+                    pr.throughputRetention);
+    }
+    return 0;
+}
+
+int
+cmdPlant(const Options &o)
+{
+    auto spec = platformOf(o);
+    core::RunConfig run = runConfigOf(o);
+
+    plant::PlantScenario scenario;
+    scenario.loadW = plant::clusterCoolingLoad(
+        spec, run.waxConfig(), o.servers, traceOf(o));
+    if (!o.faults_file.empty()) {
+        std::ifstream in(o.faults_file);
+        require(in.good(), "cannot open fault schedule '" +
+                               o.faults_file + "'");
+        scenario.faults = fault::FaultSchedule::read(in);
+    }
+
+    plant::PlantConfig cfg;
+    cfg.options = run.plant;
+    cfg.checkpoint.path = run.checkpoint.path;
+    cfg.checkpoint.checkpointEveryS =
+        run.checkpoint.checkpointEveryS;
+    cfg.checkpoint.stopAfterS = run.checkpoint.stopAfterS;
+
+    if (o.backend == "all") {
+        auto cmp = plant::compareBackends(
+            scenario, cfg,
+            {plant::BackendKind::Crac, plant::BackendKind::HotWater,
+             plant::BackendKind::Economizer,
+             plant::BackendKind::Mpc});
+        AsciiTable t({"backend", "electric_kwh", "peak_kw",
+                      "reuse_usd", "net_usd_yr", "retention"});
+        for (const auto &arm : cmp.arms) {
+            t.addRow({arm.backend,
+                      formatFixed(arm.electricEnergyJ / 3.6e6, 1),
+                      formatFixed(arm.peakElectricW / 1e3, 2),
+                      formatFixed(arm.reuseCreditUsd, 2),
+                      formatFixed(arm.yearlyNetCostUsd, 0),
+                      formatFixed(arm.throughputRetention, 4)});
+        }
+        t.print(std::cout);
+        std::printf("# platform=%s servers=%zu days=%.2f "
+                    "mpc_vs_crac_saving=%.2f%%\n",
+                    spec.name.c_str(), o.servers, o.days,
+                    100.0 * cmp.mpcVsCracSaving);
+        return 0;
+    }
+
+    auto r = plant::runPlant(scenario, cfg);
+    if (!r.finished) {
+        std::printf("paused after %.0f simulated seconds; state "
+                    "saved to %s (rerun with --resume=%s to "
+                    "continue)\n",
+                    o.stop_after, cfg.checkpoint.path.c_str(),
+                    cfg.checkpoint.path.c_str());
+        return 0;
+    }
+    std::printf("platform=%s backend=%s servers=%zu days=%.2f "
+                "faults=%zu\n",
+                spec.name.c_str(), r.backend.c_str(), o.servers,
+                o.days, r.faultEventsApplied);
+    std::printf("electric energy: %.1f kWh (peak %.2f kW)\n",
+                r.electricEnergyJ / 3.6e6, r.peakElectricW / 1e3);
+    std::printf("energy cost:     %.2f $ (%.0f $/yr)\n",
+                r.energyCostUsd, r.yearlyNetCostUsd);
+    std::printf("reuse credit:    %.2f $   dvfs penalty: %.2f $\n",
+                r.reuseCreditUsd, r.dvfsPenaltyUsd);
+    std::printf("throughput retention: %.4f   unserved: %.1f kWh\n",
+                r.throughputRetention, r.unservedJ / 3.6e6);
     return 0;
 }
 
@@ -704,6 +821,8 @@ dispatch(const Options &o)
         return cmdResilience(o);
     if (o.command == "fleet")
         return cmdFleet(o);
+    if (o.command == "plant")
+        return cmdPlant(o);
     if (o.command == "report")
         return cmdReport(o);
     if (o.command == "validate")
