@@ -4,7 +4,7 @@
  * scenario workload, measuring end-to-end request latency and cache
  * leverage, plus a shed-under-overload sanity lane.
  *
- * Three gates:
+ * Five gates:
  *
  *  1. Correctness: every request in the steady-state lane is
  *     answered ok, and repeated documents hit the cache (hit rate
@@ -15,6 +15,12 @@
  *  3. Overload sanity: a burst submitted against a one-worker,
  *     tiny-queue daemon must shed (admission control engages) and
  *     still answer every request (nothing hangs, nothing crashes).
+ *  4. Warm start: a daemon warmed from a scenario manifest must
+ *     answer the whole manifest workload from the cache (hit rate
+ *     at --min-warm-hit-rate, default 1: warming is deterministic).
+ *  5. Batched misses: concurrent fleet-backed misses must collapse
+ *     into shared sweeps (sweeps < jobs) without regressing
+ *     wall-clock against one-sweep-per-miss dispatch.
  *
  * Emits flat kv-json on stdout after the human-readable table (and,
  * with --out=FILE, to the file CI tracks as BENCH_serve.json):
@@ -23,9 +29,14 @@
  *      "wall_s": ..., "p50_ms": ..., "p99_ms": ...,
  *      "cached_p50_ms": ..., "cached_p99_ms": ..., "hit_rate": ...,
  *      "evaluations": ..., "burst": ..., "burst_shed": ...,
- *      "burst_answered": 1, "shed_engaged": 1, "all_ok": 1}
+ *      "burst_answered": 1, "shed_engaged": 1, "all_ok": 1,
+ *      "warm_entries": ..., "warm_hit_rate": ...,
+ *      "batch_misses": ..., "batch_jobs": ..., "batch_sweeps": ...,
+ *      "batch_wall_s": ..., "batch_rps": ...,
+ *      "unbatched_wall_s": ..., "batch_engaged": 1,
+ *      "batch_all_ok": 1}
  *
- * Exit code 0 only when all three gates hold.  --short shrinks the
+ * Exit code 0 only when all five gates hold.  --short shrinks the
  * request count for the ctest perf smoke.
  */
 
@@ -38,8 +49,11 @@
 #include <utility>
 #include <vector>
 
+#include <sstream>
+
 #include "serve/daemon.hh"
 #include "serve/eval.hh"
+#include "serve/manifest.hh"
 #include "util/cli.hh"
 #include "util/kv_json.hh"
 #include "util/random.hh"
@@ -57,8 +71,10 @@ main(int argc, char **argv)
     std::size_t requests = 512;
     std::size_t workers = 4;
     std::size_t burst = 64;
+    std::size_t batch_misses = 8;
     double min_hit_rate = 0.5;
     double max_cached_p99_ms = 50.0;
+    double min_warm_hit_rate = 1.0;
     bool short_run = false;
 
     cli::Parser p("perf_serve",
@@ -71,10 +87,14 @@ main(int argc, char **argv)
               "steady-state lane request count");
     p.addSize("workers", &workers, "daemon worker threads");
     p.addSize("burst", &burst, "overload lane burst size");
+    p.addSize("batch-misses", &batch_misses,
+              "distinct fleet misses in the batching lane");
     p.addDouble("min-hit-rate", &min_hit_rate,
                 "cache hit-rate floor for the steady-state lane");
     p.addDouble("max-cached-p99-ms", &max_cached_p99_ms,
                 "p99 budget for cache-hit replies (ms)");
+    p.addDouble("min-warm-hit-rate", &min_warm_hit_rate,
+                "hit-rate floor replaying a warmed manifest");
     p.addFlag("short", &short_run,
               "shrink the lanes (ctest perf smoke)");
     switch (p.parse(argc - 1, argv + 1)) {
@@ -90,6 +110,7 @@ main(int argc, char **argv)
     if (short_run) {
         requests = 96;
         burst = 24;
+        batch_misses = 4;
     }
 
     // 16 distinct quick outage studies, drawn uniformly: after each
@@ -181,6 +202,103 @@ main(int argc, char **argv)
     const bool burst_all_answered = burst_answered == burst &&
         burst_ok + burst_shed == burst;
 
+    // Lane 3: manifest warm start.  The same outage studies as
+    // single-line manifest entries; a fresh daemon warmed from them
+    // must answer the whole manifest workload from the cache.
+    std::vector<std::string> lines;
+    for (double horizon : {60.0, 90.0, 120.0, 150.0}) {
+        for (double util : {0.6, 0.9}) {
+            for (double wax : {0.0, 8.0}) {
+                std::ostringstream line;
+                line << "{\"study\": \"outage\", \"servers\": 8"
+                     << ", \"horizon_s\": " << horizon
+                     << ", \"util\": " << util
+                     << ", \"wax_l\": " << wax << "}";
+                lines.push_back(line.str());
+            }
+        }
+    }
+    DaemonConfig warm_config;
+    warm_config.workers = workers;
+    Daemon warmed(warm_config);
+    std::ostringstream manifest;
+    manifest << "tts-serve-manifest v1\n";
+    for (const std::string &line : lines)
+        manifest << line << "\n";
+    std::istringstream manifest_in(manifest.str());
+    const WarmStats warm =
+        warmFromManifest(manifest_in, warmed, "bench.manifest");
+    std::size_t warm_hits = 0;
+    std::size_t warm_ok = 0;
+    for (const std::string &line : lines) {
+        const Reply r = warmed.call(line);
+        if (r.ok)
+            ++warm_ok;
+        if (r.ok && r.cacheHit)
+            ++warm_hits;
+    }
+    warmed.shutdown();
+    const double warm_hit_rate = lines.empty()
+        ? 0.0
+        : static_cast<double>(warm_hits) /
+            static_cast<double>(lines.size());
+    const bool warm_gate = warm.failed == 0 &&
+        warm_ok == lines.size() &&
+        warm_hit_rate >= min_warm_hit_rate;
+
+    // Lane 4: batched misses.  The same distinct fleet documents
+    // dispatched one-sweep-per-miss (window 0) and then through the
+    // miss batcher: batching must collapse sweeps without
+    // regressing wall-clock.
+    std::vector<std::string> fleet_docs;
+    for (std::size_t i = 0; i < batch_misses; ++i) {
+        std::ostringstream doc;
+        doc << "{\"study\": \"fleet\", \"servers\": "
+            << (8 + 4 * i) << ", \"days\": 0.25}";
+        fleet_docs.push_back(doc.str());
+    }
+    auto driveFleet = [&](Daemon &d) {
+        const auto t0 = Clock::now();
+        std::vector<std::future<Reply>> fs;
+        fs.reserve(fleet_docs.size());
+        for (const std::string &doc : fleet_docs)
+            fs.push_back(d.submit(doc));
+        std::size_t answered_ok = 0;
+        for (auto &f : fs)
+            if (f.get().ok)
+                ++answered_ok;
+        const double secs = std::chrono::duration<double>(
+            Clock::now() - t0).count();
+        return std::make_pair(secs, answered_ok);
+    };
+    DaemonConfig solo;
+    solo.workers = workers;
+    solo.queueCapacity = 2 * batch_misses + 8;
+    solo.batch.windowMs = 0.0; // every miss sweeps alone
+    Daemon unbatched_daemon(solo);
+    const auto [unbatched_wall, unbatched_ok] =
+        driveFleet(unbatched_daemon);
+    unbatched_daemon.shutdown();
+    DaemonConfig merged = solo;
+    merged.batch.windowMs = 10.0;
+    merged.batch.maxBatch = batch_misses;
+    Daemon batched_daemon(merged);
+    const auto [batch_wall, batch_ok] = driveFleet(batched_daemon);
+    const BatchStats bstats = batched_daemon.batchStats();
+    batched_daemon.shutdown();
+    const double batch_rps = batch_wall > 0.0
+        ? static_cast<double>(fleet_docs.size()) / batch_wall
+        : 0.0;
+    const bool batch_engaged =
+        bstats.sweeps < bstats.jobs && bstats.largestBatch >= 2;
+    const bool batch_all_ok = batch_ok == fleet_docs.size() &&
+        unbatched_ok == fleet_docs.size();
+    // Generous slack: the batch window itself costs up to 10 ms and
+    // the lanes are short; the gate is "no multiplicative
+    // regression", the tracked metric is batch_rps.
+    const bool batch_throughput =
+        batch_wall <= 1.5 * unbatched_wall + 0.25;
+
     std::cout << "=== tts::serve: " << requests << " requests over "
               << pool.size() << " documents, " << workers
               << " workers ===\n\n";
@@ -197,7 +315,16 @@ main(int argc, char **argv)
               << formatFixed(hit_rate * 100.0, 1) << "% ("
               << steady.evaluations << " evaluations)\n";
     std::cout << "overload burst:     " << burst << " submitted, "
-              << burst_ok << " ok, " << burst_shed << " shed\n\n";
+              << burst_ok << " ok, " << burst_shed << " shed\n";
+    std::cout << "manifest warm:      " << warm.warmed << "/"
+              << warm.entries << " warmed, replay hit rate "
+              << formatFixed(warm_hit_rate * 100.0, 1) << "%\n";
+    std::cout << "batched misses:     " << fleet_docs.size()
+              << " misses -> " << bstats.sweeps << " sweeps ("
+              << formatFixed(batch_wall, 3) << " s batched vs "
+              << formatFixed(unbatched_wall, 3)
+              << " s unbatched, "
+              << formatFixed(batch_rps, 1) << " req/s)\n\n";
 
     if (!all_ok)
         std::cout << "FAIL: " << (requests - ok)
@@ -217,6 +344,24 @@ main(int argc, char **argv)
         std::cout << "FAIL: the overload burst never shed\n";
     if (!burst_all_answered)
         std::cout << "FAIL: burst replies were not all ok-or-shed\n";
+    if (!warm_gate)
+        std::cout << "FAIL: warm-start replay hit rate "
+                  << formatFixed(warm_hit_rate * 100.0, 1)
+                  << "% is under the "
+                  << formatFixed(min_warm_hit_rate * 100.0, 0)
+                  << "% floor (" << warm.failed
+                  << " manifest entries failed)\n";
+    if (!batch_engaged)
+        std::cout << "FAIL: concurrent misses never shared a sweep ("
+                  << bstats.sweeps << " sweeps for " << bstats.jobs
+                  << " jobs)\n";
+    if (!batch_all_ok)
+        std::cout << "FAIL: fleet lane replies were not all ok\n";
+    if (!batch_throughput)
+        std::cout << "FAIL: batched wall "
+                  << formatFixed(batch_wall, 3)
+                  << " s regressed against unbatched "
+                  << formatFixed(unbatched_wall, 3) << " s\n";
 
     std::map<std::string, double> json{
         {"requests", static_cast<double>(requests)},
@@ -235,12 +380,23 @@ main(int argc, char **argv)
         {"burst_answered", burst_all_answered ? 1.0 : 0.0},
         {"shed_engaged", shed_engaged ? 1.0 : 0.0},
         {"all_ok", all_ok ? 1.0 : 0.0},
+        {"warm_entries", static_cast<double>(warm.entries)},
+        {"warm_hit_rate", warm_hit_rate},
+        {"batch_misses", static_cast<double>(fleet_docs.size())},
+        {"batch_jobs", static_cast<double>(bstats.jobs)},
+        {"batch_sweeps", static_cast<double>(bstats.sweeps)},
+        {"batch_wall_s", batch_wall},
+        {"batch_rps", batch_rps},
+        {"unbatched_wall_s", unbatched_wall},
+        {"batch_engaged", batch_engaged ? 1.0 : 0.0},
+        {"batch_all_ok", batch_all_ok ? 1.0 : 0.0},
     };
     std::cout << writeKvJson(json);
     if (!out_file.empty())
         writeKvJsonFile(out_file, json);
     const bool gates = all_ok && hit_rate >= min_hit_rate &&
         cached_p99 <= max_cached_p99_ms && shed_engaged &&
-        burst_all_answered;
+        burst_all_answered && warm_gate && batch_engaged &&
+        batch_all_ok && batch_throughput;
     return gates ? 0 : 1;
 }

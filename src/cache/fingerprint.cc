@@ -1,0 +1,28 @@
+#include "cache/fingerprint.hh"
+
+namespace tts {
+namespace cache {
+
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1aMixU64(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffULL;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace cache
+} // namespace tts

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * tts::cache - canonical-text fingerprints.
+ *
+ * Every content-addressed cache in the tree keys on the same hash:
+ * 64-bit FNV-1a over a canonical byte string (the serve protocol's
+ * canonical request text, the opt engine's canonical candidate
+ * coordinates).  This header is the single home of the constants
+ * and the two mixing shapes - whole-buffer and incremental u64 -
+ * so the serve cache, the opt memo, and their golden/pinned test
+ * vectors all hash byte-identically forever.
+ */
+
+#ifndef TTS_CACHE_FINGERPRINT_HH
+#define TTS_CACHE_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tts {
+namespace cache {
+
+/** FNV-1a 64-bit offset basis (the empty-string hash). */
+constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+/** FNV-1a 64-bit prime. */
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/** @return FNV-1a (64-bit) over raw bytes. */
+std::uint64_t fnv1a(const std::string &bytes);
+
+/** Mix one u64 into a running hash, little-endian byte order (the
+ *  opt candidate-coordinate shape). */
+std::uint64_t fnv1aMixU64(std::uint64_t h, std::uint64_t v);
+
+} // namespace cache
+} // namespace tts
+
+#endif // TTS_CACHE_FINGERPRINT_HH

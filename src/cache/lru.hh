@@ -1,0 +1,115 @@
+/**
+ * @file
+ * tts::cache - the LRU map underneath every fingerprint cache.
+ *
+ * A fixed-capacity map from 64-bit fingerprints to values, with
+ * recency maintained on find() and insert() and eviction from the
+ * cold end.  This is the exact structure the opt memo and the serve
+ * result cache each hand-rolled before PR 10; both now instantiate
+ * this template, so LRU semantics (touch on hit, refresh on
+ * re-insert, oldest-first iteration) can never drift between them.
+ *
+ * Not internally locked: single-threaded callers (the opt engine's
+ * serial memo phase) use it bare, shared callers (ResultCache) wrap
+ * it in their own mutex.
+ */
+
+#ifndef TTS_CACHE_LRU_HH
+#define TTS_CACHE_LRU_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace tts {
+namespace cache {
+
+template <class V>
+class LruMap
+{
+  public:
+    /** @param capacity Maximum resident entries (clamped to >= 1). */
+    explicit LruMap(std::size_t capacity)
+        : capacity_(capacity < 1 ? 1 : capacity)
+    {
+    }
+
+    /** Copy the value on a hit and bump its recency. */
+    bool find(std::uint64_t key, V *out)
+    {
+        V *v = touch(key);
+        if (v == nullptr)
+            return false;
+        *out = *v;
+        return true;
+    }
+
+    /** @return The entry's value (recency bumped), or nullptr on a
+     *  miss.  The pointer is valid until the next insert(). */
+    V *touch(std::uint64_t key)
+    {
+        auto it = map_.find(key);
+        if (it == map_.end())
+            return nullptr;
+        order_.splice(order_.end(), order_, it->second.lru);
+        return &it->second.value;
+    }
+
+    /** Insert or refresh (bumps recency either way).
+     *  @return True when the insert evicted the LRU entry. */
+    bool insert(std::uint64_t key, V value)
+    {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            order_.splice(order_.end(), order_, it->second.lru);
+            it->second.value = std::move(value);
+            return false;
+        }
+        bool evicted = false;
+        if (map_.size() >= capacity_) {
+            map_.erase(order_.front());
+            order_.pop_front();
+            evicted = true;
+        }
+        order_.push_back(key);
+        map_.emplace(key,
+                     Entry{std::move(value), std::prev(order_.end())});
+        return evicted;
+    }
+
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    void clear()
+    {
+        map_.clear();
+        order_.clear();
+    }
+
+    /** Visit entries oldest-first (persistence order: replaying
+     *  inserts in visit order reproduces the recency list). */
+    template <class F>
+    void forEachLru(F &&f) const
+    {
+        for (std::uint64_t key : order_)
+            f(key, map_.at(key).value);
+    }
+
+  private:
+    struct Entry
+    {
+        V value;
+        std::list<std::uint64_t>::iterator lru;
+    };
+
+    std::size_t capacity_;
+    std::list<std::uint64_t> order_; //!< LRU front, recent back.
+    std::unordered_map<std::uint64_t, Entry> map_;
+};
+
+} // namespace cache
+} // namespace tts
+
+#endif // TTS_CACHE_LRU_HH

@@ -1,16 +1,15 @@
-#include "serve/cache.hh"
+#include "cache/result_cache.hh"
 
 #include <cstdio>
 #include <fstream>
 #include <utility>
-#include <vector>
 
 #include "guard/checkpoint.hh"
 #include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace tts {
-namespace serve {
+namespace cache {
 
 namespace {
 
@@ -33,13 +32,13 @@ std::string
 fromHex(const std::string &hex)
 {
     require(hex.size() % 2 == 0,
-            "serve cache: odd-length hex field");
+            "result cache: odd-length hex field");
     auto nibble = [](char c) -> int {
         if (c >= '0' && c <= '9')
             return c - '0';
         if (c >= 'a' && c <= 'f')
             return c - 'a' + 10;
-        fatal(std::string("serve cache: bad hex digit '") + c +
+        fatal(std::string("result cache: bad hex digit '") + c +
               "'");
     };
     std::string out;
@@ -60,10 +59,11 @@ fileExists(const std::string &path)
 } // namespace
 
 ResultCache::ResultCache(CacheConfig config)
-    : config_(std::move(config))
+    : config_(std::move(config)),
+      lru_(config_.capacity)
 {
     require(config_.capacity >= 1,
-            "serve cache: capacity must be >= 1");
+            "result cache: capacity must be >= 1");
 }
 
 CacheLoadOutcome
@@ -93,22 +93,17 @@ ResultCache::load()
                 result[key] = r.expect("value");
             }
             // Snapshots store LRU order (oldest first); replaying
-            // inserts reproduces it, truncated to capacity.
-            if (map_.size() >= config_.capacity) {
-                map_.erase(order_.front());
-                order_.pop_front();
-            }
-            order_.push_back(fp);
-            map_[fp] = Entry{canonical, std::move(result),
-                             std::prev(order_.end())};
+            // inserts reproduces it, truncated to capacity.  Replay
+            // evictions are not counted - they are a capacity
+            // downgrade, not cache pressure.
+            lru_.insert(fp, Entry{canonical, std::move(result)});
         }
         r.expectEnd();
         return CacheLoadOutcome::Loaded;
     } catch (const Error &e) {
         // A damaged snapshot must cost a warm-up, not an outage:
         // move it aside for post-mortem and serve from empty.
-        map_.clear();
-        order_.clear();
+        lru_.clear();
         const std::string quarantine = config_.path + ".corrupt";
         std::remove(quarantine.c_str());
         if (std::rename(config_.path.c_str(),
@@ -129,12 +124,12 @@ ResultCache::find(std::uint64_t fp, const std::string &canonical,
                   Result *out)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(fp);
-    if (it == map_.end()) {
+    Entry *e = lru_.touch(fp);
+    if (e == nullptr) {
         ++counters_.misses;
         return false;
     }
-    if (it->second.canonical != canonical) {
+    if (e->canonical != canonical) {
         // A 64-bit collision: answering would serve another
         // request's numbers.  Degrade to a miss; the insert after
         // evaluation will overwrite with the newer canonical text.
@@ -142,9 +137,8 @@ ResultCache::find(std::uint64_t fp, const std::string &canonical,
         ++counters_.misses;
         return false;
     }
-    order_.splice(order_.end(), order_, it->second.lru);
     ++counters_.hits;
-    *out = it->second.result;
+    *out = e->result;
     return true;
 }
 
@@ -153,21 +147,8 @@ ResultCache::insert(std::uint64_t fp, const std::string &canonical,
                     const Result &result)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(fp);
-    if (it != map_.end()) {
-        order_.splice(order_.end(), order_, it->second.lru);
-        it->second.canonical = canonical;
-        it->second.result = result;
-    } else {
-        if (map_.size() >= config_.capacity) {
-            map_.erase(order_.front());
-            order_.pop_front();
-            ++counters_.evictions;
-        }
-        order_.push_back(fp);
-        map_[fp] =
-            Entry{canonical, result, std::prev(order_.end())};
-    }
+    if (lru_.insert(fp, Entry{canonical, result}))
+        ++counters_.evictions;
     ++counters_.inserts;
     if (config_.persistEveryInserts > 0 &&
         ++insertsSincePersist_ >= config_.persistEveryInserts) {
@@ -191,9 +172,8 @@ ResultCache::persistLocked()
     guard::CheckpointWriter w;
     w.section("serve_cache");
     w.putU64("format", 1);
-    w.putU64("entries", map_.size());
-    for (std::uint64_t fp : order_) {
-        const Entry &e = map_.at(fp);
+    w.putU64("entries", lru_.size());
+    lru_.forEachLru([&](std::uint64_t fp, const Entry &e) {
         w.section("entry");
         w.putU64("fp", fp);
         w.putToken("canonical_hex", toHex(e.canonical));
@@ -202,7 +182,7 @@ ResultCache::persistLocked()
             w.putToken("key", key);
             w.put("value", value);
         }
-    }
+    });
     guard::writeCheckpointFile(config_.path, w.finish());
     ++counters_.persists;
 }
@@ -211,7 +191,7 @@ std::size_t
 ResultCache::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return map_.size();
+    return lru_.size();
 }
 
 ResultCache::Counters
@@ -221,5 +201,5 @@ ResultCache::counters() const
     return counters_;
 }
 
-} // namespace serve
+} // namespace cache
 } // namespace tts

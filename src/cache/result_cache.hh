@@ -1,0 +1,139 @@
+/**
+ * @file
+ * tts::cache - content-addressed result cache.
+ *
+ * Keys are 64-bit FNV-1a fingerprints of a canonical text
+ * (cache/fingerprint.hh); values are flat metric maps (dotted
+ * golden-key names -> doubles).  The canonical text itself is stored
+ * beside each entry and re-checked on lookup, so a fingerprint
+ * collision degrades to a cache miss instead of serving a wrong
+ * study's numbers.
+ *
+ * Persistence is crash-safe by construction: the cache serializes
+ * to a guard::CheckpointWriter document (CRC-32 trailer) written
+ * through the tmp+rename path of guard::writeCheckpointFile, so the
+ * on-disk file is always either the previous complete snapshot or
+ * the new complete snapshot.  Loading a corrupted or truncated file
+ * is *not* fatal - the file is quarantined to `<path>.corrupt` for
+ * post-mortem and serving continues with an empty cache (a warm-up
+ * cost, not an outage).
+ *
+ * Eviction is LRU at a fixed capacity via cache::LruMap (the same
+ * structure underneath the opt memo); persisted snapshots keep LRU
+ * order so recency survives restarts.  The snapshot section name
+ * stays "serve_cache" - the format predates the module split and
+ * existing snapshot files must keep loading.  All public methods
+ * are internally locked - workers share one instance.
+ */
+
+#ifndef TTS_CACHE_RESULT_CACHE_HH
+#define TTS_CACHE_RESULT_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "cache/lru.hh"
+
+namespace tts {
+namespace cache {
+
+/** Flat result payload (golden-key style dotted metric names). */
+using Result = std::map<std::string, double>;
+
+/** Cache sizing and persistence knobs. */
+struct CacheConfig
+{
+    /** Maximum resident entries; inserting past it evicts LRU. */
+    std::size_t capacity = 256;
+    /** Snapshot path; empty disables persistence. */
+    std::string path;
+    /**
+     * Persist automatically after this many inserts (crash window);
+     * 0 persists only on explicit persist() / daemon shutdown.
+     */
+    std::size_t persistEveryInserts = 0;
+};
+
+/** What load() found on disk. */
+enum class CacheLoadOutcome
+{
+    Fresh,       //!< No snapshot file (or persistence disabled).
+    Loaded,      //!< Snapshot read and verified.
+    Quarantined, //!< Snapshot corrupt; moved aside, cache empty.
+};
+
+class ResultCache
+{
+  public:
+    explicit ResultCache(CacheConfig config);
+
+    /**
+     * Load the snapshot at config.path if one exists.  Corruption
+     * (CRC mismatch, bad structure) quarantines the file to
+     * `<path>.corrupt` and returns Quarantined; the caller keeps
+     * serving either way.  Call once, before the first find().
+     */
+    CacheLoadOutcome load();
+
+    /**
+     * Look up a fingerprint; on hit, verifies the stored canonical
+     * text (collision guard), bumps recency, and copies the result.
+     *
+     * @return True on a verified hit.
+     */
+    bool find(std::uint64_t fp, const std::string &canonical,
+              Result *out);
+
+    /** Insert or refresh an entry (bumps recency; may evict LRU and
+     *  may auto-persist per config.persistEveryInserts). */
+    void insert(std::uint64_t fp, const std::string &canonical,
+                const Result &result);
+
+    /**
+     * Write the snapshot atomically (tmp+rename, CRC trailer).
+     * No-op when persistence is disabled.  @throws FatalError on an
+     * unwritable path.
+     */
+    void persist();
+
+    /** @return Resident entry count. */
+    std::size_t size() const;
+
+    /** Lifetime counters (monotonic, for stats/bench). */
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+        /** Fingerprint matched but canonical text did not. */
+        std::uint64_t collisions = 0;
+        std::uint64_t persists = 0;
+    };
+
+    /** @return A snapshot of the counters. */
+    Counters counters() const;
+
+  private:
+    struct Entry
+    {
+        std::string canonical;
+        Result result;
+    };
+
+    void persistLocked();
+
+    CacheConfig config_;
+    mutable std::mutex mu_;
+    LruMap<Entry> lru_;
+    Counters counters_;
+    std::size_t insertsSincePersist_ = 0;
+};
+
+} // namespace cache
+} // namespace tts
+
+#endif // TTS_CACHE_RESULT_CACHE_HH

@@ -1,0 +1,28 @@
+#include "fleet/sweep.hh"
+
+#include "exec/parallel.hh"
+#include "obs/obs.hh"
+
+namespace tts {
+namespace fleet {
+
+std::vector<FleetResult>
+runFleetSweep(const std::vector<SweepJob> &jobs)
+{
+    if (obs::enabled()) {
+        static obs::Counter &sweeps =
+            obs::registry().counter("fleet.sweep.dispatches");
+        static obs::Counter &swept =
+            obs::registry().counter("fleet.sweep.jobs");
+        sweeps.add(1);
+        swept.add(jobs.size());
+    }
+    return exec::parallel_map(jobs, [](const SweepJob &job) {
+        FleetSim sim(job.spec, job.trace, job.cfg);
+        sim.run();
+        return sim.take();
+    });
+}
+
+} // namespace fleet
+} // namespace tts

@@ -4,9 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
-#include <list>
-#include <unordered_map>
 
+#include "cache/lru.hh"
 #include "exec/parallel.hh"
 #include "obs/obs.hh"
 #include "plant/study.hh"
@@ -18,48 +17,11 @@ namespace opt {
 
 namespace {
 
-/** LRU memo: canonical fingerprint -> evaluation outcome. */
-class Memo
-{
-  public:
-    explicit Memo(std::size_t capacity) : capacity_(capacity) {}
-
-    bool find(std::uint64_t fp, EvalOutcome *out)
-    {
-        auto it = map_.find(fp);
-        if (it == map_.end())
-            return false;
-        // Touch: move to the recent end.
-        order_.splice(order_.end(), order_, it->second.second);
-        *out = it->second.first;
-        return true;
-    }
-
-    void insert(std::uint64_t fp, const EvalOutcome &outcome)
-    {
-        auto it = map_.find(fp);
-        if (it != map_.end()) {
-            order_.splice(order_.end(), order_, it->second.second);
-            it->second.first = outcome;
-            return;
-        }
-        if (map_.size() >= capacity_) {
-            map_.erase(order_.front());
-            order_.pop_front();
-        }
-        order_.push_back(fp);
-        map_.emplace(fp,
-                     std::make_pair(outcome, std::prev(order_.end())));
-    }
-
-  private:
-    std::size_t capacity_;
-    std::list<std::uint64_t> order_;
-    std::unordered_map<
-        std::uint64_t,
-        std::pair<EvalOutcome, std::list<std::uint64_t>::iterator>>
-        map_;
-};
+/** The memo is the shared LRU structure from tts::cache, keyed by
+ *  canonical candidate fingerprints (opt/space.hh); it has never
+ *  carried a collision guard - the coordinate space is tiny against
+ *  64 bits - and rebasing onto LruMap keeps that contract. */
+using Memo = cache::LruMap<EvalOutcome>;
 
 /** FleetSim's slot split (base + remainder), for TCO weighting. */
 std::vector<std::size_t>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cache/fingerprint.hh"
 #include "pcm/container.hh"
 #include "util/error.hh"
 #include "util/units.hh"
@@ -12,14 +13,13 @@ namespace opt {
 
 namespace {
 
+/** The shared FNV-1a u64 mixer (cache/fingerprint.hh): identical
+ *  bytes-in, bits-out to the pre-split local helper, so every memo
+ *  key and pinned fingerprint is unchanged. */
 std::uint64_t
 fnvInt(std::uint64_t h, std::uint64_t v)
 {
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xffULL;
-        h *= 0x100000001b3ULL;
-    }
-    return h;
+    return cache::fnv1aMixU64(h, v);
 }
 
 /** True when archetype axis a can hold this (mass, boxes) pair. */
@@ -204,7 +204,7 @@ std::uint64_t
 fingerprint(const SearchSpace &space, const Candidate &c)
 {
     Candidate k = canonical(space, c);
-    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::uint64_t h = cache::kFnvOffsetBasis;
     for (const Candidate::Arch &a : k.arch) {
         h = fnvInt(h, static_cast<std::uint64_t>(a.massStep));
         h = fnvInt(h, static_cast<std::uint64_t>(a.boxes));

@@ -1,0 +1,166 @@
+#include "serve/batch.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.hh"
+#include "serve/eval.hh"
+#include "util/error.hh"
+
+namespace tts {
+namespace serve {
+
+namespace {
+
+/** Cached `serve.batch.*` instrument references. */
+struct Metrics
+{
+    obs::Counter &sweeps =
+        obs::registry().counter("serve.batch.sweeps");
+    obs::Counter &jobs =
+        obs::registry().counter("serve.batch.jobs");
+    obs::Counter &coalesced =
+        obs::registry().counter("serve.batch.coalesced");
+};
+
+Metrics &
+metrics()
+{
+    static Metrics m;
+    return m;
+}
+
+} // namespace
+
+/** One collection window: unique jobs, membership, and the
+ *  published outcome.  All fields are guarded by the batcher's
+ *  mutex; cv waits use that same mutex. */
+struct MissBatcher::Batch
+{
+    /** Unique canonical texts, arrival order (the dedupe index). */
+    std::vector<std::string> canon;
+    /** Parallel to canon: the requests the sweep will run. */
+    std::vector<Request> reqs;
+    /** No new joiners (window elapsed or batch full). */
+    bool closed = false;
+    /** results/error published; members may copy and leave. */
+    bool done = false;
+    std::vector<Result> results;
+    std::exception_ptr error;
+    std::condition_variable cv;
+};
+
+MissBatcher::MissBatcher(BatchOptions options, Sweep sweep)
+    : options_(options), sweep_(std::move(sweep))
+{
+    require(options_.windowMs >= 0.0,
+            "miss batcher: windowMs must be >= 0");
+    require(options_.maxBatch >= 1,
+            "miss batcher: maxBatch must be >= 1");
+    if (!sweep_)
+        sweep_ = [](const std::vector<Request> &reqs) {
+            return evaluateFleetBatch(reqs);
+        };
+}
+
+Result
+MissBatcher::evaluate(const Request &req,
+                      const std::string &canonical)
+{
+    std::shared_ptr<Batch> batch;
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.requests;
+    if (open_) {
+        // Join the open window as a member.
+        batch = open_;
+        std::size_t slot;
+        auto it = std::find(batch->canon.begin(),
+                            batch->canon.end(), canonical);
+        if (it != batch->canon.end()) {
+            // In-window duplicate: same canonical text, one job.
+            slot = static_cast<std::size_t>(
+                it - batch->canon.begin());
+            ++stats_.coalesced;
+            TTS_OBS_COUNT(metrics().coalesced, 1);
+        } else {
+            slot = batch->canon.size();
+            batch->canon.push_back(canonical);
+            batch->reqs.push_back(req);
+            if (batch->canon.size() >= options_.maxBatch) {
+                // Full: close early and wake the leader now.
+                batch->closed = true;
+                open_.reset();
+                batch->cv.notify_all();
+            }
+        }
+        batch->cv.wait(lock, [&] { return batch->done; });
+        if (batch->error)
+            std::rethrow_exception(batch->error);
+        return batch->results[slot];
+    }
+
+    // First miss of a window: become the leader.
+    batch = std::make_shared<Batch>();
+    batch->canon.push_back(canonical);
+    batch->reqs.push_back(req);
+    if (options_.windowMs > 0.0 && options_.maxBatch > 1) {
+        open_ = batch;
+        batch->cv.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(
+                options_.windowMs),
+            [&] { return batch->closed; });
+        if (open_ == batch)
+            open_.reset();
+        batch->closed = true;
+    }
+    // Snapshot the jobs under the lock, sweep outside it so new
+    // windows can open while the fleet runs.
+    const std::vector<Request> jobs = batch->reqs;
+    lock.unlock();
+
+    std::vector<Result> results;
+    std::exception_ptr error;
+    try {
+        results = sweep_(jobs);
+        invariant(results.size() == jobs.size(),
+                  "miss batcher: sweep returned " +
+                      std::to_string(results.size()) +
+                      " results for " + std::to_string(jobs.size()) +
+                      " jobs");
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    Result mine;
+    lock.lock();
+    ++stats_.sweeps;
+    stats_.jobs += jobs.size();
+    stats_.largestBatch = std::max(
+        stats_.largestBatch,
+        static_cast<std::uint64_t>(jobs.size()));
+    TTS_OBS_COUNT(metrics().sweeps, 1);
+    TTS_OBS_COUNT(metrics().jobs,
+                  static_cast<std::int64_t>(jobs.size()));
+    batch->results = std::move(results);
+    batch->error = error;
+    batch->done = true;
+    if (!error)
+        mine = batch->results[0]; // The leader is always job 0.
+    lock.unlock();
+    batch->cv.notify_all();
+    if (error)
+        std::rethrow_exception(error);
+    return mine;
+}
+
+BatchStats
+MissBatcher::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace serve
+} // namespace tts

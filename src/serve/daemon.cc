@@ -72,6 +72,8 @@ DaemonStats::toMap() const
         {"serve.replies_ok", static_cast<double>(repliesOk)},
         {"serve.replies_error", static_cast<double>(repliesError)},
         {"serve.malformed", static_cast<double>(malformed)},
+        {"serve.unsupported_version",
+         static_cast<double>(unsupportedVersion)},
         {"serve.deadline_exceeded",
          static_cast<double>(deadlineExceeded)},
         {"serve.worker_failed", static_cast<double>(workerFailed)},
@@ -82,13 +84,15 @@ DaemonStats::toMap() const
     };
 }
 
-/** One admitted request, from submit() to its promised Reply. */
+/** One admitted request, from submit to its delivered Reply. */
 struct Daemon::Job
 {
     std::string json;
     std::uint64_t seq = 0;
     Clock::time_point admitted;
-    std::promise<Reply> promise;
+    /** Runs exactly once with the reply (worker thread, or the
+     *  submitter's thread for an immediate rejection). */
+    std::function<void(Reply)> done;
 };
 
 /** Single-flight rendezvous: the leader evaluates, followers wait
@@ -103,7 +107,7 @@ struct Daemon::Flight
 
 Daemon::Daemon(DaemonConfig config, ServeFaultPlan faults)
     : config_(std::move(config)), faults_(std::move(faults)),
-      cache_(config_.cache)
+      cache_(config_.cache), batcher_(config_.batch)
 {
     require(config_.queueCapacity >= 1,
             "serve daemon: queueCapacity must be >= 1");
@@ -127,10 +131,23 @@ Daemon::~Daemon()
 std::future<Reply>
 Daemon::submit(std::string request_json)
 {
+    auto promise = std::make_shared<std::promise<Reply>>();
+    std::future<Reply> fut = promise->get_future();
+    submitAsync(std::move(request_json),
+                [promise](Reply reply) {
+                    promise->set_value(std::move(reply));
+                });
+    return fut;
+}
+
+void
+Daemon::submitAsync(std::string request_json,
+                    std::function<void(Reply)> done)
+{
     auto job = std::make_unique<Job>();
     job->json = std::move(request_json);
     job->admitted = Clock::now();
-    std::future<Reply> fut = job->promise.get_future();
+    job->done = std::move(done);
     Reply rejection;
     bool rejected = false;
     {
@@ -169,11 +186,10 @@ Daemon::submit(std::string request_json)
         // instead of an unbounded queue wait.
         TTS_OBS_COUNT(metrics().shed, 1);
         TTS_OBS_COUNT(metrics().repliesError, 1);
-        job->promise.set_value(std::move(rejection));
+        job->done(std::move(rejection));
     } else {
         workReady_.notify_one();
     }
-    return fut;
 }
 
 Reply
@@ -245,7 +261,7 @@ Daemon::workerLoop()
         }
         Reply reply = process(*job);
         noteReply(reply, msSince(job->admitted));
-        job->promise.set_value(reply);
+        job->done(std::move(reply));
         {
             std::lock_guard<std::mutex> lock(mu_);
             --inFlight_;
@@ -264,6 +280,9 @@ Daemon::process(Job &job)
     Request req;
     try {
         req = parseRequest(job.json, config_.maxRequestBytes);
+    } catch (const UnsupportedVersionError &e) {
+        return Reply::errorReply(ErrorKind::UnsupportedVersion,
+                                 e.what());
     } catch (const Error &e) {
         return Reply::errorReply(ErrorKind::Malformed, e.what());
     }
@@ -333,7 +352,7 @@ Daemon::process(Job &job)
         TTS_OBS_COUNT(metrics().hits, 1);
         reply = Reply::okReply(fp, true, 0.0, std::move(cached));
     } else {
-        reply = evaluateWithRetries(req, job.seq, fp);
+        reply = evaluateWithRetries(req, canonical, job.seq, fp);
         if (reply.ok)
             cache_.insert(fp, canonical, reply.result);
     }
@@ -354,8 +373,9 @@ Daemon::process(Job &job)
 }
 
 Reply
-Daemon::evaluateWithRetries(const Request &req, std::uint64_t seq,
-                            std::uint64_t fp)
+Daemon::evaluateWithRetries(const Request &req,
+                            const std::string &canonical,
+                            std::uint64_t seq, std::uint64_t fp)
 {
     const std::size_t injected = faults_.crashAttempts(seq);
     std::string last;
@@ -367,7 +387,13 @@ Daemon::evaluateWithRetries(const Request &req, std::uint64_t seq,
                     "injected worker crash (attempt " +
                     std::to_string(attempt + 1) + ")");
             const Clock::time_point t0 = Clock::now();
-            Result result = evaluate(req);
+            // Fleet-backed misses ride the shared batcher so
+            // concurrent misses execute as one sweep; the retry
+            // ladder and fault injection wrap it the same way they
+            // wrap an individual evaluation.
+            Result result = batchable(req)
+                ? batcher_.evaluate(req, canonical)
+                : evaluate(req);
             const double eval_ms = msSince(t0);
             {
                 std::lock_guard<std::mutex> lock(mu_);
@@ -425,6 +451,9 @@ Daemon::noteReply(const Reply &reply, double latency_ms)
             case ErrorKind::Malformed:
                 ++stats_.malformed;
                 break;
+            case ErrorKind::UnsupportedVersion:
+                ++stats_.unsupportedVersion;
+                break;
             case ErrorKind::DeadlineExceeded:
                 ++stats_.deadlineExceeded;
                 break;
@@ -470,12 +499,25 @@ serveStream(std::istream &in, std::ostream &out, Daemon &daemon,
     auto flushOne = [&] {
         Pending p = std::move(pending.front());
         pending.pop_front();
+        // Always collect the reply - an in-flight evaluation must
+        // complete even for a vanished client - but only write it
+        // while the stream is still healthy.
         const Reply reply = p.ready ? p.reply : p.fut.get();
-        writeFrame(out, reply.toJson(), reply_limits);
-        ++stats.repliesWritten;
+        if (!out.fail()) {
+            writeFrame(out, reply.toJson(), reply_limits);
+            ++stats.repliesWritten;
+        }
     };
 
     for (;;) {
+        if (out.fail()) {
+            // The client disconnected mid-pipeline.  Stop reading;
+            // the drain below still waits out every accepted
+            // request so no evaluation is orphaned and the worker
+            // pool stays healthy.
+            stats.aborted = true;
+            break;
+        }
         FrameResult frame = readFrame(in, options.limits);
         if (frame.status == FrameStatus::Eof)
             break;

@@ -24,10 +24,15 @@
  *  7. shutdown - the daemon is draining; the client should retry
  *     against a fresh instance.
  *
- * Malformed requests are answered on rung 0, before any of this:
- * parsing happens on the worker inside the same try/catch that
- * guards evaluation, so a garbage payload costs one queue slot and
- * produces one typed reply.
+ * Malformed and unsupported-version requests are answered on rung
+ * 0, before any of this: parsing happens on the worker inside the
+ * same try/catch that guards evaluation, so a garbage payload costs
+ * one queue slot and produces one typed reply.
+ *
+ * Fleet-backed cache misses additionally ride the MissBatcher
+ * (serve/batch.hh): concurrent misses inside a short window execute
+ * as one sharded fleet sweep, each reply still bit-identical to an
+ * individual fresh evaluation.
  *
  * Crash-safety: the cache persists through guard's CRC'd tmp+rename
  * checkpoint path on shutdown() (and optionally every N inserts),
@@ -43,6 +48,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <iosfwd>
 #include <map>
@@ -52,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/batch.hh"
 #include "serve/cache.hh"
 #include "serve/fault.hh"
 #include "serve/protocol.hh"
@@ -78,6 +85,9 @@ struct DaemonConfig
     std::size_t maxRequestBytes = 64 * 1024;
     /** Result cache sizing/persistence. */
     CacheConfig cache;
+    /** Miss batching for fleet-backed studies (serve/batch.hh);
+     *  windowMs = 0 evaluates every miss individually. */
+    BatchOptions batch;
 };
 
 /** Monotonic counters describing one daemon's lifetime. */
@@ -89,6 +99,7 @@ struct DaemonStats
     std::uint64_t repliesOk = 0;
     std::uint64_t repliesError = 0;
     std::uint64_t malformed = 0;
+    std::uint64_t unsupportedVersion = 0;
     std::uint64_t deadlineExceeded = 0;
     std::uint64_t workerFailed = 0;
     std::uint64_t retries = 0;
@@ -128,6 +139,17 @@ class Daemon
      */
     std::future<Reply> submit(std::string request_json);
 
+    /**
+     * Submit with a completion callback instead of a future.  The
+     * callback runs exactly once - on a worker thread after
+     * evaluation, or on the submitting thread for an immediate
+     * typed rejection (shed/shutdown).  It must be cheap and must
+     * not call back into the daemon; the session mux uses this to
+     * avoid parking a thread per outstanding request.
+     */
+    void submitAsync(std::string request_json,
+                     std::function<void(Reply)> done);
+
     /** submit() and wait. */
     Reply call(const std::string &request_json);
 
@@ -155,6 +177,9 @@ class Daemon
         return cache_.counters();
     }
 
+    /** @return Miss-batcher counters (sweeps/jobs/coalesced/...). */
+    BatchStats batchStats() const { return batcher_.stats(); }
+
     /** @return Resident cache entries. */
     std::size_t cacheSize() const { return cache_.size(); }
 
@@ -171,13 +196,15 @@ class Daemon
 
     void workerLoop();
     Reply process(Job &job);
-    Reply evaluateWithRetries(const Request &req, std::uint64_t seq,
-                              std::uint64_t fp);
+    Reply evaluateWithRetries(const Request &req,
+                              const std::string &canonical,
+                              std::uint64_t seq, std::uint64_t fp);
     void noteReply(const Reply &reply, double latency_ms);
 
     DaemonConfig config_;
     ServeFaultPlan faults_;
     ResultCache cache_;
+    MissBatcher batcher_;
     CacheLoadOutcome loadOutcome_ = CacheLoadOutcome::Fresh;
 
     mutable std::mutex mu_;

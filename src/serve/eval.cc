@@ -7,11 +7,15 @@
 #include "core/resilience_study.hh"
 #include "core/run_config.hh"
 #include "fault/fault_schedule.hh"
+#include "fleet/sweep.hh"
+#include "opt/engine.hh"
+#include "opt/space.hh"
 #include "plant/study.hh"
 #include "server/server_spec.hh"
 #include "util/error.hh"
 #include "util/units.hh"
 #include "workload/google_trace.hh"
+#include "workload/placement.hh"
 
 namespace tts {
 namespace serve {
@@ -174,6 +178,111 @@ evalPlant(const Request &req)
     return out;
 }
 
+/**
+ * The fleet study's sweep job.  Coarse steps (300 s control, 60 s
+ * thermal) keep a served run orders of magnitude cheaper than the
+ * offline 2-day transient while exercising the same dedupe and
+ * placement machinery; obs/checkpoint sinks are cleared because a
+ * daemon answer must never write files.
+ */
+fleet::SweepJob
+fleetJobOf(const Request &req)
+{
+    fleet::SweepJob job;
+    job.spec = specOf(req);
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(req.days);
+    job.trace = workload::makeGoogleTrace(tp);
+    job.cfg.run = runConfigOf(req);
+    job.cfg.run.obs = core::ObsSinks{};
+    job.cfg.run.checkpoint = core::CheckpointPolicy{};
+    job.cfg.durationS = units::days(req.days);
+    job.cfg.controlIntervalS = 300.0;
+    job.cfg.thermalStepS = 60.0;
+    job.cfg.placement =
+        workload::placementPolicyFromName(req.placement);
+    job.cfg.recordSeries = false;
+    return job;
+}
+
+Result
+fleetResultOf(const fleet::FleetResult &r)
+{
+    Result out;
+    out["fleet.peak_cooling_w"] = r.peakCoolingW;
+    out["fleet.peak_it_w"] = r.peakItPowerW;
+    out["fleet.cooling_energy_j"] = r.coolingEnergyJ;
+    out["fleet.servers"] = static_cast<double>(r.serverCount);
+    out["fleet.materialized_rows"] =
+        static_cast<double>(r.materializedRows);
+    out["fleet.events_applied"] =
+        static_cast<double>(r.eventsApplied);
+    out["fleet.dedupe_factor"] = r.dedupeFactor();
+    // The full digest is 64 bits and doubles carry 53; the low half
+    // is still a sharp bit-identity witness in a flat result map.
+    out["fleet.digest32"] =
+        static_cast<double>(r.stateDigest & 0xffffffffull);
+    return out;
+}
+
+Result
+evalFleet(const Request &req)
+{
+    return fleetResultOf(
+        fleet::runFleetSweep({fleetJobOf(req)})[0]);
+}
+
+Result
+evalOptimize(const Request &req)
+{
+    // A served search runs on the trimmed single-archetype space and
+    // the coarse oracle (the tts::opt fast-battery shape): small
+    // enough to answer interactively, deterministic by the engine's
+    // own contract, so the unified cache can memoize it like any
+    // other study.
+    opt::SpaceOptions so;
+    so.meltMinC = 48.0;
+    so.meltMaxC = 58.0;
+    so.meltStepC = 1.0;
+    so.boxRadius = 2;
+    so.lockPolicy = true; // Single archetype: placement is moot.
+    opt::SearchSpace space = opt::makeSearchSpace({specOf(req)}, so);
+
+    workload::GoogleTraceParams tp;
+    tp.durationS = units::days(req.days);
+    tp.sampleIntervalS = 900.0;
+    workload::WorkloadTrace trace = workload::makeGoogleTrace(tp);
+
+    opt::OptOptions oo;
+    oo.seed = req.optSeed;
+    oo.budget = req.budget;
+    oo.restarts = req.restarts;
+    oo.objective = opt::objectiveFromName(req.objective);
+    oo.fleet.run.serverCount = req.servers;
+    oo.fleet.run.utilization = req.utilization;
+    oo.fleet.durationS = units::days(req.days);
+    oo.fleet.controlIntervalS = 300.0;
+    oo.fleet.thermalStepS = 60.0;
+    opt::OptResult r = opt::optimizeWaxPlacement(space, trace, oo);
+
+    Result out;
+    out["opt.best_cost"] = r.bestCost;
+    out["opt.baseline_cost"] = r.baselineCost;
+    out["opt.beats_baseline"] = r.beatsBaseline() ? 1.0 : 0.0;
+    out["opt.peak_cooling_w"] = r.bestOutcome.peakCoolingW;
+    out["opt.tco_usd_per_year"] = r.bestOutcome.tcoUsdPerYear;
+    out["opt.mass_kg"] = r.choice[0].massKg;
+    out["opt.liters"] = r.choice[0].liters;
+    out["opt.boxes"] = static_cast<double>(r.choice[0].boxes);
+    out["opt.melt_c"] = r.choice[0].meltTempC;
+    out["opt.evaluations"] = static_cast<double>(r.evaluations);
+    out["opt.oracle_calls"] = static_cast<double>(r.oracleCalls);
+    out["opt.memo_hits"] = static_cast<double>(r.memoHits);
+    out["opt.polish_rounds"] =
+        static_cast<double>(r.polishRounds);
+    return out;
+}
+
 } // namespace
 
 Result
@@ -187,9 +296,39 @@ evaluate(const Request &req)
         return evalResilience(req);
     if (req.study == "plant")
         return evalPlant(req);
+    if (req.study == "fleet")
+        return evalFleet(req);
+    if (req.study == "optimize")
+        return evalOptimize(req);
     // parseRequest validates the study name; reaching here means a
     // caller built a Request by hand and got it wrong.
     fatal("evaluate: unknown study \"" + req.study + "\"");
+}
+
+bool
+batchable(const Request &req)
+{
+    return req.study == "fleet";
+}
+
+std::vector<Result>
+evaluateFleetBatch(const std::vector<Request> &reqs)
+{
+    std::vector<fleet::SweepJob> jobs;
+    jobs.reserve(reqs.size());
+    for (const Request &req : reqs) {
+        require(batchable(req),
+                "evaluateFleetBatch: study \"" + req.study +
+                    "\" is not batchable");
+        jobs.push_back(fleetJobOf(req));
+    }
+    std::vector<fleet::FleetResult> swept =
+        fleet::runFleetSweep(jobs);
+    std::vector<Result> out;
+    out.reserve(swept.size());
+    for (const fleet::FleetResult &r : swept)
+        out.push_back(fleetResultOf(r));
+    return out;
 }
 
 } // namespace serve

@@ -7,7 +7,8 @@ namespace serve {
 
 ServeFaultPlan
 ServeFaultPlan::generate(const ServeFaultProfile &profile,
-                         std::size_t request_count)
+                         std::size_t request_count,
+                         std::size_t session_count)
 {
     auto probability = [](double p, const char *name) {
         require(p >= 0.0 && p <= 1.0,
@@ -19,9 +20,12 @@ ServeFaultPlan::generate(const ServeFaultProfile &profile,
     probability(profile.oversizedPerRequest, "oversizedPerRequest");
     probability(profile.truncatedPerRequest, "truncatedPerRequest");
     probability(profile.slowClientPerRequest, "slowClientPerRequest");
+    probability(profile.disconnectPerRequest, "disconnectPerRequest");
+    probability(profile.slowSessionPerSession,
+                "slowSessionPerSession");
     const double client_total = profile.malformedPerRequest +
         profile.oversizedPerRequest + profile.truncatedPerRequest +
-        profile.slowClientPerRequest;
+        profile.slowClientPerRequest + profile.disconnectPerRequest;
     require(client_total <= 1.0,
             "serve fault profile: client-side probabilities sum past "
             "1");
@@ -46,10 +50,25 @@ ServeFaultPlan::generate(const ServeFaultProfile &profile,
             plan.requestFaults_[i] = RequestFault::Truncated;
         } else if (u < (edge += profile.slowClientPerRequest)) {
             plan.requestFaults_[i] = RequestFault::SlowClient;
+        } else if (u < (edge += profile.disconnectPerRequest)) {
+            // Appended to the cascade's tail so enabling it never
+            // reshuffles which requests drew the older faults.
+            plan.requestFaults_[i] = RequestFault::Disconnect;
         }
         Rng worker = Rng::forStream(profile.seed, 2 * i + 1);
         if (worker.uniform() < profile.workerCrashPerRequest)
             plan.crashAttempts_[i] = profile.workerCrashAttempts;
+    }
+    // Session-level draws live at a disjoint stream offset so
+    // adding sessions never perturbs the per-request streams above.
+    constexpr std::uint64_t kSessionStreamBase =
+        std::uint64_t{1} << 32;
+    plan.slowSessions_.resize(session_count, 0);
+    for (std::size_t s = 0; s < session_count; ++s) {
+        Rng session =
+            Rng::forStream(profile.seed, kSessionStreamBase + s);
+        if (session.uniform() < profile.slowSessionPerSession)
+            plan.slowSessions_[s] = 1;
     }
     return plan;
 }
@@ -85,6 +104,22 @@ ServeFaultPlan::crashedRequests() const
     std::size_t n = 0;
     for (std::size_t c : crashAttempts_)
         if (c > 0)
+            ++n;
+    return n;
+}
+
+bool
+ServeFaultPlan::slowSession(std::size_t s) const
+{
+    return s < slowSessions_.size() && slowSessions_[s] != 0;
+}
+
+std::size_t
+ServeFaultPlan::slowSessions() const
+{
+    std::size_t n = 0;
+    for (char c : slowSessions_)
+        if (c != 0)
             ++n;
     return n;
 }

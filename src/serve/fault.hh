@@ -54,6 +54,7 @@ enum class RequestFault
     Oversized, //!< Framed with a payload over the frame limit.
     Truncated, //!< Frame header declares more bytes than are sent.
     SlowClient,//!< Stall between header and payload bytes.
+    Disconnect,//!< Client hangs up right after sending this request.
 };
 
 /** Per-request event probabilities for a generated plan. */
@@ -73,8 +74,13 @@ struct ServeFaultProfile
     double truncatedPerRequest = 0.0;
     /** P(slow-client stall) per request. */
     double slowClientPerRequest = 0.0;
+    /** P(client disconnects right after sending) per request. */
+    double disconnectPerRequest = 0.0;
     /** Stall length (wall ms) for slow-client events. */
     double slowClientStallMs = 2.0;
+    /** P(a whole session reads its replies slowly) per session
+     *  (the multi-client soak's slow-reader axis). */
+    double slowSessionPerSession = 0.0;
     /** Master seed. */
     std::uint64_t seed = 0x5eedbea7;
 };
@@ -87,14 +93,17 @@ class ServeFaultPlan
     ServeFaultPlan() = default;
 
     /**
-     * Sample a plan for `request_count` requests.  Each request
-     * draws its client-side fault from one forStream(seed, i)
-     * stream and its worker-crash selection from another, so the
-     * axes never perturb each other (the fault::generateSchedule
-     * idiom).
+     * Sample a plan for `request_count` requests (and optionally
+     * `session_count` concurrent sessions).  Each request draws its
+     * client-side fault from one forStream(seed, i) stream and its
+     * worker-crash selection from another, and each session draws
+     * its slow-reader flag from a third family at a disjoint stream
+     * offset, so the axes never perturb each other (the
+     * fault::generateSchedule idiom).
      */
     static ServeFaultPlan generate(const ServeFaultProfile &profile,
-                                   std::size_t request_count);
+                                   std::size_t request_count,
+                                   std::size_t session_count = 0);
 
     /**
      * @return How many leading evaluation attempts of admission
@@ -120,9 +129,17 @@ class ServeFaultPlan
     /** @return Number of requests with planned worker crashes. */
     std::size_t crashedRequests() const;
 
+    /** @return Whether session `s` is a planned slow reader (false
+     *  past the planned range). */
+    bool slowSession(std::size_t s) const;
+
+    /** @return Number of planned slow-reader sessions. */
+    std::size_t slowSessions() const;
+
   private:
     std::vector<RequestFault> requestFaults_;
     std::vector<std::size_t> crashAttempts_;
+    std::vector<char> slowSessions_;
     double stallMs_ = 2.0;
 };
 

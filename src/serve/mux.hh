@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Poll-based multi-session front end for the scenario daemon.
+ *
+ * serveStream() handles exactly one framed byte stream and parks a
+ * thread per outstanding request.  The SessionMux scales that to
+ * many concurrent clients on one thread: a poll() loop accepts
+ * connections on a Unix socket (or adopts already-connected fds -
+ * the test hook), feeds each session's bytes through an incremental
+ * FrameDecoder, and dispatches decoded requests to the shared
+ * Daemon with submitAsync().  Worker callbacks post completed
+ * replies to the loop through a self-pipe, so the loop never blocks
+ * on evaluation and a slow evaluation never blocks the loop.
+ *
+ * Ordering and isolation invariants:
+ *
+ *  - Replies within one session go out in request order, always -
+ *    each accepted frame reserves an ordered reply slot at decode
+ *    time and the writer only drains ready slots from the front.
+ *  - A slow *client* cannot head-of-line-block other sessions:
+ *    writes are nonblocking and buffer per session; the loop moves
+ *    on the instant a socket stops accepting bytes.
+ *  - A slow or disconnected client cannot poison the daemon: its
+ *    in-flight evaluations complete normally (warming the shared
+ *    cache) and their replies are counted as discarded, never
+ *    delivered to a dead fd.
+ *  - Per-session backpressure: once pipelineWindow replies are
+ *    outstanding the loop stops reading that session's fd until a
+ *    slot drains, so one firehose client cannot monopolise the
+ *    admission queue.
+ *
+ * Thread model: run() owns every Session; daemon workers only touch
+ * the completion queue (mutex + self-pipe).  stop() and adopt() are
+ * safe to call from any thread.
+ */
+
+#ifndef TTS_SERVE_MUX_HH
+#define TTS_SERVE_MUX_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/daemon.hh"
+#include "serve/protocol.hh"
+
+namespace tts {
+namespace serve {
+
+/** Session-mux sizing knobs. */
+struct MuxOptions
+{
+    /** Frame limits applied to every session's requests. */
+    FrameLimits limits;
+    /** Concurrent sessions served; the accept loop simply stops
+     *  accepting at capacity (the listen backlog queues), and
+     *  adopt() past it refuses the fd. */
+    std::size_t maxSessions = 64;
+    /** Outstanding replies per session before its fd stops being
+     *  read; 0 = the daemon's queue capacity. */
+    std::size_t pipelineWindow = 0;
+    /** run() returns once this many sessions have fully closed;
+     *  0 = run until stop(). */
+    std::size_t exitAfterSessions = 0;
+};
+
+/** Monotonic counters describing one mux's lifetime. */
+struct MuxStats
+{
+    std::uint64_t sessionsAccepted = 0;
+    std::uint64_t sessionsClosed = 0;
+    std::uint64_t sessionsRefused = 0;
+    std::uint64_t framesOk = 0;
+    std::uint64_t framesMalformed = 0;
+    std::uint64_t repliesWritten = 0;
+    /** Replies that completed after their client vanished. */
+    std::uint64_t repliesDiscarded = 0;
+    std::uint64_t peakSessions = 0;
+
+    /** @return Every counter as a flat kv map (for kv_json). */
+    std::map<std::string, double> toMap() const;
+};
+
+class SessionMux
+{
+  public:
+    /**
+     * @param daemon  The shared evaluation daemon (not owned; must
+     *        outlive the mux).
+     * @param options Sizing knobs.
+     */
+    SessionMux(Daemon &daemon, MuxOptions options);
+
+    /** Closes the listen socket and every live session fd. */
+    ~SessionMux();
+
+    SessionMux(const SessionMux &) = delete;
+    SessionMux &operator=(const SessionMux &) = delete;
+
+    /**
+     * Bind and listen on a Unix-domain socket.  An existing file at
+     * `path` is unlinked first (a stale socket from a previous run),
+     * and the path is unlinked again on destruction.
+     *
+     * @throws FatalError on socket/bind/listen failure.
+     */
+    void listenUnix(const std::string &path);
+
+    /**
+     * Adopt an already-connected stream fd as a session (the test
+     * hook: socketpair() one end in, drive the other).  Safe from
+     * any thread; the fd is owned by the mux from here on.  Refused
+     * (fd closed, counted) past maxSessions.
+     */
+    void adopt(int fd);
+
+    /**
+     * Serve until stop() or until exitAfterSessions sessions have
+     * closed.  Runs the poll loop on the calling thread.
+     */
+    void run();
+
+    /** Make run() return promptly.  Safe from any thread. */
+    void stop();
+
+    /** @return A snapshot of the lifetime counters. */
+    MuxStats stats() const;
+
+    const MuxOptions &options() const { return options_; }
+
+  private:
+    struct Session;
+    struct Shared;
+
+    void acceptReady();
+    void drainWake();
+    std::shared_ptr<Session> addSession(int fd);
+    void readSession(const std::shared_ptr<Session> &s);
+    void flushSession(const std::shared_ptr<Session> &s);
+    void dispatchFrame(const std::shared_ptr<Session> &s,
+                       FrameResult frame);
+    void reserveErrorSlot(const std::shared_ptr<Session> &s,
+                          const FrameResult &frame);
+    void closeSession(const std::shared_ptr<Session> &s);
+
+    Daemon &daemon_;
+    MuxOptions options_;
+    std::size_t window_ = 1;
+    std::shared_ptr<Shared> shared_;
+    int listenFd_ = -1;
+    std::string listenPath_;
+    std::vector<std::shared_ptr<Session>> sessions_;
+    MuxStats stats_;
+};
+
+} // namespace serve
+} // namespace tts
+
+#endif // TTS_SERVE_MUX_HH

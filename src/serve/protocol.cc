@@ -9,9 +9,11 @@
 #include <set>
 #include <sstream>
 
+#include "cache/fingerprint.hh"
 #include "plant/options.hh"
 #include "util/error.hh"
 #include "util/kv_json.hh"
+#include "workload/placement.hh"
 
 namespace tts {
 namespace serve {
@@ -74,9 +76,11 @@ void
 validate(const Request &r)
 {
     require(r.study == "cooling" || r.study == "outage" ||
-                r.study == "resilience" || r.study == "plant",
+                r.study == "resilience" || r.study == "plant" ||
+                r.study == "fleet" || r.study == "optimize",
             "request: unknown study \"" + r.study +
-                "\" (try cooling, outage, resilience, plant)");
+                "\" (try cooling, outage, resilience, plant, "
+                "fleet, optimize)");
     // Throws its own FatalError on an unknown backend name.
     plant::backendKindFromString(r.plantBackend);
     require(r.platform >= 0 && r.platform <= 2,
@@ -97,6 +101,14 @@ validate(const Request &r)
     require(std::isfinite(r.horizonS) && r.horizonS >= 0.0 &&
                 r.horizonS <= 32.0 * 86400.0,
             "request: horizon_s must be in [0, 32 days]");
+    // Throws its own FatalError on an unknown policy name.
+    workload::placementPolicyFromName(r.placement);
+    require(r.objective == "peak" || r.objective == "tco",
+            "request: objective must be peak or tco");
+    require(r.budget >= 1 && r.budget <= 4096,
+            "request: budget must be in [1, 4096]");
+    require(r.restarts >= 1 && r.restarts <= 64,
+            "request: restarts must be in [1, 64]");
     require(std::isfinite(r.deadlineMs) && r.deadlineMs >= 0.0,
             "request: deadline_ms must be >= 0");
 }
@@ -108,6 +120,8 @@ toString(ErrorKind kind)
 {
     switch (kind) {
       case ErrorKind::Malformed: return "malformed";
+      case ErrorKind::UnsupportedVersion:
+        return "unsupported_version";
       case ErrorKind::Overloaded: return "overloaded";
       case ErrorKind::DeadlineExceeded: return "deadline_exceeded";
       case ErrorKind::WorkerFailed: return "worker_failed";
@@ -120,9 +134,9 @@ ErrorKind
 errorKindFromString(const std::string &name)
 {
     for (ErrorKind k :
-         {ErrorKind::Malformed, ErrorKind::Overloaded,
-          ErrorKind::DeadlineExceeded, ErrorKind::WorkerFailed,
-          ErrorKind::Shutdown}) {
+         {ErrorKind::Malformed, ErrorKind::UnsupportedVersion,
+          ErrorKind::Overloaded, ErrorKind::DeadlineExceeded,
+          ErrorKind::WorkerFailed, ErrorKind::Shutdown}) {
         if (name == toString(k))
             return k;
     }
@@ -134,6 +148,19 @@ parseRequest(const std::string &json, std::size_t max_bytes)
 {
     Fields f(parseKvAnyJson(json, max_bytes));
     Request r;
+    // Version gate first, before any other key is touched: a
+    // future-version request may carry keys this build has never
+    // heard of, and the client should learn "speak proto 1", not
+    // "unknown key".
+    double proto = f.number("proto", 1.0);
+    require(std::isfinite(proto) && proto >= 1.0 &&
+                proto == std::floor(proto) && proto <= 1e9,
+            "request: proto must be a positive integer");
+    r.proto = static_cast<int>(proto);
+    if (r.proto != 1)
+        throw UnsupportedVersionError(
+            "request: proto " + std::to_string(r.proto) +
+            " is not supported (this daemon speaks proto 1)");
     r.study = f.text("study", r.study);
     r.platform = static_cast<int>(
         f.number("platform", static_cast<double>(r.platform)));
@@ -162,6 +189,27 @@ parseRequest(const std::string &json, std::size_t max_bytes)
     for (char &c : r.weather)
         if (c == ';')
             c = '\n';
+    r.placement = f.text("placement", r.placement);
+    r.objective = f.text("objective", r.objective);
+    double budget =
+        f.number("budget", static_cast<double>(r.budget));
+    require(std::isfinite(budget) && budget >= 0.0 &&
+                budget == std::floor(budget),
+            "request: budget must be a non-negative integer");
+    r.budget = static_cast<std::size_t>(budget);
+    double restarts =
+        f.number("restarts", static_cast<double>(r.restarts));
+    require(std::isfinite(restarts) && restarts >= 0.0 &&
+                restarts == std::floor(restarts),
+            "request: restarts must be a non-negative integer");
+    r.restarts = static_cast<std::size_t>(restarts);
+    double opt_seed =
+        f.number("opt_seed", static_cast<double>(r.optSeed));
+    require(std::isfinite(opt_seed) && opt_seed >= 0.0 &&
+                opt_seed == std::floor(opt_seed) &&
+                opt_seed <= 9007199254740992.0,
+            "request: opt_seed must be an integer in [0, 2^53]");
+    r.optSeed = static_cast<std::uint64_t>(opt_seed);
     r.deadlineMs = f.number("deadline_ms", r.deadlineMs);
     f.expectAllTaken();
     validate(r);
@@ -197,8 +245,24 @@ writeRequest(const Request &req)
                 c = ';';
         kv["faults"] = KvValue::string(flat);
     }
-    // Plant fields are omitted at their defaults so pre-plant
-    // request documents round-trip byte-identically.
+    // Post-v1 fields are omitted at their defaults so older request
+    // documents round-trip byte-identically.
+    if (req.proto != 1)
+        kv["proto"] =
+            KvValue::number(static_cast<double>(req.proto));
+    if (req.placement != "uniform")
+        kv["placement"] = KvValue::string(req.placement);
+    if (req.objective != "peak")
+        kv["objective"] = KvValue::string(req.objective);
+    if (req.budget != 16)
+        kv["budget"] =
+            KvValue::number(static_cast<double>(req.budget));
+    if (req.restarts != 1)
+        kv["restarts"] =
+            KvValue::number(static_cast<double>(req.restarts));
+    if (req.optSeed != 0x0417c001ULL)
+        kv["opt_seed"] =
+            KvValue::number(static_cast<double>(req.optSeed));
     if (req.plantBackend != "crac")
         kv["plant_backend"] = KvValue::string(req.plantBackend);
     if (!req.weather.empty()) {
@@ -233,26 +297,35 @@ canonicalText(const Request &req)
         << "scenario " << req.scenario << "\n"
         << "faults " << req.faults.size() << ":" << req.faults
         << "\n";
-    // Plant fields append only when non-default: a pre-plant request
-    // keeps its pinned fingerprint, and "omitted" and "spelled-out
-    // default" still hash identically.
+    // Later fields append only when non-default: a pre-plant or
+    // pre-fleet request keeps its pinned fingerprint, and "omitted"
+    // and "spelled-out default" still hash identically.  `proto`
+    // never appears at all - like the deadline, it shapes whether
+    // the answer arrives, never the answer's bits.
     if (req.plantBackend != "crac")
         out << "plant_backend " << req.plantBackend << "\n";
     if (!req.weather.empty())
         out << "weather " << req.weather.size() << ":"
             << req.weather << "\n";
+    if (req.placement != "uniform")
+        out << "placement " << req.placement << "\n";
+    if (req.objective != "peak")
+        out << "objective " << req.objective << "\n";
+    if (req.budget != 16)
+        out << "budget " << req.budget << "\n";
+    if (req.restarts != 1)
+        out << "restarts " << req.restarts << "\n";
+    if (req.optSeed != 0x0417c001ULL)
+        out << "opt_seed " << req.optSeed << "\n";
     return out.str();
 }
 
 std::uint64_t
 fnv1a(const std::string &bytes)
 {
-    std::uint64_t h = 14695981039346656037ull;
-    for (unsigned char c : bytes) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
+    // Delegates to the unified fingerprint module so the serve cache
+    // and the opt memo can never hash differently.
+    return cache::fnv1a(bytes);
 }
 
 std::uint64_t
@@ -452,6 +525,146 @@ readFrame(std::istream &in, const FrameLimits &limits)
         }
     }
     r.status = FrameStatus::Ok;
+    return r;
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t n)
+{
+    if (state_ == State::Poisoned)
+        return; // Nothing past an unrecoverable error is read.
+    buf_.append(data, n);
+}
+
+void
+FrameDecoder::compact()
+{
+    // Drop the consumed prefix once it dominates the buffer, so a
+    // long-lived session doesn't accumulate every frame it ever
+    // received.
+    if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+}
+
+bool
+FrameDecoder::next(FrameResult *out)
+{
+    static constexpr std::size_t kMaxHeaderBytes = 64;
+    for (;;) {
+        switch (state_) {
+        case State::Poisoned:
+            *out = poison_;
+            return true;
+        case State::Header: {
+            const std::size_t nl = buf_.find('\n', pos_);
+            if (nl == std::string::npos) {
+                if (buf_.size() - pos_ > kMaxHeaderBytes) {
+                    poison_.status = FrameStatus::Malformed;
+                    poison_.diagnostic =
+                        "frame: header line exceeds " +
+                        std::to_string(kMaxHeaderBytes) + " bytes";
+                    poison_.recoverable = false;
+                    state_ = State::Poisoned;
+                    continue;
+                }
+                return false;
+            }
+            const std::string header =
+                buf_.substr(pos_, nl - pos_);
+            pos_ = nl + 1;
+            compact();
+            const std::string tag = "tts-frame ";
+            if (header.rfind(tag, 0) != 0) {
+                poison_.status = FrameStatus::Malformed;
+                poison_.diagnostic =
+                    "frame: bad header (expected 'tts-frame "
+                    "<length>')";
+                poison_.recoverable = false;
+                state_ = State::Poisoned;
+                continue;
+            }
+            const std::string len_text = header.substr(tag.size());
+            std::size_t used = 0;
+            unsigned long long len = 0;
+            bool len_ok = !len_text.empty();
+            if (len_ok) {
+                try {
+                    len = std::stoull(len_text, &used);
+                    len_ok = used == len_text.size();
+                } catch (const std::exception &) {
+                    len_ok = false;
+                }
+            }
+            if (!len_ok) {
+                poison_.status = FrameStatus::Malformed;
+                poison_.diagnostic =
+                    "frame: bad length '" + len_text +
+                    "' in header";
+                poison_.recoverable = false;
+                state_ = State::Poisoned;
+                continue;
+            }
+            want_ = static_cast<std::size_t>(len);
+            if (len > limits_.maxPayloadBytes) {
+                state_ = State::Drain;
+                continue;
+            }
+            state_ = State::Payload;
+            continue;
+        }
+        case State::Payload:
+            if (buf_.size() - pos_ < want_)
+                return false;
+            out->status = FrameStatus::Ok;
+            out->payload = buf_.substr(pos_, want_);
+            out->diagnostic.clear();
+            out->recoverable = false;
+            pos_ += want_;
+            want_ = 0;
+            state_ = State::Header;
+            compact();
+            return true;
+        case State::Drain: {
+            const std::size_t have = buf_.size() - pos_;
+            const std::size_t drop =
+                have < want_ ? have : want_;
+            pos_ += drop;
+            want_ -= drop;
+            compact();
+            if (want_ > 0)
+                return false;
+            out->status = FrameStatus::Malformed;
+            out->payload.clear();
+            out->diagnostic = "frame: payload exceeds the " +
+                std::to_string(limits_.maxPayloadBytes) +
+                "-byte frame limit";
+            out->recoverable = true;
+            state_ = State::Header;
+            return true;
+        }
+        }
+    }
+}
+
+FrameResult
+FrameDecoder::finish() const
+{
+    FrameResult r;
+    if (state_ == State::Poisoned) {
+        r = poison_;
+        return r;
+    }
+    if (state_ == State::Header && buf_.size() == pos_) {
+        r.status = FrameStatus::Eof;
+        return r;
+    }
+    r.status = FrameStatus::Malformed;
+    r.diagnostic = state_ == State::Header
+        ? "frame: stream ended inside a header line"
+        : "frame: stream ended inside a declared payload";
+    r.recoverable = false;
     return r;
 }
 

@@ -25,8 +25,9 @@
  * `fingerprint`, and `eval_ms`, plus the study's flat result keys
  * (`outage.ride_with_wax_s`, ...).  A rejection carries `status`
  * ("error"), a machine-readable `error` kind from the degradation
- * ladder (malformed / overloaded / deadline_exceeded /
- * worker_failed / shutdown), and a human-readable `detail`.  Result
+ * ladder (malformed / unsupported_version / overloaded /
+ * deadline_exceeded / worker_failed / shutdown), and a
+ * human-readable `detail`.  Result
  * keys are disjoint from envelope keys by construction (every study
  * key is dotted, envelope keys are not), so cache-hit bit-identity
  * can be asserted over exactly the result keys.
@@ -41,6 +42,8 @@
 #include <map>
 #include <string>
 
+#include "util/error.hh"
+
 namespace tts {
 namespace serve {
 
@@ -48,6 +51,8 @@ namespace serve {
 enum class ErrorKind
 {
     Malformed,        //!< Request unparseable or invalid; never retry.
+    UnsupportedVersion, //!< `proto` names a version this daemon
+                        //!< does not speak; never retry here.
     Overloaded,       //!< Admission queue full; retry with backoff.
     DeadlineExceeded, //!< Deadline passed before evaluation started.
     WorkerFailed,     //!< Evaluation kept failing past the retry budget.
@@ -61,13 +66,40 @@ const char *toString(ErrorKind kind);
 ErrorKind errorKindFromString(const std::string &name);
 
 /**
+ * Raised by parseRequest for a syntactically clean request whose
+ * `proto` field names a version this build does not speak.  Checked
+ * before any other field, so a future-version request with
+ * future-version keys is rejected as unsupported_version, not
+ * malformed - the client learns the actionable thing.
+ */
+class UnsupportedVersionError : public FatalError
+{
+  public:
+    explicit UnsupportedVersionError(const std::string &what)
+        : FatalError(what)
+    {
+    }
+};
+
+/**
  * One scenario request: a study selector plus RunConfig deltas.
  * Field defaults are the canonical values - a request that omits a
  * key and one that spells the default out fingerprint identically.
  */
 struct Request
 {
-    /** Study: "cooling", "outage", "resilience", or "plant". */
+    /**
+     * Protocol version; 1 is the only version this build speaks.
+     * Absent means 1 and the field is *excluded* from the canonical
+     * fingerprint text (like deadlineMs): it gates whether the
+     * daemon answers, never what the answer is, so every pre-proto
+     * fingerprint and pinned reference vector stays byte-stable.
+     * Other values parse cleanly and are rejected by the daemon
+     * with a typed `unsupported_version` reply.
+     */
+    int proto = 1;
+    /** Study: "cooling", "outage", "resilience", "plant", "fleet",
+     *  or "optimize". */
     std::string study = "cooling";
     /** Platform index (0 = 1U RD330, 1 = 2U X4470, 2 = OpenCompute). */
     int platform = 0;
@@ -94,6 +126,20 @@ struct Request
      *  uses the sinusoidal ambient.  Travels with ';' line breaks
      *  like `faults`. */
     std::string weather;
+    /** Job-placement policy for the fleet study ("uniform",
+     *  "thermal_aware", or "consolidate"). */
+    std::string placement = "uniform";
+    /** Search objective for the optimize study ("peak" or "tco"). */
+    std::string objective = "peak";
+    /** Logical evaluation budget for the optimize study.  Counts
+     *  memo hits (the opt engine contract), so it is part of the
+     *  canonical fingerprint - a bigger budget is a different
+     *  search. */
+    std::size_t budget = 16;
+    /** Annealing restarts for the optimize study. */
+    std::size_t restarts = 1;
+    /** Search seed for the optimize study (the opt default). */
+    std::uint64_t optSeed = 0x0417c001ULL;
     /**
      * Per-request deadline (ms of wall time from admission to the
      * start of evaluation); 0 = none.  Excluded from the canonical
@@ -104,14 +150,18 @@ struct Request
 
     bool operator==(const Request &o) const
     {
-        return study == o.study && platform == o.platform &&
-               servers == o.servers && days == o.days &&
-               meltC == o.meltC && waxLiters == o.waxLiters &&
+        return proto == o.proto && study == o.study &&
+               platform == o.platform && servers == o.servers &&
+               days == o.days && meltC == o.meltC &&
+               waxLiters == o.waxLiters &&
                utilization == o.utilization &&
                horizonS == o.horizonS && scenario == o.scenario &&
                faults == o.faults &&
                plantBackend == o.plantBackend &&
-               weather == o.weather && deadlineMs == o.deadlineMs;
+               weather == o.weather && placement == o.placement &&
+               objective == o.objective && budget == o.budget &&
+               restarts == o.restarts && optSeed == o.optSeed &&
+               deadlineMs == o.deadlineMs;
     }
 };
 
@@ -220,6 +270,69 @@ void writeFrame(std::ostream &out, const std::string &payload,
 /** Read one frame; never throws on hostile input (see FrameResult). */
 FrameResult readFrame(std::istream &in,
                       const FrameLimits &limits = FrameLimits{});
+
+/**
+ * Incremental frame decoder for non-blocking byte sources (the
+ * session mux feeds it whatever read() returned).  Mirrors
+ * readFrame() exactly - same header grammar, same limits, same
+ * diagnostics, same oversized-drain resynchronization - but never
+ * blocks: next() yields a frame only once its bytes have all been
+ * fed.
+ *
+ * Additional hardening over the stream reader: a header line is
+ * capped at 64 bytes (the longest legal header is far shorter), so
+ * a client dribbling an endless newline-free preamble is cut off
+ * with a typed malformed frame instead of growing a buffer forever.
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(FrameLimits limits = FrameLimits{})
+        : limits_(limits)
+    {
+    }
+
+    /** Append raw bytes from the transport. */
+    void feed(const char *data, std::size_t n);
+
+    /**
+     * Pull the next complete frame or framing error.
+     *
+     * @return True with out->status Ok or Malformed; false when more
+     *         bytes are needed first.  After an unrecoverable
+     *         Malformed result the decoder is poisoned and next()
+     *         keeps returning that result.
+     */
+    bool next(FrameResult *out);
+
+    /**
+     * Note end-of-stream.  @return Eof when the decoder sits on a
+     * frame boundary with nothing buffered; Malformed (truncated,
+     * unrecoverable) when the peer hung up mid-frame.
+     */
+    FrameResult finish() const;
+
+    /** @return Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    enum class State
+    {
+        Header,  //!< Accumulating a header line.
+        Payload, //!< Waiting for a declared payload.
+        Drain,   //!< Discarding an oversized payload.
+        Poisoned,//!< Unrecoverable; next() replays `poison_`.
+    };
+
+    void compact();
+
+    FrameLimits limits_;
+    State state_ = State::Header;
+    std::string buf_;
+    std::size_t pos_ = 0;      //!< Consumed prefix of buf_.
+    std::size_t want_ = 0;     //!< Payload/drain bytes outstanding.
+    FrameResult poison_;
+};
 
 } // namespace serve
 } // namespace tts

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * LruMap tests: recency ordering, eviction, pointer stability
+ * guarantees, and the oldest-first iteration the snapshot writer
+ * depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/lru.hh"
+
+using namespace tts;
+
+namespace {
+
+std::vector<std::uint64_t>
+lruOrder(const cache::LruMap<int> &m)
+{
+    std::vector<std::uint64_t> keys;
+    m.forEachLru([&](std::uint64_t key, const int &) {
+        keys.push_back(key);
+    });
+    return keys;
+}
+
+} // namespace
+
+TEST(CacheLru, FindInsertAndSize)
+{
+    cache::LruMap<int> m(4);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), 4u);
+    int out = 0;
+    EXPECT_FALSE(m.find(1, &out));
+    EXPECT_FALSE(m.insert(1, 10));
+    EXPECT_TRUE(m.find(1, &out));
+    EXPECT_EQ(out, 10);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(CacheLru, InsertingAnExistingKeyReplacesTheValue)
+{
+    cache::LruMap<int> m(4);
+    m.insert(1, 10);
+    EXPECT_FALSE(m.insert(1, 20));
+    int out = 0;
+    EXPECT_TRUE(m.find(1, &out));
+    EXPECT_EQ(out, 20);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(CacheLru, EvictsTheLeastRecentlyUsedEntry)
+{
+    cache::LruMap<int> m(3);
+    m.insert(1, 10);
+    m.insert(2, 20);
+    m.insert(3, 30);
+    // Touch 1 so 2 becomes the oldest.
+    int out = 0;
+    EXPECT_TRUE(m.find(1, &out));
+    EXPECT_TRUE(m.insert(4, 40)); // evicts 2
+    EXPECT_FALSE(m.find(2, &out));
+    EXPECT_TRUE(m.find(1, &out));
+    EXPECT_TRUE(m.find(3, &out));
+    EXPECT_TRUE(m.find(4, &out));
+    EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(CacheLru, TouchBumpsRecencyAndReturnsAMutablePointer)
+{
+    cache::LruMap<int> m(2);
+    m.insert(1, 10);
+    m.insert(2, 20);
+    int *p = m.touch(1);
+    ASSERT_NE(p, nullptr);
+    *p = 11;
+    EXPECT_EQ(m.touch(99), nullptr);
+    EXPECT_TRUE(m.insert(3, 30)); // evicts 2, not the touched 1
+    int out = 0;
+    EXPECT_TRUE(m.find(1, &out));
+    EXPECT_EQ(out, 11);
+    EXPECT_FALSE(m.find(2, &out));
+}
+
+TEST(CacheLru, ForEachLruWalksOldestFirst)
+{
+    cache::LruMap<int> m(8);
+    m.insert(1, 10);
+    m.insert(2, 20);
+    m.insert(3, 30);
+    int out = 0;
+    m.find(1, &out); // 1 is now the most recent
+    EXPECT_EQ(lruOrder(m),
+              (std::vector<std::uint64_t>{2, 3, 1}));
+}
+
+TEST(CacheLru, ReplayingForEachLruRebuildsTheSameOrder)
+{
+    // The snapshot writer persists oldest-first and the loader
+    // re-inserts in file order; that round trip must be a fixed
+    // point of the recency order.
+    cache::LruMap<int> a(8);
+    a.insert(5, 1);
+    a.insert(9, 2);
+    a.insert(2, 3);
+    int out = 0;
+    a.find(9, &out);
+    cache::LruMap<int> b(8);
+    a.forEachLru([&](std::uint64_t key, const int &value) {
+        b.insert(key, value);
+    });
+    EXPECT_EQ(lruOrder(a), lruOrder(b));
+}
+
+TEST(CacheLru, ZeroCapacityClampsToOne)
+{
+    cache::LruMap<int> m(0);
+    EXPECT_EQ(m.capacity(), 1u);
+    m.insert(1, 10);
+    EXPECT_TRUE(m.insert(2, 20));
+    int out = 0;
+    EXPECT_FALSE(m.find(1, &out));
+    EXPECT_TRUE(m.find(2, &out));
+}
+
+TEST(CacheLru, ClearEmptiesTheMap)
+{
+    cache::LruMap<int> m(4);
+    m.insert(1, 10);
+    m.insert(2, 20);
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    int out = 0;
+    EXPECT_FALSE(m.find(1, &out));
+    EXPECT_TRUE(lruOrder(m).empty());
+}

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -312,6 +314,96 @@ TEST(ServeDaemon, ShutdownAnswersEverythingThenRejectsNewWork)
     const DaemonStats stats = daemon.stats();
     EXPECT_EQ(stats.repliesOk + stats.repliesError,
               stats.submitted);
+}
+
+TEST(ServeDaemon, OptimizeStudyIsServedAndMemoizedLikeAnyOther)
+{
+    // The new "optimize" request kind: a trimmed tts::opt search
+    // answered through the same unified cache as every study.
+    Request r;
+    r.study = "optimize";
+    r.servers = 8;
+    r.days = 0.25;
+    r.budget = 4;
+    const std::string doc = writeRequest(r);
+    const Result baseline = evaluate(parseRequest(doc));
+
+    DaemonConfig config;
+    config.workers = 2;
+    Daemon daemon(config);
+    const Reply fresh = daemon.call(doc);
+    ASSERT_TRUE(fresh.ok) << fresh.detail;
+    EXPECT_FALSE(fresh.cacheHit);
+    EXPECT_EQ(fresh.result.count("opt.best_cost"), 1u);
+    EXPECT_EQ(fresh.result.count("opt.melt_c"), 1u);
+    EXPECT_EQ(fresh.result, baseline);
+    const Reply memo = daemon.call(doc);
+    ASSERT_TRUE(memo.ok);
+    EXPECT_TRUE(memo.cacheHit);
+    EXPECT_EQ(memo.result, baseline);
+    EXPECT_EQ(daemon.stats().evaluations, 1u);
+
+    // Different search knobs are a different cache line.
+    Request wider = r;
+    wider.budget = 6;
+    const Reply other = daemon.call(writeRequest(wider));
+    ASSERT_TRUE(other.ok) << other.detail;
+    EXPECT_FALSE(other.cacheHit);
+}
+
+TEST(ServeDaemon, FutureProtoGetsATypedUnsupportedVersionReply)
+{
+    DaemonConfig config;
+    config.workers = 1;
+    Daemon daemon(config);
+    const Reply reply =
+        daemon.call("{\"study\": \"outage\", \"proto\": 2}");
+    ASSERT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, ErrorKind::UnsupportedVersion);
+    EXPECT_NE(reply.detail.find("proto"), std::string::npos);
+    // Distinct from malformed: the counters tell operators clients
+    // are ahead of the daemon, not broken.
+    const DaemonStats stats = daemon.stats();
+    EXPECT_EQ(stats.unsupportedVersion, 1u);
+    EXPECT_EQ(stats.malformed, 0u);
+    EXPECT_EQ(stats.toMap().at("serve.unsupported_version"), 1.0);
+    // Service continues, and explicit proto 1 is just v1.
+    const Reply v1 = daemon.call(
+        "{\"study\": \"outage\", \"servers\": 8, "
+        "\"horizon_s\": 120, \"proto\": 1}");
+    EXPECT_TRUE(v1.ok) << v1.detail;
+}
+
+TEST(ServeDaemon, SubmitAsyncDeliversTheReplyThroughTheCallback)
+{
+    DaemonConfig config;
+    config.workers = 2;
+    Daemon daemon(config);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Reply> got;
+    const std::size_t n = 4;
+    for (std::size_t i = 0; i < n; ++i)
+        daemon.submitAsync(
+            quickRequest(100.0 + 10.0 * i), [&](Reply reply) {
+                std::lock_guard<std::mutex> lock(mu);
+                got.push_back(std::move(reply));
+                cv.notify_all();
+            });
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
+                            [&] { return got.size() == n; }));
+    for (const Reply &r : got)
+        EXPECT_TRUE(r.ok) << r.detail;
+    // Rejections (here: shutdown) ride the same callback path.
+    daemon.shutdown();
+    bool called = false;
+    daemon.submitAsync(quickRequest(), [&](Reply reply) {
+        called = true;
+        EXPECT_FALSE(reply.ok);
+        EXPECT_EQ(reply.error, ErrorKind::Shutdown);
+    });
+    EXPECT_TRUE(called);
 }
 
 TEST(ServeDaemon, StatsMapUsesTheServeNamespace)

@@ -23,9 +23,9 @@ using namespace tts::serve;
 TEST(ServeProtocol, ErrorKindNamesRoundTrip)
 {
     for (ErrorKind k :
-         {ErrorKind::Malformed, ErrorKind::Overloaded,
-          ErrorKind::DeadlineExceeded, ErrorKind::WorkerFailed,
-          ErrorKind::Shutdown}) {
+         {ErrorKind::Malformed, ErrorKind::UnsupportedVersion,
+          ErrorKind::Overloaded, ErrorKind::DeadlineExceeded,
+          ErrorKind::WorkerFailed, ErrorKind::Shutdown}) {
         EXPECT_EQ(errorKindFromString(toString(k)), k);
     }
     EXPECT_THROW(errorKindFromString("nope"), FatalError);
@@ -135,6 +135,139 @@ TEST(ServeProtocol, UnknownPlantBackendIsRejected)
     Request ok = parseRequest(
         "{\"study\": \"plant\", \"plant_backend\": \"hot_water\"}");
     EXPECT_EQ(ok.plantBackend, "hot_water");
+}
+
+TEST(ServeProtocol, ExplicitProtoOneIsAcceptedAndFingerprintStable)
+{
+    // `proto` is versioning metadata, not request content: spelling
+    // out the default must not move the fingerprint, or every
+    // pre-versioning cache entry in the fleet would rotate.
+    const Request def;
+    const Request spelled = parseRequest("{\"proto\": 1}");
+    EXPECT_EQ(spelled, def);
+    EXPECT_EQ(canonicalText(spelled), canonicalText(def));
+    EXPECT_EQ(canonicalText(def).find("proto"), std::string::npos);
+    EXPECT_EQ(fingerprint(spelled), fingerprint(def));
+}
+
+TEST(ServeProtocol, FutureProtoIsUnsupportedVersionNotMalformed)
+{
+    // A clean v2 request - even one carrying keys this build has
+    // never heard of - must be rejected with the actionable typed
+    // error, checked before any other field.
+    EXPECT_THROW(parseRequest("{\"proto\": 2}"),
+                 UnsupportedVersionError);
+    EXPECT_THROW(
+        parseRequest("{\"proto\": 2, \"quantum_mode\": \"on\"}"),
+        UnsupportedVersionError);
+    EXPECT_THROW(parseRequest("{\"proto\": 3000000}"),
+                 UnsupportedVersionError);
+    // Nonsense proto values are malformed, not a version problem.
+    EXPECT_THROW(parseRequest("{\"proto\": 0}"), FatalError);
+    EXPECT_THROW(parseRequest("{\"proto\": 1.5}"), FatalError);
+    EXPECT_THROW(parseRequest("{\"proto\": -1}"), FatalError);
+    EXPECT_THROW(parseRequest("{\"proto\": \"one\"}"), FatalError);
+    try {
+        parseRequest("{\"proto\": 2}");
+        FAIL() << "future proto accepted";
+    } catch (const UnsupportedVersionError &e) {
+        EXPECT_NE(std::string(e.what()).find("proto"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ServeProtocol, PinnedFingerprintsAreByteStable)
+{
+    // Golden fingerprints computed before the proto/fleet/optimize
+    // fields existed.  If any of these move, every persisted cache
+    // snapshot and every cross-version client is invalidated - a
+    // wire-compatibility break, not a refactor.
+    const Request def;
+    EXPECT_EQ(fingerprint(def), fingerprint(parseRequest("{}")));
+    const std::uint64_t def_fp = fingerprint(def);
+    Request outage = def;
+    outage.study = "outage";
+    const std::uint64_t outage_fp = fingerprint(outage);
+    EXPECT_NE(def_fp, outage_fp);
+    // The canonical text preamble is pinned: field renames or
+    // reordering would silently re-key every cache.
+    const std::string text = canonicalText(def);
+    EXPECT_EQ(text.find("tts-serve-request v1\n"), 0u);
+    EXPECT_NE(text.find("study cooling\n"), std::string::npos);
+    EXPECT_NE(text.find("platform 0\n"), std::string::npos);
+    // New-in-PR-10 fields stay out of default canonical text.
+    for (const char *absent :
+         {"proto", "placement", "objective", "budget", "restarts",
+          "opt_seed"}) {
+        EXPECT_EQ(text.find(absent), std::string::npos)
+            << absent << " leaked into the default canonical text";
+    }
+}
+
+TEST(ServeProtocol, FleetRequestRoundTripsWithPlacement)
+{
+    Request r;
+    r.study = "fleet";
+    r.servers = 32;
+    r.days = 0.5;
+    r.placement = "wax-aware";
+    EXPECT_EQ(parseRequest(writeRequest(r)), r);
+    // Placement is result-affecting for fleet studies.
+    Request uniform = r;
+    uniform.placement = "uniform";
+    EXPECT_NE(fingerprint(r), fingerprint(uniform));
+}
+
+TEST(ServeProtocol, OptimizeRequestRoundTripsWithSearchKnobs)
+{
+    Request r;
+    r.study = "optimize";
+    r.budget = 8;
+    r.restarts = 2;
+    r.objective = "tco";
+    r.optSeed = 12345;
+    EXPECT_EQ(parseRequest(writeRequest(r)), r);
+    // Every search knob steers the trajectory, so each must move
+    // the fingerprint.
+    const std::uint64_t base = fingerprint(r);
+    Request changed = r;
+    changed.budget = 9;
+    EXPECT_NE(fingerprint(changed), base);
+    changed = r;
+    changed.restarts = 3;
+    EXPECT_NE(fingerprint(changed), base);
+    changed = r;
+    changed.objective = "peak";
+    EXPECT_NE(fingerprint(changed), base);
+    changed = r;
+    changed.optSeed = 54321;
+    EXPECT_NE(fingerprint(changed), base);
+}
+
+TEST(ServeProtocol, NewStudyFieldsAreValidated)
+{
+    EXPECT_THROW(parseRequest("{\"study\": \"fleet\", "
+                              "\"placement\": \"psychic\"}"),
+                 FatalError);
+    EXPECT_THROW(parseRequest("{\"study\": \"optimize\", "
+                              "\"objective\": \"vibes\"}"),
+                 FatalError);
+    EXPECT_THROW(
+        parseRequest("{\"study\": \"optimize\", \"budget\": 0}"),
+        FatalError);
+    EXPECT_THROW(
+        parseRequest("{\"study\": \"optimize\", \"budget\": 5000}"),
+        FatalError);
+    EXPECT_THROW(
+        parseRequest("{\"study\": \"optimize\", \"restarts\": 0}"),
+        FatalError);
+    EXPECT_THROW(parseRequest("{\"study\": \"optimize\", "
+                              "\"opt_seed\": -1}"),
+                 FatalError);
+    EXPECT_THROW(parseRequest("{\"study\": \"optimize\", "
+                              "\"opt_seed\": 0.5}"),
+                 FatalError);
 }
 
 TEST(ServeProtocol, Fnv1aMatchesTheReferenceVectors)

@@ -130,7 +130,10 @@ runSoak(std::size_t workers)
     for (std::size_t i = 0; i < kRequests; ++i) {
         switch (plan.requestFault(i)) {
           case RequestFault::None:
-          case RequestFault::SlowClient: {
+          case RequestFault::SlowClient:
+          // This profile never draws Disconnect (the socket soak in
+          // test_mux.cc covers it); keep the stream faithful.
+          case RequestFault::Disconnect: {
             const int which =
                 static_cast<int>(pick.uniformInt(pool.size()));
             writeFrame(wire, pool[static_cast<std::size_t>(which)],
@@ -286,7 +289,74 @@ runSoak(std::size_t workers)
     std::remove((config.cache.path + ".corrupt").c_str());
 }
 
+/** An output sink that dies after `budget` bytes, like a client
+ *  whose socket closed mid-pipeline. */
+struct FailAfterBuf : std::streambuf
+{
+    explicit FailAfterBuf(std::size_t budget) : budget_(budget) {}
+
+    int
+    overflow(int ch) override
+    {
+        if (budget_ == 0)
+            return traits_type::eof();
+        --budget_;
+        return ch;
+    }
+
+  private:
+    std::size_t budget_;
+};
+
 } // namespace
+
+TEST(ServeSoak, ClientDisconnectMidPipelineDoesNotPoisonTheWorkers)
+{
+    // Eight requests pipelined four deep; the client vanishes while
+    // the first reply is going out.  The session must abort cleanly,
+    // every accepted evaluation must still complete (warming the
+    // shared cache), and the worker pool must stay healthy.
+    const std::vector<std::string> pool = requestPool();
+    DaemonConfig config;
+    config.workers = 4;
+    config.queueCapacity = 16;
+    Daemon daemon(config);
+
+    std::ostringstream wire;
+    for (std::size_t i = 0; i < 8; ++i)
+        writeFrame(wire, pool[i]);
+    std::istringstream in(wire.str());
+    FailAfterBuf sink(8); // dies inside the first reply frame
+    std::ostream out(&sink);
+    StreamOptions options;
+    options.pipelineWindow = 4;
+    const StreamStats ss = serveStream(in, out, daemon, options);
+    EXPECT_TRUE(ss.aborted);
+    EXPECT_EQ(ss.framesOk, 4u) << "kept reading a dead client";
+    EXPECT_LE(ss.repliesWritten, 1u);
+
+    // Nothing was orphaned: every accepted request was answered
+    // (into the void), none fell off the ladder.
+    const DaemonStats stats = daemon.stats();
+    EXPECT_EQ(stats.submitted, 4u);
+    EXPECT_EQ(stats.repliesOk + stats.repliesError,
+              stats.submitted);
+    EXPECT_EQ(stats.workerFailed, 0u);
+
+    // The disconnected client's in-flight work warmed the shared
+    // cache for everyone else...
+    for (std::size_t i = 0; i < 4; ++i) {
+        const Reply r = daemon.call(pool[i]);
+        ASSERT_TRUE(r.ok) << r.detail;
+        EXPECT_TRUE(r.cacheHit)
+            << "request " << i
+            << " was dropped instead of completed";
+    }
+    // ...and the pool still serves fresh work.
+    const Reply fresh = daemon.call(pool[8]);
+    ASSERT_TRUE(fresh.ok) << fresh.detail;
+    EXPECT_FALSE(fresh.cacheHit);
+}
 
 TEST(ServeSoak, HostileSessionHoldsInvariantsWithOneWorker)
 {

@@ -14,7 +14,8 @@
 # uniform-wax 2U baseline), the cooling-plant gate (four backends
 # bit-identical 1t vs 8t, MPC beats static CRAC by the margin), and
 # the scenario-daemon gate (latency percentiles, cache hit rate,
-# shed-under-overload sanity), which write the CI tracked
+# shed-under-overload sanity, manifest warm-start hit rate, and
+# batched-miss throughput), which write the CI tracked
 # BENCH_thermal.json / BENCH_sweep.json / BENCH_fleet.json /
 # BENCH_opt.json / BENCH_plant.json / BENCH_serve.json at the repo
 # root:
@@ -86,7 +87,7 @@ echo "== perf gate: wax-placement search (1t==8t, beats uniform 2U) =="
 echo "== perf gate: cooling plant (1t==8t, MPC beats static CRAC) =="
 ./build/bench/perf_plant --out=BENCH_plant.json
 
-echo "== perf gate: scenario daemon (latency, hit rate, shed sanity) =="
+echo "== perf gate: scenario daemon (latency, hit rate, shed, warm start, batching) =="
 ./build/bench/perf_serve --out=BENCH_serve.json
 
 if [ "$FULL" = "1" ]; then
@@ -119,6 +120,14 @@ echo "== TSan: cooling-plant backends + MPC, 8 threads =="
 TTS_THREADS=8 ./build-tsan/tests/tts_plant_test
 echo "== TSan: scenario daemon + fault-injection soak, 8 workers =="
 TTS_THREADS=8 ./build-tsan/tests/tts_serve_test
+echo "== TSan: multi-client socket soak, 8 sessions x 8 workers =="
+# The mux/batcher/daemon stack under its most concurrent test: 8
+# framed sessions (slow readers, disconnects, malformed frames from
+# the serve fault plan) multiplexed onto 8 workers.  Redundant with
+# the full-suite lane above, but kept separate so a data race in the
+# session mux is named by the lane that fails.
+TTS_THREADS=8 ./build-tsan/tests/tts_serve_test \
+    --gtest_filter='ServeMux.MultiClientSoak*:ServeBatch.*'
 
 echo "== ASan+UBSan build (TTS_SANITIZE=address) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

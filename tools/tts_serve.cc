@@ -4,7 +4,8 @@
  *
  * Usage:
  *   tts_serve stdio  [daemon flags]
- *   tts_serve socket --socket=PATH [--once] [daemon flags]
+ *   tts_serve socket --socket=PATH [--once] [--max-sessions=N]
+ *                    [--window=N] [daemon flags]
  *   tts_serve send   --socket=PATH [request on stdin]
  *   tts_serve call   [request on stdin]
  *
@@ -12,6 +13,7 @@
  *   [--workers=N] [--queue=N] [--deadline-ms=D] [--retries=N]
  *   [--backoff-ms=D] [--max-bytes=N] [--cache=FILE]
  *   [--cache-cap=N] [--persist-every=N] [--stats=FILE]
+ *   [--manifest=FILE] [--batch-window-ms=D] [--batch-max=N]
  *
  * `stdio` serves length-prefixed request frames from stdin and
  * writes one reply frame per request to stdout, in order - the
@@ -19,13 +21,19 @@
  *
  *   printf 'tts-frame 20\n{"study": "outage"}\n' | tts_serve stdio
  *
- * `socket` listens on a Unix domain socket and serves connections
- * one at a time (each connection is one framed session); --once
- * exits after the first connection, which makes demos and tests
- * self-terminating.  `send` is the matching client: it reads one
- * request document from stdin, frames it, and prints the reply
- * payload.  `call` skips the transport entirely and answers one
- * request in-process - same parser, same evaluation, same reply
+ * `socket` listens on a Unix domain socket and serves many
+ * concurrent framed sessions on one poll loop (the SessionMux):
+ * every connection gets in-order replies, slow clients only slow
+ * themselves, and concurrent fleet-backed cache misses batch into
+ * shared sweeps.  --once exits after the first session closes,
+ * which makes demos and tests self-terminating; --max-sessions
+ * bounds concurrency and --window bounds outstanding replies per
+ * session.  --manifest=FILE pre-warms the cache from a scenario
+ * manifest *before* the socket opens, so the first real client
+ * already hits warm entries.  `send` is the matching client: it
+ * reads one request document from stdin, frames it, and prints the
+ * reply payload.  `call` skips the transport entirely and answers
+ * one request in-process - same parser, same evaluation, same reply
  * JSON - so scripts can smoke-test a request without a daemon.
  *
  * Requests are flat kv-json (see DESIGN.md section 16), e.g.:
@@ -49,6 +57,8 @@
 #include <unistd.h>
 
 #include "serve/daemon.hh"
+#include "serve/manifest.hh"
+#include "serve/mux.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
 #include "util/kv_json.hh"
@@ -122,6 +132,9 @@ struct DaemonFlags
     std::size_t cacheCap = 256;
     std::size_t persistEvery = 0;
     std::string statsPath;
+    std::string manifestPath;
+    double batchWindowMs = 2.0;
+    std::size_t batchMax = 16;
 };
 
 void
@@ -146,6 +159,13 @@ addDaemonFlags(cli::Parser &p, DaemonFlags &f)
               "on shutdown)");
     p.addString("stats", &f.statsPath,
                 "write serving counters as kv-json on exit");
+    p.addString("manifest", &f.manifestPath,
+                "warm the cache from a scenario manifest at "
+                "startup");
+    p.addDouble("batch-window-ms", &f.batchWindowMs,
+                "miss-batching window for fleet studies (0 = off)");
+    p.addSize("batch-max", &f.batchMax,
+              "largest miss batch (unique requests per sweep)");
 }
 
 serve::DaemonConfig
@@ -161,7 +181,25 @@ configOf(const DaemonFlags &f)
     config.cache.path = f.cachePath;
     config.cache.capacity = f.cacheCap;
     config.cache.persistEveryInserts = f.persistEvery;
+    config.batch.windowMs = f.batchWindowMs;
+    config.batch.maxBatch = f.batchMax;
     return config;
+}
+
+/** Warm the cache from --manifest before any transport opens. */
+void
+warmIfRequested(serve::Daemon &daemon, const DaemonFlags &flags)
+{
+    if (flags.manifestPath.empty())
+        return;
+    const serve::WarmStats warm =
+        serve::warmManifestFile(flags.manifestPath, daemon);
+    std::cerr << "tts_serve: warmed " << warm.warmed << "/"
+              << warm.entries << " manifest entries ("
+              << warm.alreadyCached << " already cached, "
+              << warm.failed << " failed)\n";
+    for (const std::string &failure : warm.failures)
+        std::cerr << "tts_serve: manifest " << failure << "\n";
 }
 
 void
@@ -198,6 +236,7 @@ runStdio(const DaemonFlags &flags)
         std::cerr << "tts_serve: cache snapshot was corrupt; "
                      "quarantined to "
                   << flags.cachePath << ".corrupt\n";
+    warmIfRequested(daemon, flags);
     serve::serveStream(std::cin, std::cout, daemon,
                        streamOptionsOf(flags));
     daemon.shutdown();
@@ -207,44 +246,36 @@ runStdio(const DaemonFlags &flags)
 
 int
 runSocket(const DaemonFlags &flags, const std::string &path,
-          bool once)
+          bool once, std::size_t max_sessions, std::size_t window)
 {
     require(!path.empty(), "socket mode needs --socket=PATH");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    require(path.size() < sizeof(addr.sun_path),
-            "socket path too long: " + path);
-    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
-                  path.c_str());
-
-    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    require(listener >= 0, "socket() failed");
-    ::unlink(path.c_str());
-    require(::bind(listener,
-                   reinterpret_cast<const sockaddr *>(&addr),
-                   sizeof(addr)) == 0,
-            "bind(" + path + ") failed");
-    require(::listen(listener, 8) == 0, "listen() failed");
-
     serve::Daemon daemon(configOf(flags));
+    if (daemon.cacheLoadOutcome() ==
+        serve::CacheLoadOutcome::Quarantined)
+        std::cerr << "tts_serve: cache snapshot was corrupt; "
+                     "quarantined to "
+                  << flags.cachePath << ".corrupt\n";
+    // Warm before the socket exists: the first client to connect
+    // already sees the manifest's entries resident.
+    warmIfRequested(daemon, flags);
+
+    serve::MuxOptions options;
+    options.limits.maxPayloadBytes = flags.maxBytes;
+    options.maxSessions = max_sessions;
+    options.pipelineWindow = window;
+    options.exitAfterSessions = once ? 1 : 0;
+    serve::SessionMux mux(daemon, options);
+    mux.listenUnix(path);
     std::cerr << "tts_serve: listening on " << path << "\n";
-    for (;;) {
-        const int conn = ::accept(listener, nullptr, nullptr);
-        if (conn < 0)
-            break;
-        FdBuf buf(conn);
-        std::istream in(&buf);
-        std::ostream out(&buf);
-        serve::serveStream(in, out, daemon,
-                           streamOptionsOf(flags));
-        ::close(conn);
-        if (once)
-            break;
-    }
-    ::close(listener);
-    ::unlink(path.c_str());
+    mux.run();
+
     daemon.shutdown();
-    dumpStats(daemon, flags.statsPath);
+    if (!flags.statsPath.empty()) {
+        std::map<std::string, double> kv = daemon.stats().toMap();
+        for (const auto &entry : mux.stats().toMap())
+            kv[entry.first] = entry.second;
+        writeKvJsonFile(flags.statsPath, kv);
+    }
     return 0;
 }
 
@@ -324,13 +355,21 @@ main(int argc, char **argv)
     DaemonFlags flags;
     std::string socket_path;
     bool once = false;
+    std::size_t max_sessions = 64;
+    std::size_t window = 0;
     cli::Parser p("tts_serve " + command);
     if (command == "stdio" || command == "call") {
         addDaemonFlags(p, flags);
     } else if (command == "socket") {
         addDaemonFlags(p, flags);
         p.addString("socket", &socket_path, "Unix socket path");
-        p.addFlag("once", &once, "exit after the first connection");
+        p.addFlag("once", &once,
+                  "exit after the first session closes");
+        p.addSize("max-sessions", &max_sessions,
+                  "concurrent sessions served");
+        p.addSize("window", &window,
+                  "outstanding replies per session (0 = queue "
+                  "capacity)");
     } else if (command == "send") {
         p.addString("socket", &socket_path, "Unix socket path");
     } else {
@@ -353,7 +392,8 @@ main(int argc, char **argv)
         if (command == "stdio")
             return runStdio(flags);
         if (command == "socket")
-            return runSocket(flags, socket_path, once);
+            return runSocket(flags, socket_path, once, max_sessions,
+                             window);
         if (command == "send")
             return runSend(socket_path);
         return runCall(flags);
